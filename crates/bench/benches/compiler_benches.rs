@@ -1,0 +1,65 @@
+//! Criterion benchmarks of the compilers themselves: compilation time of the
+//! greedy CHEHAB pipeline and of the Coyote-style layout search (the Figure 6
+//! comparison), and end-to-end execution time of the circuits each produces
+//! (the Figure 5 comparison), on representative kernels.
+
+use chehab_bench::{CompilerUnderTest, HarnessConfig};
+use chehab_benchsuite::by_id;
+use chehab_core::Compiler;
+use chehab_fhe::BfvParameters;
+use coyote_baseline::CoyoteCompiler;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::time::Duration;
+
+const KERNELS: [&str; 4] = ["Dot Product 8", "Linear Reg. 4", "Poly. Reg. 8", "Mat. Mul. 3x3"];
+
+fn bench_compile_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_time");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    let harness = HarnessConfig::default();
+    for id in KERNELS {
+        let benchmark = by_id(id).expect("known benchmark");
+        group.bench_function(format!("chehab_greedy/{id}"), |b| {
+            let compiler = Compiler::greedy();
+            b.iter(|| black_box(compiler.compile(id, black_box(benchmark.program()))));
+        });
+        group.bench_function(format!("coyote/{id}"), |b| {
+            let compiler = CoyoteCompiler::with_config(harness.coyote_config());
+            b.iter(|| black_box(compiler.compile(black_box(benchmark.program()))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_execution_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exec_time");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    let harness = HarnessConfig::default();
+    let params = BfvParameters { payload_degree: 512, ..BfvParameters::default_128() };
+    for id in KERNELS {
+        let benchmark = by_id(id).expect("known benchmark");
+        let inputs: HashMap<String, i64> = benchmark
+            .program()
+            .variables()
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| (v.to_string(), (i as i64 % 7) + 1))
+            .collect();
+        for (label, compiler) in [
+            ("initial", CompilerUnderTest::Initial),
+            ("chehab_greedy", CompilerUnderTest::ChehabGreedy),
+            ("coyote", CompilerUnderTest::Coyote(harness.coyote_config())),
+        ] {
+            let compiled = compiler.compile(&benchmark);
+            group.bench_function(format!("{label}/{id}"), |b| {
+                b.iter(|| black_box(compiled.execute(black_box(&inputs), &params).expect("executes")));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile_time, bench_execution_time);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion micro-benchmarks of the BFV backend: the relative costs of the
+//! homomorphic operations (ct-ct multiplication ≫ rotation ≫ ct-pt
+//! multiplication ≫ addition) that the paper's cost model (Section 5.3.1)
+//! assumes.
+
+use chehab_fhe::{BfvParameters, Encryptor, Evaluator, FheContext, KeyGenerator};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fhe_operations(c: &mut Criterion) {
+    let params = BfvParameters { payload_degree: 1024, ..BfvParameters::default_128() };
+    let ctx = FheContext::new(params).expect("valid parameters");
+    let mut keygen = KeyGenerator::new(ctx.params(), 1);
+    let mut encryptor = Encryptor::new(&ctx, &keygen.public_key());
+    let relin = keygen.relin_keys();
+    let galois = keygen.default_galois_keys();
+    let mut evaluator = Evaluator::new(&ctx);
+
+    let a = encryptor.encrypt_values(&(0..32).collect::<Vec<i64>>()).expect("encrypt");
+    let b = encryptor.encrypt_values(&(32..64).collect::<Vec<i64>>()).expect("encrypt");
+    let plain = ctx.encode(&(1..33).collect::<Vec<i64>>()).expect("encode");
+
+    let mut group = c.benchmark_group("fhe_ops");
+    group.bench_function("ct_ct_add", |bencher| {
+        bencher.iter(|| black_box(evaluator.add(black_box(&a), black_box(&b))))
+    });
+    group.bench_function("ct_pt_mul", |bencher| {
+        bencher.iter(|| black_box(evaluator.multiply_plain(black_box(&a), black_box(&plain))))
+    });
+    group.bench_function("rotation", |bencher| {
+        bencher.iter(|| black_box(evaluator.rotate(black_box(&a), 4, &galois).expect("keyed step")))
+    });
+    group.bench_function("ct_ct_mul", |bencher| {
+        bencher.iter(|| black_box(evaluator.multiply(black_box(&a), black_box(&b), &relin)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fhe_operations);
+criterion_main!(benches);

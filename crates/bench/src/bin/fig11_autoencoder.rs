@@ -1,0 +1,80 @@
+//! Figure 11 / Table 7: reconstruction accuracy of a Transformer-based
+//! sequence autoencoder versus a GRU-based one over tokenized IR programs
+//! (the Appendix I.1 encoder-architecture ablation).
+//!
+//! Usage: `cargo run --release -p chehab-bench --bin fig11_autoencoder -- [--timesteps N]`
+//! (`--timesteps` controls the number of training epochs here.)
+
+use chehab_bench::{write_csv, HarnessConfig};
+use chehab_datagen::generate_random_dataset;
+use chehab_ir::{ici_tokens, Vocabulary};
+use chehab_nn::{SequenceAutoencoder, TransformerConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let config = HarnessConfig::from_args();
+    let epochs = (config.timesteps / 50).clamp(10, 200);
+    println!("== Figure 11 / Table 7: Transformer vs GRU autoencoder ({epochs} epochs)");
+
+    // Corpus: random IR expressions, ICI-tokenized (the paper trains on 1.4M
+    // random expressions; the scaled-down harness uses a few hundred).
+    let vocab = Vocabulary::ici();
+    let dataset = generate_random_dataset(240, 7);
+    let corpus: Vec<Vec<usize>> = dataset
+        .exprs()
+        .iter()
+        .map(|e| {
+            ici_tokens(e).iter().map(|t| vocab.id(t)).take(24).collect::<Vec<usize>>()
+        })
+        .filter(|seq| !seq.is_empty() && seq.len() >= 4)
+        .collect();
+    let split = corpus.len() * 4 / 5;
+    let (train, test) = corpus.split_at(split);
+    println!("corpus: {} training sequences, {} held-out sequences", train.len(), test.len());
+
+    let mut rows = Vec::new();
+    for label in ["Transformer", "GRU"] {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let mut autoencoder = match label {
+            "Transformer" => SequenceAutoencoder::transformer(
+                TransformerConfig {
+                    vocab_size: vocab.len(),
+                    model_dim: 48,
+                    num_heads: 4,
+                    num_layers: 2,
+                    ffn_dim: 96,
+                    max_len: 24,
+                },
+                vocab.pad_id(),
+                &mut rng,
+            ),
+            _ => SequenceAutoencoder::gru(vocab.len(), 48, 2, 24, vocab.pad_id(), &mut rng),
+        };
+        let started = std::time::Instant::now();
+        let final_loss = autoencoder.fit(train, epochs, 3e-3);
+        let train_acc = autoencoder.evaluate(train);
+        let test_acc = autoencoder.evaluate(test);
+        println!(
+            "{label:<12} loss {final_loss:.3}  train exact {:.1}% / token {:.1}%   test exact {:.1}% / token {:.1}%   ({:.1}s)",
+            train_acc.exact_match * 100.0,
+            train_acc.token_accuracy * 100.0,
+            test_acc.exact_match * 100.0,
+            test_acc.token_accuracy * 100.0,
+            started.elapsed().as_secs_f64()
+        );
+        rows.push(format!(
+            "{label},{final_loss:.4},{:.4},{:.4},{:.4},{:.4},{:.2}",
+            train_acc.exact_match,
+            train_acc.token_accuracy,
+            test_acc.exact_match,
+            test_acc.token_accuracy,
+            started.elapsed().as_secs_f64()
+        ));
+    }
+    let _ = write_csv(
+        "fig11_autoencoder",
+        "encoder,final_loss,train_exact,train_token,test_exact,test_token,train_seconds",
+        &rows,
+    );
+}

@@ -1,0 +1,70 @@
+//! Figure 8: execution time of circuits produced by an agent trained on
+//! LLM-style structured data versus the same agent trained on uniformly
+//! random data.
+//!
+//! Usage: `cargo run --release -p chehab-bench --bin fig8_llm_vs_random -- [--timesteps N]`
+
+use chehab_bench::{measure, ms, write_csv, CompilerUnderTest, HarnessConfig};
+use chehab_core::training::{train_agent, AgentTrainingOptions};
+use chehab_datagen::DataSource;
+use std::sync::Arc;
+
+fn main() {
+    let config = HarnessConfig::from_args();
+    let params = config.params();
+    println!("== Figure 8: LLM-style vs random training data");
+    let llm = train_agent(&AgentTrainingOptions {
+        timesteps: config.timesteps,
+        data_source: DataSource::LlmLike,
+        ..AgentTrainingOptions::default()
+    });
+    let random = train_agent(&AgentTrainingOptions {
+        timesteps: config.timesteps,
+        data_source: DataSource::Random,
+        ..AgentTrainingOptions::default()
+    });
+    println!(
+        "final mean episode reward: LLM-style {:.2}, random {:.2}\n",
+        llm.report.final_mean_reward(),
+        random.report.final_mean_reward()
+    );
+
+    println!("{:<22} {:>14} {:>14} {:>10}", "benchmark", "LLM data (ms)", "random (ms)", "speedup");
+    let mut rows = Vec::new();
+    let mut llm_exec = Vec::new();
+    let mut random_exec = Vec::new();
+    for benchmark in config.benchmarks() {
+        let m_llm = measure(
+            &benchmark,
+            &CompilerUnderTest::ChehabRl(Arc::clone(&llm.agent)),
+            &params,
+            config.runs,
+        );
+        let m_random = measure(
+            &benchmark,
+            &CompilerUnderTest::ChehabRl(Arc::clone(&random.agent)),
+            &params,
+            config.runs,
+        );
+        let speedup = ms(m_random.exec_time) / ms(m_llm.exec_time).max(1e-9);
+        println!(
+            "{:<22} {:>14.3} {:>14.3} {:>9.2}x",
+            benchmark.id(),
+            ms(m_llm.exec_time),
+            ms(m_random.exec_time),
+            speedup
+        );
+        rows.push(format!(
+            "{},{:.3},{:.3},{:.3}",
+            benchmark.id(),
+            ms(m_llm.exec_time),
+            ms(m_random.exec_time),
+            speedup
+        ));
+        llm_exec.push(ms(m_llm.exec_time));
+        random_exec.push(ms(m_random.exec_time));
+    }
+    let geomean = chehab_bench::geometric_mean_ratio(&random_exec, &llm_exec);
+    println!("\ngeometric-mean speedup of LLM-style training data: {geomean:.2}x");
+    let _ = write_csv("fig8_llm_vs_random", "benchmark,llm_ms,random_ms,speedup", &rows);
+}

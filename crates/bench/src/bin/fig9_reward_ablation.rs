@@ -1,0 +1,65 @@
+//! Figure 9: execution time of circuits produced by an agent trained with
+//! the combined step + terminal reward versus the same agent trained with
+//! the step reward only.
+//!
+//! Usage: `cargo run --release -p chehab-bench --bin fig9_reward_ablation -- [--timesteps N]`
+
+use chehab_bench::{measure, ms, write_csv, CompilerUnderTest, HarnessConfig};
+use chehab_core::training::{train_agent, AgentTrainingOptions};
+use chehab_rl::RewardConfig;
+use std::sync::Arc;
+
+fn main() {
+    let config = HarnessConfig::from_args();
+    let params = config.params();
+    println!("== Figure 9: step+terminal vs step-only reward");
+    let combined = train_agent(&AgentTrainingOptions {
+        timesteps: config.timesteps,
+        reward: RewardConfig::default(),
+        ..AgentTrainingOptions::default()
+    });
+    let step_only = train_agent(&AgentTrainingOptions {
+        timesteps: config.timesteps,
+        reward: RewardConfig::step_only(),
+        ..AgentTrainingOptions::default()
+    });
+
+    println!("{:<22} {:>18} {:>14} {:>10}", "benchmark", "step+terminal (ms)", "step only (ms)", "ratio");
+    let mut rows = Vec::new();
+    let mut combined_exec = Vec::new();
+    let mut step_exec = Vec::new();
+    for benchmark in config.benchmarks() {
+        let m_combined = measure(
+            &benchmark,
+            &CompilerUnderTest::ChehabRl(Arc::clone(&combined.agent)),
+            &params,
+            config.runs,
+        );
+        let m_step = measure(
+            &benchmark,
+            &CompilerUnderTest::ChehabRl(Arc::clone(&step_only.agent)),
+            &params,
+            config.runs,
+        );
+        let ratio = ms(m_step.exec_time) / ms(m_combined.exec_time).max(1e-9);
+        println!(
+            "{:<22} {:>18.3} {:>14.3} {:>9.2}x",
+            benchmark.id(),
+            ms(m_combined.exec_time),
+            ms(m_step.exec_time),
+            ratio
+        );
+        rows.push(format!(
+            "{},{:.3},{:.3},{:.3}",
+            benchmark.id(),
+            ms(m_combined.exec_time),
+            ms(m_step.exec_time),
+            ratio
+        ));
+        combined_exec.push(ms(m_combined.exec_time));
+        step_exec.push(ms(m_step.exec_time));
+    }
+    let geomean = chehab_bench::geometric_mean_ratio(&step_exec, &combined_exec);
+    println!("\ngeometric-mean benefit of the terminal reward: {geomean:.3}x");
+    let _ = write_csv("fig9_reward_ablation", "benchmark,step_terminal_ms,step_only_ms,ratio", &rows);
+}

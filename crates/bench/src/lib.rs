@@ -1,0 +1,476 @@
+//! # chehab-bench
+//!
+//! The evaluation harness of the CHEHAB RL reproduction: shared measurement
+//! code used by one experiment binary per figure/table of the paper
+//! (Figures 5–13, Tables 1, 6 and 7) plus the Criterion micro-benchmarks.
+//!
+//! Every binary accepts a few command-line flags (see [`HarnessConfig`]) to
+//! scale the run between a quick smoke test and a full-suite evaluation, and
+//! writes its rows as CSV into `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use chehab_benchsuite::Benchmark;
+use chehab_core::{
+    external_compile_stats, output_slots_of, select_rotation_keys, Compiler, CompiledProgram,
+    ExecutionReport,
+};
+use chehab_fhe::BfvParameters;
+use chehab_ir::{circuit_depth, multiplicative_depth, rotation_steps};
+use chehab_rl::Agent;
+use coyote_baseline::{CoyoteCompiler, CoyoteConfig};
+use std::collections::HashMap;
+use std::io::Write;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Command-line configuration shared by the experiment binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Number of timed executions per circuit (the median is reported).
+    pub runs: usize,
+    /// Payload polynomial degree of the BFV cost simulation.
+    pub payload_degree: usize,
+    /// PPO timesteps for agents trained inside the harness.
+    pub timesteps: usize,
+    /// If `true`, only a representative subset of benchmark instances is
+    /// evaluated (the default); `--full` evaluates every instance.
+    pub quick: bool,
+    /// Maximum layout candidates the Coyote baseline explores.
+    pub coyote_max_candidates: usize,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            runs: 3,
+            payload_degree: 1024,
+            timesteps: 2500,
+            quick: true,
+            coyote_max_candidates: 48,
+        }
+    }
+}
+
+impl HarnessConfig {
+    /// Parses `--runs N`, `--payload N`, `--timesteps N`, `--full` and
+    /// `--coyote-candidates N` from the process arguments.
+    pub fn from_args() -> Self {
+        let mut config = HarnessConfig::default();
+        let args: Vec<String> = std::env::args().collect();
+        let value_after = |flag: &str| -> Option<usize> {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|i| args.get(i + 1))
+                .and_then(|v| v.parse().ok())
+        };
+        if let Some(v) = value_after("--runs") {
+            config.runs = v.max(1);
+        }
+        if let Some(v) = value_after("--payload") {
+            config.payload_degree = v.max(8).next_power_of_two();
+        }
+        if let Some(v) = value_after("--timesteps") {
+            config.timesteps = v.max(64);
+        }
+        if let Some(v) = value_after("--coyote-candidates") {
+            config.coyote_max_candidates = v.max(1);
+        }
+        if args.iter().any(|a| a == "--full") {
+            config.quick = false;
+        }
+        config
+    }
+
+    /// The BFV parameters used for execution measurements.
+    pub fn params(&self) -> BfvParameters {
+        BfvParameters { payload_degree: self.payload_degree, ..BfvParameters::default_128() }
+    }
+
+    /// The Coyote search configuration the harness uses.
+    pub fn coyote_config(&self) -> CoyoteConfig {
+        CoyoteConfig {
+            base_candidates: 8,
+            candidates_per_op: 2,
+            max_candidates: self.coyote_max_candidates,
+            ..CoyoteConfig::default()
+        }
+    }
+
+    /// The benchmark instances to evaluate under this configuration.
+    pub fn benchmarks(&self) -> Vec<Benchmark> {
+        let all = chehab_benchsuite::full_suite();
+        if !self.quick {
+            return all;
+        }
+        // Representative quick subset: the smaller instance sizes of every
+        // kernel family.
+        let keep = [
+            "Box Blur 3x3",
+            "Box Blur 4x4",
+            "Dot Product 4",
+            "Dot Product 16",
+            "Dot Product 32",
+            "Hamm. Dist. 4",
+            "Hamm. Dist. 16",
+            "L2 Distance 4",
+            "L2 Distance 16",
+            "L2 Distance 32",
+            "Linear Reg. 4",
+            "Linear Reg. 16",
+            "Linear Reg. 32",
+            "Poly. Reg. 4",
+            "Poly. Reg. 16",
+            "Poly. Reg. 32",
+            "Gx 3x3",
+            "Gx 4x4",
+            "Gy 3x3",
+            "Rob. Cross 3x3",
+            "Mat. Mul. 3x3",
+            "Mat. Mul. 4x4",
+            "Max 3",
+            "Max 4",
+            "Sort 3",
+            "Tree 50-50-5",
+            "Tree 100-50-5",
+            "Tree 100-100-5",
+        ];
+        all.into_iter().filter(|b| keep.contains(&b.id().as_str())).collect()
+    }
+}
+
+/// The compiler configurations the evaluation compares.
+#[derive(Clone)]
+pub enum CompilerUnderTest {
+    /// The naive, unoptimized lowering ("Initial" in Table 6).
+    Initial,
+    /// The original CHEHAB greedy term rewriting.
+    ChehabGreedy,
+    /// CHEHAB RL with a trained agent.
+    ChehabRl(Arc<Agent>),
+    /// CHEHAB RL with the input-layout transformation applied after
+    /// encryption (the last configuration of Table 6).
+    ChehabRlLayoutAfter(Arc<Agent>),
+    /// The Coyote-style search baseline.
+    Coyote(CoyoteConfig),
+}
+
+impl CompilerUnderTest {
+    /// Short label used in tables and CSV files.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CompilerUnderTest::Initial => "Initial",
+            CompilerUnderTest::ChehabGreedy => "CHEHAB",
+            CompilerUnderTest::ChehabRl(_) => "CHEHAB RL",
+            CompilerUnderTest::ChehabRlLayoutAfter(_) => "CHEHAB RL (layout after enc.)",
+            CompilerUnderTest::Coyote(_) => "Coyote",
+        }
+    }
+
+    /// Compiles a benchmark program under this configuration.
+    pub fn compile(&self, benchmark: &Benchmark) -> CompiledProgram {
+        match self {
+            CompilerUnderTest::Initial => {
+                Compiler::without_optimizer().compile(benchmark.id(), benchmark.program())
+            }
+            CompilerUnderTest::ChehabGreedy => {
+                Compiler::greedy().compile(benchmark.id(), benchmark.program())
+            }
+            CompilerUnderTest::ChehabRl(agent) => Compiler::with_rl_agent(Arc::clone(agent))
+                .compile(benchmark.id(), benchmark.program()),
+            CompilerUnderTest::ChehabRlLayoutAfter(agent) => {
+                let mut compiler = Compiler::with_rl_agent(Arc::clone(agent));
+                compiler.options_mut().layout_before_encryption = false;
+                compiler.compile(benchmark.id(), benchmark.program())
+            }
+            CompilerUnderTest::Coyote(config) => {
+                let result =
+                    CoyoteCompiler::with_config(config.clone()).compile(benchmark.program());
+                let steps: Vec<i64> = rotation_steps(&result.circuit).keys().copied().collect();
+                CompiledProgram::from_circuit(
+                    benchmark.id(),
+                    result.circuit.clone(),
+                    output_slots_of(benchmark.program()),
+                    select_rotation_keys(&steps, 28),
+                    true,
+                    external_compile_stats(&result.circuit, result.compile_time),
+                )
+            }
+        }
+    }
+}
+
+/// One measured (benchmark, compiler) pair.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark identifier (e.g. `"Dot Product 32"`).
+    pub benchmark: String,
+    /// Compiler label.
+    pub compiler: String,
+    /// Wall-clock compilation time.
+    pub compile_time: Duration,
+    /// Median server-side execution time over the configured runs.
+    pub exec_time: Duration,
+    /// Noise budget consumed by the output ciphertext (bits).
+    pub noise_consumed: f64,
+    /// Whether decryption succeeded (noise budget not exhausted).
+    pub decryption_ok: bool,
+    /// Circuit depth of the compiled circuit.
+    pub depth: usize,
+    /// Multiplicative depth of the compiled circuit.
+    pub mult_depth: usize,
+    /// Executed ciphertext–ciphertext multiplications.
+    pub ct_ct_muls: usize,
+    /// Executed ciphertext–plaintext multiplications.
+    pub ct_pt_muls: usize,
+    /// Executed rotations.
+    pub rotations: usize,
+    /// Executed ciphertext additions/subtractions/negations.
+    pub additions: usize,
+    /// Whether the homomorphic result matched the plaintext reference.
+    pub correct: bool,
+}
+
+/// Compiles and measures one benchmark under one compiler.
+pub fn measure(
+    benchmark: &Benchmark,
+    compiler: &CompilerUnderTest,
+    params: &BfvParameters,
+    runs: usize,
+) -> Measurement {
+    let compiled = compiler.compile(benchmark);
+    let inputs: HashMap<String, i64> = benchmark
+        .program()
+        .variables()
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v.to_string(), (i as i64 % 7) + 1))
+        .collect();
+    let expected = {
+        let mut env = chehab_ir::Env::new();
+        for (k, v) in &inputs {
+            env.bind(k.clone(), *v);
+        }
+        chehab_ir::evaluate(benchmark.program(), &env)
+            .map(|v| v.slots().into_iter().take(benchmark.output_slots()).collect::<Vec<_>>())
+            .unwrap_or_default()
+    };
+
+    let mut reports: Vec<ExecutionReport> = Vec::with_capacity(runs);
+    for _ in 0..runs.max(1) {
+        match compiled.execute(&inputs, params) {
+            Ok(report) => reports.push(report),
+            Err(e) => panic!("{}: execution failed: {e}", benchmark.id()),
+        }
+    }
+    reports.sort_by_key(|r| r.server_time);
+    let median = reports[reports.len() / 2].clone();
+    let correct = median.decryption_ok
+        && median.outputs.iter().take(expected.len()).copied().collect::<Vec<_>>() == expected;
+
+    Measurement {
+        benchmark: benchmark.id(),
+        compiler: compiler.label().to_string(),
+        compile_time: compiled.stats().compile_time,
+        exec_time: median.server_time,
+        noise_consumed: median.noise_budget_consumed,
+        decryption_ok: median.decryption_ok,
+        depth: circuit_depth(compiled.circuit()),
+        mult_depth: multiplicative_depth(compiled.circuit()),
+        ct_ct_muls: median.operation_stats.ct_ct_multiplications,
+        ct_pt_muls: median.operation_stats.ct_pt_multiplications,
+        rotations: median.operation_stats.rotations,
+        additions: median.operation_stats.additions + median.operation_stats.negations,
+        correct,
+    }
+}
+
+/// Geometric mean of the ratios `numerator[i] / denominator[i]`.
+pub fn geometric_mean_ratio(numerators: &[f64], denominators: &[f64]) -> f64 {
+    let ratios: Vec<f64> = numerators
+        .iter()
+        .zip(denominators)
+        .filter(|(n, d)| **n > 0.0 && **d > 0.0)
+        .map(|(n, d)| n / d)
+        .collect();
+    if ratios.is_empty() {
+        return 1.0;
+    }
+    (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp()
+}
+
+/// Writes `rows` under `header` into `results/<name>.csv` (creating the
+/// directory if needed) and returns the path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut file = std::fs::File::create(&path)?;
+    writeln!(file, "{header}")?;
+    for row in rows {
+        writeln!(file, "{row}")?;
+    }
+    Ok(path)
+}
+
+/// Formats a duration in milliseconds.
+pub fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// The CSV header matching [`print_measurements`] rows.
+pub const MEASUREMENT_CSV_HEADER: &str = "benchmark,compiler,compile_ms,exec_ms,noise_bits,depth,mult_depth,ct_ct_muls,ct_pt_muls,rotations,additions,correct";
+
+/// Prints a standard measurement table and returns the rows as CSV strings.
+pub fn print_measurements(measurements: &[Measurement]) -> Vec<String> {
+    println!(
+        "{:<22} {:<30} {:>12} {:>12} {:>10} {:>6} {:>6} {:>6} {:>6} {:>6} {:>8}",
+        "benchmark",
+        "compiler",
+        "compile(ms)",
+        "exec(ms)",
+        "noise(b)",
+        "depth",
+        "mdep",
+        "ct-ct",
+        "ct-pt",
+        "rot",
+        "correct"
+    );
+    let mut rows = Vec::new();
+    for m in measurements {
+        println!(
+            "{:<22} {:<30} {:>12.2} {:>12.3} {:>10.1} {:>6} {:>6} {:>6} {:>6} {:>6} {:>8}",
+            m.benchmark,
+            m.compiler,
+            ms(m.compile_time),
+            ms(m.exec_time),
+            m.noise_consumed,
+            m.depth,
+            m.mult_depth,
+            m.ct_ct_muls,
+            m.ct_pt_muls,
+            m.rotations,
+            if m.decryption_ok {
+                if m.correct {
+                    "yes"
+                } else {
+                    "NO"
+                }
+            } else {
+                "budget!"
+            }
+        );
+        rows.push(format!(
+            "{},{},{:.3},{:.3},{:.1},{},{},{},{},{},{},{}",
+            m.benchmark,
+            m.compiler,
+            ms(m.compile_time),
+            ms(m.exec_time),
+            m.noise_consumed,
+            m.depth,
+            m.mult_depth,
+            m.ct_ct_muls,
+            m.ct_pt_muls,
+            m.rotations,
+            m.additions,
+            m.correct
+        ));
+    }
+    rows
+}
+
+/// Prints the geometric-mean comparison line used by Figures 5–7 and writes
+/// nothing; returns (exec ratio, compile ratio, noise ratio) of
+/// `baseline / subject` so values above 1 mean the subject wins.
+pub fn summarize_vs_baseline(
+    measurements: &[Measurement],
+    subject: &str,
+    baseline: &str,
+) -> (f64, f64, f64) {
+    let mut subject_exec = Vec::new();
+    let mut baseline_exec = Vec::new();
+    let mut subject_compile = Vec::new();
+    let mut baseline_compile = Vec::new();
+    let mut subject_noise = Vec::new();
+    let mut baseline_noise = Vec::new();
+    let by_benchmark: HashMap<&str, Vec<&Measurement>> =
+        measurements.iter().fold(HashMap::new(), |mut acc, m| {
+            acc.entry(m.benchmark.as_str()).or_default().push(m);
+            acc
+        });
+    for group in by_benchmark.values() {
+        let find = |label: &str| group.iter().find(|m| m.compiler == label);
+        if let (Some(s), Some(b)) = (find(subject), find(baseline)) {
+            subject_exec.push(s.exec_time.as_secs_f64());
+            baseline_exec.push(b.exec_time.as_secs_f64());
+            subject_compile.push(s.compile_time.as_secs_f64());
+            baseline_compile.push(b.compile_time.as_secs_f64());
+            subject_noise.push(s.noise_consumed);
+            baseline_noise.push(b.noise_consumed);
+        }
+    }
+    let exec = geometric_mean_ratio(&baseline_exec, &subject_exec);
+    let compile = geometric_mean_ratio(&baseline_compile, &subject_compile);
+    let noise = geometric_mean_ratio(&baseline_noise, &subject_noise);
+    println!(
+        "\ngeometric means ({baseline} / {subject}): execution {exec:.2}x, compilation {compile:.2}x, consumed noise {noise:.2}x"
+    );
+    (exec, compile, noise)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_mean_of_equal_series_is_one() {
+        let a = [1.0, 2.0, 4.0];
+        assert!((geometric_mean_ratio(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_matches_hand_computation() {
+        let num = [2.0, 8.0];
+        let den = [1.0, 2.0];
+        assert!((geometric_mean_ratio(&num, &den) - 8f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quick_subset_is_a_subset_of_the_full_suite() {
+        let quick = HarnessConfig::default().benchmarks();
+        let full = HarnessConfig { quick: false, ..HarnessConfig::default() }.benchmarks();
+        assert!(quick.len() < full.len());
+        assert_eq!(full.len(), 46);
+        for b in &quick {
+            assert!(full.iter().any(|f| f.id() == b.id()));
+        }
+    }
+
+    #[test]
+    fn measuring_a_small_benchmark_works_end_to_end() {
+        let benchmark = chehab_benchsuite::by_id("Dot Product 4").unwrap();
+        let params = BfvParameters::insecure_test();
+        let m = measure(&benchmark, &CompilerUnderTest::ChehabGreedy, &params, 1);
+        assert!(m.correct, "greedy-compiled dot product must be correct");
+        assert!(m.exec_time > Duration::from_nanos(0));
+        let naive = measure(&benchmark, &CompilerUnderTest::Initial, &params, 1);
+        assert!(naive.correct);
+        assert!(m.ct_ct_muls <= naive.ct_ct_muls);
+    }
+
+    #[test]
+    fn coyote_measurements_work_end_to_end() {
+        let benchmark = chehab_benchsuite::by_id("Linear Reg. 4").unwrap();
+        let params = BfvParameters::insecure_test();
+        let config = coyote_baseline::CoyoteConfig::fast();
+        let m = measure(&benchmark, &CompilerUnderTest::Coyote(config), &params, 1);
+        assert!(m.correct);
+        assert!(m.rotations > 0 || m.ct_pt_muls > 0);
+    }
+}

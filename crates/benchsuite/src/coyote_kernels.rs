@@ -1,0 +1,181 @@
+//! The Coyote benchmark suite (Section 7.2): matrix multiplication plus the
+//! unstructured `Max` and `Sort` kernels.
+//!
+//! `Max` and `Sort` cannot be expressed with branches in FHE; like Coyote,
+//! they are arithmetic circuits whose *structure* mirrors comparison-based
+//! selection: every element is combined with every other element through
+//! multiplication chains, giving the quadratic multiplication counts and the
+//! linearly growing multiplicative depth reported in Table 6. The concrete
+//! combining polynomial is a surrogate (documented in DESIGN.md); compiler
+//! correctness is always checked against the IR interpreter, so the exact
+//! function computed is irrelevant to the evaluation.
+
+use crate::benchmark::{Benchmark, Suite};
+use chehab_ir::Expr;
+
+fn ct(name: String) -> Expr {
+    Expr::ct(name)
+}
+
+/// Matrix multiplication of two encrypted `k × k` matrices
+/// (`C[i][j] = Σ_m A[i][m] · B[m][j]`), fully unrolled.
+pub fn mat_mul(k: usize) -> Benchmark {
+    let mut outputs = Vec::with_capacity(k * k);
+    for i in 0..k {
+        for j in 0..k {
+            let terms: Vec<Expr> = (0..k)
+                .map(|m| Expr::mul(ct(format!("a_{i}_{m}")), ct(format!("b_{m}_{j}"))))
+                .collect();
+            let mut iter = terms.into_iter();
+            let first = iter.next().expect("k >= 1");
+            outputs.push(iter.fold(first, Expr::add));
+        }
+    }
+    Benchmark::new("Mat. Mul.", &format!("{k}x{k}"), Suite::Coyote, Expr::Vec(outputs))
+}
+
+/// The `Max` kernel over `n` encrypted values: an unstructured selection
+/// circuit where every element is weighted by a chain product over its
+/// pairwise differences with every other element,
+/// `Σ_i x_i · Π_{j≠i} (x_i - x_j)`.
+pub fn max(n: usize) -> Benchmark {
+    let xs: Vec<Expr> = (0..n).map(|i| ct(format!("x_{i}"))).collect();
+    let mut terms = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut product: Option<Expr> = None;
+        for (j, xj) in xs.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let diff = Expr::sub(xs[i].clone(), xj.clone());
+            product = Some(match product {
+                None => diff,
+                Some(p) => Expr::mul(p, diff),
+            });
+        }
+        let weight = product.expect("n >= 2");
+        terms.push(Expr::mul(xs[i].clone(), weight));
+    }
+    let mut iter = terms.into_iter();
+    let first = iter.next().expect("n >= 1");
+    let program = iter.fold(first, Expr::add);
+    Benchmark::new("Max", &n.to_string(), Suite::Coyote, program)
+}
+
+/// The `Sort` kernel over `n` encrypted values (the tree-based sorting
+/// circuit of Malik et al.): pairwise "comparison" terms
+/// `c_{ij} = (x_i - x_j)²` feed, for every output rank `k`, a selection sum
+/// `out_k = Σ_i x_i · Π_{j≠i} (c_{ij} + k)`.
+pub fn sort(n: usize) -> Benchmark {
+    let xs: Vec<Expr> = (0..n).map(|i| ct(format!("x_{i}"))).collect();
+    let comparison = |i: usize, j: usize| {
+        let d = Expr::sub(xs[i].clone(), xs[j].clone());
+        Expr::mul(d.clone(), d)
+    };
+    let mut outputs = Vec::with_capacity(n);
+    for k in 0..n {
+        let mut terms = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut product: Option<Expr> = None;
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let c = Expr::add(comparison(i.min(j), i.max(j)), Expr::constant(k as i64));
+                product = Some(match product {
+                    None => c,
+                    Some(p) => Expr::mul(p, c),
+                });
+            }
+            terms.push(Expr::mul(xs[i].clone(), product.expect("n >= 2")));
+        }
+        let mut iter = terms.into_iter();
+        let first = iter.next().expect("n >= 1");
+        outputs.push(iter.fold(first, Expr::add));
+    }
+    Benchmark::new("Sort", &n.to_string(), Suite::Coyote, Expr::Vec(outputs))
+}
+
+/// The full Coyote suite at the instance sizes used in the paper.
+pub fn suite() -> Vec<Benchmark> {
+    let mut out = Vec::new();
+    for k in [3, 4, 5] {
+        out.push(mat_mul(k));
+    }
+    for n in [3, 4, 5] {
+        out.push(max(n));
+    }
+    for n in [3, 4] {
+        out.push(sort(n));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chehab_ir::{count_ops, evaluate, multiplicative_depth, Value};
+
+    #[test]
+    fn mat_mul_counts_match_the_definition() {
+        let b = mat_mul(3);
+        let counts = count_ops(b.program());
+        assert_eq!(counts.scalar_mul_ct_ct, 27);
+        assert_eq!(counts.scalar_add_sub, 18);
+        assert_eq!(multiplicative_depth(b.program()), 1);
+        assert_eq!(b.output_slots(), 9);
+    }
+
+    #[test]
+    fn mat_mul_evaluates_like_a_matrix_product() {
+        let b = mat_mul(2);
+        let mut env = chehab_ir::Env::new();
+        // A = [[1,2],[3,4]], B = [[5,6],[7,8]]  ->  C = [[19,22],[43,50]].
+        let a = [[1, 2], [3, 4]];
+        let bm = [[5, 6], [7, 8]];
+        for i in 0..2 {
+            for j in 0..2 {
+                env.bind(format!("a_{i}_{j}"), a[i][j]);
+                env.bind(format!("b_{i}_{j}"), bm[i][j]);
+            }
+        }
+        assert_eq!(
+            evaluate(b.program(), &env).unwrap(),
+            Value::Vector(vec![19, 22, 43, 50])
+        );
+    }
+
+    #[test]
+    fn max_has_quadratic_multiplications_and_linear_depth() {
+        for n in [3usize, 4, 5] {
+            let b = max(n);
+            let counts = count_ops(b.program());
+            assert_eq!(counts.scalar_mul_ct_ct, n * (n - 1), "Max {n} multiplications");
+            assert_eq!(multiplicative_depth(b.program()), n - 1, "Max {n} depth");
+        }
+    }
+
+    #[test]
+    fn sort_produces_one_output_per_rank() {
+        let b = sort(3);
+        assert_eq!(b.output_slots(), 3);
+        assert!(multiplicative_depth(b.program()) >= 3);
+        assert!(count_ops(b.program()).scalar_mul_ct_ct >= 9);
+    }
+
+    #[test]
+    fn sort_four_is_substantially_larger_than_sort_three() {
+        let three = count_ops(sort(3).program()).scalar_mul_ct_ct;
+        let four = count_ops(sort(4).program()).scalar_mul_ct_ct;
+        assert!(four > 2 * three);
+    }
+
+    #[test]
+    fn suite_contains_all_instances() {
+        let s = suite();
+        assert_eq!(s.len(), 8);
+        assert!(s.iter().all(|b| b.suite() == Suite::Coyote));
+        assert!(s.iter().any(|b| b.id() == "Sort 4"));
+        assert!(s.iter().any(|b| b.id() == "Max 5"));
+    }
+}

@@ -1,0 +1,82 @@
+//! # chehab-benchsuite
+//!
+//! The benchmark kernels of the CHEHAB RL evaluation (Section 7.2):
+//!
+//! * the **Porcupine** suite — image filters (Box Blur, Gx, Gy, Roberts
+//!   Cross) and ML building blocks (Dot Product, Hamming Distance, L2
+//!   Distance, Linear and Polynomial Regression), each at several input
+//!   sizes;
+//! * the **Coyote** suite — Matrix Multiplication, `Max`, and `Sort`;
+//! * the **randomly generated irregular polynomials** `tree-X-Y-Z`.
+//!
+//! Every benchmark is an unvectorized scalar IR program, exactly what the
+//! CHEHAB DSL front end emits before optimization; the compilers under test
+//! (CHEHAB RL, the greedy CHEHAB baseline, the Coyote-style baseline) all
+//! start from the same programs.
+//!
+//! ## Example
+//!
+//! ```
+//! use chehab_benchsuite::{full_suite, porcupine};
+//!
+//! let dot = porcupine::dot_product(8);
+//! assert_eq!(dot.id(), "Dot Product 8");
+//! assert_eq!(full_suite().len(), 46);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod benchmark;
+pub mod coyote_kernels;
+pub mod porcupine;
+pub mod trees;
+
+pub use benchmark::{Benchmark, Suite};
+
+/// The full 46-instance benchmark suite of the paper, in the order of
+/// Table 6: Porcupine kernels, then the Coyote kernels, then the random
+/// polynomial trees.
+pub fn full_suite() -> Vec<Benchmark> {
+    let mut out = porcupine::suite();
+    out.extend(coyote_kernels::suite());
+    out.extend(trees::suite());
+    out
+}
+
+/// Looks a benchmark up by its full identifier (e.g. `"Dot Product 32"`).
+pub fn by_id(id: &str) -> Option<Benchmark> {
+    full_suite().into_iter().find(|b| b.id() == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_suite_has_45_instances_with_unique_ids() {
+        let suite = full_suite();
+        assert_eq!(suite.len(), 46);
+        let ids: std::collections::HashSet<_> = suite.iter().map(Benchmark::id).collect();
+        assert_eq!(ids.len(), suite.len());
+    }
+
+    #[test]
+    fn lookup_by_id_finds_known_benchmarks() {
+        assert!(by_id("Dot Product 32").is_some());
+        assert!(by_id("Tree 100-100-10").is_some());
+        assert!(by_id("Nonexistent 7").is_none());
+    }
+
+    #[test]
+    fn every_benchmark_type_checks_and_evaluates() {
+        for b in full_suite() {
+            let env = b.input_env(7);
+            assert!(
+                chehab_ir::evaluate(b.program(), &env).is_ok(),
+                "benchmark {} failed to evaluate",
+                b.id()
+            );
+        }
+    }
+}

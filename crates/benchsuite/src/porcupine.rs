@@ -1,0 +1,290 @@
+//! The Porcupine benchmark suite (Section 7.2): image-processing filters and
+//! machine-learning building blocks, expressed as fully unrolled scalar IR
+//! exactly the way the CHEHAB DSL front end would emit them.
+
+use crate::benchmark::{Benchmark, Suite};
+use chehab_ir::Expr;
+
+fn ct(name: String) -> Expr {
+    Expr::ct(name)
+}
+
+fn pixel(prefix: &str, row: usize, col: usize) -> Expr {
+    ct(format!("{prefix}_{row}_{col}"))
+}
+
+fn chain_sum(terms: Vec<Expr>) -> Expr {
+    let mut iter = terms.into_iter();
+    let first = iter.next().expect("at least one term");
+    iter.fold(first, Expr::add)
+}
+
+/// Box blur: a 3×3 box filter over a `k × k` image with zero padding; one
+/// output per pixel, each summing its in-bounds neighbours.
+pub fn box_blur(k: usize) -> Benchmark {
+    let mut outputs = Vec::with_capacity(k * k);
+    for i in 0..k {
+        for j in 0..k {
+            let mut terms = Vec::new();
+            for di in -1i64..=1 {
+                for dj in -1i64..=1 {
+                    let (r, c) = (i as i64 + di, j as i64 + dj);
+                    if r >= 0 && c >= 0 && (r as usize) < k && (c as usize) < k {
+                        terms.push(pixel("img", r as usize, c as usize));
+                    }
+                }
+            }
+            outputs.push(chain_sum(terms));
+        }
+    }
+    Benchmark::new("Box Blur", &format!("{k}x{k}"), Suite::Porcupine, Expr::Vec(outputs))
+}
+
+/// Horizontal Sobel gradient (`Gx`) over a `k × k` image with zero padding.
+pub fn gx(k: usize) -> Benchmark {
+    sobel(k, "Gx", &[(-1, -1, -1), (-1, 1, 1), (0, -1, -2), (0, 1, 2), (1, -1, -1), (1, 1, 1)])
+}
+
+/// Vertical Sobel gradient (`Gy`) over a `k × k` image with zero padding.
+pub fn gy(k: usize) -> Benchmark {
+    sobel(k, "Gy", &[(-1, -1, -1), (-1, 0, -2), (-1, 1, -1), (1, -1, 1), (1, 0, 2), (1, 1, 1)])
+}
+
+/// Shared Sobel builder: each output is a weighted sum of neighbours, the
+/// weights being plaintext constants (±1, ±2).
+fn sobel(k: usize, name: &str, taps: &[(i64, i64, i64)]) -> Benchmark {
+    let mut outputs = Vec::with_capacity(k * k);
+    for i in 0..k {
+        for j in 0..k {
+            let mut terms = Vec::new();
+            for &(di, dj, w) in taps {
+                let (r, c) = (i as i64 + di, j as i64 + dj);
+                if r >= 0 && c >= 0 && (r as usize) < k && (c as usize) < k {
+                    let p = pixel("img", r as usize, c as usize);
+                    let term = match w {
+                        1 => p,
+                        -1 => Expr::neg(p),
+                        w if w > 0 => Expr::mul(p, Expr::constant(w)),
+                        w => Expr::neg(Expr::mul(p, Expr::constant(-w))),
+                    };
+                    terms.push(term);
+                }
+            }
+            // Corner pixels of tiny images may have no in-bounds taps.
+            if terms.is_empty() {
+                terms.push(Expr::constant(0));
+            }
+            outputs.push(chain_sum(terms));
+        }
+    }
+    Benchmark::new(name, &format!("{k}x{k}"), Suite::Porcupine, Expr::Vec(outputs))
+}
+
+/// Roberts cross edge detector over a `k × k` image: per pixel,
+/// `(I[i,j] - I[i+1,j+1])² + (I[i+1,j] - I[i,j+1])²` (valid region extended
+/// by clamping at the border).
+pub fn roberts_cross(k: usize) -> Benchmark {
+    let clamp = |x: usize| x.min(k - 1);
+    let mut outputs = Vec::with_capacity(k * k);
+    for i in 0..k {
+        for j in 0..k {
+            let d1 = Expr::sub(pixel("img", i, j), pixel("img", clamp(i + 1), clamp(j + 1)));
+            let d2 = Expr::sub(pixel("img", clamp(i + 1), j), pixel("img", i, clamp(j + 1)));
+            outputs.push(Expr::add(Expr::mul(d1.clone(), d1), Expr::mul(d2.clone(), d2)));
+        }
+    }
+    Benchmark::new("Rob. Cross", &format!("{k}x{k}"), Suite::Porcupine, Expr::Vec(outputs))
+}
+
+/// Dot product of two length-`n` encrypted vectors: `Σ a_i · b_i`.
+pub fn dot_product(n: usize) -> Benchmark {
+    let terms: Vec<Expr> =
+        (0..n).map(|i| Expr::mul(ct(format!("a_{i}")), ct(format!("b_{i}")))).collect();
+    Benchmark::new("Dot Product", &n.to_string(), Suite::Porcupine, chain_sum(terms))
+}
+
+/// Hamming distance between two length-`n` binary vectors:
+/// `Σ (a_i + b_i - 2·a_i·b_i)`.
+pub fn hamming_distance(n: usize) -> Benchmark {
+    let terms: Vec<Expr> = (0..n)
+        .map(|i| {
+            let (a, b) = (ct(format!("a_{i}")), ct(format!("b_{i}")));
+            Expr::sub(
+                Expr::add(a.clone(), b.clone()),
+                Expr::mul(Expr::constant(2), Expr::mul(a, b)),
+            )
+        })
+        .collect();
+    Benchmark::new("Hamm. Dist.", &n.to_string(), Suite::Porcupine, chain_sum(terms))
+}
+
+/// Squared L2 distance between two length-`n` vectors: `Σ (a_i - b_i)²`.
+pub fn l2_distance(n: usize) -> Benchmark {
+    let terms: Vec<Expr> = (0..n)
+        .map(|i| {
+            let d = Expr::sub(ct(format!("a_{i}")), ct(format!("b_{i}")));
+            Expr::mul(d.clone(), d)
+        })
+        .collect();
+    Benchmark::new("L2 Distance", &n.to_string(), Suite::Porcupine, chain_sum(terms))
+}
+
+/// Linear-regression residuals over `n` points: `e_i = y_i - (w·x_i + b)`,
+/// with encrypted model parameters `w`, `b`.
+pub fn linear_regression(n: usize) -> Benchmark {
+    let (w, b) = (ct("w".into()), ct("b".into()));
+    let outputs: Vec<Expr> = (0..n)
+        .map(|i| {
+            let (x, y) = (ct(format!("x_{i}")), ct(format!("y_{i}")));
+            Expr::sub(y, Expr::add(Expr::mul(w.clone(), x), b.clone()))
+        })
+        .collect();
+    Benchmark::new("Linear Reg.", &n.to_string(), Suite::Porcupine, Expr::Vec(outputs))
+}
+
+/// Polynomial-regression residuals over `n` points:
+/// `e_i = y_i - (c0 + c1·x_i + c2·x_i²)`, with encrypted coefficients.
+pub fn polynomial_regression(n: usize) -> Benchmark {
+    let (c0, c1, c2) = (ct("c0".into()), ct("c1".into()), ct("c2".into()));
+    let outputs: Vec<Expr> = (0..n)
+        .map(|i| {
+            let (x, y) = (ct(format!("x_{i}")), ct(format!("y_{i}")));
+            let prediction = Expr::add(
+                Expr::add(c0.clone(), Expr::mul(c1.clone(), x.clone())),
+                Expr::mul(c2.clone(), Expr::mul(x.clone(), x)),
+            );
+            Expr::sub(y, prediction)
+        })
+        .collect();
+    Benchmark::new("Poly. Reg.", &n.to_string(), Suite::Porcupine, Expr::Vec(outputs))
+}
+
+/// The full Porcupine suite at the instance sizes used in the paper.
+pub fn suite() -> Vec<Benchmark> {
+    let mut out = Vec::new();
+    for k in [3, 4, 5] {
+        out.push(box_blur(k));
+    }
+    for n in [4, 8, 16, 32] {
+        out.push(dot_product(n));
+    }
+    for n in [4, 8, 16, 32] {
+        out.push(hamming_distance(n));
+    }
+    for n in [4, 8, 16, 32] {
+        out.push(l2_distance(n));
+    }
+    for n in [4, 8, 16, 32] {
+        out.push(linear_regression(n));
+    }
+    for n in [4, 8, 16, 32] {
+        out.push(polynomial_regression(n));
+    }
+    for k in [3, 4, 5] {
+        out.push(gx(k));
+        out.push(gy(k));
+        out.push(roberts_cross(k));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chehab_ir::{circuit_depth, count_ops, evaluate, multiplicative_depth, Value};
+
+    #[test]
+    fn dot_product_counts_match_the_definition() {
+        let b = dot_product(8);
+        let counts = count_ops(b.program());
+        assert_eq!(counts.scalar_mul_ct_ct, 8);
+        assert_eq!(counts.scalar_add_sub, 7);
+        assert_eq!(multiplicative_depth(b.program()), 1);
+    }
+
+    #[test]
+    fn dot_product_evaluates_correctly() {
+        let b = dot_product(4);
+        let mut env = chehab_ir::Env::new();
+        for i in 0..4 {
+            env.bind(format!("a_{i}"), i as i64 + 1);
+            env.bind(format!("b_{i}"), 10);
+        }
+        // 1*10 + 2*10 + 3*10 + 4*10 = 100.
+        assert_eq!(evaluate(b.program(), &env).unwrap(), Value::Scalar(100));
+    }
+
+    #[test]
+    fn l2_distance_has_multiplicative_depth_one() {
+        let b = l2_distance(16);
+        assert_eq!(multiplicative_depth(b.program()), 1);
+        assert_eq!(count_ops(b.program()).scalar_mul_ct_ct, 16);
+    }
+
+    #[test]
+    fn hamming_distance_counts_zero_on_equal_inputs() {
+        let b = hamming_distance(8);
+        let mut env = chehab_ir::Env::new();
+        for i in 0..8 {
+            env.bind(format!("a_{i}"), 1);
+            env.bind(format!("b_{i}"), 1);
+        }
+        assert_eq!(evaluate(b.program(), &env).unwrap(), Value::Scalar(0));
+        let mut env = chehab_ir::Env::new();
+        for i in 0..8 {
+            env.bind(format!("a_{i}"), i64::from(i < 3));
+            env.bind(format!("b_{i}"), 0);
+        }
+        assert_eq!(evaluate(b.program(), &env).unwrap(), Value::Scalar(3));
+    }
+
+    #[test]
+    fn box_blur_output_count_and_depth() {
+        let b = box_blur(3);
+        assert_eq!(b.output_slots(), 9);
+        assert!(circuit_depth(b.program()) <= 9);
+        assert_eq!(count_ops(b.program()).scalar_mul_ct_ct, 0, "box blur is additions only");
+        // Centre output of a 3x3 image sums all nine pixels.
+        let env = b.input_env(1);
+        let out = evaluate(b.program(), &env).unwrap();
+        let slots = out.slots();
+        let all: u64 = (0..3)
+            .flat_map(|i| (0..3).map(move |j| (i, j)))
+            .map(|(i, j)| env.get(&format!("img_{i}_{j}")).unwrap())
+            .sum();
+        assert_eq!(slots[4], all % chehab_ir::DEFAULT_PLAIN_MODULUS);
+    }
+
+    #[test]
+    fn sobel_kernels_use_plaintext_weights() {
+        for b in [gx(4), gy(4)] {
+            let counts = count_ops(b.program());
+            assert_eq!(counts.scalar_mul_ct_ct, 0, "{}: weights are plaintext", b.id());
+            assert!(counts.scalar_mul_ct_pt > 0);
+            assert_eq!(b.output_slots(), 16);
+        }
+    }
+
+    #[test]
+    fn roberts_cross_squares_differences() {
+        let b = roberts_cross(3);
+        let counts = count_ops(b.program());
+        assert!(counts.scalar_mul_ct_ct >= 9);
+        assert_eq!(multiplicative_depth(b.program()), 1);
+    }
+
+    #[test]
+    fn regressions_have_expected_multiplicative_depth() {
+        assert_eq!(multiplicative_depth(linear_regression(8).program()), 1);
+        assert_eq!(multiplicative_depth(polynomial_regression(8).program()), 2);
+    }
+
+    #[test]
+    fn suite_contains_all_instances() {
+        let s = suite();
+        assert_eq!(s.len(), 3 + 4 * 5 + 3 * 3);
+        assert!(s.iter().all(|b| b.suite() == Suite::Porcupine));
+        assert!(s.iter().any(|b| b.id() == "Poly. Reg. 32"));
+        assert!(s.iter().any(|b| b.id() == "Rob. Cross 5x5"));
+    }
+}

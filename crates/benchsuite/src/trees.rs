@@ -1,0 +1,156 @@
+//! The randomly generated irregular polynomials `tree-X-Y-Z`
+//! (Section 7.2, Appendix H.3).
+//!
+//! * `X` controls the tree shape: `100` means full and complete, lower values
+//!   make the tree sparse and imbalanced (many operations have a leaf input).
+//! * `Y` controls operation homogeneity: `100` means all operations are the
+//!   same (multiplication), `50` gives a 50/50 mix of additions and
+//!   multiplications.
+//! * `Z` is the depth of the tree.
+//!
+//! Generation is deterministic: each named instance uses a seed derived from
+//! its parameters, so every run of the harness evaluates the same circuits.
+
+use crate::benchmark::{Benchmark, Suite};
+use chehab_ir::{BinOp, Expr};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of one `tree-X-Y-Z` instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeParams {
+    /// Fullness percentage `X` (100 = full and complete).
+    pub fullness: u32,
+    /// Homogeneity percentage `Y` (100 = all multiplications).
+    pub homogeneity: u32,
+    /// Tree depth `Z`.
+    pub depth: usize,
+}
+
+impl TreeParams {
+    /// The benchmark label, e.g. `"100-50-10"`.
+    pub fn label(&self) -> String {
+        format!("{}-{}-{}", self.fullness, self.homogeneity, self.depth)
+    }
+}
+
+struct TreeBuilder {
+    rng: StdRng,
+    params: TreeParams,
+    next_leaf: usize,
+}
+
+impl TreeBuilder {
+    fn leaf(&mut self) -> Expr {
+        let id = self.next_leaf;
+        self.next_leaf += 1;
+        Expr::ct(format!("x_{id}"))
+    }
+
+    fn op(&mut self) -> BinOp {
+        if self.rng.gen_range(0..100) < self.params.homogeneity {
+            BinOp::Mul
+        } else {
+            BinOp::Add
+        }
+    }
+
+    fn build(&mut self, depth: usize) -> Expr {
+        if depth == 0 {
+            return self.leaf();
+        }
+        let op = self.op();
+        // In a full tree both children recurse to the next level. In sparse
+        // trees a child collapses to a leaf with probability growing as the
+        // fullness drops, producing the imbalanced chains Coyote's stress
+        // test is about.
+        let collapse_pct = 100 - self.params.fullness.min(100);
+        let left = if self.rng.gen_range(0..100) < collapse_pct {
+            self.leaf()
+        } else {
+            self.build(depth - 1)
+        };
+        let right = if self.rng.gen_range(0..100) < collapse_pct {
+            self.leaf()
+        } else {
+            self.build(depth - 1)
+        };
+        Expr::Bin(op, Box::new(left), Box::new(right))
+    }
+}
+
+/// Generates the `tree-X-Y-Z` benchmark for the given parameters.
+pub fn tree(params: TreeParams) -> Benchmark {
+    let seed = 0xC4E4AB
+        ^ (u64::from(params.fullness) << 32)
+        ^ (u64::from(params.homogeneity) << 16)
+        ^ params.depth as u64;
+    let mut builder = TreeBuilder { rng: StdRng::seed_from_u64(seed), params, next_leaf: 0 };
+    let program = builder.build(params.depth);
+    Benchmark::new("Tree", &params.label(), Suite::RandomTree, program)
+}
+
+/// The six `tree-X-Y-Z` instances evaluated in the paper.
+pub fn suite() -> Vec<Benchmark> {
+    [
+        TreeParams { fullness: 50, homogeneity: 50, depth: 5 },
+        TreeParams { fullness: 50, homogeneity: 50, depth: 10 },
+        TreeParams { fullness: 100, homogeneity: 50, depth: 5 },
+        TreeParams { fullness: 100, homogeneity: 50, depth: 10 },
+        TreeParams { fullness: 100, homogeneity: 100, depth: 5 },
+        TreeParams { fullness: 100, homogeneity: 100, depth: 10 },
+    ]
+    .into_iter()
+    .map(tree)
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chehab_ir::{circuit_depth, count_ops};
+
+    #[test]
+    fn full_trees_are_complete() {
+        let b = tree(TreeParams { fullness: 100, homogeneity: 50, depth: 5 });
+        assert_eq!(circuit_depth(b.program()), 5);
+        let counts = count_ops(b.program());
+        assert_eq!(counts.scalar_mul_ct_ct + counts.scalar_add_sub, 31, "2^5 - 1 operations");
+    }
+
+    #[test]
+    fn homogeneous_trees_are_all_multiplications() {
+        let b = tree(TreeParams { fullness: 100, homogeneity: 100, depth: 5 });
+        let counts = count_ops(b.program());
+        assert_eq!(counts.scalar_add_sub, 0);
+        assert_eq!(counts.scalar_mul_ct_ct, 31);
+    }
+
+    #[test]
+    fn sparse_trees_are_smaller_than_full_trees() {
+        let sparse = tree(TreeParams { fullness: 50, homogeneity: 50, depth: 10 });
+        let full = tree(TreeParams { fullness: 100, homogeneity: 50, depth: 10 });
+        assert!(sparse.program().node_count() < full.program().node_count() / 2);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = TreeParams { fullness: 100, homogeneity: 50, depth: 10 };
+        assert_eq!(tree(p).program(), tree(p).program());
+    }
+
+    #[test]
+    fn suite_has_the_six_paper_instances() {
+        let s = suite();
+        assert_eq!(s.len(), 6);
+        assert!(s.iter().any(|b| b.id() == "Tree 100-100-10"));
+        assert!(s.iter().any(|b| b.id() == "Tree 50-50-5"));
+    }
+
+    #[test]
+    fn deep_full_trees_are_large() {
+        let b = tree(TreeParams { fullness: 100, homogeneity: 50, depth: 10 });
+        let counts = count_ops(b.program());
+        assert_eq!(counts.scalar_mul_ct_ct + counts.scalar_add_sub, 1023);
+    }
+}

@@ -1,0 +1,548 @@
+//! Code generation and execution: lowering an optimized circuit onto the BFV
+//! backend and running it.
+//!
+//! Code generation in CHEHAB maps every IR operator to its backend call
+//! (Appendix D); here the compiled artifact keeps the hash-consed circuit DAG
+//! plus the rotation-key plan and the input-layout decision, and execution
+//! walks the DAG once, issuing one `Evaluator` call per operation node.
+//! Plaintext-only subcircuits are computed on the client side (they never
+//! touch ciphertexts), and packed vector inputs are either packed by the
+//! client before encryption (Section 7.3, the default) or assembled at run
+//! time from individually encrypted scalars with rotations and additions.
+
+use crate::rotation_keys::RotationKeyPlan;
+use chehab_fhe::{
+    BfvParameters, Ciphertext, Decryptor, Encryptor, Evaluator, EvaluatorStats, FheContext,
+    FheError, KeyGenerator,
+};
+use chehab_ir::{BinOp, CircuitDag, CircuitSummary, DagNode, DataKind, Expr, Ty};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Compile-time statistics of a compiled program.
+#[derive(Debug, Clone)]
+pub struct CompileStats {
+    /// Wall-clock compilation time (optimization plus code generation).
+    pub compile_time: Duration,
+    /// Cost-model value of the program before optimization.
+    pub cost_before: f64,
+    /// Cost-model value after optimization.
+    pub cost_after: f64,
+    /// Number of rewrite steps the optimizer applied (0 for the identity
+    /// optimizer and for externally produced circuits).
+    pub optimizer_steps: usize,
+    /// Circuit summary before optimization.
+    pub summary_before: CircuitSummary,
+    /// Circuit summary after optimization.
+    pub summary_after: CircuitSummary,
+}
+
+/// A compiled FHE program, ready to execute on the BFV backend.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    name: String,
+    circuit: Expr,
+    dag: CircuitDag,
+    output_slots: usize,
+    rotation_plan: RotationKeyPlan,
+    layout_before_encryption: bool,
+    stats: CompileStats,
+}
+
+impl CompiledProgram {
+    /// Wraps an already-optimized circuit (used both by the CHEHAB pipeline
+    /// and to execute circuits produced by the Coyote baseline on the same
+    /// backend).
+    pub fn from_circuit(
+        name: impl Into<String>,
+        circuit: Expr,
+        output_slots: usize,
+        rotation_plan: RotationKeyPlan,
+        layout_before_encryption: bool,
+        stats: CompileStats,
+    ) -> Self {
+        let dag = CircuitDag::from_expr(&circuit).eliminate_dead_code();
+        CompiledProgram {
+            name: name.into(),
+            circuit,
+            dag,
+            output_slots,
+            rotation_plan,
+            layout_before_encryption,
+            stats,
+        }
+    }
+
+    /// The program's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The optimized circuit in IR form.
+    pub fn circuit(&self) -> &Expr {
+        &self.circuit
+    }
+
+    /// Number of live output slots.
+    pub fn output_slots(&self) -> usize {
+        self.output_slots
+    }
+
+    /// The rotation-key plan selected for the circuit.
+    pub fn rotation_plan(&self) -> &RotationKeyPlan {
+        &self.rotation_plan
+    }
+
+    /// Compile-time statistics.
+    pub fn stats(&self) -> &CompileStats {
+        &self.stats
+    }
+
+    /// Whether packed inputs are laid out by the client before encryption.
+    pub fn layout_before_encryption(&self) -> bool {
+        self.layout_before_encryption
+    }
+
+    /// Executes the program on the BFV backend.
+    ///
+    /// `inputs` binds every scalar input variable to its clear value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`FheError`] for missing Galois keys or other backend
+    /// failures; an exhausted noise budget is *not* an error and is reported
+    /// through [`ExecutionReport::decryption_ok`].
+    pub fn execute(
+        &self,
+        inputs: &HashMap<String, i64>,
+        params: &BfvParameters,
+    ) -> Result<ExecutionReport, FheError> {
+        let ctx = FheContext::new(params.clone())?;
+        let mut keygen = KeyGenerator::new(ctx.params(), 0xC4E4AB);
+        let mut encryptor = Encryptor::new(&ctx, &keygen.public_key());
+        let decryptor = Decryptor::new(&ctx, &keygen.secret_key());
+        let mut evaluator = Evaluator::new(&ctx);
+        let relin_keys = keygen.relin_keys();
+
+        // Galois keys: the planned rotation keys plus the unit steps needed
+        // for run-time packing. Packing at run time happens for every
+        // ciphertext `Vec` node when the layout is applied after encryption,
+        // and for `Vec` nodes with non-leaf elements even under the default
+        // client-side layout.
+        let mut steps: Vec<i64> = self.rotation_plan.keys.clone();
+        let runtime_packed_arity = self
+            .dag
+            .nodes()
+            .iter()
+            .filter_map(|n| match n {
+                DagNode::Vec(elems) => {
+                    let all_leaves = elems.iter().all(|&e| self.dag.nodes()[e].is_leaf());
+                    let packed_at_runtime = !self.layout_before_encryption || !all_leaves;
+                    packed_at_runtime.then_some(elems.len())
+                }
+                _ => None,
+            })
+            .max()
+            .unwrap_or(1);
+        for i in 1..runtime_packed_arity as i64 {
+            steps.push(-i);
+        }
+        let galois_keys = keygen.galois_keys(&steps);
+
+        let t = ctx.plain_modulus() as i64;
+        let lookup = |name: &str| -> i64 {
+            inputs.get(name).copied().unwrap_or(0).rem_euclid(t)
+        };
+
+        // --- client side: plaintext evaluation and input encryption (untimed).
+        let kinds: Vec<DataKind> = data_kinds(&self.dag);
+        let mut registers: Vec<Option<Register>> = vec![None; self.dag.len()];
+        for (id, node) in self.dag.nodes().iter().enumerate() {
+            if kinds[id] == DataKind::Plaintext {
+                registers[id] = Some(Register::Plain(plain_eval(node, &registers, &lookup, t)));
+            } else if let DagNode::CtVar(name) = node {
+                let ct = encryptor.encrypt_values(&[lookup(name.as_str())])?;
+                registers[id] = Some(Register::Cipher(ct));
+            } else if self.layout_before_encryption {
+                if let DagNode::Vec(elems) = node {
+                    // Pack leaf-only vectors on the client before encryption.
+                    if elems.iter().all(|&e| self.dag.nodes()[e].is_leaf()) {
+                        let values: Vec<i64> = elems
+                            .iter()
+                            .map(|&e| match &self.dag.nodes()[e] {
+                                DagNode::CtVar(name) => lookup(name.as_str()),
+                                DagNode::PtVar(name) => lookup(name.as_str()),
+                                DagNode::Const(v) => *v,
+                                _ => unreachable!("leaf-only vector"),
+                            })
+                            .collect();
+                        let ct = encryptor.encrypt_values(&values)?;
+                        registers[id] = Some(Register::Cipher(ct));
+                    }
+                }
+            }
+        }
+
+        // --- server side: execute the remaining operation nodes (timed).
+        let started = Instant::now();
+        for (id, node) in self.dag.nodes().iter().enumerate() {
+            if registers[id].is_some() {
+                continue;
+            }
+            let register = self.execute_node(
+                id,
+                node,
+                &registers,
+                &ctx,
+                &mut evaluator,
+                &mut encryptor,
+                &relin_keys,
+                &galois_keys,
+            )?;
+            registers[id] = Some(register);
+        }
+        let server_time = started.elapsed();
+
+        let output = registers[self.dag.output()].clone().expect("output register computed");
+        let (outputs, noise_consumed, decryption_ok) = match output {
+            Register::Cipher(ct) => {
+                let consumed = ct.noise_consumed_bits();
+                match decryptor.decrypt(&ct) {
+                    Ok(pt) => (ctx.decode(&pt, self.output_slots), consumed, true),
+                    Err(FheError::NoiseBudgetExhausted { .. }) => (Vec::new(), consumed, false),
+                    Err(other) => return Err(other),
+                }
+            }
+            Register::Plain(values) => (
+                values.iter().map(|&v| v.rem_euclid(t) as u64).take(self.output_slots).collect(),
+                0.0,
+                true,
+            ),
+        };
+
+        Ok(ExecutionReport {
+            outputs,
+            server_time,
+            noise_budget_consumed: noise_consumed,
+            noise_budget_remaining: (params.fresh_noise_budget_bits() - noise_consumed).max(0.0),
+            operation_stats: evaluator.stats(),
+            galois_key_count: galois_keys.key_count(),
+            decryption_ok,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn execute_node(
+        &self,
+        _id: usize,
+        node: &DagNode,
+        registers: &[Option<Register>],
+        ctx: &FheContext,
+        evaluator: &mut Evaluator,
+        encryptor: &mut Encryptor,
+        relin_keys: &chehab_fhe::RelinKeys,
+        galois_keys: &chehab_fhe::GaloisKeys,
+    ) -> Result<Register, FheError> {
+        let reg = |i: usize| registers[i].clone().expect("operands are computed in topological order");
+        let result = match node {
+            DagNode::CtVar(_) | DagNode::PtVar(_) | DagNode::Const(_) => {
+                unreachable!("leaves are materialized before execution")
+            }
+            DagNode::Vec(elems) => {
+                // Run-time packing: element i is moved to slot i with a
+                // right-rotation and accumulated with additions.
+                let mut acc: Option<Ciphertext> = None;
+                let mut plain_slots = vec![0i64; elems.len()];
+                for (slot, &elem) in elems.iter().enumerate() {
+                    match reg(elem) {
+                        Register::Plain(values) => {
+                            plain_slots[slot] = values.first().copied().unwrap_or(0);
+                        }
+                        Register::Cipher(ct) => {
+                            let placed = if slot == 0 {
+                                ct
+                            } else {
+                                evaluator.rotate(&ct, -(slot as i64), galois_keys)?
+                            };
+                            acc = Some(match acc {
+                                None => placed,
+                                Some(prev) => evaluator.add(&prev, &placed),
+                            });
+                        }
+                    }
+                }
+                let mut packed = acc.unwrap_or_else(|| {
+                    // A ciphertext-kind vector always has at least one
+                    // ciphertext element, but keep a safe fallback.
+                    encryptor.encrypt_values(&[0]).expect("single zero fits")
+                });
+                if plain_slots.iter().any(|&v| v != 0) {
+                    let plain = ctx.encode(&plain_slots)?;
+                    packed = evaluator.add_plain(&packed, &plain);
+                }
+                Register::Cipher(packed)
+            }
+            DagNode::Bin(op, a, b) | DagNode::VecBin(op, a, b) => {
+                match (reg(*a), reg(*b)) {
+                    (Register::Cipher(x), Register::Cipher(y)) => Register::Cipher(match op {
+                        BinOp::Add => evaluator.add(&x, &y),
+                        BinOp::Sub => evaluator.sub(&x, &y),
+                        BinOp::Mul => evaluator.multiply(&x, &y, relin_keys),
+                    }),
+                    (Register::Cipher(x), Register::Plain(p)) => {
+                        let plain = ctx.encode(&p)?;
+                        Register::Cipher(match op {
+                            BinOp::Add => evaluator.add_plain(&x, &plain),
+                            BinOp::Sub => evaluator.sub_plain(&x, &plain),
+                            BinOp::Mul => evaluator.multiply_plain(&x, &plain),
+                        })
+                    }
+                    (Register::Plain(p), Register::Cipher(y)) => {
+                        let plain = ctx.encode(&p)?;
+                        Register::Cipher(match op {
+                            BinOp::Add => evaluator.add_plain(&y, &plain),
+                            BinOp::Sub => {
+                                // p - y = -(y - p)
+                                let diff = evaluator.sub_plain(&y, &plain);
+                                evaluator.negate(&diff)
+                            }
+                            BinOp::Mul => evaluator.multiply_plain(&y, &plain),
+                        })
+                    }
+                    (Register::Plain(_), Register::Plain(_)) => {
+                        unreachable!("plaintext-only nodes are evaluated on the client")
+                    }
+                }
+            }
+            DagNode::Neg(a) | DagNode::VecNeg(a) => match reg(*a) {
+                Register::Cipher(x) => Register::Cipher(evaluator.negate(&x)),
+                Register::Plain(_) => unreachable!("plaintext-only nodes are evaluated on the client"),
+            },
+            DagNode::Rot(a, step) => match reg(*a) {
+                Register::Cipher(x) => {
+                    let mut current = x;
+                    for part in self.rotation_plan.realize(*step) {
+                        current = evaluator.rotate(&current, part, galois_keys)?;
+                    }
+                    Register::Cipher(current)
+                }
+                Register::Plain(_) => unreachable!("plaintext-only nodes are evaluated on the client"),
+            },
+        };
+        Ok(result)
+    }
+}
+
+/// The result of executing a compiled program.
+#[derive(Debug, Clone)]
+pub struct ExecutionReport {
+    /// Decrypted output slots (empty if decryption failed).
+    pub outputs: Vec<u64>,
+    /// Wall-clock time of the server-side homomorphic evaluation.
+    pub server_time: Duration,
+    /// Invariant-noise budget consumed by the output ciphertext, in bits.
+    pub noise_budget_consumed: f64,
+    /// Remaining noise budget, in bits.
+    pub noise_budget_remaining: f64,
+    /// Homomorphic operations executed, by category.
+    pub operation_stats: EvaluatorStats,
+    /// Number of Galois keys generated for the run.
+    pub galois_key_count: usize,
+    /// `false` when the noise budget was exhausted and decryption failed.
+    pub decryption_ok: bool,
+}
+
+#[derive(Debug, Clone)]
+enum Register {
+    Cipher(Ciphertext),
+    Plain(Vec<i64>),
+}
+
+fn data_kinds(dag: &CircuitDag) -> Vec<DataKind> {
+    let mut kinds = vec![DataKind::Plaintext; dag.len()];
+    for (id, node) in dag.nodes().iter().enumerate() {
+        kinds[id] = match node {
+            DagNode::CtVar(_) => DataKind::Ciphertext,
+            DagNode::PtVar(_) | DagNode::Const(_) => DataKind::Plaintext,
+            _ => {
+                if node.operands().into_iter().any(|o| kinds[o] == DataKind::Ciphertext) {
+                    DataKind::Ciphertext
+                } else {
+                    DataKind::Plaintext
+                }
+            }
+        };
+    }
+    kinds
+}
+
+/// Client-side evaluation of a plaintext-only node.
+fn plain_eval(
+    node: &DagNode,
+    registers: &[Option<Register>],
+    lookup: &impl Fn(&str) -> i64,
+    modulus: i64,
+) -> Vec<i64> {
+    let operand = |i: usize| -> Vec<i64> {
+        match registers[i].as_ref().expect("plaintext operands precede their uses") {
+            Register::Plain(v) => v.clone(),
+            Register::Cipher(_) => unreachable!("plaintext node with ciphertext operand"),
+        }
+    };
+    let reduce = |v: i64| v.rem_euclid(modulus);
+    match node {
+        DagNode::CtVar(name) | DagNode::PtVar(name) => vec![reduce(lookup(name.as_str()))],
+        DagNode::Const(v) => vec![reduce(*v)],
+        DagNode::Bin(op, a, b) | DagNode::VecBin(op, a, b) => {
+            let (x, y) = (operand(*a), operand(*b));
+            let len = x.len().max(y.len());
+            (0..len)
+                .map(|i| {
+                    let xi = x.get(i).copied().unwrap_or(0);
+                    let yi = y.get(i).copied().unwrap_or(0);
+                    reduce(match op {
+                        BinOp::Add => xi + yi,
+                        BinOp::Sub => xi - yi,
+                        BinOp::Mul => ((xi as i128 * yi as i128) % modulus as i128) as i64,
+                    })
+                })
+                .collect()
+        }
+        DagNode::Neg(a) | DagNode::VecNeg(a) => operand(*a).iter().map(|&v| reduce(-v)).collect(),
+        DagNode::Vec(elems) => elems
+            .iter()
+            .map(|&e| operand(e).first().copied().unwrap_or(0))
+            .collect(),
+        DagNode::Rot(a, step) => {
+            let v: Vec<u64> = operand(*a).iter().map(|&x| x.rem_euclid(modulus) as u64).collect();
+            chehab_ir::shift_zero_fill(&v, *step).into_iter().map(|x| x as i64).collect()
+        }
+    }
+}
+
+/// Builds an empty [`CompileStats`] for circuits produced outside the CHEHAB
+/// pipeline (e.g. the Coyote baseline), with both summaries taken from the
+/// same circuit.
+pub fn external_compile_stats(circuit: &Expr, compile_time: Duration) -> CompileStats {
+    let summary = chehab_ir::summarize(circuit);
+    let cost = chehab_ir::CostModel::default().cost(circuit);
+    CompileStats {
+        compile_time,
+        cost_before: cost,
+        cost_after: cost,
+        optimizer_steps: 0,
+        summary_before: summary,
+        summary_after: summary,
+    }
+}
+
+/// Convenience: the number of live output slots of a program.
+pub fn output_slots_of(program: &Expr) -> usize {
+    program.ty().map(Ty::slots).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rotation_keys::select_rotation_keys;
+    use chehab_ir::parse;
+
+    fn compile_raw(circuit: &str, layout_before: bool) -> CompiledProgram {
+        let circuit = parse(circuit).unwrap();
+        let steps: Vec<i64> = chehab_ir::rotation_steps(&circuit).keys().copied().collect();
+        let plan = select_rotation_keys(&steps, 28);
+        let slots = output_slots_of(&circuit);
+        CompiledProgram::from_circuit(
+            "test",
+            circuit.clone(),
+            slots,
+            plan,
+            layout_before,
+            external_compile_stats(&circuit, Duration::from_millis(1)),
+        )
+    }
+
+    fn run(program: &CompiledProgram, bindings: &[(&str, i64)]) -> ExecutionReport {
+        let inputs: HashMap<String, i64> =
+            bindings.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        program.execute(&inputs, &BfvParameters::insecure_test()).unwrap()
+    }
+
+    #[test]
+    fn executes_a_vectorized_circuit_correctly() {
+        let program = compile_raw("(VecMul (Vec a c) (Vec b d))", true);
+        let report = run(&program, &[("a", 2), ("b", 3), ("c", 4), ("d", 5)]);
+        assert!(report.decryption_ok);
+        assert_eq!(report.outputs, vec![6, 20]);
+        assert_eq!(report.operation_stats.ct_ct_multiplications, 1);
+        assert!(report.noise_budget_remaining > 0.0);
+    }
+
+    #[test]
+    fn executes_rotations_and_reductions() {
+        // Dot product of length 4 via rotate-and-add.
+        let circuit = "(VecAdd (VecAdd (VecMul (Vec a0 a1 a2 a3) (Vec b0 b1 b2 b3)) (<< (VecMul (Vec a0 a1 a2 a3) (Vec b0 b1 b2 b3)) 2)) (<< (VecAdd (VecMul (Vec a0 a1 a2 a3) (Vec b0 b1 b2 b3)) (<< (VecMul (Vec a0 a1 a2 a3) (Vec b0 b1 b2 b3)) 2)) 1))";
+        let program = compile_raw(circuit, true);
+        let report = run(
+            &program,
+            &[("a0", 1), ("a1", 2), ("a2", 3), ("a3", 4), ("b0", 5), ("b1", 6), ("b2", 7), ("b3", 8)],
+        );
+        // 1*5 + 2*6 + 3*7 + 4*8 = 70 in slot 0.
+        assert_eq!(report.outputs[0], 70);
+        assert!(report.operation_stats.rotations >= 2);
+    }
+
+    #[test]
+    fn ct_pt_operations_use_plain_variants() {
+        let program = compile_raw("(VecMul (Vec a b) (Vec 3 4))", true);
+        let report = run(&program, &[("a", 5), ("b", 6)]);
+        assert_eq!(report.outputs, vec![15, 24]);
+        assert_eq!(report.operation_stats.ct_ct_multiplications, 0);
+        assert_eq!(report.operation_stats.ct_pt_multiplications, 1);
+    }
+
+    #[test]
+    fn scalar_programs_report_slot_zero() {
+        let program = compile_raw("(* (+ a b) c)", true);
+        let report = run(&program, &[("a", 2), ("b", 3), ("c", 4)]);
+        assert_eq!(report.outputs, vec![20]);
+    }
+
+    #[test]
+    fn layout_after_encryption_costs_extra_rotations() {
+        let circuit = "(VecAdd (Vec a b c d) (Vec e f g h))";
+        let before = compile_raw(circuit, true);
+        let after = compile_raw(circuit, false);
+        let bindings: Vec<(&str, i64)> = vec![
+            ("a", 1), ("b", 2), ("c", 3), ("d", 4), ("e", 5), ("f", 6), ("g", 7), ("h", 8),
+        ];
+        let report_before = run(&before, &bindings);
+        let report_after = run(&after, &bindings);
+        assert_eq!(report_before.outputs, vec![6, 8, 10, 12]);
+        assert_eq!(report_after.outputs, vec![6, 8, 10, 12]);
+        assert!(report_after.operation_stats.rotations > report_before.operation_stats.rotations);
+        assert!(report_after.operation_stats.total() > report_before.operation_stats.total());
+    }
+
+    #[test]
+    fn subtracting_ciphertext_from_plaintext_negates_correctly() {
+        let program = compile_raw("(VecSub (Vec 10 10) (Vec a b))", true);
+        let report = run(&program, &[("a", 3), ("b", 4)]);
+        assert_eq!(report.outputs, vec![7, 6]);
+    }
+
+    #[test]
+    fn plaintext_only_programs_execute_without_ciphertext_work() {
+        let program = compile_raw("(+ (pt w) 3)", true);
+        let report = run(&program, &[("w", 10)]);
+        assert_eq!(report.outputs, vec![13]);
+        assert_eq!(report.operation_stats.total(), 0);
+    }
+
+    #[test]
+    fn missing_inputs_default_to_zero() {
+        let program = compile_raw("(+ a b)", true);
+        let report = run(&program, &[("a", 7)]);
+        assert_eq!(report.outputs, vec![7]);
+    }
+}

@@ -1,0 +1,48 @@
+//! # chehab-core
+//!
+//! The CHEHAB FHE compiler (Section 4 of *CHEHAB RL: Learning to Optimize
+//! Fully Homomorphic Encryption Computations*): an embedded DSL for writing
+//! FHE programs, lowering to the CHEHAB IR, an optimization pipeline whose
+//! term-rewriting stage is driven either by the original greedy strategy or
+//! by a trained CHEHAB RL agent, NAF-based rotation-key selection
+//! (Appendix B), and code generation onto the BFV execution backend of
+//! [`chehab_fhe`].
+//!
+//! ## Example
+//!
+//! ```
+//! use chehab_core::{Compiler, DslProgram};
+//! use chehab_fhe::BfvParameters;
+//! use std::collections::HashMap;
+//!
+//! // Write the kernel in the DSL...
+//! let mut p = DslProgram::new("squared_difference");
+//! let a = p.ciphertext_input("a");
+//! let b = p.ciphertext_input("b");
+//! let diff = &a - &b;
+//! let out = &diff * &diff;
+//! p.set_output(&out);
+//!
+//! // ...compile it with the greedy optimizer and run it homomorphically.
+//! let compiled = Compiler::greedy().compile(p.name(), &p.lower());
+//! let inputs: HashMap<String, i64> = [("a".to_string(), 9), ("b".to_string(), 4)].into();
+//! let report = compiled.execute(&inputs, &BfvParameters::insecure_test())?;
+//! assert_eq!(report.outputs[0], 25);
+//! # Ok::<(), chehab_fhe::FheError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compiler;
+mod dsl;
+mod executor;
+mod rotation_keys;
+pub mod training;
+
+pub use compiler::{Compiler, CompilerOptions, OptimizerKind};
+pub use dsl::{DslProgram, DslValue};
+pub use executor::{
+    external_compile_stats, output_slots_of, CompileStats, CompiledProgram, ExecutionReport,
+};
+pub use rotation_keys::{naf_decomposition, select_rotation_keys, RotationKeyPlan};

@@ -1,0 +1,29 @@
+//! # chehab-datagen
+//!
+//! Training-data synthesis for the CHEHAB RL agent (Section 6 and
+//! Appendices F/H.2 of the paper): a uniform random expression generator, an
+//! LLM-style structured synthesizer that emits realistic, optimizable FHE
+//! kernels (the substitute for the paper's Gemini-generated corpus), and the
+//! dataset pipeline that deduplicates by ICI canonical form and excludes
+//! benchmark programs.
+//!
+//! ## Example
+//!
+//! ```
+//! use chehab_datagen::{generate_llm_like_dataset, generate_random_dataset};
+//!
+//! let llm_like = generate_llm_like_dataset(100, 42);
+//! let random = generate_random_dataset(100, 42);
+//! assert!(llm_like.len() >= 90 && random.len() >= 90);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dataset;
+mod llm_like;
+mod random;
+
+pub use dataset::{generate_llm_like_dataset, generate_random_dataset, DataSource, Dataset};
+pub use llm_like::{LlmLikeConfig, LlmLikeSynthesizer, Motif};
+pub use random::{RandomGenConfig, RandomGenerator};

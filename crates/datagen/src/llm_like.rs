@@ -1,0 +1,340 @@
+//! LLM-style structured expression synthesis.
+//!
+//! The paper synthesizes its training corpus by prompting Gemini 2.5 Flash
+//! with the CHEHAB IR grammar, the rewrite rules and worked real-world
+//! kernels, then filters the output for validity and uniqueness (Section 6,
+//! Appendix F). This module substitutes that pipeline with a structured
+//! generator over the same *motifs* the prompt steers the LLM towards:
+//! sums of products, squared differences, stencils, element-wise kernels
+//! with shared factors, per-point polynomial evaluation, and boolean-style
+//! aggregations. The resulting programs have exactly the properties the
+//! paper credits the LLM data with — common subexpressions, factorization
+//! and vectorization opportunities, realistic structure — which is what the
+//! Figure 8 ablation contrasts with uniform random programs.
+
+use chehab_ir::Expr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The kernel motifs the synthesizer composes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Motif {
+    /// Inner product: `Σ a_i · b_i`.
+    DotProduct,
+    /// Element-wise squared error: `Vec((a_i - b_i)²)`.
+    SquaredDifference,
+    /// Element-wise sum of two or three operand vectors (matrix addition).
+    ElementwiseSum,
+    /// Element-wise weighted combination with a shared plaintext weight.
+    SharedFactor,
+    /// Stencil: each output sums a window of neighbouring inputs.
+    Stencil,
+    /// Per-point polynomial evaluation `c0 + c1·x_i + c2·x_i²`.
+    Polynomial,
+    /// Boolean-style union cardinality: `Σ (a_i + b_i - a_i·b_i)`.
+    UnionCardinality,
+    /// Pairwise products summed per output slot.
+    PairwiseProducts,
+    /// A general sum with factorization opportunities `a·b + a·c + d`.
+    Factorizable,
+}
+
+impl Motif {
+    /// All motifs, in a fixed order.
+    pub const ALL: [Motif; 9] = [
+        Motif::DotProduct,
+        Motif::SquaredDifference,
+        Motif::ElementwiseSum,
+        Motif::SharedFactor,
+        Motif::Stencil,
+        Motif::Polynomial,
+        Motif::UnionCardinality,
+        Motif::PairwiseProducts,
+        Motif::Factorizable,
+    ];
+}
+
+/// Configuration of the structured synthesizer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LlmLikeConfig {
+    /// Smallest number of lanes / terms a motif instantiates.
+    pub min_size: usize,
+    /// Largest number of lanes / terms a motif instantiates.
+    pub max_size: usize,
+    /// Probability of wrapping a generated kernel in a small random
+    /// perturbation (extra term, negation, constant scale) to increase
+    /// structural diversity beyond alpha-renaming.
+    pub perturbation_probability: f64,
+}
+
+impl Default for LlmLikeConfig {
+    fn default() -> Self {
+        LlmLikeConfig { min_size: 2, max_size: 16, perturbation_probability: 0.35 }
+    }
+}
+
+/// Structured, realistic expression synthesizer (the LLM substitute).
+#[derive(Debug)]
+pub struct LlmLikeSynthesizer {
+    config: LlmLikeConfig,
+    rng: StdRng,
+    counter: u64,
+}
+
+impl LlmLikeSynthesizer {
+    /// Creates a synthesizer with the given configuration and seed.
+    pub fn new(config: LlmLikeConfig, seed: u64) -> Self {
+        LlmLikeSynthesizer { config, rng: StdRng::seed_from_u64(seed), counter: 0 }
+    }
+
+    /// Creates a synthesizer with the default configuration.
+    pub fn with_seed(seed: u64) -> Self {
+        Self::new(LlmLikeConfig::default(), seed)
+    }
+
+    /// Synthesizes one program by sampling a motif and instantiating it.
+    pub fn generate(&mut self) -> Expr {
+        let motif = Motif::ALL[self.rng.gen_range(0..Motif::ALL.len())];
+        self.generate_motif(motif)
+    }
+
+    /// Synthesizes `count` programs.
+    pub fn generate_many(&mut self, count: usize) -> Vec<Expr> {
+        (0..count).map(|_| self.generate()).collect()
+    }
+
+    /// Synthesizes one instance of an explicit motif.
+    pub fn generate_motif(&mut self, motif: Motif) -> Expr {
+        self.counter += 1;
+        let size = self.rng.gen_range(self.config.min_size..=self.config.max_size);
+        let expr = match motif {
+            Motif::DotProduct => self.dot_product(size.max(3)),
+            Motif::SquaredDifference => self.squared_difference(size),
+            Motif::ElementwiseSum => self.elementwise_sum(size),
+            Motif::SharedFactor => self.shared_factor(size),
+            Motif::Stencil => self.stencil(size.max(3)),
+            Motif::Polynomial => self.polynomial(size),
+            Motif::UnionCardinality => self.union_cardinality(size.max(3)),
+            Motif::PairwiseProducts => self.pairwise_products(size),
+            Motif::Factorizable => self.factorizable(size.max(3)),
+        };
+        if self.rng.gen_bool(self.config.perturbation_probability) {
+            self.perturb(expr)
+        } else {
+            expr
+        }
+    }
+
+    // ----- motif builders ----------------------------------------------------------
+
+    fn var(&mut self, family: &str, index: usize) -> Expr {
+        Expr::ct(format!("{family}_{}_{index}", self.counter))
+    }
+
+    fn dot_product(&mut self, n: usize) -> Expr {
+        let terms: Vec<Expr> =
+            (0..n).map(|i| Expr::mul(self.var("a", i), self.var("b", i))).collect();
+        balanced_sum(&terms)
+    }
+
+    fn squared_difference(&mut self, n: usize) -> Expr {
+        let elems: Vec<Expr> = (0..n)
+            .map(|i| {
+                let d = Expr::sub(self.var("x", i), self.var("y", i));
+                Expr::mul(d.clone(), d)
+            })
+            .collect();
+        wrap_vec(elems)
+    }
+
+    fn elementwise_sum(&mut self, n: usize) -> Expr {
+        let operands = self.rng.gen_range(2..=3usize);
+        let elems: Vec<Expr> = (0..n)
+            .map(|i| {
+                let mut acc = Expr::add(self.var("m", i), self.var("n", i));
+                if operands == 3 {
+                    acc = Expr::add(acc, self.var("p", i));
+                }
+                acc
+            })
+            .collect();
+        wrap_vec(elems)
+    }
+
+    fn shared_factor(&mut self, n: usize) -> Expr {
+        let weight = Expr::pt(format!("w_{}", self.counter));
+        let elems: Vec<Expr> = (0..n)
+            .map(|i| {
+                Expr::add(
+                    Expr::mul(weight.clone(), self.var("x", i)),
+                    Expr::mul(weight.clone(), self.var("y", i)),
+                )
+            })
+            .collect();
+        wrap_vec(elems)
+    }
+
+    fn stencil(&mut self, n: usize) -> Expr {
+        // One-dimensional 3-point stencil over a shared input row: adjacent
+        // outputs reuse each other's inputs, creating common subexpressions.
+        let row: Vec<Expr> = (0..n + 2).map(|i| self.var("img", i)).collect();
+        let elems: Vec<Expr> = (0..n)
+            .map(|i| Expr::add(Expr::add(row[i].clone(), row[i + 1].clone()), row[i + 2].clone()))
+            .collect();
+        wrap_vec(elems)
+    }
+
+    fn polynomial(&mut self, n: usize) -> Expr {
+        let c0 = Expr::pt(format!("c0_{}", self.counter));
+        let c1 = Expr::pt(format!("c1_{}", self.counter));
+        let c2 = Expr::pt(format!("c2_{}", self.counter));
+        let elems: Vec<Expr> = (0..n)
+            .map(|i| {
+                let x = self.var("x", i);
+                Expr::add(
+                    Expr::add(c0.clone(), Expr::mul(c1.clone(), x.clone())),
+                    Expr::mul(c2.clone(), Expr::mul(x.clone(), x)),
+                )
+            })
+            .collect();
+        wrap_vec(elems)
+    }
+
+    fn union_cardinality(&mut self, n: usize) -> Expr {
+        let terms: Vec<Expr> = (0..n)
+            .map(|i| {
+                let (a, b) = (self.var("a", i), self.var("b", i));
+                Expr::sub(Expr::add(a.clone(), b.clone()), Expr::mul(a, b))
+            })
+            .collect();
+        balanced_sum(&terms)
+    }
+
+    fn pairwise_products(&mut self, n: usize) -> Expr {
+        let elems: Vec<Expr> = (0..n)
+            .map(|i| {
+                Expr::add(
+                    Expr::mul(self.var("a", i), self.var("b", i)),
+                    Expr::mul(self.var("c", i), self.var("d", i)),
+                )
+            })
+            .collect();
+        wrap_vec(elems)
+    }
+
+    fn factorizable(&mut self, n: usize) -> Expr {
+        let shared = self.var("s", 0);
+        let mut terms: Vec<Expr> =
+            (0..n).map(|i| Expr::mul(shared.clone(), self.var("t", i))).collect();
+        if self.rng.gen_bool(0.5) {
+            terms.push(self.var("u", 0));
+        }
+        balanced_sum(&terms)
+    }
+
+    fn perturb(&mut self, expr: Expr) -> Expr {
+        match self.rng.gen_range(0..3u32) {
+            0 => match expr.ty() {
+                Ok(chehab_ir::Ty::Scalar) => Expr::mul(expr, Expr::constant(self.rng.gen_range(2..=5))),
+                _ => expr,
+            },
+            1 => match expr.ty() {
+                Ok(chehab_ir::Ty::Scalar) => Expr::add(expr, self.var("extra", 0)),
+                _ => expr,
+            },
+            _ => expr,
+        }
+    }
+}
+
+/// Builds a balanced binary addition tree over `terms` (realistic code is
+/// written as flat sums; balancing here just avoids degenerate deep chains).
+fn balanced_sum(terms: &[Expr]) -> Expr {
+    match terms.len() {
+        0 => Expr::constant(0),
+        1 => terms[0].clone(),
+        n => {
+            let (l, r) = terms.split_at(n / 2);
+            Expr::add(balanced_sum(l), balanced_sum(r))
+        }
+    }
+}
+
+fn wrap_vec(elems: Vec<Expr>) -> Expr {
+    if elems.len() == 1 {
+        elems.into_iter().next().expect("one element")
+    } else {
+        Expr::Vec(elems)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chehab_ir::{canonical_form, count_ops, CostModel};
+    use chehab_trs::RewriteEngine;
+
+    #[test]
+    fn all_motifs_produce_well_typed_programs() {
+        let mut synth = LlmLikeSynthesizer::with_seed(1);
+        for motif in Motif::ALL {
+            let e = synth.generate_motif(motif);
+            assert!(e.is_well_typed(), "motif {motif:?} produced ill-typed {e}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = LlmLikeSynthesizer::with_seed(5).generate_many(20);
+        let b = LlmLikeSynthesizer::with_seed(5).generate_many(20);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn programs_are_structurally_diverse() {
+        let mut synth = LlmLikeSynthesizer::with_seed(9);
+        let programs = synth.generate_many(60);
+        let canon: std::collections::HashSet<_> = programs.iter().map(canonical_form).collect();
+        assert!(canon.len() > 40, "only {} distinct canonical forms out of 60", canon.len());
+    }
+
+    #[test]
+    fn synthesized_programs_are_optimizable_by_the_trs() {
+        // The defining property of the LLM-style data: the rewrite system can
+        // improve most programs, unlike fully random expressions where many
+        // programs have no exploitable structure.
+        let mut synth = LlmLikeSynthesizer::with_seed(3);
+        let engine = RewriteEngine::new();
+        let model = CostModel::default();
+        let programs = synth.generate_many(20);
+        let improved = programs
+            .iter()
+            .filter(|e| {
+                let (opt, _) = engine.greedy_optimize(e, &model, 30);
+                model.cost(&opt) < model.cost(e) * 0.9
+            })
+            .count();
+        assert!(improved >= 15, "only {improved}/20 programs were meaningfully optimizable");
+    }
+
+    #[test]
+    fn shared_factor_motif_contains_factorization_opportunities() {
+        let mut synth = LlmLikeSynthesizer::with_seed(2);
+        let e = synth.generate_motif(Motif::SharedFactor);
+        let engine = RewriteEngine::new();
+        let factor_rule = engine.rule_index("factor-left").unwrap();
+        assert!(
+            !engine.matches(&e, factor_rule).is_empty(),
+            "shared-factor motif must match the factorization rule"
+        );
+    }
+
+    #[test]
+    fn dot_product_motif_is_a_pure_sum_of_products() {
+        let mut synth = LlmLikeSynthesizer::with_seed(4);
+        let e = synth.generate_motif(Motif::DotProduct);
+        let counts = count_ops(&e);
+        assert!(counts.scalar_mul_ct_ct >= 3);
+        assert_eq!(counts.rotations, 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Key material: secret/public keys, relinearization keys and Galois
+//! (rotation) keys.
+//!
+//! Keys carry no real cryptographic secrets in this simulation backend, but
+//! they reproduce the *operational* constraints that matter to the compiler:
+//! a rotation by step `s` is only possible if a Galois key for `s` was
+//! generated, and every generated key has a realistic size, which is what the
+//! rotation-key-selection pass (Appendix B) trades off against execution
+//! cost.
+
+use crate::params::BfvParameters;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// The secret key (simulation placeholder identified by its seed).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SecretKey {
+    id: u64,
+}
+
+/// The public encryption key derived from a secret key.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PublicKey {
+    id: u64,
+}
+
+/// Relinearization keys, required after ciphertext–ciphertext multiplications.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RelinKeys {
+    id: u64,
+    size_bytes: usize,
+}
+
+impl RelinKeys {
+    /// Approximate serialized size of the keys in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.size_bytes
+    }
+}
+
+/// Galois keys enabling slot rotations for an explicit set of steps.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GaloisKeys {
+    id: u64,
+    steps: BTreeSet<i64>,
+    key_size_bytes: usize,
+}
+
+impl GaloisKeys {
+    /// Returns `true` if a key for rotating by `step` is available.
+    pub fn supports_step(&self, step: i64) -> bool {
+        step == 0 || self.steps.contains(&step)
+    }
+
+    /// The rotation steps covered by this key set.
+    pub fn steps(&self) -> impl Iterator<Item = i64> + '_ {
+        self.steps.iter().copied()
+    }
+
+    /// Number of individual rotation keys generated.
+    pub fn key_count(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Total approximate size of the key set in bytes. This is the quantity
+    /// the rotation-key-selection pass bounds: each key is several megabytes
+    /// under the paper's parameters.
+    pub fn total_size_bytes(&self) -> usize {
+        self.key_count() * self.key_size_bytes
+    }
+}
+
+/// Generates all key material for a parameter set.
+#[derive(Debug)]
+pub struct KeyGenerator {
+    params: BfvParameters,
+    rng: ChaCha8Rng,
+    id: u64,
+}
+
+impl KeyGenerator {
+    /// Creates a key generator with an explicit seed (keys are deterministic
+    /// per seed, which the tests rely on).
+    pub fn new(params: &BfvParameters, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let id = rng.gen();
+        KeyGenerator { params: params.clone(), rng, id }
+    }
+
+    /// The secret key.
+    pub fn secret_key(&self) -> SecretKey {
+        SecretKey { id: self.id }
+    }
+
+    /// The public key matching the secret key.
+    pub fn public_key(&self) -> PublicKey {
+        PublicKey { id: self.id }
+    }
+
+    /// Creates relinearization keys.
+    pub fn relin_keys(&mut self) -> RelinKeys {
+        let _ = self.rng.gen::<u64>();
+        RelinKeys { id: self.id, size_bytes: self.params.galois_key_size_bytes() }
+    }
+
+    /// Creates Galois keys for an explicit set of rotation steps.
+    pub fn galois_keys(&mut self, steps: &[i64]) -> GaloisKeys {
+        let _ = self.rng.gen::<u64>();
+        GaloisKeys {
+            id: self.id,
+            steps: steps.iter().copied().filter(|&s| s != 0).collect(),
+            key_size_bytes: self.params.galois_key_size_bytes(),
+        }
+    }
+
+    /// Creates the library-default Galois keys: power-of-two steps in both
+    /// directions, `2·log2(n)` keys in total, which is what SEAL generates
+    /// when the application does not select keys itself.
+    pub fn default_galois_keys(&mut self) -> GaloisKeys {
+        let n = self.params.poly_modulus_degree as i64;
+        let mut steps = Vec::new();
+        let mut s = 1i64;
+        while s < n {
+            steps.push(s);
+            steps.push(-s);
+            s *= 2;
+        }
+        self.galois_keys(&steps)
+    }
+
+    /// Internal key-pair identity (used by encryptor/decryptor pairing checks).
+    pub(crate) fn key_id(key: &SecretKey) -> u64 {
+        key.id
+    }
+
+    /// Internal key-pair identity for public keys.
+    pub(crate) fn public_key_id(key: &PublicKey) -> u64 {
+        key.id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_from_the_same_generator_share_an_identity() {
+        let params = BfvParameters::insecure_test();
+        let keygen = KeyGenerator::new(&params, 7);
+        assert_eq!(KeyGenerator::key_id(&keygen.secret_key()), KeyGenerator::public_key_id(&keygen.public_key()));
+    }
+
+    #[test]
+    fn different_seeds_give_different_key_pairs() {
+        let params = BfvParameters::insecure_test();
+        let a = KeyGenerator::new(&params, 1).secret_key();
+        let b = KeyGenerator::new(&params, 2).secret_key();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn galois_keys_cover_exactly_the_requested_steps() {
+        let params = BfvParameters::insecure_test();
+        let mut keygen = KeyGenerator::new(&params, 3);
+        let keys = keygen.galois_keys(&[1, -1, 4, 0]);
+        assert!(keys.supports_step(1));
+        assert!(keys.supports_step(-1));
+        assert!(keys.supports_step(4));
+        assert!(keys.supports_step(0), "step 0 never needs a key");
+        assert!(!keys.supports_step(2));
+        assert_eq!(keys.key_count(), 3, "step 0 does not generate a key");
+    }
+
+    #[test]
+    fn default_galois_keys_have_two_log_n_entries() {
+        let params = BfvParameters::insecure_test();
+        let mut keygen = KeyGenerator::new(&params, 3);
+        let keys = keygen.default_galois_keys();
+        let log_n = params.poly_modulus_degree.trailing_zeros() as usize;
+        assert_eq!(keys.key_count(), 2 * log_n);
+    }
+
+    #[test]
+    fn key_sizes_scale_with_parameters() {
+        let small = BfvParameters::insecure_test();
+        let big = BfvParameters::default_128();
+        let small_keys = KeyGenerator::new(&small, 1).galois_keys(&[1]);
+        let big_keys = KeyGenerator::new(&big, 1).galois_keys(&[1]);
+        assert!(big_keys.total_size_bytes() > small_keys.total_size_bytes());
+    }
+}

@@ -1,0 +1,390 @@
+//! Polynomial arithmetic in the negacyclic ring `Z_p[x] / (x^n + 1)`.
+//!
+//! This is the computational workhorse of the execution engine: ciphertext
+//! payload polynomials live in this ring, and multiplications use a
+//! negacyclic number-theoretic transform (NTT) so that the measured cost of
+//! homomorphic operations scales the way BFV's does (`O(n log n)` for
+//! multiplications and key switching, `O(n)` for additions).
+//!
+//! The working prime is the Goldilocks prime `p = 2^64 - 2^32 + 1`, whose
+//! multiplicative group has 2-adicity 32, so power-of-two NTTs up to huge
+//! sizes are available.
+
+/// The Goldilocks prime `2^64 - 2^32 + 1`.
+pub const MODULUS: u64 = 0xFFFF_FFFF_0000_0001;
+
+/// Modular addition in `Z_p`.
+#[inline]
+pub fn p_add(a: u64, b: u64) -> u64 {
+    let (sum, overflow) = a.overflowing_add(b);
+    let mut r = sum;
+    if overflow || sum >= MODULUS {
+        r = sum.wrapping_sub(MODULUS);
+    }
+    r
+}
+
+/// Modular subtraction in `Z_p`.
+#[inline]
+pub fn p_sub(a: u64, b: u64) -> u64 {
+    if a >= b {
+        a - b
+    } else {
+        a.wrapping_add(MODULUS).wrapping_sub(b)
+    }
+}
+
+/// Modular negation in `Z_p`.
+#[inline]
+pub fn p_neg(a: u64) -> u64 {
+    if a == 0 {
+        0
+    } else {
+        MODULUS - a
+    }
+}
+
+/// Modular multiplication in `Z_p` via 128-bit arithmetic.
+#[inline]
+pub fn p_mul(a: u64, b: u64) -> u64 {
+    ((u128::from(a) * u128::from(b)) % u128::from(MODULUS)) as u64
+}
+
+/// Modular exponentiation in `Z_p`.
+pub fn p_pow(mut base: u64, mut exp: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= MODULUS;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = p_mul(acc, base);
+        }
+        base = p_mul(base, base);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Modular inverse in `Z_p` (Fermat's little theorem; `a` must be non-zero).
+pub fn p_inv(a: u64) -> u64 {
+    debug_assert!(a != 0, "zero has no inverse");
+    p_pow(a, MODULUS - 2)
+}
+
+/// A multiplicative generator of `Z_p^*` for the Goldilocks prime.
+const GENERATOR: u64 = 7;
+
+/// Precomputed twiddle factors for negacyclic NTTs of a fixed degree.
+#[derive(Debug, Clone)]
+pub struct NttTables {
+    degree: usize,
+    /// Powers of the 2n-th root of unity `psi`, in bit-reversed order, for
+    /// the forward transform.
+    psi_rev: Vec<u64>,
+    /// Powers of `psi^{-1}`, bit-reversed, for the inverse transform.
+    inv_psi_rev: Vec<u64>,
+    /// `n^{-1} mod p`.
+    inv_degree: u64,
+}
+
+impl NttTables {
+    /// Builds tables for degree `n` (must be a power of two, at least 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two, is smaller than 2 or exceeds the
+    /// 2-adicity of the field (`2^31`).
+    pub fn new(degree: usize) -> Self {
+        assert!(degree.is_power_of_two() && degree >= 2, "degree must be a power of two >= 2");
+        assert!(degree <= (1 << 31), "degree exceeds the field's 2-adicity");
+        // psi is a primitive 2n-th root of unity.
+        let log2_2n = (2 * degree).trailing_zeros();
+        let psi = p_pow(GENERATOR, (MODULUS - 1) >> log2_2n);
+        debug_assert_eq!(p_pow(psi, degree as u64), MODULUS - 1, "psi^n must be -1");
+        let inv_psi = p_inv(psi);
+
+        let mut psi_rev = vec![0u64; degree];
+        let mut inv_psi_rev = vec![0u64; degree];
+        let log_n = degree.trailing_zeros();
+        let mut power = 1u64;
+        let mut inv_power = 1u64;
+        let mut powers = vec![0u64; degree];
+        let mut inv_powers = vec![0u64; degree];
+        for i in 0..degree {
+            powers[i] = power;
+            inv_powers[i] = inv_power;
+            power = p_mul(power, psi);
+            inv_power = p_mul(inv_power, inv_psi);
+        }
+        for (i, (p, ip)) in powers.iter().zip(&inv_powers).enumerate() {
+            let rev = (i as u32).reverse_bits() >> (32 - log_n);
+            psi_rev[rev as usize] = *p;
+            inv_psi_rev[rev as usize] = *ip;
+        }
+        NttTables { degree, psi_rev, inv_psi_rev, inv_degree: p_inv(degree as u64) }
+    }
+
+    /// The polynomial degree these tables serve.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// In-place forward negacyclic NTT (Cooley–Tukey, decimation in time,
+    /// producing bit-reversed output that the inverse transform consumes).
+    pub fn forward(&self, a: &mut [u64]) {
+        debug_assert_eq!(a.len(), self.degree);
+        let n = self.degree;
+        let mut t = n;
+        let mut m = 1usize;
+        while m < n {
+            t /= 2;
+            for i in 0..m {
+                let j1 = 2 * i * t;
+                let j2 = j1 + t;
+                let s = self.psi_rev[m + i];
+                for j in j1..j2 {
+                    let u = a[j];
+                    let v = p_mul(a[j + t], s);
+                    a[j] = p_add(u, v);
+                    a[j + t] = p_sub(u, v);
+                }
+            }
+            m *= 2;
+        }
+    }
+
+    /// In-place inverse negacyclic NTT (Gentleman–Sande).
+    pub fn inverse(&self, a: &mut [u64]) {
+        debug_assert_eq!(a.len(), self.degree);
+        let n = self.degree;
+        let mut t = 1usize;
+        let mut m = n;
+        while m > 1 {
+            let h = m / 2;
+            let mut j1 = 0usize;
+            for i in 0..h {
+                let j2 = j1 + t;
+                let s = self.inv_psi_rev[h + i];
+                for j in j1..j2 {
+                    let u = a[j];
+                    let v = a[j + t];
+                    a[j] = p_add(u, v);
+                    a[j + t] = p_mul(p_sub(u, v), s);
+                }
+                j1 += 2 * t;
+            }
+            t *= 2;
+            m = h;
+        }
+        for x in a.iter_mut() {
+            *x = p_mul(*x, self.inv_degree);
+        }
+    }
+}
+
+/// A dense polynomial of fixed degree in `Z_p[x] / (x^n + 1)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Poly {
+    coeffs: Vec<u64>,
+}
+
+impl Poly {
+    /// The zero polynomial of the given degree.
+    pub fn zero(degree: usize) -> Self {
+        Poly { coeffs: vec![0; degree] }
+    }
+
+    /// Builds a polynomial from coefficients (reduced modulo `p`).
+    pub fn from_coeffs(coeffs: Vec<u64>) -> Self {
+        Poly { coeffs: coeffs.into_iter().map(|c| c % MODULUS).collect() }
+    }
+
+    /// The polynomial's coefficients.
+    pub fn coeffs(&self) -> &[u64] {
+        &self.coeffs
+    }
+
+    /// The polynomial's degree bound (`n`).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Coefficient-wise addition.
+    pub fn add(&self, other: &Poly) -> Poly {
+        debug_assert_eq!(self.degree(), other.degree());
+        Poly {
+            coeffs: self.coeffs.iter().zip(&other.coeffs).map(|(&a, &b)| p_add(a, b)).collect(),
+        }
+    }
+
+    /// Coefficient-wise subtraction.
+    pub fn sub(&self, other: &Poly) -> Poly {
+        debug_assert_eq!(self.degree(), other.degree());
+        Poly {
+            coeffs: self.coeffs.iter().zip(&other.coeffs).map(|(&a, &b)| p_sub(a, b)).collect(),
+        }
+    }
+
+    /// Coefficient-wise negation.
+    pub fn negate(&self) -> Poly {
+        Poly { coeffs: self.coeffs.iter().map(|&a| p_neg(a)).collect() }
+    }
+
+    /// Multiplies every coefficient by a scalar.
+    pub fn scale(&self, k: u64) -> Poly {
+        Poly { coeffs: self.coeffs.iter().map(|&a| p_mul(a, k)).collect() }
+    }
+
+    /// Negacyclic product using the supplied NTT tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the degrees of the operands and tables differ.
+    pub fn mul_ntt(&self, other: &Poly, tables: &NttTables) -> Poly {
+        debug_assert_eq!(self.degree(), tables.degree());
+        debug_assert_eq!(other.degree(), tables.degree());
+        let mut a = self.coeffs.clone();
+        let mut b = other.coeffs.clone();
+        tables.forward(&mut a);
+        tables.forward(&mut b);
+        for (x, y) in a.iter_mut().zip(&b) {
+            *x = p_mul(*x, *y);
+        }
+        tables.inverse(&mut a);
+        Poly { coeffs: a }
+    }
+
+    /// Schoolbook negacyclic product (`O(n^2)`), used to validate the NTT.
+    pub fn mul_naive(&self, other: &Poly) -> Poly {
+        let n = self.degree();
+        debug_assert_eq!(n, other.degree());
+        let mut out = vec![0u64; n];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                let prod = p_mul(a, b);
+                let k = i + j;
+                if k < n {
+                    out[k] = p_add(out[k], prod);
+                } else {
+                    out[k - n] = p_sub(out[k - n], prod);
+                }
+            }
+        }
+        Poly { coeffs: out }
+    }
+
+    /// Applies the Galois automorphism `x -> x^galois_elt` (used by slot
+    /// rotations); `galois_elt` must be odd.
+    pub fn apply_galois(&self, galois_elt: usize) -> Poly {
+        let n = self.degree();
+        debug_assert!(galois_elt % 2 == 1, "Galois element must be odd");
+        let mut out = vec![0u64; n];
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let raw = i * galois_elt;
+            let idx = raw % n;
+            // x^n = -1, so every wrap around n flips the sign.
+            let wraps = (raw / n) % 2;
+            if wraps == 0 {
+                out[idx] = p_add(out[idx], c);
+            } else {
+                out[idx] = p_sub(out[idx], c);
+            }
+        }
+        Poly { coeffs: out }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poly_of(vals: &[u64]) -> Poly {
+        Poly::from_coeffs(vals.to_vec())
+    }
+
+    #[test]
+    fn modular_arithmetic_basics() {
+        assert_eq!(p_add(MODULUS - 1, 1), 0);
+        assert_eq!(p_sub(0, 1), MODULUS - 1);
+        assert_eq!(p_neg(0), 0);
+        assert_eq!(p_mul(MODULUS - 1, MODULUS - 1), 1);
+        assert_eq!(p_mul(p_inv(12345), 12345), 1);
+        assert_eq!(p_pow(3, 0), 1);
+    }
+
+    #[test]
+    fn ntt_round_trips() {
+        let tables = NttTables::new(64);
+        let original: Vec<u64> = (0..64u64).map(|i| i * i + 7).collect();
+        let mut a = original.clone();
+        tables.forward(&mut a);
+        tables.inverse(&mut a);
+        assert_eq!(a, original);
+    }
+
+    #[test]
+    fn ntt_multiplication_matches_schoolbook() {
+        let tables = NttTables::new(32);
+        let a = Poly::from_coeffs((0..32u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect());
+        let b = Poly::from_coeffs((0..32u64).map(|i| (i + 3).wrapping_mul(0xD1B54A32D192ED03)).collect());
+        assert_eq!(a.mul_ntt(&b, &tables), a.mul_naive(&b));
+    }
+
+    #[test]
+    fn negacyclic_wraparound_is_negative() {
+        // (x^(n-1)) * x = x^n = -1 in the negacyclic ring.
+        let n = 16;
+        let tables = NttTables::new(n);
+        let mut xs = vec![0u64; n];
+        xs[n - 1] = 1;
+        let x_pow_n_minus_1 = Poly::from_coeffs(xs);
+        let mut xs = vec![0u64; n];
+        xs[1] = 1;
+        let x = Poly::from_coeffs(xs);
+        let prod = x_pow_n_minus_1.mul_ntt(&x, &tables);
+        let mut expected = vec![0u64; n];
+        expected[0] = MODULUS - 1;
+        assert_eq!(prod.coeffs(), &expected[..]);
+    }
+
+    #[test]
+    fn addition_and_negation_are_inverse() {
+        let a = poly_of(&[1, 2, 3, 4]);
+        let sum = a.add(&a.negate());
+        assert_eq!(sum, Poly::zero(4));
+        assert_eq!(a.sub(&a), Poly::zero(4));
+    }
+
+    #[test]
+    fn scaling_distributes_over_addition() {
+        let a = poly_of(&[5, 6, 7, 8]);
+        let b = poly_of(&[9, 10, 11, 12]);
+        assert_eq!(a.add(&b).scale(3), a.scale(3).add(&b.scale(3)));
+    }
+
+    #[test]
+    fn galois_automorphism_is_a_signed_permutation() {
+        let n = 8;
+        let a = Poly::from_coeffs((1..=n as u64).collect());
+        let g = a.apply_galois(3);
+        // Every original coefficient magnitude appears exactly once (up to sign).
+        let mut seen = vec![false; n + 1];
+        for &c in g.coeffs() {
+            let magnitude = if c > MODULUS / 2 { (MODULUS - c) as usize } else { c as usize };
+            assert!(magnitude >= 1 && magnitude <= n);
+            assert!(!seen[magnitude], "coefficient duplicated by automorphism");
+            seen[magnitude] = true;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn tables_reject_non_power_of_two_degree() {
+        let _ = NttTables::new(48);
+    }
+}

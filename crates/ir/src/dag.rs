@@ -1,0 +1,269 @@
+//! Hash-consed DAG view of an expression.
+//!
+//! The expression tree is convenient for rewriting, but circuits are DAGs:
+//! repeated subexpressions are computed once. Converting to a [`CircuitDag`]
+//! performs common-subexpression elimination by construction and is the
+//! representation used by code generation and by analyses that must count
+//! each distinct computation once.
+
+use crate::expr::{BinOp, Expr};
+use crate::symbol::Symbol;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of a node inside a [`CircuitDag`].
+pub type NodeId = usize;
+
+/// A single operation (or input) in the circuit DAG.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DagNode {
+    /// Encrypted scalar input.
+    CtVar(Symbol),
+    /// Plaintext scalar input.
+    PtVar(Symbol),
+    /// Plaintext constant.
+    Const(i64),
+    /// Scalar binary operation.
+    Bin(BinOp, NodeId, NodeId),
+    /// Scalar negation.
+    Neg(NodeId),
+    /// Vector constructor over scalar nodes.
+    Vec(Vec<NodeId>),
+    /// Element-wise vector binary operation.
+    VecBin(BinOp, NodeId, NodeId),
+    /// Element-wise vector negation.
+    VecNeg(NodeId),
+    /// Slot rotation.
+    Rot(NodeId, i64),
+}
+
+impl DagNode {
+    /// Ids of this node's operands.
+    pub fn operands(&self) -> Vec<NodeId> {
+        match self {
+            DagNode::CtVar(_) | DagNode::PtVar(_) | DagNode::Const(_) => Vec::new(),
+            DagNode::Bin(_, a, b) | DagNode::VecBin(_, a, b) => vec![*a, *b],
+            DagNode::Neg(a) | DagNode::VecNeg(a) | DagNode::Rot(a, _) => vec![*a],
+            DagNode::Vec(elems) => elems.clone(),
+        }
+    }
+
+    /// Returns `true` for input/constant nodes.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, DagNode::CtVar(_) | DagNode::PtVar(_) | DagNode::Const(_))
+    }
+}
+
+/// A hash-consed circuit DAG with a single output node.
+///
+/// Node ids are topologically ordered: every operand id is smaller than the
+/// id of the node that uses it, so a single forward pass evaluates the
+/// circuit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CircuitDag {
+    nodes: Vec<DagNode>,
+    output: NodeId,
+}
+
+impl CircuitDag {
+    /// Builds the DAG of an expression, sharing structurally identical
+    /// subexpressions (common-subexpression elimination).
+    pub fn from_expr(expr: &Expr) -> Self {
+        let mut builder = Builder { nodes: Vec::new(), interned: HashMap::new() };
+        let output = builder.intern_expr(expr);
+        CircuitDag { nodes: builder.nodes, output }
+    }
+
+    /// The nodes of the DAG in topological order.
+    pub fn nodes(&self) -> &[DagNode] {
+        &self.nodes
+    }
+
+    /// The id of the output node.
+    pub fn output(&self) -> NodeId {
+        self.output
+    }
+
+    /// Number of nodes (after sharing).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the DAG has no nodes (never the case for DAGs built
+    /// from an expression).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of non-leaf (operation) nodes after sharing.
+    pub fn operation_count(&self) -> usize {
+        self.nodes.iter().filter(|n| !n.is_leaf() && !matches!(n, DagNode::Vec(_))).count()
+    }
+
+    /// Number of uses of each node (fan-out). Nodes with fan-out greater than
+    /// one are shared subexpressions.
+    pub fn use_counts(&self) -> Vec<usize> {
+        let mut uses = vec![0usize; self.nodes.len()];
+        for node in &self.nodes {
+            for op in node.operands() {
+                uses[op] += 1;
+            }
+        }
+        uses[self.output] += 1;
+        uses
+    }
+
+    /// Removes nodes not reachable from the output (dead-code elimination)
+    /// and returns the compacted DAG.
+    pub fn eliminate_dead_code(&self) -> CircuitDag {
+        let mut live = vec![false; self.nodes.len()];
+        let mut stack = vec![self.output];
+        while let Some(id) = stack.pop() {
+            if !live[id] {
+                live[id] = true;
+                stack.extend(self.nodes[id].operands());
+            }
+        }
+        let mut remap = vec![usize::MAX; self.nodes.len()];
+        let mut nodes = Vec::new();
+        for (id, node) in self.nodes.iter().enumerate() {
+            if live[id] {
+                let remapped = match node {
+                    DagNode::Bin(op, a, b) => DagNode::Bin(*op, remap[*a], remap[*b]),
+                    DagNode::VecBin(op, a, b) => DagNode::VecBin(*op, remap[*a], remap[*b]),
+                    DagNode::Neg(a) => DagNode::Neg(remap[*a]),
+                    DagNode::VecNeg(a) => DagNode::VecNeg(remap[*a]),
+                    DagNode::Rot(a, s) => DagNode::Rot(remap[*a], *s),
+                    DagNode::Vec(elems) => DagNode::Vec(elems.iter().map(|e| remap[*e]).collect()),
+                    leaf => leaf.clone(),
+                };
+                remap[id] = nodes.len();
+                nodes.push(remapped);
+            }
+        }
+        CircuitDag { nodes, output: remap[self.output] }
+    }
+
+    /// Per-node circuit depth (operation nodes add one; `Vec` packing does
+    /// not), indexed by node id.
+    pub fn depths(&self) -> Vec<usize> {
+        let mut depth = vec![0usize; self.nodes.len()];
+        for (id, node) in self.nodes.iter().enumerate() {
+            let child_max = node.operands().into_iter().map(|o| depth[o]).max().unwrap_or(0);
+            let adds = !node.is_leaf() && !matches!(node, DagNode::Vec(_));
+            depth[id] = child_max + usize::from(adds);
+        }
+        depth
+    }
+
+    /// Circuit depth of the whole DAG.
+    pub fn depth(&self) -> usize {
+        self.depths()[self.output]
+    }
+}
+
+struct Builder {
+    nodes: Vec<DagNode>,
+    interned: HashMap<DagNode, NodeId>,
+}
+
+impl Builder {
+    fn intern(&mut self, node: DagNode) -> NodeId {
+        if let Some(&id) = self.interned.get(&node) {
+            return id;
+        }
+        let id = self.nodes.len();
+        self.nodes.push(node.clone());
+        self.interned.insert(node, id);
+        id
+    }
+
+    fn intern_expr(&mut self, expr: &Expr) -> NodeId {
+        let node = match expr {
+            Expr::CtVar(s) => DagNode::CtVar(s.clone()),
+            Expr::PtVar(s) => DagNode::PtVar(s.clone()),
+            Expr::Const(v) => DagNode::Const(*v),
+            Expr::Bin(op, a, b) => {
+                let (a, b) = (self.intern_expr(a), self.intern_expr(b));
+                DagNode::Bin(*op, a, b)
+            }
+            Expr::Neg(a) => {
+                let a = self.intern_expr(a);
+                DagNode::Neg(a)
+            }
+            Expr::Vec(elems) => {
+                let ids = elems.iter().map(|e| self.intern_expr(e)).collect();
+                DagNode::Vec(ids)
+            }
+            Expr::VecBin(op, a, b) => {
+                let (a, b) = (self.intern_expr(a), self.intern_expr(b));
+                DagNode::VecBin(*op, a, b)
+            }
+            Expr::VecNeg(a) => {
+                let a = self.intern_expr(a);
+                DagNode::VecNeg(a)
+            }
+            Expr::Rot(a, s) => {
+                let a = self.intern_expr(a);
+                DagNode::Rot(a, *s)
+            }
+        };
+        self.intern(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn shared_subexpressions_are_interned_once() {
+        // (v3*v4) appears twice in the motivating example's left factor.
+        let e = parse("(+ (* (* v1 v2) (* v3 v4)) (* (* v3 v4) (* v5 v6)))").unwrap();
+        let dag = CircuitDag::from_expr(&e);
+        // Tree has 9 operation nodes, but (* v3 v4) is shared: 8 distinct operations.
+        assert_eq!(dag.operation_count(), 6);
+        let shared = dag
+            .use_counts()
+            .iter()
+            .zip(dag.nodes())
+            .filter(|(uses, node)| **uses > 1 && !node.is_leaf())
+            .count();
+        assert_eq!(shared, 1, "exactly one shared operation node");
+    }
+
+    #[test]
+    fn topological_order_holds() {
+        let e = parse("(VecAdd (VecMul (Vec a b) (Vec c d)) (<< (VecMul (Vec a b) (Vec c d)) 1))").unwrap();
+        let dag = CircuitDag::from_expr(&e);
+        for (id, node) in dag.nodes().iter().enumerate() {
+            for op in node.operands() {
+                assert!(op < id, "operand {op} of node {id} must come first");
+            }
+        }
+    }
+
+    #[test]
+    fn depth_matches_tree_depth_without_sharing() {
+        let e = parse("(* (+ a b) (* c d))").unwrap();
+        let dag = CircuitDag::from_expr(&e);
+        assert_eq!(dag.depth(), crate::analysis::circuit_depth(&e));
+    }
+
+    #[test]
+    fn dead_code_elimination_is_a_no_op_for_reachable_dags() {
+        let e = parse("(+ (* a b) c)").unwrap();
+        let dag = CircuitDag::from_expr(&e);
+        let cleaned = dag.eliminate_dead_code();
+        assert_eq!(dag.len(), cleaned.len());
+        assert_eq!(cleaned.nodes()[cleaned.output()], dag.nodes()[dag.output()]);
+    }
+
+    #[test]
+    fn leaves_are_shared() {
+        let e = parse("(* a a)").unwrap();
+        let dag = CircuitDag::from_expr(&e);
+        assert_eq!(dag.len(), 2, "one leaf plus one multiply");
+    }
+}

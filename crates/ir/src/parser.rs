@@ -1,0 +1,427 @@
+//! S-expression parser and printer for the CHEHAB IR.
+//!
+//! The concrete syntax mirrors the paper:
+//!
+//! ```text
+//! expr   ::= ident                      ; encrypted scalar input
+//!          | integer                    ; plaintext constant
+//!          | (pt ident)                 ; plaintext scalar input
+//!          | (+ expr expr)              ; scalar add
+//!          | (- expr expr) | (- expr)   ; scalar sub / negation
+//!          | (* expr expr)              ; scalar mul
+//!          | (Vec expr+)                ; vector constructor
+//!          | (VecAdd expr expr) | (VecSub expr expr) | (VecMul expr expr)
+//!          | (VecNeg expr)
+//!          | (<< expr integer) | (>> expr integer)   ; rotations
+//! ```
+//!
+//! Printing and parsing round-trip: `parse(&e.to_string()) == Ok(e)`.
+
+use crate::expr::{BinOp, Expr};
+use std::fmt;
+
+/// Error produced when parsing an IR s-expression fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// Byte offset in the input at which the failure was detected.
+    pub position: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    LParen,
+    RParen,
+    Ident(String),
+    Int(i64),
+    Op(String),
+}
+
+struct Lexer<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(input: &'a str) -> Self {
+        Lexer { input: input.as_bytes(), pos: 0 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into(), position: self.pos }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Option<(Token, usize)>, ParseError> {
+        self.skip_ws();
+        if self.pos >= self.input.len() {
+            return Ok(None);
+        }
+        let start = self.pos;
+        let c = self.input[self.pos];
+        let tok = match c {
+            b'(' => {
+                self.pos += 1;
+                Token::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                Token::RParen
+            }
+            b'+' | b'*' => {
+                self.pos += 1;
+                Token::Op((c as char).to_string())
+            }
+            b'<' | b'>' => {
+                if self.pos + 1 < self.input.len() && self.input[self.pos + 1] == c {
+                    self.pos += 2;
+                    Token::Op(if c == b'<' { "<<".into() } else { ">>".into() })
+                } else {
+                    return Err(self.error(format!("unexpected character `{}`", c as char)));
+                }
+            }
+            b'-' => {
+                // `-` may start a negative integer literal or be the sub/neg operator.
+                if self.pos + 1 < self.input.len() && self.input[self.pos + 1].is_ascii_digit() {
+                    self.pos += 1;
+                    let v = self.lex_int(true)?;
+                    Token::Int(v)
+                } else {
+                    self.pos += 1;
+                    Token::Op("-".into())
+                }
+            }
+            b'0'..=b'9' => Token::Int(self.lex_int(false)?),
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let mut end = self.pos;
+                while end < self.input.len()
+                    && (self.input[end].is_ascii_alphanumeric() || self.input[end] == b'_')
+                {
+                    end += 1;
+                }
+                let ident = std::str::from_utf8(&self.input[self.pos..end])
+                    .expect("ascii alphanumeric slice is valid utf-8")
+                    .to_string();
+                self.pos = end;
+                Token::Ident(ident)
+            }
+            other => return Err(self.error(format!("unexpected character `{}`", other as char))),
+        };
+        Ok(Some((tok, start)))
+    }
+
+    fn lex_int(&mut self, negative: bool) -> Result<i64, ParseError> {
+        let start = self.pos;
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        let digits = std::str::from_utf8(&self.input[start..self.pos])
+            .expect("digits are valid utf-8");
+        let mag: i64 = digits
+            .parse()
+            .map_err(|_| self.error(format!("integer literal `{digits}` out of range")))?;
+        Ok(if negative { -mag } else { mag })
+    }
+}
+
+struct Parser<'a> {
+    tokens: Vec<(Token, usize)>,
+    idx: usize,
+    input_len: usize,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Result<Self, ParseError> {
+        let mut lexer = Lexer::new(input);
+        let mut tokens = Vec::new();
+        while let Some(t) = lexer.next_token()? {
+            tokens.push(t);
+        }
+        Ok(Parser { tokens, idx: 0, input_len: input.len(), _marker: std::marker::PhantomData })
+    }
+
+    fn peek(&self) -> Option<&(Token, usize)> {
+        self.tokens.get(self.idx)
+    }
+
+    fn bump(&mut self) -> Option<(Token, usize)> {
+        let t = self.tokens.get(self.idx).cloned();
+        if t.is_some() {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn error_at(&self, pos: usize, message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into(), position: pos }
+    }
+
+    fn error_eof(&self, message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into(), position: self.input_len }
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            None => Err(self.error_eof("unexpected end of input")),
+            Some((Token::Int(v), _)) => Ok(Expr::Const(v)),
+            Some((Token::Ident(name), pos)) => {
+                if name == "Vec" || name.starts_with("Vec") || name == "pt" {
+                    Err(self.error_at(pos, format!("keyword `{name}` used outside parentheses")))
+                } else {
+                    Ok(Expr::ct(name))
+                }
+            }
+            Some((Token::RParen, pos)) => Err(self.error_at(pos, "unexpected `)`")),
+            Some((Token::Op(op), pos)) => {
+                Err(self.error_at(pos, format!("operator `{op}` used outside parentheses")))
+            }
+            Some((Token::LParen, pos)) => {
+                let head = self
+                    .bump()
+                    .ok_or_else(|| self.error_eof("unexpected end of input after `(`"))?;
+                let expr = match head {
+                    (Token::Op(op), op_pos) => self.parse_operator_form(&op, op_pos)?,
+                    (Token::Ident(name), name_pos) => self.parse_named_form(&name, name_pos)?,
+                    (t, p) => return Err(self.error_at(p, format!("unexpected token {t:?} after `(`"))),
+                };
+                match self.bump() {
+                    Some((Token::RParen, _)) => Ok(expr),
+                    Some((t, p)) => Err(self.error_at(p, format!("expected `)`, found {t:?}"))),
+                    None => Err(self.error_at(pos, "unclosed `(`")),
+                }
+            }
+        }
+    }
+
+    fn parse_operator_form(&mut self, op: &str, pos: usize) -> Result<Expr, ParseError> {
+        match op {
+            "+" | "*" => {
+                let a = self.parse_expr()?;
+                let b = self.parse_expr()?;
+                let bin = if op == "+" { BinOp::Add } else { BinOp::Mul };
+                Ok(Expr::Bin(bin, Box::new(a), Box::new(b)))
+            }
+            "-" => {
+                let a = self.parse_expr()?;
+                if matches!(self.peek(), Some((Token::RParen, _))) {
+                    Ok(Expr::Neg(Box::new(a)))
+                } else {
+                    let b = self.parse_expr()?;
+                    Ok(Expr::Bin(BinOp::Sub, Box::new(a), Box::new(b)))
+                }
+            }
+            "<<" | ">>" => {
+                let a = self.parse_expr()?;
+                let step = match self.bump() {
+                    Some((Token::Int(v), _)) => v,
+                    Some((t, p)) => {
+                        return Err(self.error_at(p, format!("rotation step must be an integer, found {t:?}")))
+                    }
+                    None => return Err(self.error_eof("rotation step missing")),
+                };
+                let signed = if op == "<<" { step } else { -step };
+                Ok(Expr::rot(a, signed))
+            }
+            other => Err(self.error_at(pos, format!("unknown operator `{other}`"))),
+        }
+    }
+
+    fn parse_named_form(&mut self, name: &str, pos: usize) -> Result<Expr, ParseError> {
+        match name {
+            "pt" => match self.bump() {
+                Some((Token::Ident(var), _)) => Ok(Expr::pt(var)),
+                Some((t, p)) => Err(self.error_at(p, format!("`pt` expects an identifier, found {t:?}"))),
+                None => Err(self.error_eof("`pt` expects an identifier")),
+            },
+            "Vec" => {
+                let mut elems = Vec::new();
+                while !matches!(self.peek(), Some((Token::RParen, _)) | None) {
+                    elems.push(self.parse_expr()?);
+                }
+                if elems.is_empty() {
+                    return Err(self.error_at(pos, "`Vec` requires at least one element"));
+                }
+                Ok(Expr::Vec(elems))
+            }
+            "VecAdd" | "VecSub" | "VecMul" => {
+                let a = self.parse_expr()?;
+                let b = self.parse_expr()?;
+                let op = match name {
+                    "VecAdd" => BinOp::Add,
+                    "VecSub" => BinOp::Sub,
+                    _ => BinOp::Mul,
+                };
+                Ok(Expr::VecBin(op, Box::new(a), Box::new(b)))
+            }
+            "VecNeg" => {
+                let a = self.parse_expr()?;
+                Ok(Expr::VecNeg(Box::new(a)))
+            }
+            other => Err(self.error_at(pos, format!("unknown form `{other}`"))),
+        }
+    }
+}
+
+/// Parses an IR expression from its s-expression syntax.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntactic problem found.
+///
+/// # Examples
+///
+/// ```
+/// use chehab_ir::parse;
+///
+/// let e = parse("(VecAdd (Vec (+ a b) (* c d)) (Vec 1 2))")?;
+/// assert_eq!(e.node_count(), 11);
+/// # Ok::<(), chehab_ir::ParseError>(())
+/// ```
+pub fn parse(input: &str) -> Result<Expr, ParseError> {
+    let mut p = Parser::new(input)?;
+    let e = p.parse_expr()?;
+    if let Some((t, pos)) = p.peek() {
+        return Err(ParseError {
+            message: format!("trailing input after expression: {t:?}"),
+            position: *pos,
+        });
+    }
+    Ok(e)
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::CtVar(s) => write!(f, "{s}"),
+            Expr::PtVar(s) => write!(f, "(pt {s})"),
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Bin(op, a, b) => write!(f, "({} {a} {b})", op.token()),
+            Expr::Neg(a) => write!(f, "(- {a})"),
+            Expr::Vec(elems) => {
+                write!(f, "(Vec")?;
+                for e in elems {
+                    write!(f, " {e}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::VecBin(op, a, b) => write!(f, "({} {a} {b})", op.vector_token()),
+            Expr::VecNeg(a) => write!(f, "(VecNeg {a})"),
+            Expr::Rot(a, s) => {
+                if *s >= 0 {
+                    write!(f, "(<< {a} {s})")
+                } else {
+                    write!(f, "(>> {a} {})", -s)
+                }
+            }
+        }
+    }
+}
+
+impl std::str::FromStr for Expr {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    #[test]
+    fn parses_scalar_arithmetic() {
+        let e = parse("(+ a (* b c))").unwrap();
+        assert_eq!(e, Expr::add(Expr::ct("a"), Expr::mul(Expr::ct("b"), Expr::ct("c"))));
+    }
+
+    #[test]
+    fn parses_unary_and_binary_minus() {
+        assert_eq!(parse("(- a)").unwrap(), Expr::neg(Expr::ct("a")));
+        assert_eq!(parse("(- a b)").unwrap(), Expr::sub(Expr::ct("a"), Expr::ct("b")));
+    }
+
+    #[test]
+    fn parses_negative_literals() {
+        assert_eq!(parse("(* a -3)").unwrap(), Expr::mul(Expr::ct("a"), Expr::constant(-3)));
+    }
+
+    #[test]
+    fn parses_vector_forms() {
+        let e = parse("(VecMul (Vec a c) (Vec b d))").unwrap();
+        assert_eq!(
+            e,
+            Expr::vec_mul(
+                Expr::vec(vec![Expr::ct("a"), Expr::ct("c")]),
+                Expr::vec(vec![Expr::ct("b"), Expr::ct("d")]),
+            )
+        );
+    }
+
+    #[test]
+    fn parses_rotations_in_both_directions() {
+        assert_eq!(parse("(<< (Vec a b) 1)").unwrap(), Expr::rot(Expr::vec(vec![Expr::ct("a"), Expr::ct("b")]), 1));
+        assert_eq!(parse("(>> (Vec a b) 2)").unwrap(), Expr::rot(Expr::vec(vec![Expr::ct("a"), Expr::ct("b")]), -2));
+    }
+
+    #[test]
+    fn parses_plaintext_vars() {
+        assert_eq!(parse("(* (pt w) x)").unwrap(), Expr::mul(Expr::pt("w"), Expr::ct("x")));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let sources = [
+            "(+ a (* b c))",
+            "(- x)",
+            "(- x y)",
+            "(Vec (+ a b) (* c d) (- f g))",
+            "(VecAdd (VecMul (Vec a c) (Vec b d)) (<< (Vec e f) 2))",
+            "(>> (Vec a b c d) 3)",
+            "(* (pt alpha) (+ x_0 1))",
+            "(* a -17)",
+        ];
+        for src in sources {
+            let e = parse(src).unwrap();
+            let printed = e.to_string();
+            let reparsed = parse(&printed).unwrap();
+            assert_eq!(e, reparsed, "round trip failed for {src}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["", "(", ")", "(+ a)", "(+ a b c)", "(Vec)", "(<< a b)", "(?? a b)", "(+ a b) extra"] {
+            assert!(parse(bad).is_err(), "expected parse error for `{bad}`");
+        }
+    }
+
+    #[test]
+    fn error_positions_point_into_input() {
+        let err = parse("(+ a ?)").unwrap_err();
+        assert!(err.position <= 7);
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn from_str_works() {
+        let e: Expr = "(+ a b)".parse().unwrap();
+        assert_eq!(e, Expr::add(Expr::ct("a"), Expr::ct("b")));
+    }
+}

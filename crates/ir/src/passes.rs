@@ -1,0 +1,199 @@
+//! Classic compiler passes applied by the CHEHAB pipeline outside the
+//! rewrite system: constant folding and algebraic identity cleanup.
+//!
+//! Common-subexpression elimination and dead-code elimination operate on the
+//! DAG view and live in [`crate::dag`].
+
+use crate::expr::{BinOp, Expr};
+
+/// Folds plaintext-constant subexpressions into literal constants and applies
+/// the safe algebraic identities `x*1 = x`, `1*x = x`, `x*0 = 0`, `0*x = 0`,
+/// `x+0 = x`, `0+x = x` and `x-0 = x`.
+///
+/// Folding happens in the plaintext integer domain (`i64` with wrapping
+/// arithmetic is never needed because folded constants stay well within the
+/// plaintext modulus for realistic programs); the FHE backend reduces
+/// constants modulo `t` when encoding them.
+pub fn constant_fold(expr: &Expr) -> Expr {
+    match expr {
+        Expr::CtVar(_) | Expr::PtVar(_) | Expr::Const(_) => expr.clone(),
+        Expr::Bin(op, a, b) => {
+            let (a, b) = (constant_fold(a), constant_fold(b));
+            if let (Expr::Const(x), Expr::Const(y)) = (&a, &b) {
+                return Expr::Const(apply(*op, *x, *y));
+            }
+            match (op, &a, &b) {
+                (BinOp::Mul, _, Expr::Const(1)) => a,
+                (BinOp::Mul, Expr::Const(1), _) => b,
+                (BinOp::Mul, _, Expr::Const(0)) | (BinOp::Mul, Expr::Const(0), _) => Expr::Const(0),
+                (BinOp::Add, _, Expr::Const(0)) => a,
+                (BinOp::Add, Expr::Const(0), _) => b,
+                (BinOp::Sub, _, Expr::Const(0)) => a,
+                _ => Expr::Bin(*op, Box::new(a), Box::new(b)),
+            }
+        }
+        Expr::Neg(a) => {
+            let a = constant_fold(a);
+            if let Expr::Const(x) = a {
+                Expr::Const(x.wrapping_neg())
+            } else {
+                Expr::Neg(Box::new(a))
+            }
+        }
+        Expr::Vec(elems) => Expr::Vec(elems.iter().map(constant_fold).collect()),
+        Expr::VecBin(op, a, b) => {
+            Expr::VecBin(*op, Box::new(constant_fold(a)), Box::new(constant_fold(b)))
+        }
+        Expr::VecNeg(a) => Expr::VecNeg(Box::new(constant_fold(a))),
+        Expr::Rot(a, s) => {
+            let a = constant_fold(a);
+            if *s == 0 {
+                a
+            } else {
+                Expr::Rot(Box::new(a), *s)
+            }
+        }
+    }
+}
+
+fn apply(op: BinOp, x: i64, y: i64) -> i64 {
+    match op {
+        BinOp::Add => x.wrapping_add(y),
+        BinOp::Sub => x.wrapping_sub(y),
+        BinOp::Mul => x.wrapping_mul(y),
+    }
+}
+
+/// Merges nested rotations (`Rot(Rot(e, a), b)` becomes `Rot(e, a + b)`) and
+/// removes zero-step rotations.
+///
+/// This is sound under the zero-fill shift semantics whenever the two steps
+/// have the same sign (shifting left twice never resurrects slots that the
+/// first shift discarded); opposite-sign rotations are left untouched because
+/// `(<< (>> v 1) 1)` zeroes slot `k-1` and is *not* the identity.
+pub fn merge_rotations(expr: &Expr) -> Expr {
+    match expr {
+        Expr::Rot(inner, s_outer) => {
+            let folded = merge_rotations(inner);
+            if let Expr::Rot(inner2, s_inner) = &folded {
+                if (*s_outer >= 0) == (*s_inner >= 0) {
+                    let combined = s_outer + s_inner;
+                    return if combined == 0 {
+                        (**inner2).clone()
+                    } else {
+                        Expr::Rot(inner2.clone(), combined)
+                    };
+                }
+            }
+            if *s_outer == 0 {
+                folded
+            } else {
+                Expr::Rot(Box::new(folded), *s_outer)
+            }
+        }
+        _ => {
+            let children: Vec<Expr> = expr.children().into_iter().map(merge_rotations).collect();
+            if children.is_empty() {
+                expr.clone()
+            } else {
+                expr.with_children(children)
+            }
+        }
+    }
+}
+
+/// Runs the full cleanup pipeline: constant folding followed by rotation
+/// merging, repeated until a fixpoint is reached (at most a handful of
+/// iterations in practice, bounded here for safety).
+pub fn cleanup(expr: &Expr) -> Expr {
+    let mut cur = expr.clone();
+    for _ in 0..8 {
+        let next = merge_rotations(&constant_fold(&cur));
+        if next == cur {
+            break;
+        }
+        cur = next;
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{equivalent_on_live_slots, Env};
+    use crate::parser::parse;
+
+    #[test]
+    fn folds_constant_subtrees() {
+        let e = parse("(* x (+ 2 3))").unwrap();
+        assert_eq!(constant_fold(&e), parse("(* x 5)").unwrap());
+    }
+
+    #[test]
+    fn applies_multiplicative_identities() {
+        assert_eq!(constant_fold(&parse("(* x 1)").unwrap()), parse("x").unwrap());
+        assert_eq!(constant_fold(&parse("(* 1 x)").unwrap()), parse("x").unwrap());
+        assert_eq!(constant_fold(&parse("(* x 0)").unwrap()), parse("0").unwrap());
+        assert_eq!(constant_fold(&parse("(+ x 0)").unwrap()), parse("x").unwrap());
+        assert_eq!(constant_fold(&parse("(- x 0)").unwrap()), parse("x").unwrap());
+    }
+
+    #[test]
+    fn folds_negation_of_constants() {
+        assert_eq!(constant_fold(&parse("(- 5)").unwrap()), Expr::Const(-5));
+    }
+
+    #[test]
+    fn folding_recurses_into_vectors() {
+        let e = parse("(Vec (+ 1 2) (* x 1))").unwrap();
+        assert_eq!(constant_fold(&e), parse("(Vec 3 x)").unwrap());
+    }
+
+    #[test]
+    fn merges_same_direction_rotations() {
+        let e = parse("(<< (<< (Vec a b c d) 1) 2)").unwrap();
+        assert_eq!(merge_rotations(&e), parse("(<< (Vec a b c d) 3)").unwrap());
+        let e = parse("(>> (>> (Vec a b c d) 1) 1)").unwrap();
+        assert_eq!(merge_rotations(&e), parse("(>> (Vec a b c d) 2)").unwrap());
+    }
+
+    #[test]
+    fn does_not_merge_opposite_direction_rotations() {
+        let e = parse("(<< (>> (Vec a b c d) 1) 1)").unwrap();
+        assert_eq!(merge_rotations(&e), e, "opposite-direction rotations are not the identity");
+    }
+
+    #[test]
+    fn removes_zero_step_rotations() {
+        let e = parse("(<< (Vec a b) 0)").unwrap();
+        assert_eq!(constant_fold(&e), parse("(Vec a b)").unwrap());
+    }
+
+    #[test]
+    fn cleanup_preserves_semantics() {
+        let sources = [
+            "(* (+ x 0) (+ 2 3))",
+            "(<< (<< (Vec a b c d) 1) 1)",
+            "(VecAdd (Vec (* x 1) (+ y 0)) (Vec 1 2))",
+        ];
+        for src in sources {
+            let e = parse(src).unwrap();
+            let cleaned = cleanup(&e);
+            let mut env = Env::new();
+            env.bind_all(&e, |s| s.as_str().len() as i64 + 3);
+            let live = e.ty().unwrap().slots();
+            assert!(
+                equivalent_on_live_slots(&e, &cleaned, &env, live).unwrap(),
+                "cleanup changed semantics of {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn cleanup_reaches_fixpoint() {
+        let e = parse("(* (+ 0 x) 1)").unwrap();
+        let once = cleanup(&e);
+        assert_eq!(once, parse("x").unwrap());
+        assert_eq!(cleanup(&once), once);
+    }
+}

@@ -1,0 +1,198 @@
+//! The deployed agent: applying a trained policy to optimize a program at
+//! compile time.
+//!
+//! At inference the agent rolls the policy out on the program's rewrite
+//! environment; because the policy is stochastic, the agent can draw several
+//! rollouts (plus one deterministic greedy rollout) and keep the best final
+//! circuit — a cheap way to recover most of the quality of a long-trained
+//! policy under the scaled-down training budgets used by the harness
+//! (documented in EXPERIMENTS.md).
+
+use crate::env::{EnvConfig, ObservationTokenizer, RewriteEnv};
+use crate::policy::Policy;
+use chehab_ir::Expr;
+use chehab_trs::RewriteEngine;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Configuration of compile-time rollouts.
+#[derive(Debug, Clone)]
+pub struct AgentConfig {
+    /// Environment configuration (cost model, step limit).
+    pub env: EnvConfig,
+    /// Number of stochastic rollouts to draw in addition to the greedy one.
+    pub sampled_rollouts: usize,
+    /// RNG seed for the stochastic rollouts.
+    pub seed: u64,
+}
+
+impl Default for AgentConfig {
+    fn default() -> Self {
+        AgentConfig { env: EnvConfig::default(), sampled_rollouts: 4, seed: 0 }
+    }
+}
+
+/// Result of optimizing one program with the agent.
+#[derive(Debug, Clone)]
+pub struct OptimizationOutcome {
+    /// The best program found.
+    pub optimized: Expr,
+    /// Cost of the initial program under the agent's cost model.
+    pub initial_cost: f64,
+    /// Cost of the optimized program.
+    pub final_cost: f64,
+    /// Number of rewrite steps in the best rollout.
+    pub steps: usize,
+    /// Total rollouts performed (greedy + sampled).
+    pub rollouts: usize,
+}
+
+impl OptimizationOutcome {
+    /// Relative improvement achieved (0 means no improvement).
+    pub fn improvement(&self) -> f64 {
+        if self.initial_cost <= 0.0 {
+            0.0
+        } else {
+            (self.initial_cost - self.final_cost) / self.initial_cost
+        }
+    }
+}
+
+/// A trained policy packaged for compile-time use.
+#[derive(Debug)]
+pub struct Agent {
+    policy: Policy,
+    engine: Arc<RewriteEngine>,
+    tokenizer: Arc<ObservationTokenizer>,
+    config: AgentConfig,
+}
+
+impl Agent {
+    /// Wraps a trained policy.
+    pub fn new(
+        policy: Policy,
+        engine: Arc<RewriteEngine>,
+        tokenizer: Arc<ObservationTokenizer>,
+        config: AgentConfig,
+    ) -> Self {
+        Agent { policy, engine, tokenizer, config }
+    }
+
+    /// The underlying policy.
+    pub fn policy(&self) -> &Policy {
+        &self.policy
+    }
+
+    /// The rewrite engine whose catalog the policy was trained over.
+    pub fn engine(&self) -> &Arc<RewriteEngine> {
+        &self.engine
+    }
+
+    /// Optimizes a program: one deterministic (greedy) rollout plus
+    /// `sampled_rollouts` stochastic rollouts; the cheapest final program wins.
+    pub fn optimize(&self, program: &Expr) -> OptimizationOutcome {
+        let initial_cost = self.config.env.cost_model.cost(program);
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut best: Option<(Expr, f64, usize)> = None;
+        let rollouts = 1 + self.config.sampled_rollouts;
+        for rollout in 0..rollouts {
+            let deterministic = rollout == 0;
+            let (candidate, steps) = self.rollout(program, deterministic, &mut rng);
+            let cost = self.config.env.cost_model.cost(&candidate);
+            if best.as_ref().is_none_or(|(_, best_cost, _)| cost < *best_cost) {
+                best = Some((candidate, cost, steps));
+            }
+        }
+        let (optimized, final_cost, steps) = best.expect("at least one rollout");
+        OptimizationOutcome { optimized, initial_cost, final_cost, steps, rollouts }
+    }
+
+    fn rollout(&self, program: &Expr, deterministic: bool, rng: &mut StdRng) -> (Expr, usize) {
+        let mut env = RewriteEnv::new(
+            program.clone(),
+            Arc::clone(&self.engine),
+            Arc::clone(&self.tokenizer),
+            self.config.env.clone(),
+        );
+        let mut best_seen = program.clone();
+        let mut best_cost = env.initial_cost();
+        while !env.is_finished() {
+            let observation = env.observe();
+            let rule_mask = env.rule_mask();
+            let sample = self.policy.act(
+                &observation,
+                &rule_mask,
+                |rule| env.location_count(rule),
+                rng,
+                deterministic,
+            );
+            env.step(sample.action);
+            if env.current_cost() < best_cost {
+                best_cost = env.current_cost();
+                best_seen = env.current().clone();
+            }
+            // Deterministic rollouts can loop on cost-neutral rewrites; the
+            // step limit in the environment bounds them.
+        }
+        (best_seen, env.steps_taken())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyConfig;
+    use chehab_ir::{count_ops, equivalent_on_live_slots, parse, Env};
+    use rand_chacha::ChaCha8Rng;
+
+    fn untrained_agent(sampled_rollouts: usize) -> Agent {
+        let engine = Arc::new(RewriteEngine::new());
+        let tokenizer = Arc::new(ObservationTokenizer::ici());
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let policy =
+            Policy::new(PolicyConfig::small(tokenizer.vocab_size(), engine.rule_count(), 8), &mut rng);
+        Agent::new(
+            policy,
+            engine,
+            tokenizer,
+            AgentConfig {
+                env: EnvConfig { max_steps: 20, ..EnvConfig::default() },
+                sampled_rollouts,
+                seed: 7,
+            },
+        )
+    }
+
+    #[test]
+    fn optimization_never_returns_a_worse_program() {
+        let agent = untrained_agent(3);
+        let program = parse("(Vec (+ a b) (+ c d))").unwrap();
+        let outcome = agent.optimize(&program);
+        assert!(outcome.final_cost <= outcome.initial_cost);
+        assert!(outcome.improvement() >= 0.0);
+        assert_eq!(outcome.rollouts, 4);
+    }
+
+    #[test]
+    fn optimization_preserves_semantics() {
+        let agent = untrained_agent(4);
+        let program = parse("(Vec (* a b) (* c d) (* e f))").unwrap();
+        let outcome = agent.optimize(&program);
+        let mut env = Env::new();
+        env.bind_all(&program, |s| s.as_str().bytes().map(i64::from).sum::<i64>() % 29);
+        assert!(equivalent_on_live_slots(&program, &outcome.optimized, &env, 3).unwrap());
+    }
+
+    #[test]
+    fn more_rollouts_never_hurt() {
+        let program = parse("(Vec (+ (* a b) (* c d)) (+ (* e f) (* g h)))").unwrap();
+        let few = untrained_agent(0).optimize(&program);
+        let many = untrained_agent(6).optimize(&program);
+        assert!(many.final_cost <= few.final_cost + 1e-9);
+        // With several rollouts even an untrained policy usually stumbles on
+        // some vectorization for this small kernel.
+        let counts = count_ops(&many.optimized);
+        assert!(counts.total_ciphertext_ops() <= count_ops(&program).total_ciphertext_ops());
+    }
+}

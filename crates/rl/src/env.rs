@@ -1,0 +1,387 @@
+//! The rewrite environment: FHE circuit optimization as a Markov decision
+//! process (Section 5).
+//!
+//! * **State**: the program being optimized, observed as its ICI (or BPE)
+//!   token sequence.
+//! * **Action**: a rewrite rule plus the index of the match location to apply
+//!   it at, or the special `END` action that terminates the episode.
+//! * **Reward**: the relative cost improvement of each step plus a terminal
+//!   reward proportional to the total improvement (Section 5.3.2).
+
+use crate::reward::RewardConfig;
+use chehab_ir::{BpeTokenizer, CostModel, Expr, Vocabulary};
+use chehab_trs::RewriteEngine;
+use std::sync::Arc;
+
+/// How programs are tokenized into observations.
+#[derive(Debug, Clone)]
+pub enum ObservationTokenizer {
+    /// Identifier-and-Constant-Invariant tokenization (the paper's default).
+    Ici(Vocabulary),
+    /// Byte-pair encoding baseline (Figure 10 ablation).
+    Bpe {
+        /// The trained BPE tokenizer.
+        tokenizer: Box<BpeTokenizer>,
+        /// The vocabulary derived from its merges.
+        vocabulary: Vocabulary,
+    },
+}
+
+impl ObservationTokenizer {
+    /// The default ICI tokenizer.
+    pub fn ici() -> Self {
+        ObservationTokenizer::Ici(Vocabulary::ici())
+    }
+
+    /// A BPE tokenizer baseline.
+    pub fn bpe(tokenizer: BpeTokenizer) -> Self {
+        let vocabulary = tokenizer.vocabulary();
+        ObservationTokenizer::Bpe { tokenizer: Box::new(tokenizer), vocabulary }
+    }
+
+    /// Vocabulary size (the embedding-table height the policy needs).
+    pub fn vocab_size(&self) -> usize {
+        match self {
+            ObservationTokenizer::Ici(v) => v.len(),
+            ObservationTokenizer::Bpe { vocabulary, .. } => vocabulary.len(),
+        }
+    }
+
+    /// Encodes a program into a fixed-length token-id sequence.
+    pub fn encode(&self, expr: &Expr, max_len: usize) -> Vec<usize> {
+        match self {
+            ObservationTokenizer::Ici(v) => v.encode_expr(expr, max_len),
+            ObservationTokenizer::Bpe { tokenizer, vocabulary } => {
+                vocabulary.encode(&tokenizer.tokenize_expr(expr), max_len)
+            }
+        }
+    }
+}
+
+/// Static configuration of the environment.
+#[derive(Debug, Clone)]
+pub struct EnvConfig {
+    /// Cost model used by the reward.
+    pub cost_model: CostModel,
+    /// Reward shaping configuration.
+    pub reward: RewardConfig,
+    /// Maximum rewrites per episode (the paper uses 75).
+    pub max_steps: usize,
+    /// Maximum number of addressable match locations per rule.
+    pub max_locations: usize,
+    /// Observation length in tokens.
+    pub observation_len: usize,
+}
+
+impl Default for EnvConfig {
+    fn default() -> Self {
+        EnvConfig {
+            cost_model: CostModel::default(),
+            reward: RewardConfig::default(),
+            max_steps: 75,
+            max_locations: 16,
+            observation_len: 96,
+        }
+    }
+}
+
+/// An action in the rewrite MDP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Apply rule `rule` at its `location`-th match.
+    Apply {
+        /// Rule index in the engine's catalog.
+        rule: usize,
+        /// 0-based match index.
+        location: usize,
+    },
+    /// Terminate the episode.
+    Stop,
+}
+
+/// The result of one environment step.
+#[derive(Debug, Clone)]
+pub struct StepOutcome {
+    /// Reward obtained for the step (including the terminal bonus when the
+    /// episode ends).
+    pub reward: f64,
+    /// Whether the episode has ended.
+    pub done: bool,
+    /// Whether the chosen action was valid (invalid actions leave the state
+    /// unchanged and incur a small penalty).
+    pub valid: bool,
+}
+
+/// The rewrite environment over one program.
+#[derive(Debug, Clone)]
+pub struct RewriteEnv {
+    engine: Arc<RewriteEngine>,
+    tokenizer: Arc<ObservationTokenizer>,
+    config: EnvConfig,
+    initial: Expr,
+    current: Expr,
+    initial_cost: f64,
+    current_cost: f64,
+    steps: usize,
+    finished: bool,
+}
+
+impl RewriteEnv {
+    /// Creates an environment over `program`.
+    pub fn new(
+        program: Expr,
+        engine: Arc<RewriteEngine>,
+        tokenizer: Arc<ObservationTokenizer>,
+        config: EnvConfig,
+    ) -> Self {
+        let initial_cost = config.cost_model.cost(&program);
+        RewriteEnv {
+            engine,
+            tokenizer,
+            config,
+            current: program.clone(),
+            initial: program,
+            initial_cost,
+            current_cost: initial_cost,
+            steps: 0,
+            finished: false,
+        }
+    }
+
+    /// Resets the environment to a new program and returns the first
+    /// observation.
+    pub fn reset(&mut self, program: Expr) -> Vec<usize> {
+        self.initial_cost = self.config.cost_model.cost(&program);
+        self.current_cost = self.initial_cost;
+        self.current = program.clone();
+        self.initial = program;
+        self.steps = 0;
+        self.finished = false;
+        self.observe()
+    }
+
+    /// The current program.
+    pub fn current(&self) -> &Expr {
+        &self.current
+    }
+
+    /// The program the episode started from.
+    pub fn initial(&self) -> &Expr {
+        &self.initial
+    }
+
+    /// The cost of the current program.
+    pub fn current_cost(&self) -> f64 {
+        self.current_cost
+    }
+
+    /// The cost of the initial program.
+    pub fn initial_cost(&self) -> f64 {
+        self.initial_cost
+    }
+
+    /// Whether the episode has terminated.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Number of actions taken so far.
+    pub fn steps_taken(&self) -> usize {
+        self.steps
+    }
+
+    /// Total number of rule actions (the `END` action has index
+    /// [`RewriteEnv::stop_action`]).
+    pub fn rule_count(&self) -> usize {
+        self.engine.rule_count()
+    }
+
+    /// The index of the `END` action in the rule head.
+    pub fn stop_action(&self) -> usize {
+        self.engine.rule_count()
+    }
+
+    /// Maximum number of addressable locations.
+    pub fn max_locations(&self) -> usize {
+        self.config.max_locations
+    }
+
+    /// Observation length in tokens.
+    pub fn observation_len(&self) -> usize {
+        self.config.observation_len
+    }
+
+    /// The current observation: the program's token-id sequence.
+    pub fn observe(&self) -> Vec<usize> {
+        self.tokenizer.encode(&self.current, self.config.observation_len)
+    }
+
+    /// Boolean mask over the rule head (length `rule_count() + 1`): `true`
+    /// where the rule has at least one match; the `END` action is always
+    /// valid.
+    pub fn rule_mask(&self) -> Vec<bool> {
+        let mut mask = self.engine.applicability_mask(&self.current);
+        mask.push(true);
+        mask
+    }
+
+    /// Number of addressable match locations for a rule in the current state
+    /// (clamped to `max_locations`).
+    pub fn location_count(&self, rule: usize) -> usize {
+        if rule >= self.engine.rule_count() {
+            return 0;
+        }
+        self.engine.matches(&self.current, rule).len().min(self.config.max_locations)
+    }
+
+    /// Applies an action.
+    ///
+    /// Invalid actions (rule with no matches, or an out-of-range location)
+    /// leave the program unchanged and receive [`RewardConfig::invalid_penalty`].
+    pub fn step(&mut self, action: Action) -> StepOutcome {
+        assert!(!self.finished, "step() called on a finished episode");
+        self.steps += 1;
+        match action {
+            Action::Stop => {
+                self.finished = true;
+                let terminal = self.config.reward.terminal(self.initial_cost, self.current_cost);
+                StepOutcome { reward: terminal, done: true, valid: true }
+            }
+            Action::Apply { rule, location } => {
+                let rewritten = self.engine.apply_at_occurrence(&self.current, rule, location);
+                let (reward, valid) = match rewritten {
+                    Some(next) => {
+                        let next_cost = self.config.cost_model.cost(&next);
+                        let step_reward = self.config.reward.step(self.current_cost, next_cost);
+                        self.current = next;
+                        self.current_cost = next_cost;
+                        (step_reward, true)
+                    }
+                    None => (self.config.reward.invalid_penalty, false),
+                };
+                let mut total = reward;
+                let done = self.steps >= self.config.max_steps;
+                if done {
+                    self.finished = true;
+                    total += self.config.reward.terminal(self.initial_cost, self.current_cost);
+                }
+                StepOutcome { reward: total, done, valid }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chehab_ir::parse;
+
+    fn make_env(src: &str) -> RewriteEnv {
+        RewriteEnv::new(
+            parse(src).unwrap(),
+            Arc::new(RewriteEngine::new()),
+            Arc::new(ObservationTokenizer::ici()),
+            EnvConfig::default(),
+        )
+    }
+
+    #[test]
+    fn observation_has_the_configured_length() {
+        let env = make_env("(Vec (+ a b) (+ c d))");
+        assert_eq!(env.observe().len(), env.observation_len());
+    }
+
+    #[test]
+    fn rule_mask_includes_the_end_action() {
+        let env = make_env("(Vec (+ a b) (+ c d))");
+        let mask = env.rule_mask();
+        assert_eq!(mask.len(), env.rule_count() + 1);
+        assert!(mask[env.stop_action()], "END is always valid");
+        assert!(mask.iter().filter(|&&m| m).count() > 1, "some rule applies");
+    }
+
+    #[test]
+    fn applying_a_vectorization_rule_yields_positive_reward() {
+        let mut env = make_env("(Vec (+ a b) (+ c d))");
+        let rule = RewriteEngine::new().rule_index("add-vectorize-2").unwrap();
+        let before = env.current_cost();
+        let outcome = env.step(Action::Apply { rule, location: 0 });
+        assert!(outcome.valid);
+        assert!(outcome.reward > 0.0, "vectorization must improve the cost");
+        assert!(env.current_cost() < before);
+        assert!(!outcome.done);
+    }
+
+    #[test]
+    fn invalid_actions_are_penalized_and_leave_the_state_unchanged() {
+        let mut env = make_env("(Vec (+ a b) (+ c d))");
+        let rule = RewriteEngine::new().rule_index("rot-merge").unwrap();
+        let before = env.current().clone();
+        let outcome = env.step(Action::Apply { rule, location: 0 });
+        assert!(!outcome.valid);
+        assert!(outcome.reward < 0.0);
+        assert_eq!(env.current(), &before);
+    }
+
+    #[test]
+    fn stop_action_ends_the_episode_with_the_terminal_reward() {
+        let mut env = make_env("(Vec (+ a b) (+ c d))");
+        let rule = RewriteEngine::new().rule_index("add-vectorize-2").unwrap();
+        env.step(Action::Apply { rule, location: 0 });
+        let outcome = env.step(Action::Stop);
+        assert!(outcome.done);
+        assert!(env.is_finished());
+        assert!(outcome.reward > 0.0, "terminal reward reflects the total improvement");
+    }
+
+    #[test]
+    fn episodes_terminate_at_the_step_limit() {
+        let mut env = RewriteEnv::new(
+            parse("(+ (+ a b) (+ c d))").unwrap(),
+            Arc::new(RewriteEngine::new()),
+            Arc::new(ObservationTokenizer::ici()),
+            EnvConfig { max_steps: 3, ..EnvConfig::default() },
+        );
+        let comm = RewriteEngine::new().rule_index("add-comm").unwrap();
+        let mut done = false;
+        for _ in 0..3 {
+            done = env.step(Action::Apply { rule: comm, location: 0 }).done;
+        }
+        assert!(done);
+        assert!(env.is_finished());
+    }
+
+    #[test]
+    fn reset_restores_a_fresh_episode() {
+        let mut env = make_env("(Vec (+ a b) (+ c d))");
+        let rule = RewriteEngine::new().rule_index("add-vectorize-2").unwrap();
+        env.step(Action::Apply { rule, location: 0 });
+        let obs = env.reset(parse("(* x y)").unwrap());
+        assert_eq!(obs.len(), env.observation_len());
+        assert_eq!(env.steps_taken(), 0);
+        assert!(!env.is_finished());
+    }
+
+    #[test]
+    fn location_count_is_clamped() {
+        let env = make_env("(+ (+ (+ (+ a b) (+ c d)) (+ e f)) (+ g h))");
+        let comm = RewriteEngine::new().rule_index("add-comm").unwrap();
+        assert!(env.location_count(comm) <= env.max_locations());
+        assert!(env.location_count(comm) >= 1);
+        assert_eq!(env.location_count(env.stop_action()), 0);
+    }
+
+    #[test]
+    fn bpe_observations_work_too() {
+        let corpus = vec!["(VecAdd (Vec a b) (Vec c d))".to_string()];
+        let tokenizer = ObservationTokenizer::bpe(chehab_ir::BpeTokenizer::train(&corpus, 48));
+        assert!(tokenizer.vocab_size() > 3);
+        let env = RewriteEnv::new(
+            parse("(Vec (+ a b) (+ c d))").unwrap(),
+            Arc::new(RewriteEngine::new()),
+            Arc::new(tokenizer),
+            EnvConfig::default(),
+        );
+        assert_eq!(env.observe().len(), env.observation_len());
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests of the FHE backend: homomorphism of every operation,
+//! NTT correctness, and consistency between the IR interpreter and
+//! homomorphic execution of compiled circuits.
+
+use chehab::compiler::Compiler;
+use chehab::datagen::LlmLikeSynthesizer;
+use chehab::fhe::{
+    poly, BfvParameters, Decryptor, Encryptor, Evaluator, FheContext, KeyGenerator,
+};
+use chehab::ir::{evaluate, Env, Ty};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `decrypt(op(encrypt(x), encrypt(y))) == op(x, y)` for every evaluator
+    /// operation.
+    #[test]
+    fn evaluator_operations_are_homomorphic(
+        xs in prop::collection::vec(0i64..1000, 1..6),
+        ys in prop::collection::vec(0i64..1000, 1..6),
+        step in 1i64..4,
+    ) {
+        let ctx = FheContext::new(BfvParameters::insecure_test()).unwrap();
+        let mut keygen = KeyGenerator::new(ctx.params(), 1);
+        let mut enc = Encryptor::new(&ctx, &keygen.public_key());
+        let dec = Decryptor::new(&ctx, &keygen.secret_key());
+        let mut eval = Evaluator::new(&ctx);
+        let relin = keygen.relin_keys();
+        // Keys for every step the test may draw (the default key set only
+        // covers powers of two).
+        let galois = keygen.galois_keys(&[1, 2, 3]);
+        let t = ctx.plain_modulus() as i64;
+
+        let a = enc.encrypt_values(&xs).unwrap();
+        let b = enc.encrypt_values(&ys).unwrap();
+        let len = xs.len().max(ys.len());
+        let at = |v: &[i64], i: usize| v.get(i).copied().unwrap_or(0);
+
+        let sum = dec.decrypt(&eval.add(&a, &b)).unwrap();
+        let product = dec.decrypt(&eval.multiply(&a, &b, &relin)).unwrap();
+        let difference = dec.decrypt(&eval.sub(&a, &b)).unwrap();
+        for i in 0..len {
+            prop_assert_eq!(sum.slots()[i] as i64, (at(&xs, i) + at(&ys, i)).rem_euclid(t));
+            prop_assert_eq!(product.slots()[i] as i64, (at(&xs, i) * at(&ys, i)).rem_euclid(t));
+            prop_assert_eq!(difference.slots()[i] as i64, (at(&xs, i) - at(&ys, i)).rem_euclid(t));
+        }
+
+        // Rotation towards slot zero behaves like a zero-filled shift over the
+        // live prefix.
+        let rotated = dec.decrypt(&eval.rotate(&a, step, &galois).unwrap()).unwrap();
+        for i in 0..xs.len() {
+            let expected = at(&xs, i + step as usize).rem_euclid(t);
+            prop_assert_eq!(rotated.slots()[i] as i64, expected);
+        }
+    }
+
+    /// NTT-based negacyclic multiplication agrees with the schoolbook product.
+    #[test]
+    fn ntt_multiplication_matches_schoolbook(
+        a in prop::collection::vec(0u64..1_000_000, 16),
+        b in prop::collection::vec(0u64..1_000_000, 16),
+    ) {
+        let tables = poly::NttTables::new(16);
+        let pa = poly::Poly::from_coeffs(a);
+        let pb = poly::Poly::from_coeffs(b);
+        prop_assert_eq!(pa.mul_ntt(&pb, &tables), pa.mul_naive(&pb));
+    }
+
+    /// Compiling and homomorphically executing synthesized programs matches
+    /// the IR interpreter.
+    #[test]
+    fn compiled_programs_match_the_interpreter(seed in 0u64..400) {
+        let mut synth = LlmLikeSynthesizer::with_seed(seed);
+        let program = synth.generate();
+        prop_assume!(program.node_count() <= 60);
+        prop_assume!(chehab::ir::multiplicative_depth(&program) <= 2);
+
+        let compiled = Compiler::greedy().compile("prop", &program);
+        let mut env = Env::new();
+        let mut inputs = HashMap::new();
+        for (i, v) in program.variables().into_iter().enumerate() {
+            let value = (i as i64 % 9) + 1;
+            env.bind(v.clone(), value);
+            inputs.insert(v.to_string(), value);
+        }
+        let expected = evaluate(&program, &env).unwrap();
+        let live = program.ty().map(Ty::slots).unwrap_or(1);
+        let report = compiled.execute(&inputs, &BfvParameters::insecure_test()).unwrap();
+        prop_assume!(report.decryption_ok);
+        let expected_slots: Vec<u64> = expected.slots().into_iter().take(live).collect();
+        let got: Vec<u64> = report.outputs.iter().copied().take(expected_slots.len()).collect();
+        prop_assert_eq!(got, expected_slots);
+    }
+}

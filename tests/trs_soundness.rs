@@ -1,0 +1,95 @@
+//! Property-based soundness tests for the term rewriting system: every rule
+//! in the catalog, applied at any location of randomly generated programs,
+//! must preserve the program's live output slots under random inputs.
+
+use chehab::datagen::{LlmLikeSynthesizer, RandomGenerator};
+use chehab::ir::{equivalent_on_live_slots, Env, Expr, Ty};
+use chehab::trs::RewriteEngine;
+use proptest::prelude::*;
+
+fn random_program(seed: u64) -> Expr {
+    if seed % 2 == 0 {
+        LlmLikeSynthesizer::with_seed(seed).generate()
+    } else {
+        RandomGenerator::with_seed(seed).generate_with((seed % 6 + 2) as usize, (seed % 5 + 1) as usize)
+    }
+}
+
+fn live_slots(expr: &Expr) -> usize {
+    expr.ty().map(Ty::slots).unwrap_or(1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Applying any applicable rule anywhere preserves semantics on the live
+    /// output slots.
+    #[test]
+    fn every_rule_application_is_sound(seed in 0u64..5_000, value_seed in 1i64..1_000) {
+        let program = random_program(seed);
+        let engine = RewriteEngine::new();
+        let slots = live_slots(&program);
+        let mut env = Env::new();
+        let mut counter = value_seed;
+        env.bind_all(&program, |_| {
+            counter = counter.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (counter.rem_euclid(97)) + 1
+        });
+
+        for rule_index in 0..engine.rule_count() {
+            for (occurrence, _) in engine.matches(&program, rule_index).iter().enumerate() {
+                if let Some(rewritten) = engine.apply_at_occurrence(&program, rule_index, occurrence) {
+                    prop_assert!(
+                        equivalent_on_live_slots(&program, &rewritten, &env, slots).unwrap(),
+                        "rule `{}` at occurrence {} changed semantics of {}",
+                        engine.rules()[rule_index].name(),
+                        occurrence,
+                        program,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Sequences of random rule applications (like an RL episode) stay sound.
+    #[test]
+    fn random_rewrite_sequences_are_sound(seed in 0u64..2_000, steps in 1usize..12) {
+        let program = random_program(seed);
+        let engine = RewriteEngine::new();
+        let slots = live_slots(&program);
+        let mut env = Env::new();
+        env.bind_all(&program, |s| (s.as_str().bytes().map(i64::from).sum::<i64>() % 43) + 2);
+
+        let mut current = program.clone();
+        let mut rng_state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(steps as u64);
+        for _ in 0..steps {
+            let matches = engine.all_matches(&current);
+            if matches.is_empty() {
+                break;
+            }
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let pick = &matches[(rng_state >> 33) as usize % matches.len()];
+            if let Some(next) = engine.apply_at_path(&current, pick.rule_index, &pick.path) {
+                current = next;
+            }
+        }
+        prop_assert!(
+            equivalent_on_live_slots(&program, &current, &env, slots).unwrap(),
+            "rewrite sequence changed semantics of {program}"
+        );
+    }
+
+    /// The greedy optimizer never increases the cost model and stays sound.
+    #[test]
+    fn greedy_optimization_is_sound_and_monotone(seed in 0u64..1_000) {
+        let program = random_program(seed);
+        let engine = RewriteEngine::new();
+        let model = chehab::ir::CostModel::default();
+        let slots = live_slots(&program);
+        let (optimized, _) = engine.greedy_optimize(&program, &model, 25);
+        prop_assert!(model.cost(&optimized) <= model.cost(&program) + 1e-9);
+        let mut env = Env::new();
+        env.bind_all(&program, |s| (s.as_str().len() as i64 % 11) + 1);
+        prop_assert!(equivalent_on_live_slots(&program, &optimized, &env, slots).unwrap());
+    }
+}
