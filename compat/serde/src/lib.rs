@@ -1,0 +1,510 @@
+//! A minimal, dependency-free stand-in for the `serde` crate.
+//!
+//! The workspace builds hermetically, so the slice of serde the CHEHAB
+//! reproduction uses is vendored: the [`Serialize`] / [`Deserialize`] traits,
+//! `#[derive(Serialize, Deserialize)]` (from the sibling `serde_derive`
+//! stub), and a self-describing [`Value`] data model that `serde_json`
+//! renders to and from JSON text.
+//!
+//! Unlike real serde there is no visitor machinery: a [`Serializer`] receives
+//! a fully built [`Value`] and a [`Deserializer`] surrenders one. Hand
+//! written impls in the workspace (e.g. for interned symbols) only use
+//! `serialize_str` and `String::deserialize`, which this model covers with
+//! the same signatures as upstream.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every value serializes into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer too large for `i64`.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered map with string keys (struct fields keep declaration order).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The fields of an object, or an error naming `context`.
+    pub fn object_fields(&self, context: &str) -> Result<&[(String, Value)], Error> {
+        match self {
+            Value::Object(fields) => Ok(fields),
+            other => Err(Error::msg(format!(
+                "expected object for {context}, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Looks up a field of an object by name.
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        self.object_fields(name)?
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| Error::msg(format!("missing field `{name}`")))
+    }
+
+    /// The elements of an array, or an error naming `context`.
+    pub fn as_array(&self, context: &str) -> Result<&[Value], Error> {
+        match self {
+            Value::Array(items) => Ok(items),
+            other => Err(Error::msg(format!(
+                "expected array for {context}, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Decodes an externally tagged enum: either a bare variant-name string
+    /// (unit variant) or a single-entry object `{variant: payload}`.
+    pub fn variant(&self) -> Result<(&str, Option<&Value>), Error> {
+        match self {
+            Value::Str(tag) => Ok((tag, None)),
+            Value::Object(fields) if fields.len() == 1 => {
+                Ok((fields[0].0.as_str(), Some(&fields[0].1)))
+            }
+            other => Err(Error::msg(format!("expected enum variant, got {other:?}"))),
+        }
+    }
+}
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn msg(message: impl Into<String>) -> Self {
+        Error(message.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Sink of the serialization data model.
+pub trait Serializer: Sized {
+    /// Value returned on success.
+    type Ok;
+    /// Error type.
+    type Error;
+
+    /// Consumes a fully built value.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a string slice.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Str(v.to_string()))
+    }
+}
+
+/// Source of the serialization data model.
+pub trait Deserializer<'de>: Sized {
+    /// Error type; generated code converts [`Error`] into it.
+    type Error: From<Error>;
+
+    /// Surrenders the underlying value.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// Types convertible into the data model.
+pub trait Serialize {
+    /// Serializes `self` into `serializer`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Types reconstructible from the data model.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value out of `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Shorthand for types deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_value(self, value: Value) -> Result<Value, Error> {
+        Ok(value)
+    }
+}
+
+struct ValueDeserializer(Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = Error;
+
+    fn take_value(self) -> Result<Value, Error> {
+        Ok(self.0)
+    }
+}
+
+/// Converts any serializable value into the data model.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    match value.serialize(ValueSerializer) {
+        Ok(v) => v,
+        Err(e) => unreachable!("ValueSerializer is infallible: {e}"),
+    }
+}
+
+/// Reconstructs a value from the data model.
+pub fn from_value<T: DeserializeOwned>(value: &Value) -> Result<T, Error> {
+    T::deserialize(ValueDeserializer(value.clone()))
+}
+
+// ----- impls for primitives and std containers ---------------------------------
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let wide = *self as i128;
+                let value = if let Ok(v) = i64::try_from(wide) {
+                    Value::Int(v)
+                } else {
+                    Value::UInt(*self as u64)
+                };
+                serializer.serialize_value(value)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let value = deserializer.take_value()?;
+                let wide: i128 = match &value {
+                    Value::Int(v) => *v as i128,
+                    Value::UInt(v) => *v as i128,
+                    Value::Float(f) if f.fract() == 0.0 => *f as i128,
+                    other => {
+                        return Err(Error::msg(format!(
+                            "expected integer, got {other:?}"
+                        )).into())
+                    }
+                };
+                <$t>::try_from(wide).map_err(|_| {
+                    Error::msg(format!("integer {wide} out of range for {}", stringify!($t)))
+                        .into()
+                })
+            }
+        }
+    )*};
+}
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::Float(*self as f64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.take_value()? {
+                    Value::Float(f) => Ok(f as $t),
+                    Value::Int(v) => Ok(v as $t),
+                    Value::UInt(v) => Ok(v as $t),
+                    other => Err(Error::msg(format!("expected number, got {other:?}")).into()),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(Error::msg(format!("expected bool, got {other:?}")).into()),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(Error::msg(format!("expected string, got {other:?}")).into()),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Array(self.iter().map(to_value).collect()))
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Array(self.iter().map(to_value).collect()))
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.take_value()?;
+        let items = value.as_array("Vec").map_err(D::Error::from)?;
+        items
+            .iter()
+            .map(|v| from_value(v).map_err(D::Error::from))
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(match self {
+            None => Value::Null,
+            Some(v) => to_value(v),
+        })
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Null => Ok(None),
+            other => from_value(&other).map(Some).map_err(D::Error::from),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Array(vec![to_value(&self.0), to_value(&self.1)]))
+    }
+}
+
+impl<'de, A: DeserializeOwned, B: DeserializeOwned> Deserialize<'de> for (A, B) {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.take_value()?;
+        let pair = (|| {
+            let items = value.as_array("pair")?;
+            if items.len() != 2 {
+                return Err(Error::msg("expected 2-element array"));
+            }
+            Ok((from_value(&items[0])?, from_value(&items[1])?))
+        })();
+        pair.map_err(D::Error::from)
+    }
+}
+
+/// Maps serialize as arrays of `[key, value]` pairs so non-string keys (e.g.
+/// interned symbols) round-trip without a string conversion.
+impl<K: Serialize, V: Serialize, H> Serialize for HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![to_value(k), to_value(v)]))
+                .collect(),
+        ))
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for HashMap<K, V>
+where
+    K: DeserializeOwned + std::hash::Hash + Eq,
+    V: DeserializeOwned,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.take_value()?;
+        let entries = (|| {
+            let items = value.as_array("map")?;
+            items
+                .iter()
+                .map(|pair| {
+                    let kv = pair.as_array("map entry")?;
+                    if kv.len() != 2 {
+                        return Err(Error::msg("expected [key, value] pair"));
+                    }
+                    Ok((from_value(&kv[0])?, from_value(&kv[1])?))
+                })
+                .collect::<Result<HashMap<K, V>, Error>>()
+        })();
+        entries.map_err(D::Error::from)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![to_value(k), to_value(v)]))
+                .collect(),
+        ))
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: DeserializeOwned + Ord,
+    V: DeserializeOwned,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.take_value()?;
+        let entries = (|| {
+            let items = value.as_array("map")?;
+            items
+                .iter()
+                .map(|pair| {
+                    let kv = pair.as_array("map entry")?;
+                    if kv.len() != 2 {
+                        return Err(Error::msg("expected [key, value] pair"));
+                    }
+                    Ok((from_value(&kv[0])?, from_value(&kv[1])?))
+                })
+                .collect::<Result<BTreeMap<K, V>, Error>>()
+        })();
+        entries.map_err(D::Error::from)
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Array(self.iter().map(to_value).collect()))
+    }
+}
+
+impl<'de, T: DeserializeOwned + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.take_value()?;
+        let items = value.as_array("set").map_err(D::Error::from)?;
+        items
+            .iter()
+            .map(|v| from_value(v).map_err(D::Error::from))
+            .collect()
+    }
+}
+
+impl<T: Serialize, H> Serialize for HashSet<T, H> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Array(self.iter().map(to_value).collect()))
+    }
+}
+
+impl<'de, T: DeserializeOwned + std::hash::Hash + Eq> Deserialize<'de> for HashSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.take_value()?;
+        let items = value.as_array("set").map_err(D::Error::from)?;
+        items
+            .iter()
+            .map(|v| from_value(v).map_err(D::Error::from))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.take_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(from_value::<i64>(&to_value(&-7i64)).unwrap(), -7);
+        assert_eq!(from_value::<usize>(&to_value(&42usize)).unwrap(), 42);
+        assert_eq!(from_value::<f32>(&to_value(&1.5f32)).unwrap(), 1.5);
+        assert!(from_value::<bool>(&to_value(&true)).unwrap());
+        assert_eq!(from_value::<String>(&to_value("hi")).unwrap(), "hi");
+        let v: Vec<u32> = vec![1, 2, 3];
+        assert_eq!(from_value::<Vec<u32>>(&to_value(&v)).unwrap(), v);
+        let o: Option<i32> = None;
+        assert_eq!(from_value::<Option<i32>>(&to_value(&o)).unwrap(), None);
+    }
+
+    #[test]
+    fn large_u64_survives() {
+        let big = u64::MAX - 3;
+        assert_eq!(from_value::<u64>(&to_value(&big)).unwrap(), big);
+    }
+
+    #[test]
+    fn maps_round_trip() {
+        let mut m = HashMap::new();
+        m.insert("a".to_string(), 1u32);
+        m.insert("b".to_string(), 2);
+        assert_eq!(
+            from_value::<HashMap<String, u32>>(&to_value(&m)).unwrap(),
+            m
+        );
+    }
+
+    #[test]
+    fn type_mismatches_error() {
+        assert!(from_value::<u32>(&Value::Str("x".into())).is_err());
+        assert!(from_value::<u8>(&Value::Int(300)).is_err());
+        assert!(Value::Int(1).field("x").is_err());
+    }
+}

@@ -1,0 +1,358 @@
+//! Derive macros for the vendored `serde` stand-in (see `compat/serde`).
+//!
+//! Implemented directly on `proc_macro` token streams (no `syn`/`quote`,
+//! which are unavailable in hermetic builds). The macros support the shapes
+//! the workspace actually derives: non-generic structs with named fields,
+//! tuple structs, unit structs, and enums with unit / tuple / struct
+//! variants. Field and variant names follow real serde's externally tagged
+//! representation, so the emitted JSON looks like upstream's.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Splits a token list on top-level occurrences of `sep` (outside `<...>`
+/// generic arguments), dropping empty segments (trailing separators).
+fn split_top_level(tokens: &[TokenTree], sep: char) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0usize;
+    for token in tokens {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+        match token {
+            TokenTree::Punct(p) if p.as_char() == sep && angle_depth == 0 => {
+                if !current.is_empty() {
+                    out.push(std::mem::take(&mut current));
+                }
+            }
+            other => current.push(other.clone()),
+        }
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Strips leading attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree]) -> &[TokenTree] {
+    let mut rest = tokens;
+    loop {
+        match rest {
+            [TokenTree::Punct(p), TokenTree::Group(_), tail @ ..] if p.as_char() == '#' => {
+                rest = tail;
+            }
+            [TokenTree::Ident(id), tail @ ..] if id.to_string() == "pub" => {
+                rest = match tail {
+                    [TokenTree::Group(g), inner @ ..]
+                        if g.delimiter() == Delimiter::Parenthesis =>
+                    {
+                        inner
+                    }
+                    other => other,
+                };
+            }
+            _ => return rest,
+        }
+    }
+}
+
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    split_top_level(tokens, ',')
+        .iter()
+        .filter_map(|segment| {
+            let segment = skip_attrs_and_vis(segment);
+            match segment.first() {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    split_top_level(tokens, ',')
+        .iter()
+        .filter_map(|segment| {
+            let segment = skip_attrs_and_vis(segment);
+            let TokenTree::Ident(id) = segment.first()? else {
+                return None;
+            };
+            let fields = match segment.get(1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Tuple(split_top_level(&inner, ',').len())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Named(parse_named_fields(&inner))
+                }
+                _ => Fields::Unit,
+            };
+            Some(Variant {
+                name: id.to_string(),
+                fields,
+            })
+        })
+        .collect()
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut rest: &[TokenTree] = skip_attrs_and_vis(&tokens);
+    let is_enum = loop {
+        match rest.first() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break false,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break true,
+            Some(_) => rest = &rest[1..],
+            None => return Err("expected `struct` or `enum`".to_string()),
+        }
+    };
+    let Some(TokenTree::Ident(name)) = rest.get(1) else {
+        return Err("expected type name".to_string());
+    };
+    let name = name.to_string();
+    let rest = &rest[2..];
+    if matches!(rest.first(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stub derive does not support generic type `{name}`"
+        ));
+    }
+    let body = rest.iter().find_map(|t| match t {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+            Some(g.stream().into_iter().collect::<Vec<_>>())
+        }
+        _ => None,
+    });
+    let shape = if is_enum {
+        let body = body.ok_or("enum without body")?;
+        Shape::Enum(parse_variants(&body))
+    } else if let Some(body) = body {
+        Shape::Struct(Fields::Named(parse_named_fields(&body)))
+    } else if let Some(TokenTree::Group(g)) = rest
+        .iter()
+        .find(|t| matches!(t, TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis))
+    {
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        Shape::Struct(Fields::Tuple(split_top_level(&inner, ',').len()))
+    } else {
+        Shape::Struct(Fields::Unit)
+    };
+    Ok(Input { name, shape })
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});").parse().unwrap()
+}
+
+/// Derives `serde::Serialize` (stub data model).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = match parse_input(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Struct(Fields::Unit) => {
+            "serializer.serialize_value(::serde::Value::Object(::std::vec::Vec::new()))".to_string()
+        }
+        Shape::Struct(Fields::Named(fields)) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "__fields.push(({f:?}.to_string(), ::serde::to_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}\
+                 serializer.serialize_value(::serde::Value::Object(__fields))"
+            )
+        }
+        Shape::Struct(Fields::Tuple(arity)) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "serializer.serialize_value(::serde::Value::Array(vec![{}]))",
+                items.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => ::serde::Value::Object(vec![({vname:?}\
+                         .to_string(), ::serde::to_value(__f0))]),\n"
+                    )),
+                    Fields::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(vec![({vname:?}\
+                             .to_string(), ::serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binds: Vec<String> = fields
+                            .iter()
+                            .enumerate()
+                            .map(|(i, f)| format!("{f}: __f{i}"))
+                            .collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .enumerate()
+                            .map(|(i, f)| format!("({f:?}.to_string(), ::serde::to_value(__f{i}))"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Object(vec![({vname:?}\
+                             .to_string(), ::serde::Value::Object(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("serializer.serialize_value(match self {{\n{arms}}})")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, serializer: __S) \
+         -> ::core::result::Result<__S::Ok, __S::Error> {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derives `serde::Deserialize` (stub data model).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = match parse_input(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Struct(Fields::Unit) => format!("Ok({name})"),
+        Shape::Struct(Fields::Named(fields)) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::from_value(__value.field({f:?})?)?"))
+                .collect();
+            format!("Ok({name} {{ {} }})", items.join(", "))
+        }
+        Shape::Struct(Fields::Tuple(arity)) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __value.as_array({name:?})?;\n\
+                 if __items.len() != {arity} {{\n\
+                 return Err(::serde::Error::msg(\"wrong tuple arity\"));\n}}\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!("{vname:?} => Ok({name}::{vname}),\n")),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{vname:?} => {{\n\
+                         let __payload = __payload.ok_or_else(|| ::serde::Error::msg(\
+                         \"missing payload for variant {vname}\"))?;\n\
+                         Ok({name}::{vname}(::serde::from_value(__payload)?))\n}}\n"
+                    )),
+                    Fields::Tuple(arity) => {
+                        let items: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::from_value(&__items[{i}])?"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{vname:?} => {{\n\
+                             let __payload = __payload.ok_or_else(|| ::serde::Error::msg(\
+                             \"missing payload for variant {vname}\"))?;\n\
+                             let __items = __payload.as_array({vname:?})?;\n\
+                             if __items.len() != {arity} {{\n\
+                             return Err(::serde::Error::msg(\"wrong variant arity\"));\n}}\n\
+                             Ok({name}::{vname}({}))\n}}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::from_value(__payload.field({f:?})?)?"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{vname:?} => {{\n\
+                             let __payload = __payload.ok_or_else(|| ::serde::Error::msg(\
+                             \"missing payload for variant {vname}\"))?;\n\
+                             Ok({name}::{vname} {{ {} }})\n}}\n",
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "let (__tag, __payload) = __value.variant()?;\n\
+                 match __tag {{\n{arms}\
+                 __other => Err(::serde::Error::msg(format!(\
+                 \"unknown variant `{{__other}}` of {name}\"))),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(deserializer: __D) \
+         -> ::core::result::Result<Self, __D::Error> {{\n\
+         let __value = deserializer.take_value()?;\n\
+         let __result: ::core::result::Result<Self, ::serde::Error> = (|| {{\n{body}\n}})();\n\
+         __result.map_err(<__D::Error as ::core::convert::From<::serde::Error>>::from)\n\
+         }}\n}}\n"
+    )
+    .parse()
+    .unwrap()
+}

@@ -12,9 +12,10 @@ fn main() {
     println!("== Figure 10: ICI vs BPE tokenization (training curves)");
     let mut rows = Vec::new();
     let mut wall_clocks = Vec::new();
-    for (label, tokenization) in
-        [("ICI", TokenizationKind::Ici), ("BPE", TokenizationKind::Bpe)]
-    {
+    for (label, tokenization) in [
+        ("ICI", TokenizationKind::Ici),
+        ("BPE", TokenizationKind::Bpe),
+    ] {
         let trained = train_agent(&AgentTrainingOptions {
             timesteps: config.timesteps,
             tokenization,
@@ -26,7 +27,10 @@ fn main() {
             trained.report.wall_clock_seconds,
             trained.report.final_mean_reward()
         );
-        println!("  {:>10} {:>12} {:>14}", "timestep", "seconds", "mean reward");
+        println!(
+            "  {:>10} {:>12} {:>14}",
+            "timestep", "seconds", "mean reward"
+        );
         for point in &trained.report.curve {
             println!(
                 "  {:>10} {:>12.2} {:>14.3}",
@@ -45,5 +49,9 @@ fn main() {
             bpe / ici.max(1e-9)
         );
     }
-    let _ = write_csv("fig10_tokenization", "tokenizer,timestep,seconds,mean_reward", &rows);
+    let _ = write_csv(
+        "fig10_tokenization",
+        "tokenizer,timestep,seconds,mean_reward",
+        &rows,
+    );
 }

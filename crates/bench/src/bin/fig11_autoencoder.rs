@@ -25,13 +25,21 @@ fn main() {
         .exprs()
         .iter()
         .map(|e| {
-            ici_tokens(e).iter().map(|t| vocab.id(t)).take(24).collect::<Vec<usize>>()
+            ici_tokens(e)
+                .iter()
+                .map(|t| vocab.id(t))
+                .take(24)
+                .collect::<Vec<usize>>()
         })
         .filter(|seq| !seq.is_empty() && seq.len() >= 4)
         .collect();
     let split = corpus.len() * 4 / 5;
     let (train, test) = corpus.split_at(split);
-    println!("corpus: {} training sequences, {} held-out sequences", train.len(), test.len());
+    println!(
+        "corpus: {} training sequences, {} held-out sequences",
+        train.len(),
+        test.len()
+    );
 
     let mut rows = Vec::new();
     for label in ["Transformer", "GRU"] {

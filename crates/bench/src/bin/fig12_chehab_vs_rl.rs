@@ -16,12 +16,20 @@ fn main() {
         ..AgentTrainingOptions::default()
     });
 
-    println!("{:<22} {:>14} {:>16} {:>10}", "benchmark", "CHEHAB (ms)", "CHEHAB RL (ms)", "speedup");
+    println!(
+        "{:<22} {:>14} {:>16} {:>10}",
+        "benchmark", "CHEHAB (ms)", "CHEHAB RL (ms)", "speedup"
+    );
     let mut rows = Vec::new();
     let mut greedy_exec = Vec::new();
     let mut rl_exec = Vec::new();
     for benchmark in config.benchmarks() {
-        let greedy = measure(&benchmark, &CompilerUnderTest::ChehabGreedy, &params, config.runs);
+        let greedy = measure(
+            &benchmark,
+            &CompilerUnderTest::ChehabGreedy,
+            &params,
+            config.runs,
+        );
         let rl = measure(
             &benchmark,
             &CompilerUnderTest::ChehabRl(Arc::clone(&trained.agent)),
@@ -48,5 +56,9 @@ fn main() {
     }
     let geomean = chehab_bench::geometric_mean_ratio(&greedy_exec, &rl_exec);
     println!("\ngeometric-mean speedup of CHEHAB RL over greedy CHEHAB: {geomean:.2}x");
-    let _ = write_csv("fig12_chehab_vs_rl", "benchmark,chehab_ms,chehab_rl_ms,speedup", &rows);
+    let _ = write_csv(
+        "fig12_chehab_vs_rl",
+        "benchmark,chehab_ms,chehab_rl_ms,speedup",
+        &rows,
+    );
 }

@@ -24,15 +24,25 @@ fn main() {
         );
         println!("  {:>10} {:>14}", "timestep", "mean reward");
         for point in &trained.report.curve {
-            println!("  {:>10} {:>14.3}", point.timestep, point.mean_episode_reward);
-            rows.push(format!("{label},{},{:.4}", point.timestep, point.mean_episode_reward));
+            println!(
+                "  {:>10} {:>14.3}",
+                point.timestep, point.mean_episode_reward
+            );
+            rows.push(format!(
+                "{label},{},{:.4}",
+                point.timestep, point.mean_episode_reward
+            ));
         }
         finals.push((label, trained.report.final_mean_reward()));
     }
     if let [(_, hier), (_, flat)] = finals[..] {
         println!(
             "\nfinal mean reward: hierarchical {hier:.3} vs flat {flat:.3}{}",
-            if hier >= flat { "  (hierarchical learns better, as in the paper)" } else { "" }
+            if hier >= flat {
+                "  (hierarchical learns better, as in the paper)"
+            } else {
+                ""
+            }
         );
     }
     let _ = write_csv("fig13_action_space", "policy,timestep,mean_reward", &rows);

@@ -18,7 +18,10 @@ fn main() {
     let rl = CompilerUnderTest::ChehabRl(Arc::clone(&trained.agent));
     let coyote = CompilerUnderTest::Coyote(config.coyote_config());
 
-    println!("{:<22} {:>18} {:>16} {:>10}", "benchmark", "CHEHAB RL (ms)", "Coyote (ms)", "ratio");
+    println!(
+        "{:<22} {:>18} {:>16} {:>10}",
+        "benchmark", "CHEHAB RL (ms)", "Coyote (ms)", "ratio"
+    );
     let mut measurements = Vec::new();
     let mut rows = Vec::new();
     for benchmark in config.benchmarks() {
@@ -42,6 +45,10 @@ fn main() {
         measurements.push(m_rl);
         measurements.push(m_coyote);
     }
-    let _ = write_csv("fig6_compile_time", "benchmark,chehab_rl_ms,coyote_ms,ratio", &rows);
+    let _ = write_csv(
+        "fig6_compile_time",
+        "benchmark,chehab_rl_ms,coyote_ms,ratio",
+        &rows,
+    );
     chehab_bench::summarize_vs_baseline(&measurements, "CHEHAB RL", "Coyote");
 }

@@ -29,7 +29,10 @@ fn main() {
         random.report.final_mean_reward()
     );
 
-    println!("{:<22} {:>14} {:>14} {:>10}", "benchmark", "LLM data (ms)", "random (ms)", "speedup");
+    println!(
+        "{:<22} {:>14} {:>14} {:>10}",
+        "benchmark", "LLM data (ms)", "random (ms)", "speedup"
+    );
     let mut rows = Vec::new();
     let mut llm_exec = Vec::new();
     let mut random_exec = Vec::new();
@@ -66,5 +69,9 @@ fn main() {
     }
     let geomean = chehab_bench::geometric_mean_ratio(&random_exec, &llm_exec);
     println!("\ngeometric-mean speedup of LLM-style training data: {geomean:.2}x");
-    let _ = write_csv("fig8_llm_vs_random", "benchmark,llm_ms,random_ms,speedup", &rows);
+    let _ = write_csv(
+        "fig8_llm_vs_random",
+        "benchmark,llm_ms,random_ms,speedup",
+        &rows,
+    );
 }

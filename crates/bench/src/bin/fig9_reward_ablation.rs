@@ -24,7 +24,10 @@ fn main() {
         ..AgentTrainingOptions::default()
     });
 
-    println!("{:<22} {:>18} {:>14} {:>10}", "benchmark", "step+terminal (ms)", "step only (ms)", "ratio");
+    println!(
+        "{:<22} {:>18} {:>14} {:>10}",
+        "benchmark", "step+terminal (ms)", "step only (ms)", "ratio"
+    );
     let mut rows = Vec::new();
     let mut combined_exec = Vec::new();
     let mut step_exec = Vec::new();
@@ -61,5 +64,9 @@ fn main() {
     }
     let geomean = chehab_bench::geometric_mean_ratio(&step_exec, &combined_exec);
     println!("\ngeometric-mean benefit of the terminal reward: {geomean:.3}x");
-    let _ = write_csv("fig9_reward_ablation", "benchmark,step_terminal_ms,step_only_ms,ratio", &rows);
+    let _ = write_csv(
+        "fig9_reward_ablation",
+        "benchmark,step_terminal_ms,step_only_ms,ratio",
+        &rows,
+    );
 }

@@ -4,7 +4,9 @@
 //!
 //! Usage: `cargo run --release -p chehab-bench --bin table1_weight_sensitivity -- [--timesteps N]`
 
-use chehab_bench::{geometric_mean_ratio, measure, ms, write_csv, CompilerUnderTest, HarnessConfig};
+use chehab_bench::{
+    geometric_mean_ratio, measure, ms, write_csv, CompilerUnderTest, HarnessConfig,
+};
 use chehab_core::training::{train_agent, AgentTrainingOptions};
 use chehab_ir::CostWeights;
 use std::sync::Arc;
@@ -41,7 +43,10 @@ fn main() {
     }
 
     let (baseline_label, baseline_exec, baseline_noise) = exec_by_weights[0].clone();
-    println!("\n{:<14} {:>22} {:>20}", "weights", "exec time (x vs (1,1,1))", "noise (x vs (1,1,1))");
+    println!(
+        "\n{:<14} {:>22} {:>20}",
+        "weights", "exec time (x vs (1,1,1))", "noise (x vs (1,1,1))"
+    );
     let mut rows = Vec::new();
     for (label, exec, noise) in &exec_by_weights {
         let exec_ratio = geometric_mean_ratio(exec, &baseline_exec);
@@ -49,6 +54,12 @@ fn main() {
         println!("{label:<14} {exec_ratio:>22.3} {noise_ratio:>20.3}");
         rows.push(format!("{label},{exec_ratio:.4},{noise_ratio:.4}"));
     }
-    println!("\n(baseline: {baseline_label}; values above 1 mean slower / noisier than the default)");
-    let _ = write_csv("table1_weight_sensitivity", "weights,exec_ratio,noise_ratio", &rows);
+    println!(
+        "\n(baseline: {baseline_label}; values above 1 mean slower / noisier than the default)"
+    );
+    let _ = write_csv(
+        "table1_weight_sensitivity",
+        "weights,exec_ratio,noise_ratio",
+        &rows,
+    );
 }

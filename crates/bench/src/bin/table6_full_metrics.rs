@@ -15,8 +15,14 @@ use std::sync::Arc;
 fn main() {
     let config = HarnessConfig::from_args();
     let params = config.params();
-    println!("== Table 6: full per-benchmark metrics ({} benchmarks)", config.benchmarks().len());
-    println!("training the CHEHAB RL agent ({} timesteps)...", config.timesteps);
+    println!(
+        "== Table 6: full per-benchmark metrics ({} benchmarks)",
+        config.benchmarks().len()
+    );
+    println!(
+        "training the CHEHAB RL agent ({} timesteps)...",
+        config.timesteps
+    );
     let trained = train_agent(&AgentTrainingOptions {
         timesteps: config.timesteps,
         ..AgentTrainingOptions::default()

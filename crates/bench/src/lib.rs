@@ -13,7 +13,7 @@
 
 use chehab_benchsuite::Benchmark;
 use chehab_core::{
-    external_compile_stats, output_slots_of, select_rotation_keys, Compiler, CompiledProgram,
+    external_compile_stats, output_slots_of, select_rotation_keys, CompiledProgram, Compiler,
     ExecutionReport,
 };
 use chehab_fhe::BfvParameters;
@@ -39,6 +39,8 @@ pub struct HarnessConfig {
     pub quick: bool,
     /// Maximum layout candidates the Coyote baseline explores.
     pub coyote_max_candidates: usize,
+    /// Worker threads for parallel-runtime measurements (`--threads N`).
+    pub threads: usize,
 }
 
 impl Default for HarnessConfig {
@@ -49,13 +51,14 @@ impl Default for HarnessConfig {
             timesteps: 2500,
             quick: true,
             coyote_max_candidates: 48,
+            threads: 4,
         }
     }
 }
 
 impl HarnessConfig {
-    /// Parses `--runs N`, `--payload N`, `--timesteps N`, `--full` and
-    /// `--coyote-candidates N` from the process arguments.
+    /// Parses `--runs N`, `--payload N`, `--timesteps N`, `--full`,
+    /// `--threads N` and `--coyote-candidates N` from the process arguments.
     pub fn from_args() -> Self {
         let mut config = HarnessConfig::default();
         let args: Vec<String> = std::env::args().collect();
@@ -77,6 +80,9 @@ impl HarnessConfig {
         if let Some(v) = value_after("--coyote-candidates") {
             config.coyote_max_candidates = v.max(1);
         }
+        if let Some(v) = value_after("--threads") {
+            config.threads = v.max(1);
+        }
         if args.iter().any(|a| a == "--full") {
             config.quick = false;
         }
@@ -85,7 +91,10 @@ impl HarnessConfig {
 
     /// The BFV parameters used for execution measurements.
     pub fn params(&self) -> BfvParameters {
-        BfvParameters { payload_degree: self.payload_degree, ..BfvParameters::default_128() }
+        BfvParameters {
+            payload_degree: self.payload_degree,
+            ..BfvParameters::default_128()
+        }
     }
 
     /// The Coyote search configuration the harness uses.
@@ -136,7 +145,9 @@ impl HarnessConfig {
             "Tree 100-50-5",
             "Tree 100-100-5",
         ];
-        all.into_iter().filter(|b| keep.contains(&b.id().as_str())).collect()
+        all.into_iter()
+            .filter(|b| keep.contains(&b.id().as_str()))
+            .collect()
     }
 }
 
@@ -253,7 +264,12 @@ pub fn measure(
             env.bind(k.clone(), *v);
         }
         chehab_ir::evaluate(benchmark.program(), &env)
-            .map(|v| v.slots().into_iter().take(benchmark.output_slots()).collect::<Vec<_>>())
+            .map(|v| {
+                v.slots()
+                    .into_iter()
+                    .take(benchmark.output_slots())
+                    .collect::<Vec<_>>()
+            })
             .unwrap_or_default()
     };
 
@@ -267,7 +283,13 @@ pub fn measure(
     reports.sort_by_key(|r| r.server_time);
     let median = reports[reports.len() / 2].clone();
     let correct = median.decryption_ok
-        && median.outputs.iter().take(expected.len()).copied().collect::<Vec<_>>() == expected;
+        && median
+            .outputs
+            .iter()
+            .take(expected.len())
+            .copied()
+            .collect::<Vec<_>>()
+            == expected;
 
     Measurement {
         benchmark: benchmark.id(),
@@ -284,6 +306,196 @@ pub fn measure(
         additions: median.operation_stats.additions + median.operation_stats.negations,
         correct,
     }
+}
+
+/// One sequential-vs-parallel comparison of a compiled kernel.
+#[derive(Debug, Clone)]
+pub struct ParallelMeasurement {
+    /// Benchmark identifier.
+    pub benchmark: String,
+    /// Compiler label the circuit came from.
+    pub compiler: String,
+    /// Worker threads of the parallel run.
+    pub threads: usize,
+    /// Median sequential server time (ms).
+    pub sequential_ms: f64,
+    /// Median parallel wall time (ms) as measured on this host — bounded by
+    /// the host's actual core count.
+    pub parallel_wall_ms: f64,
+    /// `sequential_ms / parallel_wall_ms` on this host.
+    pub wall_speedup: f64,
+    /// Projected `threads`-worker makespan (ms) of the leveled schedule,
+    /// computed from measured per-instruction latencies
+    /// ([`chehab_core::CompiledProgram::schedule`] +
+    /// `Schedule::makespan`) — what the wavefront runtime delivers once the
+    /// host has that many free cores.
+    pub projected_parallel_ms: f64,
+    /// Sequential sum of the same measured per-instruction latencies (ms),
+    /// the numerator of the projected speedup.
+    pub compute_ms: f64,
+    /// `compute_ms / projected_parallel_ms`: the timer-augmented speedup of
+    /// the schedule at `threads` workers.
+    pub speedup: f64,
+    /// Wavefront levels of the schedule (critical-path length).
+    pub schedule_levels: usize,
+    /// Widest level (available intra-request parallelism).
+    pub schedule_width: usize,
+    /// Live output slots of the kernel.
+    pub output_slots: usize,
+}
+
+/// Measures one benchmark under one compiler, sequentially and with the
+/// parallel wavefront runtime, reporting median times over `runs`.
+pub fn measure_parallel(
+    benchmark: &Benchmark,
+    compiler: &CompilerUnderTest,
+    params: &BfvParameters,
+    runs: usize,
+    threads: usize,
+) -> ParallelMeasurement {
+    let compiled = compiler.compile(benchmark);
+    let inputs: HashMap<String, i64> = benchmark
+        .program()
+        .variables()
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v.to_string(), (i as i64 % 7) + 1))
+        .collect();
+    let median = |times: &mut Vec<Duration>| -> Duration {
+        times.sort_unstable();
+        times[times.len() / 2]
+    };
+    let schedule = compiled.schedule();
+    let mut sequential = Vec::with_capacity(runs.max(1));
+    let mut parallel = Vec::with_capacity(runs.max(1));
+    let mut compute = Vec::with_capacity(runs.max(1));
+    let mut projected = Vec::with_capacity(runs.max(1));
+    let mut reference: Option<Vec<u64>> = None;
+    for _ in 0..runs.max(1) {
+        let seq = compiled
+            .execute(&inputs, params)
+            .unwrap_or_else(|e| panic!("{}: sequential execution failed: {e}", benchmark.id()));
+        let par = compiled
+            .execute_parallel(&inputs, params, threads)
+            .unwrap_or_else(|e| panic!("{}: parallel execution failed: {e}", benchmark.id()));
+        assert_eq!(
+            seq.outputs,
+            par.outputs,
+            "{}: parallel outputs diverged from sequential",
+            benchmark.id()
+        );
+        if let Some(expected) = &reference {
+            assert_eq!(
+                &par.outputs,
+                expected,
+                "{}: nondeterministic outputs",
+                benchmark.id()
+            );
+        } else {
+            reference = Some(par.outputs.clone());
+        }
+        // Project the N-worker makespan from the *measured* per-instruction
+        // latencies of the sequential run (timer-augmented cost function).
+        compute.push(schedule.makespan(&seq.timing.instr_times, 1));
+        projected.push(schedule.makespan(&seq.timing.instr_times, threads));
+        sequential.push(seq.server_time);
+        parallel.push(par.server_time);
+    }
+    let sequential_ms = ms(median(&mut sequential));
+    let parallel_wall_ms = ms(median(&mut parallel));
+    let compute_ms = ms(median(&mut compute));
+    let projected_parallel_ms = ms(median(&mut projected));
+    ParallelMeasurement {
+        benchmark: benchmark.id(),
+        compiler: compiler.label().to_string(),
+        threads,
+        sequential_ms,
+        parallel_wall_ms,
+        wall_speedup: sequential_ms / parallel_wall_ms.max(1e-9),
+        projected_parallel_ms,
+        compute_ms,
+        speedup: compute_ms / projected_parallel_ms.max(1e-9),
+        schedule_levels: schedule.level_count(),
+        schedule_width: schedule.max_width(),
+        output_slots: benchmark.output_slots(),
+    }
+}
+
+/// Writes parallel measurements as JSON into `path` and returns it.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_parallel_json(
+    path: impl AsRef<std::path::Path>,
+    threads: usize,
+    measurements: &[ParallelMeasurement],
+) -> std::io::Result<std::path::PathBuf> {
+    use serde::Value;
+    let rows: Vec<Value> = measurements
+        .iter()
+        .map(|m| {
+            Value::Object(vec![
+                ("benchmark".into(), Value::Str(m.benchmark.clone())),
+                ("compiler".into(), Value::Str(m.compiler.clone())),
+                ("threads".into(), Value::Int(m.threads as i64)),
+                ("sequential_ms".into(), Value::Float(m.sequential_ms)),
+                ("parallel_wall_ms".into(), Value::Float(m.parallel_wall_ms)),
+                ("wall_speedup".into(), Value::Float(m.wall_speedup)),
+                ("compute_ms".into(), Value::Float(m.compute_ms)),
+                (
+                    "projected_parallel_ms".into(),
+                    Value::Float(m.projected_parallel_ms),
+                ),
+                ("speedup".into(), Value::Float(m.speedup)),
+                (
+                    "schedule_levels".into(),
+                    Value::Int(m.schedule_levels as i64),
+                ),
+                ("schedule_width".into(), Value::Int(m.schedule_width as i64)),
+                ("output_slots".into(), Value::Int(m.output_slots as i64)),
+            ])
+        })
+        .collect();
+    let speedups: Vec<f64> = measurements.iter().map(|m| m.speedup).collect();
+    let ones = vec![1.0; speedups.len()];
+    let document = Value::Object(vec![
+        ("experiment".into(), Value::Str("parallel_exec".into())),
+        ("threads".into(), Value::Int(threads as i64)),
+        ("host_cpus".into(), Value::Int(available_cpus() as i64)),
+        (
+            "speedup_semantics".into(),
+            Value::Str(
+                "speedup = compute_ms / projected_parallel_ms: the N-worker makespan of the \
+                 leveled schedule projected from measured per-instruction latencies \
+                 (timer-augmented); wall_speedup is the raw wall-clock ratio on this host and \
+                 is bounded by host_cpus"
+                    .into(),
+            ),
+        ),
+        (
+            "geomean_speedup".into(),
+            Value::Float(geometric_mean_ratio(&speedups, &ones)),
+        ),
+        (
+            "max_speedup".into(),
+            Value::Float(speedups.iter().copied().fold(0.0, f64::max)),
+        ),
+        ("kernels".into(), Value::Array(rows)),
+    ]);
+    let path = path.as_ref().to_path_buf();
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&document).expect("stub serializer is infallible"),
+    )?;
+    Ok(path)
+}
+
+/// Number of CPUs available to this process.
+pub fn available_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 /// Geometric mean of the ratios `numerator[i] / denominator[i]`.
@@ -444,7 +656,11 @@ mod tests {
     #[test]
     fn quick_subset_is_a_subset_of_the_full_suite() {
         let quick = HarnessConfig::default().benchmarks();
-        let full = HarnessConfig { quick: false, ..HarnessConfig::default() }.benchmarks();
+        let full = HarnessConfig {
+            quick: false,
+            ..HarnessConfig::default()
+        }
+        .benchmarks();
         assert!(quick.len() < full.len());
         assert_eq!(full.len(), 46);
         for b in &quick {

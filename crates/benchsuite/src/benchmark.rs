@@ -44,8 +44,16 @@ impl Benchmark {
     /// Panics if the program does not type-check (benchmarks are embedded in
     /// the crate, so this indicates a programming error).
     pub fn new(name: &str, size_label: &str, suite: Suite, program: Expr) -> Self {
-        assert!(program.is_well_typed(), "benchmark {name} {size_label} is ill-typed");
-        Benchmark { name: name.to_string(), size_label: size_label.to_string(), suite, program }
+        assert!(
+            program.is_well_typed(),
+            "benchmark {name} {size_label} is ill-typed"
+        );
+        Benchmark {
+            name: name.to_string(),
+            size_label: size_label.to_string(),
+            suite,
+            program,
+        }
     }
 
     /// The kernel's name (e.g. `"Dot Product"`).
@@ -106,7 +114,12 @@ mod tests {
 
     #[test]
     fn id_combines_name_and_size() {
-        let b = Benchmark::new("Dot Product", "4", Suite::Porcupine, chehab_ir::parse("(+ a b)").unwrap());
+        let b = Benchmark::new(
+            "Dot Product",
+            "4",
+            Suite::Porcupine,
+            chehab_ir::parse("(+ a b)").unwrap(),
+        );
         assert_eq!(b.id(), "Dot Product 4");
         assert_eq!(b.suite(), Suite::Porcupine);
         assert_eq!(b.output_slots(), 1);

@@ -31,7 +31,12 @@ pub fn mat_mul(k: usize) -> Benchmark {
             outputs.push(iter.fold(first, Expr::add));
         }
     }
-    Benchmark::new("Mat. Mul.", &format!("{k}x{k}"), Suite::Coyote, Expr::Vec(outputs))
+    Benchmark::new(
+        "Mat. Mul.",
+        &format!("{k}x{k}"),
+        Suite::Coyote,
+        Expr::Vec(outputs),
+    )
 }
 
 /// The `Max` kernel over `n` encrypted values: an unstructured selection
@@ -75,7 +80,7 @@ pub fn sort(n: usize) -> Benchmark {
     let mut outputs = Vec::with_capacity(n);
     for k in 0..n {
         let mut terms = Vec::with_capacity(n);
-        for i in 0..n {
+        for (i, x) in xs.iter().enumerate() {
             let mut product: Option<Expr> = None;
             for j in 0..n {
                 if i == j {
@@ -87,7 +92,7 @@ pub fn sort(n: usize) -> Benchmark {
                     Some(p) => Expr::mul(p, c),
                 });
             }
-            terms.push(Expr::mul(xs[i].clone(), product.expect("n >= 2")));
+            terms.push(Expr::mul(x.clone(), product.expect("n >= 2")));
         }
         let mut iter = terms.into_iter();
         let first = iter.next().expect("n >= 1");
@@ -150,7 +155,11 @@ mod tests {
         for n in [3usize, 4, 5] {
             let b = max(n);
             let counts = count_ops(b.program());
-            assert_eq!(counts.scalar_mul_ct_ct, n * (n - 1), "Max {n} multiplications");
+            assert_eq!(
+                counts.scalar_mul_ct_ct,
+                n * (n - 1),
+                "Max {n} multiplications"
+            );
             assert_eq!(multiplicative_depth(b.program()), n - 1, "Max {n} depth");
         }
     }

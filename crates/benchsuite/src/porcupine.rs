@@ -37,17 +37,44 @@ pub fn box_blur(k: usize) -> Benchmark {
             outputs.push(chain_sum(terms));
         }
     }
-    Benchmark::new("Box Blur", &format!("{k}x{k}"), Suite::Porcupine, Expr::Vec(outputs))
+    Benchmark::new(
+        "Box Blur",
+        &format!("{k}x{k}"),
+        Suite::Porcupine,
+        Expr::Vec(outputs),
+    )
 }
 
 /// Horizontal Sobel gradient (`Gx`) over a `k × k` image with zero padding.
 pub fn gx(k: usize) -> Benchmark {
-    sobel(k, "Gx", &[(-1, -1, -1), (-1, 1, 1), (0, -1, -2), (0, 1, 2), (1, -1, -1), (1, 1, 1)])
+    sobel(
+        k,
+        "Gx",
+        &[
+            (-1, -1, -1),
+            (-1, 1, 1),
+            (0, -1, -2),
+            (0, 1, 2),
+            (1, -1, -1),
+            (1, 1, 1),
+        ],
+    )
 }
 
 /// Vertical Sobel gradient (`Gy`) over a `k × k` image with zero padding.
 pub fn gy(k: usize) -> Benchmark {
-    sobel(k, "Gy", &[(-1, -1, -1), (-1, 0, -2), (-1, 1, -1), (1, -1, 1), (1, 0, 2), (1, 1, 1)])
+    sobel(
+        k,
+        "Gy",
+        &[
+            (-1, -1, -1),
+            (-1, 0, -2),
+            (-1, 1, -1),
+            (1, -1, 1),
+            (1, 0, 2),
+            (1, 1, 1),
+        ],
+    )
 }
 
 /// Shared Sobel builder: each output is a weighted sum of neighbours, the
@@ -77,7 +104,12 @@ fn sobel(k: usize, name: &str, taps: &[(i64, i64, i64)]) -> Benchmark {
             outputs.push(chain_sum(terms));
         }
     }
-    Benchmark::new(name, &format!("{k}x{k}"), Suite::Porcupine, Expr::Vec(outputs))
+    Benchmark::new(
+        name,
+        &format!("{k}x{k}"),
+        Suite::Porcupine,
+        Expr::Vec(outputs),
+    )
 }
 
 /// Roberts cross edge detector over a `k × k` image: per pixel,
@@ -90,17 +122,31 @@ pub fn roberts_cross(k: usize) -> Benchmark {
         for j in 0..k {
             let d1 = Expr::sub(pixel("img", i, j), pixel("img", clamp(i + 1), clamp(j + 1)));
             let d2 = Expr::sub(pixel("img", clamp(i + 1), j), pixel("img", i, clamp(j + 1)));
-            outputs.push(Expr::add(Expr::mul(d1.clone(), d1), Expr::mul(d2.clone(), d2)));
+            outputs.push(Expr::add(
+                Expr::mul(d1.clone(), d1),
+                Expr::mul(d2.clone(), d2),
+            ));
         }
     }
-    Benchmark::new("Rob. Cross", &format!("{k}x{k}"), Suite::Porcupine, Expr::Vec(outputs))
+    Benchmark::new(
+        "Rob. Cross",
+        &format!("{k}x{k}"),
+        Suite::Porcupine,
+        Expr::Vec(outputs),
+    )
 }
 
 /// Dot product of two length-`n` encrypted vectors: `Σ a_i · b_i`.
 pub fn dot_product(n: usize) -> Benchmark {
-    let terms: Vec<Expr> =
-        (0..n).map(|i| Expr::mul(ct(format!("a_{i}")), ct(format!("b_{i}")))).collect();
-    Benchmark::new("Dot Product", &n.to_string(), Suite::Porcupine, chain_sum(terms))
+    let terms: Vec<Expr> = (0..n)
+        .map(|i| Expr::mul(ct(format!("a_{i}")), ct(format!("b_{i}"))))
+        .collect();
+    Benchmark::new(
+        "Dot Product",
+        &n.to_string(),
+        Suite::Porcupine,
+        chain_sum(terms),
+    )
 }
 
 /// Hamming distance between two length-`n` binary vectors:
@@ -115,7 +161,12 @@ pub fn hamming_distance(n: usize) -> Benchmark {
             )
         })
         .collect();
-    Benchmark::new("Hamm. Dist.", &n.to_string(), Suite::Porcupine, chain_sum(terms))
+    Benchmark::new(
+        "Hamm. Dist.",
+        &n.to_string(),
+        Suite::Porcupine,
+        chain_sum(terms),
+    )
 }
 
 /// Squared L2 distance between two length-`n` vectors: `Σ (a_i - b_i)²`.
@@ -126,7 +177,12 @@ pub fn l2_distance(n: usize) -> Benchmark {
             Expr::mul(d.clone(), d)
         })
         .collect();
-    Benchmark::new("L2 Distance", &n.to_string(), Suite::Porcupine, chain_sum(terms))
+    Benchmark::new(
+        "L2 Distance",
+        &n.to_string(),
+        Suite::Porcupine,
+        chain_sum(terms),
+    )
 }
 
 /// Linear-regression residuals over `n` points: `e_i = y_i - (w·x_i + b)`,
@@ -139,7 +195,12 @@ pub fn linear_regression(n: usize) -> Benchmark {
             Expr::sub(y, Expr::add(Expr::mul(w.clone(), x), b.clone()))
         })
         .collect();
-    Benchmark::new("Linear Reg.", &n.to_string(), Suite::Porcupine, Expr::Vec(outputs))
+    Benchmark::new(
+        "Linear Reg.",
+        &n.to_string(),
+        Suite::Porcupine,
+        Expr::Vec(outputs),
+    )
 }
 
 /// Polynomial-regression residuals over `n` points:
@@ -156,7 +217,12 @@ pub fn polynomial_regression(n: usize) -> Benchmark {
             Expr::sub(y, prediction)
         })
         .collect();
-    Benchmark::new("Poly. Reg.", &n.to_string(), Suite::Porcupine, Expr::Vec(outputs))
+    Benchmark::new(
+        "Poly. Reg.",
+        &n.to_string(),
+        Suite::Porcupine,
+        Expr::Vec(outputs),
+    )
 }
 
 /// The full Porcupine suite at the instance sizes used in the paper.
@@ -243,7 +309,11 @@ mod tests {
         let b = box_blur(3);
         assert_eq!(b.output_slots(), 9);
         assert!(circuit_depth(b.program()) <= 9);
-        assert_eq!(count_ops(b.program()).scalar_mul_ct_ct, 0, "box blur is additions only");
+        assert_eq!(
+            count_ops(b.program()).scalar_mul_ct_ct,
+            0,
+            "box blur is additions only"
+        );
         // Centre output of a 3x3 image sums all nine pixels.
         let env = b.input_env(1);
         let out = evaluate(b.program(), &env).unwrap();
@@ -259,7 +329,12 @@ mod tests {
     fn sobel_kernels_use_plaintext_weights() {
         for b in [gx(4), gy(4)] {
             let counts = count_ops(b.program());
-            assert_eq!(counts.scalar_mul_ct_ct, 0, "{}: weights are plaintext", b.id());
+            assert_eq!(
+                counts.scalar_mul_ct_ct,
+                0,
+                "{}: weights are plaintext",
+                b.id()
+            );
             assert!(counts.scalar_mul_ct_pt > 0);
             assert_eq!(b.output_slots(), 16);
         }

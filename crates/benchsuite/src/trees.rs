@@ -85,7 +85,11 @@ pub fn tree(params: TreeParams) -> Benchmark {
         ^ (u64::from(params.fullness) << 32)
         ^ (u64::from(params.homogeneity) << 16)
         ^ params.depth as u64;
-    let mut builder = TreeBuilder { rng: StdRng::seed_from_u64(seed), params, next_leaf: 0 };
+    let mut builder = TreeBuilder {
+        rng: StdRng::seed_from_u64(seed),
+        params,
+        next_leaf: 0,
+    };
     let program = builder.build(params.depth);
     Benchmark::new("Tree", &params.label(), Suite::RandomTree, program)
 }
@@ -93,12 +97,36 @@ pub fn tree(params: TreeParams) -> Benchmark {
 /// The six `tree-X-Y-Z` instances evaluated in the paper.
 pub fn suite() -> Vec<Benchmark> {
     [
-        TreeParams { fullness: 50, homogeneity: 50, depth: 5 },
-        TreeParams { fullness: 50, homogeneity: 50, depth: 10 },
-        TreeParams { fullness: 100, homogeneity: 50, depth: 5 },
-        TreeParams { fullness: 100, homogeneity: 50, depth: 10 },
-        TreeParams { fullness: 100, homogeneity: 100, depth: 5 },
-        TreeParams { fullness: 100, homogeneity: 100, depth: 10 },
+        TreeParams {
+            fullness: 50,
+            homogeneity: 50,
+            depth: 5,
+        },
+        TreeParams {
+            fullness: 50,
+            homogeneity: 50,
+            depth: 10,
+        },
+        TreeParams {
+            fullness: 100,
+            homogeneity: 50,
+            depth: 5,
+        },
+        TreeParams {
+            fullness: 100,
+            homogeneity: 50,
+            depth: 10,
+        },
+        TreeParams {
+            fullness: 100,
+            homogeneity: 100,
+            depth: 5,
+        },
+        TreeParams {
+            fullness: 100,
+            homogeneity: 100,
+            depth: 10,
+        },
     ]
     .into_iter()
     .map(tree)
@@ -112,15 +140,27 @@ mod tests {
 
     #[test]
     fn full_trees_are_complete() {
-        let b = tree(TreeParams { fullness: 100, homogeneity: 50, depth: 5 });
+        let b = tree(TreeParams {
+            fullness: 100,
+            homogeneity: 50,
+            depth: 5,
+        });
         assert_eq!(circuit_depth(b.program()), 5);
         let counts = count_ops(b.program());
-        assert_eq!(counts.scalar_mul_ct_ct + counts.scalar_add_sub, 31, "2^5 - 1 operations");
+        assert_eq!(
+            counts.scalar_mul_ct_ct + counts.scalar_add_sub,
+            31,
+            "2^5 - 1 operations"
+        );
     }
 
     #[test]
     fn homogeneous_trees_are_all_multiplications() {
-        let b = tree(TreeParams { fullness: 100, homogeneity: 100, depth: 5 });
+        let b = tree(TreeParams {
+            fullness: 100,
+            homogeneity: 100,
+            depth: 5,
+        });
         let counts = count_ops(b.program());
         assert_eq!(counts.scalar_add_sub, 0);
         assert_eq!(counts.scalar_mul_ct_ct, 31);
@@ -128,14 +168,26 @@ mod tests {
 
     #[test]
     fn sparse_trees_are_smaller_than_full_trees() {
-        let sparse = tree(TreeParams { fullness: 50, homogeneity: 50, depth: 10 });
-        let full = tree(TreeParams { fullness: 100, homogeneity: 50, depth: 10 });
+        let sparse = tree(TreeParams {
+            fullness: 50,
+            homogeneity: 50,
+            depth: 10,
+        });
+        let full = tree(TreeParams {
+            fullness: 100,
+            homogeneity: 50,
+            depth: 10,
+        });
         assert!(sparse.program().node_count() < full.program().node_count() / 2);
     }
 
     #[test]
     fn generation_is_deterministic() {
-        let p = TreeParams { fullness: 100, homogeneity: 50, depth: 10 };
+        let p = TreeParams {
+            fullness: 100,
+            homogeneity: 50,
+            depth: 10,
+        };
         assert_eq!(tree(p).program(), tree(p).program());
     }
 
@@ -149,7 +201,11 @@ mod tests {
 
     #[test]
     fn deep_full_trees_are_large() {
-        let b = tree(TreeParams { fullness: 100, homogeneity: 50, depth: 10 });
+        let b = tree(TreeParams {
+            fullness: 100,
+            homogeneity: 50,
+            depth: 10,
+        });
         let counts = count_ops(b.program());
         assert_eq!(counts.scalar_mul_ct_ct + counts.scalar_add_sub, 1023);
     }

@@ -78,12 +78,18 @@ impl Default for Compiler {
 impl Compiler {
     /// Creates a compiler with explicit options.
     pub fn new(options: CompilerOptions) -> Self {
-        Compiler { options, engine: Arc::new(RewriteEngine::new()) }
+        Compiler {
+            options,
+            engine: Arc::new(RewriteEngine::new()),
+        }
     }
 
     /// A compiler that performs no term rewriting (the naive baseline).
     pub fn without_optimizer() -> Self {
-        Self::new(CompilerOptions { optimizer: OptimizerKind::None, ..CompilerOptions::default() })
+        Self::new(CompilerOptions {
+            optimizer: OptimizerKind::None,
+            ..CompilerOptions::default()
+        })
     }
 
     /// A compiler using the original CHEHAB greedy rewriting.
@@ -120,7 +126,8 @@ impl Compiler {
         let (optimized, optimizer_steps) = match &self.options.optimizer {
             OptimizerKind::None => (original.clone(), 0),
             OptimizerKind::Greedy { max_steps } => {
-                self.engine.greedy_optimize(&original, &self.options.cost_model, *max_steps)
+                self.engine
+                    .greedy_optimize(&original, &self.options.cost_model, *max_steps)
             }
             OptimizerKind::RlPolicy(agent) => {
                 let outcome = agent.optimize(&original);
@@ -185,7 +192,9 @@ mod tests {
         assert!(compiled.stats().optimizer_steps > 0);
 
         let bindings = bindings_for(&program);
-        let report = compiled.execute(&bindings, &BfvParameters::insecure_test()).unwrap();
+        let report = compiled
+            .execute(&bindings, &BfvParameters::insecure_test())
+            .unwrap();
         assert!(report.decryption_ok);
         assert_eq!(report.outputs[0], reference_output(&program, &bindings)[0]);
     }
@@ -198,8 +207,13 @@ mod tests {
         assert_eq!(compiled.stats().cost_before, compiled.stats().cost_after);
 
         let bindings = bindings_for(&program);
-        let report = compiled.execute(&bindings, &BfvParameters::insecure_test()).unwrap();
-        assert_eq!(report.outputs, reference_output(&program, &bindings)[..2].to_vec());
+        let report = compiled
+            .execute(&bindings, &BfvParameters::insecure_test())
+            .unwrap();
+        assert_eq!(
+            report.outputs,
+            reference_output(&program, &bindings)[..2].to_vec()
+        );
     }
 
     #[test]
@@ -219,7 +233,9 @@ mod tests {
         // Rotations add a little key-switching noise, so the vectorized form
         // may consume a few more bits than the flat chain of additions; it
         // must stay in the same ballpark (both are depth-1 circuits).
-        assert!(optimized_report.noise_budget_consumed <= naive_report.noise_budget_consumed + 10.0);
+        assert!(
+            optimized_report.noise_budget_consumed <= naive_report.noise_budget_consumed + 10.0
+        );
     }
 
     fn chehab_benchsuite_like_dot(n: usize) -> Expr {
@@ -233,8 +249,10 @@ mod tests {
 
     #[test]
     fn rotation_key_budget_is_respected() {
-        let mut options = CompilerOptions::default();
-        options.rotation_key_budget = 4;
+        let options = CompilerOptions {
+            rotation_key_budget: 4,
+            ..Default::default()
+        };
         let compiler = Compiler::new(options);
         let program = chehab_benchsuite_like_dot(32);
         let compiled = compiler.compile("dot32", &program);

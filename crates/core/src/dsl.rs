@@ -87,7 +87,11 @@ pub struct DslProgram {
 impl DslProgram {
     /// Starts a new program.
     pub fn new(name: impl Into<String>) -> Self {
-        DslProgram { name: name.into(), inputs: Vec::new(), outputs: Vec::new() }
+        DslProgram {
+            name: name.into(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        }
     }
 
     /// The program's name.
@@ -112,7 +116,9 @@ impl DslProgram {
     /// Declares a whole vector of encrypted scalar inputs named
     /// `prefix_0 .. prefix_{len-1}`.
     pub fn ciphertext_inputs(&mut self, prefix: &str, len: usize) -> Vec<DslValue> {
-        (0..len).map(|i| self.ciphertext_input(format!("{prefix}_{i}"))).collect()
+        (0..len)
+            .map(|i| self.ciphertext_input(format!("{prefix}_{i}")))
+            .collect()
     }
 
     /// A plaintext integer literal.
@@ -128,14 +134,20 @@ impl DslProgram {
     /// Sum of several values (the DSL's `add_many` helper).
     pub fn add_many(&self, values: &[DslValue]) -> DslValue {
         let mut iter = values.iter();
-        let first = iter.next().expect("add_many needs at least one value").clone();
+        let first = iter
+            .next()
+            .expect("add_many needs at least one value")
+            .clone();
         iter.fold(first, |acc, v| &acc + v)
     }
 
     /// Product of several values (the DSL's `mul_many` helper).
     pub fn mul_many(&self, values: &[DslValue]) -> DslValue {
         let mut iter = values.iter();
-        let first = iter.next().expect("mul_many needs at least one value").clone();
+        let first = iter
+            .next()
+            .expect("mul_many needs at least one value")
+            .clone();
         iter.fold(first, |acc, v| &acc * v)
     }
 
@@ -161,7 +173,11 @@ impl DslProgram {
     ///
     /// Panics if no output was registered.
     pub fn lower(&self) -> Expr {
-        assert!(!self.outputs.is_empty(), "program `{}` has no outputs", self.name);
+        assert!(
+            !self.outputs.is_empty(),
+            "program `{}` has no outputs",
+            self.name
+        );
         if self.outputs.len() == 1 {
             self.outputs[0].clone()
         } else {
@@ -179,7 +195,9 @@ mod tests {
     fn motivating_example_lowers_to_the_paper_ir() {
         // Section 4.1's DSL listing.
         let mut p = DslProgram::new("motivating_example");
-        let v: Vec<DslValue> = (1..=10).map(|i| p.ciphertext_input(format!("v{i}"))).collect();
+        let v: Vec<DslValue> = (1..=10)
+            .map(|i| p.ciphertext_input(format!("v{i}")))
+            .collect();
         let x = &(&(&(&v[0] * &v[1]) * &(&v[2] * &v[3])) + &(&(&v[2] * &v[3]) * &(&v[4] * &v[5])))
             * &(&(&v[6] * &v[7]) * &(&v[8] * &v[9]));
         p.set_output(&x);

@@ -1,10 +1,17 @@
 //! Code generation and execution: lowering an optimized circuit onto the BFV
-//! backend and running it.
+//! backend and running it through the parallel runtime.
 //!
 //! Code generation in CHEHAB maps every IR operator to its backend call
 //! (Appendix D); here the compiled artifact keeps the hash-consed circuit DAG
-//! plus the rotation-key plan and the input-layout decision, and execution
-//! walks the DAG once, issuing one `Evaluator` call per operation node.
+//! plus the rotation-key plan and the input-layout decision. Execution is
+//! delegated to [`chehab_runtime`]: the DAG is lowered once into a flat,
+//! topologically-leveled instruction [`Schedule`], and a
+//! [`WavefrontExecutor`] runs each level's independent operations on a worker
+//! pool ([`CompiledProgram::execute`] is the single-worker case). A second
+//! parallelism level, [`CompiledProgram::execute_batch`], amortizes one
+//! compile across many independent encrypted input sets — the serving
+//! scenario.
+//!
 //! Plaintext-only subcircuits are computed on the client side (they never
 //! touch ciphertexts), and packed vector inputs are either packed by the
 //! client before encryption (Section 7.3, the default) or assembled at run
@@ -12,12 +19,19 @@
 
 use crate::rotation_keys::RotationKeyPlan;
 use chehab_fhe::{
-    BfvParameters, Ciphertext, Decryptor, Encryptor, Evaluator, EvaluatorStats, FheContext,
-    FheError, KeyGenerator,
+    BfvParameters, Ciphertext, Decryptor, Encryptor, EvaluatorStats, FheContext, FheError,
+    GaloisKeys, KeyGenerator, RelinKeys,
 };
 use chehab_ir::{BinOp, CircuitDag, CircuitSummary, DagNode, DataKind, Expr, Ty};
+use chehab_runtime::{
+    data_kinds, BatchExecutor, ExecResources, Register, Schedule, TimingBreakdown,
+    WavefrontExecutor,
+};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
+
+/// Deterministic key-generation seed of the execution backend.
+const KEYGEN_SEED: u64 = 0xC4E4AB;
 
 /// Compile-time statistics of a compiled program.
 #[derive(Debug, Clone)]
@@ -35,6 +49,29 @@ pub struct CompileStats {
     pub summary_before: CircuitSummary,
     /// Circuit summary after optimization.
     pub summary_after: CircuitSummary,
+}
+
+/// Per-request parallelism options of [`CompiledProgram::execute_batch`].
+#[derive(Debug, Clone, Copy)]
+pub struct BatchOptions {
+    /// Worker threads at the request level (how many input sets execute
+    /// concurrently).
+    pub request_threads: usize,
+    /// Worker threads inside each request's wavefront execution.
+    ///
+    /// The useful total is `request_threads * threads_per_request <=`
+    /// available cores; deep, narrow circuits profit from request-level
+    /// workers, wide circuits from wavefront workers.
+    pub threads_per_request: usize,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            request_threads: 4,
+            threads_per_request: 1,
+        }
+    }
 }
 
 /// A compiled FHE program, ready to execute on the BFV backend.
@@ -103,7 +140,36 @@ impl CompiledProgram {
         self.layout_before_encryption
     }
 
-    /// Executes the program on the BFV backend.
+    /// The register slots the client binds before server-side execution:
+    /// plaintext subcircuits, encrypted scalar inputs, and (under the default
+    /// layout) leaf-only vectors packed before encryption.
+    fn prebound_mask(&self, kinds: &[DataKind]) -> Vec<bool> {
+        self.dag
+            .nodes()
+            .iter()
+            .enumerate()
+            .map(|(id, node)| {
+                kinds[id] == DataKind::Plaintext
+                    || matches!(node, DagNode::CtVar(_))
+                    || (self.layout_before_encryption
+                        && matches!(node, DagNode::Vec(elems)
+                            if elems.iter().all(|&e| self.dag.nodes()[e].is_leaf())))
+            })
+            .collect()
+    }
+
+    /// Lowers the server-side portion of the circuit into a leveled
+    /// instruction schedule (exposed so harnesses can inspect level widths
+    /// when picking thread counts).
+    pub fn schedule(&self) -> Schedule {
+        let kinds = data_kinds(&self.dag);
+        let prebound = self.prebound_mask(&kinds);
+        chehab_runtime::lower_with_default_costs(&self.dag, &prebound, |step| {
+            self.rotation_plan.realize(step)
+        })
+    }
+
+    /// Executes the program on the BFV backend, sequentially.
     ///
     /// `inputs` binds every scalar input variable to its clear value.
     ///
@@ -117,11 +183,77 @@ impl CompiledProgram {
         inputs: &HashMap<String, i64>,
         params: &BfvParameters,
     ) -> Result<ExecutionReport, FheError> {
+        self.execute_parallel(inputs, params, 1)
+    }
+
+    /// Executes the program with `threads` workers running each wavefront
+    /// level's independent operations concurrently.
+    ///
+    /// The result is bit-identical to [`CompiledProgram::execute`]: every
+    /// homomorphic operation is a pure function of its operands, so only the
+    /// wall-clock changes. Worker count is clamped to the widest schedule
+    /// level; `threads = 1` is exactly the sequential path.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CompiledProgram::execute`].
+    pub fn execute_parallel(
+        &self,
+        inputs: &HashMap<String, i64>,
+        params: &BfvParameters,
+        threads: usize,
+    ) -> Result<ExecutionReport, FheError> {
+        let session = ExecutionSession::new(self, params)?;
+        session.run(self, inputs, threads)
+    }
+
+    /// Executes the program once per input set, in parallel across requests
+    /// (and, optionally, across each request's wavefront): the two-level
+    /// serving configuration. Keys, Galois keys and the instruction schedule
+    /// are generated once and shared by every request.
+    ///
+    /// Results are returned in input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`FheError`] any request hit.
+    pub fn execute_batch(
+        &self,
+        input_sets: &[HashMap<String, i64>],
+        params: &BfvParameters,
+        options: &BatchOptions,
+    ) -> Result<Vec<ExecutionReport>, FheError> {
+        let session = ExecutionSession::new(self, params)?;
+        let pool = BatchExecutor::new(options.request_threads);
+        let reports = pool.run(input_sets.to_vec(), |_, inputs| {
+            session.run(self, &inputs, options.threads_per_request)
+        });
+        reports.into_iter().collect()
+    }
+}
+
+/// Everything one compiled program shares across executions under fixed
+/// parameters: context, key material, and the leveled schedule.
+struct ExecutionSession {
+    ctx: FheContext,
+    public_key: chehab_fhe::PublicKey,
+    decryptor: Decryptor,
+    relin_keys: RelinKeys,
+    galois_keys: GaloisKeys,
+    schedule: Schedule,
+    kinds: Vec<DataKind>,
+    prebound: Vec<bool>,
+    /// Packing fallback for degenerate `Vec` nodes; encrypted once per
+    /// session, and only when the schedule contains a `Pack` instruction.
+    zero: Option<Ciphertext>,
+}
+
+impl ExecutionSession {
+    fn new(program: &CompiledProgram, params: &BfvParameters) -> Result<Self, FheError> {
         let ctx = FheContext::new(params.clone())?;
-        let mut keygen = KeyGenerator::new(ctx.params(), 0xC4E4AB);
-        let mut encryptor = Encryptor::new(&ctx, &keygen.public_key());
+        let mut keygen = KeyGenerator::new(ctx.params(), KEYGEN_SEED);
+        let public_key = keygen.public_key();
         let decryptor = Decryptor::new(&ctx, &keygen.secret_key());
-        let mut evaluator = Evaluator::new(&ctx);
         let relin_keys = keygen.relin_keys();
 
         // Galois keys: the planned rotation keys plus the unit steps needed
@@ -129,15 +261,15 @@ impl CompiledProgram {
         // ciphertext `Vec` node when the layout is applied after encryption,
         // and for `Vec` nodes with non-leaf elements even under the default
         // client-side layout.
-        let mut steps: Vec<i64> = self.rotation_plan.keys.clone();
-        let runtime_packed_arity = self
+        let mut steps: Vec<i64> = program.rotation_plan.keys.clone();
+        let runtime_packed_arity = program
             .dag
             .nodes()
             .iter()
             .filter_map(|n| match n {
                 DagNode::Vec(elems) => {
-                    let all_leaves = elems.iter().all(|&e| self.dag.nodes()[e].is_leaf());
-                    let packed_at_runtime = !self.layout_before_encryption || !all_leaves;
+                    let all_leaves = elems.iter().all(|&e| program.dag.nodes()[e].is_leaf());
+                    let packed_at_runtime = !program.layout_before_encryption || !all_leaves;
                     packed_at_runtime.then_some(elems.len())
                 }
                 _ => None,
@@ -149,72 +281,112 @@ impl CompiledProgram {
         }
         let galois_keys = keygen.galois_keys(&steps);
 
-        let t = ctx.plain_modulus() as i64;
-        let lookup = |name: &str| -> i64 {
-            inputs.get(name).copied().unwrap_or(0).rem_euclid(t)
+        let kinds = data_kinds(&program.dag);
+        let prebound = program.prebound_mask(&kinds);
+        let schedule = chehab_runtime::lower_with_default_costs(&program.dag, &prebound, |step| {
+            program.rotation_plan.realize(step)
+        });
+        let zero = if schedule
+            .instrs()
+            .iter()
+            .any(|si| matches!(si.instr, chehab_runtime::Instr::Pack { .. }))
+        {
+            Some(Encryptor::new(&ctx, &public_key).encrypt_values(&[0])?)
+        } else {
+            None
         };
+        Ok(ExecutionSession {
+            ctx,
+            public_key,
+            decryptor,
+            relin_keys,
+            galois_keys,
+            schedule,
+            kinds,
+            prebound,
+            zero,
+        })
+    }
 
-        // --- client side: plaintext evaluation and input encryption (untimed).
-        let kinds: Vec<DataKind> = data_kinds(&self.dag);
-        let mut registers: Vec<Option<Register>> = vec![None; self.dag.len()];
-        for (id, node) in self.dag.nodes().iter().enumerate() {
-            if kinds[id] == DataKind::Plaintext {
+    /// Client-side phase: evaluates plaintext subcircuits and encrypts the
+    /// inputs, producing the initial register file (untimed).
+    fn bind_registers(
+        &self,
+        program: &CompiledProgram,
+        inputs: &HashMap<String, i64>,
+    ) -> Result<Vec<Option<Register>>, FheError> {
+        let mut encryptor = Encryptor::new(&self.ctx, &self.public_key);
+        let t = self.ctx.plain_modulus() as i64;
+        let lookup = |name: &str| -> i64 { inputs.get(name).copied().unwrap_or(0).rem_euclid(t) };
+
+        let mut registers: Vec<Option<Register>> = vec![None; program.dag.len()];
+        for (id, node) in program.dag.nodes().iter().enumerate() {
+            if !self.prebound[id] {
+                continue;
+            }
+            if self.kinds[id] == DataKind::Plaintext {
                 registers[id] = Some(Register::Plain(plain_eval(node, &registers, &lookup, t)));
             } else if let DagNode::CtVar(name) = node {
                 let ct = encryptor.encrypt_values(&[lookup(name.as_str())])?;
                 registers[id] = Some(Register::Cipher(ct));
-            } else if self.layout_before_encryption {
-                if let DagNode::Vec(elems) = node {
-                    // Pack leaf-only vectors on the client before encryption.
-                    if elems.iter().all(|&e| self.dag.nodes()[e].is_leaf()) {
-                        let values: Vec<i64> = elems
-                            .iter()
-                            .map(|&e| match &self.dag.nodes()[e] {
-                                DagNode::CtVar(name) => lookup(name.as_str()),
-                                DagNode::PtVar(name) => lookup(name.as_str()),
-                                DagNode::Const(v) => *v,
-                                _ => unreachable!("leaf-only vector"),
-                            })
-                            .collect();
-                        let ct = encryptor.encrypt_values(&values)?;
-                        registers[id] = Some(Register::Cipher(ct));
-                    }
-                }
+            } else if let DagNode::Vec(elems) = node {
+                // Pack leaf-only vectors on the client before encryption.
+                let values: Vec<i64> = elems
+                    .iter()
+                    .map(|&e| match &program.dag.nodes()[e] {
+                        DagNode::CtVar(name) => lookup(name.as_str()),
+                        DagNode::PtVar(name) => lookup(name.as_str()),
+                        DagNode::Const(v) => *v,
+                        _ => unreachable!("leaf-only vector"),
+                    })
+                    .collect();
+                let ct = encryptor.encrypt_values(&values)?;
+                registers[id] = Some(Register::Cipher(ct));
+            } else {
+                unreachable!("pre-bound nodes are plaintext, inputs, or packed vectors")
             }
         }
+        Ok(registers)
+    }
 
-        // --- server side: execute the remaining operation nodes (timed).
+    /// Runs one request: client-side binding, the timed wavefront execution,
+    /// and decryption.
+    fn run(
+        &self,
+        program: &CompiledProgram,
+        inputs: &HashMap<String, i64>,
+        threads: usize,
+    ) -> Result<ExecutionReport, FheError> {
+        let registers = self.bind_registers(program, inputs)?;
+        let resources = ExecResources {
+            ctx: &self.ctx,
+            relin_keys: &self.relin_keys,
+            galois_keys: &self.galois_keys,
+            zero: self.zero.as_ref(),
+        };
+
+        // --- server side: execute the scheduled operations (timed).
         let started = Instant::now();
-        for (id, node) in self.dag.nodes().iter().enumerate() {
-            if registers[id].is_some() {
-                continue;
-            }
-            let register = self.execute_node(
-                id,
-                node,
-                &registers,
-                &ctx,
-                &mut evaluator,
-                &mut encryptor,
-                &relin_keys,
-                &galois_keys,
-            )?;
-            registers[id] = Some(register);
-        }
+        let outcome =
+            WavefrontExecutor::new(threads).execute(&self.schedule, registers, &resources)?;
         let server_time = started.elapsed();
 
-        let output = registers[self.dag.output()].clone().expect("output register computed");
-        let (outputs, noise_consumed, decryption_ok) = match output {
+        let t = self.ctx.plain_modulus() as i64;
+        let (outputs, noise_consumed, decryption_ok) = match outcome.output {
             Register::Cipher(ct) => {
                 let consumed = ct.noise_consumed_bits();
-                match decryptor.decrypt(&ct) {
-                    Ok(pt) => (ctx.decode(&pt, self.output_slots), consumed, true),
+                match self.decryptor.decrypt(&ct) {
+                    Ok(pt) => (self.ctx.decode(&pt, program.output_slots), consumed, true),
                     Err(FheError::NoiseBudgetExhausted { .. }) => (Vec::new(), consumed, false),
                     Err(other) => return Err(other),
                 }
             }
             Register::Plain(values) => (
-                values.iter().map(|&v| v.rem_euclid(t) as u64).take(self.output_slots).collect(),
+                values
+                    .iter()
+                    .map(|&v| v.rem_euclid(t) as u64)
+                    .take(program.output_slots)
+                    .collect(),
                 0.0,
                 true,
             ),
@@ -224,112 +396,13 @@ impl CompiledProgram {
             outputs,
             server_time,
             noise_budget_consumed: noise_consumed,
-            noise_budget_remaining: (params.fresh_noise_budget_bits() - noise_consumed).max(0.0),
-            operation_stats: evaluator.stats(),
-            galois_key_count: galois_keys.key_count(),
+            noise_budget_remaining: (self.ctx.params().fresh_noise_budget_bits() - noise_consumed)
+                .max(0.0),
+            operation_stats: outcome.stats,
+            galois_key_count: self.galois_keys.key_count(),
             decryption_ok,
+            timing: outcome.timing,
         })
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn execute_node(
-        &self,
-        _id: usize,
-        node: &DagNode,
-        registers: &[Option<Register>],
-        ctx: &FheContext,
-        evaluator: &mut Evaluator,
-        encryptor: &mut Encryptor,
-        relin_keys: &chehab_fhe::RelinKeys,
-        galois_keys: &chehab_fhe::GaloisKeys,
-    ) -> Result<Register, FheError> {
-        let reg = |i: usize| registers[i].clone().expect("operands are computed in topological order");
-        let result = match node {
-            DagNode::CtVar(_) | DagNode::PtVar(_) | DagNode::Const(_) => {
-                unreachable!("leaves are materialized before execution")
-            }
-            DagNode::Vec(elems) => {
-                // Run-time packing: element i is moved to slot i with a
-                // right-rotation and accumulated with additions.
-                let mut acc: Option<Ciphertext> = None;
-                let mut plain_slots = vec![0i64; elems.len()];
-                for (slot, &elem) in elems.iter().enumerate() {
-                    match reg(elem) {
-                        Register::Plain(values) => {
-                            plain_slots[slot] = values.first().copied().unwrap_or(0);
-                        }
-                        Register::Cipher(ct) => {
-                            let placed = if slot == 0 {
-                                ct
-                            } else {
-                                evaluator.rotate(&ct, -(slot as i64), galois_keys)?
-                            };
-                            acc = Some(match acc {
-                                None => placed,
-                                Some(prev) => evaluator.add(&prev, &placed),
-                            });
-                        }
-                    }
-                }
-                let mut packed = acc.unwrap_or_else(|| {
-                    // A ciphertext-kind vector always has at least one
-                    // ciphertext element, but keep a safe fallback.
-                    encryptor.encrypt_values(&[0]).expect("single zero fits")
-                });
-                if plain_slots.iter().any(|&v| v != 0) {
-                    let plain = ctx.encode(&plain_slots)?;
-                    packed = evaluator.add_plain(&packed, &plain);
-                }
-                Register::Cipher(packed)
-            }
-            DagNode::Bin(op, a, b) | DagNode::VecBin(op, a, b) => {
-                match (reg(*a), reg(*b)) {
-                    (Register::Cipher(x), Register::Cipher(y)) => Register::Cipher(match op {
-                        BinOp::Add => evaluator.add(&x, &y),
-                        BinOp::Sub => evaluator.sub(&x, &y),
-                        BinOp::Mul => evaluator.multiply(&x, &y, relin_keys),
-                    }),
-                    (Register::Cipher(x), Register::Plain(p)) => {
-                        let plain = ctx.encode(&p)?;
-                        Register::Cipher(match op {
-                            BinOp::Add => evaluator.add_plain(&x, &plain),
-                            BinOp::Sub => evaluator.sub_plain(&x, &plain),
-                            BinOp::Mul => evaluator.multiply_plain(&x, &plain),
-                        })
-                    }
-                    (Register::Plain(p), Register::Cipher(y)) => {
-                        let plain = ctx.encode(&p)?;
-                        Register::Cipher(match op {
-                            BinOp::Add => evaluator.add_plain(&y, &plain),
-                            BinOp::Sub => {
-                                // p - y = -(y - p)
-                                let diff = evaluator.sub_plain(&y, &plain);
-                                evaluator.negate(&diff)
-                            }
-                            BinOp::Mul => evaluator.multiply_plain(&y, &plain),
-                        })
-                    }
-                    (Register::Plain(_), Register::Plain(_)) => {
-                        unreachable!("plaintext-only nodes are evaluated on the client")
-                    }
-                }
-            }
-            DagNode::Neg(a) | DagNode::VecNeg(a) => match reg(*a) {
-                Register::Cipher(x) => Register::Cipher(evaluator.negate(&x)),
-                Register::Plain(_) => unreachable!("plaintext-only nodes are evaluated on the client"),
-            },
-            DagNode::Rot(a, step) => match reg(*a) {
-                Register::Cipher(x) => {
-                    let mut current = x;
-                    for part in self.rotation_plan.realize(*step) {
-                        current = evaluator.rotate(&current, part, galois_keys)?;
-                    }
-                    Register::Cipher(current)
-                }
-                Register::Plain(_) => unreachable!("plaintext-only nodes are evaluated on the client"),
-            },
-        };
-        Ok(result)
     }
 }
 
@@ -350,30 +423,10 @@ pub struct ExecutionReport {
     pub galois_key_count: usize,
     /// `false` when the noise budget was exhausted and decryption failed.
     pub decryption_ok: bool,
-}
-
-#[derive(Debug, Clone)]
-enum Register {
-    Cipher(Ciphertext),
-    Plain(Vec<i64>),
-}
-
-fn data_kinds(dag: &CircuitDag) -> Vec<DataKind> {
-    let mut kinds = vec![DataKind::Plaintext; dag.len()];
-    for (id, node) in dag.nodes().iter().enumerate() {
-        kinds[id] = match node {
-            DagNode::CtVar(_) => DataKind::Ciphertext,
-            DagNode::PtVar(_) | DagNode::Const(_) => DataKind::Plaintext,
-            _ => {
-                if node.operands().into_iter().any(|o| kinds[o] == DataKind::Ciphertext) {
-                    DataKind::Ciphertext
-                } else {
-                    DataKind::Plaintext
-                }
-            }
-        };
-    }
-    kinds
+    /// Per-wavefront-level and per-operation-kind timing breakdown, including
+    /// the measured latencies a [`chehab_runtime::CalibratedCostModel`] feeds
+    /// back into the optimizer's cost model.
+    pub timing: TimingBreakdown,
 }
 
 /// Client-side evaluation of a plaintext-only node.
@@ -384,7 +437,10 @@ fn plain_eval(
     modulus: i64,
 ) -> Vec<i64> {
     let operand = |i: usize| -> Vec<i64> {
-        match registers[i].as_ref().expect("plaintext operands precede their uses") {
+        match registers[i]
+            .as_ref()
+            .expect("plaintext operands precede their uses")
+        {
             Register::Plain(v) => v.clone(),
             Register::Cipher(_) => unreachable!("plaintext node with ciphertext operand"),
         }
@@ -414,8 +470,14 @@ fn plain_eval(
             .map(|&e| operand(e).first().copied().unwrap_or(0))
             .collect(),
         DagNode::Rot(a, step) => {
-            let v: Vec<u64> = operand(*a).iter().map(|&x| x.rem_euclid(modulus) as u64).collect();
-            chehab_ir::shift_zero_fill(&v, *step).into_iter().map(|x| x as i64).collect()
+            let v: Vec<u64> = operand(*a)
+                .iter()
+                .map(|&x| x.rem_euclid(modulus) as u64)
+                .collect();
+            chehab_ir::shift_zero_fill(&v, *step)
+                .into_iter()
+                .map(|x| x as i64)
+                .collect()
         }
     }
 }
@@ -449,7 +511,10 @@ mod tests {
 
     fn compile_raw(circuit: &str, layout_before: bool) -> CompiledProgram {
         let circuit = parse(circuit).unwrap();
-        let steps: Vec<i64> = chehab_ir::rotation_steps(&circuit).keys().copied().collect();
+        let steps: Vec<i64> = chehab_ir::rotation_steps(&circuit)
+            .keys()
+            .copied()
+            .collect();
         let plan = select_rotation_keys(&steps, 28);
         let slots = output_slots_of(&circuit);
         CompiledProgram::from_circuit(
@@ -465,7 +530,9 @@ mod tests {
     fn run(program: &CompiledProgram, bindings: &[(&str, i64)]) -> ExecutionReport {
         let inputs: HashMap<String, i64> =
             bindings.iter().map(|(k, v)| (k.to_string(), *v)).collect();
-        program.execute(&inputs, &BfvParameters::insecure_test()).unwrap()
+        program
+            .execute(&inputs, &BfvParameters::insecure_test())
+            .unwrap()
     }
 
     #[test]
@@ -485,7 +552,16 @@ mod tests {
         let program = compile_raw(circuit, true);
         let report = run(
             &program,
-            &[("a0", 1), ("a1", 2), ("a2", 3), ("a3", 4), ("b0", 5), ("b1", 6), ("b2", 7), ("b3", 8)],
+            &[
+                ("a0", 1),
+                ("a1", 2),
+                ("a2", 3),
+                ("a3", 4),
+                ("b0", 5),
+                ("b1", 6),
+                ("b2", 7),
+                ("b3", 8),
+            ],
         );
         // 1*5 + 2*6 + 3*7 + 4*8 = 70 in slot 0.
         assert_eq!(report.outputs[0], 70);
@@ -514,7 +590,14 @@ mod tests {
         let before = compile_raw(circuit, true);
         let after = compile_raw(circuit, false);
         let bindings: Vec<(&str, i64)> = vec![
-            ("a", 1), ("b", 2), ("c", 3), ("d", 4), ("e", 5), ("f", 6), ("g", 7), ("h", 8),
+            ("a", 1),
+            ("b", 2),
+            ("c", 3),
+            ("d", 4),
+            ("e", 5),
+            ("f", 6),
+            ("g", 7),
+            ("h", 8),
         ];
         let report_before = run(&before, &bindings);
         let report_after = run(&after, &bindings);
@@ -537,6 +620,7 @@ mod tests {
         let report = run(&program, &[("w", 10)]);
         assert_eq!(report.outputs, vec![13]);
         assert_eq!(report.operation_stats.total(), 0);
+        assert!(report.timing.levels.is_empty());
     }
 
     #[test]
@@ -544,5 +628,74 @@ mod tests {
         let program = compile_raw("(+ a b)", true);
         let report = run(&program, &[("a", 7)]);
         assert_eq!(report.outputs, vec![7]);
+    }
+
+    #[test]
+    fn parallel_execution_matches_sequential_output_and_stats() {
+        let circuit = "(VecAdd (VecMul (Vec a b) (Vec c d)) (VecAdd (VecMul (Vec e f) (Vec g h)) (VecMul (Vec a b) (Vec g h))))";
+        let program = compile_raw(circuit, true);
+        let inputs: HashMap<String, i64> = [
+            ("a", 1),
+            ("b", 2),
+            ("c", 3),
+            ("d", 4),
+            ("e", 5),
+            ("f", 6),
+            ("g", 7),
+            ("h", 8),
+        ]
+        .iter()
+        .map(|(k, v)| (k.to_string(), *v))
+        .collect();
+        let params = BfvParameters::insecure_test();
+        let sequential = program.execute(&inputs, &params).unwrap();
+        for threads in [2, 4] {
+            let parallel = program.execute_parallel(&inputs, &params, threads).unwrap();
+            assert_eq!(parallel.outputs, sequential.outputs);
+            assert_eq!(parallel.operation_stats, sequential.operation_stats);
+            assert_eq!(
+                parallel.noise_budget_consumed,
+                sequential.noise_budget_consumed
+            );
+            assert_eq!(parallel.timing.levels.len(), sequential.timing.levels.len());
+        }
+    }
+
+    #[test]
+    fn batch_execution_matches_individual_runs() {
+        let program = compile_raw("(VecAdd (VecMul (Vec a b) (Vec c d)) (Vec 1 1))", true);
+        let params = BfvParameters::insecure_test();
+        let input_sets: Vec<HashMap<String, i64>> = (0..6)
+            .map(|i| {
+                [("a", i), ("b", i + 1), ("c", 2 * i), ("d", 3)]
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), *v))
+                    .collect()
+            })
+            .collect();
+        let options = BatchOptions {
+            request_threads: 3,
+            threads_per_request: 1,
+        };
+        let batched = program
+            .execute_batch(&input_sets, &params, &options)
+            .unwrap();
+        assert_eq!(batched.len(), input_sets.len());
+        for (inputs, report) in input_sets.iter().zip(&batched) {
+            let solo = program.execute(inputs, &params).unwrap();
+            assert_eq!(report.outputs, solo.outputs);
+            assert_eq!(report.operation_stats, solo.operation_stats);
+        }
+    }
+
+    #[test]
+    fn schedule_is_exposed_for_introspection() {
+        let program = compile_raw(
+            "(VecAdd (VecMul (Vec a b) (Vec c d)) (VecMul (Vec e f) (Vec g h)))",
+            true,
+        );
+        let schedule = program.schedule();
+        assert_eq!(schedule.level_count(), 2);
+        assert_eq!(schedule.max_width(), 2);
     }
 }

@@ -43,6 +43,7 @@ pub mod training;
 pub use compiler::{Compiler, CompilerOptions, OptimizerKind};
 pub use dsl::{DslProgram, DslValue};
 pub use executor::{
-    external_compile_stats, output_slots_of, CompileStats, CompiledProgram, ExecutionReport,
+    external_compile_stats, output_slots_of, BatchOptions, CompileStats, CompiledProgram,
+    ExecutionReport,
 };
 pub use rotation_keys::{naf_decomposition, select_rotation_keys, RotationKeyPlan};

@@ -83,9 +83,7 @@ pub fn select_rotation_keys(steps: &[i64], budget: usize) -> RotationKeyPlan {
     let mut decompositions: BTreeMap<i64, Vec<i64>> = BTreeMap::new();
     let mut digit_pool: BTreeSet<i64> = BTreeSet::new();
 
-    let key_count = |kept: &BTreeSet<i64>, pool: &BTreeSet<i64>| {
-        kept.union(pool).count()
-    };
+    let key_count = |kept: &BTreeSet<i64>, pool: &BTreeSet<i64>| kept.union(pool).count();
 
     while key_count(&kept, &digit_pool) > budget {
         // Pick the kept step whose decomposition adds the fewest new keys;
@@ -96,8 +94,10 @@ pub fn select_rotation_keys(steps: &[i64], budget: usize) -> RotationKeyPlan {
             .filter(|s| !digit_pool.contains(s))
             .max_by_key(|&s| {
                 let digits = naf_decomposition(s);
-                let new_digits =
-                    digits.iter().filter(|d| !digit_pool.contains(d) && !kept.contains(d)).count();
+                let new_digits = digits
+                    .iter()
+                    .filter(|d| !digit_pool.contains(d) && !kept.contains(d))
+                    .count();
                 // Maximize removed keys: decomposing removes 1 kept key and
                 // adds `new_digits` pool keys; the best candidates minimize
                 // `new_digits`, break ties towards bigger magnitudes.
@@ -116,14 +116,19 @@ pub fn select_rotation_keys(steps: &[i64], budget: usize) -> RotationKeyPlan {
         decompositions.insert(step, digits);
         // Stop if decomposition no longer helps (every remaining step is a
         // single NAF digit already).
-        if kept.iter().all(|s| naf_decomposition(*s).len() <= 1) && key_count(&kept, &digit_pool) > budget
+        if kept.iter().all(|s| naf_decomposition(*s).len() <= 1)
+            && key_count(&kept, &digit_pool) > budget
         {
             break;
         }
     }
 
     let keys: Vec<i64> = kept.union(&digit_pool).copied().collect();
-    RotationKeyPlan { keys, decompositions, budget }
+    RotationKeyPlan {
+        keys,
+        decompositions,
+        budget,
+    }
 }
 
 #[cfg(test)]
@@ -153,7 +158,10 @@ mod tests {
             let mut magnitudes: Vec<i64> = digits.iter().map(|d| d.abs()).collect();
             magnitudes.sort_unstable();
             for pair in magnitudes.windows(2) {
-                assert!(pair[1] >= 4 * pair[0] || pair[1] >= 2 * pair[0], "adjacent digits in NAF({v})");
+                assert!(
+                    pair[1] >= 4 * pair[0] || pair[1] >= 2 * pair[0],
+                    "adjacent digits in NAF({v})"
+                );
             }
         }
     }
@@ -163,12 +171,20 @@ mod tests {
         // Appendix B: χ = {1..7, 9..13, 15}, β = 9 keys.
         let steps = [1, 2, 3, 4, 5, 6, 7, 9, 10, 12, 11, 13, 15];
         let plan = select_rotation_keys(&steps, 9);
-        assert!(plan.key_count() <= 9, "plan generates {} keys", plan.key_count());
+        assert!(
+            plan.key_count() <= 9,
+            "plan generates {} keys",
+            plan.key_count()
+        );
         // Every step must still be realizable and sum to itself.
         for s in steps {
             let parts = plan.realize(s);
             assert!(!parts.is_empty());
-            assert_eq!(parts.iter().sum::<i64>(), s, "step {s} decomposition is wrong");
+            assert_eq!(
+                parts.iter().sum::<i64>(),
+                s,
+                "step {s} decomposition is wrong"
+            );
             for p in parts {
                 assert!(plan.keys.contains(&p), "step {s} uses unkeyed rotation {p}");
             }
@@ -208,6 +224,9 @@ mod tests {
         assert!(plan.key_count() <= steps.len());
         assert!(!plan.decompositions.is_empty());
         let total_rotations: usize = steps.iter().map(|&s| plan.rotation_count(s)).sum();
-        assert!(total_rotations >= steps.len(), "decomposition can only add rotations");
+        assert!(
+            total_rotations >= steps.len(),
+            "decomposition can only add rotations"
+        );
     }
 }

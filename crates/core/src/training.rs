@@ -109,7 +109,11 @@ pub fn train_agent(options: &AgentTrainingOptions) -> TrainedAgent {
         .filter(|e| e.node_count() <= 80)
         .cloned()
         .collect();
-    let programs = if programs.is_empty() { dataset.exprs().to_vec() } else { programs };
+    let programs = if programs.is_empty() {
+        dataset.exprs().to_vec()
+    } else {
+        programs
+    };
 
     let cost_model = CostModel::with_weights(options.cost_weights);
     let env = EnvConfig {
@@ -155,12 +159,23 @@ pub fn train_agent(options: &AgentTrainingOptions) -> TrainedAgent {
         Arc::clone(trainer.engine()),
         Arc::clone(trainer.tokenizer()),
         AgentConfig {
-            env: EnvConfig { max_steps: 40, ..env },
+            env: EnvConfig {
+                max_steps: 40,
+                ..env
+            },
             sampled_rollouts: options.compile_time_rollouts,
             seed: options.seed,
         },
     );
-    TrainedAgent { agent: Arc::new(agent), report, dataset_size: dataset.len() }
+    // The Arc shares the (single-threaded) agent between compiler handles,
+    // not across threads: `Policy` tensors are define-by-run graphs without
+    // Sync, and compile-time inference happens on the calling thread.
+    #[allow(clippy::arc_with_non_send_sync)]
+    TrainedAgent {
+        agent: Arc::new(agent),
+        report,
+        dataset_size: dataset.len(),
+    }
 }
 
 #[cfg(test)]
@@ -181,9 +196,13 @@ mod tests {
         let compiler = Compiler::with_rl_agent(Arc::clone(&trained.agent));
         let compiled = compiler.compile("rl", &program);
         assert!(compiled.stats().cost_after <= compiled.stats().cost_before);
-        let inputs: HashMap<String, i64> =
-            [("a", 1i64), ("b", 2), ("c", 3), ("d", 4)].iter().map(|(k, v)| (k.to_string(), *v)).collect();
-        let report = compiled.execute(&inputs, &BfvParameters::insecure_test()).unwrap();
+        let inputs: HashMap<String, i64> = [("a", 1i64), ("b", 2), ("c", 3), ("d", 4)]
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v))
+            .collect();
+        let report = compiled
+            .execute(&inputs, &BfvParameters::insecure_test())
+            .unwrap();
         assert_eq!(report.outputs, vec![3, 7]);
     }
 

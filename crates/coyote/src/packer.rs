@@ -22,8 +22,16 @@ pub struct Layout {
 impl Layout {
     /// Builds a layout that packs `variables` in the given order.
     pub fn new(variables: Vec<Symbol>) -> Self {
-        let slots = variables.iter().cloned().enumerate().map(|(i, v)| (v, i)).collect();
-        Layout { slots, order: variables }
+        let slots = variables
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, v)| (v, i))
+            .collect();
+        Layout {
+            slots,
+            order: variables,
+        }
     }
 
     /// The slot of a variable.
@@ -79,7 +87,11 @@ impl LanePacker {
     /// (at least the number of program outputs).
     pub fn new(layout: Layout, width: usize) -> Self {
         let width = width.max(layout.len()).max(1);
-        LanePacker { layout, width, stats: PackingStats::default() }
+        LanePacker {
+            layout,
+            width,
+            stats: PackingStats::default(),
+        }
     }
 
     /// Packing statistics accumulated so far.
@@ -185,7 +197,10 @@ impl LanePacker {
                         .slot(v)
                         .unwrap_or_else(|| panic!("variable {v} missing from the layout"));
                     let offset = slot as i64 - *lane as i64;
-                    ct_by_offset.entry(offset).or_default().push((*lane, v.clone()));
+                    ct_by_offset
+                        .entry(offset)
+                        .or_default()
+                        .push((*lane, v.clone()));
                 }
                 other => plain_lanes.push((*lane, other.clone())),
             }
@@ -237,8 +252,12 @@ impl LanePacker {
     /// addressable after a rotation (padding slots are zero and never selected
     /// by the masks).
     fn padded_input(&self) -> Expr {
-        let mut slots: Vec<Expr> =
-            self.layout.order().iter().map(|v| Expr::CtVar(v.clone())).collect();
+        let mut slots: Vec<Expr> = self
+            .layout
+            .order()
+            .iter()
+            .map(|v| Expr::CtVar(v.clone()))
+            .collect();
         while slots.len() < self.width {
             slots.push(Expr::constant(0));
         }
@@ -283,26 +302,37 @@ mod tests {
     #[test]
     fn packing_isomorphic_lanes_preserves_semantics() {
         let program = parse("(Vec (+ a b) (+ c d))").unwrap();
-        let Expr::Vec(outputs) = program.clone() else { unreachable!() };
+        let Expr::Vec(outputs) = program.clone() else {
+            unreachable!()
+        };
         let lanes: Vec<(usize, Expr)> = outputs.into_iter().enumerate().collect();
         let mut packer = LanePacker::new(layout_for(&program), 2);
         let packed = packer.pack(&lanes);
         let mut env = Env::new();
-        env.bind_all(&program, |s| s.as_str().bytes().map(i64::from).sum::<i64>() % 13);
+        env.bind_all(&program, |s| {
+            s.as_str().bytes().map(i64::from).sum::<i64>() % 13
+        });
         assert!(equivalent_on_live_slots(&program, &packed, &env, 2).unwrap());
-        assert!(packer.stats().rotations > 0, "misaligned inputs require rotations");
+        assert!(
+            packer.stats().rotations > 0,
+            "misaligned inputs require rotations"
+        );
         assert!(packer.stats().masks > 0);
     }
 
     #[test]
     fn packing_mixed_operations_preserves_semantics() {
         let program = parse("(Vec (* a b) (+ c d) (- e f))").unwrap();
-        let Expr::Vec(outputs) = program.clone() else { unreachable!() };
+        let Expr::Vec(outputs) = program.clone() else {
+            unreachable!()
+        };
         let lanes: Vec<(usize, Expr)> = outputs.into_iter().enumerate().collect();
         let mut packer = LanePacker::new(layout_for(&program), 3);
         let packed = packer.pack(&lanes);
         let mut env = Env::new();
-        env.bind_all(&program, |s| s.as_str().bytes().map(i64::from).sum::<i64>() % 17);
+        env.bind_all(&program, |s| {
+            s.as_str().bytes().map(i64::from).sum::<i64>() % 17
+        });
         assert!(equivalent_on_live_slots(&program, &packed, &env, 3).unwrap());
     }
 
@@ -310,13 +340,18 @@ mod tests {
     fn packed_circuits_are_rotation_and_mask_heavy() {
         // The signature Coyote behaviour the evaluation relies on.
         let program = parse("(Vec (+ (* a b) c) (+ (* d e) f) (+ (* g h) i))").unwrap();
-        let Expr::Vec(outputs) = program.clone() else { unreachable!() };
+        let Expr::Vec(outputs) = program.clone() else {
+            unreachable!()
+        };
         let lanes: Vec<(usize, Expr)> = outputs.into_iter().enumerate().collect();
         let mut packer = LanePacker::new(layout_for(&program), 3);
         let packed = packer.pack(&lanes);
         let counts = count_ops(&packed);
         assert!(counts.rotations >= 3);
-        assert!(counts.vec_mul_ct_pt >= 3, "masks show up as ct-pt multiplications");
+        assert!(
+            counts.vec_mul_ct_pt >= 3,
+            "masks show up as ct-pt multiplications"
+        );
     }
 
     #[test]
@@ -332,14 +367,18 @@ mod tests {
         let packed = packer.pack(&terms);
         let reduced = packer.reduce_sum(packed, 4);
         let mut env = Env::new();
-        env.bind_all(&program, |s| s.as_str().bytes().map(i64::from).sum::<i64>() % 19);
+        env.bind_all(&program, |s| {
+            s.as_str().bytes().map(i64::from).sum::<i64>() % 19
+        });
         assert!(equivalent_on_live_slots(&program, &reduced, &env, 1).unwrap());
     }
 
     #[test]
     fn negated_lanes_are_supported() {
         let program = parse("(Vec (- a) (- b))").unwrap();
-        let Expr::Vec(outputs) = program.clone() else { unreachable!() };
+        let Expr::Vec(outputs) = program.clone() else {
+            unreachable!()
+        };
         let lanes: Vec<(usize, Expr)> = outputs.into_iter().enumerate().collect();
         let mut packer = LanePacker::new(layout_for(&program), 2);
         let packed = packer.pack(&lanes);

@@ -50,7 +50,12 @@ impl Default for CoyoteConfig {
 impl CoyoteConfig {
     /// A reduced search budget for unit tests.
     pub fn fast() -> Self {
-        CoyoteConfig { base_candidates: 4, candidates_per_op: 1, max_candidates: 40, ..Self::default() }
+        CoyoteConfig {
+            base_candidates: 4,
+            candidates_per_op: 1,
+            max_candidates: 40,
+            ..Self::default()
+        }
     }
 }
 
@@ -116,7 +121,10 @@ impl CoyoteCompiler {
             let (circuit, stats) = self.lower_with_layout(program, Layout::new(order.clone()));
             let cost = self.config.cost_model.cost(&circuit);
             explored += 1;
-            if best.as_ref().is_none_or(|(_, _, best_cost, _)| cost < *best_cost) {
+            if best
+                .as_ref()
+                .is_none_or(|(_, _, best_cost, _)| cost < *best_cost)
+            {
                 best = Some((circuit, order, cost, stats));
             }
         }
@@ -184,7 +192,9 @@ mod tests {
     fn check_equivalent(program: &Expr, circuit: &Expr) {
         let live = program.ty().map(Ty::slots).unwrap_or(1);
         let mut env = Env::new();
-        env.bind_all(program, |s| s.as_str().bytes().map(i64::from).sum::<i64>() % 23);
+        env.bind_all(program, |s| {
+            s.as_str().bytes().map(i64::from).sum::<i64>() % 23
+        });
         assert!(
             equivalent_on_live_slots(program, circuit, &env, live).unwrap(),
             "Coyote-compiled circuit differs from the source program"
@@ -202,8 +212,7 @@ mod tests {
 
     #[test]
     fn compiles_scalar_reductions_correctly() {
-        let program =
-            parse("(+ (+ (* a0 b0) (* a1 b1)) (+ (* a2 b2) (* a3 b3)))").unwrap();
+        let program = parse("(+ (+ (* a0 b0) (* a1 b1)) (+ (* a2 b2) (* a3 b3)))").unwrap();
         let result = CoyoteCompiler::with_config(CoyoteConfig::fast()).compile(&program);
         check_equivalent(&program, &result.circuit);
         assert!(count_ops(&result.circuit).rotations > 0);
@@ -221,8 +230,14 @@ mod tests {
         let program = parse("(Vec (+ (* a b) (* c d)) (+ (* e f) (* g h)))").unwrap();
         let result = CoyoteCompiler::with_config(CoyoteConfig::fast()).compile(&program);
         let counts = count_ops(&result.circuit);
-        assert!(counts.rotations >= 2, "Coyote layouts require alignment rotations");
-        assert!(counts.vec_mul_ct_pt >= 2, "masking shows up as ct-pt multiplications");
+        assert!(
+            counts.rotations >= 2,
+            "Coyote layouts require alignment rotations"
+        );
+        assert!(
+            counts.vec_mul_ct_pt >= 2,
+            "masking shows up as ct-pt multiplications"
+        );
     }
 
     #[test]
@@ -249,7 +264,10 @@ mod tests {
 
     #[test]
     fn timeout_is_respected() {
-        let config = CoyoteConfig { timeout: Duration::from_millis(0), ..CoyoteConfig::fast() };
+        let config = CoyoteConfig {
+            timeout: Duration::from_millis(0),
+            ..CoyoteConfig::fast()
+        };
         let program = parse("(Vec (+ a b) (+ c d))").unwrap();
         let result = CoyoteCompiler::with_config(config).compile(&program);
         // Even with an expired timeout at least one candidate is evaluated so

@@ -29,7 +29,11 @@ pub struct Dataset {
 impl Dataset {
     /// Creates an empty dataset labelled with its source.
     pub fn new(source: DataSource) -> Self {
-        Dataset { exprs: Vec::new(), canonical: HashSet::new(), source }
+        Dataset {
+            exprs: Vec::new(),
+            canonical: HashSet::new(),
+            source,
+        }
     }
 
     /// The generator that produced this dataset.
@@ -70,10 +74,14 @@ impl Dataset {
     /// Removes every expression whose canonical form matches one of
     /// `benchmarks` (benchmark exclusion, Section 6); returns how many were
     /// removed.
-    pub fn exclude_benchmarks<'a>(&mut self, benchmarks: impl IntoIterator<Item = &'a Expr>) -> usize {
+    pub fn exclude_benchmarks<'a>(
+        &mut self,
+        benchmarks: impl IntoIterator<Item = &'a Expr>,
+    ) -> usize {
         let excluded: HashSet<String> = benchmarks.into_iter().map(canonical_form).collect();
         let before = self.exprs.len();
-        self.exprs.retain(|e| !excluded.contains(&canonical_form(e)));
+        self.exprs
+            .retain(|e| !excluded.contains(&canonical_form(e)));
         self.canonical.retain(|c| !excluded.contains(c));
         before - self.exprs.len()
     }
@@ -190,7 +198,11 @@ mod tests {
     #[test]
     fn generators_reach_their_target_counts() {
         let llm = generate_llm_like_dataset(200, 1);
-        assert!(llm.len() >= 190, "llm-like generator produced only {}", llm.len());
+        assert!(
+            llm.len() >= 190,
+            "llm-like generator produced only {}",
+            llm.len()
+        );
         assert_eq!(llm.source(), DataSource::LlmLike);
         let random = generate_random_dataset(200, 1);
         assert!(random.len() >= 190);

@@ -69,7 +69,11 @@ pub struct LlmLikeConfig {
 
 impl Default for LlmLikeConfig {
     fn default() -> Self {
-        LlmLikeConfig { min_size: 2, max_size: 16, perturbation_probability: 0.35 }
+        LlmLikeConfig {
+            min_size: 2,
+            max_size: 16,
+            perturbation_probability: 0.35,
+        }
     }
 }
 
@@ -84,7 +88,11 @@ pub struct LlmLikeSynthesizer {
 impl LlmLikeSynthesizer {
     /// Creates a synthesizer with the given configuration and seed.
     pub fn new(config: LlmLikeConfig, seed: u64) -> Self {
-        LlmLikeSynthesizer { config, rng: StdRng::seed_from_u64(seed), counter: 0 }
+        LlmLikeSynthesizer {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            counter: 0,
+        }
     }
 
     /// Creates a synthesizer with the default configuration.
@@ -106,7 +114,9 @@ impl LlmLikeSynthesizer {
     /// Synthesizes one instance of an explicit motif.
     pub fn generate_motif(&mut self, motif: Motif) -> Expr {
         self.counter += 1;
-        let size = self.rng.gen_range(self.config.min_size..=self.config.max_size);
+        let size = self
+            .rng
+            .gen_range(self.config.min_size..=self.config.max_size);
         let expr = match motif {
             Motif::DotProduct => self.dot_product(size.max(3)),
             Motif::SquaredDifference => self.squared_difference(size),
@@ -132,8 +142,9 @@ impl LlmLikeSynthesizer {
     }
 
     fn dot_product(&mut self, n: usize) -> Expr {
-        let terms: Vec<Expr> =
-            (0..n).map(|i| Expr::mul(self.var("a", i), self.var("b", i))).collect();
+        let terms: Vec<Expr> = (0..n)
+            .map(|i| Expr::mul(self.var("a", i), self.var("b", i)))
+            .collect();
         balanced_sum(&terms)
     }
 
@@ -179,7 +190,12 @@ impl LlmLikeSynthesizer {
         // outputs reuse each other's inputs, creating common subexpressions.
         let row: Vec<Expr> = (0..n + 2).map(|i| self.var("img", i)).collect();
         let elems: Vec<Expr> = (0..n)
-            .map(|i| Expr::add(Expr::add(row[i].clone(), row[i + 1].clone()), row[i + 2].clone()))
+            .map(|i| {
+                Expr::add(
+                    Expr::add(row[i].clone(), row[i + 1].clone()),
+                    row[i + 2].clone(),
+                )
+            })
             .collect();
         wrap_vec(elems)
     }
@@ -224,8 +240,9 @@ impl LlmLikeSynthesizer {
 
     fn factorizable(&mut self, n: usize) -> Expr {
         let shared = self.var("s", 0);
-        let mut terms: Vec<Expr> =
-            (0..n).map(|i| Expr::mul(shared.clone(), self.var("t", i))).collect();
+        let mut terms: Vec<Expr> = (0..n)
+            .map(|i| Expr::mul(shared.clone(), self.var("t", i)))
+            .collect();
         if self.rng.gen_bool(0.5) {
             terms.push(self.var("u", 0));
         }
@@ -235,7 +252,9 @@ impl LlmLikeSynthesizer {
     fn perturb(&mut self, expr: Expr) -> Expr {
         match self.rng.gen_range(0..3u32) {
             0 => match expr.ty() {
-                Ok(chehab_ir::Ty::Scalar) => Expr::mul(expr, Expr::constant(self.rng.gen_range(2..=5))),
+                Ok(chehab_ir::Ty::Scalar) => {
+                    Expr::mul(expr, Expr::constant(self.rng.gen_range(2..=5)))
+                }
                 _ => expr,
             },
             1 => match expr.ty() {
@@ -295,7 +314,11 @@ mod tests {
         let mut synth = LlmLikeSynthesizer::with_seed(9);
         let programs = synth.generate_many(60);
         let canon: std::collections::HashSet<_> = programs.iter().map(canonical_form).collect();
-        assert!(canon.len() > 40, "only {} distinct canonical forms out of 60", canon.len());
+        assert!(
+            canon.len() > 40,
+            "only {} distinct canonical forms out of 60",
+            canon.len()
+        );
     }
 
     #[test]
@@ -314,7 +337,10 @@ mod tests {
                 model.cost(&opt) < model.cost(e) * 0.9
             })
             .count();
-        assert!(improved >= 15, "only {improved}/20 programs were meaningfully optimizable");
+        assert!(
+            improved >= 15,
+            "only {improved}/20 programs were meaningfully optimizable"
+        );
     }
 
     #[test]

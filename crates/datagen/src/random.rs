@@ -51,7 +51,10 @@ pub struct RandomGenerator {
 impl RandomGenerator {
     /// Creates a generator with the given configuration and seed.
     pub fn new(config: RandomGenConfig, seed: u64) -> Self {
-        RandomGenerator { config, rng: StdRng::seed_from_u64(seed) }
+        RandomGenerator {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Creates a generator with the default configuration.
@@ -63,16 +66,21 @@ impl RandomGenerator {
     /// subexpressions, each of the sampled depth (mirroring the shape the
     /// LLM prompt requests so the two datasets are comparable).
     pub fn generate(&mut self) -> Expr {
-        let depth = self.rng.gen_range(self.config.min_depth..=self.config.max_depth);
-        let vector_size =
-            self.rng.gen_range(self.config.min_vector_size..=self.config.max_vector_size);
+        let depth = self
+            .rng
+            .gen_range(self.config.min_depth..=self.config.max_depth);
+        let vector_size = self
+            .rng
+            .gen_range(self.config.min_vector_size..=self.config.max_vector_size);
         self.generate_with(depth, vector_size)
     }
 
     /// Generates one random program with an explicit depth budget and vector
     /// arity.
     pub fn generate_with(&mut self, depth: usize, vector_size: usize) -> Expr {
-        let elems = (0..vector_size.max(1)).map(|_| self.scalar_expr(depth)).collect::<Vec<_>>();
+        let elems = (0..vector_size.max(1))
+            .map(|_| self.scalar_expr(depth))
+            .collect::<Vec<_>>();
         if elems.len() == 1 {
             elems.into_iter().next().expect("one element")
         } else {

@@ -61,7 +61,10 @@ impl fmt::Display for FheError {
             FheError::MissingGaloisKey { step } => {
                 write!(f, "no Galois key was generated for rotation step {step}")
             }
-            FheError::NoiseBudgetExhausted { consumed_bits, available_bits } => write!(
+            FheError::NoiseBudgetExhausted {
+                consumed_bits,
+                available_bits,
+            } => write!(
                 f,
                 "noise budget exhausted: consumed {consumed_bits:.1} of {available_bits:.1} bits"
             ),
@@ -108,8 +111,16 @@ impl FheContext {
     /// Returns [`FheError::Parameters`] if the parameters are invalid.
     pub fn with_noise_model(params: BfvParameters, noise: NoiseModel) -> Result<Self, FheError> {
         params.validate()?;
-        let tables = params.simulate_compute.then(|| NttTables::new(params.payload_degree));
-        Ok(FheContext { inner: Arc::new(ContextInner { params, noise, tables }) })
+        let tables = params
+            .simulate_compute
+            .then(|| NttTables::new(params.payload_degree));
+        Ok(FheContext {
+            inner: Arc::new(ContextInner {
+                params,
+                noise,
+                tables,
+            }),
+        })
     }
 
     /// The encryption parameters.
@@ -146,14 +157,20 @@ impl FheContext {
     pub fn encode(&self, values: &[i64]) -> Result<Plaintext, FheError> {
         let slots = self.slot_count();
         if values.len() > slots {
-            return Err(FheError::TooManyValues { provided: values.len(), slots });
+            return Err(FheError::TooManyValues {
+                provided: values.len(),
+                slots,
+            });
         }
         let t = self.plain_modulus() as i128;
         let mut data = vec![0u64; slots];
         for (slot, &v) in data.iter_mut().zip(values) {
             *slot = (((v as i128) % t + t) % t) as u64;
         }
-        Ok(Plaintext { slots: data, live: values.len().max(1) })
+        Ok(Plaintext {
+            slots: data,
+            live: values.len().max(1),
+        })
     }
 
     /// Encodes a single scalar into slot 0.
@@ -239,7 +256,11 @@ impl Encryptor {
     /// Creates an encryptor bound to a context and public key.
     pub fn new(ctx: &FheContext, public_key: &PublicKey) -> Self {
         let key_id = KeyGenerator::public_key_id(public_key);
-        Encryptor { ctx: ctx.clone(), key_id, rng: ChaCha8Rng::seed_from_u64(key_id ^ 0x5eed) }
+        Encryptor {
+            ctx: ctx.clone(),
+            key_id,
+            rng: ChaCha8Rng::seed_from_u64(key_id ^ 0x5eed),
+        }
     }
 
     /// Encrypts a plaintext into a fresh ciphertext.
@@ -282,7 +303,10 @@ pub struct Decryptor {
 impl Decryptor {
     /// Creates a decryptor bound to a context and secret key.
     pub fn new(ctx: &FheContext, secret_key: &SecretKey) -> Self {
-        Decryptor { ctx: ctx.clone(), key_id: KeyGenerator::key_id(secret_key) }
+        Decryptor {
+            ctx: ctx.clone(),
+            key_id: KeyGenerator::key_id(secret_key),
+        }
     }
 
     /// Remaining invariant-noise budget of a ciphertext, in bits (clamped at
@@ -309,7 +333,10 @@ impl Decryptor {
                 available_bits: available,
             });
         }
-        Ok(Plaintext { slots: ct.slots.clone(), live: ct.slots.len() })
+        Ok(Plaintext {
+            slots: ct.slots.clone(),
+            live: ct.slots.len(),
+        })
     }
 }
 
@@ -341,7 +368,10 @@ mod tests {
     fn encode_rejects_too_many_values() {
         let (ctx, _, _) = setup();
         let too_many = vec![1i64; ctx.slot_count() + 1];
-        assert!(matches!(ctx.encode(&too_many), Err(FheError::TooManyValues { .. })));
+        assert!(matches!(
+            ctx.encode(&too_many),
+            Err(FheError::TooManyValues { .. })
+        ));
     }
 
     #[test]
@@ -379,7 +409,10 @@ mod tests {
         let (_, mut enc, dec) = setup();
         let mut ct = enc.encrypt_values(&[1]).unwrap();
         ct.noise_consumed_bits = 1e9;
-        assert!(matches!(dec.decrypt(&ct), Err(FheError::NoiseBudgetExhausted { .. })));
+        assert!(matches!(
+            dec.decrypt(&ct),
+            Err(FheError::NoiseBudgetExhausted { .. })
+        ));
         assert_eq!(dec.invariant_noise_budget(&ct), 0.0);
     }
 
@@ -387,7 +420,10 @@ mod tests {
     fn errors_display_useful_messages() {
         let e = FheError::MissingGaloisKey { step: 3 };
         assert!(e.to_string().contains("step 3"));
-        let e = FheError::TooManyValues { provided: 10, slots: 4 };
+        let e = FheError::TooManyValues {
+            provided: 10,
+            slots: 4,
+        };
         assert!(e.to_string().contains("10"));
     }
 }

@@ -46,6 +46,16 @@ impl EvaluatorStats {
             + self.ct_pt_multiplications
             + self.rotations
     }
+
+    /// Accumulates another evaluator's counters into this one (used by the
+    /// parallel runtime to combine per-worker statistics).
+    pub fn merge(&mut self, other: &EvaluatorStats) {
+        self.additions += other.additions;
+        self.negations += other.negations;
+        self.ct_ct_multiplications += other.ct_ct_multiplications;
+        self.ct_pt_multiplications += other.ct_pt_multiplications;
+        self.rotations += other.rotations;
+    }
 }
 
 /// Executes homomorphic operations over ciphertexts.
@@ -58,7 +68,10 @@ pub struct Evaluator {
 impl Evaluator {
     /// Creates an evaluator for a context.
     pub fn new(ctx: &FheContext) -> Self {
-        Evaluator { ctx: ctx.clone(), stats: EvaluatorStats::default() }
+        Evaluator {
+            ctx: ctx.clone(),
+            stats: EvaluatorStats::default(),
+        }
     }
 
     /// Counters of the operations executed so far.
@@ -193,9 +206,17 @@ impl Evaluator {
             // components: two ring multiplications.
             let degree = self.ctx.params().payload_degree;
             let pt_poly = Poly::from_coeffs(
-                b.slots.iter().cycle().take(degree).map(|&s| s.wrapping_mul(0x9E37_79B9)).collect(),
+                b.slots
+                    .iter()
+                    .cycle()
+                    .take(degree)
+                    .map(|&s| s.wrapping_mul(0x9E37_79B9))
+                    .collect(),
             );
-            a.payload.iter().map(|p| p.mul_ntt(&pt_poly, tables)).collect()
+            a.payload
+                .iter()
+                .map(|p| p.mul_ntt(&pt_poly, tables))
+                .collect()
         } else {
             a.payload.clone()
         };
@@ -300,12 +321,19 @@ impl Evaluator {
         let payload = if let Some(tables) = self.ctx.tables() {
             let degree = self.ctx.params().payload_degree;
             let splat = Poly::from_coeffs(vec![reduced.max(1); degree]);
-            a.payload.iter().map(|p| p.mul_ntt(&splat, tables)).collect()
+            a.payload
+                .iter()
+                .map(|p| p.mul_ntt(&splat, tables))
+                .collect()
         } else {
             a.payload.clone()
         };
         Ciphertext {
-            slots: a.slots.iter().map(|&x| p_mod_mul(x, reduced, t as u64)).collect(),
+            slots: a
+                .slots
+                .iter()
+                .map(|&x| p_mod_mul(x, reduced, t as u64))
+                .collect(),
             payload,
             noise_consumed_bits: a.noise_consumed_bits + self.ctx.noise_model().ct_pt_mul_bits,
             key_id: a.key_id,
@@ -342,7 +370,14 @@ mod tests {
         let eval = Evaluator::new(&ctx);
         let relin = keygen.relin_keys();
         let galois = keygen.default_galois_keys();
-        Fixture { ctx, enc, dec, eval, relin, galois }
+        Fixture {
+            ctx,
+            enc,
+            dec,
+            eval,
+            relin,
+            galois,
+        }
     }
 
     #[test]
@@ -383,9 +418,21 @@ mod tests {
         let mut f = setup();
         let a = f.enc.encrypt_values(&[4, 5]).unwrap();
         let p = f.ctx.encode(&[3, 3]).unwrap();
-        assert_eq!(f.ctx.decode(&f.dec.decrypt(&f.eval.multiply_plain(&a, &p)).unwrap(), 2), vec![12, 15]);
-        assert_eq!(f.ctx.decode(&f.dec.decrypt(&f.eval.add_plain(&a, &p)).unwrap(), 2), vec![7, 8]);
-        assert_eq!(f.ctx.decode(&f.dec.decrypt(&f.eval.sub_plain(&a, &p)).unwrap(), 2), vec![1, 2]);
+        assert_eq!(
+            f.ctx
+                .decode(&f.dec.decrypt(&f.eval.multiply_plain(&a, &p)).unwrap(), 2),
+            vec![12, 15]
+        );
+        assert_eq!(
+            f.ctx
+                .decode(&f.dec.decrypt(&f.eval.add_plain(&a, &p)).unwrap(), 2),
+            vec![7, 8]
+        );
+        assert_eq!(
+            f.ctx
+                .decode(&f.dec.decrypt(&f.eval.sub_plain(&a, &p)).unwrap(), 2),
+            vec![1, 2]
+        );
     }
 
     #[test]
@@ -397,7 +444,10 @@ mod tests {
         assert_eq!(f.ctx.decode(&pt, 3), vec![2, 3, 4]);
         // Rotating by zero is the identity and needs no key.
         let same = f.eval.rotate(&a, 0, &f.galois).unwrap();
-        assert_eq!(f.ctx.decode(&f.dec.decrypt(&same).unwrap(), 4), vec![1, 2, 3, 4]);
+        assert_eq!(
+            f.ctx.decode(&f.dec.decrypt(&same).unwrap(), 4),
+            vec![1, 2, 3, 4]
+        );
     }
 
     #[test]
@@ -408,7 +458,10 @@ mod tests {
         let a = f.enc.encrypt_values(&[1, 2, 3, 4]).unwrap();
         // The ciphertext key differs from `only_one`'s generator, but rotation
         // only consults the step set, which is the compiler-facing constraint.
-        assert!(matches!(f.eval.rotate(&a, 3, &only_one), Err(FheError::MissingGaloisKey { step: 3 })));
+        assert!(matches!(
+            f.eval.rotate(&a, 3, &only_one),
+            Err(FheError::MissingGaloisKey { step: 3 })
+        ));
     }
 
     #[test]
@@ -430,12 +483,19 @@ mod tests {
         let b = f.enc.encrypt_values(&[3]).unwrap();
         let before = f.dec.invariant_noise_budget(&a);
         let after_add = f.dec.invariant_noise_budget(&f.eval.add(&a, &b));
-        let after_rot = f.dec.invariant_noise_budget(&f.eval.rotate(&a, 1, &f.galois).unwrap());
-        let after_mul = f.dec.invariant_noise_budget(&f.eval.multiply(&a, &b, &f.relin));
+        let after_rot = f
+            .dec
+            .invariant_noise_budget(&f.eval.rotate(&a, 1, &f.galois).unwrap());
+        let after_mul = f
+            .dec
+            .invariant_noise_budget(&f.eval.multiply(&a, &b, &f.relin));
         assert!(after_add < before);
         assert!(after_mul < after_rot);
         assert!(after_rot < after_add || (after_rot - after_add).abs() < 5.0);
-        assert!(before - after_mul > 20.0, "ct-ct multiplication consumes tens of bits");
+        assert!(
+            before - after_mul > 20.0,
+            "ct-ct multiplication consumes tens of bits"
+        );
     }
 
     #[test]
@@ -454,7 +514,10 @@ mod tests {
         for _ in 0..12 {
             acc = eval.multiply(&acc, &x, &relin);
         }
-        assert!(matches!(dec.decrypt(&acc), Err(FheError::NoiseBudgetExhausted { .. })));
+        assert!(matches!(
+            dec.decrypt(&acc),
+            Err(FheError::NoiseBudgetExhausted { .. })
+        ));
     }
 
     #[test]

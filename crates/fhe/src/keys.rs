@@ -86,7 +86,11 @@ impl KeyGenerator {
     pub fn new(params: &BfvParameters, seed: u64) -> Self {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let id = rng.gen();
-        KeyGenerator { params: params.clone(), rng, id }
+        KeyGenerator {
+            params: params.clone(),
+            rng,
+            id,
+        }
     }
 
     /// The secret key.
@@ -102,7 +106,10 @@ impl KeyGenerator {
     /// Creates relinearization keys.
     pub fn relin_keys(&mut self) -> RelinKeys {
         let _ = self.rng.gen::<u64>();
-        RelinKeys { id: self.id, size_bytes: self.params.galois_key_size_bytes() }
+        RelinKeys {
+            id: self.id,
+            size_bytes: self.params.galois_key_size_bytes(),
+        }
     }
 
     /// Creates Galois keys for an explicit set of rotation steps.
@@ -149,7 +156,10 @@ mod tests {
     fn keys_from_the_same_generator_share_an_identity() {
         let params = BfvParameters::insecure_test();
         let keygen = KeyGenerator::new(&params, 7);
-        assert_eq!(KeyGenerator::key_id(&keygen.secret_key()), KeyGenerator::public_key_id(&keygen.public_key()));
+        assert_eq!(
+            KeyGenerator::key_id(&keygen.secret_key()),
+            KeyGenerator::public_key_id(&keygen.public_key())
+        );
     }
 
     #[test]

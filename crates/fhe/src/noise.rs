@@ -74,8 +74,10 @@ mod tests {
         // fresh + one ct-ct multiplication + two additions + two rotations,
         // the shape of the Linear Regression kernels in Table 6.
         let m = NoiseModel::default();
-        let consumed =
-            m.fresh_bits + m.ct_ct_mul_bits + 2.0 * m.add_bits + 2.0 * m.rotation_bits;
-        assert!((38.0..=46.0).contains(&consumed), "consumed {consumed} bits");
+        let consumed = m.fresh_bits + m.ct_ct_mul_bits + 2.0 * m.add_bits + 2.0 * m.rotation_bits;
+        assert!(
+            (38.0..=46.0).contains(&consumed),
+            "consumed {consumed} bits"
+        );
     }
 }

@@ -142,7 +142,9 @@ impl BfvParameters {
     /// Returns a [`ParameterError`] describing the first violated constraint.
     pub fn validate(&self) -> Result<(), ParameterError> {
         if !self.poly_modulus_degree.is_power_of_two() || self.poly_modulus_degree < 8 {
-            return Err(ParameterError::InvalidPolyModulusDegree(self.poly_modulus_degree));
+            return Err(ParameterError::InvalidPolyModulusDegree(
+                self.poly_modulus_degree,
+            ));
         }
         if !self.payload_degree.is_power_of_two() || self.payload_degree < 8 {
             return Err(ParameterError::InvalidPayloadDegree(self.payload_degree));
@@ -179,7 +181,10 @@ impl BfvParameters {
     /// Returns `true` if the total coefficient modulus respects the security
     /// table for the chosen level.
     pub fn is_standard_secure(&self) -> bool {
-        self.coeff_modulus_bits <= self.security_level.max_coeff_modulus_bits(self.poly_modulus_degree)
+        self.coeff_modulus_bits
+            <= self
+                .security_level
+                .max_coeff_modulus_bits(self.poly_modulus_degree)
     }
 
     /// Approximate size of one ciphertext in bytes (two polynomials of `n`
@@ -225,15 +230,27 @@ mod tests {
 
     #[test]
     fn non_power_of_two_degree_is_rejected() {
-        let p = BfvParameters { poly_modulus_degree: 10_000, ..BfvParameters::default_128() };
-        assert!(matches!(p.validate(), Err(ParameterError::InvalidPolyModulusDegree(_))));
+        let p = BfvParameters {
+            poly_modulus_degree: 10_000,
+            ..BfvParameters::default_128()
+        };
+        assert!(matches!(
+            p.validate(),
+            Err(ParameterError::InvalidPolyModulusDegree(_))
+        ));
     }
 
     #[test]
     fn batching_incompatible_plain_modulus_is_rejected() {
-        let p = BfvParameters { plain_modulus: 65_537, ..BfvParameters::default_128() };
+        let p = BfvParameters {
+            plain_modulus: 65_537,
+            ..BfvParameters::default_128()
+        };
         // 65537 ≡ 1 mod 32768? 65537 - 1 = 65536 = 2 * 32768, so it is compatible; use 12289 instead.
-        let incompatible = BfvParameters { plain_modulus: 12_289, ..p };
+        let incompatible = BfvParameters {
+            plain_modulus: 12_289,
+            ..p
+        };
         assert!(matches!(
             incompatible.validate(),
             Err(ParameterError::PlainModulusIncompatibleWithBatching { .. })
@@ -259,7 +276,10 @@ mod tests {
 
     #[test]
     fn coeff_modulus_must_exceed_plain_modulus() {
-        let p = BfvParameters { coeff_modulus_bits: 16, ..BfvParameters::default_128() };
+        let p = BfvParameters {
+            coeff_modulus_bits: 16,
+            ..BfvParameters::default_128()
+        };
         assert_eq!(p.validate(), Err(ParameterError::CoeffModulusTooSmall));
     }
 }

@@ -94,7 +94,10 @@ impl NttTables {
     /// Panics if `n` is not a power of two, is smaller than 2 or exceeds the
     /// 2-adicity of the field (`2^31`).
     pub fn new(degree: usize) -> Self {
-        assert!(degree.is_power_of_two() && degree >= 2, "degree must be a power of two >= 2");
+        assert!(
+            degree.is_power_of_two() && degree >= 2,
+            "degree must be a power of two >= 2"
+        );
         assert!(degree <= (1 << 31), "degree exceeds the field's 2-adicity");
         // psi is a primitive 2n-th root of unity.
         let log2_2n = (2 * degree).trailing_zeros();
@@ -120,7 +123,12 @@ impl NttTables {
             psi_rev[rev as usize] = *p;
             inv_psi_rev[rev as usize] = *ip;
         }
-        NttTables { degree, psi_rev, inv_psi_rev, inv_degree: p_inv(degree as u64) }
+        NttTables {
+            degree,
+            psi_rev,
+            inv_psi_rev,
+            inv_degree: p_inv(degree as u64),
+        }
     }
 
     /// The polynomial degree these tables serve.
@@ -190,12 +198,16 @@ pub struct Poly {
 impl Poly {
     /// The zero polynomial of the given degree.
     pub fn zero(degree: usize) -> Self {
-        Poly { coeffs: vec![0; degree] }
+        Poly {
+            coeffs: vec![0; degree],
+        }
     }
 
     /// Builds a polynomial from coefficients (reduced modulo `p`).
     pub fn from_coeffs(coeffs: Vec<u64>) -> Self {
-        Poly { coeffs: coeffs.into_iter().map(|c| c % MODULUS).collect() }
+        Poly {
+            coeffs: coeffs.into_iter().map(|c| c % MODULUS).collect(),
+        }
     }
 
     /// The polynomial's coefficients.
@@ -212,7 +224,12 @@ impl Poly {
     pub fn add(&self, other: &Poly) -> Poly {
         debug_assert_eq!(self.degree(), other.degree());
         Poly {
-            coeffs: self.coeffs.iter().zip(&other.coeffs).map(|(&a, &b)| p_add(a, b)).collect(),
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&other.coeffs)
+                .map(|(&a, &b)| p_add(a, b))
+                .collect(),
         }
     }
 
@@ -220,18 +237,27 @@ impl Poly {
     pub fn sub(&self, other: &Poly) -> Poly {
         debug_assert_eq!(self.degree(), other.degree());
         Poly {
-            coeffs: self.coeffs.iter().zip(&other.coeffs).map(|(&a, &b)| p_sub(a, b)).collect(),
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&other.coeffs)
+                .map(|(&a, &b)| p_sub(a, b))
+                .collect(),
         }
     }
 
     /// Coefficient-wise negation.
     pub fn negate(&self) -> Poly {
-        Poly { coeffs: self.coeffs.iter().map(|&a| p_neg(a)).collect() }
+        Poly {
+            coeffs: self.coeffs.iter().map(|&a| p_neg(a)).collect(),
+        }
     }
 
     /// Multiplies every coefficient by a scalar.
     pub fn scale(&self, k: u64) -> Poly {
-        Poly { coeffs: self.coeffs.iter().map(|&a| p_mul(a, k)).collect() }
+        Poly {
+            coeffs: self.coeffs.iter().map(|&a| p_mul(a, k)).collect(),
+        }
     }
 
     /// Negacyclic product using the supplied NTT tables.
@@ -330,8 +356,16 @@ mod tests {
     #[test]
     fn ntt_multiplication_matches_schoolbook() {
         let tables = NttTables::new(32);
-        let a = Poly::from_coeffs((0..32u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect());
-        let b = Poly::from_coeffs((0..32u64).map(|i| (i + 3).wrapping_mul(0xD1B54A32D192ED03)).collect());
+        let a = Poly::from_coeffs(
+            (0..32u64)
+                .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+                .collect(),
+        );
+        let b = Poly::from_coeffs(
+            (0..32u64)
+                .map(|i| (i + 3).wrapping_mul(0xD1B54A32D192ED03))
+                .collect(),
+        );
         assert_eq!(a.mul_ntt(&b, &tables), a.mul_naive(&b));
     }
 
@@ -375,7 +409,11 @@ mod tests {
         // Every original coefficient magnitude appears exactly once (up to sign).
         let mut seen = vec![false; n + 1];
         for &c in g.coeffs() {
-            let magnitude = if c > MODULUS / 2 { (MODULUS - c) as usize } else { c as usize };
+            let magnitude = if c > MODULUS / 2 {
+                (MODULUS - c) as usize
+            } else {
+                c as usize
+            };
             assert!(magnitude >= 1 && magnitude <= n);
             assert!(!seen[magnitude], "coefficient duplicated by automorphism");
             seen[magnitude] = true;

@@ -151,7 +151,9 @@ pub fn count_ops(expr: &Expr) -> OpCounts {
                     match op {
                         BinOp::Add | BinOp::Sub => counts.scalar_add_sub += 1,
                         BinOp::Mul => {
-                            if kinds[*a] == DataKind::Ciphertext && kinds[*b] == DataKind::Ciphertext {
+                            if kinds[*a] == DataKind::Ciphertext
+                                && kinds[*b] == DataKind::Ciphertext
+                            {
                                 counts.scalar_mul_ct_ct += 1;
                             } else {
                                 counts.scalar_mul_ct_pt += 1;
@@ -179,7 +181,9 @@ pub fn count_ops(expr: &Expr) -> OpCounts {
                     match op {
                         BinOp::Add | BinOp::Sub => counts.vec_add_sub += 1,
                         BinOp::Mul => {
-                            if kinds[*a] == DataKind::Ciphertext && kinds[*b] == DataKind::Ciphertext {
+                            if kinds[*a] == DataKind::Ciphertext
+                                && kinds[*b] == DataKind::Ciphertext
+                            {
                                 counts.vec_mul_ct_ct += 1;
                             } else {
                                 counts.vec_mul_ct_pt += 1;
@@ -214,7 +218,14 @@ pub fn circuit_depth(expr: &Expr) -> usize {
     match expr {
         Expr::CtVar(_) | Expr::PtVar(_) | Expr::Const(_) => 0,
         Expr::Vec(elems) => elems.iter().map(circuit_depth).max().unwrap_or(0),
-        _ => 1 + expr.children().into_iter().map(circuit_depth).max().unwrap_or(0),
+        _ => {
+            1 + expr
+                .children()
+                .into_iter()
+                .map(circuit_depth)
+                .max()
+                .unwrap_or(0)
+        }
     }
 }
 
@@ -234,7 +245,12 @@ pub fn multiplicative_depth(expr: &Expr) -> usize {
                 data_kind(a) == DataKind::Ciphertext && data_kind(b) == DataKind::Ciphertext;
             child_max + usize::from(is_ct_ct)
         }
-        _ => expr.children().into_iter().map(multiplicative_depth).max().unwrap_or(0),
+        _ => expr
+            .children()
+            .into_iter()
+            .map(multiplicative_depth)
+            .max()
+            .unwrap_or(0),
     }
 }
 
@@ -281,8 +297,14 @@ mod tests {
     #[test]
     fn data_kind_propagates_ciphertext() {
         assert_eq!(data_kind(&parse("(+ a b)").unwrap()), DataKind::Ciphertext);
-        assert_eq!(data_kind(&parse("(+ (pt a) 3)").unwrap()), DataKind::Plaintext);
-        assert_eq!(data_kind(&parse("(* (pt w) x)").unwrap()), DataKind::Ciphertext);
+        assert_eq!(
+            data_kind(&parse("(+ (pt a) 3)").unwrap()),
+            DataKind::Plaintext
+        );
+        assert_eq!(
+            data_kind(&parse("(* (pt w) x)").unwrap()),
+            DataKind::Ciphertext
+        );
     }
 
     #[test]
@@ -334,7 +356,8 @@ mod tests {
 
     #[test]
     fn op_counts_distinguish_ct_ct_and_ct_pt() {
-        let e = parse("(VecAdd (VecMul (Vec a b) (Vec c d)) (VecMul (Vec e f) (Vec 1 2)))").unwrap();
+        let e =
+            parse("(VecAdd (VecMul (Vec a b) (Vec c d)) (VecMul (Vec e f) (Vec 1 2)))").unwrap();
         let counts = count_ops(&e);
         assert_eq!(counts.vec_mul_ct_ct, 1);
         assert_eq!(counts.vec_mul_ct_pt, 1);

@@ -60,14 +60,22 @@ pub struct CostWeights {
 
 impl Default for CostWeights {
     fn default() -> Self {
-        CostWeights { w_ops: 1.0, w_depth: 1.0, w_mult: 1.0 }
+        CostWeights {
+            w_ops: 1.0,
+            w_depth: 1.0,
+            w_mult: 1.0,
+        }
     }
 }
 
 impl CostWeights {
     /// Convenience constructor used by the Table 1 weight sweep.
     pub fn new(w_ops: f64, w_depth: f64, w_mult: f64) -> Self {
-        CostWeights { w_ops, w_depth, w_mult }
+        CostWeights {
+            w_ops,
+            w_depth,
+            w_mult,
+        }
     }
 }
 
@@ -96,7 +104,10 @@ pub struct CostBreakdown {
 impl CostModel {
     /// Creates a cost model with custom weights and default operator costs.
     pub fn with_weights(weights: CostWeights) -> Self {
-        CostModel { op_costs: OpCosts::default(), weights }
+        CostModel {
+            op_costs: OpCosts::default(),
+            weights,
+        }
     }
 
     /// Sums the per-operator latency estimate over the operation counts.
@@ -124,7 +135,12 @@ impl CostModel {
         let total = self.weights.w_ops * ops_cost
             + self.weights.w_depth * depth as f64
             + self.weights.w_mult * mult as f64;
-        CostBreakdown { ops_cost, depth, multiplicative_depth: mult, total }
+        CostBreakdown {
+            ops_cost,
+            depth,
+            multiplicative_depth: mult,
+            total,
+        }
     }
 
     /// The weighted cost of an expression (lower is better).
@@ -177,8 +193,10 @@ mod tests {
 
     #[test]
     fn increasing_depth_weight_penalizes_deep_circuits() {
-        let shallow = parse("(VecMul (VecMul (Vec a b) (Vec c d)) (VecMul (Vec e f) (Vec g h)))").unwrap();
-        let deep = parse("(VecMul (Vec a b) (VecMul (Vec c d) (VecMul (Vec e f) (Vec g h))))").unwrap();
+        let shallow =
+            parse("(VecMul (VecMul (Vec a b) (Vec c d)) (VecMul (Vec e f) (Vec g h)))").unwrap();
+        let deep =
+            parse("(VecMul (Vec a b) (VecMul (Vec c d) (VecMul (Vec e f) (Vec g h))))").unwrap();
         let flat = CostModel::with_weights(CostWeights::new(1.0, 0.0, 0.0));
         // With no depth weight the two shapes have identical op costs.
         assert_eq!(flat.cost(&shallow), flat.cost(&deep));

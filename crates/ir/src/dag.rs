@@ -50,7 +50,10 @@ impl DagNode {
 
     /// Returns `true` for input/constant nodes.
     pub fn is_leaf(&self) -> bool {
-        matches!(self, DagNode::CtVar(_) | DagNode::PtVar(_) | DagNode::Const(_))
+        matches!(
+            self,
+            DagNode::CtVar(_) | DagNode::PtVar(_) | DagNode::Const(_)
+        )
     }
 }
 
@@ -69,9 +72,15 @@ impl CircuitDag {
     /// Builds the DAG of an expression, sharing structurally identical
     /// subexpressions (common-subexpression elimination).
     pub fn from_expr(expr: &Expr) -> Self {
-        let mut builder = Builder { nodes: Vec::new(), interned: HashMap::new() };
+        let mut builder = Builder {
+            nodes: Vec::new(),
+            interned: HashMap::new(),
+        };
         let output = builder.intern_expr(expr);
-        CircuitDag { nodes: builder.nodes, output }
+        CircuitDag {
+            nodes: builder.nodes,
+            output,
+        }
     }
 
     /// The nodes of the DAG in topological order.
@@ -97,7 +106,10 @@ impl CircuitDag {
 
     /// Number of non-leaf (operation) nodes after sharing.
     pub fn operation_count(&self) -> usize {
-        self.nodes.iter().filter(|n| !n.is_leaf() && !matches!(n, DagNode::Vec(_))).count()
+        self.nodes
+            .iter()
+            .filter(|n| !n.is_leaf() && !matches!(n, DagNode::Vec(_)))
+            .count()
     }
 
     /// Number of uses of each node (fan-out). Nodes with fan-out greater than
@@ -141,7 +153,10 @@ impl CircuitDag {
                 nodes.push(remapped);
             }
         }
-        CircuitDag { nodes, output: remap[self.output] }
+        CircuitDag {
+            nodes,
+            output: remap[self.output],
+        }
     }
 
     /// Per-node circuit depth (operation nodes add one; `Vec` packing does
@@ -149,7 +164,12 @@ impl CircuitDag {
     pub fn depths(&self) -> Vec<usize> {
         let mut depth = vec![0usize; self.nodes.len()];
         for (id, node) in self.nodes.iter().enumerate() {
-            let child_max = node.operands().into_iter().map(|o| depth[o]).max().unwrap_or(0);
+            let child_max = node
+                .operands()
+                .into_iter()
+                .map(|o| depth[o])
+                .max()
+                .unwrap_or(0);
             let adds = !node.is_leaf() && !matches!(node, DagNode::Vec(_));
             depth[id] = child_max + usize::from(adds);
         }
@@ -235,7 +255,8 @@ mod tests {
 
     #[test]
     fn topological_order_holds() {
-        let e = parse("(VecAdd (VecMul (Vec a b) (Vec c d)) (<< (VecMul (Vec a b) (Vec c d)) 1))").unwrap();
+        let e = parse("(VecAdd (VecMul (Vec a b) (Vec c d)) (<< (VecMul (Vec a b) (Vec c d)) 1))")
+            .unwrap();
         let dag = CircuitDag::from_expr(&e);
         for (id, node) in dag.nodes().iter().enumerate() {
             for op in node.operands() {

@@ -111,7 +111,10 @@ impl Env {
     /// Panics if `modulus < 2`.
     pub fn with_modulus(modulus: u64) -> Self {
         assert!(modulus >= 2, "plaintext modulus must be at least 2");
-        Env { modulus, bindings: HashMap::new() }
+        Env {
+            modulus,
+            bindings: HashMap::new(),
+        }
     }
 
     /// The plaintext modulus this environment reduces values by.
@@ -133,7 +136,11 @@ impl Env {
 
     /// Binds every variable of `expr` that is not yet bound, drawing values
     /// from the supplied closure (handy for property tests).
-    pub fn bind_all(&mut self, expr: &Expr, mut value_for: impl FnMut(&Symbol) -> i64) -> &mut Self {
+    pub fn bind_all(
+        &mut self,
+        expr: &Expr,
+        mut value_for: impl FnMut(&Symbol) -> i64,
+    ) -> &mut Self {
         for v in expr.variables() {
             if !self.bindings.contains_key(v.as_str()) {
                 let val = value_for(&v);
@@ -190,7 +197,9 @@ pub fn evaluate(expr: &Expr, env: &Env) -> Result<Value, EvalError> {
         }
         Expr::Neg(a) => match evaluate(a, env)? {
             Value::Scalar(x) => Ok(Value::Scalar(neg(x, m))),
-            Value::Vector(_) => Err(EvalError::TypeMismatch("scalar negation of a vector".into())),
+            Value::Vector(_) => Err(EvalError::TypeMismatch(
+                "scalar negation of a vector".into(),
+            )),
         },
         Expr::Vec(elems) => {
             let mut out = Vec::with_capacity(elems.len());
@@ -225,7 +234,9 @@ pub fn evaluate(expr: &Expr, env: &Env) -> Result<Value, EvalError> {
         }
         Expr::VecNeg(a) => match evaluate(a, env)? {
             Value::Vector(x) => Ok(Value::Vector(x.into_iter().map(|v| neg(v, m)).collect())),
-            Value::Scalar(_) => Err(EvalError::TypeMismatch("vector negation of a scalar".into())),
+            Value::Scalar(_) => Err(EvalError::TypeMismatch(
+                "vector negation of a scalar".into(),
+            )),
         },
         Expr::Rot(a, steps) => match evaluate(a, env)? {
             Value::Vector(x) => Ok(Value::Vector(shift_zero_fill(&x, *steps))),
@@ -240,15 +251,12 @@ pub fn shift_zero_fill(slots: &[u64], steps: i64) -> Vec<u64> {
     let n = slots.len();
     let mut out = vec![0u64; n];
     if steps >= 0 {
-        let s = steps as usize;
-        for i in 0..n.saturating_sub(s) {
-            out[i] = slots[i + s];
-        }
+        let s = (steps as usize).min(n);
+        let live = n - s;
+        out[..live].copy_from_slice(&slots[s..]);
     } else {
-        let s = (-steps) as usize;
-        for i in s..n {
-            out[i] = slots[i - s];
-        }
+        let s = ((-steps) as usize).min(n);
+        out[s..].copy_from_slice(&slots[..n - s]);
     }
     out
 }
@@ -282,9 +290,24 @@ mod tests {
     use super::*;
     use crate::parser::parse;
 
+    #[test]
+    fn shifts_beyond_the_vector_length_zero_everything() {
+        assert_eq!(shift_zero_fill(&[1, 2, 3], 5), vec![0, 0, 0]);
+        assert_eq!(shift_zero_fill(&[1, 2, 3], -5), vec![0, 0, 0]);
+        assert_eq!(shift_zero_fill(&[1, 2, 3], 3), vec![0, 0, 0]);
+        assert_eq!(shift_zero_fill(&[1, 2, 3], 1), vec![2, 3, 0]);
+        assert_eq!(shift_zero_fill(&[1, 2, 3], -1), vec![0, 1, 2]);
+        assert_eq!(shift_zero_fill(&[], 2), Vec::<u64>::new());
+    }
+
     fn env_abcd() -> Env {
         let mut env = Env::new();
-        env.bind("a", 3).bind("b", 5).bind("c", 7).bind("d", 11).bind("e", 2).bind("f", 4);
+        env.bind("a", 3)
+            .bind("b", 5)
+            .bind("c", 7)
+            .bind("d", 11)
+            .bind("e", 2)
+            .bind("f", 4);
         env
     }
 
@@ -315,37 +338,55 @@ mod tests {
     fn rotation_shifts_with_zero_fill() {
         let env = env_abcd();
         let left = parse("(<< (Vec a b c d) 1)").unwrap();
-        assert_eq!(evaluate(&left, &env).unwrap(), Value::Vector(vec![5, 7, 11, 0]));
+        assert_eq!(
+            evaluate(&left, &env).unwrap(),
+            Value::Vector(vec![5, 7, 11, 0])
+        );
         let right = parse("(>> (Vec a b c d) 2)").unwrap();
-        assert_eq!(evaluate(&right, &env).unwrap(), Value::Vector(vec![0, 0, 3, 5]));
+        assert_eq!(
+            evaluate(&right, &env).unwrap(),
+            Value::Vector(vec![0, 0, 3, 5])
+        );
     }
 
     #[test]
     fn negation_wraps_modulo_t() {
         let env = env_abcd();
         let e = parse("(- a)").unwrap();
-        assert_eq!(evaluate(&e, &env).unwrap(), Value::Scalar(env.modulus() - 3));
+        assert_eq!(
+            evaluate(&e, &env).unwrap(),
+            Value::Scalar(env.modulus() - 3)
+        );
     }
 
     #[test]
     fn negative_constants_reduce_into_range() {
         let env = Env::new();
         let e = parse("(* 1 -2)").unwrap();
-        assert_eq!(evaluate(&e, &env).unwrap(), Value::Scalar(env.modulus() - 2));
+        assert_eq!(
+            evaluate(&e, &env).unwrap(),
+            Value::Scalar(env.modulus() - 2)
+        );
     }
 
     #[test]
     fn unbound_variable_is_an_error() {
         let env = Env::new();
         let e = parse("(+ a b)").unwrap();
-        assert!(matches!(evaluate(&e, &env), Err(EvalError::UnboundVariable(_))));
+        assert!(matches!(
+            evaluate(&e, &env),
+            Err(EvalError::UnboundVariable(_))
+        ));
     }
 
     #[test]
     fn type_mismatch_is_an_error() {
         let env = env_abcd();
         let e = Expr::add(Expr::vec(vec![Expr::ct("a")]), Expr::ct("b"));
-        assert!(matches!(evaluate(&e, &env), Err(EvalError::TypeMismatch(_))));
+        assert!(matches!(
+            evaluate(&e, &env),
+            Err(EvalError::TypeMismatch(_))
+        ));
     }
 
     #[test]

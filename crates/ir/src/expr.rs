@@ -140,21 +140,25 @@ impl Expr {
     }
 
     /// `a + b` on scalars.
+    #[allow(clippy::should_implement_trait)] // constructor named after the IR operator
     pub fn add(a: Expr, b: Expr) -> Expr {
         Expr::Bin(BinOp::Add, Box::new(a), Box::new(b))
     }
 
     /// `a - b` on scalars.
+    #[allow(clippy::should_implement_trait)] // constructor named after the IR operator
     pub fn sub(a: Expr, b: Expr) -> Expr {
         Expr::Bin(BinOp::Sub, Box::new(a), Box::new(b))
     }
 
     /// `a * b` on scalars.
+    #[allow(clippy::should_implement_trait)] // constructor named after the IR operator
     pub fn mul(a: Expr, b: Expr) -> Expr {
         Expr::Bin(BinOp::Mul, Box::new(a), Box::new(b))
     }
 
     /// `-a` on scalars.
+    #[allow(clippy::should_implement_trait)] // constructor named after the IR operator
     pub fn neg(a: Expr) -> Expr {
         Expr::Neg(Box::new(a))
     }
@@ -264,7 +268,11 @@ impl Expr {
 
     /// Total number of nodes in the expression tree.
     pub fn node_count(&self) -> usize {
-        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.node_count())
+            .sum::<usize>()
     }
 
     /// Visits every node in preorder (node before its children).
@@ -447,13 +455,25 @@ impl fmt::Display for TypeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TypeError::ScalarOpOnVector { op } => {
-                write!(f, "scalar operator `{}` applied to a vector operand", op.token())
+                write!(
+                    f,
+                    "scalar operator `{}` applied to a vector operand",
+                    op.token()
+                )
             }
-            TypeError::ScalarNegOnVector => write!(f, "scalar negation applied to a vector operand"),
+            TypeError::ScalarNegOnVector => {
+                write!(f, "scalar negation applied to a vector operand")
+            }
             TypeError::VectorOpOnScalar { op } => {
-                write!(f, "vector operator `{}` applied to a scalar operand", op.vector_token())
+                write!(
+                    f,
+                    "vector operator `{}` applied to a scalar operand",
+                    op.vector_token()
+                )
             }
-            TypeError::VectorNegOnScalar => write!(f, "vector negation applied to a scalar operand"),
+            TypeError::VectorNegOnScalar => {
+                write!(f, "vector negation applied to a scalar operand")
+            }
             TypeError::RotationOnScalar => write!(f, "rotation applied to a scalar operand"),
             TypeError::EmptyVec => write!(f, "empty `Vec` constructor"),
             TypeError::NestedVector => write!(f, "`Vec` constructor contains a vector element"),
@@ -546,7 +566,10 @@ mod tests {
             &Expr::ct("z"),
             "target replaced"
         );
-        assert_eq!(replaced.at_path(&[0, 0]).unwrap(), e.at_path(&[0, 0]).unwrap());
+        assert_eq!(
+            replaced.at_path(&[0, 0]).unwrap(),
+            e.at_path(&[0, 0]).unwrap()
+        );
         assert!(e.replace_at(&[5], Expr::ct("z")).is_none());
     }
 

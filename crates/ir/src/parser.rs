@@ -53,11 +53,17 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(input: &'a str) -> Self {
-        Lexer { input: input.as_bytes(), pos: 0 }
+        Lexer {
+            input: input.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn error(&self, message: impl Into<String>) -> ParseError {
-        ParseError { message: message.into(), position: self.pos }
+        ParseError {
+            message: message.into(),
+            position: self.pos,
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -129,8 +135,8 @@ impl<'a> Lexer<'a> {
         while self.pos < self.input.len() && self.input[self.pos].is_ascii_digit() {
             self.pos += 1;
         }
-        let digits = std::str::from_utf8(&self.input[start..self.pos])
-            .expect("digits are valid utf-8");
+        let digits =
+            std::str::from_utf8(&self.input[start..self.pos]).expect("digits are valid utf-8");
         let mag: i64 = digits
             .parse()
             .map_err(|_| self.error(format!("integer literal `{digits}` out of range")))?;
@@ -152,7 +158,12 @@ impl<'a> Parser<'a> {
         while let Some(t) = lexer.next_token()? {
             tokens.push(t);
         }
-        Ok(Parser { tokens, idx: 0, input_len: input.len(), _marker: std::marker::PhantomData })
+        Ok(Parser {
+            tokens,
+            idx: 0,
+            input_len: input.len(),
+            _marker: std::marker::PhantomData,
+        })
     }
 
     fn peek(&self) -> Option<&(Token, usize)> {
@@ -168,11 +179,17 @@ impl<'a> Parser<'a> {
     }
 
     fn error_at(&self, pos: usize, message: impl Into<String>) -> ParseError {
-        ParseError { message: message.into(), position: pos }
+        ParseError {
+            message: message.into(),
+            position: pos,
+        }
     }
 
     fn error_eof(&self, message: impl Into<String>) -> ParseError {
-        ParseError { message: message.into(), position: self.input_len }
+        ParseError {
+            message: message.into(),
+            position: self.input_len,
+        }
     }
 
     fn parse_expr(&mut self) -> Result<Expr, ParseError> {
@@ -197,7 +214,9 @@ impl<'a> Parser<'a> {
                 let expr = match head {
                     (Token::Op(op), op_pos) => self.parse_operator_form(&op, op_pos)?,
                     (Token::Ident(name), name_pos) => self.parse_named_form(&name, name_pos)?,
-                    (t, p) => return Err(self.error_at(p, format!("unexpected token {t:?} after `(`"))),
+                    (t, p) => {
+                        return Err(self.error_at(p, format!("unexpected token {t:?} after `(`")))
+                    }
                 };
                 match self.bump() {
                     Some((Token::RParen, _)) => Ok(expr),
@@ -230,7 +249,8 @@ impl<'a> Parser<'a> {
                 let step = match self.bump() {
                     Some((Token::Int(v), _)) => v,
                     Some((t, p)) => {
-                        return Err(self.error_at(p, format!("rotation step must be an integer, found {t:?}")))
+                        return Err(self
+                            .error_at(p, format!("rotation step must be an integer, found {t:?}")))
                     }
                     None => return Err(self.error_eof("rotation step missing")),
                 };
@@ -245,7 +265,9 @@ impl<'a> Parser<'a> {
         match name {
             "pt" => match self.bump() {
                 Some((Token::Ident(var), _)) => Ok(Expr::pt(var)),
-                Some((t, p)) => Err(self.error_at(p, format!("`pt` expects an identifier, found {t:?}"))),
+                Some((t, p)) => {
+                    Err(self.error_at(p, format!("`pt` expects an identifier, found {t:?}")))
+                }
                 None => Err(self.error_eof("`pt` expects an identifier")),
             },
             "Vec" => {
@@ -348,18 +370,27 @@ mod tests {
     #[test]
     fn parses_scalar_arithmetic() {
         let e = parse("(+ a (* b c))").unwrap();
-        assert_eq!(e, Expr::add(Expr::ct("a"), Expr::mul(Expr::ct("b"), Expr::ct("c"))));
+        assert_eq!(
+            e,
+            Expr::add(Expr::ct("a"), Expr::mul(Expr::ct("b"), Expr::ct("c")))
+        );
     }
 
     #[test]
     fn parses_unary_and_binary_minus() {
         assert_eq!(parse("(- a)").unwrap(), Expr::neg(Expr::ct("a")));
-        assert_eq!(parse("(- a b)").unwrap(), Expr::sub(Expr::ct("a"), Expr::ct("b")));
+        assert_eq!(
+            parse("(- a b)").unwrap(),
+            Expr::sub(Expr::ct("a"), Expr::ct("b"))
+        );
     }
 
     #[test]
     fn parses_negative_literals() {
-        assert_eq!(parse("(* a -3)").unwrap(), Expr::mul(Expr::ct("a"), Expr::constant(-3)));
+        assert_eq!(
+            parse("(* a -3)").unwrap(),
+            Expr::mul(Expr::ct("a"), Expr::constant(-3))
+        );
     }
 
     #[test]
@@ -376,13 +407,22 @@ mod tests {
 
     #[test]
     fn parses_rotations_in_both_directions() {
-        assert_eq!(parse("(<< (Vec a b) 1)").unwrap(), Expr::rot(Expr::vec(vec![Expr::ct("a"), Expr::ct("b")]), 1));
-        assert_eq!(parse("(>> (Vec a b) 2)").unwrap(), Expr::rot(Expr::vec(vec![Expr::ct("a"), Expr::ct("b")]), -2));
+        assert_eq!(
+            parse("(<< (Vec a b) 1)").unwrap(),
+            Expr::rot(Expr::vec(vec![Expr::ct("a"), Expr::ct("b")]), 1)
+        );
+        assert_eq!(
+            parse("(>> (Vec a b) 2)").unwrap(),
+            Expr::rot(Expr::vec(vec![Expr::ct("a"), Expr::ct("b")]), -2)
+        );
     }
 
     #[test]
     fn parses_plaintext_vars() {
-        assert_eq!(parse("(* (pt w) x)").unwrap(), Expr::mul(Expr::pt("w"), Expr::ct("x")));
+        assert_eq!(
+            parse("(* (pt w) x)").unwrap(),
+            Expr::mul(Expr::pt("w"), Expr::ct("x"))
+        );
     }
 
     #[test]
@@ -407,7 +447,17 @@ mod tests {
 
     #[test]
     fn rejects_malformed_input() {
-        for bad in ["", "(", ")", "(+ a)", "(+ a b c)", "(Vec)", "(<< a b)", "(?? a b)", "(+ a b) extra"] {
+        for bad in [
+            "",
+            "(",
+            ")",
+            "(+ a)",
+            "(+ a b c)",
+            "(Vec)",
+            "(<< a b)",
+            "(?? a b)",
+            "(+ a b) extra",
+        ] {
             assert!(parse(bad).is_err(), "expected parse error for `{bad}`");
         }
     }

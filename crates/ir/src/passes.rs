@@ -131,11 +131,26 @@ mod tests {
 
     #[test]
     fn applies_multiplicative_identities() {
-        assert_eq!(constant_fold(&parse("(* x 1)").unwrap()), parse("x").unwrap());
-        assert_eq!(constant_fold(&parse("(* 1 x)").unwrap()), parse("x").unwrap());
-        assert_eq!(constant_fold(&parse("(* x 0)").unwrap()), parse("0").unwrap());
-        assert_eq!(constant_fold(&parse("(+ x 0)").unwrap()), parse("x").unwrap());
-        assert_eq!(constant_fold(&parse("(- x 0)").unwrap()), parse("x").unwrap());
+        assert_eq!(
+            constant_fold(&parse("(* x 1)").unwrap()),
+            parse("x").unwrap()
+        );
+        assert_eq!(
+            constant_fold(&parse("(* 1 x)").unwrap()),
+            parse("x").unwrap()
+        );
+        assert_eq!(
+            constant_fold(&parse("(* x 0)").unwrap()),
+            parse("0").unwrap()
+        );
+        assert_eq!(
+            constant_fold(&parse("(+ x 0)").unwrap()),
+            parse("x").unwrap()
+        );
+        assert_eq!(
+            constant_fold(&parse("(- x 0)").unwrap()),
+            parse("x").unwrap()
+        );
     }
 
     #[test]
@@ -160,7 +175,11 @@ mod tests {
     #[test]
     fn does_not_merge_opposite_direction_rotations() {
         let e = parse("(<< (>> (Vec a b c d) 1) 1)").unwrap();
-        assert_eq!(merge_rotations(&e), e, "opposite-direction rotations are not the identity");
+        assert_eq!(
+            merge_rotations(&e),
+            e,
+            "opposite-direction rotations are not the identity"
+        );
     }
 
     #[test]

@@ -135,8 +135,13 @@ impl Vocabulary {
     /// Builds the ICI vocabulary: special tokens, structural tokens,
     /// operators, rotation steps (bucketed), `v0..`, and `c0..`.
     pub fn ici() -> Self {
-        let mut tokens: Vec<String> =
-            vec![PAD_TOKEN.into(), CLS_TOKEN.into(), UNK_TOKEN.into(), "(".into(), ")".into()];
+        let mut tokens: Vec<String> = vec![
+            PAD_TOKEN.into(),
+            CLS_TOKEN.into(),
+            UNK_TOKEN.into(),
+            "(".into(),
+            ")".into(),
+        ];
         for op in BinOp::ALL {
             tokens.push(op.token().into());
             tokens.push(op.vector_token().into());
@@ -170,7 +175,10 @@ impl Vocabulary {
                 id_to_token.push(t);
             }
         }
-        Vocabulary { token_to_id, id_to_token }
+        Vocabulary {
+            token_to_id,
+            id_to_token,
+        }
     }
 
     /// Number of tokens in the vocabulary.
@@ -278,7 +286,11 @@ impl BpeTokenizer {
                 .collect::<std::collections::BTreeSet<_>>()
                 .into_iter()
                 .collect();
-            let mut v = vec![PAD_TOKEN.to_string(), CLS_TOKEN.to_string(), UNK_TOKEN.to_string()];
+            let mut v = vec![
+                PAD_TOKEN.to_string(),
+                CLS_TOKEN.to_string(),
+                UNK_TOKEN.to_string(),
+            ];
             v.append(&mut chars);
             v
         };
@@ -289,7 +301,9 @@ impl BpeTokenizer {
             let mut pair_counts: HashMap<(String, String), usize> = HashMap::new();
             for (word, count) in &words {
                 for pair in word.windows(2) {
-                    *pair_counts.entry((pair[0].clone(), pair[1].clone())).or_insert(0) += count;
+                    *pair_counts
+                        .entry((pair[0].clone(), pair[1].clone()))
+                        .or_insert(0) += count;
                 }
             }
             let Some((best_pair, best_count)) = pair_counts
@@ -397,7 +411,11 @@ mod tests {
         let b = parse("(+ (* x 13) (* y 13))").unwrap();
         assert_eq!(canonical_form(&a), canonical_form(&b), "same reuse pattern");
         let c = parse("(+ (* x 7) (* y 13))").unwrap();
-        assert_ne!(canonical_form(&a), canonical_form(&c), "different reuse pattern");
+        assert_ne!(
+            canonical_form(&a),
+            canonical_form(&c),
+            "different reuse pattern"
+        );
         let with_one = parse("(* x 1)").unwrap();
         assert!(canonical_form(&with_one).contains(" 1 "));
     }

@@ -57,7 +57,14 @@ impl SequenceAutoencoder {
         let vocab_size = config.vocab_size;
         let max_len = config.max_len;
         let encoder = TransformerEncoder::new(config, rng);
-        Self::with_encoder(EncoderImpl::Transformer(encoder), vocab_size, dim, max_len, pad_id, rng)
+        Self::with_encoder(
+            EncoderImpl::Transformer(encoder),
+            vocab_size,
+            dim,
+            max_len,
+            pad_id,
+            rng,
+        )
     }
 
     /// Builds an autoencoder around a GRU encoder with matching capacity.
@@ -70,7 +77,14 @@ impl SequenceAutoencoder {
         rng: &mut impl Rng,
     ) -> Self {
         let encoder = GruEncoder::new(vocab_size, hidden_dim, num_layers, max_len, rng);
-        Self::with_encoder(EncoderImpl::Gru(encoder), vocab_size, hidden_dim, max_len, pad_id, rng)
+        Self::with_encoder(
+            EncoderImpl::Gru(encoder),
+            vocab_size,
+            hidden_dim,
+            max_len,
+            pad_id,
+            rng,
+        )
     }
 
     fn with_encoder(
@@ -89,7 +103,15 @@ impl SequenceAutoencoder {
                 positional.set(pos, i, if i % 2 == 0 { angle.sin() } else { angle.cos() });
             }
         }
-        SequenceAutoencoder { encoder, decoder, positional, vocab_size, max_len, dim, pad_id }
+        SequenceAutoencoder {
+            encoder,
+            decoder,
+            positional,
+            vocab_size,
+            max_len,
+            dim,
+            pad_id,
+        }
     }
 
     /// Which encoder kind this autoencoder uses.
@@ -233,7 +255,14 @@ mod tests {
     #[test]
     fn transformer_autoencoder_learns_to_reconstruct_a_tiny_corpus() {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let config = TransformerConfig { vocab_size: 6, model_dim: 24, num_heads: 2, num_layers: 1, ffn_dim: 48, max_len: 8 };
+        let config = TransformerConfig {
+            vocab_size: 6,
+            model_dim: 24,
+            num_heads: 2,
+            num_layers: 1,
+            ffn_dim: 48,
+            max_len: 8,
+        };
         let mut ae = SequenceAutoencoder::transformer(config, 0, &mut rng);
         assert_eq!(ae.kind(), EncoderKind::Transformer);
         let corpus = tiny_corpus();
@@ -255,7 +284,10 @@ mod tests {
         let loss = ae.fit(&corpus, 40, 5e-3);
         assert!(loss.is_finite());
         let acc = ae.evaluate(&corpus);
-        assert!(acc.token_accuracy > 0.2, "GRU autoencoder should beat random guessing");
+        assert!(
+            acc.token_accuracy > 0.2,
+            "GRU autoencoder should beat random guessing"
+        );
     }
 
     #[test]
@@ -273,6 +305,9 @@ mod tests {
         let config = TransformerConfig::small(8);
         let ae = SequenceAutoencoder::transformer(config, 0, &mut rng);
         let acc = ae.evaluate(&[vec![0, 0, 0, 0]]);
-        assert_eq!(acc.token_accuracy, 0.0, "all-padding sequences contribute no tokens");
+        assert_eq!(
+            acc.token_accuracy, 0.0,
+            "all-padding sequences contribute no tokens"
+        );
     }
 }

@@ -42,10 +42,21 @@ impl GruLayer {
 
     /// One GRU step: `h_t = (1 - z) ⊙ h_{t-1} + z ⊙ h̃`.
     fn step(&self, x: &Tensor, h: &Tensor) -> Tensor {
-        let z = self.update_x.forward(x).add(&self.update_h.forward(h)).sigmoid();
-        let r = self.reset_x.forward(x).add(&self.reset_h.forward(h)).sigmoid();
-        let candidate =
-            self.candidate_x.forward(x).add(&self.candidate_h.forward(&r.mul(h))).tanh();
+        let z = self
+            .update_x
+            .forward(x)
+            .add(&self.update_h.forward(h))
+            .sigmoid();
+        let r = self
+            .reset_x
+            .forward(x)
+            .add(&self.reset_h.forward(h))
+            .sigmoid();
+        let candidate = self
+            .candidate_x
+            .forward(x)
+            .add(&self.candidate_h.forward(&r.mul(h)))
+            .tanh();
         let ones = Tensor::constant(Matrix::full(1, self.hidden_dim, 1.0));
         ones.sub(&z).mul(h).add(&z.mul(&candidate))
     }
@@ -65,10 +76,17 @@ impl GruLayer {
 
 impl Module for GruLayer {
     fn parameters(&self) -> Vec<Tensor> {
-        [&self.update_x, &self.update_h, &self.reset_x, &self.reset_h, &self.candidate_x, &self.candidate_h]
-            .iter()
-            .flat_map(|l| l.parameters())
-            .collect()
+        [
+            &self.update_x,
+            &self.update_h,
+            &self.reset_x,
+            &self.reset_h,
+            &self.candidate_x,
+            &self.candidate_h,
+        ]
+        .iter()
+        .flat_map(|l| l.parameters())
+        .collect()
     }
 }
 
@@ -82,9 +100,16 @@ impl GruEncoder {
         rng: &mut impl Rng,
     ) -> Self {
         let embedding = Tensor::parameter(Matrix::xavier(vocab_size, hidden_dim, rng));
-        let layers =
-            (0..num_layers.max(1)).map(|_| GruLayer::new(hidden_dim, hidden_dim, rng)).collect();
-        GruEncoder { vocab_size, hidden_dim, max_len, embedding, layers }
+        let layers = (0..num_layers.max(1))
+            .map(|_| GruLayer::new(hidden_dim, hidden_dim, rng))
+            .collect();
+        GruEncoder {
+            vocab_size,
+            hidden_dim,
+            max_len,
+            embedding,
+            layers,
+        }
     }
 
     /// Per-token hidden states of the final layer (`seq_len × hidden_dim`).
@@ -182,7 +207,10 @@ mod tests {
     #[test]
     fn encoding_is_order_sensitive() {
         let enc = encoder(2);
-        assert_ne!(enc.encode(&[1, 2, 3, 4]).value(), enc.encode(&[4, 3, 2, 1]).value());
+        assert_ne!(
+            enc.encode(&[1, 2, 3, 4]).value(),
+            enc.encode(&[4, 3, 2, 1]).value()
+        );
     }
 
     #[test]
@@ -190,7 +218,11 @@ mod tests {
         let enc = encoder(3);
         enc.zero_grad();
         enc.encode(&[1, 2, 3, 4, 5]).mean().backward();
-        let grads_nonzero = enc.parameters().iter().filter(|p| p.grad().norm() > 0.0).count();
+        let grads_nonzero = enc
+            .parameters()
+            .iter()
+            .filter(|p| p.grad().norm() > 0.0)
+            .count();
         assert!(grads_nonzero > enc.parameters().len() / 2);
     }
 

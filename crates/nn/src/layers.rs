@@ -124,8 +124,10 @@ impl Mlp {
     /// Panics if fewer than two sizes are given.
     pub fn new(sizes: &[usize], activation: Activation, rng: &mut impl Rng) -> Self {
         assert!(sizes.len() >= 2, "an MLP needs an input and an output size");
-        let layers =
-            sizes.windows(2).map(|pair| Linear::new(pair[0], pair[1], rng)).collect();
+        let layers = sizes
+            .windows(2)
+            .map(|pair| Linear::new(pair[0], pair[1], rng))
+            .collect();
         Mlp { layers, activation }
     }
 
@@ -256,6 +258,9 @@ mod tests {
             }
             last_loss = loss.value().get(0, 0);
         }
-        assert!(last_loss < first_loss * 0.05, "loss did not drop: {first_loss} -> {last_loss}");
+        assert!(
+            last_loss < first_loss * 0.05,
+            "loss did not drop: {first_loss} -> {last_loss}"
+        );
     }
 }

@@ -19,12 +19,20 @@ pub struct Matrix {
 impl Matrix {
     /// A matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// A matrix filled with a constant.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Matrix { rows, cols, data: vec![value; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Builds a matrix from a row-major data vector.
@@ -40,13 +48,19 @@ impl Matrix {
     /// Builds a single-row matrix.
     pub fn row_vector(data: Vec<f32>) -> Self {
         let cols = data.len();
-        Matrix { rows: 1, cols, data }
+        Matrix {
+            rows: 1,
+            cols,
+            data,
+        }
     }
 
     /// Xavier/Glorot-uniform initialization.
     pub fn xavier(rows: usize, cols: usize, rng: &mut impl Rng) -> Self {
         let limit = (6.0 / (rows + cols) as f32).sqrt();
-        let data = (0..rows * cols).map(|_| rng.gen_range(-limit..limit)).collect();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-limit..limit))
+            .collect();
         Matrix { rows, cols, data }
     }
 
@@ -121,17 +135,30 @@ impl Matrix {
     ///
     /// Panics if the shapes disagree.
     pub fn zip(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         }
     }
 
     /// Element-wise map.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&a| f(a)).collect() }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&a| f(a)).collect(),
+        }
     }
 
     /// Element-wise addition.

@@ -21,8 +21,14 @@ impl Adam {
     /// Creates an Adam optimizer with the standard momentum constants
     /// (`β1 = 0.9`, `β2 = 0.999`).
     pub fn new(params: Vec<Tensor>, learning_rate: f32) -> Self {
-        let first = params.iter().map(|p| Matrix::zeros(p.shape().0, p.shape().1)).collect();
-        let second = params.iter().map(|p| Matrix::zeros(p.shape().0, p.shape().1)).collect();
+        let first = params
+            .iter()
+            .map(|p| Matrix::zeros(p.shape().0, p.shape().1))
+            .collect();
+        let second = params
+            .iter()
+            .map(|p| Matrix::zeros(p.shape().0, p.shape().1))
+            .collect();
         Adam {
             params,
             learning_rate,
@@ -64,7 +70,12 @@ impl Adam {
         self.step += 1;
         let clip_scale = match self.max_grad_norm {
             Some(max_norm) => {
-                let total: f32 = self.params.iter().map(|p| p.grad().norm().powi(2)).sum::<f32>().sqrt();
+                let total: f32 = self
+                    .params
+                    .iter()
+                    .map(|p| p.grad().norm().powi(2))
+                    .sum::<f32>()
+                    .sqrt();
                 if total > max_norm && total > 0.0 {
                     max_norm / total
                 } else {
@@ -77,14 +88,17 @@ impl Adam {
         let bias2 = 1.0 - self.beta2.powi(self.step as i32);
         for (i, p) in self.params.iter().enumerate() {
             let grad = p.grad().scale(clip_scale);
-            self.first_moments[i] =
-                self.first_moments[i].scale(self.beta1).add(&grad.scale(1.0 - self.beta1));
+            self.first_moments[i] = self.first_moments[i]
+                .scale(self.beta1)
+                .add(&grad.scale(1.0 - self.beta1));
             self.second_moments[i] = self.second_moments[i]
                 .scale(self.beta2)
                 .add(&grad.hadamard(&grad).scale(1.0 - self.beta2));
             let m_hat = self.first_moments[i].scale(1.0 / bias1);
             let v_hat = self.second_moments[i].scale(1.0 / bias2);
-            let update = m_hat.zip(&v_hat, |m, v| -self.learning_rate * m / (v.sqrt() + self.eps));
+            let update = m_hat.zip(&v_hat, |m, v| {
+                -self.learning_rate * m / (v.sqrt() + self.eps)
+            });
             p.apply_update(&update);
         }
     }
@@ -100,7 +114,10 @@ pub struct Sgd {
 impl Sgd {
     /// Creates an SGD optimizer.
     pub fn new(params: Vec<Tensor>, learning_rate: f32) -> Self {
-        Sgd { params, learning_rate }
+        Sgd {
+            params,
+            learning_rate,
+        }
     }
 
     /// Applies one descent step.

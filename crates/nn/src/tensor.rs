@@ -45,10 +45,21 @@ impl std::fmt::Debug for Tensor {
 }
 
 impl Tensor {
-    fn make(value: Matrix, parents: Vec<Tensor>, backward_fn: Option<BackwardFn>, requires_grad: bool) -> Tensor {
+    fn make(
+        value: Matrix,
+        parents: Vec<Tensor>,
+        backward_fn: Option<BackwardFn>,
+        requires_grad: bool,
+    ) -> Tensor {
         let grad = Matrix::zeros(value.rows(), value.cols());
         Tensor {
-            inner: Rc::new(RefCell::new(TensorInner { value, grad, parents, backward_fn, requires_grad })),
+            inner: Rc::new(RefCell::new(TensorInner {
+                value,
+                grad,
+                parents,
+                backward_fn,
+                requires_grad,
+            })),
             id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
         }
     }
@@ -607,13 +618,15 @@ impl Tensor {
         let (rows, cols) = (input.rows(), input.cols());
         let mut normalized = Matrix::zeros(rows, cols);
         let mut inv_std = vec![0.0f32; rows];
-        for r in 0..rows {
+        for (r, inv_std_r) in inv_std.iter_mut().enumerate() {
             let mean: f32 = (0..cols).map(|c| input.get(r, c)).sum::<f32>() / cols as f32;
-            let var: f32 =
-                (0..cols).map(|c| (input.get(r, c) - mean).powi(2)).sum::<f32>() / cols as f32;
-            inv_std[r] = 1.0 / (var + eps).sqrt();
+            let var: f32 = (0..cols)
+                .map(|c| (input.get(r, c) - mean).powi(2))
+                .sum::<f32>()
+                / cols as f32;
+            *inv_std_r = 1.0 / (var + eps).sqrt();
             for c in 0..cols {
-                normalized.set(r, c, (input.get(r, c) - mean) * inv_std[r]);
+                normalized.set(r, c, (input.get(r, c) - mean) * *inv_std_r);
             }
         }
         let mut value = Matrix::zeros(rows, cols);
@@ -621,7 +634,11 @@ impl Tensor {
         let beta_v = beta.value();
         for r in 0..rows {
             for c in 0..cols {
-                value.set(r, c, normalized.get(r, c) * gamma_v.get(0, c) + beta_v.get(0, c));
+                value.set(
+                    r,
+                    c,
+                    normalized.get(r, c) * gamma_v.get(0, c) + beta_v.get(0, c),
+                );
             }
         }
         let (a, gm, bt) = (self.clone(), gamma.clone(), beta.clone());
@@ -648,18 +665,20 @@ impl Tensor {
                 }
                 if a.requires_grad() {
                     let mut dx = Matrix::zeros(rows, cols);
-                    for r in 0..rows {
+                    for (r, &inv_std_r) in saved_inv_std.iter().enumerate().take(rows) {
                         // dY/dX for layer norm (standard formula).
                         let dnorm: Vec<f32> =
                             (0..cols).map(|c| g.get(r, c) * gamma_v.get(0, c)).collect();
                         let mean_dnorm: f32 = dnorm.iter().sum::<f32>() / cols as f32;
-                        let mean_dnorm_norm: f32 = (0..cols)
-                            .map(|c| dnorm[c] * saved_norm.get(r, c))
+                        let mean_dnorm_norm: f32 = dnorm
+                            .iter()
+                            .enumerate()
+                            .map(|(c, &d)| d * saved_norm.get(r, c))
                             .sum::<f32>()
                             / cols as f32;
-                        for c in 0..cols {
-                            let v = (dnorm[c] - mean_dnorm - saved_norm.get(r, c) * mean_dnorm_norm)
-                                * saved_inv_std[r];
+                        for (c, &d) in dnorm.iter().enumerate() {
+                            let v = (d - mean_dnorm - saved_norm.get(r, c) * mean_dnorm_norm)
+                                * inv_std_r;
                             dx.set(r, c, v);
                         }
                     }
@@ -773,7 +792,10 @@ mod tests {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
         let x_value = Matrix::xavier(2, 5, &mut rng);
         let x = Tensor::parameter(x_value.clone());
-        let loss = x.softmax_rows().mul(&Tensor::constant(Matrix::full(2, 5, 0.3))).sum();
+        let loss = x
+            .softmax_rows()
+            .mul(&Tensor::constant(Matrix::full(2, 5, 0.3)))
+            .sum();
         loss.backward();
         let numeric = numeric_grad(
             |m| {
@@ -798,14 +820,22 @@ mod tests {
         let beta = Matrix::full(1, 6, -0.1);
         let x = Tensor::parameter(x_value.clone());
         let loss = x
-            .layer_norm(&Tensor::constant(gamma.clone()), &Tensor::constant(beta.clone()), 1e-5)
+            .layer_norm(
+                &Tensor::constant(gamma.clone()),
+                &Tensor::constant(beta.clone()),
+                1e-5,
+            )
             .tanh()
             .mean();
         loss.backward();
         let numeric = numeric_grad(
             |m| {
                 Tensor::constant(m.clone())
-                    .layer_norm(&Tensor::constant(gamma.clone()), &Tensor::constant(beta.clone()), 1e-5)
+                    .layer_norm(
+                        &Tensor::constant(gamma.clone()),
+                        &Tensor::constant(beta.clone()),
+                        1e-5,
+                    )
                     .tanh()
                     .mean()
                     .value()
@@ -826,7 +856,12 @@ mod tests {
         let loss = x.cross_entropy(&targets, None);
         loss.backward();
         let numeric = numeric_grad(
-            |m| Tensor::constant(m.clone()).cross_entropy(&targets, None).value().get(0, 0),
+            |m| {
+                Tensor::constant(m.clone())
+                    .cross_entropy(&targets, None)
+                    .value()
+                    .get(0, 0)
+            },
             &x_value,
             1e-3,
         );

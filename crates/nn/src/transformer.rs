@@ -81,7 +81,11 @@ struct MultiHeadAttention {
 
 impl MultiHeadAttention {
     fn new(model_dim: usize, num_heads: usize, rng: &mut impl Rng) -> Self {
-        assert_eq!(model_dim % num_heads, 0, "model_dim must be divisible by num_heads");
+        assert_eq!(
+            model_dim % num_heads,
+            0,
+            "model_dim must be divisible by num_heads"
+        );
         MultiHeadAttention {
             query: Linear::new(model_dim, model_dim, rng),
             key: Linear::new(model_dim, model_dim, rng),
@@ -144,7 +148,9 @@ impl EncoderLayer {
     fn forward(&self, x: &Tensor) -> Tensor {
         let attended = self.attention.forward(&self.norm1.forward(x));
         let x = x.add(&attended);
-        let ffn = self.ffn_out.forward(&self.ffn_in.forward(&self.norm2.forward(&x)).relu());
+        let ffn = self
+            .ffn_out
+            .forward(&self.ffn_in.forward(&self.norm2.forward(&x)).relu());
         x.add(&ffn)
     }
 }
@@ -176,8 +182,16 @@ impl TransformerEncoder {
     pub fn new(config: TransformerConfig, rng: &mut impl Rng) -> Self {
         let embedding = Tensor::parameter(Matrix::xavier(config.vocab_size, config.model_dim, rng));
         let positional = positional_encoding(config.max_len, config.model_dim);
-        let layers = (0..config.num_layers).map(|_| EncoderLayer::new(&config, rng)).collect();
-        TransformerEncoder { config, embedding, positional, layers, final_norm: LayerNorm::new(config.model_dim) }
+        let layers = (0..config.num_layers)
+            .map(|_| EncoderLayer::new(&config, rng))
+            .collect();
+        TransformerEncoder {
+            config,
+            embedding,
+            positional,
+            layers,
+            final_norm: LayerNorm::new(config.model_dim),
+        }
     }
 
     /// The configuration this encoder was built with.
@@ -188,8 +202,12 @@ impl TransformerEncoder {
     /// Encodes a token-id sequence into per-token representations
     /// (`seq_len × model_dim`). Sequences longer than `max_len` are truncated.
     pub fn encode_sequence(&self, token_ids: &[usize]) -> Tensor {
-        let ids: Vec<usize> =
-            token_ids.iter().copied().take(self.config.max_len).map(|id| id.min(self.config.vocab_size - 1)).collect();
+        let ids: Vec<usize> = token_ids
+            .iter()
+            .copied()
+            .take(self.config.max_len)
+            .map(|id| id.min(self.config.vocab_size - 1))
+            .collect();
         let embedded = Tensor::embedding_lookup(&self.embedding, &ids);
         let mut pos = Matrix::zeros(ids.len(), self.config.model_dim);
         for r in 0..ids.len() {
@@ -288,8 +306,15 @@ mod tests {
         // plain mean of a layer-normalized row has an almost-zero gradient by
         // construction).
         pooled.mul(&pooled).mean().backward();
-        let grads_nonzero = enc.parameters().iter().filter(|p| p.grad().norm() > 0.0).count();
-        assert!(grads_nonzero > enc.parameters().len() / 2, "most parameters should receive gradient");
+        let grads_nonzero = enc
+            .parameters()
+            .iter()
+            .filter(|p| p.grad().norm() > 0.0)
+            .count();
+        assert!(
+            grads_nonzero > enc.parameters().len() / 2,
+            "most parameters should receive gradient"
+        );
     }
 
     #[test]
@@ -298,7 +323,17 @@ mod tests {
         // readout on the CLS embedding. Accuracy must exceed chance by a wide
         // margin after a few steps.
         let mut rng = ChaCha8Rng::seed_from_u64(6);
-        let enc = TransformerEncoder::new(TransformerConfig { vocab_size: 8, model_dim: 16, num_heads: 2, num_layers: 1, ffn_dim: 32, max_len: 12 }, &mut rng);
+        let enc = TransformerEncoder::new(
+            TransformerConfig {
+                vocab_size: 8,
+                model_dim: 16,
+                num_heads: 2,
+                num_layers: 1,
+                ffn_dim: 32,
+                max_len: 12,
+            },
+            &mut rng,
+        );
         let readout = Linear::new(16, 2, &mut rng);
         let mut params = enc.parameters();
         params.extend(readout.parameters());

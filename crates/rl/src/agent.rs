@@ -29,7 +29,11 @@ pub struct AgentConfig {
 
 impl Default for AgentConfig {
     fn default() -> Self {
-        AgentConfig { env: EnvConfig::default(), sampled_rollouts: 4, seed: 0 }
+        AgentConfig {
+            env: EnvConfig::default(),
+            sampled_rollouts: 4,
+            seed: 0,
+        }
     }
 }
 
@@ -76,7 +80,12 @@ impl Agent {
         tokenizer: Arc<ObservationTokenizer>,
         config: AgentConfig,
     ) -> Self {
-        Agent { policy, engine, tokenizer, config }
+        Agent {
+            policy,
+            engine,
+            tokenizer,
+            config,
+        }
     }
 
     /// The underlying policy.
@@ -100,12 +109,21 @@ impl Agent {
             let deterministic = rollout == 0;
             let (candidate, steps) = self.rollout(program, deterministic, &mut rng);
             let cost = self.config.env.cost_model.cost(&candidate);
-            if best.as_ref().is_none_or(|(_, best_cost, _)| cost < *best_cost) {
+            if best
+                .as_ref()
+                .is_none_or(|(_, best_cost, _)| cost < *best_cost)
+            {
                 best = Some((candidate, cost, steps));
             }
         }
         let (optimized, final_cost, steps) = best.expect("at least one rollout");
-        OptimizationOutcome { optimized, initial_cost, final_cost, steps, rollouts }
+        OptimizationOutcome {
+            optimized,
+            initial_cost,
+            final_cost,
+            steps,
+            rollouts,
+        }
     }
 
     fn rollout(&self, program: &Expr, deterministic: bool, rng: &mut StdRng) -> (Expr, usize) {
@@ -150,14 +168,19 @@ mod tests {
         let engine = Arc::new(RewriteEngine::new());
         let tokenizer = Arc::new(ObservationTokenizer::ici());
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let policy =
-            Policy::new(PolicyConfig::small(tokenizer.vocab_size(), engine.rule_count(), 8), &mut rng);
+        let policy = Policy::new(
+            PolicyConfig::small(tokenizer.vocab_size(), engine.rule_count(), 8),
+            &mut rng,
+        );
         Agent::new(
             policy,
             engine,
             tokenizer,
             AgentConfig {
-                env: EnvConfig { max_steps: 20, ..EnvConfig::default() },
+                env: EnvConfig {
+                    max_steps: 20,
+                    ..EnvConfig::default()
+                },
                 sampled_rollouts,
                 seed: 7,
             },
@@ -180,7 +203,9 @@ mod tests {
         let program = parse("(Vec (* a b) (* c d) (* e f))").unwrap();
         let outcome = agent.optimize(&program);
         let mut env = Env::new();
-        env.bind_all(&program, |s| s.as_str().bytes().map(i64::from).sum::<i64>() % 29);
+        env.bind_all(&program, |s| {
+            s.as_str().bytes().map(i64::from).sum::<i64>() % 29
+        });
         assert!(equivalent_on_live_slots(&program, &outcome.optimized, &env, 3).unwrap());
     }
 

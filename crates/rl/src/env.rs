@@ -36,7 +36,10 @@ impl ObservationTokenizer {
     /// A BPE tokenizer baseline.
     pub fn bpe(tokenizer: BpeTokenizer) -> Self {
         let vocabulary = tokenizer.vocabulary();
-        ObservationTokenizer::Bpe { tokenizer: Box::new(tokenizer), vocabulary }
+        ObservationTokenizer::Bpe {
+            tokenizer: Box::new(tokenizer),
+            vocabulary,
+        }
     }
 
     /// Vocabulary size (the embedding-table height the policy needs).
@@ -51,9 +54,10 @@ impl ObservationTokenizer {
     pub fn encode(&self, expr: &Expr, max_len: usize) -> Vec<usize> {
         match self {
             ObservationTokenizer::Ici(v) => v.encode_expr(expr, max_len),
-            ObservationTokenizer::Bpe { tokenizer, vocabulary } => {
-                vocabulary.encode(&tokenizer.tokenize_expr(expr), max_len)
-            }
+            ObservationTokenizer::Bpe {
+                tokenizer,
+                vocabulary,
+            } => vocabulary.encode(&tokenizer.tokenize_expr(expr), max_len),
         }
     }
 }
@@ -213,7 +217,8 @@ impl RewriteEnv {
 
     /// The current observation: the program's token-id sequence.
     pub fn observe(&self) -> Vec<usize> {
-        self.tokenizer.encode(&self.current, self.config.observation_len)
+        self.tokenizer
+            .encode(&self.current, self.config.observation_len)
     }
 
     /// Boolean mask over the rule head (length `rule_count() + 1`): `true`
@@ -231,7 +236,10 @@ impl RewriteEnv {
         if rule >= self.engine.rule_count() {
             return 0;
         }
-        self.engine.matches(&self.current, rule).len().min(self.config.max_locations)
+        self.engine
+            .matches(&self.current, rule)
+            .len()
+            .min(self.config.max_locations)
     }
 
     /// Applies an action.
@@ -244,11 +252,20 @@ impl RewriteEnv {
         match action {
             Action::Stop => {
                 self.finished = true;
-                let terminal = self.config.reward.terminal(self.initial_cost, self.current_cost);
-                StepOutcome { reward: terminal, done: true, valid: true }
+                let terminal = self
+                    .config
+                    .reward
+                    .terminal(self.initial_cost, self.current_cost);
+                StepOutcome {
+                    reward: terminal,
+                    done: true,
+                    valid: true,
+                }
             }
             Action::Apply { rule, location } => {
-                let rewritten = self.engine.apply_at_occurrence(&self.current, rule, location);
+                let rewritten = self
+                    .engine
+                    .apply_at_occurrence(&self.current, rule, location);
                 let (reward, valid) = match rewritten {
                     Some(next) => {
                         let next_cost = self.config.cost_model.cost(&next);
@@ -263,9 +280,16 @@ impl RewriteEnv {
                 let done = self.steps >= self.config.max_steps;
                 if done {
                     self.finished = true;
-                    total += self.config.reward.terminal(self.initial_cost, self.current_cost);
+                    total += self
+                        .config
+                        .reward
+                        .terminal(self.initial_cost, self.current_cost);
                 }
-                StepOutcome { reward: total, done, valid }
+                StepOutcome {
+                    reward: total,
+                    done,
+                    valid,
+                }
             }
         }
     }
@@ -331,7 +355,10 @@ mod tests {
         let outcome = env.step(Action::Stop);
         assert!(outcome.done);
         assert!(env.is_finished());
-        assert!(outcome.reward > 0.0, "terminal reward reflects the total improvement");
+        assert!(
+            outcome.reward > 0.0,
+            "terminal reward reflects the total improvement"
+        );
     }
 
     #[test]
@@ -340,12 +367,20 @@ mod tests {
             parse("(+ (+ a b) (+ c d))").unwrap(),
             Arc::new(RewriteEngine::new()),
             Arc::new(ObservationTokenizer::ici()),
-            EnvConfig { max_steps: 3, ..EnvConfig::default() },
+            EnvConfig {
+                max_steps: 3,
+                ..EnvConfig::default()
+            },
         );
         let comm = RewriteEngine::new().rule_index("add-comm").unwrap();
         let mut done = false;
         for _ in 0..3 {
-            done = env.step(Action::Apply { rule: comm, location: 0 }).done;
+            done = env
+                .step(Action::Apply {
+                    rule: comm,
+                    location: 0,
+                })
+                .done;
         }
         assert!(done);
         assert!(env.is_finished());

@@ -67,7 +67,10 @@ impl PolicyConfig {
         PolicyConfig {
             vocab_size,
             embedding_dim: 256,
-            encoder: EncoderArch::Transformer { layers: 4, heads: 8 },
+            encoder: EncoderArch::Transformer {
+                layers: 4,
+                heads: 8,
+            },
             action_space: ActionSpaceKind::Hierarchical,
             rule_count,
             max_locations,
@@ -81,7 +84,10 @@ impl PolicyConfig {
         PolicyConfig {
             vocab_size,
             embedding_dim: 32,
-            encoder: EncoderArch::Transformer { layers: 1, heads: 2 },
+            encoder: EncoderArch::Transformer {
+                layers: 1,
+                heads: 2,
+            },
             action_space: ActionSpaceKind::Hierarchical,
             rule_count,
             max_locations,
@@ -184,8 +190,11 @@ impl Policy {
         let emb = config.embedding_dim;
         let rule_out = config.rule_count + 1;
         let rule_head = Mlp::new(&[emb, 128, 64, rule_out], Activation::Relu, rng);
-        let location_head =
-            Mlp::new(&[emb + rule_out, 64, 64, config.max_locations], Activation::Relu, rng);
+        let location_head = Mlp::new(
+            &[emb + rule_out, 64, 64, config.max_locations],
+            Activation::Relu,
+            rng,
+        );
         let flat_head = matches!(config.action_space, ActionSpaceKind::Flat).then(|| {
             Mlp::new(
                 &[emb, 128, 64, config.rule_count * config.max_locations + 1],
@@ -194,7 +203,14 @@ impl Policy {
             )
         });
         let critic = Mlp::new(&[emb, 256, 128, 64, 1], Activation::Relu, rng);
-        Policy { config, encoder, rule_head, location_head, flat_head, critic }
+        Policy {
+            config,
+            encoder,
+            rule_head,
+            location_head,
+            flat_head,
+            critic,
+        }
     }
 
     /// The policy's architecture configuration.
@@ -282,8 +298,7 @@ impl Policy {
                 }
                 let locations = location_count(rule).max(1).min(self.config.max_locations);
                 let loc_logits = self.location_logits(&embedding, rule).value();
-                let loc_probs =
-                    Self::masked_distribution(loc_logits.data(), |i| i < locations);
+                let loc_probs = Self::masked_distribution(loc_logits.data(), |i| i < locations);
                 let location = Self::sample_index(&loc_probs, rng, deterministic);
                 ActionSample {
                     action: Action::Apply { rule, location },
@@ -292,7 +307,10 @@ impl Policy {
                 }
             }
             ActionSpaceKind::Flat => {
-                let head = self.flat_head.as_ref().expect("flat head exists for flat policies");
+                let head = self
+                    .flat_head
+                    .as_ref()
+                    .expect("flat head exists for flat policies");
                 let logits = head.forward(&embedding).value();
                 let stop_index = self.config.rule_count * self.config.max_locations;
                 let probs = Self::masked_distribution(logits.data(), |i| {
@@ -313,7 +331,11 @@ impl Policy {
                         location: index % self.config.max_locations,
                     }
                 };
-                ActionSample { action, log_prob: probs[index].max(1e-12).ln(), value }
+                ActionSample {
+                    action,
+                    log_prob: probs[index].max(1e-12).ln(),
+                    value,
+                }
             }
         }
     }
@@ -349,10 +371,16 @@ impl Policy {
                     Action::Stop => {
                         let idx = self.config.rule_count;
                         let log_prob = log_rule_probs.slice_cols(idx, idx + 1).sum();
-                        ActionEvaluation { log_prob, entropy: rule_entropy, value }
+                        ActionEvaluation {
+                            log_prob,
+                            entropy: rule_entropy,
+                            value,
+                        }
                     }
                     Action::Apply { rule, location } => {
-                        let locations = location_count_for_rule.max(1).min(self.config.max_locations);
+                        let locations = location_count_for_rule
+                            .max(1)
+                            .min(self.config.max_locations);
                         let loc_logits = self.location_logits(&embedding, rule);
                         let loc_probs = Self::masked_softmax(&loc_logits, |i| i < locations);
                         let log_loc_probs = loc_probs.ln();
@@ -370,7 +398,10 @@ impl Policy {
                 }
             }
             ActionSpaceKind::Flat => {
-                let head = self.flat_head.as_ref().expect("flat head exists for flat policies");
+                let head = self
+                    .flat_head
+                    .as_ref()
+                    .expect("flat head exists for flat policies");
                 let logits = head.forward(&embedding);
                 let stop_index = self.config.rule_count * self.config.max_locations;
                 let max_locations = self.config.max_locations;
@@ -389,7 +420,11 @@ impl Policy {
                     Action::Apply { rule, location } => rule * max_locations + location,
                 };
                 let log_prob = log_probs.slice_cols(index, index + 1).sum();
-                ActionEvaluation { log_prob, entropy, value }
+                ActionEvaluation {
+                    log_prob,
+                    entropy,
+                    value,
+                }
             }
         }
     }
@@ -432,7 +467,10 @@ pub struct PolicySnapshot {
 impl Policy {
     /// Captures a snapshot of the policy.
     pub fn snapshot(&self) -> PolicySnapshot {
-        PolicySnapshot { config: self.config, weights: self.state() }
+        PolicySnapshot {
+            config: self.config,
+            weights: self.state(),
+        }
     }
 
     /// Restores a policy from a snapshot.
@@ -547,9 +585,21 @@ mod tests {
         let policy = small_policy(ActionSpaceKind::Hierarchical);
         policy.zero_grad();
         let mask = vec![true; 11];
-        let eval = policy.evaluate(&[1, 2], Action::Apply { rule: 2, location: 1 }, &mask, 3);
+        let eval = policy.evaluate(
+            &[1, 2],
+            Action::Apply {
+                rule: 2,
+                location: 1,
+            },
+            &mask,
+            3,
+        );
         eval.log_prob.scale(-1.0).backward();
-        let nonzero = policy.parameters().iter().filter(|p| p.grad().norm() > 0.0).count();
+        let nonzero = policy
+            .parameters()
+            .iter()
+            .filter(|p| p.grad().norm() > 0.0)
+            .count();
         assert!(nonzero > 0, "policy gradient must reach the parameters");
     }
 
@@ -574,7 +624,13 @@ mod tests {
     fn paper_config_matches_section_5() {
         let c = PolicyConfig::paper(160, 89, 16);
         assert_eq!(c.embedding_dim, 256);
-        assert!(matches!(c.encoder, EncoderArch::Transformer { layers: 4, heads: 8 }));
+        assert!(matches!(
+            c.encoder,
+            EncoderArch::Transformer {
+                layers: 4,
+                heads: 8
+            }
+        ));
         assert_eq!(c.action_space, ActionSpaceKind::Hierarchical);
     }
 }

@@ -142,7 +142,12 @@ impl RolloutBuffer {
         }
         // Normalize advantages for stable updates.
         let mean = self.advantages.iter().sum::<f64>() / n.max(1) as f64;
-        let var = self.advantages.iter().map(|a| (a - mean).powi(2)).sum::<f64>() / n.max(1) as f64;
+        let var = self
+            .advantages
+            .iter()
+            .map(|a| (a - mean).powi(2))
+            .sum::<f64>()
+            / n.max(1) as f64;
         let std = var.sqrt().max(1e-8);
         for a in &mut self.advantages {
             *a = (*a - mean) / std;
@@ -181,8 +186,8 @@ pub struct PpoLearner {
 impl PpoLearner {
     /// Creates a learner for `policy`.
     pub fn new(policy: &Policy, config: PpoConfig) -> Self {
-        let optimizer =
-            Adam::new(policy.parameters(), config.learning_rate).with_grad_clip(config.max_grad_norm);
+        let optimizer = Adam::new(policy.parameters(), config.learning_rate)
+            .with_grad_clip(config.max_grad_norm);
         PpoLearner { config, optimizer }
     }
 
@@ -239,7 +244,11 @@ impl PpoLearner {
             // ratio = exp(log_prob_new - log_prob_old)
             let old_log_prob = Tensor::constant(chehab_nn::Matrix::full(1, 1, t.log_prob));
             let ratio = eval.log_prob.sub(&old_log_prob).exp();
-            let clipped = clamp_tensor(&ratio, 1.0 - self.config.clip_range as f32, 1.0 + self.config.clip_range as f32);
+            let clipped = clamp_tensor(
+                &ratio,
+                1.0 - self.config.clip_range as f32,
+                1.0 + self.config.clip_range as f32,
+            );
             let advantage_t = Tensor::constant(chehab_nn::Matrix::full(1, 1, advantage));
             let unclipped_obj = ratio.mul(&advantage_t);
             let clipped_obj = clipped.mul(&advantage_t);

@@ -32,7 +32,10 @@ impl Default for RewardConfig {
 impl RewardConfig {
     /// The step-only ablation configuration (Figure 9).
     pub fn step_only() -> Self {
-        RewardConfig { use_terminal_reward: false, ..RewardConfig::default() }
+        RewardConfig {
+            use_terminal_reward: false,
+            ..RewardConfig::default()
+        }
     }
 
     /// `R_step = (C_t - C_{t+1}) / C_t`.
@@ -60,8 +63,15 @@ mod tests {
     fn step_reward_is_the_relative_improvement() {
         let r = RewardConfig::default();
         assert!((r.step(200.0, 150.0) - 0.25).abs() < 1e-12);
-        assert!(r.step(100.0, 120.0) < 0.0, "cost increases give negative reward");
-        assert_eq!(r.step(0.0, 10.0), 0.0, "degenerate zero-cost programs give no signal");
+        assert!(
+            r.step(100.0, 120.0) < 0.0,
+            "cost increases give negative reward"
+        );
+        assert_eq!(
+            r.step(0.0, 10.0),
+            0.0,
+            "degenerate zero-cost programs give no signal"
+        );
     }
 
     #[test]

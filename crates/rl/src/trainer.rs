@@ -47,7 +47,11 @@ impl TrainerConfig {
         TrainerConfig {
             total_timesteps,
             ppo: PpoConfig::small(),
-            env: EnvConfig { max_steps: 12, observation_len: 96, ..EnvConfig::default() },
+            env: EnvConfig {
+                max_steps: 12,
+                observation_len: 96,
+                ..EnvConfig::default()
+            },
             num_envs: 2,
             seed,
         }
@@ -284,7 +288,11 @@ mod tests {
         let trainer = Trainer::new(TrainerConfig::small(10, 1));
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let policy = Policy::new(
-            PolicyConfig::small(trainer.tokenizer().vocab_size(), trainer.engine().rule_count(), 8),
+            PolicyConfig::small(
+                trainer.tokenizer().vocab_size(),
+                trainer.engine().rule_count(),
+                8,
+            ),
             &mut rng,
         );
         let _ = trainer.train(&policy, &[]);

@@ -1,0 +1,128 @@
+//! The outer parallelism level: executing many independent requests against
+//! one compiled program.
+//!
+//! This is the serving scenario the ROADMAP targets — one circuit compiled
+//! once, then evaluated for a stream of independently encrypted input sets.
+//! Requests are embarrassingly parallel (they share nothing mutable), so a
+//! [`BatchExecutor`] simply drains them from an atomic queue with a pool of
+//! request workers, preserving input order in the results. Combined with the
+//! per-request [`WavefrontExecutor`](crate::WavefrontExecutor) this gives the
+//! two-level scheme of Bogdanov et al.'s two-level DSMC parallelization:
+//! coarse-grained across requests, fine-grained across the independent ops
+//! inside one request.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A fixed-size pool of request workers for batch execution.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchExecutor {
+    threads: usize,
+}
+
+impl BatchExecutor {
+    /// Creates a batch executor with the given request-level worker count
+    /// (clamped to at least one).
+    pub fn new(threads: usize) -> Self {
+        BatchExecutor {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The configured request-level worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `handler` over every request, in parallel across the pool, and
+    /// returns the results in request order.
+    ///
+    /// The handler receives the request index and the request itself; use a
+    /// `Result` result type to make per-request failures inspectable.
+    pub fn run<T, R, F>(&self, requests: Vec<T>, handler: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let workers = self.threads.min(requests.len());
+        if workers <= 1 {
+            return requests
+                .into_iter()
+                .enumerate()
+                .map(|(i, r)| handler(i, r))
+                .collect();
+        }
+
+        let slots: Vec<Mutex<Option<T>>> =
+            requests.into_iter().map(|r| Mutex::new(Some(r))).collect();
+        let results: Vec<Mutex<Option<R>>> = slots.iter().map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= slots.len() {
+                        break;
+                    }
+                    let request = slots[index]
+                        .lock()
+                        .unwrap()
+                        .take()
+                        .expect("each request taken once");
+                    let result = handler(index, request);
+                    *results[index].lock().unwrap() = Some(result);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|cell| {
+                cell.into_inner()
+                    .unwrap()
+                    .expect("every request produced a result")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_preserve_request_order() {
+        let pool = BatchExecutor::new(4);
+        let inputs: Vec<usize> = (0..64).collect();
+        let outputs = pool.run(inputs, |index, value| {
+            assert_eq!(index, value);
+            value * 10
+        });
+        assert_eq!(outputs, (0..64).map(|v| v * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_request_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let pool = BatchExecutor::new(8);
+        let outputs = pool.run(vec![(); 100], |_, ()| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(outputs.len(), 100);
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn single_threaded_pool_runs_inline() {
+        let pool = BatchExecutor::new(1);
+        assert_eq!(pool.run(vec![1, 2, 3], |_, v| v + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_batches_are_fine() {
+        let pool = BatchExecutor::new(4);
+        let outputs: Vec<i32> = pool.run(Vec::<i32>::new(), |_, v| v);
+        assert!(outputs.is_empty());
+    }
+}

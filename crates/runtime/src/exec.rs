@@ -1,0 +1,469 @@
+//! The wavefront executor: a `std::thread` worker pool that runs every
+//! instruction of a schedule level concurrently.
+//!
+//! Execution proceeds level by level. Within a level all instructions are
+//! independent, so workers drain a shared atomic work queue; instructions are
+//! pre-sorted by descending estimated cost (longest-processing-time-first),
+//! which keeps the queue balanced even though a ct-ct multiplication costs
+//! two orders of magnitude more than an addition. A barrier separates
+//! levels: operands of the next level are guaranteed written before any
+//! worker proceeds.
+//!
+//! Every worker owns a private [`Evaluator`] (the shared [`FheContext`] is
+//! immutable) and a private [`CalibratedCostModel`]; both are merged when the
+//! wavefront completes, so the report carries exact operation counts and
+//! measured per-op-kind latencies with no synchronization on the hot path.
+
+use crate::calibrate::{CalibratedCostModel, OpKind};
+use crate::schedule::{Instr, Schedule, ScheduledInstr, Slot};
+use chehab_fhe::{
+    Ciphertext, Evaluator, EvaluatorStats, FheContext, FheError, GaloisKeys, RelinKeys,
+};
+use chehab_ir::BinOp;
+
+/// Timing category of a binary op on two ciphertext operands.
+fn ct_ct_kind(op: BinOp) -> OpKind {
+    match op {
+        BinOp::Add | BinOp::Sub => OpKind::Addition,
+        BinOp::Mul => OpKind::MulCtCt,
+    }
+}
+
+/// Timing category of a binary op with one plaintext operand.
+fn ct_pt_kind(op: BinOp) -> OpKind {
+    match op {
+        BinOp::Add | BinOp::Sub => OpKind::Addition,
+        BinOp::Mul => OpKind::MulCtPt,
+    }
+}
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// A register of the flat execution machine: either a ciphertext computed on
+/// the server or a clear value the client evaluated (plaintext subcircuits
+/// never touch ciphertexts).
+#[derive(Debug, Clone)]
+pub enum Register {
+    /// An encrypted value.
+    Cipher(Ciphertext),
+    /// A clear (client-side) value, one entry per vector slot.
+    Plain(Vec<i64>),
+}
+
+/// Shared immutable resources a wavefront execution borrows.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecResources<'a> {
+    /// The FHE context (parameters, NTT tables, encoding).
+    pub ctx: &'a FheContext,
+    /// Relinearization keys for ct-ct multiplications.
+    pub relin_keys: &'a RelinKeys,
+    /// Galois keys covering every realized rotation step.
+    pub galois_keys: &'a GaloisKeys,
+    /// A fresh encryption of zero, the packing fallback for degenerate
+    /// vector nodes with no ciphertext element. Only needed — and only
+    /// worth paying an encryption for — when the schedule contains
+    /// [`Instr::Pack`] instructions.
+    pub zero: Option<&'a Ciphertext>,
+}
+
+/// Wall-clock of one wavefront level.
+#[derive(Debug, Clone)]
+pub struct LevelTiming {
+    /// Level index.
+    pub level: usize,
+    /// Instructions executed in the level.
+    pub instructions: usize,
+    /// Wall-clock time of the level (including the closing barrier).
+    pub wall: Duration,
+}
+
+/// Per-level and per-operation-kind breakdown of one execution.
+#[derive(Debug, Clone)]
+pub struct TimingBreakdown {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock per wavefront level, in level order.
+    pub levels: Vec<LevelTiming>,
+    /// Measured per-operation-kind latencies.
+    pub per_op: CalibratedCostModel,
+    /// Measured duration of every instruction, indexed like
+    /// [`Schedule::instrs`] — the input of
+    /// [`Schedule::makespan`](crate::Schedule::makespan) projections.
+    pub instr_times: Vec<Duration>,
+}
+
+impl TimingBreakdown {
+    /// A breakdown with no levels (plaintext-only programs).
+    pub fn empty(threads: usize) -> Self {
+        TimingBreakdown {
+            threads,
+            levels: Vec::new(),
+            per_op: CalibratedCostModel::new(),
+            instr_times: Vec::new(),
+        }
+    }
+
+    /// Total wall-clock across levels.
+    pub fn total_wall(&self) -> Duration {
+        self.levels.iter().map(|l| l.wall).sum()
+    }
+}
+
+/// The result of one wavefront execution.
+#[derive(Debug, Clone)]
+pub struct WavefrontOutcome {
+    /// The output register of the circuit.
+    pub output: Register,
+    /// Merged homomorphic-operation counters of all workers.
+    pub stats: EvaluatorStats,
+    /// Per-level / per-op timing breakdown.
+    pub timing: TimingBreakdown,
+}
+
+/// Executes instruction schedules on a pool of worker threads.
+#[derive(Debug, Clone, Copy)]
+pub struct WavefrontExecutor {
+    threads: usize,
+}
+
+impl WavefrontExecutor {
+    /// Creates an executor with the given worker-thread count (clamped to at
+    /// least one).
+    pub fn new(threads: usize) -> Self {
+        WavefrontExecutor {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs a schedule against a register file whose pre-bound slots are
+    /// filled (`initial[slot] = Some(..)` for every client-side value).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`FheError`] any worker hit (typically a missing
+    /// Galois key); remaining work is abandoned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule references a slot that is neither pre-bound nor
+    /// produced by an earlier level — [`Schedule::lower`] guarantees this
+    /// never holds for well-formed inputs. The check runs up front on the
+    /// calling thread: a panic inside a scoped worker would strand the other
+    /// workers at the level barrier, so misuse must never reach the pool.
+    pub fn execute(
+        &self,
+        schedule: &Schedule,
+        initial: Vec<Option<Register>>,
+        res: &ExecResources<'_>,
+    ) -> Result<WavefrontOutcome, FheError> {
+        assert_eq!(
+            initial.len(),
+            schedule.slot_count(),
+            "register file size mismatch"
+        );
+        let mut regs: Vec<OnceLock<Register>> = Vec::with_capacity(initial.len());
+        for value in initial {
+            let cell = OnceLock::new();
+            if let Some(register) = value {
+                let _ = cell.set(register);
+            }
+            regs.push(cell);
+        }
+        validate_operands(schedule, &regs);
+
+        // More workers than the widest level can never help.
+        let workers = self.threads.min(schedule.max_width()).max(1);
+        let (stats, timing) = if workers == 1 {
+            self.execute_single(schedule, &regs, res)?
+        } else {
+            self.execute_parallel(schedule, &regs, res, workers)?
+        };
+
+        let output = regs
+            .swap_remove(schedule.output())
+            .into_inner()
+            .expect("output register is pre-bound or produced by the schedule");
+        Ok(WavefrontOutcome {
+            output,
+            stats,
+            timing,
+        })
+    }
+
+    fn execute_single(
+        &self,
+        schedule: &Schedule,
+        regs: &[OnceLock<Register>],
+        res: &ExecResources<'_>,
+    ) -> Result<(EvaluatorStats, TimingBreakdown), FheError> {
+        let mut evaluator = Evaluator::new(res.ctx);
+        let mut calibration = CalibratedCostModel::new();
+        let mut instr_times = vec![Duration::ZERO; schedule.instrs().len()];
+        let mut levels = Vec::with_capacity(schedule.level_count());
+        for (level, range) in schedule.levels().iter().enumerate() {
+            let started = Instant::now();
+            for (offset, si) in schedule.instrs()[range.clone()].iter().enumerate() {
+                let instr_started = Instant::now();
+                let register = run_instr(si, regs, &mut evaluator, res, &mut calibration)?;
+                instr_times[range.start + offset] = instr_started.elapsed();
+                let _ = regs[si.dst].set(register);
+            }
+            levels.push(LevelTiming {
+                level,
+                instructions: range.end - range.start,
+                wall: started.elapsed(),
+            });
+        }
+        let timing = TimingBreakdown {
+            threads: 1,
+            levels,
+            per_op: calibration,
+            instr_times,
+        };
+        Ok((evaluator.stats(), timing))
+    }
+
+    fn execute_parallel(
+        &self,
+        schedule: &Schedule,
+        regs: &[OnceLock<Register>],
+        res: &ExecResources<'_>,
+        workers: usize,
+    ) -> Result<(EvaluatorStats, TimingBreakdown), FheError> {
+        let cursors: Vec<AtomicUsize> = schedule
+            .levels()
+            .iter()
+            .map(|_| AtomicUsize::new(0))
+            .collect();
+        let abort = AtomicBool::new(false);
+        let failure: Mutex<Option<FheError>> = Mutex::new(None);
+        // Workers plus the coordinating thread, which only timestamps levels.
+        let barrier = Barrier::new(workers + 1);
+        let merged: Mutex<(EvaluatorStats, CalibratedCostModel, Vec<Duration>)> = Mutex::new((
+            EvaluatorStats::default(),
+            CalibratedCostModel::new(),
+            vec![Duration::ZERO; schedule.instrs().len()],
+        ));
+
+        let mut levels = Vec::with_capacity(schedule.level_count());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut evaluator = Evaluator::new(res.ctx);
+                    let mut calibration = CalibratedCostModel::new();
+                    let mut timed: Vec<(usize, Duration)> = Vec::new();
+                    for (level, range) in schedule.levels().iter().enumerate() {
+                        let len = range.end - range.start;
+                        while !abort.load(Ordering::Relaxed) {
+                            let index = cursors[level].fetch_add(1, Ordering::Relaxed);
+                            if index >= len {
+                                break;
+                            }
+                            let si = &schedule.instrs()[range.start + index];
+                            let instr_started = Instant::now();
+                            match run_instr(si, regs, &mut evaluator, res, &mut calibration) {
+                                Ok(register) => {
+                                    timed.push((range.start + index, instr_started.elapsed()));
+                                    let _ = regs[si.dst].set(register);
+                                }
+                                Err(e) => {
+                                    let mut slot = failure.lock().unwrap();
+                                    slot.get_or_insert(e);
+                                    abort.store(true, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        barrier.wait();
+                    }
+                    let mut m = merged.lock().unwrap();
+                    m.0.merge(&evaluator.stats());
+                    m.1.merge(&calibration);
+                    for (index, duration) in timed {
+                        m.2[index] = duration;
+                    }
+                });
+            }
+
+            let mut previous = Instant::now();
+            for (level, range) in schedule.levels().iter().enumerate() {
+                barrier.wait();
+                let now = Instant::now();
+                levels.push(LevelTiming {
+                    level,
+                    instructions: range.end - range.start,
+                    wall: now - previous,
+                });
+                previous = now;
+            }
+        });
+
+        if let Some(error) = failure.into_inner().unwrap() {
+            return Err(error);
+        }
+        let (stats, calibration, instr_times) = merged.into_inner().unwrap();
+        Ok((
+            stats,
+            TimingBreakdown {
+                threads: workers,
+                levels,
+                per_op: calibration,
+                instr_times,
+            },
+        ))
+    }
+}
+
+/// Panics (on the calling thread, before any worker spawns) if an
+/// instruction's operand is neither pre-bound nor the destination of an
+/// earlier-level instruction.
+fn validate_operands(schedule: &Schedule, regs: &[OnceLock<Register>]) {
+    let mut produced_level = vec![None; schedule.slot_count()];
+    for si in schedule.instrs() {
+        produced_level[si.dst] = Some(si.level);
+    }
+    for si in schedule.instrs() {
+        let operands: Vec<Slot> = match &si.instr {
+            Instr::Bin { a, b, .. } => vec![*a, *b],
+            Instr::Neg { a } | Instr::Rot { a, .. } => vec![*a],
+            Instr::Pack { elems } => elems.clone(),
+        };
+        for operand in operands {
+            let available = match produced_level[operand] {
+                Some(level) => level < si.level,
+                None => regs[operand].get().is_some(),
+            };
+            assert!(
+                available,
+                "slot {operand} (operand of the level-{} instruction writing slot {}) is \
+                 neither pre-bound nor produced at an earlier level",
+                si.level, si.dst
+            );
+        }
+    }
+}
+
+/// Executes one instruction against the register file.
+fn run_instr(
+    si: &ScheduledInstr,
+    regs: &[OnceLock<Register>],
+    evaluator: &mut Evaluator,
+    res: &ExecResources<'_>,
+    calibration: &mut CalibratedCostModel,
+) -> Result<Register, FheError> {
+    let reg = |slot: Slot| -> &Register {
+        regs[slot]
+            .get()
+            .expect("operands are produced in strictly earlier levels")
+    };
+    let result = match &si.instr {
+        Instr::Bin { op, a, b } => match (reg(*a), reg(*b)) {
+            (Register::Cipher(x), Register::Cipher(y)) => {
+                let started = Instant::now();
+                let out = match op {
+                    BinOp::Add => evaluator.add(x, y),
+                    BinOp::Sub => evaluator.sub(x, y),
+                    BinOp::Mul => evaluator.multiply(x, y, res.relin_keys),
+                };
+                calibration.record(ct_ct_kind(*op), started.elapsed());
+                Register::Cipher(out)
+            }
+            (Register::Cipher(x), Register::Plain(p)) => {
+                let plain = res.ctx.encode(p)?;
+                let started = Instant::now();
+                let out = match op {
+                    BinOp::Add => evaluator.add_plain(x, &plain),
+                    BinOp::Sub => evaluator.sub_plain(x, &plain),
+                    BinOp::Mul => evaluator.multiply_plain(x, &plain),
+                };
+                calibration.record(ct_pt_kind(*op), started.elapsed());
+                Register::Cipher(out)
+            }
+            (Register::Plain(p), Register::Cipher(y)) => {
+                let plain = res.ctx.encode(p)?;
+                let started = Instant::now();
+                let out = match op {
+                    BinOp::Add => evaluator.add_plain(y, &plain),
+                    BinOp::Sub => {
+                        // p - y = -(y - p)
+                        let diff = evaluator.sub_plain(y, &plain);
+                        evaluator.negate(&diff)
+                    }
+                    BinOp::Mul => evaluator.multiply_plain(y, &plain),
+                };
+                calibration.record(ct_pt_kind(*op), started.elapsed());
+                Register::Cipher(out)
+            }
+            (Register::Plain(_), Register::Plain(_)) => {
+                unreachable!("plaintext-only nodes are evaluated on the client")
+            }
+        },
+        Instr::Neg { a } => match reg(*a) {
+            Register::Cipher(x) => {
+                let started = Instant::now();
+                let out = evaluator.negate(x);
+                calibration.record(OpKind::Negation, started.elapsed());
+                Register::Cipher(out)
+            }
+            Register::Plain(_) => unreachable!("plaintext-only nodes are evaluated on the client"),
+        },
+        Instr::Rot { a, parts } => match reg(*a) {
+            Register::Cipher(x) => {
+                let mut current = x.clone();
+                for &part in parts {
+                    let started = Instant::now();
+                    current = evaluator.rotate(&current, part, res.galois_keys)?;
+                    calibration.record(OpKind::Rotation, started.elapsed());
+                }
+                Register::Cipher(current)
+            }
+            Register::Plain(_) => unreachable!("plaintext-only nodes are evaluated on the client"),
+        },
+        Instr::Pack { elems } => {
+            let started = Instant::now();
+            // Run-time packing: element i is moved to slot i with a
+            // right-rotation and accumulated with additions.
+            let mut acc: Option<Ciphertext> = None;
+            let mut plain_slots = vec![0i64; elems.len()];
+            for (slot, &elem) in elems.iter().enumerate() {
+                match reg(elem) {
+                    Register::Plain(values) => {
+                        plain_slots[slot] = values.first().copied().unwrap_or(0);
+                    }
+                    Register::Cipher(ct) => {
+                        let placed = if slot == 0 {
+                            ct.clone()
+                        } else {
+                            evaluator.rotate(ct, -(slot as i64), res.galois_keys)?
+                        };
+                        acc = Some(match acc {
+                            None => placed,
+                            Some(prev) => evaluator.add(&prev, &placed),
+                        });
+                    }
+                }
+            }
+            // A ciphertext-kind vector always has at least one ciphertext
+            // element, but keep a safe fallback.
+            let mut packed = match acc {
+                Some(ct) => ct,
+                None => res
+                    .zero
+                    .expect("schedules with Pack instructions provide a zero ciphertext")
+                    .clone(),
+            };
+            if plain_slots.iter().any(|&v| v != 0) {
+                let plain = res.ctx.encode(&plain_slots)?;
+                packed = evaluator.add_plain(&packed, &plain);
+            }
+            calibration.record(OpKind::Pack, started.elapsed());
+            Register::Cipher(packed)
+        }
+    };
+    Ok(result)
+}

@@ -1,0 +1,103 @@
+//! # chehab-runtime
+//!
+//! A two-level parallel execution runtime for compiled CHEHAB FHE circuits.
+//!
+//! The compile pipeline of the reproduction (DSL → IR → TRS/RL rewriting →
+//! BFV codegen) produces a hash-consed circuit DAG that the seed executor
+//! walked one operation at a time. This crate replaces that walk with a
+//! runtime organized around two observations from the DSMC parallelization
+//! literature that transfer directly to FHE serving:
+//!
+//! 1. **Two-level parallelism** (after Bogdanov et al., *Algorithms of
+//!    Two-Level Parallelization for DSMC*): the coarse level runs many
+//!    independent encrypted requests against one compiled program
+//!    ([`BatchExecutor`]); the fine level runs the independent homomorphic
+//!    operations inside one request concurrently ([`WavefrontExecutor`] over
+//!    a leveled [`Schedule`]).
+//! 2. **Timer-augmented costs** (after McDoniel & Bientinesi, *A
+//!    Timer-Augmented Cost Function for Load Balanced DSMC*): the static
+//!    per-operator cost table the optimizer ranks rewrites with is replaced
+//!    by measured per-operation latencies ([`CalibratedCostModel`]), recorded
+//!    for free while executing.
+//!
+//! The crate deliberately depends only on `chehab-ir` (for the circuit DAG
+//! and cost tables) and `chehab-fhe` (for the evaluator): `chehab-core`
+//! integrates it behind `CompiledProgram::execute_parallel` /
+//! `CompiledProgram::execute_batch`, and re-exports it through the `chehab`
+//! facade as `chehab::runtime`.
+//!
+//! ## Example
+//!
+//! Lowering and executing a circuit by hand (the compiler normally does
+//! this):
+//!
+//! ```
+//! use chehab_fhe::{BfvParameters, Decryptor, Encryptor, FheContext, KeyGenerator};
+//! use chehab_ir::{parse, CircuitDag};
+//! use chehab_runtime::{
+//!     lower_with_default_costs, ExecResources, Register, WavefrontExecutor,
+//! };
+//!
+//! // (a*b) + (c*d): the two multiplications share a wavefront level.
+//! let expr = parse("(VecAdd (VecMul (Vec a b) (Vec c d)) (VecMul (Vec e f) (Vec g h)))").unwrap();
+//! let dag = CircuitDag::from_expr(&expr).eliminate_dead_code();
+//!
+//! let ctx = FheContext::new(BfvParameters::insecure_test())?;
+//! let mut keygen = KeyGenerator::new(ctx.params(), 1);
+//! let mut encryptor = Encryptor::new(&ctx, &keygen.public_key());
+//! let decryptor = Decryptor::new(&ctx, &keygen.secret_key());
+//! let relin_keys = keygen.relin_keys();
+//! let galois_keys = keygen.default_galois_keys();
+//!
+//! // Pre-bind the leaf vectors (client-side packing), lower the rest.
+//! let mut registers: Vec<Option<Register>> = vec![None; dag.len()];
+//! let values = [("a", 1), ("b", 2), ("c", 3), ("d", 4), ("e", 5), ("f", 6), ("g", 7), ("h", 8)];
+//! let lookup = |name: &str| values.iter().find(|(n, _)| *n == name).unwrap().1;
+//! let mut prebound = vec![false; dag.len()];
+//! for (id, node) in dag.nodes().iter().enumerate() {
+//!     if let chehab_ir::DagNode::Vec(elems) = node {
+//!         let packed: Vec<i64> = elems
+//!             .iter()
+//!             .map(|&e| match &dag.nodes()[e] {
+//!                 chehab_ir::DagNode::CtVar(s) => lookup(s.as_str()),
+//!                 _ => unreachable!(),
+//!             })
+//!             .collect();
+//!         registers[id] = Some(Register::Cipher(encryptor.encrypt_values(&packed)?));
+//!         prebound[id] = true;
+//!     } else if node.is_leaf() {
+//!         prebound[id] = true; // packed into the vectors above
+//!     }
+//! }
+//!
+//! let schedule = lower_with_default_costs(&dag, &prebound, |step| vec![step]);
+//! assert_eq!(schedule.level_count(), 2);
+//!
+//! let resources = ExecResources {
+//!     ctx: &ctx,
+//!     relin_keys: &relin_keys,
+//!     galois_keys: &galois_keys,
+//!     // No runtime `Pack` instructions in this schedule, so no zero
+//!     // ciphertext fallback is needed.
+//!     zero: None,
+//! };
+//! let outcome = WavefrontExecutor::new(2).execute(&schedule, registers, &resources)?;
+//! let Register::Cipher(output) = outcome.output else { panic!("ciphertext output") };
+//! assert_eq!(ctx.decode(&decryptor.decrypt(&output)?, 2), vec![1 * 3 + 5 * 7, 2 * 4 + 6 * 8]);
+//! # Ok::<(), chehab_fhe::FheError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batch;
+mod calibrate;
+mod exec;
+mod schedule;
+
+pub use batch::BatchExecutor;
+pub use calibrate::{CalibratedCostModel, OpKind, OP_KINDS};
+pub use exec::{
+    ExecResources, LevelTiming, Register, TimingBreakdown, WavefrontExecutor, WavefrontOutcome,
+};
+pub use schedule::{data_kinds, lower_with_default_costs, Instr, Schedule, ScheduledInstr, Slot};

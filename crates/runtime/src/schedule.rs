@@ -1,0 +1,482 @@
+//! Lowering a circuit DAG into a flat, topologically-leveled instruction
+//! schedule.
+//!
+//! The hash-consed [`CircuitDag`] orders nodes so operands precede uses,
+//! which suffices for sequential execution. The runtime instead wants the
+//! *wavefront* view: instructions grouped into levels such that every operand
+//! of a level-`L` instruction is produced at a level strictly below `L` (or
+//! arrives pre-bound from the client). All instructions inside one level are
+//! mutually independent and can execute concurrently.
+//!
+//! Within a level, instructions are ordered by descending estimated cost
+//! (longest-processing-time-first): combined with the runtime's shared work
+//! queue this is the classic greedy bound for balancing heterogeneous ops
+//! (a ct-ct multiplication costs ~100x an addition) across workers.
+
+use chehab_ir::{BinOp, CircuitDag, CostModel, DagNode, DataKind, NodeId, OpCosts};
+use std::ops::Range;
+
+/// A register slot: instruction destinations and operands use the circuit
+/// DAG's node ids directly, so the register file is indexed by [`NodeId`].
+pub type Slot = NodeId;
+
+/// One flat server-side instruction of a compiled circuit.
+///
+/// Leaves, plaintext-only subcircuits and client-packed vectors never become
+/// instructions: they are bound into the register file before execution
+/// starts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// Element-wise binary operation; whether the ct-ct or ct-pt backend call
+    /// is issued depends on the operand registers at run time.
+    Bin {
+        /// The operator.
+        op: BinOp,
+        /// Left operand slot.
+        a: Slot,
+        /// Right operand slot.
+        b: Slot,
+    },
+    /// Element-wise negation.
+    Neg {
+        /// Operand slot.
+        a: Slot,
+    },
+    /// Slot rotation, already realized into the per-step key sequence of the
+    /// rotation-key plan (NAF decomposition, Appendix B).
+    Rot {
+        /// Operand slot.
+        a: Slot,
+        /// The realized rotation steps, applied left to right.
+        parts: Vec<i64>,
+    },
+    /// Run-time packing: element `i` is placed into vector slot `i` with a
+    /// right rotation and accumulated with additions; plaintext elements are
+    /// folded in with a single plaintext addition.
+    Pack {
+        /// Source slot of each vector element, in slot order.
+        elems: Vec<Slot>,
+    },
+}
+
+/// An instruction bound to its destination register and wavefront level.
+#[derive(Debug, Clone)]
+pub struct ScheduledInstr {
+    /// Destination register (the circuit DAG node this computes).
+    pub dst: Slot,
+    /// The operation.
+    pub instr: Instr,
+    /// Wavefront level; every operand is produced strictly below it.
+    pub level: usize,
+    /// Estimated cost under the static cost model, used for load balancing.
+    pub est_cost: f64,
+}
+
+/// A leveled instruction schedule for one compiled circuit.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    instrs: Vec<ScheduledInstr>,
+    levels: Vec<Range<usize>>,
+    slot_count: usize,
+    output: Slot,
+}
+
+impl Schedule {
+    /// Lowers the server-side portion of a circuit DAG into a leveled
+    /// schedule.
+    ///
+    /// `prebound` marks the register slots the client binds before execution
+    /// (leaves, plaintext subcircuits, client-packed vectors); every other
+    /// node becomes an instruction. `realize` maps a rotation step to the key
+    /// sequence that implements it. `costs` supplies the per-operator
+    /// estimates used to order instructions within a level.
+    pub fn lower(
+        dag: &CircuitDag,
+        prebound: &[bool],
+        realize: impl Fn(i64) -> Vec<i64>,
+        costs: &OpCosts,
+    ) -> Schedule {
+        assert_eq!(
+            prebound.len(),
+            dag.len(),
+            "prebound mask must cover every node"
+        );
+        let kinds = data_kinds(dag);
+        // `level_of[id]` = wavefront level producing slot `id`; pre-bound
+        // slots are available before level 0.
+        let mut level_of: Vec<Option<usize>> = vec![None; dag.len()];
+        let mut instrs: Vec<ScheduledInstr> = Vec::new();
+        for (id, node) in dag.nodes().iter().enumerate() {
+            if prebound[id] {
+                continue;
+            }
+            let level = node
+                .operands()
+                .into_iter()
+                .map(|op| level_of[op].map_or(0, |l| l + 1))
+                .max()
+                .unwrap_or(0);
+            level_of[id] = Some(level);
+            let instr = match node {
+                DagNode::CtVar(_) | DagNode::PtVar(_) | DagNode::Const(_) => {
+                    unreachable!("leaves are always pre-bound")
+                }
+                DagNode::Bin(op, a, b) | DagNode::VecBin(op, a, b) => Instr::Bin {
+                    op: *op,
+                    a: *a,
+                    b: *b,
+                },
+                DagNode::Neg(a) | DagNode::VecNeg(a) => Instr::Neg { a: *a },
+                DagNode::Rot(a, step) => Instr::Rot {
+                    a: *a,
+                    parts: realize(*step),
+                },
+                DagNode::Vec(elems) => Instr::Pack {
+                    elems: elems.clone(),
+                },
+            };
+            let est_cost = estimate_cost(&instr, &kinds, costs);
+            instrs.push(ScheduledInstr {
+                dst: id,
+                instr,
+                level,
+                est_cost,
+            });
+        }
+
+        // Group by level, longest-processing-time-first inside each level.
+        instrs.sort_by(|x, y| {
+            x.level
+                .cmp(&y.level)
+                .then(
+                    y.est_cost
+                        .partial_cmp(&x.est_cost)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
+                .then(x.dst.cmp(&y.dst))
+        });
+        let mut levels: Vec<Range<usize>> = Vec::new();
+        for (index, instr) in instrs.iter().enumerate() {
+            if instr.level == levels.len() {
+                levels.push(index..index + 1);
+            } else {
+                levels.last_mut().expect("levels are contiguous from 0").end = index + 1;
+            }
+        }
+        Schedule {
+            instrs,
+            levels,
+            slot_count: dag.len(),
+            output: dag.output(),
+        }
+    }
+
+    /// The scheduled instructions, grouped by level and sorted by descending
+    /// estimated cost within each level.
+    pub fn instrs(&self) -> &[ScheduledInstr] {
+        &self.instrs
+    }
+
+    /// Index ranges into [`Schedule::instrs`], one per wavefront level.
+    pub fn levels(&self) -> &[Range<usize>] {
+        &self.levels
+    }
+
+    /// Number of wavefront levels (the critical-path length of the
+    /// server-side circuit).
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Size of the register file (one slot per circuit DAG node).
+    pub fn slot_count(&self) -> usize {
+        self.slot_count
+    }
+
+    /// The slot holding the circuit output.
+    pub fn output(&self) -> Slot {
+        self.output
+    }
+
+    /// The widest level: an upper bound on exploitable intra-request
+    /// parallelism, useful when picking a thread count.
+    pub fn max_width(&self) -> usize {
+        self.levels
+            .iter()
+            .map(|r| r.end - r.start)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total estimated cost of all instructions.
+    pub fn total_est_cost(&self) -> f64 {
+        self.instrs.iter().map(|i| i.est_cost).sum()
+    }
+
+    /// Projects the makespan of this schedule on `workers` workers from
+    /// measured per-instruction latencies (`instr_times[i]` is the duration
+    /// of `instrs()[i]`).
+    ///
+    /// Within each level the instructions are assigned
+    /// longest-processing-time-first to the earliest-free worker — the same
+    /// greedy policy the live work queue follows — and levels are separated
+    /// by barriers, so the projection is the sum of per-level makespans.
+    /// With measured (rather than modeled) durations this is the
+    /// timer-augmented load-balance estimate: on a machine with `workers`
+    /// free cores the wavefront executor's wall-clock converges to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instr_times` is shorter than the instruction list.
+    pub fn makespan(
+        &self,
+        instr_times: &[std::time::Duration],
+        workers: usize,
+    ) -> std::time::Duration {
+        assert!(
+            instr_times.len() >= self.instrs.len(),
+            "need one duration per instruction"
+        );
+        let workers = workers.max(1);
+        let mut total = std::time::Duration::ZERO;
+        let mut finish = vec![std::time::Duration::ZERO; workers];
+        for range in &self.levels {
+            finish.fill(std::time::Duration::ZERO);
+            let mut sorted: Vec<std::time::Duration> = instr_times[range.clone()].to_vec();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            for duration in sorted {
+                let earliest = finish.iter_mut().min().expect("at least one worker");
+                *earliest += duration;
+            }
+            total += finish.iter().copied().max().unwrap_or_default();
+        }
+        total
+    }
+
+    /// The parallelism an infinitely wide machine could exploit: total
+    /// estimated cost divided by the critical-path (per-level maximum) cost.
+    pub fn cost_parallelism(&self) -> f64 {
+        let critical: f64 = self
+            .levels
+            .iter()
+            .map(|r| {
+                self.instrs[r.clone()]
+                    .iter()
+                    .map(|i| i.est_cost)
+                    .fold(0.0, f64::max)
+            })
+            .sum();
+        if critical > 0.0 {
+            self.total_est_cost() / critical
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Per-node data kinds of a circuit DAG: a node is ciphertext-kind if any
+/// operand (or the node itself) is encrypted.
+///
+/// This is the analysis code generation uses to split the circuit between
+/// client-side plaintext evaluation and server-side homomorphic execution.
+pub fn data_kinds(dag: &CircuitDag) -> Vec<DataKind> {
+    let mut kinds = vec![DataKind::Plaintext; dag.len()];
+    for (id, node) in dag.nodes().iter().enumerate() {
+        kinds[id] = match node {
+            DagNode::CtVar(_) => DataKind::Ciphertext,
+            DagNode::PtVar(_) | DagNode::Const(_) => DataKind::Plaintext,
+            _ => {
+                if node
+                    .operands()
+                    .into_iter()
+                    .any(|o| kinds[o] == DataKind::Ciphertext)
+                {
+                    DataKind::Ciphertext
+                } else {
+                    DataKind::Plaintext
+                }
+            }
+        };
+    }
+    kinds
+}
+
+fn estimate_cost(instr: &Instr, kinds: &[DataKind], costs: &OpCosts) -> f64 {
+    let is_ct = |slot: Slot| kinds[slot] == DataKind::Ciphertext;
+    match instr {
+        Instr::Bin { op, a, b } => match (op, is_ct(*a) && is_ct(*b)) {
+            (BinOp::Mul, true) => costs.vec_mul_ct_ct,
+            (BinOp::Mul, false) => costs.vec_mul_ct_pt,
+            (BinOp::Add | BinOp::Sub, _) => costs.vec_add,
+        },
+        Instr::Neg { .. } => costs.vec_add,
+        Instr::Rot { parts, .. } => costs.rotation * parts.len().max(1) as f64,
+        Instr::Pack { elems } => {
+            let ciphers = elems.iter().filter(|&&e| is_ct(e)).count() as f64;
+            ciphers * (costs.rotation + costs.vec_add) + costs.vec_add
+        }
+    }
+}
+
+/// Convenience: lowers with the default static cost model's operator costs.
+pub fn lower_with_default_costs(
+    dag: &CircuitDag,
+    prebound: &[bool],
+    realize: impl Fn(i64) -> Vec<i64>,
+) -> Schedule {
+    Schedule::lower(dag, prebound, realize, &CostModel::default().op_costs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chehab_ir::parse;
+
+    /// Mirrors the compiler's default client-side layout: leaves, plaintext
+    /// subcircuits, and leaf-only vectors (packed before encryption) are
+    /// pre-bound.
+    fn client_prebound(dag: &CircuitDag) -> Vec<bool> {
+        let kinds = data_kinds(dag);
+        dag.nodes()
+            .iter()
+            .enumerate()
+            .map(|(id, n)| {
+                n.is_leaf()
+                    || kinds[id] == DataKind::Plaintext
+                    || matches!(n, DagNode::Vec(elems)
+                        if elems.iter().all(|&e| dag.nodes()[e].is_leaf()))
+            })
+            .collect()
+    }
+
+    fn schedule_of(source: &str) -> (CircuitDag, Schedule) {
+        let expr = parse(source).unwrap();
+        let dag = CircuitDag::from_expr(&expr).eliminate_dead_code();
+        let prebound = client_prebound(&dag);
+        let schedule = lower_with_default_costs(&dag, &prebound, |step| vec![step]);
+        (dag, schedule)
+    }
+
+    #[test]
+    fn operands_land_in_strictly_earlier_levels() {
+        let (_, schedule) = schedule_of(
+            "(VecAdd (VecAdd (VecMul (Vec a0 a1) (Vec b0 b1)) (<< (VecMul (Vec a0 a1) (Vec b0 b1)) 1)) (VecMul (Vec c0 c1) (Vec d0 d1)))",
+        );
+        let mut level_of = vec![usize::MAX; schedule.slot_count()];
+        for si in schedule.instrs() {
+            level_of[si.dst] = si.level;
+        }
+        for si in schedule.instrs() {
+            let operands: Vec<Slot> = match &si.instr {
+                Instr::Bin { a, b, .. } => vec![*a, *b],
+                Instr::Neg { a } | Instr::Rot { a, .. } => vec![*a],
+                Instr::Pack { elems } => elems.clone(),
+            };
+            for op in operands {
+                assert!(
+                    level_of[op] == usize::MAX || level_of[op] < si.level,
+                    "operand {op} of instruction at level {} must come strictly earlier",
+                    si.level
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn independent_multiplications_share_a_level() {
+        let (_, schedule) =
+            schedule_of("(VecAdd (VecMul (Vec a b) (Vec c d)) (VecMul (Vec e f) (Vec g h)))");
+        // Two independent ct-ct multiplications at level 0 (vectors are
+        // client-packed), one addition at level 1.
+        assert_eq!(schedule.level_count(), 2);
+        assert_eq!(schedule.max_width(), 2);
+        assert!(schedule.cost_parallelism() > 1.5);
+    }
+
+    #[test]
+    fn makespan_projection_respects_levels_and_workers() {
+        use std::time::Duration;
+        // Two independent 100x multiplications, then one addition.
+        let (_, schedule) =
+            schedule_of("(VecAdd (VecMul (Vec a b) (Vec c d)) (VecMul (Vec e f) (Vec g h)))");
+        let times: Vec<Duration> = schedule
+            .instrs()
+            .iter()
+            .map(|si| match si.instr {
+                Instr::Bin { op: BinOp::Mul, .. } => Duration::from_millis(100),
+                _ => Duration::from_millis(1),
+            })
+            .collect();
+        // One worker: everything serializes.
+        assert_eq!(schedule.makespan(&times, 1), Duration::from_millis(201));
+        // Two workers: the multiplications overlap, the addition follows.
+        assert_eq!(schedule.makespan(&times, 2), Duration::from_millis(101));
+        // Extra workers cannot beat the critical path.
+        assert_eq!(schedule.makespan(&times, 8), Duration::from_millis(101));
+    }
+
+    #[test]
+    fn levels_are_sorted_by_descending_cost() {
+        let (_, schedule) =
+            schedule_of("(VecAdd (VecAdd (Vec a b) (Vec c d)) (VecMul (Vec e f) (Vec g h)))");
+        for range in schedule.levels() {
+            let costs: Vec<f64> = schedule.instrs()[range.clone()]
+                .iter()
+                .map(|i| i.est_cost)
+                .collect();
+            assert!(
+                costs.windows(2).all(|w| w[0] >= w[1]),
+                "level not sorted by descending cost: {costs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn plaintext_subcircuits_produce_no_instructions() {
+        let (_, schedule) = schedule_of("(VecMul (Vec a b) (Vec (+ (pt x) 1) (pt y)))");
+        // Only the multiplication and the runtime pack of the plaintext
+        // vector... the plaintext vector is plain-kind, so it is pre-bound:
+        // one instruction total.
+        assert_eq!(schedule.instrs().len(), 1);
+        assert!(matches!(
+            schedule.instrs()[0].instr,
+            Instr::Bin { op: BinOp::Mul, .. }
+        ));
+    }
+
+    #[test]
+    fn rotation_parts_come_from_the_realize_callback() {
+        let expr = parse("(<< (VecMul (Vec a b c d) (Vec e f g h)) 3)").unwrap();
+        let dag = CircuitDag::from_expr(&expr).eliminate_dead_code();
+        let prebound = client_prebound(&dag);
+        let schedule = Schedule::lower(
+            &dag,
+            &prebound,
+            |step| vec![4, -(4 - step)],
+            &OpCosts::default(),
+        );
+        let rot = schedule
+            .instrs()
+            .iter()
+            .find(|si| matches!(si.instr, Instr::Rot { .. }))
+            .expect("rotation instruction");
+        assert_eq!(
+            rot.instr,
+            Instr::Rot {
+                a: rot_operand(&schedule),
+                parts: vec![4, -1]
+            }
+        );
+    }
+
+    fn rot_operand(schedule: &Schedule) -> Slot {
+        schedule
+            .instrs()
+            .iter()
+            .find_map(|si| match &si.instr {
+                Instr::Rot { a, .. } => Some(*a),
+                _ => None,
+            })
+            .unwrap()
+    }
+}

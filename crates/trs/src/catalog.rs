@@ -37,30 +37,126 @@ fn scalar_transformations(rules: &mut Vec<Rule>) {
     use RuleCategory::Transformation as T;
     r(rules, "add-comm", T, "(+ ?a ?b)", "(+ ?b ?a)");
     r(rules, "mul-comm", T, "(* ?a ?b)", "(* ?b ?a)");
-    r(rules, "add-assoc-left", T, "(+ ?a (+ ?b ?c))", "(+ (+ ?a ?b) ?c)");
-    r(rules, "add-assoc-right", T, "(+ (+ ?a ?b) ?c)", "(+ ?a (+ ?b ?c))");
-    r(rules, "mul-assoc-left", T, "(* ?a (* ?b ?c))", "(* (* ?a ?b) ?c)");
-    r(rules, "mul-assoc-right", T, "(* (* ?a ?b) ?c)", "(* ?a (* ?b ?c))");
-    r(rules, "distribute-left", T, "(* ?a (+ ?b ?c))", "(+ (* ?a ?b) (* ?a ?c))");
-    r(rules, "distribute-right", T, "(* (+ ?a ?b) ?c)", "(+ (* ?a ?c) (* ?b ?c))");
-    r(rules, "sub-distribute-left", T, "(* ?a (- ?b ?c))", "(- (* ?a ?b) (* ?a ?c))");
-    r(rules, "sub-distribute-right", T, "(* (- ?a ?b) ?c)", "(- (* ?a ?c) (* ?b ?c))");
+    r(
+        rules,
+        "add-assoc-left",
+        T,
+        "(+ ?a (+ ?b ?c))",
+        "(+ (+ ?a ?b) ?c)",
+    );
+    r(
+        rules,
+        "add-assoc-right",
+        T,
+        "(+ (+ ?a ?b) ?c)",
+        "(+ ?a (+ ?b ?c))",
+    );
+    r(
+        rules,
+        "mul-assoc-left",
+        T,
+        "(* ?a (* ?b ?c))",
+        "(* (* ?a ?b) ?c)",
+    );
+    r(
+        rules,
+        "mul-assoc-right",
+        T,
+        "(* (* ?a ?b) ?c)",
+        "(* ?a (* ?b ?c))",
+    );
+    r(
+        rules,
+        "distribute-left",
+        T,
+        "(* ?a (+ ?b ?c))",
+        "(+ (* ?a ?b) (* ?a ?c))",
+    );
+    r(
+        rules,
+        "distribute-right",
+        T,
+        "(* (+ ?a ?b) ?c)",
+        "(+ (* ?a ?c) (* ?b ?c))",
+    );
+    r(
+        rules,
+        "sub-distribute-left",
+        T,
+        "(* ?a (- ?b ?c))",
+        "(- (* ?a ?b) (* ?a ?c))",
+    );
+    r(
+        rules,
+        "sub-distribute-right",
+        T,
+        "(* (- ?a ?b) ?c)",
+        "(- (* ?a ?c) (* ?b ?c))",
+    );
     r(rules, "sub-to-add-neg", T, "(- ?a ?b)", "(+ ?a (- ?b))");
     r(rules, "add-neg-to-sub", T, "(+ ?a (- ?b))", "(- ?a ?b)");
-    r(rules, "neg-distribute-add", T, "(- (+ ?a ?b))", "(+ (- ?a) (- ?b))");
-    r(rules, "neg-collect-add", T, "(+ (- ?a) (- ?b))", "(- (+ ?a ?b))");
+    r(
+        rules,
+        "neg-distribute-add",
+        T,
+        "(- (+ ?a ?b))",
+        "(+ (- ?a) (- ?b))",
+    );
+    r(
+        rules,
+        "neg-collect-add",
+        T,
+        "(+ (- ?a) (- ?b))",
+        "(- (+ ?a ?b))",
+    );
     r(rules, "neg-mul-left", T, "(* (- ?a) ?b)", "(- (* ?a ?b))");
     r(rules, "neg-mul-right", T, "(* ?a (- ?b))", "(- (* ?a ?b))");
 }
 
 fn scalar_simplifications(rules: &mut Vec<Rule>) {
     use RuleCategory::Simplification as S;
-    r(rules, "factor-left", S, "(+ (* ?a ?b) (* ?a ?c))", "(* ?a (+ ?b ?c))");
-    r(rules, "factor-right", S, "(+ (* ?b ?a) (* ?c ?a))", "(* (+ ?b ?c) ?a)");
-    r(rules, "factor-mixed-1", S, "(+ (* ?a ?b) (* ?c ?a))", "(* ?a (+ ?b ?c))");
-    r(rules, "factor-mixed-2", S, "(+ (* ?b ?a) (* ?a ?c))", "(* ?a (+ ?b ?c))");
-    r(rules, "sub-factor-left", S, "(- (* ?a ?b) (* ?a ?c))", "(* ?a (- ?b ?c))");
-    r(rules, "sub-factor-right", S, "(- (* ?b ?a) (* ?c ?a))", "(* (- ?b ?c) ?a)");
+    r(
+        rules,
+        "factor-left",
+        S,
+        "(+ (* ?a ?b) (* ?a ?c))",
+        "(* ?a (+ ?b ?c))",
+    );
+    r(
+        rules,
+        "factor-right",
+        S,
+        "(+ (* ?b ?a) (* ?c ?a))",
+        "(* (+ ?b ?c) ?a)",
+    );
+    r(
+        rules,
+        "factor-mixed-1",
+        S,
+        "(+ (* ?a ?b) (* ?c ?a))",
+        "(* ?a (+ ?b ?c))",
+    );
+    r(
+        rules,
+        "factor-mixed-2",
+        S,
+        "(+ (* ?b ?a) (* ?a ?c))",
+        "(* ?a (+ ?b ?c))",
+    );
+    r(
+        rules,
+        "sub-factor-left",
+        S,
+        "(- (* ?a ?b) (* ?a ?c))",
+        "(* ?a (- ?b ?c))",
+    );
+    r(
+        rules,
+        "sub-factor-right",
+        S,
+        "(- (* ?b ?a) (* ?c ?a))",
+        "(* (- ?b ?c) ?a)",
+    );
     r(rules, "mul-one", S, "(* ?a 1)", "?a");
     r(rules, "one-mul", S, "(* 1 ?a)", "?a");
     r(rules, "mul-zero", S, "(* ?a 0)", "0");
@@ -74,50 +170,206 @@ fn scalar_simplifications(rules: &mut Vec<Rule>) {
     r(rules, "two-mul-to-add", S, "(* 2 ?a)", "(+ ?a ?a)");
     r(rules, "add-self-to-mul-two", S, "(+ ?a ?a)", "(* ?a 2)");
     r(rules, "zero-sub-to-neg", S, "(- 0 ?a)", "(- ?a)");
-    r(rules, "pt-consolidate", S, "(* ?p:plain (* ?q:plain ?x))", "(* (* ?p ?q) ?x)");
-    r(rules, "pt-pull-out", S, "(* (* ?p:plain ?x) ?q:plain)", "(* (* ?p ?q) ?x)");
+    r(
+        rules,
+        "pt-consolidate",
+        S,
+        "(* ?p:plain (* ?q:plain ?x))",
+        "(* (* ?p ?q) ?x)",
+    );
+    r(
+        rules,
+        "pt-pull-out",
+        S,
+        "(* (* ?p:plain ?x) ?q:plain)",
+        "(* (* ?p ?q) ?x)",
+    );
 }
 
 fn scalar_balancing(rules: &mut Vec<Rule>) {
     use RuleCategory::Balancing as B;
-    r(rules, "mul-balance-right", B, "(* ?a (* ?b (* ?c ?d)))", "(* (* ?a ?b) (* ?c ?d))");
-    r(rules, "mul-balance-left", B, "(* (* (* ?a ?b) ?c) ?d)", "(* (* ?a ?b) (* ?c ?d))");
-    r(rules, "add-balance-right", B, "(+ ?a (+ ?b (+ ?c ?d)))", "(+ (+ ?a ?b) (+ ?c ?d))");
-    r(rules, "add-balance-left", B, "(+ (+ (+ ?a ?b) ?c) ?d)", "(+ (+ ?a ?b) (+ ?c ?d))");
+    r(
+        rules,
+        "mul-balance-right",
+        B,
+        "(* ?a (* ?b (* ?c ?d)))",
+        "(* (* ?a ?b) (* ?c ?d))",
+    );
+    r(
+        rules,
+        "mul-balance-left",
+        B,
+        "(* (* (* ?a ?b) ?c) ?d)",
+        "(* (* ?a ?b) (* ?c ?d))",
+    );
+    r(
+        rules,
+        "add-balance-right",
+        B,
+        "(+ ?a (+ ?b (+ ?c ?d)))",
+        "(+ (+ ?a ?b) (+ ?c ?d))",
+    );
+    r(
+        rules,
+        "add-balance-left",
+        B,
+        "(+ (+ (+ ?a ?b) ?c) ?d)",
+        "(+ (+ ?a ?b) (+ ?c ?d))",
+    );
 }
 
 fn vector_algebra(rules: &mut Vec<Rule>) {
     use RuleCategory::Transformation as T;
     r(rules, "vec-add-comm", T, "(VecAdd ?a ?b)", "(VecAdd ?b ?a)");
     r(rules, "vec-mul-comm", T, "(VecMul ?a ?b)", "(VecMul ?b ?a)");
-    r(rules, "vec-add-assoc-left", T, "(VecAdd ?a (VecAdd ?b ?c))", "(VecAdd (VecAdd ?a ?b) ?c)");
-    r(rules, "vec-add-assoc-right", T, "(VecAdd (VecAdd ?a ?b) ?c)", "(VecAdd ?a (VecAdd ?b ?c))");
-    r(rules, "vec-mul-assoc-left", T, "(VecMul ?a (VecMul ?b ?c))", "(VecMul (VecMul ?a ?b) ?c)");
-    r(rules, "vec-mul-assoc-right", T, "(VecMul (VecMul ?a ?b) ?c)", "(VecMul ?a (VecMul ?b ?c))");
-    r(rules, "vec-distribute-left", T, "(VecMul ?a (VecAdd ?b ?c))", "(VecAdd (VecMul ?a ?b) (VecMul ?a ?c))");
-    r(rules, "vec-distribute-right", T, "(VecMul (VecAdd ?a ?b) ?c)", "(VecAdd (VecMul ?a ?c) (VecMul ?b ?c))");
-    r(rules, "vec-factor-left", RuleCategory::Simplification, "(VecAdd (VecMul ?a ?b) (VecMul ?a ?c))", "(VecMul ?a (VecAdd ?b ?c))");
-    r(rules, "vec-factor-right", RuleCategory::Simplification, "(VecAdd (VecMul ?b ?a) (VecMul ?c ?a))", "(VecMul (VecAdd ?b ?c) ?a)");
-    r(rules, "vec-sub-factor-left", RuleCategory::Simplification, "(VecSub (VecMul ?a ?b) (VecMul ?a ?c))", "(VecMul ?a (VecSub ?b ?c))");
-    r(rules, "vec-sub-to-add-neg", T, "(VecSub ?a ?b)", "(VecAdd ?a (VecNeg ?b))");
-    r(rules, "vec-add-neg-to-sub", T, "(VecAdd ?a (VecNeg ?b))", "(VecSub ?a ?b)");
-    r(rules, "vec-neg-neg", RuleCategory::Simplification, "(VecNeg (VecNeg ?a))", "?a");
+    r(
+        rules,
+        "vec-add-assoc-left",
+        T,
+        "(VecAdd ?a (VecAdd ?b ?c))",
+        "(VecAdd (VecAdd ?a ?b) ?c)",
+    );
+    r(
+        rules,
+        "vec-add-assoc-right",
+        T,
+        "(VecAdd (VecAdd ?a ?b) ?c)",
+        "(VecAdd ?a (VecAdd ?b ?c))",
+    );
+    r(
+        rules,
+        "vec-mul-assoc-left",
+        T,
+        "(VecMul ?a (VecMul ?b ?c))",
+        "(VecMul (VecMul ?a ?b) ?c)",
+    );
+    r(
+        rules,
+        "vec-mul-assoc-right",
+        T,
+        "(VecMul (VecMul ?a ?b) ?c)",
+        "(VecMul ?a (VecMul ?b ?c))",
+    );
+    r(
+        rules,
+        "vec-distribute-left",
+        T,
+        "(VecMul ?a (VecAdd ?b ?c))",
+        "(VecAdd (VecMul ?a ?b) (VecMul ?a ?c))",
+    );
+    r(
+        rules,
+        "vec-distribute-right",
+        T,
+        "(VecMul (VecAdd ?a ?b) ?c)",
+        "(VecAdd (VecMul ?a ?c) (VecMul ?b ?c))",
+    );
+    r(
+        rules,
+        "vec-factor-left",
+        RuleCategory::Simplification,
+        "(VecAdd (VecMul ?a ?b) (VecMul ?a ?c))",
+        "(VecMul ?a (VecAdd ?b ?c))",
+    );
+    r(
+        rules,
+        "vec-factor-right",
+        RuleCategory::Simplification,
+        "(VecAdd (VecMul ?b ?a) (VecMul ?c ?a))",
+        "(VecMul (VecAdd ?b ?c) ?a)",
+    );
+    r(
+        rules,
+        "vec-sub-factor-left",
+        RuleCategory::Simplification,
+        "(VecSub (VecMul ?a ?b) (VecMul ?a ?c))",
+        "(VecMul ?a (VecSub ?b ?c))",
+    );
+    r(
+        rules,
+        "vec-sub-to-add-neg",
+        T,
+        "(VecSub ?a ?b)",
+        "(VecAdd ?a (VecNeg ?b))",
+    );
+    r(
+        rules,
+        "vec-add-neg-to-sub",
+        T,
+        "(VecAdd ?a (VecNeg ?b))",
+        "(VecSub ?a ?b)",
+    );
+    r(
+        rules,
+        "vec-neg-neg",
+        RuleCategory::Simplification,
+        "(VecNeg (VecNeg ?a))",
+        "?a",
+    );
 }
 
 fn vector_balancing(rules: &mut Vec<Rule>) {
     use RuleCategory::Balancing as B;
-    r(rules, "vecmul-balance-right", B, "(VecMul ?x (VecMul ?y (VecMul ?z ?t)))", "(VecMul (VecMul ?x ?y) (VecMul ?z ?t))");
-    r(rules, "vecmul-balance-left", B, "(VecMul (VecMul (VecMul ?x ?y) ?z) ?t)", "(VecMul (VecMul ?x ?y) (VecMul ?z ?t))");
-    r(rules, "vecadd-balance-right", B, "(VecAdd ?x (VecAdd ?y (VecAdd ?z ?t)))", "(VecAdd (VecAdd ?x ?y) (VecAdd ?z ?t))");
-    r(rules, "vecadd-balance-left", B, "(VecAdd (VecAdd (VecAdd ?x ?y) ?z) ?t)", "(VecAdd (VecAdd ?x ?y) (VecAdd ?z ?t))");
+    r(
+        rules,
+        "vecmul-balance-right",
+        B,
+        "(VecMul ?x (VecMul ?y (VecMul ?z ?t)))",
+        "(VecMul (VecMul ?x ?y) (VecMul ?z ?t))",
+    );
+    r(
+        rules,
+        "vecmul-balance-left",
+        B,
+        "(VecMul (VecMul (VecMul ?x ?y) ?z) ?t)",
+        "(VecMul (VecMul ?x ?y) (VecMul ?z ?t))",
+    );
+    r(
+        rules,
+        "vecadd-balance-right",
+        B,
+        "(VecAdd ?x (VecAdd ?y (VecAdd ?z ?t)))",
+        "(VecAdd (VecAdd ?x ?y) (VecAdd ?z ?t))",
+    );
+    r(
+        rules,
+        "vecadd-balance-left",
+        B,
+        "(VecAdd (VecAdd (VecAdd ?x ?y) ?z) ?t)",
+        "(VecAdd (VecAdd ?x ?y) (VecAdd ?z ?t))",
+    );
 }
 
 fn isomorphic_vectorization(rules: &mut Vec<Rule>) {
     use RuleCategory::Vectorization as V;
-    r(rules, "add-vectorize-2", V, "(Vec (+ ?a0 ?b0) (+ ?a1 ?b1))", "(VecAdd (Vec ?a0 ?a1) (Vec ?b0 ?b1))");
-    r(rules, "sub-vectorize-2", V, "(Vec (- ?a0 ?b0) (- ?a1 ?b1))", "(VecSub (Vec ?a0 ?a1) (Vec ?b0 ?b1))");
-    r(rules, "mul-vectorize-2", V, "(Vec (* ?a0 ?b0) (* ?a1 ?b1))", "(VecMul (Vec ?a0 ?a1) (Vec ?b0 ?b1))");
-    r(rules, "neg-vectorize-2", V, "(Vec (- ?a0) (- ?a1))", "(VecNeg (Vec ?a0 ?a1))");
+    r(
+        rules,
+        "add-vectorize-2",
+        V,
+        "(Vec (+ ?a0 ?b0) (+ ?a1 ?b1))",
+        "(VecAdd (Vec ?a0 ?a1) (Vec ?b0 ?b1))",
+    );
+    r(
+        rules,
+        "sub-vectorize-2",
+        V,
+        "(Vec (- ?a0 ?b0) (- ?a1 ?b1))",
+        "(VecSub (Vec ?a0 ?a1) (Vec ?b0 ?b1))",
+    );
+    r(
+        rules,
+        "mul-vectorize-2",
+        V,
+        "(Vec (* ?a0 ?b0) (* ?a1 ?b1))",
+        "(VecMul (Vec ?a0 ?a1) (Vec ?b0 ?b1))",
+    );
+    r(
+        rules,
+        "neg-vectorize-2",
+        V,
+        "(Vec (- ?a0) (- ?a1))",
+        "(VecNeg (Vec ?a0 ?a1))",
+    );
     r(
         rules,
         "add-vectorize-3",
@@ -166,23 +418,67 @@ fn procedural_vectorization(rules: &mut Vec<Rule>) {
     use RuleCategory::Vectorization as V;
     for op in BinOp::ALL {
         let full_name = format!("{}-vectorize-full", op_word(op));
-        rules.push(Rule::procedural(&full_name, V, move |e| vectorize_full(e, op)));
+        rules.push(Rule::procedural(&full_name, V, move |e| {
+            vectorize_full(e, op)
+        }));
     }
-    rules.push(Rule::procedural("neg-vectorize-full", V, vectorize_neg_full));
+    rules.push(Rule::procedural(
+        "neg-vectorize-full",
+        V,
+        vectorize_neg_full,
+    ));
     for op in BinOp::ALL {
         let partial_name = format!("{}-vectorize-partial", op_word(op));
-        rules.push(Rule::procedural(&partial_name, V, move |e| vectorize_partial(e, op)));
+        rules.push(Rule::procedural(&partial_name, V, move |e| {
+            vectorize_partial(e, op)
+        }));
     }
 }
 
 fn rotation_rules(rules: &mut Vec<Rule>) {
     use RuleCategory::Rotation as R;
-    r(rules, "rot-factor-add", R, "(VecAdd (<< ?a ?s) (<< ?b ?s))", "(<< (VecAdd ?a ?b) ?s)");
-    r(rules, "rot-distribute-add", R, "(<< (VecAdd ?a ?b) ?s)", "(VecAdd (<< ?a ?s) (<< ?b ?s))");
-    r(rules, "rot-factor-mul", R, "(VecMul (<< ?a ?s) (<< ?b ?s))", "(<< (VecMul ?a ?b) ?s)");
-    r(rules, "rot-distribute-mul", R, "(<< (VecMul ?a ?b) ?s)", "(VecMul (<< ?a ?s) (<< ?b ?s))");
-    r(rules, "rot-factor-sub", R, "(VecSub (<< ?a ?s) (<< ?b ?s))", "(<< (VecSub ?a ?b) ?s)");
-    r(rules, "rot-distribute-sub", R, "(<< (VecSub ?a ?b) ?s)", "(VecSub (<< ?a ?s) (<< ?b ?s))");
+    r(
+        rules,
+        "rot-factor-add",
+        R,
+        "(VecAdd (<< ?a ?s) (<< ?b ?s))",
+        "(<< (VecAdd ?a ?b) ?s)",
+    );
+    r(
+        rules,
+        "rot-distribute-add",
+        R,
+        "(<< (VecAdd ?a ?b) ?s)",
+        "(VecAdd (<< ?a ?s) (<< ?b ?s))",
+    );
+    r(
+        rules,
+        "rot-factor-mul",
+        R,
+        "(VecMul (<< ?a ?s) (<< ?b ?s))",
+        "(<< (VecMul ?a ?b) ?s)",
+    );
+    r(
+        rules,
+        "rot-distribute-mul",
+        R,
+        "(<< (VecMul ?a ?b) ?s)",
+        "(VecMul (<< ?a ?s) (<< ?b ?s))",
+    );
+    r(
+        rules,
+        "rot-factor-sub",
+        R,
+        "(VecSub (<< ?a ?s) (<< ?b ?s))",
+        "(<< (VecSub ?a ?b) ?s)",
+    );
+    r(
+        rules,
+        "rot-distribute-sub",
+        R,
+        "(<< (VecSub ?a ?b) ?s)",
+        "(VecSub (<< ?a ?s) (<< ?b ?s))",
+    );
     rules.push(Rule::procedural("rot-merge", R, rot_merge));
     rules.push(Rule::procedural("rot-zero", R, rot_zero));
     rules.push(Rule::procedural("reduce-sum-rotations", R, reduce_sum_rotations).root_only());
@@ -229,7 +525,11 @@ fn vectorize_full(expr: &Expr, op: BinOp) -> Option<Expr> {
             _ => return None,
         }
     }
-    Some(Expr::VecBin(op, Box::new(Expr::Vec(lhs)), Box::new(Expr::Vec(rhs))))
+    Some(Expr::VecBin(
+        op,
+        Box::new(Expr::Vec(lhs)),
+        Box::new(Expr::Vec(rhs)),
+    ))
 }
 
 /// `(Vec (- a0) ... (- ak))` becomes `(VecNeg (Vec a0 ... ak))`.
@@ -279,18 +579,30 @@ fn vectorize_partial(expr: &Expr, op: BinOp) -> Option<Expr> {
             }
         }
     }
-    Some(Expr::VecBin(op, Box::new(Expr::Vec(lhs)), Box::new(Expr::Vec(rhs))))
+    Some(Expr::VecBin(
+        op,
+        Box::new(Expr::Vec(lhs)),
+        Box::new(Expr::Vec(rhs)),
+    ))
 }
 
 /// Merges nested rotations with the same direction.
 fn rot_merge(expr: &Expr) -> Option<Expr> {
-    let Expr::Rot(inner, outer_step) = expr else { return None };
-    let Expr::Rot(base, inner_step) = inner.as_ref() else { return None };
+    let Expr::Rot(inner, outer_step) = expr else {
+        return None;
+    };
+    let Expr::Rot(base, inner_step) = inner.as_ref() else {
+        return None;
+    };
     if (*outer_step >= 0) != (*inner_step >= 0) {
         return None;
     }
     let combined = outer_step + inner_step;
-    Some(if combined == 0 { (**base).clone() } else { Expr::Rot(base.clone(), combined) })
+    Some(if combined == 0 {
+        (**base).clone()
+    } else {
+        Expr::Rot(base.clone(), combined)
+    })
 }
 
 /// Removes zero-step rotations.
@@ -303,7 +615,9 @@ fn rot_zero(expr: &Expr) -> Option<Expr> {
 
 /// `(VecMul v (Vec 1 1 ...))` (or commuted) becomes `v`.
 fn vec_mul_ones(expr: &Expr) -> Option<Expr> {
-    let Expr::VecBin(BinOp::Mul, a, b) = expr else { return None };
+    let Expr::VecBin(BinOp::Mul, a, b) = expr else {
+        return None;
+    };
     if is_const_splat(b, 1) {
         return Some((**a).clone());
     }
@@ -333,7 +647,9 @@ fn vec_add_zeros(expr: &Expr) -> Option<Expr> {
 
 fn is_const_splat(expr: &Expr, value: i64) -> bool {
     match expr {
-        Expr::Vec(elems) => elems.iter().all(|e| matches!(e, Expr::Const(v) if *v == value)),
+        Expr::Vec(elems) => elems
+            .iter()
+            .all(|e| matches!(e, Expr::Const(v) if *v == value)),
         _ => false,
     }
 }
@@ -352,10 +668,15 @@ fn reduce_sum_rotations(expr: &Expr) -> Option<Expr> {
         return None;
     }
     // Terms must be scalars (a sum of vectors is not a reduction).
-    if terms.iter().any(|t| !matches!(t.ty(), Ok(chehab_ir::Ty::Scalar))) {
+    if terms
+        .iter()
+        .any(|t| !matches!(t.ty(), Ok(chehab_ir::Ty::Scalar)))
+    {
         return None;
     }
-    let all_products = terms.iter().all(|t| matches!(t, Expr::Bin(BinOp::Mul, _, _)));
+    let all_products = terms
+        .iter()
+        .all(|t| matches!(t, Expr::Bin(BinOp::Mul, _, _)));
     let packed = if all_products {
         let mut lhs = Vec::with_capacity(terms.len());
         let mut rhs = Vec::with_capacity(terms.len());
@@ -365,7 +686,11 @@ fn reduce_sum_rotations(expr: &Expr) -> Option<Expr> {
                 rhs.push((**b).clone());
             }
         }
-        Expr::VecBin(BinOp::Mul, Box::new(Expr::Vec(lhs)), Box::new(Expr::Vec(rhs)))
+        Expr::VecBin(
+            BinOp::Mul,
+            Box::new(Expr::Vec(lhs)),
+            Box::new(Expr::Vec(rhs)),
+        )
     } else {
         Expr::Vec(terms.clone())
     };
@@ -415,9 +740,15 @@ fn reduce_product_pairs(expr: &Expr) -> Option<Expr> {
     let mut second_l = Vec::new();
     let mut second_r = Vec::new();
     for e in elems {
-        let Expr::Bin(BinOp::Add, p, q) = e else { return None };
-        let Expr::Bin(BinOp::Mul, a, b) = p.as_ref() else { return None };
-        let Expr::Bin(BinOp::Mul, c, d) = q.as_ref() else { return None };
+        let Expr::Bin(BinOp::Add, p, q) = e else {
+            return None;
+        };
+        let Expr::Bin(BinOp::Mul, a, b) = p.as_ref() else {
+            return None;
+        };
+        let Expr::Bin(BinOp::Mul, c, d) = q.as_ref() else {
+            return None;
+        };
         first_l.push((**a).clone());
         first_r.push((**b).clone());
         second_l.push((**c).clone());
@@ -428,7 +759,11 @@ fn reduce_product_pairs(expr: &Expr) -> Option<Expr> {
     lhs.extend(second_l);
     let mut rhs = first_r;
     rhs.extend(second_r);
-    let packed = Expr::VecBin(BinOp::Mul, Box::new(Expr::Vec(lhs)), Box::new(Expr::Vec(rhs)));
+    let packed = Expr::VecBin(
+        BinOp::Mul,
+        Box::new(Expr::Vec(lhs)),
+        Box::new(Expr::Vec(rhs)),
+    );
     Some(Expr::VecBin(
         BinOp::Add,
         Box::new(packed.clone()),
@@ -480,21 +815,30 @@ mod tests {
             RuleCategory::Balancing,
             RuleCategory::Rotation,
         ] {
-            assert!(rules.iter().any(|r| r.category() == cat), "no rule in category {cat}");
+            assert!(
+                rules.iter().any(|r| r.category() == cat),
+                "no rule in category {cat}"
+            );
         }
     }
 
     #[test]
     fn root_only_rules_are_marked() {
         let rules = default_catalog();
-        let root_only: Vec<_> =
-            rules.iter().filter(|r| r.placement() == Placement::RootOnly).map(|r| r.name()).collect();
+        let root_only: Vec<_> = rules
+            .iter()
+            .filter(|r| r.placement() == Placement::RootOnly)
+            .map(|r| r.name())
+            .collect();
         assert!(root_only.contains(&"reduce-sum-rotations"));
         assert!(root_only.contains(&"reduce-product-pairs-rotation"));
     }
 
     fn rule(name: &str) -> Rule {
-        default_catalog().into_iter().find(|r| r.name() == name).unwrap_or_else(|| panic!("no rule {name}"))
+        default_catalog()
+            .into_iter()
+            .find(|r| r.name() == name)
+            .unwrap_or_else(|| panic!("no rule {name}"))
     }
 
     #[test]
@@ -511,7 +855,10 @@ mod tests {
     fn partial_vectorization_pads_with_identity() {
         let e = parse("(Vec (* a b) (* c d) (- f g))").unwrap();
         let out = rule("mul-vectorize-partial").try_apply(&e).unwrap();
-        assert_eq!(out, parse("(VecMul (Vec a c (- f g)) (Vec b d 1))").unwrap());
+        assert_eq!(
+            out,
+            parse("(VecMul (Vec a c (- f g)) (Vec b d 1))").unwrap()
+        );
         // It must not fire when everything matches (the full rule covers that).
         let all = parse("(Vec (* a b) (* c d))").unwrap();
         assert!(rule("mul-vectorize-partial").try_apply(&all).is_none());
@@ -581,38 +928,59 @@ mod tests {
     #[test]
     fn rot_merge_and_rot_zero() {
         let e = parse("(<< (<< (Vec a b c d) 1) 2)").unwrap();
-        assert_eq!(rule("rot-merge").try_apply(&e).unwrap(), parse("(<< (Vec a b c d) 3)").unwrap());
+        assert_eq!(
+            rule("rot-merge").try_apply(&e).unwrap(),
+            parse("(<< (Vec a b c d) 3)").unwrap()
+        );
         let opposite = parse("(<< (>> (Vec a b c d) 1) 2)").unwrap();
         assert!(rule("rot-merge").try_apply(&opposite).is_none());
         let zero = parse("(<< (Vec a b) 0)").unwrap();
-        assert_eq!(rule("rot-zero").try_apply(&zero).unwrap(), parse("(Vec a b)").unwrap());
+        assert_eq!(
+            rule("rot-zero").try_apply(&zero).unwrap(),
+            parse("(Vec a b)").unwrap()
+        );
     }
 
     #[test]
     fn vec_identity_folding() {
         let e = parse("(VecMul (Vec a b) (Vec 1 1))").unwrap();
-        assert_eq!(rule("vec-mul-ones").try_apply(&e).unwrap(), parse("(Vec a b)").unwrap());
+        assert_eq!(
+            rule("vec-mul-ones").try_apply(&e).unwrap(),
+            parse("(Vec a b)").unwrap()
+        );
         let e = parse("(VecAdd (Vec 0 0) (Vec a b))").unwrap();
-        assert_eq!(rule("vec-add-zeros").try_apply(&e).unwrap(), parse("(Vec a b)").unwrap());
+        assert_eq!(
+            rule("vec-add-zeros").try_apply(&e).unwrap(),
+            parse("(Vec a b)").unwrap()
+        );
         let not_ones = parse("(VecMul (Vec a b) (Vec 1 2))").unwrap();
         assert!(rule("vec-mul-ones").try_apply(&not_ones).is_none());
     }
 
     #[test]
     fn const_fold_rule() {
-        assert_eq!(rule("const-fold").try_apply(&parse("(+ 2 3)").unwrap()).unwrap(), Expr::Const(5));
-        assert_eq!(rule("const-fold").try_apply(&parse("(- 4)").unwrap()).unwrap(), Expr::Const(-4));
-        assert!(rule("const-fold").try_apply(&parse("(+ x 3)").unwrap()).is_none());
+        assert_eq!(
+            rule("const-fold")
+                .try_apply(&parse("(+ 2 3)").unwrap())
+                .unwrap(),
+            Expr::Const(5)
+        );
+        assert_eq!(
+            rule("const-fold")
+                .try_apply(&parse("(- 4)").unwrap())
+                .unwrap(),
+            Expr::Const(-4)
+        );
+        assert!(rule("const-fold")
+            .try_apply(&parse("(+ x 3)").unwrap())
+            .is_none());
     }
 
     #[test]
     fn declarative_rules_in_catalog_are_sound_on_a_worked_example() {
         // Motivating example, Section 2: R1 (mul-comm) then R2 (factor) enables
         // mul-vectorize-2 later.
-        let eq1 = parse(
-            "(+ (* (* v1 v2) (* v3 v4)) (* (* v3 v4) (* v5 v6)))",
-        )
-        .unwrap();
+        let eq1 = parse("(+ (* (* v1 v2) (* v3 v4)) (* (* v3 v4) (* v5 v6)))").unwrap();
         // Apply mul-comm at the left child to move (* v3 v4) into first position.
         let comm = rule("mul-comm");
         let left = eq1.at_path(&[0]).unwrap().clone();
@@ -624,7 +992,9 @@ mod tests {
             parse("(* (* v3 v4) (+ (* v1 v2) (* v5 v6)))").unwrap()
         );
         let mut env = Env::new();
-        env.bind_all(&eq1, |s| s.as_str().bytes().map(i64::from).sum::<i64>() % 19);
+        env.bind_all(&eq1, |s| {
+            s.as_str().bytes().map(i64::from).sum::<i64>() % 19
+        });
         assert!(equivalent_on_live_slots(&eq1, &factored, &env, 1).unwrap());
     }
 }

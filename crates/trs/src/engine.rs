@@ -30,7 +30,9 @@ impl Default for RewriteEngine {
 impl RewriteEngine {
     /// Creates an engine over the [`default_catalog`].
     pub fn new() -> Self {
-        RewriteEngine { rules: default_catalog() }
+        RewriteEngine {
+            rules: default_catalog(),
+        }
     }
 
     /// Creates an engine over a custom rule set.
@@ -209,7 +211,12 @@ mod tests {
         let matches = engine.all_matches(&expr);
         for (i, applies) in mask.iter().enumerate() {
             let has_match = matches.iter().any(|m| m.rule_index == i);
-            assert_eq!(*applies, has_match, "mask mismatch for rule {}", engine.rules()[i].name());
+            assert_eq!(
+                *applies,
+                has_match,
+                "mask mismatch for rule {}",
+                engine.rules()[i].name()
+            );
         }
         assert!(mask[engine.rule_index("add-vectorize-2").unwrap()]);
     }
@@ -225,7 +232,10 @@ mod tests {
         // At the root it fires exactly once.
         let root = parse("(+ (+ (* a0 b0) (* a1 b1)) (+ (* a2 b2) (* a3 b3)))").unwrap();
         assert_eq!(engine.matches(&root, idx), vec![Vec::<usize>::new()]);
-        assert!(engine.apply_at_path(&root, idx, &[0]).is_none(), "explicit non-root path is rejected");
+        assert!(
+            engine.apply_at_path(&root, idx, &[0]).is_none(),
+            "explicit non-root path is rejected"
+        );
     }
 
     #[test]
@@ -236,9 +246,15 @@ mod tests {
         let (optimized, steps) = engine.greedy_optimize(&expr, &model, 50);
         assert!(steps > 0);
         assert!(model.cost(&optimized) < model.cost(&expr));
-        assert_eq!(count_ops(&optimized).scalar_ciphertext_ops(), 0, "fully vectorized");
+        assert_eq!(
+            count_ops(&optimized).scalar_ciphertext_ops(),
+            0,
+            "fully vectorized"
+        );
         let mut env = Env::new();
-        env.bind_all(&expr, |s| s.as_str().bytes().map(i64::from).sum::<i64>() % 23);
+        env.bind_all(&expr, |s| {
+            s.as_str().bytes().map(i64::from).sum::<i64>() % 23
+        });
         assert!(equivalent_on_live_slots(&expr, &optimized, &env, 1).unwrap());
     }
 

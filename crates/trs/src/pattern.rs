@@ -86,7 +86,10 @@ impl Pattern {
             (Pattern::Neg(pa), Expr::Neg(ea)) => pa.match_into(ea, bindings, steps),
             (Pattern::Vec(ps), Expr::Vec(es)) => {
                 ps.len() == es.len()
-                    && ps.iter().zip(es).all(|(p, e)| p.match_into(e, bindings, steps))
+                    && ps
+                        .iter()
+                        .zip(es)
+                        .all(|(p, e)| p.match_into(e, bindings, steps))
             }
             (Pattern::VecBin(op, pa, pb), Expr::VecBin(eop, ea, eb)) => {
                 op == eop
@@ -118,10 +121,9 @@ impl Pattern {
     /// Returns the name of the first unbound metavariable encountered.
     pub fn substitute(&self, bindings: &Bindings) -> Result<Expr, String> {
         match self {
-            Pattern::Any(name) | Pattern::AnyConst(name) | Pattern::AnyPlain(name) => bindings
-                .get(name)
-                .cloned()
-                .ok_or_else(|| name.clone()),
+            Pattern::Any(name) | Pattern::AnyConst(name) | Pattern::AnyPlain(name) => {
+                bindings.get(name).cloned().ok_or_else(|| name.clone())
+            }
             Pattern::Const(v) => Ok(Expr::Const(*v)),
             Pattern::Bin(op, a, b) => Ok(Expr::Bin(
                 *op,
@@ -130,7 +132,10 @@ impl Pattern {
             )),
             Pattern::Neg(a) => Ok(Expr::Neg(Box::new(a.substitute(bindings)?))),
             Pattern::Vec(elems) => Ok(Expr::Vec(
-                elems.iter().map(|p| p.substitute(bindings)).collect::<Result<_, _>>()?,
+                elems
+                    .iter()
+                    .map(|p| p.substitute(bindings))
+                    .collect::<Result<_, _>>()?,
             )),
             Pattern::VecBin(op, a, b) => Ok(Expr::VecBin(
                 *op,
@@ -229,7 +234,10 @@ pub fn parse_pattern(input: &str) -> Result<Pattern, String> {
     let mut pos = 0usize;
     let pat = parse_tokens(&tokens, &mut pos)?;
     if pos != tokens.len() {
-        return Err(format!("trailing tokens after pattern: {:?}", &tokens[pos..]));
+        return Err(format!(
+            "trailing tokens after pattern: {:?}",
+            &tokens[pos..]
+        ));
     }
     Ok(pat)
 }
@@ -275,7 +283,9 @@ fn parse_atom(tok: &str) -> Result<Pattern, String> {
     if let Ok(v) = tok.parse::<i64>() {
         return Ok(Pattern::Const(v));
     }
-    Err(format!("unexpected pattern atom `{tok}` (literal variables are not allowed in patterns)"))
+    Err(format!(
+        "unexpected pattern atom `{tok}` (literal variables are not allowed in patterns)"
+    ))
 }
 
 fn parse_tokens(tokens: &[String], pos: &mut usize) -> Result<Pattern, String> {
@@ -388,8 +398,12 @@ mod tests {
     #[test]
     fn nonlinear_patterns_require_equal_subterms() {
         let pat = parse_pattern("(+ (* ?a ?b) (* ?a ?c))").unwrap();
-        assert!(pat.matches(&parse("(+ (* x y) (* x z))").unwrap()).is_some());
-        assert!(pat.matches(&parse("(+ (* x y) (* w z))").unwrap()).is_none());
+        assert!(pat
+            .matches(&parse("(+ (* x y) (* x z))").unwrap())
+            .is_some());
+        assert!(pat
+            .matches(&parse("(+ (* x y) (* w z))").unwrap())
+            .is_none());
     }
 
     #[test]
@@ -434,7 +448,10 @@ mod tests {
         let expr = parse("(VecAdd (<< (Vec a b c) 2) (<< (Vec d e f) 2))").unwrap();
         let b = lhs.matches(&expr).unwrap();
         let rewritten = rhs.substitute(&b).unwrap();
-        assert_eq!(rewritten, parse("(<< (VecAdd (Vec a b c) (Vec d e f)) 2)").unwrap());
+        assert_eq!(
+            rewritten,
+            parse("(<< (VecAdd (Vec a b c) (Vec d e f)) 2)").unwrap()
+        );
         // Different steps must not match.
         let expr = parse("(VecAdd (<< (Vec a b c) 2) (<< (Vec d e f) 1))").unwrap();
         assert!(lhs.matches(&expr).is_none());
@@ -443,8 +460,12 @@ mod tests {
     #[test]
     fn vector_patterns_require_matching_arity() {
         let pat = parse_pattern("(Vec (+ ?a0 ?b0) (+ ?a1 ?b1))").unwrap();
-        assert!(pat.matches(&parse("(Vec (+ a b) (+ c d))").unwrap()).is_some());
-        assert!(pat.matches(&parse("(Vec (+ a b) (+ c d) (+ e f))").unwrap()).is_none());
+        assert!(pat
+            .matches(&parse("(Vec (+ a b) (+ c d))").unwrap())
+            .is_some());
+        assert!(pat
+            .matches(&parse("(Vec (+ a b) (+ c d) (+ e f))").unwrap())
+            .is_none());
     }
 
     #[test]
@@ -463,7 +484,16 @@ mod tests {
 
     #[test]
     fn malformed_patterns_are_rejected() {
-        for bad in ["", "(", "(+ ?a)", "(?? x)", "(<< ?v 3)", "(Vec)", "(Frob ?a)", "x"] {
+        for bad in [
+            "",
+            "(",
+            "(+ ?a)",
+            "(?? x)",
+            "(<< ?v 3)",
+            "(Vec)",
+            "(Frob ?a)",
+            "x",
+        ] {
             assert!(parse_pattern(bad).is_err(), "expected error for `{bad}`");
         }
     }

@@ -88,7 +88,12 @@ impl Rule {
                 "rule `{name}`: rhs metavariable `?{mv}` is not bound by the lhs"
             );
         }
-        Rule { name: name.to_string(), category, placement: Placement::Anywhere, body: RuleBody::Rewrite { lhs, rhs } }
+        Rule {
+            name: name.to_string(),
+            category,
+            placement: Placement::Anywhere,
+            body: RuleBody::Rewrite { lhs, rhs },
+        }
     }
 
     /// Builds a procedural rule from a closure that either rewrites the node
@@ -141,7 +146,11 @@ impl Rule {
                 match rhs.substitute(&bindings) {
                     Ok(e) => Some(e),
                     Err(missing) => {
-                        debug_assert!(false, "rule `{}`: unbound metavariable `{missing}`", self.name);
+                        debug_assert!(
+                            false,
+                            "rule `{}`: unbound metavariable `{missing}`",
+                            self.name
+                        );
                         None
                     }
                 }
@@ -160,9 +169,12 @@ impl Rule {
 impl fmt::Debug for Rule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut d = f.debug_struct("Rule");
-        d.field("name", &self.name).field("category", &self.category).field("placement", &self.placement);
+        d.field("name", &self.name)
+            .field("category", &self.category)
+            .field("placement", &self.placement);
         if let RuleBody::Rewrite { lhs, rhs } = &self.body {
-            d.field("lhs", &lhs.to_string()).field("rhs", &rhs.to_string());
+            d.field("lhs", &lhs.to_string())
+                .field("rhs", &rhs.to_string());
         } else {
             d.field("body", &"<procedural>");
         }
@@ -226,12 +238,22 @@ mod tests {
     #[test]
     #[should_panic(expected = "not bound")]
     fn unbound_rhs_metavariable_is_rejected_at_construction() {
-        let _ = Rule::rewrite("bad", RuleCategory::Simplification, "(+ ?a ?b)", "(+ ?a ?c)");
+        let _ = Rule::rewrite(
+            "bad",
+            RuleCategory::Simplification,
+            "(+ ?a ?b)",
+            "(+ ?a ?c)",
+        );
     }
 
     #[test]
     fn debug_and_display_are_informative() {
-        let rule = Rule::rewrite("mul-comm", RuleCategory::Transformation, "(* ?a ?b)", "(* ?b ?a)");
+        let rule = Rule::rewrite(
+            "mul-comm",
+            RuleCategory::Transformation,
+            "(* ?a ?b)",
+            "(* ?b ?a)",
+        );
         assert!(format!("{rule:?}").contains("mul-comm"));
         assert!(rule.to_string().contains("=>"));
     }

@@ -8,26 +8,37 @@
 //! Run with `cargo run --release --example image_pipeline`.
 
 use chehab::benchsuite::porcupine;
-use chehab::compiler::{external_compile_stats, output_slots_of, Compiler, CompiledProgram};
+use chehab::compiler::{external_compile_stats, output_slots_of, CompiledProgram, Compiler};
 use chehab::coyote::{CoyoteCompiler, CoyoteConfig};
 use chehab::fhe::BfvParameters;
 use chehab::ir::rotation_steps;
 use std::collections::HashMap;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let params = BfvParameters { payload_degree: 1024, ..BfvParameters::default_128() };
+    let params = BfvParameters {
+        payload_degree: 1024,
+        ..BfvParameters::default_128()
+    };
     let image_size = 5usize;
 
     // Encrypted 5x5 image with a bright diagonal.
     let mut inputs: HashMap<String, i64> = HashMap::new();
     for i in 0..image_size {
         for j in 0..image_size {
-            let value = if i == j { 200 } else { 10 + (i * image_size + j) as i64 };
+            let value = if i == j {
+                200
+            } else {
+                10 + (i * image_size + j) as i64
+            };
             inputs.insert(format!("img_{i}_{j}"), value);
         }
     }
 
-    for benchmark in [porcupine::box_blur(image_size), porcupine::gx(image_size), porcupine::gy(image_size)] {
+    for benchmark in [
+        porcupine::box_blur(image_size),
+        porcupine::gx(image_size),
+        porcupine::gy(image_size),
+    ] {
         println!("== {}", benchmark.id());
         let program = benchmark.program();
 
@@ -49,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             coyote.circuit.clone(),
             output_slots_of(program),
             chehab::compiler::select_rotation_keys(
-                &rotation_steps(&coyote.circuit).keys().copied().collect::<Vec<_>>(),
+                &rotation_steps(&coyote.circuit)
+                    .keys()
+                    .copied()
+                    .collect::<Vec<_>>(),
                 28,
             ),
             true,

@@ -14,7 +14,10 @@ use chehab::fhe::BfvParameters;
 use std::collections::HashMap;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let params = BfvParameters { payload_degree: 1024, ..BfvParameters::default_128() };
+    let params = BfvParameters {
+        payload_degree: 1024,
+        ..BfvParameters::default_128()
+    };
     let compiler = Compiler::greedy();
 
     // --- Dot product of two encrypted feature vectors (length 16).

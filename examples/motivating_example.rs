@@ -17,15 +17,18 @@ use std::sync::Arc;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // x = (((v1·v2)·(v3·v4)) + ((v3·v4)·(v5·v6))) · ((v7·v8)·(v9·v10))
     let mut p = DslProgram::new("motivating_example");
-    let v: Vec<_> = (1..=10).map(|i| p.ciphertext_input(format!("v{i}"))).collect();
+    let v: Vec<_> = (1..=10)
+        .map(|i| p.ciphertext_input(format!("v{i}")))
+        .collect();
     let x = &(&(&(&v[0] * &v[1]) * &(&v[2] * &v[3])) + &(&(&v[2] * &v[3]) * &(&v[4] * &v[5])))
         * &(&(&v[6] * &v[7]) * &(&v[8] * &v[9]));
     p.set_output(&x);
     let program = p.lower();
     println!("scalar program: {program}\n");
 
-    let inputs: HashMap<String, i64> =
-        (1..=10).map(|i| (format!("v{i}"), i as i64 % 5 + 1)).collect();
+    let inputs: HashMap<String, i64> = (1..=10)
+        .map(|i| (format!("v{i}"), i as i64 % 5 + 1))
+        .collect();
     let params = BfvParameters::default_128();
 
     let mut configurations: Vec<(&str, Compiler)> = vec![
@@ -44,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         trained.report.episodes,
         trained.report.final_mean_reward()
     );
-    configurations.push(("CHEHAB RL", Compiler::with_rl_agent(Arc::clone(&trained.agent))));
+    configurations.push((
+        "CHEHAB RL",
+        Compiler::with_rl_agent(Arc::clone(&trained.agent)),
+    ));
 
     println!(
         "{:<24} {:>8} {:>8} {:>8} {:>8} {:>10} {:>12}",
@@ -74,6 +80,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     println!("\n(depth* = multiplicative depth of the compiled circuit)");
-    println!("all three configurations decrypt to the same value: {}", reference.unwrap_or(0));
+    println!(
+        "all three configurations decrypt to the same value: {}",
+        reference.unwrap_or(0)
+    );
     Ok(())
 }

@@ -67,7 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = BfvParameters::default_128();
     let report = compiled.execute(&inputs, &params)?;
 
-    println!("homomorphic result: {} (expected {expected})", report.outputs[0]);
+    println!(
+        "homomorphic result: {} (expected {expected})",
+        report.outputs[0]
+    );
     println!(
         "server time: {:?}, noise budget consumed: {:.1} bits (remaining {:.1} of {:.0})",
         report.server_time,

@@ -18,8 +18,10 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let timesteps: usize =
-        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(3000);
+    let timesteps: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(3000);
 
     println!("training a CHEHAB RL agent for {timesteps} timesteps...");
     let trained = train_agent(&AgentTrainingOptions {
@@ -32,8 +34,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         trained.dataset_size, trained.report.episodes, trained.report.wall_clock_seconds
     );
     println!("learning curve (timestep, mean episode reward):");
-    for point in trained.report.curve.iter().step_by((trained.report.curve.len() / 8).max(1)) {
-        println!("  {:>8}  {:>8.3}", point.timestep, point.mean_episode_reward);
+    for point in trained
+        .report
+        .curve
+        .iter()
+        .step_by((trained.report.curve.len() / 8).max(1))
+    {
+        println!(
+            "  {:>8}  {:>8.3}",
+            point.timestep, point.mean_episode_reward
+        );
     }
 
     // Persist the learned policy so the compiler can reload it later.
@@ -61,8 +71,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         inputs.insert(format!("b_{i}"), i + 5);
         expected += (i + 1) * (i + 5);
     }
-    let report = compiled
-        .execute(&inputs, &BfvParameters { payload_degree: 1024, ..BfvParameters::default_128() })?;
+    let report = compiled.execute(
+        &inputs,
+        &BfvParameters {
+            payload_degree: 1024,
+            ..BfvParameters::default_128()
+        },
+    )?;
     println!(
         "homomorphic result {} (expected {expected}); ops executed: {}",
         report.outputs[0],

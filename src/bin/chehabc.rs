@@ -20,7 +20,7 @@
 //! Example: `cargo run --release --bin chehabc -- "(Vec (+ a b) (+ c d))" --run`
 
 use chehab::benchsuite;
-use chehab::compiler::{Compiler, CompiledProgram};
+use chehab::compiler::{CompiledProgram, Compiler};
 use chehab::fhe::BfvParameters;
 use chehab::ir::{parse, Expr};
 use std::collections::HashMap;
@@ -34,11 +34,16 @@ fn main() -> ExitCode {
     }
 
     let value_after = |flag: &str| -> Option<String> {
-        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
     };
     let optimizer = value_after("--optimizer").unwrap_or_else(|| "greedy".to_string());
     let run = args.iter().any(|a| a == "--run");
-    let payload: usize = value_after("--payload").and_then(|v| v.parse().ok()).unwrap_or(1024);
+    let payload: usize = value_after("--payload")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1024);
 
     let program: Expr = match load_program(&args, &value_after) {
         Ok(p) => p,
@@ -67,8 +72,10 @@ fn main() -> ExitCode {
             .enumerate()
             .map(|(i, v)| (v.to_string(), (i as i64 % 7) + 1))
             .collect();
-        let params =
-            BfvParameters { payload_degree: payload.next_power_of_two().max(8), ..BfvParameters::default_128() };
+        let params = BfvParameters {
+            payload_degree: payload.next_power_of_two().max(8),
+            ..BfvParameters::default_128()
+        };
         match compiled.execute(&inputs, &params) {
             Ok(report) => {
                 println!("\n-- execution (inputs bound to 1..7 cyclically)");
@@ -112,7 +119,8 @@ fn load_program(
     value_after: &impl Fn(&str) -> Option<String>,
 ) -> Result<Expr, String> {
     if let Some(path) = value_after("--file") {
-        let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
         return parse(text.trim()).map_err(|e| format!("cannot parse {path}: {e}"));
     }
     if let Some(id) = value_after("--benchmark") {
@@ -120,10 +128,9 @@ fn load_program(
             .map(|b| b.program().clone())
             .ok_or_else(|| format!("unknown benchmark `{id}` (e.g. \"Dot Product 8\")"));
     }
-    let inline = args
-        .iter()
-        .find(|a| a.starts_with('('))
-        .ok_or_else(|| "no program given (pass an s-expression, --file or --benchmark)".to_string())?;
+    let inline = args.iter().find(|a| a.starts_with('(')).ok_or_else(|| {
+        "no program given (pass an s-expression, --file or --benchmark)".to_string()
+    })?;
     parse(inline).map_err(|e| format!("cannot parse program: {e}"))
 }
 
@@ -134,7 +141,10 @@ fn print_report(program: &Expr, compiled: &CompiledProgram) {
     println!("\n-- compiled circuit");
     println!("{}", compiled.circuit());
     println!("\n-- metrics");
-    println!("cost model:         {:.1} -> {:.1}", stats.cost_before, stats.cost_after);
+    println!(
+        "cost model:         {:.1} -> {:.1}",
+        stats.cost_before, stats.cost_after
+    );
     println!("rewrite steps:      {}", stats.optimizer_steps);
     println!("compile time:       {:?}", stats.compile_time);
     println!(

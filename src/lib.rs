@@ -16,6 +16,7 @@
 //! | [`benchsuite`] | `chehab-benchsuite` | Porcupine / Coyote / tree kernels |
 //! | [`coyote`] | `coyote-baseline` | search-based vectorizer baseline |
 //! | [`compiler`] | `chehab-core` | DSL, pipeline, rotation keys, codegen |
+//! | [`runtime`] | `chehab-runtime` | two-level parallel execution runtime |
 //!
 //! ## Quick start
 //!
@@ -85,4 +86,9 @@ pub mod coyote {
 /// The CHEHAB compiler pipeline (re-export of `chehab-core`).
 pub mod compiler {
     pub use chehab_core::*;
+}
+
+/// The two-level parallel execution runtime (re-export of `chehab-runtime`).
+pub mod runtime {
+    pub use chehab_runtime::*;
 }

@@ -4,7 +4,7 @@
 
 use chehab::benchsuite::{self, Benchmark, Suite};
 use chehab::compiler::{
-    external_compile_stats, output_slots_of, select_rotation_keys, Compiler, CompiledProgram,
+    external_compile_stats, output_slots_of, select_rotation_keys, CompiledProgram, Compiler,
 };
 use chehab::coyote::{CoyoteCompiler, CoyoteConfig};
 use chehab::fhe::BfvParameters;
@@ -35,7 +35,11 @@ fn reference_slots(benchmark: &Benchmark, inputs: &HashMap<String, i64>) -> Vec<
         env.bind(k.clone(), *v);
     }
     let value = evaluate(benchmark.program(), &env).expect("reference evaluation succeeds");
-    value.slots().into_iter().take(benchmark.output_slots()).collect()
+    value
+        .slots()
+        .into_iter()
+        .take(benchmark.output_slots())
+        .collect()
 }
 
 fn assert_matches_reference(benchmark: &Benchmark, compiled: &CompiledProgram, label: &str) {
@@ -50,14 +54,22 @@ fn assert_matches_reference(benchmark: &Benchmark, compiled: &CompiledProgram, l
         // correctness failure.
         return;
     }
-    let got: Vec<u64> = report.outputs.iter().copied().take(expected.len()).collect();
+    let got: Vec<u64> = report
+        .outputs
+        .iter()
+        .copied()
+        .take(expected.len())
+        .collect();
     assert_eq!(got, expected, "{label}: {} output mismatch", benchmark.id());
 }
 
 #[test]
 fn greedy_compiler_is_correct_on_the_porcupine_suite() {
     let compiler = Compiler::greedy();
-    for benchmark in benchsuite::full_suite().into_iter().filter(|b| b.suite() == Suite::Porcupine) {
+    for benchmark in benchsuite::full_suite()
+        .into_iter()
+        .filter(|b| b.suite() == Suite::Porcupine)
+    {
         // Keep the integration test fast: skip the largest instances (they are
         // covered by the benchmark harness).
         if benchmark.program().node_count() > 400 {
@@ -88,7 +100,13 @@ fn unoptimized_compiler_is_correct_on_coyote_and_tree_suites() {
 #[test]
 fn coyote_baseline_is_correct_on_small_kernels() {
     let coyote = CoyoteCompiler::with_config(CoyoteConfig::fast());
-    for benchmark in ["Dot Product 4", "L2 Distance 4", "Linear Reg. 4", "Mat. Mul. 3x3", "Max 3"] {
+    for benchmark in [
+        "Dot Product 4",
+        "L2 Distance 4",
+        "Linear Reg. 4",
+        "Mat. Mul. 3x3",
+        "Max 3",
+    ] {
         let benchmark = benchsuite::by_id(benchmark).expect("known benchmark");
         let result = coyote.compile(benchmark.program());
         let steps: Vec<i64> = rotation_steps(&result.circuit).keys().copied().collect();
@@ -115,10 +133,14 @@ fn greedy_beats_naive_on_vectorizable_kernels() {
     for id in ["Dot Product 8", "Poly. Reg. 8"] {
         let benchmark = benchsuite::by_id(id).expect("known benchmark");
         let inputs = inputs_of(&benchmark, 3);
-        let naive_report =
-            naive.compile(id, benchmark.program()).execute(&inputs, &params).unwrap();
-        let greedy_report =
-            greedy.compile(id, benchmark.program()).execute(&inputs, &params).unwrap();
+        let naive_report = naive
+            .compile(id, benchmark.program())
+            .execute(&inputs, &params)
+            .unwrap();
+        let greedy_report = greedy
+            .compile(id, benchmark.program())
+            .execute(&inputs, &params)
+            .unwrap();
         assert!(
             greedy_report.operation_stats.total() < naive_report.operation_stats.total(),
             "{id}: greedy rewriting should reduce the number of homomorphic operations"

@@ -1,37 +1,45 @@
 //! Property-based tests of the FHE backend: homomorphism of every operation,
 //! NTT correctness, and consistency between the IR interpreter and
 //! homomorphic execution of compiled circuits.
+//!
+//! Written as seeded randomized case loops (the `proptest` crate is
+//! unavailable in hermetic builds); every case prints its inputs on failure
+//! so a reproduction is one seed away.
 
 use chehab::compiler::Compiler;
 use chehab::datagen::LlmLikeSynthesizer;
-use chehab::fhe::{
-    poly, BfvParameters, Decryptor, Encryptor, Evaluator, FheContext, KeyGenerator,
-};
+use chehab::fhe::{poly, BfvParameters, Decryptor, Encryptor, Evaluator, FheContext, KeyGenerator};
 use chehab::ir::{evaluate, Env, Ty};
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+const CASES: usize = 32;
 
-    /// `decrypt(op(encrypt(x), encrypt(y))) == op(x, y)` for every evaluator
-    /// operation.
-    #[test]
-    fn evaluator_operations_are_homomorphic(
-        xs in prop::collection::vec(0i64..1000, 1..6),
-        ys in prop::collection::vec(0i64..1000, 1..6),
-        step in 1i64..4,
-    ) {
-        let ctx = FheContext::new(BfvParameters::insecure_test()).unwrap();
-        let mut keygen = KeyGenerator::new(ctx.params(), 1);
-        let mut enc = Encryptor::new(&ctx, &keygen.public_key());
-        let dec = Decryptor::new(&ctx, &keygen.secret_key());
-        let mut eval = Evaluator::new(&ctx);
-        let relin = keygen.relin_keys();
-        // Keys for every step the test may draw (the default key set only
-        // covers powers of two).
-        let galois = keygen.galois_keys(&[1, 2, 3]);
-        let t = ctx.plain_modulus() as i64;
+/// `decrypt(op(encrypt(x), encrypt(y))) == op(x, y)` for every evaluator
+/// operation.
+#[test]
+fn evaluator_operations_are_homomorphic() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF4E_00A);
+    let ctx = FheContext::new(BfvParameters::insecure_test()).unwrap();
+    let mut keygen = KeyGenerator::new(ctx.params(), 1);
+    let mut enc = Encryptor::new(&ctx, &keygen.public_key());
+    let dec = Decryptor::new(&ctx, &keygen.secret_key());
+    let mut eval = Evaluator::new(&ctx);
+    let relin = keygen.relin_keys();
+    // Keys for every step the test may draw (the default key set only
+    // covers powers of two).
+    let galois = keygen.galois_keys(&[1, 2, 3]);
+    let t = ctx.plain_modulus() as i64;
+
+    for case in 0..CASES {
+        let xs: Vec<i64> = (0..rng.gen_range(1..6usize))
+            .map(|_| rng.gen_range(0..1000))
+            .collect();
+        let ys: Vec<i64> = (0..rng.gen_range(1..6usize))
+            .map(|_| rng.gen_range(0..1000))
+            .collect();
+        let step = rng.gen_range(1..4i64);
 
         let a = enc.encrypt_values(&xs).unwrap();
         let b = enc.encrypt_values(&ys).unwrap();
@@ -42,40 +50,74 @@ proptest! {
         let product = dec.decrypt(&eval.multiply(&a, &b, &relin)).unwrap();
         let difference = dec.decrypt(&eval.sub(&a, &b)).unwrap();
         for i in 0..len {
-            prop_assert_eq!(sum.slots()[i] as i64, (at(&xs, i) + at(&ys, i)).rem_euclid(t));
-            prop_assert_eq!(product.slots()[i] as i64, (at(&xs, i) * at(&ys, i)).rem_euclid(t));
-            prop_assert_eq!(difference.slots()[i] as i64, (at(&xs, i) - at(&ys, i)).rem_euclid(t));
+            let context = format!("case {case}: xs={xs:?} ys={ys:?} slot {i}");
+            assert_eq!(
+                sum.slots()[i] as i64,
+                (at(&xs, i) + at(&ys, i)).rem_euclid(t),
+                "{context}"
+            );
+            assert_eq!(
+                product.slots()[i] as i64,
+                (at(&xs, i) * at(&ys, i)).rem_euclid(t),
+                "{context}"
+            );
+            assert_eq!(
+                difference.slots()[i] as i64,
+                (at(&xs, i) - at(&ys, i)).rem_euclid(t),
+                "{context}"
+            );
         }
 
         // Rotation towards slot zero behaves like a zero-filled shift over the
         // live prefix.
-        let rotated = dec.decrypt(&eval.rotate(&a, step, &galois).unwrap()).unwrap();
+        let rotated = dec
+            .decrypt(&eval.rotate(&a, step, &galois).unwrap())
+            .unwrap();
         for i in 0..xs.len() {
             let expected = at(&xs, i + step as usize).rem_euclid(t);
-            prop_assert_eq!(rotated.slots()[i] as i64, expected);
+            assert_eq!(
+                rotated.slots()[i] as i64,
+                expected,
+                "case {case}: xs={xs:?} step={step} slot {i}"
+            );
         }
     }
+}
 
-    /// NTT-based negacyclic multiplication agrees with the schoolbook product.
-    #[test]
-    fn ntt_multiplication_matches_schoolbook(
-        a in prop::collection::vec(0u64..1_000_000, 16),
-        b in prop::collection::vec(0u64..1_000_000, 16),
-    ) {
-        let tables = poly::NttTables::new(16);
-        let pa = poly::Poly::from_coeffs(a);
-        let pb = poly::Poly::from_coeffs(b);
-        prop_assert_eq!(pa.mul_ntt(&pb, &tables), pa.mul_naive(&pb));
+/// NTT-based negacyclic multiplication agrees with the schoolbook product.
+#[test]
+fn ntt_multiplication_matches_schoolbook() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF4E_00B);
+    let tables = poly::NttTables::new(16);
+    for case in 0..CASES {
+        let a: Vec<u64> = (0..16).map(|_| rng.gen_range(0..1_000_000)).collect();
+        let b: Vec<u64> = (0..16).map(|_| rng.gen_range(0..1_000_000)).collect();
+        let pa = poly::Poly::from_coeffs(a.clone());
+        let pb = poly::Poly::from_coeffs(b.clone());
+        assert_eq!(
+            pa.mul_ntt(&pb, &tables),
+            pa.mul_naive(&pb),
+            "case {case}: a={a:?} b={b:?}"
+        );
     }
+}
 
-    /// Compiling and homomorphically executing synthesized programs matches
-    /// the IR interpreter.
-    #[test]
-    fn compiled_programs_match_the_interpreter(seed in 0u64..400) {
+/// Compiling and homomorphically executing synthesized programs matches
+/// the IR interpreter.
+#[test]
+fn compiled_programs_match_the_interpreter() {
+    let mut executed = 0usize;
+    for seed in 0u64..400 {
+        if executed >= CASES {
+            break;
+        }
         let mut synth = LlmLikeSynthesizer::with_seed(seed);
         let program = synth.generate();
-        prop_assume!(program.node_count() <= 60);
-        prop_assume!(chehab::ir::multiplicative_depth(&program) <= 2);
+        // The same preconditions the original proptest assumed away: small
+        // programs whose noise budget survives greedy compilation.
+        if program.node_count() > 60 || chehab::ir::multiplicative_depth(&program) > 2 {
+            continue;
+        }
 
         let compiled = Compiler::greedy().compile("prop", &program);
         let mut env = Env::new();
@@ -87,10 +129,24 @@ proptest! {
         }
         let expected = evaluate(&program, &env).unwrap();
         let live = program.ty().map(Ty::slots).unwrap_or(1);
-        let report = compiled.execute(&inputs, &BfvParameters::insecure_test()).unwrap();
-        prop_assume!(report.decryption_ok);
+        let report = compiled
+            .execute(&inputs, &BfvParameters::insecure_test())
+            .unwrap();
+        if !report.decryption_ok {
+            continue;
+        }
+        executed += 1;
         let expected_slots: Vec<u64> = expected.slots().into_iter().take(live).collect();
-        let got: Vec<u64> = report.outputs.iter().copied().take(expected_slots.len()).collect();
-        prop_assert_eq!(got, expected_slots);
+        let got: Vec<u64> = report
+            .outputs
+            .iter()
+            .copied()
+            .take(expected_slots.len())
+            .collect();
+        assert_eq!(got, expected_slots, "seed {seed}");
     }
+    assert!(
+        executed >= CASES / 2,
+        "too few synthesized programs survived the preconditions"
+    );
 }

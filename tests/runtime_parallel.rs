@@ -1,0 +1,224 @@
+//! Equivalence and scheduling tests for the parallel execution runtime:
+//! `execute_parallel` must produce bit-identical outputs to the sequential
+//! `execute` on every benchsuite kernel across thread counts, batches must
+//! match individual runs, and every lowered schedule must respect the
+//! wavefront invariant (operands in strictly earlier levels).
+
+use chehab::benchsuite::{self, Benchmark};
+use chehab::compiler::{BatchOptions, CompiledProgram, Compiler};
+use chehab::fhe::BfvParameters;
+use chehab::runtime::Instr;
+use std::collections::HashMap;
+
+fn test_params() -> BfvParameters {
+    BfvParameters::insecure_test()
+}
+
+fn inputs_of(benchmark: &Benchmark, seed: u64) -> HashMap<String, i64> {
+    let env = benchmark.input_env(seed);
+    benchmark
+        .program()
+        .variables()
+        .into_iter()
+        .map(|v| {
+            let value = env.get(v.as_str()).unwrap_or(0) as i64;
+            (v.to_string(), value)
+        })
+        .collect()
+}
+
+/// Compiles with the unoptimizing pipeline: the raw scalar kernels have the
+/// widest wavefronts (every scalar op is independent), which is exactly what
+/// stresses the parallel executor hardest.
+fn compile_initial(benchmark: &Benchmark) -> CompiledProgram {
+    Compiler::without_optimizer().compile(benchmark.id(), benchmark.program())
+}
+
+/// `execute_parallel` is output-identical to sequential `execute` on every
+/// benchsuite kernel (Porcupine, Coyote, trees) across 1/2/4 threads.
+#[test]
+fn parallel_execution_matches_sequential_on_every_kernel() {
+    let params = test_params();
+    for benchmark in benchsuite::full_suite() {
+        let compiled = compile_initial(&benchmark);
+        let inputs = inputs_of(&benchmark, 17);
+        let sequential = compiled
+            .execute(&inputs, &params)
+            .unwrap_or_else(|e| panic!("{}: sequential execution failed: {e}", benchmark.id()));
+        for threads in [1usize, 2, 4] {
+            let parallel = compiled
+                .execute_parallel(&inputs, &params, threads)
+                .unwrap_or_else(|e| {
+                    panic!("{}: {threads}-thread execution failed: {e}", benchmark.id())
+                });
+            assert_eq!(
+                parallel.outputs,
+                sequential.outputs,
+                "{}: outputs diverged at {threads} threads",
+                benchmark.id()
+            );
+            assert_eq!(
+                parallel.decryption_ok,
+                sequential.decryption_ok,
+                "{}: decryption outcome diverged at {threads} threads",
+                benchmark.id()
+            );
+            assert_eq!(
+                parallel.operation_stats,
+                sequential.operation_stats,
+                "{}: operation counts diverged at {threads} threads",
+                benchmark.id()
+            );
+            assert_eq!(
+                parallel.noise_budget_consumed,
+                sequential.noise_budget_consumed,
+                "{}: noise accounting diverged at {threads} threads",
+                benchmark.id()
+            );
+        }
+    }
+}
+
+/// The greedy-optimized (vectorized) circuits stay equivalent too — their
+/// schedules are narrower but exercise rotations and packed layouts.
+#[test]
+fn parallel_execution_matches_sequential_on_optimized_kernels() {
+    let params = test_params();
+    for id in [
+        "Dot Product 16",
+        "Box Blur 3x3",
+        "L2 Distance 8",
+        "Max 3",
+        "Tree 50-50-5",
+    ] {
+        let benchmark = benchsuite::by_id(id).expect("known benchmark id");
+        let compiled = Compiler::greedy().compile(benchmark.id(), benchmark.program());
+        let inputs = inputs_of(&benchmark, 23);
+        let sequential = compiled.execute(&inputs, &params).unwrap();
+        for threads in [2usize, 4] {
+            let parallel = compiled
+                .execute_parallel(&inputs, &params, threads)
+                .unwrap();
+            assert_eq!(
+                parallel.outputs, sequential.outputs,
+                "{id}: outputs diverged"
+            );
+            assert_eq!(
+                parallel.operation_stats, sequential.operation_stats,
+                "{id}: operation counts diverged"
+            );
+        }
+    }
+}
+
+/// Every instruction's operands land in strictly earlier levels, for every
+/// benchsuite kernel's schedule.
+#[test]
+fn schedules_respect_the_wavefront_invariant_on_every_kernel() {
+    for benchmark in benchsuite::full_suite() {
+        let schedule = compile_initial(&benchmark).schedule();
+        let mut level_of = vec![None; schedule.slot_count()];
+        for si in schedule.instrs() {
+            level_of[si.dst] = Some(si.level);
+        }
+        for si in schedule.instrs() {
+            let operands: Vec<usize> = match &si.instr {
+                Instr::Bin { a, b, .. } => vec![*a, *b],
+                Instr::Neg { a } | Instr::Rot { a, .. } => vec![*a],
+                Instr::Pack { elems } => elems.clone(),
+            };
+            for operand in operands {
+                match level_of[operand] {
+                    // Pre-bound operands are available before level 0.
+                    None => {}
+                    Some(produced) => assert!(
+                        produced < si.level,
+                        "{}: operand {operand} produced at level {produced}, used at {}",
+                        benchmark.id(),
+                        si.level
+                    ),
+                }
+            }
+        }
+        // Level ranges partition the instruction list in level order.
+        let mut expected_start = 0;
+        for (level, range) in schedule.levels().iter().enumerate() {
+            assert_eq!(
+                range.start,
+                expected_start,
+                "{}: gap before level {level}",
+                benchmark.id()
+            );
+            assert!(
+                range.end > range.start,
+                "{}: empty level {level}",
+                benchmark.id()
+            );
+            expected_start = range.end;
+        }
+        assert_eq!(expected_start, schedule.instrs().len());
+    }
+}
+
+/// Two-level batch execution matches one-at-a-time execution, under every
+/// thread-allocation split.
+#[test]
+fn batch_execution_matches_individual_execution() {
+    let params = test_params();
+    let benchmark = benchsuite::by_id("Dot Product 8").expect("known benchmark id");
+    let compiled = compile_initial(&benchmark);
+    let input_sets: Vec<HashMap<String, i64>> = (0..8)
+        .map(|seed| inputs_of(&benchmark, 100 + seed))
+        .collect();
+    let solo: Vec<Vec<u64>> = input_sets
+        .iter()
+        .map(|inputs| compiled.execute(inputs, &params).unwrap().outputs)
+        .collect();
+    for (request_threads, threads_per_request) in [(1, 4), (4, 1), (2, 2)] {
+        let options = BatchOptions {
+            request_threads,
+            threads_per_request,
+        };
+        let reports = compiled
+            .execute_batch(&input_sets, &params, &options)
+            .unwrap();
+        let outputs: Vec<Vec<u64>> = reports.into_iter().map(|r| r.outputs).collect();
+        assert_eq!(
+            outputs, solo,
+            "batch ({request_threads}x{threads_per_request}) diverged from solo runs"
+        );
+    }
+}
+
+/// The timing breakdown is populated and its level count matches the
+/// schedule.
+#[test]
+fn timing_breakdown_reflects_the_schedule() {
+    let params = test_params();
+    let benchmark = benchsuite::by_id("Linear Reg. 4").expect("known benchmark id");
+    let compiled = compile_initial(&benchmark);
+    let schedule = compiled.schedule();
+    let report = compiled
+        .execute_parallel(&inputs_of(&benchmark, 3), &params, 4)
+        .unwrap();
+    assert_eq!(report.timing.levels.len(), schedule.level_count());
+    assert_eq!(
+        report
+            .timing
+            .levels
+            .iter()
+            .map(|l| l.instructions)
+            .sum::<usize>(),
+        schedule.instrs().len()
+    );
+    // One sample per instruction, not per evaluator call: packs and
+    // multi-part rotations bundle several calls.
+    assert!(report.timing.per_op.sample_count() > 0);
+    // The calibration measured at least additions and multiplications, so a
+    // calibrated cost model can be derived.
+    let model = report
+        .timing
+        .per_op
+        .to_cost_model(&chehab::ir::CostModel::default());
+    assert!(model.op_costs.vec_mul_ct_ct > 0.0);
+}

@@ -1,17 +1,23 @@
 //! Property-based soundness tests for the term rewriting system: every rule
 //! in the catalog, applied at any location of randomly generated programs,
 //! must preserve the program's live output slots under random inputs.
+//!
+//! Written as seeded randomized case loops (the `proptest` crate is
+//! unavailable in hermetic builds); every assertion names the seed that
+//! produced the failing program.
 
 use chehab::datagen::{LlmLikeSynthesizer, RandomGenerator};
 use chehab::ir::{equivalent_on_live_slots, Env, Expr, Ty};
 use chehab::trs::RewriteEngine;
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
 fn random_program(seed: u64) -> Expr {
-    if seed % 2 == 0 {
+    if seed.is_multiple_of(2) {
         LlmLikeSynthesizer::with_seed(seed).generate()
     } else {
-        RandomGenerator::with_seed(seed).generate_with((seed % 6 + 2) as usize, (seed % 5 + 1) as usize)
+        RandomGenerator::with_seed(seed)
+            .generate_with((seed % 6 + 2) as usize, (seed % 5 + 1) as usize)
     }
 }
 
@@ -19,29 +25,35 @@ fn live_slots(expr: &Expr) -> usize {
     expr.ty().map(Ty::slots).unwrap_or(1)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Applying any applicable rule anywhere preserves semantics on the live
-    /// output slots.
-    #[test]
-    fn every_rule_application_is_sound(seed in 0u64..5_000, value_seed in 1i64..1_000) {
+/// Applying any applicable rule anywhere preserves semantics on the live
+/// output slots.
+#[test]
+fn every_rule_application_is_sound() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x7125_0001);
+    for _ in 0..48 {
+        let seed = rng.gen_range(0u64..5_000);
+        let value_seed = rng.gen_range(1i64..1_000);
         let program = random_program(seed);
         let engine = RewriteEngine::new();
         let slots = live_slots(&program);
         let mut env = Env::new();
         let mut counter = value_seed;
         env.bind_all(&program, |_| {
-            counter = counter.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            counter = counter
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (counter.rem_euclid(97)) + 1
         });
 
         for rule_index in 0..engine.rule_count() {
             for (occurrence, _) in engine.matches(&program, rule_index).iter().enumerate() {
-                if let Some(rewritten) = engine.apply_at_occurrence(&program, rule_index, occurrence) {
-                    prop_assert!(
+                if let Some(rewritten) =
+                    engine.apply_at_occurrence(&program, rule_index, occurrence)
+                {
+                    assert!(
                         equivalent_on_live_slots(&program, &rewritten, &env, slots).unwrap(),
-                        "rule `{}` at occurrence {} changed semantics of {}",
+                        "seed {}: rule `{}` at occurrence {} changed semantics of {}",
+                        seed,
                         engine.rules()[rule_index].name(),
                         occurrence,
                         program,
@@ -50,18 +62,27 @@ proptest! {
             }
         }
     }
+}
 
-    /// Sequences of random rule applications (like an RL episode) stay sound.
-    #[test]
-    fn random_rewrite_sequences_are_sound(seed in 0u64..2_000, steps in 1usize..12) {
+/// Sequences of random rule applications (like an RL episode) stay sound.
+#[test]
+fn random_rewrite_sequences_are_sound() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x7125_0002);
+    for _ in 0..48 {
+        let seed = rng.gen_range(0u64..2_000);
+        let steps = rng.gen_range(1usize..12);
         let program = random_program(seed);
         let engine = RewriteEngine::new();
         let slots = live_slots(&program);
         let mut env = Env::new();
-        env.bind_all(&program, |s| (s.as_str().bytes().map(i64::from).sum::<i64>() % 43) + 2);
+        env.bind_all(&program, |s| {
+            (s.as_str().bytes().map(i64::from).sum::<i64>() % 43) + 2
+        });
 
         let mut current = program.clone();
-        let mut rng_state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(steps as u64);
+        let mut rng_state = seed
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(steps as u64);
         for _ in 0..steps {
             let matches = engine.all_matches(&current);
             if matches.is_empty() {
@@ -73,23 +94,33 @@ proptest! {
                 current = next;
             }
         }
-        prop_assert!(
+        assert!(
             equivalent_on_live_slots(&program, &current, &env, slots).unwrap(),
-            "rewrite sequence changed semantics of {program}"
+            "seed {seed}, {steps} steps: rewrite sequence changed semantics of {program}"
         );
     }
+}
 
-    /// The greedy optimizer never increases the cost model and stays sound.
-    #[test]
-    fn greedy_optimization_is_sound_and_monotone(seed in 0u64..1_000) {
+/// The greedy optimizer never increases the cost model and stays sound.
+#[test]
+fn greedy_optimization_is_sound_and_monotone() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x7125_0003);
+    for _ in 0..48 {
+        let seed = rng.gen_range(0u64..1_000);
         let program = random_program(seed);
         let engine = RewriteEngine::new();
         let model = chehab::ir::CostModel::default();
         let slots = live_slots(&program);
         let (optimized, _) = engine.greedy_optimize(&program, &model, 25);
-        prop_assert!(model.cost(&optimized) <= model.cost(&program) + 1e-9);
+        assert!(
+            model.cost(&optimized) <= model.cost(&program) + 1e-9,
+            "seed {seed}: greedy optimization increased cost"
+        );
         let mut env = Env::new();
         env.bind_all(&program, |s| (s.as_str().len() as i64 % 11) + 1);
-        prop_assert!(equivalent_on_live_slots(&program, &optimized, &env, slots).unwrap());
+        assert!(
+            equivalent_on_live_slots(&program, &optimized, &env, slots).unwrap(),
+            "seed {seed}: greedy optimization changed semantics"
+        );
     }
 }
