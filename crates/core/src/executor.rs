@@ -4,13 +4,17 @@
 //! Code generation in CHEHAB maps every IR operator to its backend call
 //! (Appendix D); here the compiled artifact keeps the hash-consed circuit DAG
 //! plus the rotation-key plan and the input-layout decision. Execution is
-//! delegated to [`chehab_runtime`]: the DAG is lowered once into a flat,
-//! topologically-leveled instruction [`Schedule`], and a
-//! [`WavefrontExecutor`] runs each level's independent operations on a worker
-//! pool ([`CompiledProgram::execute`] is the single-worker case). A second
-//! parallelism level, [`CompiledProgram::execute_batch`], amortizes one
-//! compile across many independent encrypted input sets — the serving
-//! scenario.
+//! organized around long-lived serving state: [`CompiledProgram::session`]
+//! builds an [`FheSession`] **once** — FHE context, public/relin/Galois
+//! keys, and the leveled instruction [`Schedule`] — and every request after
+//! that only pays for encryption, wavefront evaluation and decryption
+//! ([`FheSession::run`] / [`FheSession::run_parallel`] /
+//! [`FheSession::run_batch`]). An `Arc`'d session feeds
+//! [`FheSession::serve`], the persistent request-queue front end backed by
+//! [`chehab_runtime::ServingEngine`]. The historical one-shot entry points
+//! ([`CompiledProgram::execute`], [`CompiledProgram::execute_parallel`],
+//! [`CompiledProgram::execute_batch`]) survive as thin convenience shims that
+//! build a throwaway session per call.
 //!
 //! Plaintext-only subcircuits are computed on the client side (they never
 //! touch ciphertexts), and packed vector inputs are either packed by the
@@ -22,12 +26,15 @@ use chehab_fhe::{
     BfvParameters, Ciphertext, Decryptor, Encryptor, EvaluatorStats, FheContext, FheError,
     GaloisKeys, KeyGenerator, RelinKeys,
 };
-use chehab_ir::{BinOp, CircuitDag, CircuitSummary, DagNode, DataKind, Expr, Ty};
+use chehab_ir::{BinOp, CircuitDag, CircuitSummary, CostModel, DagNode, DataKind, Expr, Ty};
 use chehab_runtime::{
-    data_kinds, BatchExecutor, ExecResources, Register, Schedule, TimingBreakdown,
-    WavefrontExecutor,
+    data_kinds, default_workers, BatchExecutor, CalibratedCostModel, ExecResources, Register,
+    Schedule, ServingConfig, ServingEngine, TimingBreakdown, WavefrontExecutor,
+    DEFAULT_QUEUE_CAPACITY,
 };
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Deterministic key-generation seed of the execution backend.
@@ -52,6 +59,10 @@ pub struct CompileStats {
 }
 
 /// Per-request parallelism options of [`CompiledProgram::execute_batch`].
+///
+/// Kept for source compatibility with the pre-session API; new code should
+/// use [`ExecOptions`], which carries the same two knobs plus the serving
+/// queue bound (`BatchOptions` converts losslessly via `From`).
 #[derive(Debug, Clone, Copy)]
 pub struct BatchOptions {
     /// Worker threads at the request level (how many input sets execute
@@ -66,10 +77,97 @@ pub struct BatchOptions {
 }
 
 impl Default for BatchOptions {
+    /// Request workers default to the host's
+    /// [`std::thread::available_parallelism`], clamped to `[1, 8]` (see
+    /// [`chehab_runtime::default_workers`]) — a 1-CPU host gets one worker
+    /// instead of four oversubscribed ones.
     fn default() -> Self {
         BatchOptions {
-            request_threads: 4,
+            request_threads: default_workers(),
             threads_per_request: 1,
+        }
+    }
+}
+
+/// Unified execution options of the session API: the two worker-count knobs
+/// that used to be scattered across `threads` parameters and
+/// [`BatchOptions`], plus the serving queue bound, behind one builder.
+///
+/// ```
+/// use chehab_core::ExecOptions;
+///
+/// let options = ExecOptions::new()
+///     .with_request_threads(2)
+///     .with_threads_per_request(4)
+///     .with_queue_capacity(128);
+/// assert_eq!(options.request_threads, 2);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Worker threads at the request level: the [`BatchExecutor`] pool of
+    /// [`FheSession::run_batch`] and the persistent worker threads of
+    /// [`FheSession::serve`]. Defaults to the host's
+    /// [`std::thread::available_parallelism`], clamped to `[1, 8]`.
+    pub request_threads: usize,
+    /// Worker threads inside each request's wavefront execution (1 = run
+    /// each request sequentially; more helps wide schedules only).
+    pub threads_per_request: usize,
+    /// Bound of the serving queue of [`FheSession::serve`]: `submit` blocks
+    /// while this many requests are already queued.
+    pub queue_capacity: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            request_threads: default_workers(),
+            threads_per_request: 1,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Host-derived defaults (same as `Default`).
+    pub fn new() -> Self {
+        ExecOptions::default()
+    }
+
+    /// Fully sequential execution: one request at a time, one wavefront
+    /// worker.
+    pub fn sequential() -> Self {
+        ExecOptions {
+            request_threads: 1,
+            threads_per_request: 1,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+        }
+    }
+
+    /// Sets the request-level worker count (clamped to at least 1).
+    pub fn with_request_threads(mut self, threads: usize) -> Self {
+        self.request_threads = threads.max(1);
+        self
+    }
+
+    /// Sets the per-request wavefront worker count (clamped to at least 1).
+    pub fn with_threads_per_request(mut self, threads: usize) -> Self {
+        self.threads_per_request = threads.max(1);
+        self
+    }
+
+    /// Sets the serving queue bound (clamped to at least 1).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+}
+
+impl From<BatchOptions> for ExecOptions {
+    fn from(options: BatchOptions) -> Self {
+        ExecOptions {
+            request_threads: options.request_threads.max(1),
+            threads_per_request: options.threads_per_request.max(1),
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
         }
     }
 }
@@ -169,9 +267,27 @@ impl CompiledProgram {
         })
     }
 
+    /// Builds the long-lived serving state of this program under `params`:
+    /// FHE context, public/relinearization/Galois keys, the leveled
+    /// instruction schedule, and a cumulative timing calibration. Key
+    /// generation and schedule lowering happen exactly once here, no matter
+    /// how many requests the session serves afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`FheError`] if the context rejects the parameters or the
+    /// packing-fallback encryption fails.
+    pub fn session(&self, params: &BfvParameters) -> Result<FheSession, FheError> {
+        FheSession::new(self, params)
+    }
+
     /// Executes the program on the BFV backend, sequentially.
     ///
     /// `inputs` binds every scalar input variable to its clear value.
+    ///
+    /// Convenience shim: builds a throwaway [`FheSession`] and runs one
+    /// request, paying key generation and schedule lowering per call. Loops
+    /// and serving paths should hold a session and use [`FheSession::run`].
     ///
     /// # Errors
     ///
@@ -183,7 +299,7 @@ impl CompiledProgram {
         inputs: &HashMap<String, i64>,
         params: &BfvParameters,
     ) -> Result<ExecutionReport, FheError> {
-        self.execute_parallel(inputs, params, 1)
+        self.session(params)?.run(inputs)
     }
 
     /// Executes the program with `threads` workers running each wavefront
@@ -194,6 +310,9 @@ impl CompiledProgram {
     /// wall-clock changes. Worker count is clamped to the widest schedule
     /// level; `threads = 1` is exactly the sequential path.
     ///
+    /// Convenience shim over [`FheSession::run_parallel`] (one throwaway
+    /// session per call).
+    ///
     /// # Errors
     ///
     /// Same contract as [`CompiledProgram::execute`].
@@ -203,8 +322,10 @@ impl CompiledProgram {
         params: &BfvParameters,
         threads: usize,
     ) -> Result<ExecutionReport, FheError> {
-        let session = ExecutionSession::new(self, params)?;
-        session.run(self, inputs, threads)
+        self.session(params)?.run_parallel(
+            inputs,
+            &ExecOptions::sequential().with_threads_per_request(threads),
+        )
     }
 
     /// Executes the program once per input set, in parallel across requests
@@ -213,6 +334,9 @@ impl CompiledProgram {
     /// are generated once and shared by every request.
     ///
     /// Results are returned in input order.
+    ///
+    /// Convenience shim over [`FheSession::run_batch`] (one throwaway
+    /// session per call; the session outlives only this batch).
     ///
     /// # Errors
     ///
@@ -223,18 +347,79 @@ impl CompiledProgram {
         params: &BfvParameters,
         options: &BatchOptions,
     ) -> Result<Vec<ExecutionReport>, FheError> {
-        let session = ExecutionSession::new(self, params)?;
-        let pool = BatchExecutor::new(options.request_threads);
-        let reports = pool.run(input_sets.to_vec(), |_, inputs| {
-            session.run(self, &inputs, options.threads_per_request)
-        });
-        reports.into_iter().collect()
+        self.session(params)?
+            .run_batch(input_sets, &ExecOptions::from(*options))
     }
 }
 
+/// The serving alias of [`chehab_runtime::ServingEngine`]: requests are
+/// input bindings, responses are execution reports (or the error that
+/// request hit). Built by [`FheSession::serve`].
+pub type FheServingEngine = ServingEngine<HashMap<String, i64>, Result<ExecutionReport, FheError>>;
+
+/// Point-in-time statistics of one [`FheSession`].
+#[derive(Debug, Clone)]
+pub struct SessionStats {
+    /// One-time cost of building the FHE context, generating the key
+    /// material (public, relinearization and Galois keys) and, for schedules
+    /// with run-time packing, encrypting the packing-fallback zero
+    /// ciphertext — paid at [`CompiledProgram::session`] time, never again.
+    pub keygen_time: Duration,
+    /// One-time cost of lowering the circuit DAG into the leveled
+    /// instruction schedule.
+    pub lowering_time: Duration,
+    /// Requests served through this session so far (across `run`,
+    /// `run_parallel`, `run_batch` and the serving engine).
+    pub requests_served: u64,
+    /// Galois keys held by the session.
+    pub galois_key_count: usize,
+    /// Wavefront levels of the session's schedule.
+    pub schedule_levels: usize,
+    /// Widest schedule level (the intra-request parallelism bound).
+    pub schedule_width: usize,
+    /// Cumulative measured per-operation-kind latencies across every request
+    /// served so far (unlike `ExecutionReport::timing.per_op`, which covers
+    /// one request).
+    pub calibration: CalibratedCostModel,
+}
+
 /// Everything one compiled program shares across executions under fixed
-/// parameters: context, key material, and the leveled schedule.
-struct ExecutionSession {
+/// parameters: FHE context, key material, the leveled schedule, and a
+/// cumulative timing calibration.
+///
+/// A session is built **once** per `(program, parameters)` pair by
+/// [`CompiledProgram::session`]; every request served through it afterwards
+/// pays only for input encryption, wavefront evaluation and decryption —
+/// key generation and schedule lowering never rerun. Sessions are `Sync`:
+/// [`FheSession::run_batch`] shares one across a request pool, and
+/// [`FheSession::serve`] parks one behind a persistent request queue.
+///
+/// ```
+/// use chehab_core::{Compiler, DslProgram};
+/// use chehab_fhe::BfvParameters;
+/// use std::collections::HashMap;
+///
+/// let mut p = DslProgram::new("square");
+/// let x = p.ciphertext_input("x");
+/// let out = &x * &x;
+/// p.set_output(&out);
+/// let compiled = Compiler::greedy().compile(p.name(), &p.lower());
+///
+/// // Keygen + schedule lowering happen here, once...
+/// let session = compiled.session(&BfvParameters::insecure_test())?;
+/// // ...and every request after that reuses them.
+/// for value in 1..=4 {
+///     let inputs: HashMap<String, i64> = [("x".to_string(), value)].into();
+///     assert_eq!(session.run(&inputs)?.outputs[0], (value * value) as u64);
+/// }
+/// assert_eq!(session.stats().requests_served, 4);
+/// # Ok::<(), chehab_fhe::FheError>(())
+/// ```
+#[derive(Debug)]
+pub struct FheSession {
+    /// Owned (not borrowed) so sessions are `'static` and self-contained —
+    /// the serving engine's persistent worker threads require it.
+    program: CompiledProgram,
     ctx: FheContext,
     public_key: chehab_fhe::PublicKey,
     decryptor: Decryptor,
@@ -246,10 +431,16 @@ struct ExecutionSession {
     /// Packing fallback for degenerate `Vec` nodes; encrypted once per
     /// session, and only when the schedule contains a `Pack` instruction.
     zero: Option<Ciphertext>,
+    keygen_time: Duration,
+    lowering_time: Duration,
+    /// Measured per-op latencies accumulated across every request served.
+    calibration: Mutex<CalibratedCostModel>,
+    requests_served: AtomicU64,
 }
 
-impl ExecutionSession {
+impl FheSession {
     fn new(program: &CompiledProgram, params: &BfvParameters) -> Result<Self, FheError> {
+        let keygen_started = Instant::now();
         let ctx = FheContext::new(params.clone())?;
         let mut keygen = KeyGenerator::new(ctx.params(), KEYGEN_SEED);
         let public_key = keygen.public_key();
@@ -280,12 +471,18 @@ impl ExecutionSession {
             steps.push(-i);
         }
         let galois_keys = keygen.galois_keys(&steps);
+        let mut keygen_time = keygen_started.elapsed();
 
+        let lowering_started = Instant::now();
         let kinds = data_kinds(&program.dag);
         let prebound = program.prebound_mask(&kinds);
         let schedule = chehab_runtime::lower_with_default_costs(&program.dag, &prebound, |step| {
             program.rotation_plan.realize(step)
         });
+        let lowering_time = lowering_started.elapsed();
+
+        // The packing-fallback encryption is one-time session setup too.
+        let zero_started = Instant::now();
         let zero = if schedule
             .instrs()
             .iter()
@@ -295,7 +492,10 @@ impl ExecutionSession {
         } else {
             None
         };
-        Ok(ExecutionSession {
+        keygen_time += zero_started.elapsed();
+
+        Ok(FheSession {
+            program: program.clone(),
             ctx,
             public_key,
             decryptor,
@@ -305,6 +505,10 @@ impl ExecutionSession {
             kinds,
             prebound,
             zero,
+            keygen_time,
+            lowering_time,
+            calibration: Mutex::new(CalibratedCostModel::new()),
+            requests_served: AtomicU64::new(0),
         })
     }
 
@@ -312,9 +516,9 @@ impl ExecutionSession {
     /// inputs, producing the initial register file (untimed).
     fn bind_registers(
         &self,
-        program: &CompiledProgram,
         inputs: &HashMap<String, i64>,
     ) -> Result<Vec<Option<Register>>, FheError> {
+        let program = &self.program;
         let mut encryptor = Encryptor::new(&self.ctx, &self.public_key);
         let t = self.ctx.plain_modulus() as i64;
         let lookup = |name: &str| -> i64 { inputs.get(name).copied().unwrap_or(0).rem_euclid(t) };
@@ -349,15 +553,133 @@ impl ExecutionSession {
         Ok(registers)
     }
 
-    /// Runs one request: client-side binding, the timed wavefront execution,
-    /// and decryption.
-    fn run(
+    /// Serves one request sequentially: client-side binding, the timed
+    /// wavefront execution, and decryption. Equivalent to
+    /// [`FheSession::run_parallel`] with one wavefront worker.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CompiledProgram::execute`].
+    pub fn run(&self, inputs: &HashMap<String, i64>) -> Result<ExecutionReport, FheError> {
+        self.run_with_threads(inputs, 1)
+    }
+
+    /// Serves one request with `options.threads_per_request` wavefront
+    /// workers. Results are bit-identical to [`FheSession::run`] at every
+    /// worker count.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CompiledProgram::execute`].
+    pub fn run_parallel(
         &self,
-        program: &CompiledProgram,
+        inputs: &HashMap<String, i64>,
+        options: &ExecOptions,
+    ) -> Result<ExecutionReport, FheError> {
+        self.run_with_threads(inputs, options.threads_per_request)
+    }
+
+    /// Serves one closed batch of requests through this session:
+    /// `options.request_threads` pool workers, each request executing with
+    /// `options.threads_per_request` wavefront workers. Results are returned
+    /// in input order.
+    ///
+    /// For open-ended traffic (requests arriving over time), use
+    /// [`FheSession::serve`] instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`FheError`] any request hit.
+    pub fn run_batch(
+        &self,
+        input_sets: &[HashMap<String, i64>],
+        options: &ExecOptions,
+    ) -> Result<Vec<ExecutionReport>, FheError> {
+        let pool = BatchExecutor::new(options.request_threads);
+        let reports = pool.run(input_sets.to_vec(), |_, inputs| {
+            self.run_with_threads(&inputs, options.threads_per_request)
+        });
+        reports.into_iter().collect()
+    }
+
+    /// Starts a persistent serving engine over this session: a bounded
+    /// request queue (`options.queue_capacity`) drained by
+    /// `options.request_threads` long-lived worker threads, each request
+    /// executing with `options.threads_per_request` wavefront workers.
+    ///
+    /// `submit` returns a [`chehab_runtime::RequestHandle`] immediately;
+    /// `wait`/`try_poll` retrieve that request's report, so callers observe
+    /// submission order even when completions are out of order. `shutdown`
+    /// drains in-flight work and reports queue/throughput stats; the
+    /// cumulative per-op timing lives in [`FheSession::stats`] on the shared
+    /// session.
+    pub fn serve(self: &Arc<Self>, options: &ExecOptions) -> FheServingEngine {
+        let session = Arc::clone(self);
+        let threads_per_request = options.threads_per_request;
+        ServingEngine::new(
+            ServingConfig {
+                workers: options.request_threads,
+                queue_capacity: options.queue_capacity,
+            },
+            move |_, inputs: HashMap<String, i64>| {
+                session.run_with_threads(&inputs, threads_per_request)
+            },
+        )
+    }
+
+    /// The program this session serves.
+    pub fn program(&self) -> &CompiledProgram {
+        &self.program
+    }
+
+    /// The parameters the session's context was built with.
+    pub fn params(&self) -> &BfvParameters {
+        self.ctx.params()
+    }
+
+    /// The session's leveled instruction schedule (lowered once at session
+    /// construction).
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// Point-in-time session statistics: one-time setup costs, requests
+    /// served, and the cumulative timing calibration.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            keygen_time: self.keygen_time,
+            lowering_time: self.lowering_time,
+            requests_served: self.requests_served.load(Ordering::Relaxed),
+            galois_key_count: self.galois_keys.key_count(),
+            schedule_levels: self.schedule.level_count(),
+            schedule_width: self.schedule.max_width(),
+            calibration: self.calibration.lock().unwrap().clone(),
+        }
+    }
+
+    /// Snapshot of the cumulative measured per-operation latencies across
+    /// every request served so far.
+    pub fn calibration(&self) -> CalibratedCostModel {
+        self.calibration.lock().unwrap().clone()
+    }
+
+    /// Projects the cumulative calibration into a full cost model (the
+    /// timer-augmented feedback loop: hand this to the greedy/RL optimizer
+    /// to rank rewrites by observed hardware cost).
+    pub fn calibrated_cost_model(&self, base: &CostModel) -> CostModel {
+        self.calibration.lock().unwrap().to_cost_model(base)
+    }
+
+    /// Runs one request: client-side binding, the timed wavefront execution,
+    /// and decryption, then folds the request's measurements into the
+    /// session's cumulative calibration.
+    fn run_with_threads(
+        &self,
         inputs: &HashMap<String, i64>,
         threads: usize,
     ) -> Result<ExecutionReport, FheError> {
-        let registers = self.bind_registers(program, inputs)?;
+        let program = &self.program;
+        let registers = self.bind_registers(inputs)?;
         let resources = ExecResources {
             ctx: &self.ctx,
             relin_keys: &self.relin_keys,
@@ -391,6 +713,12 @@ impl ExecutionSession {
                 true,
             ),
         };
+
+        self.calibration
+            .lock()
+            .unwrap()
+            .merge(&outcome.timing.per_op);
+        self.requests_served.fetch_add(1, Ordering::Relaxed);
 
         Ok(ExecutionReport {
             outputs,

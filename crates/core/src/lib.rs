@@ -44,6 +44,6 @@ pub use compiler::{Compiler, CompilerOptions, OptimizerKind};
 pub use dsl::{DslProgram, DslValue};
 pub use executor::{
     external_compile_stats, output_slots_of, BatchOptions, CompileStats, CompiledProgram,
-    ExecutionReport,
+    ExecOptions, ExecutionReport, FheServingEngine, FheSession, SessionStats,
 };
 pub use rotation_keys::{naf_decomposition, select_rotation_keys, RotationKeyPlan};

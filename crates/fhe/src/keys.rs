@@ -7,12 +7,25 @@
 //! generated, and every generated key has a realistic size, which is what the
 //! rotation-key-selection pass (Appendix B) trades off against execution
 //! cost.
+//!
+//! Key generation is also *cost*-faithful: when
+//! [`BfvParameters::simulate_compute`] is on, every key-switch key (the
+//! relinearization key and each Galois key) samples and NTT-transforms
+//! `2 * ceil(coeff_bits / 60)` payload polynomials — the same work shape as
+//! real BFV keygen, and the reason production deployments generate keys once
+//! per session instead of per request (the serving layer's whole premise).
 
 use crate::params::BfvParameters;
+use crate::poly::{NttTables, MODULUS};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-global count of [`KeyGenerator`] constructions (see
+/// [`KeyGenerator::instances_created`]).
+static KEYGEN_INSTANCES: AtomicU64 = AtomicU64::new(0);
 
 /// The secret key (simulation placeholder identified by its seed).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -78,19 +91,71 @@ pub struct KeyGenerator {
     params: BfvParameters,
     rng: ChaCha8Rng,
     id: u64,
+    /// NTT tables for the cost-faithful key-switch-key sampling; present
+    /// only when the parameters simulate compute.
+    tables: Option<NttTables>,
 }
 
 impl KeyGenerator {
     /// Creates a key generator with an explicit seed (keys are deterministic
     /// per seed, which the tests rely on).
     pub fn new(params: &BfvParameters, seed: u64) -> Self {
+        KEYGEN_INSTANCES.fetch_add(1, Ordering::Relaxed);
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let id = rng.gen();
-        KeyGenerator {
+        let tables = params
+            .simulate_compute
+            .then(|| NttTables::new(params.payload_degree));
+        let mut keygen = KeyGenerator {
             params: params.clone(),
             rng,
             id,
+            tables,
+        };
+        // Secret-key sampling plus the public key's (a, b) pair: three
+        // payload polynomials moved into the NTT domain, the construction
+        // cost real BFV pays before any key-switch key exists.
+        if let Some(tables) = &keygen.tables {
+            let degree = keygen.params.payload_degree;
+            for _ in 0..3 {
+                let mut poly: Vec<u64> = (0..degree)
+                    .map(|_| keygen.rng.gen::<u64>() % MODULUS)
+                    .collect();
+                tables.forward(&mut poly);
+            }
         }
+        keygen
+    }
+
+    /// Performs the arithmetic volume of generating one key-switch key
+    /// (relinearization key or one Galois key): sampling
+    /// `2 * ceil(coeff_bits / 60)` uniform payload polynomials and moving
+    /// each into the NTT domain, mirroring real BFV keygen. A no-op when
+    /// compute simulation is off.
+    fn simulate_keyswitch_keygen(&mut self) {
+        let Some(tables) = &self.tables else {
+            return;
+        };
+        let digits = (self.params.coeff_modulus_bits as usize).div_ceil(60);
+        let degree = self.params.payload_degree;
+        for _ in 0..2 * digits {
+            let mut poly: Vec<u64> = (0..degree)
+                .map(|_| self.rng.gen::<u64>() % MODULUS)
+                .collect();
+            tables.forward(&mut poly);
+        }
+    }
+
+    /// Process-global count of `KeyGenerator` constructions so far.
+    ///
+    /// Real key generation is the expensive, once-per-session step of an FHE
+    /// deployment; serving paths are expected to reuse key material instead
+    /// of regenerating it per request. Tests assert that by sampling this
+    /// counter around a stream of requests (note it is shared by every
+    /// thread of the process, so such assertions belong in single-test
+    /// processes).
+    pub fn instances_created() -> u64 {
+        KEYGEN_INSTANCES.load(Ordering::Relaxed)
     }
 
     /// The secret key.
@@ -103,21 +168,30 @@ impl KeyGenerator {
         PublicKey { id: self.id }
     }
 
-    /// Creates relinearization keys.
+    /// Creates relinearization keys (one key-switch key's worth of sampling
+    /// and NTT work under compute simulation).
     pub fn relin_keys(&mut self) -> RelinKeys {
         let _ = self.rng.gen::<u64>();
+        self.simulate_keyswitch_keygen();
         RelinKeys {
             id: self.id,
             size_bytes: self.params.galois_key_size_bytes(),
         }
     }
 
-    /// Creates Galois keys for an explicit set of rotation steps.
+    /// Creates Galois keys for an explicit set of rotation steps (one
+    /// key-switch key's worth of sampling and NTT work *per distinct
+    /// nonzero step* under compute simulation — generating many rotation
+    /// keys is expensive in time as well as bytes).
     pub fn galois_keys(&mut self, steps: &[i64]) -> GaloisKeys {
         let _ = self.rng.gen::<u64>();
+        let steps: BTreeSet<i64> = steps.iter().copied().filter(|&s| s != 0).collect();
+        for _ in &steps {
+            self.simulate_keyswitch_keygen();
+        }
         GaloisKeys {
             id: self.id,
-            steps: steps.iter().copied().filter(|&s| s != 0).collect(),
+            steps,
             key_size_bytes: self.params.galois_key_size_bytes(),
         }
     }

@@ -19,6 +19,12 @@
 //!    per-operator cost table the optimizer ranks rewrites with is replaced
 //!    by measured per-operation latencies ([`CalibratedCostModel`]), recorded
 //!    for free while executing.
+//! 3. **Persistent serving** (the persistent-worker scheme of the same
+//!    two-level literature): a [`ServingEngine`] keeps a bounded request
+//!    queue drained by long-lived worker threads, so expensive per-program
+//!    state lives across requests instead of being rebuilt per call;
+//!    [`RequestHandle`]s give submit/wait/try_poll semantics and
+//!    [`ServingStats`] track queue depth and throughput.
 //!
 //! The crate deliberately depends only on `chehab-ir` (for the circuit DAG
 //! and cost tables) and `chehab-fhe` (for the evaluator): `chehab-core`
@@ -94,6 +100,7 @@ mod batch;
 mod calibrate;
 mod exec;
 mod schedule;
+mod serving;
 
 pub use batch::BatchExecutor;
 pub use calibrate::{CalibratedCostModel, OpKind, OP_KINDS};
@@ -101,3 +108,7 @@ pub use exec::{
     ExecResources, LevelTiming, Register, TimingBreakdown, WavefrontExecutor, WavefrontOutcome,
 };
 pub use schedule::{data_kinds, lower_with_default_costs, Instr, Schedule, ScheduledInstr, Slot};
+pub use serving::{
+    default_workers, RequestHandle, ServingConfig, ServingEngine, ServingError, ServingStats,
+    DEFAULT_QUEUE_CAPACITY,
+};

@@ -1,0 +1,647 @@
+//! The persistent serving front end: a bounded request queue drained by
+//! long-lived worker threads.
+//!
+//! [`BatchExecutor`](crate::BatchExecutor) parallelizes one *closed* batch —
+//! the caller owns the full request list up front and blocks until every
+//! result is back. Serving traffic is open-ended: requests arrive one at a
+//! time, the caller wants a handle back immediately, and the expensive
+//! per-program state (keys, leveled schedule, calibration) must stay alive
+//! between requests instead of being rebuilt per call. A [`ServingEngine`]
+//! provides exactly that shape:
+//!
+//! - [`ServingEngine::submit`] enqueues a request into a **bounded** queue
+//!   (back-pressure: it blocks while the queue is at capacity) and returns a
+//!   [`RequestHandle`];
+//! - persistent workers drain the queue through one shared handler — for FHE
+//!   serving, a closure over one long-lived `FheSession` (see
+//!   `chehab_core::FheSession::serve`);
+//! - [`RequestHandle::wait`] / [`RequestHandle::try_poll`] retrieve the
+//!   result of *that* request, so callers observe submission order even when
+//!   completions happen out of order;
+//! - [`ServingEngine::shutdown`] stops intake, drains everything already
+//!   queued or in flight, joins the workers, and reports final
+//!   [`ServingStats`].
+//!
+//! The engine is generic over request and response types (it knows nothing
+//! about FHE), which keeps this crate's dependency surface unchanged —
+//! `chehab-core` layers the session-backed serving API on top.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Sizing knobs of a [`ServingEngine`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServingConfig {
+    /// Persistent worker threads draining the queue (clamped to at least 1).
+    pub workers: usize,
+    /// Maximum *queued* (submitted but not yet started) requests before
+    /// [`ServingEngine::submit`] blocks (clamped to at least 1).
+    pub queue_capacity: usize,
+}
+
+/// Default bound of the request queue.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        ServingConfig {
+            workers: default_workers(),
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+        }
+    }
+}
+
+/// Worker count derived from the host: `std::thread::available_parallelism`,
+/// clamped to `[1, 8]` so 1-CPU hosts are not oversubscribed and large hosts
+/// are not flooded by default (callers can always ask for more explicitly).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .clamp(1, 8)
+}
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServingError {
+    /// The engine is shutting down (or already shut down); no new requests
+    /// are accepted.
+    ShutDown,
+}
+
+impl std::fmt::Display for ServingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServingError::ShutDown => write!(f, "serving engine is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServingError {}
+
+/// A point-in-time snapshot of one engine's serving counters.
+#[derive(Debug, Clone, Copy)]
+pub struct ServingStats {
+    /// Requests accepted by [`ServingEngine::submit`] so far.
+    pub submitted: u64,
+    /// Requests whose handler has finished (including handlers that
+    /// panicked — their handles re-raise the panic on retrieval).
+    pub completed: u64,
+    /// Requests currently queued (submitted, not yet started).
+    pub queue_depth: usize,
+    /// Requests currently executing on a worker.
+    pub in_flight: usize,
+    /// Persistent worker threads of the engine.
+    pub workers: usize,
+    /// Cumulative handler time across all workers (sums over workers, so it
+    /// can exceed `elapsed` on multi-core hosts).
+    pub busy: Duration,
+    /// Wall-clock since the engine started.
+    pub elapsed: Duration,
+}
+
+impl ServingStats {
+    /// Completed requests per wall-clock second since the engine started.
+    pub fn throughput_rps(&self) -> f64 {
+        self.completed as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Mean handler latency of the completed requests, if any completed.
+    pub fn mean_latency(&self) -> Option<Duration> {
+        (self.completed > 0).then(|| self.busy / self.completed as u32)
+    }
+}
+
+/// Result cell shared between one request's worker and its handle.
+struct ResultSlot<R> {
+    value: Option<R>,
+    /// Set once the value has been handed out (`wait` or `try_poll`), so a
+    /// handle misuse panics instead of deadlocking.
+    taken: bool,
+    /// Set by the worker when the handler finished (even after the value is
+    /// taken), so `is_finished` stays meaningful.
+    finished: bool,
+    /// Set when the handler panicked instead of returning: there is no
+    /// value, and retrievers re-raise the panic instead of blocking forever.
+    poisoned: bool,
+}
+
+struct HandleShared<R> {
+    slot: Mutex<ResultSlot<R>>,
+    done: Condvar,
+}
+
+/// The caller's side of one submitted request.
+///
+/// Exactly one of [`RequestHandle::wait`] / a successful
+/// [`RequestHandle::try_poll`] yields the result; polling again after the
+/// result was taken returns `None`, and waiting after it was taken panics
+/// (rather than blocking forever).
+pub struct RequestHandle<R> {
+    id: u64,
+    shared: Arc<HandleShared<R>>,
+}
+
+impl<R> std::fmt::Debug for RequestHandle<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RequestHandle")
+            .field("id", &self.id)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<R> RequestHandle<R> {
+    /// The engine-assigned request id, in submission order starting at 0.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Locks the result slot, recovering from std mutex poisoning: the
+    /// slot's own `poisoned` flag (set by the worker, never mid-update)
+    /// tracks handler panics, so a retriever that panicked while holding
+    /// the lock must not wedge every later accessor.
+    fn lock_slot(&self) -> std::sync::MutexGuard<'_, ResultSlot<R>> {
+        self.shared
+            .slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Panics with the handler-panic message — with the slot guard already
+    /// released, so the panic cannot poison the mutex for other accessors.
+    fn raise_poisoned(&self, slot: std::sync::MutexGuard<'_, ResultSlot<R>>) -> ! {
+        drop(slot);
+        panic!("serving request {} panicked in its handler", self.id);
+    }
+
+    /// `true` once the request's handler has finished (whether or not the
+    /// result has been retrieved yet, and also for handlers that panicked).
+    pub fn is_finished(&self) -> bool {
+        self.lock_slot().finished
+    }
+
+    /// Returns the result if the request already completed, without
+    /// blocking; `None` while it is still queued or in flight, and `None`
+    /// forever after the result has been taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request's handler panicked (the panic is propagated to
+    /// the retriever, like `JoinHandle::join`).
+    pub fn try_poll(&self) -> Option<R> {
+        let mut slot = self.lock_slot();
+        if slot.poisoned {
+            self.raise_poisoned(slot);
+        }
+        let value = slot.value.take();
+        if value.is_some() {
+            slot.taken = true;
+        }
+        value
+    }
+
+    /// Blocks until the request completes and returns its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result was already taken by [`RequestHandle::try_poll`]
+    /// (the handle is single-shot), or if the request's handler panicked
+    /// (the panic is propagated to the retriever, like `JoinHandle::join`).
+    pub fn wait(self) -> R {
+        let mut slot = self.lock_slot();
+        loop {
+            if slot.poisoned {
+                self.raise_poisoned(slot);
+            }
+            if let Some(value) = slot.value.take() {
+                slot.taken = true;
+                return value;
+            }
+            if slot.taken {
+                drop(slot);
+                panic!("RequestHandle::wait called after try_poll already took the result");
+            }
+            slot = self
+                .shared
+                .done
+                .wait(slot)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+/// One queued request: id, payload, and the cell its result lands in.
+struct Job<T, R> {
+    id: u64,
+    request: T,
+    handle: Arc<HandleShared<R>>,
+}
+
+struct QueueState<T, R> {
+    queue: VecDeque<Job<T, R>>,
+    shutting_down: bool,
+    submitted: u64,
+    in_flight: usize,
+}
+
+struct Counters {
+    completed: u64,
+    busy: Duration,
+}
+
+struct Shared<T, R> {
+    state: Mutex<QueueState<T, R>>,
+    /// Signals workers that the queue gained a job (or shutdown started).
+    not_empty: Condvar,
+    /// Signals blocked submitters that the queue lost a job.
+    not_full: Condvar,
+    counters: Mutex<Counters>,
+    queue_capacity: usize,
+    /// Configured worker count (stable across shutdown, unlike the join
+    /// handle vector).
+    worker_count: usize,
+    started: Instant,
+}
+
+/// A persistent request-serving engine: a bounded queue plus a pool of
+/// long-lived worker threads draining it through one shared handler.
+///
+/// `submit` gives back-pressure on a bounded queue, per-request
+/// [`RequestHandle`]s pair each submission with its own result, and
+/// [`ServingStats`] track queue depth and throughput. Dropping an engine
+/// shuts it down gracefully (drains queued work, joins workers); call
+/// [`ServingEngine::shutdown`] explicitly to also retrieve the final stats.
+pub struct ServingEngine<T, R> {
+    shared: Arc<Shared<T, R>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<T, R> std::fmt::Debug for ServingEngine<T, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServingEngine")
+            .field("workers", &self.workers.len())
+            .field("queue_capacity", &self.shared.queue_capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: Send + 'static, R: Send + 'static> ServingEngine<T, R> {
+    /// Starts an engine: spawns `config.workers` persistent threads that
+    /// drain the queue through `handler` (called with the request id and the
+    /// request).
+    pub fn new<F>(config: ServingConfig, handler: F) -> Self
+    where
+        F: Fn(u64, T) -> R + Send + Sync + 'static,
+    {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                shutting_down: false,
+                submitted: 0,
+                in_flight: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            counters: Mutex::new(Counters {
+                completed: 0,
+                busy: Duration::ZERO,
+            }),
+            queue_capacity: config.queue_capacity.max(1),
+            worker_count: config.workers.max(1),
+            started: Instant::now(),
+        });
+        let handler = Arc::new(handler);
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let handler = Arc::clone(&handler);
+                std::thread::spawn(move || worker_loop(&shared, &*handler))
+            })
+            .collect();
+        ServingEngine { shared, workers }
+    }
+}
+
+impl<T, R> ServingEngine<T, R> {
+    /// Enqueues one request and returns its handle.
+    ///
+    /// Blocks while the queue is at capacity (back-pressure on producers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServingError::ShutDown`] once [`ServingEngine::shutdown`]
+    /// has started — including for submitters that were blocked on a full
+    /// queue when shutdown began.
+    pub fn submit(&self, request: T) -> Result<RequestHandle<R>, ServingError> {
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            if state.shutting_down {
+                return Err(ServingError::ShutDown);
+            }
+            if state.queue.len() < self.shared.queue_capacity {
+                break;
+            }
+            state = self.shared.not_full.wait(state).unwrap();
+        }
+        let id = state.submitted;
+        state.submitted += 1;
+        let handle = Arc::new(HandleShared {
+            slot: Mutex::new(ResultSlot {
+                value: None,
+                taken: false,
+                finished: false,
+                poisoned: false,
+            }),
+            done: Condvar::new(),
+        });
+        state.queue.push_back(Job {
+            id,
+            request,
+            handle: Arc::clone(&handle),
+        });
+        drop(state);
+        self.shared.not_empty.notify_one();
+        Ok(RequestHandle { id, shared: handle })
+    }
+
+    /// A point-in-time snapshot of the engine's serving counters.
+    pub fn stats(&self) -> ServingStats {
+        // Both counters are monotone, so reading `completed` strictly before
+        // `submitted` keeps the snapshot consistent (`completed <=
+        // submitted`) without holding both locks at once.
+        let counters = self.shared.counters.lock().unwrap();
+        let (completed, busy) = (counters.completed, counters.busy);
+        drop(counters);
+        let state = self.shared.state.lock().unwrap();
+        ServingStats {
+            submitted: state.submitted,
+            completed,
+            queue_depth: state.queue.len(),
+            in_flight: state.in_flight,
+            workers: self.shared.worker_count,
+            busy,
+            elapsed: self.shared.started.elapsed(),
+        }
+    }
+
+    /// Stops intake, drains every already-queued request, joins the workers
+    /// and returns the final stats. Requests submitted before the call are
+    /// all completed; concurrent submitters receive
+    /// [`ServingError::ShutDown`].
+    pub fn shutdown(mut self) -> ServingStats {
+        self.halt();
+        self.stats()
+    }
+
+    /// Idempotent part of shutdown: flips the flag, wakes everyone, joins.
+    fn halt(&mut self) {
+        self.shared.state.lock().unwrap().shutting_down = true;
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl<T, R> Drop for ServingEngine<T, R> {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+/// One worker: pop-execute-publish until shutdown *and* an empty queue.
+fn worker_loop<T, R>(shared: &Shared<T, R>, handler: &(dyn Fn(u64, T) -> R + Send + Sync)) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    state.in_flight += 1;
+                    break job;
+                }
+                if state.shutting_down {
+                    return;
+                }
+                state = shared.not_empty.wait(state).unwrap();
+            }
+        };
+        shared.not_full.notify_one();
+
+        let Job {
+            id,
+            request,
+            handle,
+        } = job;
+        let started = Instant::now();
+        // A panicking handler must not kill the worker (the queue behind it
+        // would never drain) nor leave its waiter blocked forever: catch the
+        // unwind, poison the result slot, and let retrievers re-raise it.
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler(id, request)));
+        let elapsed = started.elapsed();
+
+        // Book-keeping first: a waiter woken by the notify below must
+        // already observe this request in the counters when it calls
+        // `stats()`.
+        shared.state.lock().unwrap().in_flight -= 1;
+        {
+            let mut counters = shared.counters.lock().unwrap();
+            counters.completed += 1;
+            counters.busy += elapsed;
+        }
+
+        {
+            let mut slot = handle
+                .slot
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            match result {
+                Ok(value) => slot.value = Some(value),
+                Err(_) => slot.poisoned = true,
+            }
+            slot.finished = true;
+        }
+        handle.done.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn engine_with<F, T, R>(workers: usize, capacity: usize, handler: F) -> ServingEngine<T, R>
+    where
+        F: Fn(u64, T) -> R + Send + Sync + 'static,
+        T: Send + 'static,
+        R: Send + 'static,
+    {
+        ServingEngine::new(
+            ServingConfig {
+                workers,
+                queue_capacity: capacity,
+            },
+            handler,
+        )
+    }
+
+    #[test]
+    fn handles_return_their_own_request_despite_out_of_order_completion() {
+        // Earlier submissions sleep longer, so with 4 workers the completion
+        // order inverts the submission order — handles must still pair each
+        // submission with its own result.
+        let completion_order = Arc::new(Mutex::new(Vec::new()));
+        let order = Arc::clone(&completion_order);
+        let engine = engine_with(4, 16, move |id, sleep_ms: u64| {
+            std::thread::sleep(Duration::from_millis(sleep_ms));
+            order.lock().unwrap().push(id);
+            (id, sleep_ms * 2)
+        });
+        let handles: Vec<_> = (0..4)
+            .map(|i| engine.submit((4 - i) * 40).unwrap())
+            .collect();
+        for (i, handle) in handles.into_iter().enumerate() {
+            assert_eq!(handle.id(), i as u64);
+            assert_eq!(handle.wait(), (i as u64, (4 - i as u64) * 40 * 2));
+        }
+        let order = completion_order.lock().unwrap();
+        assert_eq!(order.len(), 4);
+        // On a multi-core host the sleeps force inversion; on a single-core
+        // host thread preemption still runs all four concurrently.
+        drop(order);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_work() {
+        let executed = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&executed);
+        let engine = engine_with(2, 64, move |_, ()| {
+            std::thread::sleep(Duration::from_millis(5));
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        let handles: Vec<_> = (0..20).map(|_| engine.submit(()).unwrap()).collect();
+        let stats = engine.shutdown();
+        assert_eq!(stats.submitted, 20);
+        assert_eq!(stats.completed, 20);
+        assert_eq!(stats.queue_depth, 0);
+        assert_eq!(stats.in_flight, 0);
+        assert_eq!(executed.load(Ordering::Relaxed), 20);
+        assert!(stats.busy >= Duration::from_millis(20 * 5 / 2));
+        assert!(stats.throughput_rps() > 0.0);
+        assert!(stats.mean_latency().unwrap() >= Duration::from_millis(5));
+        for handle in handles {
+            assert!(handle.is_finished());
+            assert!(handle.try_poll().is_some());
+        }
+    }
+
+    #[test]
+    fn submission_after_shutdown_is_rejected() {
+        let engine: ServingEngine<u32, u32> = engine_with(1, 4, |_, v| v);
+        let handle = engine.submit(7).unwrap();
+        assert_eq!(handle.wait(), 7);
+        // Shutdown via an aliased engine reference is not possible (it takes
+        // self), so exercise the error through a second engine.
+        let stats = engine.shutdown();
+        assert_eq!(stats.completed, 1);
+
+        let engine: ServingEngine<u32, u32> = engine_with(1, 4, |_, v| v);
+        drop(engine.submit(1).unwrap());
+        let mut engine = engine;
+        engine.halt();
+        assert_eq!(engine.submit(2).unwrap_err(), ServingError::ShutDown);
+    }
+
+    #[test]
+    fn try_poll_is_none_until_completion_and_after_taking() {
+        let engine = engine_with(1, 4, |_, ms: u64| {
+            std::thread::sleep(Duration::from_millis(ms));
+            ms
+        });
+        let slow = engine.submit(100).unwrap();
+        let queued = engine.submit(1).unwrap();
+        // The single worker is busy with the slow request, so the queued one
+        // cannot have completed yet.
+        assert!(queued.try_poll().is_none());
+        assert_eq!(queued.wait(), 1);
+        let polled = loop {
+            if let Some(v) = slow.try_poll() {
+                break v;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        assert_eq!(polled, 100);
+        assert!(slow.try_poll().is_none(), "result is single-shot");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure() {
+        let gate = Arc::new(Mutex::new(()));
+        let guard = gate.lock().unwrap();
+        let handler_gate = Arc::clone(&gate);
+        let engine = engine_with(1, 2, move |_, ()| {
+            drop(handler_gate.lock().unwrap());
+        });
+        // Worker takes one job and blocks on the gate; two more fill the
+        // bounded queue.
+        for _ in 0..3 {
+            engine.submit(()).unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        let stats = engine.stats();
+        assert_eq!(stats.queue_depth, 2, "queue holds exactly its capacity");
+        assert_eq!(stats.in_flight, 1);
+        drop(guard);
+        let stats = engine.shutdown();
+        assert_eq!(stats.completed, 3);
+    }
+
+    #[test]
+    fn handler_panic_poisons_only_its_own_request() {
+        let engine = engine_with(1, 8, |_, v: u32| {
+            assert!(v != 13, "unlucky request");
+            v * 2
+        });
+        let bad = engine.submit(13).unwrap();
+        let good = engine.submit(4).unwrap();
+        // The worker survives the panic and drains the rest of the queue.
+        assert_eq!(good.wait(), 8);
+        assert!(bad.is_finished());
+        // Every retrieval attempt re-raises the handler panic with the
+        // intended message, and a panicking accessor does not wedge the
+        // handle for later ones (no std mutex poisoning leaks through).
+        for _ in 0..2 {
+            let reraised =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| bad.try_poll()));
+            let message = *reraised
+                .expect_err("polling a panicked request re-raises")
+                .downcast::<String>()
+                .expect("panic message is a string");
+            assert!(message.contains("panicked in its handler"), "{message}");
+            assert!(bad.is_finished());
+        }
+        let reraised = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| bad.wait()));
+        assert!(reraised.is_err(), "waiting on a panicked request re-raises");
+        let stats = engine.shutdown();
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.in_flight, 0);
+    }
+
+    #[test]
+    fn stats_snapshot_while_serving() {
+        let engine = engine_with(2, 8, |_, v: u64| v + 1);
+        let handles: Vec<_> = (0..10).map(|v| engine.submit(v).unwrap()).collect();
+        let results: Vec<u64> = handles.into_iter().map(RequestHandle::wait).collect();
+        assert_eq!(results, (1..=10).collect::<Vec<_>>());
+        let stats = engine.stats();
+        assert_eq!(stats.submitted, 10);
+        assert_eq!(stats.completed, 10);
+        assert_eq!(stats.workers, 2);
+        engine.shutdown();
+    }
+}

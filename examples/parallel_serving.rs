@@ -1,25 +1,34 @@
-//! The serving scenario: compile one kernel, then execute a stream of
-//! independently encrypted requests through the two-level parallel runtime.
+//! The serving scenario: compile one kernel, build one long-lived
+//! `FheSession` (keys + schedule generated exactly once), then stream
+//! requests through a persistent `ServingEngine` request queue.
 //!
 //! Run with `cargo run --release --example parallel_serving`.
 
 use chehab::benchsuite;
-use chehab::compiler::{BatchOptions, Compiler};
+use chehab::compiler::{Compiler, ExecOptions};
 use chehab::fhe::BfvParameters;
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
     let benchmark = benchsuite::by_id("Dot Product 16").expect("known kernel");
     let compiled = Compiler::greedy().compile(benchmark.id(), benchmark.program());
     let params = BfvParameters::insecure_test();
-    let schedule = compiled.schedule();
+
+    // Keygen + schedule lowering happen here, once, regardless of how many
+    // requests the session serves afterwards.
+    let session = Arc::new(compiled.session(&params).expect("session construction"));
+    let stats = session.stats();
     println!(
-        "== {}: {} instructions across {} wavefront levels (width {})",
-        compiled.name(),
-        schedule.instrs().len(),
-        schedule.level_count(),
-        schedule.max_width()
+        "== {}: session up in {:.2?} keygen + {:.2?} lowering; {} instructions across {} \
+         wavefront levels (width {})",
+        session.program().name(),
+        stats.keygen_time,
+        stats.lowering_time,
+        session.schedule().instrs().len(),
+        stats.schedule_levels,
+        stats.schedule_width
     );
 
     // Sixteen independent requests, each with its own input set.
@@ -35,35 +44,47 @@ fn main() {
         })
         .collect();
 
-    let options = BatchOptions {
-        request_threads: 4,
-        threads_per_request: 1,
-    };
+    // A persistent request queue over the shared session: submit returns a
+    // handle immediately; workers drain the queue in the background.
+    let options = ExecOptions::new().with_queue_capacity(32);
+    let engine = session.serve(&options);
     let started = Instant::now();
-    let reports = compiled
-        .execute_batch(&requests, &params, &options)
-        .expect("batch execution succeeds");
-    let elapsed = started.elapsed();
+    let handles: Vec<_> = requests
+        .iter()
+        .map(|inputs| {
+            engine
+                .submit(inputs.clone())
+                .expect("engine accepts while live")
+        })
+        .collect();
 
-    for (i, report) in reports.iter().enumerate() {
+    // Handles pair each submission with its own result, so results arrive in
+    // submission order even if completions interleave.
+    for handle in handles {
+        let id = handle.id();
+        let report = handle.wait().expect("request execution succeeds");
         println!(
-            "request {i:2}: output {:?}, {} homomorphic ops, {:.1} noise bits",
+            "request {id:2}: output {:?}, {} homomorphic ops, {:.1} noise bits",
             report.outputs,
             report.operation_stats.total(),
             report.noise_budget_consumed
         );
     }
-    let calibrated = reports
-        .last()
-        .expect("at least one request")
-        .timing
-        .per_op
+    let elapsed = started.elapsed();
+
+    let serving = engine.shutdown();
+    let session_stats = session.stats();
+    let calibrated = session_stats
+        .calibration
         .to_cost_model(&chehab::ir::CostModel::default());
     println!(
-        "batch of {} served in {elapsed:.2?} ({} request workers); calibrated ct-ct mul cost: \
-         {:.1} additions",
-        reports.len(),
-        options.request_threads,
-        calibrated.op_costs.vec_mul_ct_ct
+        "served {} requests in {elapsed:.2?} ({} workers, {:.1} req/s); keygen ran once for all \
+         of them; calibrated ct-ct mul cost: {:.1} additions (from {} samples across the whole \
+         session)",
+        serving.completed,
+        serving.workers,
+        serving.throughput_rps(),
+        calibrated.op_costs.vec_mul_ct_ct,
+        session_stats.calibration.sample_count()
     );
 }

@@ -15,8 +15,8 @@
 //! | [`datagen`] | `chehab-datagen` | training-data synthesis |
 //! | [`benchsuite`] | `chehab-benchsuite` | Porcupine / Coyote / tree kernels |
 //! | [`coyote`] | `coyote-baseline` | search-based vectorizer baseline |
-//! | [`compiler`] | `chehab-core` | DSL, pipeline, rotation keys, codegen |
-//! | [`runtime`] | `chehab-runtime` | two-level parallel execution runtime |
+//! | [`compiler`] | `chehab-core` | DSL, pipeline, rotation keys, codegen, `FheSession` serving API |
+//! | [`runtime`] | `chehab-runtime` | two-level parallel execution runtime + `ServingEngine` request queue |
 //!
 //! ## Quick start
 //!
@@ -88,7 +88,8 @@ pub mod compiler {
     pub use chehab_core::*;
 }
 
-/// The two-level parallel execution runtime (re-export of `chehab-runtime`).
+/// The two-level parallel execution runtime and persistent serving engine
+/// (re-export of `chehab-runtime`).
 pub mod runtime {
     pub use chehab_runtime::*;
 }

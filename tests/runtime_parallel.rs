@@ -1,11 +1,12 @@
 //! Equivalence and scheduling tests for the parallel execution runtime:
-//! `execute_parallel` must produce bit-identical outputs to the sequential
-//! `execute` on every benchsuite kernel across thread counts, batches must
-//! match individual runs, and every lowered schedule must respect the
-//! wavefront invariant (operands in strictly earlier levels).
+//! session-based parallel execution must produce bit-identical outputs to
+//! the sequential path on every benchsuite kernel, batches must match
+//! individual runs, the historical `execute*` shims must match the session
+//! API they wrap, and every lowered schedule must respect the wavefront
+//! invariant (operands in strictly earlier levels).
 
 use chehab::benchsuite::{self, Benchmark};
-use chehab::compiler::{BatchOptions, CompiledProgram, Compiler};
+use chehab::compiler::{BatchOptions, CompiledProgram, Compiler, ExecOptions, FheSession};
 use chehab::fhe::BfvParameters;
 use chehab::runtime::Instr;
 use std::collections::HashMap;
@@ -34,23 +35,28 @@ fn compile_initial(benchmark: &Benchmark) -> CompiledProgram {
     Compiler::without_optimizer().compile(benchmark.id(), benchmark.program())
 }
 
-/// `execute_parallel` is output-identical to sequential `execute` on every
-/// benchsuite kernel (Porcupine, Coyote, trees) across 1/2/4 threads.
+fn session_of(benchmark: &Benchmark) -> FheSession {
+    compile_initial(benchmark)
+        .session(&test_params())
+        .unwrap_or_else(|e| panic!("{}: session construction failed: {e}", benchmark.id()))
+}
+
+/// `run_parallel` is output-identical to sequential `run` on every
+/// benchsuite kernel (Porcupine, Coyote, trees) across 1/2/4 threads — all
+/// through one shared session per kernel (keys + schedule built once).
 #[test]
 fn parallel_execution_matches_sequential_on_every_kernel() {
-    let params = test_params();
     for benchmark in benchsuite::full_suite() {
-        let compiled = compile_initial(&benchmark);
+        let session = session_of(&benchmark);
         let inputs = inputs_of(&benchmark, 17);
-        let sequential = compiled
-            .execute(&inputs, &params)
+        let sequential = session
+            .run(&inputs)
             .unwrap_or_else(|e| panic!("{}: sequential execution failed: {e}", benchmark.id()));
         for threads in [1usize, 2, 4] {
-            let parallel = compiled
-                .execute_parallel(&inputs, &params, threads)
-                .unwrap_or_else(|e| {
-                    panic!("{}: {threads}-thread execution failed: {e}", benchmark.id())
-                });
+            let options = ExecOptions::sequential().with_threads_per_request(threads);
+            let parallel = session.run_parallel(&inputs, &options).unwrap_or_else(|e| {
+                panic!("{}: {threads}-thread execution failed: {e}", benchmark.id())
+            });
             assert_eq!(
                 parallel.outputs,
                 sequential.outputs,
@@ -93,12 +99,12 @@ fn parallel_execution_matches_sequential_on_optimized_kernels() {
     ] {
         let benchmark = benchsuite::by_id(id).expect("known benchmark id");
         let compiled = Compiler::greedy().compile(benchmark.id(), benchmark.program());
+        let session = compiled.session(&params).unwrap();
         let inputs = inputs_of(&benchmark, 23);
-        let sequential = compiled.execute(&inputs, &params).unwrap();
+        let sequential = session.run(&inputs).unwrap();
         for threads in [2usize, 4] {
-            let parallel = compiled
-                .execute_parallel(&inputs, &params, threads)
-                .unwrap();
+            let options = ExecOptions::sequential().with_threads_per_request(threads);
+            let parallel = session.run_parallel(&inputs, &options).unwrap();
             assert_eq!(
                 parallel.outputs, sequential.outputs,
                 "{id}: outputs diverged"
@@ -160,28 +166,24 @@ fn schedules_respect_the_wavefront_invariant_on_every_kernel() {
     }
 }
 
-/// Two-level batch execution matches one-at-a-time execution, under every
-/// thread-allocation split.
+/// Two-level batch execution through one session matches one-at-a-time
+/// execution, under every thread-allocation split.
 #[test]
 fn batch_execution_matches_individual_execution() {
-    let params = test_params();
     let benchmark = benchsuite::by_id("Dot Product 8").expect("known benchmark id");
-    let compiled = compile_initial(&benchmark);
+    let session = session_of(&benchmark);
     let input_sets: Vec<HashMap<String, i64>> = (0..8)
         .map(|seed| inputs_of(&benchmark, 100 + seed))
         .collect();
     let solo: Vec<Vec<u64>> = input_sets
         .iter()
-        .map(|inputs| compiled.execute(inputs, &params).unwrap().outputs)
+        .map(|inputs| session.run(inputs).unwrap().outputs)
         .collect();
     for (request_threads, threads_per_request) in [(1, 4), (4, 1), (2, 2)] {
-        let options = BatchOptions {
-            request_threads,
-            threads_per_request,
-        };
-        let reports = compiled
-            .execute_batch(&input_sets, &params, &options)
-            .unwrap();
+        let options = ExecOptions::new()
+            .with_request_threads(request_threads)
+            .with_threads_per_request(threads_per_request);
+        let reports = session.run_batch(&input_sets, &options).unwrap();
         let outputs: Vec<Vec<u64>> = reports.into_iter().map(|r| r.outputs).collect();
         assert_eq!(
             outputs, solo,
@@ -190,16 +192,55 @@ fn batch_execution_matches_individual_execution() {
     }
 }
 
-/// The timing breakdown is populated and its level count matches the
-/// schedule.
+/// The historical `execute` / `execute_parallel` / `execute_batch` shims
+/// match the session API they now wrap.
 #[test]
-fn timing_breakdown_reflects_the_schedule() {
+fn execute_shims_match_the_session_api() {
     let params = test_params();
     let benchmark = benchsuite::by_id("Linear Reg. 4").expect("known benchmark id");
     let compiled = compile_initial(&benchmark);
-    let schedule = compiled.schedule();
-    let report = compiled
-        .execute_parallel(&inputs_of(&benchmark, 3), &params, 4)
+    let session = compiled.session(&params).unwrap();
+    let inputs = inputs_of(&benchmark, 41);
+
+    let from_session = session.run(&inputs).unwrap();
+    let from_shim = compiled.execute(&inputs, &params).unwrap();
+    assert_eq!(from_shim.outputs, from_session.outputs);
+    assert_eq!(from_shim.operation_stats, from_session.operation_stats);
+
+    let parallel_shim = compiled.execute_parallel(&inputs, &params, 4).unwrap();
+    assert_eq!(parallel_shim.outputs, from_session.outputs);
+
+    let input_sets: Vec<HashMap<String, i64>> = (0..4)
+        .map(|seed| inputs_of(&benchmark, 200 + seed))
+        .collect();
+    let batch_options = BatchOptions {
+        request_threads: 2,
+        threads_per_request: 1,
+    };
+    let shim_batch = compiled
+        .execute_batch(&input_sets, &params, &batch_options)
+        .unwrap();
+    let session_batch = session
+        .run_batch(&input_sets, &ExecOptions::from(batch_options))
+        .unwrap();
+    for (a, b) in shim_batch.iter().zip(&session_batch) {
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.operation_stats, b.operation_stats);
+    }
+}
+
+/// The timing breakdown is populated and its level count matches the
+/// schedule; the session accumulates calibration across requests.
+#[test]
+fn timing_breakdown_reflects_the_schedule() {
+    let benchmark = benchsuite::by_id("Linear Reg. 4").expect("known benchmark id");
+    let session = session_of(&benchmark);
+    let schedule = session.schedule();
+    let report = session
+        .run_parallel(
+            &inputs_of(&benchmark, 3),
+            &ExecOptions::sequential().with_threads_per_request(4),
+        )
         .unwrap();
     assert_eq!(report.timing.levels.len(), schedule.level_count());
     assert_eq!(
@@ -221,4 +262,12 @@ fn timing_breakdown_reflects_the_schedule() {
         .per_op
         .to_cost_model(&chehab::ir::CostModel::default());
     assert!(model.op_costs.vec_mul_ct_ct > 0.0);
+
+    // The session-level calibration is cumulative: a second request doubles
+    // the sample count.
+    let per_request = report.timing.per_op.sample_count();
+    session.run(&inputs_of(&benchmark, 4)).unwrap();
+    let stats = session.stats();
+    assert_eq!(stats.requests_served, 2);
+    assert_eq!(stats.calibration.sample_count(), 2 * per_request);
 }
