@@ -1,43 +1,58 @@
-//! Criterion benchmarks of the compilers themselves: compilation time of the
-//! greedy CHEHAB pipeline and of the Coyote-style layout search (the Figure 6
+//! Benchmarks of the compilers themselves: compilation time of the greedy
+//! CHEHAB pipeline and of the Coyote-style layout search (the Figure 6
 //! comparison), and end-to-end execution time of the circuits each produces
 //! (the Figure 5 comparison), on representative kernels.
+//!
+//! Runs on the registry-free harness in `chehab_bench::micro` (`criterion`
+//! is unavailable in hermetic builds); invoke with `cargo bench -p
+//! chehab-bench --bench compiler_benches`.
 
+use chehab_bench::micro::{print_micro, time_micro};
 use chehab_bench::{CompilerUnderTest, HarnessConfig};
 use chehab_benchsuite::by_id;
 use chehab_core::Compiler;
 use chehab_fhe::BfvParameters;
 use coyote_baseline::CoyoteCompiler;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::collections::HashMap;
-use std::hint::black_box;
-use std::time::Duration;
 
-const KERNELS: [&str; 4] = ["Dot Product 8", "Linear Reg. 4", "Poly. Reg. 8", "Mat. Mul. 3x3"];
+const KERNELS: [&str; 4] = [
+    "Dot Product 8",
+    "Linear Reg. 4",
+    "Poly. Reg. 8",
+    "Mat. Mul. 3x3",
+];
 
-fn bench_compile_time(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compile_time");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+fn main() {
+    let iters = if std::env::args().any(|a| a == "--quick") {
+        3
+    } else {
+        10
+    };
     let harness = HarnessConfig::default();
+
+    println!("== compile_time ({iters} iters/row)");
     for id in KERNELS {
         let benchmark = by_id(id).expect("known benchmark");
-        group.bench_function(format!("chehab_greedy/{id}"), |b| {
-            let compiler = Compiler::greedy();
-            b.iter(|| black_box(compiler.compile(id, black_box(benchmark.program()))));
-        });
-        group.bench_function(format!("coyote/{id}"), |b| {
-            let compiler = CoyoteCompiler::with_config(harness.coyote_config());
-            b.iter(|| black_box(compiler.compile(black_box(benchmark.program()))));
-        });
+        let compiler = Compiler::greedy();
+        let mut cost = 0.0;
+        print_micro(&time_micro(format!("chehab_greedy/{id}"), 1, iters, || {
+            cost += compiler.compile(id, benchmark.program()).stats().cost_after;
+        }));
+        let coyote = CoyoteCompiler::with_config(harness.coyote_config());
+        print_micro(&time_micro(format!("coyote/{id}"), 1, iters, || {
+            cost += coyote
+                .compile(benchmark.program())
+                .compile_time
+                .as_secs_f64();
+        }));
+        assert!(cost >= 0.0);
     }
-    group.finish();
-}
 
-fn bench_execution_time(c: &mut Criterion) {
-    let mut group = c.benchmark_group("exec_time");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
-    let harness = HarnessConfig::default();
-    let params = BfvParameters { payload_degree: 512, ..BfvParameters::default_128() };
+    println!("\n== exec_time ({iters} iters/row, payload degree 512)");
+    let params = BfvParameters {
+        payload_degree: 512,
+        ..BfvParameters::default_128()
+    };
     for id in KERNELS {
         let benchmark = by_id(id).expect("known benchmark");
         let inputs: HashMap<String, i64> = benchmark
@@ -57,13 +72,12 @@ fn bench_execution_time(c: &mut Criterion) {
             // real sampling + NTT work under simulate_compute) and schedule
             // lowering must not be attributed to execution time.
             let session = compiled.session(&params).expect("session construction");
-            group.bench_function(format!("{label}/{id}"), |b| {
-                b.iter(|| black_box(session.run(black_box(&inputs)).expect("executes")));
-            });
+            let mut served = 0u64;
+            print_micro(&time_micro(format!("{label}/{id}"), 1, iters, || {
+                let report = session.run(&inputs).expect("executes");
+                served += u64::from(report.decryption_ok);
+            }));
+            assert!(served > 0);
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_compile_time, bench_execution_time);
-criterion_main!(benches);

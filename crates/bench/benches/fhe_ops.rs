@@ -1,14 +1,25 @@
-//! Criterion micro-benchmarks of the BFV backend: the relative costs of the
+//! Micro-benchmarks of the BFV backend: the relative costs of the
 //! homomorphic operations (ct-ct multiplication ≫ rotation ≫ ct-pt
 //! multiplication ≫ addition) that the paper's cost model (Section 5.3.1)
 //! assumes.
+//!
+//! Runs on the registry-free harness in `chehab_bench::micro` (`criterion`
+//! is unavailable in hermetic builds); invoke with `cargo bench -p
+//! chehab-bench --bench fhe_ops`.
 
+use chehab_bench::micro::{print_micro, time_micro};
 use chehab_fhe::{BfvParameters, Encryptor, Evaluator, FheContext, KeyGenerator};
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 
-fn bench_fhe_operations(c: &mut Criterion) {
-    let params = BfvParameters { payload_degree: 1024, ..BfvParameters::default_128() };
+fn main() {
+    let iters = if std::env::args().any(|a| a == "--quick") {
+        5
+    } else {
+        25
+    };
+    let params = BfvParameters {
+        payload_degree: 1024,
+        ..BfvParameters::default_128()
+    };
     let ctx = FheContext::new(params).expect("valid parameters");
     let mut keygen = KeyGenerator::new(ctx.params(), 1);
     let mut encryptor = Encryptor::new(&ctx, &keygen.public_key());
@@ -16,25 +27,35 @@ fn bench_fhe_operations(c: &mut Criterion) {
     let galois = keygen.default_galois_keys();
     let mut evaluator = Evaluator::new(&ctx);
 
-    let a = encryptor.encrypt_values(&(0..32).collect::<Vec<i64>>()).expect("encrypt");
-    let b = encryptor.encrypt_values(&(32..64).collect::<Vec<i64>>()).expect("encrypt");
+    let a = encryptor
+        .encrypt_values(&(0..32).collect::<Vec<i64>>())
+        .expect("encrypt");
+    let b = encryptor
+        .encrypt_values(&(32..64).collect::<Vec<i64>>())
+        .expect("encrypt");
     let plain = ctx.encode(&(1..33).collect::<Vec<i64>>()).expect("encode");
 
-    let mut group = c.benchmark_group("fhe_ops");
-    group.bench_function("ct_ct_add", |bencher| {
-        bencher.iter(|| black_box(evaluator.add(black_box(&a), black_box(&b))))
-    });
-    group.bench_function("ct_pt_mul", |bencher| {
-        bencher.iter(|| black_box(evaluator.multiply_plain(black_box(&a), black_box(&plain))))
-    });
-    group.bench_function("rotation", |bencher| {
-        bencher.iter(|| black_box(evaluator.rotate(black_box(&a), 4, &galois).expect("keyed step")))
-    });
-    group.bench_function("ct_ct_mul", |bencher| {
-        bencher.iter(|| black_box(evaluator.multiply(black_box(&a), black_box(&b), &relin)))
-    });
-    group.finish();
+    println!("== fhe_ops ({} iters/row, payload degree 1024)", iters);
+    let mut sink = Vec::new();
+    print_micro(&time_micro("fhe_ops/ct_ct_add", 2, iters, || {
+        sink.push(evaluator.add(&a, &b).noise_consumed_bits());
+        sink.clear();
+    }));
+    print_micro(&time_micro("fhe_ops/ct_pt_mul", 2, iters, || {
+        sink.push(evaluator.multiply_plain(&a, &plain).noise_consumed_bits());
+        sink.clear();
+    }));
+    print_micro(&time_micro("fhe_ops/rotation", 2, iters, || {
+        sink.push(
+            evaluator
+                .rotate(&a, 4, &galois)
+                .expect("keyed step")
+                .noise_consumed_bits(),
+        );
+        sink.clear();
+    }));
+    print_micro(&time_micro("fhe_ops/ct_ct_mul", 2, iters, || {
+        sink.push(evaluator.multiply(&a, &b, &relin).noise_consumed_bits());
+        sink.clear();
+    }));
 }
-
-criterion_group!(benches, bench_fhe_operations);
-criterion_main!(benches);

@@ -11,6 +11,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod micro;
+
 use chehab_benchsuite::Benchmark;
 use chehab_core::{
     external_compile_stats, output_slots_of, select_rotation_keys, CompiledProgram, Compiler,
@@ -759,6 +761,192 @@ pub fn write_serving_json(
         (
             "geomean_wall_amortized_speedup".into(),
             Value::Float(geometric_mean_ratio(&wall, &ones)),
+        ),
+        ("kernels".into(), Value::Array(rows)),
+    ]);
+    let path = path.as_ref().to_path_buf();
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&document).expect("stub serializer is infallible"),
+    )?;
+    Ok(path)
+}
+
+/// One hot-path re-measurement of a kernel's per-request serving latency,
+/// compared against the request latency recorded in a previous
+/// `BENCH_serving.json` (the pre-optimization baseline).
+#[derive(Debug, Clone)]
+pub struct HotpathMeasurement {
+    /// Benchmark identifier.
+    pub benchmark: String,
+    /// Median per-request wall time under session reuse now, ms.
+    pub request_ms: f64,
+    /// The same quantity from the baseline artifact, if the kernel appears
+    /// there.
+    pub baseline_request_ms: Option<f64>,
+    /// `baseline_request_ms / request_ms` (above 1.0 = the hot path got
+    /// faster).
+    pub improvement: Option<f64>,
+    /// Whether every request's decrypted outputs matched the plaintext
+    /// reference (the same bit-exactness bar the seed executor met).
+    pub correct: bool,
+}
+
+/// Re-measures one kernel's per-request latency the way `measure_serving`
+/// does (one warm session, `requests` requests per pass, medians over
+/// `runs` passes), checking every output against the plaintext reference.
+pub fn measure_hotpath(
+    benchmark: &Benchmark,
+    compiler: &CompilerUnderTest,
+    params: &BfvParameters,
+    runs: usize,
+    requests: usize,
+    baseline_request_ms: Option<f64>,
+) -> HotpathMeasurement {
+    let compiled = compiler.compile(benchmark);
+    let requests = requests.max(1);
+    let input_sets: Vec<HashMap<String, i64>> = (0..requests)
+        .map(|seed| {
+            benchmark
+                .program()
+                .variables()
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| (v.to_string(), ((seed + i) as i64 % 11) + 1))
+                .collect()
+        })
+        .collect();
+    let expected: Vec<Vec<u64>> = input_sets
+        .iter()
+        .map(|inputs| {
+            let mut env = chehab_ir::Env::new();
+            for (k, v) in inputs {
+                env.bind(k.clone(), *v);
+            }
+            chehab_ir::evaluate(benchmark.program(), &env)
+                .map(|v| {
+                    v.slots()
+                        .into_iter()
+                        .take(benchmark.output_slots())
+                        .collect()
+                })
+                .unwrap_or_default()
+        })
+        .collect();
+
+    let session = compiled
+        .session(params)
+        .unwrap_or_else(|e| panic!("{}: session construction failed: {e}", benchmark.id()));
+    let mut request_times = Vec::with_capacity(runs.max(1) * requests);
+    let mut correct = true;
+    for _ in 0..runs.max(1) {
+        for (inputs, expected) in input_sets.iter().zip(&expected) {
+            let started = Instant::now();
+            let report = session
+                .run(inputs)
+                .unwrap_or_else(|e| panic!("{}: session run failed: {e}", benchmark.id()));
+            request_times.push(started.elapsed());
+            let got: Vec<u64> = report
+                .outputs
+                .iter()
+                .copied()
+                .take(expected.len())
+                .collect();
+            correct &= report.decryption_ok && &got == expected;
+        }
+    }
+    request_times.sort_unstable();
+    let request_ms = ms(request_times[request_times.len() / 2]);
+    HotpathMeasurement {
+        benchmark: benchmark.id(),
+        request_ms,
+        baseline_request_ms,
+        improvement: baseline_request_ms.map(|b| b / request_ms.max(1e-9)),
+        correct,
+    }
+}
+
+/// Loads `benchmark -> request_ms` from a previous `BENCH_serving.json`
+/// artifact, or `None` if the file is missing or unparseable.
+pub fn load_serving_request_baseline(
+    path: impl AsRef<std::path::Path>,
+) -> Option<HashMap<String, f64>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let value: serde::Value = serde_json::from_str(&text).ok()?;
+    let kernels = value.field("kernels").ok()?.as_array("kernels").ok()?;
+    let mut baseline = HashMap::new();
+    for kernel in kernels {
+        let name = match kernel.field("benchmark") {
+            Ok(serde::Value::Str(s)) => s.clone(),
+            _ => continue,
+        };
+        let request_ms = match kernel.field("request_ms") {
+            Ok(serde::Value::Float(f)) => *f,
+            Ok(serde::Value::Int(i)) => *i as f64,
+            _ => continue,
+        };
+        baseline.insert(name, request_ms);
+    }
+    Some(baseline)
+}
+
+/// Writes hot-path measurements as JSON into `path` and returns it.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_hotpath_json(
+    path: impl AsRef<std::path::Path>,
+    requests: usize,
+    measurements: &[HotpathMeasurement],
+) -> std::io::Result<std::path::PathBuf> {
+    use serde::Value;
+    let rows: Vec<Value> = measurements
+        .iter()
+        .map(|m| {
+            Value::Object(vec![
+                ("benchmark".into(), Value::Str(m.benchmark.clone())),
+                ("request_ms".into(), Value::Float(m.request_ms)),
+                (
+                    "baseline_request_ms".into(),
+                    m.baseline_request_ms.map_or(Value::Null, Value::Float),
+                ),
+                (
+                    "improvement".into(),
+                    m.improvement.map_or(Value::Null, Value::Float),
+                ),
+                ("correct".into(), Value::Bool(m.correct)),
+            ])
+        })
+        .collect();
+    let improvements: Vec<f64> = measurements.iter().filter_map(|m| m.improvement).collect();
+    let ones = vec![1.0; improvements.len()];
+    let document = Value::Object(vec![
+        ("experiment".into(), Value::Str("hotpath".into())),
+        ("requests".into(), Value::Int(requests as i64)),
+        ("host_cpus".into(), Value::Int(available_cpus() as i64)),
+        (
+            "speedup_semantics".into(),
+            Value::Str(
+                "improvement = baseline request_ms (from BENCH_serving.json, the pre-hot-path \
+                 engine) / request_ms re-measured under the current engine, per kernel on \
+                 measured wall time; geomean_improvement aggregates kernels present in the \
+                 baseline. correct asserts every request's outputs matched the plaintext \
+                 reference"
+                    .into(),
+            ),
+        ),
+        (
+            "kernels_measured".into(),
+            Value::Int(measurements.len() as i64),
+        ),
+        (
+            "kernels_with_baseline".into(),
+            Value::Int(improvements.len() as i64),
+        ),
+        (
+            "geomean_improvement".into(),
+            Value::Float(geometric_mean_ratio(&improvements, &ones)),
         ),
         ("kernels".into(), Value::Array(rows)),
     ]);

@@ -1,0 +1,94 @@
+//! A registry-free micro-benchmark harness.
+//!
+//! The crates.io `criterion` crate is unavailable in hermetic builds, so the
+//! micro-benchmarks under `benches/` and the `ntt_micro` binary share this
+//! small timing loop instead: warm up, run a fixed number of timed
+//! iterations, report the median (robust against scheduler stalls on busy
+//! 1-CPU hosts, where a mean would drift).
+
+use std::time::{Duration, Instant};
+
+/// One timed micro-benchmark result.
+#[derive(Debug, Clone)]
+pub struct MicroResult {
+    /// Label of the benchmark (e.g. `"forward_ntt/4096"`).
+    pub label: String,
+    /// Timed iterations.
+    pub iters: usize,
+    /// Median per-iteration time.
+    pub median: Duration,
+    /// Mean per-iteration time.
+    pub mean: Duration,
+    /// Fastest observed iteration.
+    pub min: Duration,
+}
+
+impl MicroResult {
+    /// Median time in milliseconds.
+    pub fn median_ms(&self) -> f64 {
+        self.median.as_secs_f64() * 1e3
+    }
+}
+
+/// Times `body` for `iters` iterations after `warmup` untimed ones and
+/// returns the per-iteration statistics. The closure's side effects are its
+/// own sink — have it write into state the caller keeps alive (the usual
+/// black-box pattern without the unstable intrinsics).
+pub fn time_micro(
+    label: impl Into<String>,
+    warmup: usize,
+    iters: usize,
+    mut body: impl FnMut(),
+) -> MicroResult {
+    for _ in 0..warmup {
+        body();
+    }
+    let iters = iters.max(1);
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let started = Instant::now();
+        body();
+        samples.push(started.elapsed());
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let total: Duration = samples.iter().sum();
+    MicroResult {
+        label: label.into(),
+        iters,
+        median,
+        mean: total / iters as u32,
+        min,
+    }
+}
+
+/// Prints one result row in the harness's standard format.
+pub fn print_micro(result: &MicroResult) {
+    println!(
+        "{:<34} {:>10.4} ms median {:>10.4} ms mean ({} iters)",
+        result.label,
+        result.median_ms(),
+        result.mean.as_secs_f64() * 1e3,
+        result.iters
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_loop_reports_consistent_statistics() {
+        let mut acc = 0u64;
+        let result = time_micro("spin", 1, 9, || {
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+        });
+        assert!(acc > 0);
+        assert_eq!(result.iters, 9);
+        assert!(result.min <= result.median);
+        assert!(result.median > Duration::ZERO);
+    }
+}

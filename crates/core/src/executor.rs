@@ -529,7 +529,9 @@ impl FheSession {
                 continue;
             }
             if self.kinds[id] == DataKind::Plaintext {
-                registers[id] = Some(Register::Plain(plain_eval(node, &registers, &lookup, t)));
+                registers[id] = Some(Register::Plain(
+                    plain_eval(node, &registers, &lookup, t).into(),
+                ));
             } else if let DagNode::CtVar(name) = node {
                 let ct = encryptor.encrypt_values(&[lookup(name.as_str())])?;
                 registers[id] = Some(Register::Cipher(ct));
@@ -705,6 +707,7 @@ impl FheSession {
             }
             Register::Plain(values) => (
                 values
+                    .values()
                     .iter()
                     .map(|&v| v.rem_euclid(t) as u64)
                     .take(program.output_slots)
@@ -769,7 +772,7 @@ fn plain_eval(
             .as_ref()
             .expect("plaintext operands precede their uses")
         {
-            Register::Plain(v) => v.clone(),
+            Register::Plain(v) => v.values().to_vec(),
             Register::Cipher(_) => unreachable!("plaintext node with ciphertext operand"),
         }
     };

@@ -16,11 +16,12 @@
 use crate::keys::{KeyGenerator, PublicKey, SecretKey};
 use crate::noise::NoiseModel;
 use crate::params::{BfvParameters, ParameterError};
-use crate::poly::{NttTables, Poly};
+use crate::poly::{Domain, NttTables, Poly, MODULUS};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::borrow::Cow;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Errors returned by the FHE backend.
 #[derive(Debug, Clone, PartialEq)]
@@ -92,6 +93,10 @@ struct ContextInner {
     params: BfvParameters,
     noise: NoiseModel,
     tables: Option<NttTables>,
+    /// NTT of the all-ones payload polynomial, precomputed once at context
+    /// build: scalar-splat multiplications scale this instead of
+    /// transforming a fresh splat per operation.
+    ones_eval: Option<Poly>,
 }
 
 impl FheContext {
@@ -114,11 +119,17 @@ impl FheContext {
         let tables = params
             .simulate_compute
             .then(|| NttTables::new(params.payload_degree));
+        let ones_eval = tables.as_ref().map(|t| {
+            let mut ones = vec![1u64; params.payload_degree];
+            t.forward(&mut ones);
+            Poly::from_reduced(ones, Domain::Eval)
+        });
         Ok(FheContext {
             inner: Arc::new(ContextInner {
                 params,
                 noise,
                 tables,
+                ones_eval,
             }),
         })
     }
@@ -135,6 +146,31 @@ impl FheContext {
 
     pub(crate) fn tables(&self) -> Option<&NttTables> {
         self.inner.tables.as_ref()
+    }
+
+    pub(crate) fn ones_eval(&self) -> Option<&Poly> {
+        self.inner.ones_eval.as_ref()
+    }
+
+    /// `(forward, inverse)` NTT transform counts performed through this
+    /// context's tables since construction (or the last
+    /// [`FheContext::reset_transform_counts`]); `(0, 0)` when compute
+    /// simulation is off. Test instrumentation: the lazy NTT-domain
+    /// representation promises that chains of homomorphic operations
+    /// transform each operand at most once, and these counters are how
+    /// tests hold it to that.
+    pub fn transform_counts(&self) -> (u64, u64) {
+        self.inner
+            .tables
+            .as_ref()
+            .map_or((0, 0), NttTables::transform_counts)
+    }
+
+    /// Resets the context's transform counters to zero.
+    pub fn reset_transform_counts(&self) {
+        if let Some(tables) = &self.inner.tables {
+            tables.reset_transform_counts();
+        }
     }
 
     /// Number of batching slots.
@@ -167,10 +203,7 @@ impl FheContext {
         for (slot, &v) in data.iter_mut().zip(values) {
             *slot = (((v as i128) % t + t) % t) as u64;
         }
-        Ok(Plaintext {
-            slots: data,
-            live: values.len().max(1),
-        })
+        Ok(Plaintext::new(data, values.len().max(1)))
     }
 
     /// Encodes a single scalar into slot 0.
@@ -190,13 +223,90 @@ impl FheContext {
 }
 
 /// A batched plaintext: a vector of residues modulo the plaintext modulus.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Carries a lazily computed cache of its payload "splat" polynomial in NTT
+/// (Eval) form: ciphertext–plaintext multiplications share one forward
+/// transform per plaintext instead of paying one per payload component per
+/// operation. The cache never participates in equality.
+#[derive(Debug, Clone)]
 pub struct Plaintext {
     pub(crate) slots: Vec<u64>,
     pub(crate) live: usize,
+    /// Eval-form payload splat, filled on first ct-pt multiplication.
+    splat: OnceLock<Poly>,
 }
 
+impl PartialEq for Plaintext {
+    fn eq(&self, other: &Self) -> bool {
+        self.slots == other.slots && self.live == other.live
+    }
+}
+
+impl Eq for Plaintext {}
+
 impl Plaintext {
+    /// Builds a plaintext from slot values (crate-internal; public
+    /// construction goes through [`FheContext::encode`]).
+    pub(crate) fn new(slots: Vec<u64>, live: usize) -> Self {
+        Plaintext {
+            slots,
+            live,
+            splat: OnceLock::new(),
+        }
+    }
+
+    /// The payload splat polynomial of this plaintext in Eval form,
+    /// transformed on first use (`threads` bounds the intra-op NTT worker
+    /// count) and cached for every later use.
+    ///
+    /// The cache is keyed to the first context the plaintext multiplies
+    /// under; if the same plaintext is then used under a context with a
+    /// different payload degree, a fresh (owned, uncached) splat is built
+    /// at that degree instead — never a wrong-degree cache hit.
+    pub(crate) fn splat_eval(
+        &self,
+        degree: usize,
+        tables: &NttTables,
+        threads: usize,
+    ) -> Cow<'_, Poly> {
+        if let Some(splat) = self.splat.get() {
+            if splat.degree() == degree {
+                return Cow::Borrowed(splat);
+            }
+            return Cow::Owned(self.build_splat(degree, tables, threads));
+        }
+        let built = self.build_splat(degree, tables, threads);
+        match self.splat.set(built) {
+            Ok(()) => Cow::Borrowed(self.splat.get().expect("just set")),
+            // A concurrent first use won the race; its value is identical
+            // unless it ran under a different context, so re-check.
+            Err(built) => {
+                let cached = self.splat.get().expect("set raced with an init");
+                if cached.degree() == degree {
+                    Cow::Borrowed(cached)
+                } else {
+                    Cow::Owned(built)
+                }
+            }
+        }
+    }
+
+    /// Builds the Eval-form payload splat of this plaintext at `degree`.
+    fn build_splat(&self, degree: usize, tables: &NttTables, threads: usize) -> Poly {
+        let mut values: Vec<u64> = self
+            .slots
+            .iter()
+            .cycle()
+            .take(degree)
+            .map(|&s| s.wrapping_mul(0x9E37_79B9) % MODULUS)
+            .collect();
+        if threads > 1 {
+            tables.forward_threaded(&mut values, threads);
+        } else {
+            tables.forward(&mut values);
+        }
+        Poly::from_reduced(values, Domain::Eval)
+    }
     /// All slot values.
     pub fn slots(&self) -> &[u64] {
         &self.slots
@@ -242,6 +352,13 @@ impl Ciphertext {
     pub fn payload_size(&self) -> usize {
         self.payload.len().max(2)
     }
+
+    /// The payload polynomials themselves (empty when compute simulation is
+    /// off). Exposed for instrumentation: equivalence tests compare payloads
+    /// bit for bit across execution strategies.
+    pub fn payload_polys(&self) -> &[Poly] {
+        &self.payload
+    }
 }
 
 /// Encrypts plaintexts under a public key.
@@ -264,11 +381,23 @@ impl Encryptor {
     }
 
     /// Encrypts a plaintext into a fresh ciphertext.
+    ///
+    /// Payload polynomials are born in NTT ([`Domain::Eval`]) form: the
+    /// sampled values are uniform either way, and starting in Eval form is
+    /// what lets whole chains of homomorphic operations run pointwise
+    /// without a single transform.
     pub fn encrypt(&mut self, plaintext: &Plaintext) -> Ciphertext {
         let degree = self.ctx.params().payload_degree;
         let payload = if self.ctx.params().simulate_compute {
             (0..2)
-                .map(|_| Poly::from_coeffs((0..degree).map(|_| self.rng.gen::<u64>()).collect()))
+                .map(|_| {
+                    Poly::from_reduced(
+                        (0..degree)
+                            .map(|_| self.rng.gen::<u64>() % MODULUS)
+                            .collect(),
+                        Domain::Eval,
+                    )
+                })
                 .collect()
         } else {
             Vec::new()
@@ -333,10 +462,7 @@ impl Decryptor {
                 available_bits: available,
             });
         }
-        Ok(Plaintext {
-            slots: ct.slots.clone(),
-            live: ct.slots.len(),
-        })
+        Ok(Plaintext::new(ct.slots.clone(), ct.slots.len()))
     }
 }
 

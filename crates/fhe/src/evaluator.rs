@@ -6,10 +6,94 @@
 //! 2. the payload polynomials, using the amount of ring arithmetic the real
 //!    BFV operation performs (cost-faithful wall-clock), and
 //! 3. the analytic invariant-noise estimate.
+//!
+//! ## Representation invariants (the lazy-NTT hot path)
+//!
+//! Ciphertext payload polynomials are **always in NTT
+//! ([`Domain::Eval`](crate::poly::Domain)) form**: they are born there at
+//! encryption, key-switch key payloads are pre-transformed at key
+//! generation, and plaintext splats are transformed once per plaintext and
+//! cached. Every operation below is therefore pointwise (`O(n)`) with zero
+//! forward/inverse transforms and zero temporary polynomial allocations —
+//! the only per-op allocations are the output polynomials themselves.
+//! Nothing downstream observes payload coefficient form: decryption and
+//! noise estimation read slots and the analytic noise estimate only.
+//!
+//! ## Intra-op parallelism
+//!
+//! [`Evaluator::set_intra_op_threads`] grants the evaluator a worker budget
+//! for splitting heavy payload loops (and any residual transforms) into
+//! coefficient chunks on scoped threads. The parallel runtime raises the
+//! budget when a schedule level is narrower than its worker pool, so
+//! otherwise-idle cores help inside single heavy operations. Results are
+//! bit-identical at every budget; [`Evaluator::intra_op_splits`] counts the
+//! operations that actually split.
 
 use crate::crypto::{Ciphertext, FheContext, FheError, Plaintext};
 use crate::keys::{GaloisKeys, RelinKeys};
-use crate::poly::Poly;
+use crate::poly::{galois_eval_permutation, p_mul, p_mul_add, Domain, Poly};
+use std::collections::HashMap;
+
+/// Payloads shorter than this never split across intra-op worker threads:
+/// below it, thread-spawn latency exceeds the chunk work a helper takes
+/// over.
+const INTRA_OP_MIN: usize = 2048;
+
+/// Runs `body(offset, chunk)` over disjoint chunks of `out`, using up to
+/// `threads` scoped worker threads (the calling thread takes the first
+/// chunk). Sequential when the budget is 1 or the slice is small.
+fn par_chunks(
+    out: &mut [u64],
+    threads: usize,
+    body: impl Fn(usize, &mut [u64]) + Send + Sync + Copy,
+) {
+    let n = out.len();
+    if threads <= 1 || n < INTRA_OP_MIN {
+        body(0, out);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut chunks = out.chunks_mut(chunk).enumerate();
+        let first = chunks.next();
+        for (i, c) in chunks {
+            scope.spawn(move || body(i * chunk, c));
+        }
+        if let Some((_, c)) = first {
+            body(0, c);
+        }
+    });
+}
+
+/// Two-output variant of [`par_chunks`]: both slices are chunked in
+/// lockstep, so `body` sees matching index ranges of each.
+fn par_chunks2(
+    out0: &mut [u64],
+    out1: &mut [u64],
+    threads: usize,
+    body: impl Fn(usize, &mut [u64], &mut [u64]) + Send + Sync + Copy,
+) {
+    let n = out0.len();
+    debug_assert_eq!(n, out1.len());
+    if threads <= 1 || n < INTRA_OP_MIN {
+        body(0, out0, out1);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut chunks = out0
+            .chunks_mut(chunk)
+            .zip(out1.chunks_mut(chunk))
+            .enumerate();
+        let first = chunks.next();
+        for (i, (c0, c1)) in chunks {
+            scope.spawn(move || body(i * chunk, c0, c1));
+        }
+        if let Some((_, (c0, c1))) = first {
+            body(0, c0, c1);
+        }
+    });
+}
 
 /// Element-wise slot operations on the plaintext ring.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +147,15 @@ impl EvaluatorStats {
 pub struct Evaluator {
     ctx: FheContext,
     stats: EvaluatorStats,
+    /// Worker budget for intra-op coefficient chunking (1 = sequential).
+    intra_op_threads: usize,
+    /// Operations that actually split across intra-op workers.
+    intra_op_splits: u64,
+    /// Eval-domain Galois permutations by Galois element: the permutation
+    /// depends only on `(payload_degree, galois_elt)`, so a long-lived
+    /// evaluator computes each rotation step's table once and gathers ever
+    /// after.
+    galois_perms: HashMap<usize, Vec<u32>>,
 }
 
 impl Evaluator {
@@ -71,6 +164,9 @@ impl Evaluator {
         Evaluator {
             ctx: ctx.clone(),
             stats: EvaluatorStats::default(),
+            intra_op_threads: 1,
+            intra_op_splits: 0,
+            galois_perms: HashMap::new(),
         }
     }
 
@@ -82,6 +178,35 @@ impl Evaluator {
     /// Resets the operation counters.
     pub fn reset_stats(&mut self) {
         self.stats = EvaluatorStats::default();
+    }
+
+    /// Sets the intra-op worker budget: heavy payload loops split into
+    /// coefficient chunks across up to this many scoped threads (clamped to
+    /// at least 1). Results are bit-identical at every budget.
+    pub fn set_intra_op_threads(&mut self, threads: usize) {
+        self.intra_op_threads = threads.max(1);
+    }
+
+    /// The current intra-op worker budget.
+    pub fn intra_op_threads(&self) -> usize {
+        self.intra_op_threads
+    }
+
+    /// Number of operations so far whose payload work actually split across
+    /// more than one intra-op worker.
+    pub fn intra_op_splits(&self) -> u64 {
+        self.intra_op_splits
+    }
+
+    /// The intra-op budget that will apply to a payload of `degree`
+    /// coefficients, and whether that counts as a split.
+    fn intra_op_budget(&mut self, degree: usize) -> usize {
+        if self.intra_op_threads > 1 && degree >= INTRA_OP_MIN {
+            self.intra_op_splits += 1;
+            self.intra_op_threads
+        } else {
+            1
+        }
     }
 
     fn slot_binary(&self, a: &[u64], b: &[u64], op: SlotOp) -> Vec<u64> {
@@ -175,11 +300,13 @@ impl Evaluator {
     ///
     /// The payload work mimics BFV: a tensor product of the two 2-polynomial
     /// ciphertexts (four ring multiplications) followed by a key-switching
-    /// step (two more ring multiplications per decomposition digit, collapsed
-    /// to two here), which is what makes this the dominant cost.
-    pub fn multiply(&mut self, a: &Ciphertext, b: &Ciphertext, _relin: &RelinKeys) -> Ciphertext {
+    /// step against the relinearization key's Eval-form payload pair (two
+    /// more ring multiplications), which is what makes this the dominant
+    /// cost. Every product is pointwise — operands, outputs and key material
+    /// all live in NTT form, so no transform runs here.
+    pub fn multiply(&mut self, a: &Ciphertext, b: &Ciphertext, relin: &RelinKeys) -> Ciphertext {
         self.stats.ct_ct_multiplications += 1;
-        let payload = self.payload_tensor_product(a, b);
+        let payload = self.payload_tensor_product(a, b, relin);
         Ciphertext {
             slots: self.slot_binary(&a.slots, &b.slots, SlotOp::Mul),
             payload,
@@ -193,29 +320,41 @@ impl Evaluator {
         }
     }
 
-    /// Ciphertext squaring (a slightly cheaper ct-ct multiplication).
+    /// Ciphertext squaring (a slightly cheaper ct-ct multiplication; no
+    /// operand clone).
     pub fn square(&mut self, a: &Ciphertext, relin: &RelinKeys) -> Ciphertext {
-        self.multiply(a, &a.clone(), relin)
+        self.multiply(a, a, relin)
     }
 
     /// Ciphertext–plaintext multiplication.
+    ///
+    /// The plaintext's payload splat is transformed into Eval form once per
+    /// plaintext (cached on the [`Plaintext`]); both ciphertext components
+    /// then multiply it pointwise.
     pub fn multiply_plain(&mut self, a: &Ciphertext, b: &Plaintext) -> Ciphertext {
         self.stats.ct_pt_multiplications += 1;
+        let degree = self.ctx.params().payload_degree;
+        let threads = if self.ctx.tables().is_some() {
+            self.intra_op_budget(degree)
+        } else {
+            1
+        };
         let payload = if let Some(tables) = self.ctx.tables() {
-            // The plaintext polynomial is multiplied into both ciphertext
-            // components: two ring multiplications.
-            let degree = self.ctx.params().payload_degree;
-            let pt_poly = Poly::from_coeffs(
-                b.slots
-                    .iter()
-                    .cycle()
-                    .take(degree)
-                    .map(|&s| s.wrapping_mul(0x9E37_79B9))
-                    .collect(),
-            );
+            let pt_poly = b.splat_eval(degree, tables, threads);
+            let pt = pt_poly.coeffs();
             a.payload
                 .iter()
-                .map(|p| p.mul_ntt(&pt_poly, tables))
+                .map(|p| {
+                    let src = p.coeffs();
+                    let mut out = vec![0u64; src.len()];
+                    par_chunks(&mut out, threads, |offset, chunk| {
+                        for (k, slot) in chunk.iter_mut().enumerate() {
+                            let i = offset + k;
+                            *slot = p_mul(src[i], pt[i]);
+                        }
+                    });
+                    Poly::from_reduced(out, Domain::Eval)
+                })
                 .collect()
         } else {
             a.payload.clone()
@@ -257,15 +396,42 @@ impl Evaluator {
         }
         // Payload: Galois automorphism on both components plus key switching
         // (two ring multiplications), roughly half the work of a ct-ct
-        // multiplication, matching the relative cost the paper assumes.
-        let payload = if let Some(tables) = self.ctx.tables() {
+        // multiplication, matching the relative cost the paper assumes. In
+        // Eval form the automorphism is a pure index permutation and the
+        // key-switch product is pointwise against the Galois key's
+        // pre-transformed payload, so the whole rotation is transform-free.
+        let payload = if self.ctx.tables().is_some() && !a.payload.is_empty() {
             let degree = self.ctx.params().payload_degree;
+            let threads = self.intra_op_budget(degree);
             // The slot rotation corresponds to the Galois automorphism
-            // x -> x^(2*shift + 1) (always odd, as the ring requires).
+            // x -> x^(2*shift + 1) (always odd, as the ring requires). Its
+            // Eval-domain permutation depends only on the element, so it is
+            // computed once per step and reused for the evaluator's
+            // lifetime; each component is then a single fused
+            // gather-and-multiply pass.
             let galois_elt = (2 * (shift % degree) + 1) % (2 * degree);
+            let perm: &[u32] = self
+                .galois_perms
+                .entry(galois_elt)
+                .or_insert_with(|| galois_eval_permutation(degree, galois_elt));
+            let key = galois_keys
+                .switch_poly(step)
+                .unwrap_or(&a.payload[0])
+                .coeffs();
             a.payload
                 .iter()
-                .map(|p| p.apply_galois(galois_elt).mul_ntt(&a.payload[0], tables))
+                .map(|p| {
+                    debug_assert_eq!(p.domain(), Domain::Eval);
+                    let src = p.coeffs();
+                    let mut out = vec![0u64; degree];
+                    par_chunks(&mut out, threads, |offset, chunk| {
+                        for (k, slot) in chunk.iter_mut().enumerate() {
+                            let i = offset + k;
+                            *slot = p_mul(src[perm[i] as usize], key[i]);
+                        }
+                    });
+                    Poly::from_reduced(out, Domain::Eval)
+                })
                 .collect()
         } else {
             a.payload.clone()
@@ -292,38 +458,81 @@ impl Evaluator {
     }
 
     /// Tensor-product payload work used by ct-ct multiplication.
-    fn payload_tensor_product(&self, a: &Ciphertext, b: &Ciphertext) -> Vec<Poly> {
-        let Some(tables) = self.ctx.tables() else {
-            return a.payload.clone();
-        };
-        if a.payload.len() < 2 || b.payload.len() < 2 {
+    ///
+    /// All six ring multiplications of the BFV shape (four tensor products,
+    /// two key-switch products) run fused and pointwise over Eval-form
+    /// operands: per coefficient the degree-2 component `c2 = a1·b1` is a
+    /// local scalar, so the whole operation needs no temporary polynomial —
+    /// only the two output buffers are allocated.
+    fn payload_tensor_product(
+        &mut self,
+        a: &Ciphertext,
+        b: &Ciphertext,
+        relin: &RelinKeys,
+    ) -> Vec<Poly> {
+        if self.ctx.tables().is_none() || a.payload.len() < 2 || b.payload.len() < 2 {
             return a.payload.clone();
         }
-        // Tensor product: (a0, a1) x (b0, b1) -> four ring multiplications.
-        let c0 = a.payload[0].mul_ntt(&b.payload[0], tables);
-        let c1a = a.payload[0].mul_ntt(&b.payload[1], tables);
-        let c1b = a.payload[1].mul_ntt(&b.payload[0], tables);
-        let c2 = a.payload[1].mul_ntt(&b.payload[1], tables);
-        let c1 = c1a.add(&c1b);
-        // Relinearization / key switching: two more ring multiplications fold
-        // the degree-2 component back into a 2-polynomial ciphertext.
-        let k0 = c2.mul_ntt(&a.payload[0], tables);
-        let k1 = c2.mul_ntt(&b.payload[0], tables);
-        vec![c0.add(&k0), c1.add(&k1)]
+        let n = a.payload[0].degree();
+        let threads = self.intra_op_budget(n);
+        let (a0, a1) = (a.payload[0].coeffs(), a.payload[1].coeffs());
+        let (b0, b1) = (b.payload[0].coeffs(), b.payload[1].coeffs());
+        // Key-switch multipliers: the relin key's pre-transformed payload
+        // pair (fall back to operand components if key material was built
+        // without compute simulation).
+        let (s0, s1) = match relin.switch_polys() {
+            Some((s0, s1)) => (s0.coeffs(), s1.coeffs()),
+            None => (a0, b0),
+        };
+        let mut out0 = vec![0u64; n];
+        let mut out1 = vec![0u64; n];
+        par_chunks2(&mut out0, &mut out1, threads, |offset, c0, c1| {
+            for (k, (o0, o1)) in c0.iter_mut().zip(c1.iter_mut()).enumerate() {
+                let i = offset + k;
+                let c2 = p_mul(a1[i], b1[i]);
+                *o0 = p_mul_add(c2, s0[i], p_mul(a0[i], b0[i]));
+                *o1 = p_mul_add(c2, s1[i], p_mul_add(a1[i], b0[i], p_mul(a0[i], b1[i])));
+            }
+        });
+        vec![
+            Poly::from_reduced(out0, Domain::Eval),
+            Poly::from_reduced(out1, Domain::Eval),
+        ]
     }
 
     /// Multiplies a ciphertext by a scalar constant (implemented as a
     /// plaintext multiplication with a splatted constant).
+    ///
+    /// The splat of a constant is the constant times the all-ones
+    /// polynomial, whose NTT the context precomputes once at build — so the
+    /// payload work is two pointwise products with no transform and no
+    /// temporary.
     pub fn multiply_scalar(&mut self, a: &Ciphertext, scalar: i64) -> Ciphertext {
         let t = self.ctx.plain_modulus() as i128;
         let reduced = (((scalar as i128) % t + t) % t) as u64;
         self.stats.ct_pt_multiplications += 1;
-        let payload = if let Some(tables) = self.ctx.tables() {
-            let degree = self.ctx.params().payload_degree;
-            let splat = Poly::from_coeffs(vec![reduced.max(1); degree]);
+        let degree = self.ctx.params().payload_degree;
+        let threads = if self.ctx.ones_eval().is_some() {
+            self.intra_op_budget(degree)
+        } else {
+            1
+        };
+        let payload = if let Some(ones) = self.ctx.ones_eval() {
+            let k = reduced.max(1);
+            let ones = ones.coeffs();
             a.payload
                 .iter()
-                .map(|p| p.mul_ntt(&splat, tables))
+                .map(|p| {
+                    let src = p.coeffs();
+                    let mut out = vec![0u64; src.len()];
+                    par_chunks(&mut out, threads, |offset, chunk| {
+                        for (j, slot) in chunk.iter_mut().enumerate() {
+                            let i = offset + j;
+                            *slot = p_mul(src[i], p_mul(ones[i], k));
+                        }
+                    });
+                    Poly::from_reduced(out, Domain::Eval)
+                })
                 .collect()
         } else {
             a.payload.clone()

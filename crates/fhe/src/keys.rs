@@ -14,13 +14,16 @@
 //! `2 * ceil(coeff_bits / 60)` payload polynomials — the same work shape as
 //! real BFV keygen, and the reason production deployments generate keys once
 //! per session instead of per request (the serving layer's whole premise).
+//! The transformed key-switch payloads are *retained* in NTT (Eval) form on
+//! the key objects, so evaluation-time key switching is a pointwise product
+//! against material that was transformed exactly once, at keygen.
 
 use crate::params::BfvParameters;
-use crate::poly::{NttTables, MODULUS};
+use crate::poly::{Domain, NttTables, Poly, MODULUS};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Process-global count of [`KeyGenerator`] constructions (see
@@ -40,10 +43,17 @@ pub struct PublicKey {
 }
 
 /// Relinearization keys, required after ciphertext–ciphertext multiplications.
+///
+/// Under compute simulation the keys carry a pair of key-switch payload
+/// polynomials kept permanently in NTT ([`Domain::Eval`]) form — generated
+/// (and transformed) exactly once at key generation, so every ct-ct
+/// multiplication's key-switching step is a pointwise product with no
+/// transforms.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RelinKeys {
     id: u64,
     size_bytes: usize,
+    switch: Option<Box<(Poly, Poly)>>,
 }
 
 impl RelinKeys {
@@ -51,17 +61,33 @@ impl RelinKeys {
     pub fn size_bytes(&self) -> usize {
         self.size_bytes
     }
+
+    /// The Eval-form key-switch payload pair (present under compute
+    /// simulation).
+    pub(crate) fn switch_polys(&self) -> Option<(&Poly, &Poly)> {
+        self.switch.as_ref().map(|pair| (&pair.0, &pair.1))
+    }
 }
 
 /// Galois keys enabling slot rotations for an explicit set of steps.
+///
+/// Like [`RelinKeys`], each generated step carries an Eval-form key-switch
+/// payload polynomial under compute simulation, pre-transformed once at key
+/// generation.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct GaloisKeys {
     id: u64,
     steps: BTreeSet<i64>,
     key_size_bytes: usize,
+    switch: BTreeMap<i64, Poly>,
 }
 
 impl GaloisKeys {
+    /// The Eval-form key-switch payload for `step`, if one was generated
+    /// under compute simulation.
+    pub(crate) fn switch_poly(&self, step: i64) -> Option<&Poly> {
+        self.switch.get(&step)
+    }
     /// Returns `true` if a key for rotating by `step` is available.
     pub fn supports_step(&self, step: i64) -> bool {
         step == 0 || self.steps.contains(&step)
@@ -130,20 +156,28 @@ impl KeyGenerator {
     /// Performs the arithmetic volume of generating one key-switch key
     /// (relinearization key or one Galois key): sampling
     /// `2 * ceil(coeff_bits / 60)` uniform payload polynomials and moving
-    /// each into the NTT domain, mirroring real BFV keygen. A no-op when
-    /// compute simulation is off.
-    fn simulate_keyswitch_keygen(&mut self) {
-        let Some(tables) = &self.tables else {
-            return;
-        };
+    /// each into the NTT domain, mirroring real BFV keygen. The first two
+    /// transformed polynomials are kept as the key's Eval-form key-switch
+    /// payload pair — pre-transformed here, once, so evaluation never
+    /// transforms key material again. Returns `None` when compute
+    /// simulation is off.
+    fn simulate_keyswitch_keygen(&mut self) -> Option<(Poly, Poly)> {
+        let tables = self.tables.as_ref()?;
         let digits = (self.params.coeff_modulus_bits as usize).div_ceil(60);
         let degree = self.params.payload_degree;
-        for _ in 0..2 * digits {
+        let mut kept: Vec<Poly> = Vec::with_capacity(2);
+        for _ in 0..(2 * digits).max(2) {
             let mut poly: Vec<u64> = (0..degree)
                 .map(|_| self.rng.gen::<u64>() % MODULUS)
                 .collect();
             tables.forward(&mut poly);
+            if kept.len() < 2 {
+                kept.push(Poly::from_reduced(poly, Domain::Eval));
+            }
         }
+        let second = kept.pop().expect("two polys kept");
+        let first = kept.pop().expect("two polys kept");
+        Some((first, second))
     }
 
     /// Process-global count of `KeyGenerator` constructions so far.
@@ -172,10 +206,11 @@ impl KeyGenerator {
     /// and NTT work under compute simulation).
     pub fn relin_keys(&mut self) -> RelinKeys {
         let _ = self.rng.gen::<u64>();
-        self.simulate_keyswitch_keygen();
+        let switch = self.simulate_keyswitch_keygen().map(Box::new);
         RelinKeys {
             id: self.id,
             size_bytes: self.params.galois_key_size_bytes(),
+            switch,
         }
     }
 
@@ -186,13 +221,17 @@ impl KeyGenerator {
     pub fn galois_keys(&mut self, steps: &[i64]) -> GaloisKeys {
         let _ = self.rng.gen::<u64>();
         let steps: BTreeSet<i64> = steps.iter().copied().filter(|&s| s != 0).collect();
-        for _ in &steps {
-            self.simulate_keyswitch_keygen();
+        let mut switch = BTreeMap::new();
+        for &step in &steps {
+            if let Some((key_poly, _)) = self.simulate_keyswitch_keygen() {
+                switch.insert(step, key_poly);
+            }
         }
         GaloisKeys {
             id: self.id,
             steps,
             key_size_bytes: self.params.galois_key_size_bytes(),
+            switch,
         }
     }
 

@@ -10,10 +10,13 @@
 //! * **functional**: batched slot values are tracked exactly modulo the
 //!   plaintext modulus, so compiled circuits can be checked against plaintext
 //!   references end to end;
-//! * **cost**: ciphertext payload polynomials undergo real NTT ring
-//!   arithmetic sized per operation the way BFV's is, so measured wall-clock
-//!   keeps the ct-ct-mul ≫ rotation ≫ addition ordering the paper's cost
-//!   model assumes;
+//! * **cost**: ciphertext payload polynomials undergo real ring arithmetic
+//!   sized per operation the way BFV's is, so measured wall-clock keeps the
+//!   ct-ct-mul > rotation > addition ordering the paper's cost model
+//!   assumes. Payloads are kept lazily in NTT (Eval) form across whole
+//!   operation chains (see [`poly`]), so the steady-state work is pointwise
+//!   and transform-free — the timer-augmented cost calibration, not a
+//!   static table, carries the measured magnitudes;
 //! * **noise**: an analytic invariant-noise model reproduces the consumed
 //!   noise budgets of Table 6 (369-bit fresh budget under the paper's
 //!   parameters, ct-ct multiplications costing tens of bits).

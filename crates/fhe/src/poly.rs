@@ -4,14 +4,33 @@
 //! payload polynomials live in this ring, and multiplications use a
 //! negacyclic number-theoretic transform (NTT) so that the measured cost of
 //! homomorphic operations scales the way BFV's does (`O(n log n)` for
-//! multiplications and key switching, `O(n)` for additions).
+//! transforms, `O(n)` for evaluation-domain products and additions).
 //!
 //! The working prime is the Goldilocks prime `p = 2^64 - 2^32 + 1`, whose
 //! multiplicative group has 2-adicity 32, so power-of-two NTTs up to huge
-//! sizes are available.
+//! sizes are available. Because `2^64 ≡ 2^32 - 1 (mod p)` and
+//! `2^96 ≡ -1 (mod p)`, a 128-bit product reduces with a handful of 64-bit
+//! adds/subs instead of a 128-bit division — see [`reduce128`].
+//!
+//! Polynomials carry an explicit [`Domain`] tag: `Coeff` (coefficient form)
+//! or `Eval` (NTT / evaluation form). The evaluator keeps ciphertext payloads
+//! in `Eval` form across whole operation chains, so products are pointwise
+//! (`O(n)`) and forward/inverse transforms only happen at representation
+//! boundaries.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// The Goldilocks prime `2^64 - 2^32 + 1`.
 pub const MODULUS: u64 = 0xFFFF_FFFF_0000_0001;
+
+/// `2^64 mod p = 2^32 - 1`, the constant the fast reduction multiplies by.
+const EPSILON: u64 = 0xFFFF_FFFF;
+
+/// Slices shorter than this are transformed sequentially even when a thread
+/// budget is available: below it, thread-spawn latency exceeds the butterfly
+/// work a helper would take over.
+const MIN_SPLIT: usize = 2048;
 
 /// Modular addition in `Z_p`.
 #[inline]
@@ -44,10 +63,59 @@ pub fn p_neg(a: u64) -> u64 {
     }
 }
 
-/// Modular multiplication in `Z_p` via 128-bit arithmetic.
+/// Reduces a 128-bit value modulo the Goldilocks prime without dividing.
+///
+/// Write `x = x_lo + 2^64·(x_hi_lo + 2^32·x_hi_hi)` with 64/32/32-bit limbs.
+/// Using `2^64 ≡ 2^32 - 1` and `2^96 ≡ -1 (mod p)`:
+///
+/// ```text
+/// x ≡ x_lo + (2^32 - 1)·x_hi_lo - x_hi_hi   (mod p)
+/// ```
+///
+/// Each wrap of the 64-bit intermediate is compensated by adding or
+/// subtracting `2^64 mod p = 2^32 - 1`, and one final conditional subtract
+/// canonicalizes (the intermediate is `< 2^64 < 2p`). Branch-light: two
+/// conditional fix-ups plus the canonicalizing compare, no division.
+#[inline]
+pub fn reduce128(x: u128) -> u64 {
+    let x_lo = x as u64;
+    let x_hi = (x >> 64) as u64;
+    let x_hi_hi = x_hi >> 32;
+    let x_hi_lo = x_hi & EPSILON;
+
+    let (mut t0, borrow) = x_lo.overflowing_sub(x_hi_hi);
+    if borrow {
+        // The wrap added 2^64 ≡ EPSILON; take it back out. `t0` is at least
+        // `2^64 - x_hi_hi > EPSILON` here, so this cannot wrap again.
+        t0 = t0.wrapping_sub(EPSILON);
+    }
+    let t1 = x_hi_lo * EPSILON;
+    let (sum, carry) = t0.overflowing_add(t1);
+    let mut r = sum;
+    if carry {
+        // The wrap removed 2^64 ≡ EPSILON; put it back. `sum` is at most
+        // `2^64 - 2^33` here, so this cannot overflow.
+        r = sum.wrapping_add(EPSILON);
+    }
+    if r >= MODULUS {
+        r -= MODULUS;
+    }
+    r
+}
+
+/// Modular multiplication in `Z_p` via the branch-light Goldilocks reduction
+/// (no 128-bit division).
 #[inline]
 pub fn p_mul(a: u64, b: u64) -> u64 {
-    ((u128::from(a) * u128::from(b)) % u128::from(MODULUS)) as u64
+    reduce128(u128::from(a) * u128::from(b))
+}
+
+/// Fused modular multiply-add `a·b + c mod p` with a single reduction.
+///
+/// The 128-bit accumulator cannot overflow: `(2^64-1)^2 + (2^64-1) < 2^128`.
+#[inline]
+pub fn p_mul_add(a: u64, b: u64, c: u64) -> u64 {
+    reduce128(u128::from(a) * u128::from(b) + u128::from(c))
 }
 
 /// Modular exponentiation in `Z_p`.
@@ -73,6 +141,30 @@ pub fn p_inv(a: u64) -> u64 {
 /// A multiplicative generator of `Z_p^*` for the Goldilocks prime.
 const GENERATOR: u64 = 7;
 
+/// The representation a [`Poly`]'s stored values are in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// Coefficient form: entry `i` is the coefficient of `x^i`.
+    Coeff,
+    /// Evaluation (NTT) form: entry `i` is the value at the `i`-th root in
+    /// the transform's bit-reversed evaluation order. Ring products are
+    /// pointwise in this domain.
+    Eval,
+}
+
+/// Cumulative forward/inverse transform counters of one [`NttTables`]
+/// instance (shared across clones).
+///
+/// The counters exist so tests can assert *representation laziness* — e.g.
+/// that a multiply→rotate→multiply chain performs no transforms at all once
+/// operands are in [`Domain::Eval`] — and cost one relaxed atomic increment
+/// per whole transform, which is noise next to the transform itself.
+#[derive(Debug, Default)]
+struct TransformCounters {
+    forward: AtomicU64,
+    inverse: AtomicU64,
+}
+
 /// Precomputed twiddle factors for negacyclic NTTs of a fixed degree.
 #[derive(Debug, Clone)]
 pub struct NttTables {
@@ -84,6 +176,8 @@ pub struct NttTables {
     inv_psi_rev: Vec<u64>,
     /// `n^{-1} mod p`.
     inv_degree: u64,
+    /// Transform counters, shared by clones of the same table set.
+    counters: Arc<TransformCounters>,
 }
 
 impl NttTables {
@@ -128,6 +222,7 @@ impl NttTables {
             psi_rev,
             inv_psi_rev,
             inv_degree: p_inv(degree as u64),
+            counters: Arc::new(TransformCounters::default()),
         }
     }
 
@@ -136,11 +231,70 @@ impl NttTables {
         self.degree
     }
 
+    /// `(forward, inverse)` transform counts since construction (or the last
+    /// [`NttTables::reset_transform_counts`]), shared across clones. Test
+    /// instrumentation for representation-laziness assertions.
+    pub fn transform_counts(&self) -> (u64, u64) {
+        (
+            self.counters.forward.load(Ordering::Relaxed),
+            self.counters.inverse.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Resets the transform counters to zero (affects all clones).
+    pub fn reset_transform_counts(&self) {
+        self.counters.forward.store(0, Ordering::Relaxed);
+        self.counters.inverse.store(0, Ordering::Relaxed);
+    }
+
     /// In-place forward negacyclic NTT (Cooley–Tukey, decimation in time,
     /// producing bit-reversed output that the inverse transform consumes).
     pub fn forward(&self, a: &mut [u64]) {
         debug_assert_eq!(a.len(), self.degree);
-        let n = self.degree;
+        self.counters.forward.fetch_add(1, Ordering::Relaxed);
+        self.forward_subtree(a, 1);
+    }
+
+    /// Forward NTT with up to `threads` worker threads cooperating on
+    /// butterfly chunks. Bit-identical to [`NttTables::forward`]: the
+    /// transform recurses on independent halves after each decimation stage,
+    /// so chunking never reorders a butterfly's operands. Falls back to the
+    /// sequential path for small slices or `threads <= 1`.
+    pub fn forward_threaded(&self, a: &mut [u64], threads: usize) {
+        debug_assert_eq!(a.len(), self.degree);
+        self.counters.forward.fetch_add(1, Ordering::Relaxed);
+        self.forward_node(a, 1, threads);
+    }
+
+    /// In-place inverse negacyclic NTT (Gentleman–Sande).
+    pub fn inverse(&self, a: &mut [u64]) {
+        debug_assert_eq!(a.len(), self.degree);
+        self.counters.inverse.fetch_add(1, Ordering::Relaxed);
+        self.inverse_subtree(a, 1);
+        for x in a.iter_mut() {
+            *x = p_mul(*x, self.inv_degree);
+        }
+    }
+
+    /// Inverse NTT with up to `threads` cooperating worker threads
+    /// (bit-identical to [`NttTables::inverse`], see
+    /// [`NttTables::forward_threaded`]).
+    pub fn inverse_threaded(&self, a: &mut [u64], threads: usize) {
+        debug_assert_eq!(a.len(), self.degree);
+        self.counters.inverse.fetch_add(1, Ordering::Relaxed);
+        self.inverse_node(a, 1, threads);
+        for x in a.iter_mut() {
+            *x = p_mul(*x, self.inv_degree);
+        }
+    }
+
+    /// Iterative Cooley–Tukey over the subtree rooted at twiddle-heap node
+    /// `root` (the full transform is `root = 1`). After each decimation
+    /// stage the halves are independent subtrees with heap children
+    /// `2*root` and `2*root + 1`, which is what makes the threaded split
+    /// safe and exact.
+    fn forward_subtree(&self, a: &mut [u64], root: usize) {
+        let n = a.len();
         let mut t = n;
         let mut m = 1usize;
         while m < n {
@@ -148,7 +302,7 @@ impl NttTables {
             for i in 0..m {
                 let j1 = 2 * i * t;
                 let j2 = j1 + t;
-                let s = self.psi_rev[m + i];
+                let s = self.psi_rev[root * m + i];
                 for j in j1..j2 {
                     let u = a[j];
                     let v = p_mul(a[j + t], s);
@@ -160,10 +314,35 @@ impl NttTables {
         }
     }
 
-    /// In-place inverse negacyclic NTT (Gentleman–Sande).
-    pub fn inverse(&self, a: &mut [u64]) {
-        debug_assert_eq!(a.len(), self.degree);
-        let n = self.degree;
+    /// Recursive splitter of the forward transform: performs the root
+    /// butterfly stage, then hands the two independent halves to scoped
+    /// worker threads while the budget and slice length allow.
+    fn forward_node(&self, a: &mut [u64], root: usize, threads: usize) {
+        let n = a.len();
+        if threads <= 1 || n < MIN_SPLIT {
+            self.forward_subtree(a, root);
+            return;
+        }
+        let half = n / 2;
+        let s = self.psi_rev[root];
+        let (lo, hi) = a.split_at_mut(half);
+        for (u, v) in lo.iter_mut().zip(hi.iter_mut()) {
+            let x = *u;
+            let y = p_mul(*v, s);
+            *u = p_add(x, y);
+            *v = p_sub(x, y);
+        }
+        let (t_lo, t_hi) = (threads - threads / 2, threads / 2);
+        std::thread::scope(|scope| {
+            scope.spawn(|| self.forward_node(hi, 2 * root + 1, t_hi.max(1)));
+            self.forward_node(lo, 2 * root, t_lo);
+        });
+    }
+
+    /// Iterative Gentleman–Sande over the subtree rooted at `root`
+    /// (mirror of [`NttTables::forward_subtree`]; no final `1/n` scaling).
+    fn inverse_subtree(&self, a: &mut [u64], root: usize) {
+        let n = a.len();
         let mut t = 1usize;
         let mut m = n;
         while m > 1 {
@@ -171,7 +350,7 @@ impl NttTables {
             let mut j1 = 0usize;
             for i in 0..h {
                 let j2 = j1 + t;
-                let s = self.inv_psi_rev[h + i];
+                let s = self.inv_psi_rev[root * h + i];
                 for j in j1..j2 {
                     let u = a[j];
                     let v = a[j + t];
@@ -183,36 +362,94 @@ impl NttTables {
             t *= 2;
             m = h;
         }
-        for x in a.iter_mut() {
-            *x = p_mul(*x, self.inv_degree);
+    }
+
+    /// Recursive splitter of the inverse transform: transforms the two
+    /// independent halves (on scoped worker threads while the budget
+    /// allows), then performs the root combining stage.
+    fn inverse_node(&self, a: &mut [u64], root: usize, threads: usize) {
+        let n = a.len();
+        if threads <= 1 || n < MIN_SPLIT {
+            self.inverse_subtree(a, root);
+            return;
+        }
+        let half = n / 2;
+        let (lo, hi) = a.split_at_mut(half);
+        let (t_lo, t_hi) = (threads - threads / 2, threads / 2);
+        std::thread::scope(|scope| {
+            scope.spawn(|| self.inverse_node(hi, 2 * root + 1, t_hi.max(1)));
+            self.inverse_node(lo, 2 * root, t_lo);
+        });
+        let s = self.inv_psi_rev[root];
+        for (u, v) in lo.iter_mut().zip(hi.iter_mut()) {
+            let x = *u;
+            let y = *v;
+            *u = p_add(x, y);
+            *v = p_mul(p_sub(x, y), s);
         }
     }
 }
 
-/// A dense polynomial of fixed degree in `Z_p[x] / (x^n + 1)`.
+/// A dense polynomial of fixed degree in `Z_p[x] / (x^n + 1)`, tagged with
+/// the [`Domain`] its stored values are in.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Poly {
     coeffs: Vec<u64>,
+    domain: Domain,
 }
 
 impl Poly {
-    /// The zero polynomial of the given degree.
+    /// The zero polynomial of the given degree (zero in either domain; tagged
+    /// `Coeff`).
     pub fn zero(degree: usize) -> Self {
         Poly {
             coeffs: vec![0; degree],
+            domain: Domain::Coeff,
         }
     }
 
-    /// Builds a polynomial from coefficients (reduced modulo `p`).
+    /// Builds a coefficient-form polynomial from coefficients (reduced modulo
+    /// `p`). Public entry point for arbitrary input; internal callers with
+    /// already-reduced values use [`Poly::from_reduced`] and skip the pass.
     pub fn from_coeffs(coeffs: Vec<u64>) -> Self {
         Poly {
             coeffs: coeffs.into_iter().map(|c| c % MODULUS).collect(),
+            domain: Domain::Coeff,
         }
     }
 
-    /// The polynomial's coefficients.
+    /// Builds a polynomial from values already reduced modulo `p`, without
+    /// the re-reduction pass of [`Poly::from_coeffs`].
+    ///
+    /// Debug builds assert the precondition; release builds trust it.
+    pub fn from_reduced(values: Vec<u64>, domain: Domain) -> Self {
+        debug_assert!(
+            values.iter().all(|&c| c < MODULUS),
+            "from_reduced requires canonical values"
+        );
+        Poly {
+            coeffs: values,
+            domain,
+        }
+    }
+
+    /// Builds an evaluation-form polynomial from values (reduced modulo `p`).
+    pub fn from_eval_values(values: Vec<u64>) -> Self {
+        Poly {
+            coeffs: values.into_iter().map(|c| c % MODULUS).collect(),
+            domain: Domain::Eval,
+        }
+    }
+
+    /// The polynomial's stored values: coefficients in [`Domain::Coeff`],
+    /// evaluation values in [`Domain::Eval`].
     pub fn coeffs(&self) -> &[u64] {
         &self.coeffs
+    }
+
+    /// The domain the stored values are in.
+    pub fn domain(&self) -> Domain {
+        self.domain
     }
 
     /// The polynomial's degree bound (`n`).
@@ -220,9 +457,41 @@ impl Poly {
         self.coeffs.len()
     }
 
-    /// Coefficient-wise addition.
+    /// Converts to evaluation form in place (no-op if already there).
+    pub fn convert_to_eval(&mut self, tables: &NttTables) {
+        if self.domain == Domain::Coeff {
+            tables.forward(&mut self.coeffs);
+            self.domain = Domain::Eval;
+        }
+    }
+
+    /// Converts to coefficient form in place (no-op if already there).
+    pub fn convert_to_coeff(&mut self, tables: &NttTables) {
+        if self.domain == Domain::Eval {
+            tables.inverse(&mut self.coeffs);
+            self.domain = Domain::Coeff;
+        }
+    }
+
+    /// A copy of this polynomial in evaluation form.
+    pub fn to_eval(&self, tables: &NttTables) -> Poly {
+        let mut out = self.clone();
+        out.convert_to_eval(tables);
+        out
+    }
+
+    /// A copy of this polynomial in coefficient form.
+    pub fn to_coeff(&self, tables: &NttTables) -> Poly {
+        let mut out = self.clone();
+        out.convert_to_coeff(tables);
+        out
+    }
+
+    /// Coefficient-wise (resp. pointwise) addition; both operands must be in
+    /// the same domain, which the result keeps.
     pub fn add(&self, other: &Poly) -> Poly {
         debug_assert_eq!(self.degree(), other.degree());
+        debug_assert_eq!(self.domain, other.domain, "domain mismatch in add");
         Poly {
             coeffs: self
                 .coeffs
@@ -230,12 +499,15 @@ impl Poly {
                 .zip(&other.coeffs)
                 .map(|(&a, &b)| p_add(a, b))
                 .collect(),
+            domain: self.domain,
         }
     }
 
-    /// Coefficient-wise subtraction.
+    /// Coefficient-wise (resp. pointwise) subtraction; both operands must be
+    /// in the same domain, which the result keeps.
     pub fn sub(&self, other: &Poly) -> Poly {
         debug_assert_eq!(self.degree(), other.degree());
+        debug_assert_eq!(self.domain, other.domain, "domain mismatch in sub");
         Poly {
             coeffs: self
                 .coeffs
@@ -243,67 +515,122 @@ impl Poly {
                 .zip(&other.coeffs)
                 .map(|(&a, &b)| p_sub(a, b))
                 .collect(),
+            domain: self.domain,
         }
     }
 
-    /// Coefficient-wise negation.
+    /// Coefficient-wise (resp. pointwise) negation (domain-preserving).
     pub fn negate(&self) -> Poly {
         Poly {
             coeffs: self.coeffs.iter().map(|&a| p_neg(a)).collect(),
+            domain: self.domain,
         }
     }
 
-    /// Multiplies every coefficient by a scalar.
+    /// Multiplies every stored value by a scalar (domain-preserving: scaling
+    /// commutes with the transform).
     pub fn scale(&self, k: u64) -> Poly {
         Poly {
             coeffs: self.coeffs.iter().map(|&a| p_mul(a, k)).collect(),
+            domain: self.domain,
         }
     }
 
-    /// Negacyclic product using the supplied NTT tables.
+    /// Pointwise ring product of two evaluation-form polynomials — the
+    /// `O(n)` hot-path multiply the lazy representation buys.
     ///
     /// # Panics
     ///
-    /// Panics in debug builds if the degrees of the operands and tables differ.
+    /// Debug builds panic unless both operands are in [`Domain::Eval`] and
+    /// degrees match.
+    pub fn mul_eval(&self, other: &Poly) -> Poly {
+        debug_assert_eq!(self.degree(), other.degree());
+        debug_assert_eq!(self.domain, Domain::Eval, "mul_eval needs Eval operands");
+        debug_assert_eq!(other.domain, Domain::Eval, "mul_eval needs Eval operands");
+        Poly {
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&other.coeffs)
+                .map(|(&a, &b)| p_mul(a, b))
+                .collect(),
+            domain: Domain::Eval,
+        }
+    }
+
+    /// Negacyclic product of two coefficient-form polynomials using the
+    /// supplied NTT tables (three transforms). Evaluation-form operands
+    /// should use [`Poly::mul_eval`] instead, which needs none.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the degrees of the operands and tables
+    /// differ or either operand is not in coefficient form.
     pub fn mul_ntt(&self, other: &Poly, tables: &NttTables) -> Poly {
+        let mut scratch = Vec::new();
+        self.mul_ntt_with_scratch(other, tables, &mut scratch)
+    }
+
+    /// [`Poly::mul_ntt`] with a caller-owned scratch buffer for the second
+    /// operand's transform, so repeated products reuse one allocation.
+    pub fn mul_ntt_with_scratch(
+        &self,
+        other: &Poly,
+        tables: &NttTables,
+        scratch: &mut Vec<u64>,
+    ) -> Poly {
         debug_assert_eq!(self.degree(), tables.degree());
         debug_assert_eq!(other.degree(), tables.degree());
+        debug_assert_eq!(self.domain, Domain::Coeff, "mul_ntt needs Coeff operands");
+        debug_assert_eq!(other.domain, Domain::Coeff, "mul_ntt needs Coeff operands");
         let mut a = self.coeffs.clone();
-        let mut b = other.coeffs.clone();
+        scratch.clear();
+        scratch.extend_from_slice(&other.coeffs);
         tables.forward(&mut a);
-        tables.forward(&mut b);
-        for (x, y) in a.iter_mut().zip(&b) {
+        tables.forward(scratch);
+        for (x, y) in a.iter_mut().zip(scratch.iter()) {
             *x = p_mul(*x, *y);
         }
         tables.inverse(&mut a);
-        Poly { coeffs: a }
+        Poly {
+            coeffs: a,
+            domain: Domain::Coeff,
+        }
     }
 
     /// Schoolbook negacyclic product (`O(n^2)`), used to validate the NTT.
+    /// Coefficient-form operands only.
     pub fn mul_naive(&self, other: &Poly) -> Poly {
         let n = self.degree();
         debug_assert_eq!(n, other.degree());
+        debug_assert_eq!(self.domain, Domain::Coeff);
+        debug_assert_eq!(other.domain, Domain::Coeff);
         let mut out = vec![0u64; n];
         for (i, &a) in self.coeffs.iter().enumerate() {
             if a == 0 {
                 continue;
             }
             for (j, &b) in other.coeffs.iter().enumerate() {
-                let prod = p_mul(a, b);
                 let k = i + j;
                 if k < n {
-                    out[k] = p_add(out[k], prod);
+                    out[k] = p_mul_add(a, b, out[k]);
                 } else {
-                    out[k - n] = p_sub(out[k - n], prod);
+                    out[k - n] = p_sub(out[k - n], p_mul(a, b));
                 }
             }
         }
-        Poly { coeffs: out }
+        Poly {
+            coeffs: out,
+            domain: Domain::Coeff,
+        }
     }
 
     /// Applies the Galois automorphism `x -> x^galois_elt` (used by slot
-    /// rotations); `galois_elt` must be odd.
+    /// rotations); `galois_elt` must be odd. Coefficient-form operands only —
+    /// evaluation-form polynomials use [`Poly::apply_galois_eval`], which is
+    /// a pure permutation.
     pub fn apply_galois(&self, galois_elt: usize) -> Poly {
+        debug_assert_eq!(self.domain, Domain::Coeff);
         let n = self.degree();
         debug_assert!(galois_elt % 2 == 1, "Galois element must be odd");
         let mut out = vec![0u64; n];
@@ -321,7 +648,109 @@ impl Poly {
                 out[idx] = p_sub(out[idx], c);
             }
         }
-        Poly { coeffs: out }
+        Poly {
+            coeffs: out,
+            domain: Domain::Coeff,
+        }
+    }
+
+    /// Applies the Galois automorphism `x -> x^galois_elt` to an
+    /// evaluation-form polynomial.
+    ///
+    /// In this domain the automorphism is a pure index permutation (see
+    /// [`galois_eval_permutation`]): no ring multiplications and, crucially,
+    /// no transforms. Hot-path callers that rotate repeatedly should cache
+    /// the permutation and gather directly.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if the operand is not in [`Domain::Eval`] or
+    /// `galois_elt` is even.
+    pub fn apply_galois_eval(&self, galois_elt: usize) -> Poly {
+        debug_assert_eq!(self.domain, Domain::Eval);
+        let perm = galois_eval_permutation(self.degree(), galois_elt);
+        Poly {
+            coeffs: perm.iter().map(|&src| self.coeffs[src as usize]).collect(),
+            domain: Domain::Eval,
+        }
+    }
+}
+
+/// The index permutation realizing the Galois automorphism
+/// `x -> x^galois_elt` on evaluation-form polynomials of degree `n`:
+/// `out[i] = in[perm[i]]`.
+///
+/// The forward transform stores `A(psi^(2·br(i)+1))` at index `i` (`br` =
+/// bit reversal over `log2 n` bits), and the automorphism maps the
+/// evaluation at `psi^j` to the evaluation at `psi^(j·g mod 2n)` — so the
+/// automorphism permutes indices, and the permutation depends only on
+/// `(n, galois_elt)`, which makes it worth caching per rotation step.
+///
+/// # Panics
+///
+/// Debug builds panic if `galois_elt` is even or `n` is not a power of two.
+pub fn galois_eval_permutation(n: usize, galois_elt: usize) -> Vec<u32> {
+    debug_assert!(n.is_power_of_two());
+    debug_assert!(galois_elt % 2 == 1, "Galois element must be odd");
+    let log_n = n.trailing_zeros();
+    let br = |i: usize| -> usize { ((i as u32).reverse_bits() >> (32 - log_n)) as usize };
+    (0..n)
+        .map(|i| {
+            // The value output slot `i` must hold is A(psi^(j·g)) where
+            // j = 2·br(i)+1; the input stores it at the index whose odd
+            // exponent is j·g mod 2n.
+            let j = 2 * br(i) + 1;
+            let jg = (j * galois_elt) % (2 * n);
+            br((jg - 1) / 2) as u32
+        })
+        .collect()
+}
+
+/// Serializes as `{"domain": "Coeff"|"Eval", "values": [...]}`.
+impl serde::Serialize for Poly {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let domain = match self.domain {
+            Domain::Coeff => "Coeff",
+            Domain::Eval => "Eval",
+        };
+        serializer.serialize_value(serde::Value::Object(vec![
+            ("domain".to_string(), serde::Value::Str(domain.to_string())),
+            (
+                "values".to_string(),
+                serde::Value::Array(self.coeffs.iter().map(|&c| serde::Value::UInt(c)).collect()),
+            ),
+        ]))
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Poly {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.take_value()?;
+        let domain = match value.field("domain")? {
+            serde::Value::Str(s) if s == "Coeff" => Domain::Coeff,
+            serde::Value::Str(s) if s == "Eval" => Domain::Eval,
+            other => return Err(serde::Error::msg(format!("unknown Poly domain {other:?}")).into()),
+        };
+        let values = value
+            .field("values")?
+            .as_array("Poly::values")?
+            .iter()
+            .map(|v| match v {
+                serde::Value::UInt(c) => Ok(*c),
+                serde::Value::Int(c) if *c >= 0 => Ok(*c as u64),
+                other => Err(serde::Error::msg(format!("bad Poly value {other:?}"))),
+            })
+            .collect::<Result<Vec<u64>, serde::Error>>()?;
+        Ok(Poly::from_coeffs(values).with_domain(domain))
+    }
+}
+
+impl Poly {
+    /// Retags the stored values (used by deserialization; values are
+    /// unchanged).
+    fn with_domain(mut self, domain: Domain) -> Poly {
+        self.domain = domain;
+        self
     }
 }
 
@@ -331,6 +760,20 @@ mod tests {
 
     fn poly_of(vals: &[u64]) -> Poly {
         Poly::from_coeffs(vals.to_vec())
+    }
+
+    /// Deterministic pseudo-random canonical field elements.
+    fn random_values(n: usize, seed: u64) -> Vec<u64> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                // xorshift*; bias from the modulus reduction is irrelevant here.
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state.wrapping_mul(0x2545_F491_4F6C_DD1D) % MODULUS
+            })
+            .collect()
     }
 
     #[test]
@@ -344,6 +787,41 @@ mod tests {
     }
 
     #[test]
+    fn fast_reduction_matches_division() {
+        // Boundary products plus pseudo-random pairs: the fast path must
+        // agree with the 128-bit `%` it replaced on every limb pattern.
+        let specials = [
+            0u64,
+            1,
+            2,
+            EPSILON - 1,
+            EPSILON,
+            EPSILON + 1,
+            1 << 32,
+            (1 << 32) + 1,
+            MODULUS - 2,
+            MODULUS - 1,
+            u64::MAX, // non-canonical input still reduces correctly
+        ];
+        for &a in &specials {
+            for &b in &specials {
+                let expected = ((u128::from(a) * u128::from(b)) % u128::from(MODULUS)) as u64;
+                assert_eq!(p_mul(a, b), expected, "a={a:#x} b={b:#x}");
+            }
+        }
+        let values = random_values(512, 0xDEC0DE);
+        for pair in values.chunks(2) {
+            let (a, b) = (pair[0], pair[1]);
+            let expected = ((u128::from(a) * u128::from(b)) % u128::from(MODULUS)) as u64;
+            assert_eq!(p_mul(a, b), expected, "a={a:#x} b={b:#x}");
+            let c = a ^ b;
+            let expected_fused = ((u128::from(a) * u128::from(b) + u128::from(c % MODULUS))
+                % u128::from(MODULUS)) as u64;
+            assert_eq!(p_mul_add(a, b, c % MODULUS), expected_fused);
+        }
+    }
+
+    #[test]
     fn ntt_round_trips() {
         let tables = NttTables::new(64);
         let original: Vec<u64> = (0..64u64).map(|i| i * i + 7).collect();
@@ -351,6 +829,45 @@ mod tests {
         tables.forward(&mut a);
         tables.inverse(&mut a);
         assert_eq!(a, original);
+    }
+
+    #[test]
+    fn threaded_transforms_are_bit_identical_to_sequential() {
+        let degree = 4096;
+        let tables = NttTables::new(degree);
+        let original = random_values(degree, 0xBEEF);
+        let mut sequential = original.clone();
+        tables.forward(&mut sequential);
+        for threads in [2, 3, 4, 8] {
+            let mut threaded = original.clone();
+            tables.forward_threaded(&mut threaded, threads);
+            assert_eq!(threaded, sequential, "forward with {threads} threads");
+        }
+        let mut back_seq = sequential.clone();
+        tables.inverse(&mut back_seq);
+        assert_eq!(back_seq, original);
+        for threads in [2, 3, 4, 8] {
+            let mut back = sequential.clone();
+            tables.inverse_threaded(&mut back, threads);
+            assert_eq!(back, original, "inverse with {threads} threads");
+        }
+    }
+
+    #[test]
+    fn transform_counters_count_whole_transforms() {
+        let tables = NttTables::new(16);
+        assert_eq!(tables.transform_counts(), (0, 0));
+        let mut a = vec![1u64; 16];
+        tables.forward(&mut a);
+        tables.forward_threaded(&mut a, 2);
+        tables.inverse(&mut a);
+        assert_eq!(tables.transform_counts(), (2, 1));
+        // Clones share the counters.
+        let clone = tables.clone();
+        clone.inverse(&mut a);
+        assert_eq!(tables.transform_counts(), (2, 2));
+        tables.reset_transform_counts();
+        assert_eq!(clone.transform_counts(), (0, 0));
     }
 
     #[test]
@@ -367,6 +884,54 @@ mod tests {
                 .collect(),
         );
         assert_eq!(a.mul_ntt(&b, &tables), a.mul_naive(&b));
+    }
+
+    #[test]
+    fn eval_domain_product_matches_coefficient_product() {
+        let tables = NttTables::new(64);
+        let a = Poly::from_coeffs(random_values(64, 3));
+        let b = Poly::from_coeffs(random_values(64, 5));
+        let expected = a.mul_ntt(&b, &tables);
+        let lazy = a.to_eval(&tables).mul_eval(&b.to_eval(&tables));
+        assert_eq!(lazy.domain(), Domain::Eval);
+        assert_eq!(lazy.to_coeff(&tables), expected);
+    }
+
+    #[test]
+    fn eval_domain_galois_matches_coefficient_galois() {
+        let tables = NttTables::new(32);
+        let a = Poly::from_coeffs(random_values(32, 0xA5));
+        for galois_elt in [1usize, 3, 5, 7, 9, 31, 63] {
+            let expected = a.apply_galois(galois_elt);
+            let lazy = a.to_eval(&tables).apply_galois_eval(galois_elt);
+            assert_eq!(
+                lazy.to_coeff(&tables),
+                expected,
+                "galois element {galois_elt}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_reduced_skips_re_reduction_and_agrees_with_from_coeffs() {
+        let values = random_values(16, 9);
+        assert_eq!(
+            Poly::from_reduced(values.clone(), Domain::Coeff),
+            Poly::from_coeffs(values.clone())
+        );
+        assert_eq!(
+            Poly::from_reduced(values.clone(), Domain::Eval),
+            Poly::from_eval_values(values)
+        );
+    }
+
+    #[test]
+    fn poly_serialization_round_trips() {
+        let tables = NttTables::new(16);
+        let p = Poly::from_coeffs(random_values(16, 11)).to_eval(&tables);
+        let value = serde::to_value(&p);
+        let back: Poly = serde::from_value(&value).unwrap();
+        assert_eq!(back, p);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use crate::calibrate::{CalibratedCostModel, OpKind};
 use crate::schedule::{Instr, Schedule, ScheduledInstr, Slot};
 use chehab_fhe::{
-    Ciphertext, Evaluator, EvaluatorStats, FheContext, FheError, GaloisKeys, RelinKeys,
+    Ciphertext, Evaluator, EvaluatorStats, FheContext, FheError, GaloisKeys, Plaintext, RelinKeys,
 };
 use chehab_ir::BinOp;
 
@@ -40,6 +40,53 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
+/// A clear (client-side) value bound into the register file, with a
+/// per-request cache of its encoded [`Plaintext`].
+///
+/// Every instruction that consumes the register shares one encoding (and,
+/// through the plaintext's own splat cache, one payload NTT) instead of
+/// re-encoding per use — safe across wavefront workers because the cache is
+/// a [`OnceLock`] and encoding is deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct PlainValue {
+    values: Vec<i64>,
+    encoded: OnceLock<Plaintext>,
+}
+
+impl PlainValue {
+    /// Wraps clear slot values.
+    pub fn new(values: Vec<i64>) -> Self {
+        PlainValue {
+            values,
+            encoded: OnceLock::new(),
+        }
+    }
+
+    /// The clear slot values.
+    pub fn values(&self) -> &[i64] {
+        &self.values
+    }
+
+    /// The encoded plaintext, computed on first use and shared afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FheError`] from encoding (more values than slots).
+    pub fn encoded(&self, ctx: &FheContext) -> Result<&Plaintext, FheError> {
+        if let Some(plain) = self.encoded.get() {
+            return Ok(plain);
+        }
+        let plain = ctx.encode(&self.values)?;
+        Ok(self.encoded.get_or_init(|| plain))
+    }
+}
+
+impl From<Vec<i64>> for PlainValue {
+    fn from(values: Vec<i64>) -> Self {
+        PlainValue::new(values)
+    }
+}
+
 /// A register of the flat execution machine: either a ciphertext computed on
 /// the server or a clear value the client evaluated (plaintext subcircuits
 /// never touch ciphertexts).
@@ -48,7 +95,7 @@ pub enum Register {
     /// An encrypted value.
     Cipher(Ciphertext),
     /// A clear (client-side) value, one entry per vector slot.
-    Plain(Vec<i64>),
+    Plain(PlainValue),
 }
 
 /// Shared immutable resources a wavefront execution borrows.
@@ -76,6 +123,11 @@ pub struct LevelTiming {
     pub instructions: usize,
     /// Wall-clock time of the level (including the closing barrier).
     pub wall: Duration,
+    /// Intra-op worker budget each evaluator had in this level: when the
+    /// level is narrower than the worker pool, the spare threads split heavy
+    /// payload loops inside single operations instead of idling at the
+    /// barrier.
+    pub intra_op_threads: usize,
 }
 
 /// Per-level and per-operation-kind breakdown of one execution.
@@ -91,6 +143,12 @@ pub struct TimingBreakdown {
     /// [`Schedule::instrs`] — the input of
     /// [`Schedule::makespan`](crate::Schedule::makespan) projections.
     pub instr_times: Vec<Duration>,
+    /// Operations whose payload work actually split across more than one
+    /// intra-op worker. The per-op latencies in
+    /// [`TimingBreakdown::per_op`] are measured around the split, so the
+    /// calibrated cost model sees the effect of intra-op parallelism
+    /// directly.
+    pub intra_op_splits: u64,
 }
 
 impl TimingBreakdown {
@@ -101,6 +159,7 @@ impl TimingBreakdown {
             levels: Vec::new(),
             per_op: CalibratedCostModel::new(),
             instr_times: Vec::new(),
+            intra_op_splits: 0,
         }
     }
 
@@ -207,6 +266,12 @@ impl WavefrontExecutor {
         let mut instr_times = vec![Duration::ZERO; schedule.instrs().len()];
         let mut levels = Vec::with_capacity(schedule.level_count());
         for (level, range) in schedule.levels().iter().enumerate() {
+            let width = range.end - range.start;
+            // A single instruction stream still uses the full requested
+            // thread budget *inside* heavy ops: narrow levels are exactly
+            // where intra-op chunking replaces idle wavefront workers.
+            let intra_op_threads = intra_op_budget(self.threads, width);
+            evaluator.set_intra_op_threads(intra_op_threads);
             let started = Instant::now();
             for (offset, si) in schedule.instrs()[range.clone()].iter().enumerate() {
                 let instr_started = Instant::now();
@@ -216,8 +281,9 @@ impl WavefrontExecutor {
             }
             levels.push(LevelTiming {
                 level,
-                instructions: range.end - range.start,
+                instructions: width,
                 wall: started.elapsed(),
+                intra_op_threads,
             });
         }
         let timing = TimingBreakdown {
@@ -225,6 +291,7 @@ impl WavefrontExecutor {
             levels,
             per_op: calibration,
             instr_times,
+            intra_op_splits: evaluator.intra_op_splits(),
         };
         Ok((evaluator.stats(), timing))
     }
@@ -245,11 +312,14 @@ impl WavefrontExecutor {
         let failure: Mutex<Option<FheError>> = Mutex::new(None);
         // Workers plus the coordinating thread, which only timestamps levels.
         let barrier = Barrier::new(workers + 1);
-        let merged: Mutex<(EvaluatorStats, CalibratedCostModel, Vec<Duration>)> = Mutex::new((
-            EvaluatorStats::default(),
-            CalibratedCostModel::new(),
-            vec![Duration::ZERO; schedule.instrs().len()],
-        ));
+        let merged: Mutex<(EvaluatorStats, CalibratedCostModel, Vec<Duration>, u64)> =
+            Mutex::new((
+                EvaluatorStats::default(),
+                CalibratedCostModel::new(),
+                vec![Duration::ZERO; schedule.instrs().len()],
+                0,
+            ));
+        let requested_threads = self.threads;
 
         let mut levels = Vec::with_capacity(schedule.level_count());
         std::thread::scope(|scope| {
@@ -260,6 +330,10 @@ impl WavefrontExecutor {
                     let mut timed: Vec<(usize, Duration)> = Vec::new();
                     for (level, range) in schedule.levels().iter().enumerate() {
                         let len = range.end - range.start;
+                        // Levels narrower than the pool leave workers idle at
+                        // the barrier; the busy workers spend the spare
+                        // budget chunking inside their heavy ops instead.
+                        evaluator.set_intra_op_threads(intra_op_budget(requested_threads, len));
                         while !abort.load(Ordering::Relaxed) {
                             let index = cursors[level].fetch_add(1, Ordering::Relaxed);
                             if index >= len {
@@ -287,6 +361,7 @@ impl WavefrontExecutor {
                     for (index, duration) in timed {
                         m.2[index] = duration;
                     }
+                    m.3 += evaluator.intra_op_splits();
                 });
             }
 
@@ -294,10 +369,12 @@ impl WavefrontExecutor {
             for (level, range) in schedule.levels().iter().enumerate() {
                 barrier.wait();
                 let now = Instant::now();
+                let width = range.end - range.start;
                 levels.push(LevelTiming {
                     level,
-                    instructions: range.end - range.start,
+                    instructions: width,
                     wall: now - previous,
+                    intra_op_threads: intra_op_budget(requested_threads, width),
                 });
                 previous = now;
             }
@@ -306,7 +383,7 @@ impl WavefrontExecutor {
         if let Some(error) = failure.into_inner().unwrap() {
             return Err(error);
         }
-        let (stats, calibration, instr_times) = merged.into_inner().unwrap();
+        let (stats, calibration, instr_times, intra_op_splits) = merged.into_inner().unwrap();
         Ok((
             stats,
             TimingBreakdown {
@@ -314,9 +391,18 @@ impl WavefrontExecutor {
                 levels,
                 per_op: calibration,
                 instr_times,
+                intra_op_splits,
             },
         ))
     }
+}
+
+/// The intra-op worker budget of a level: spare threads per busy worker
+/// when the level is narrower than the requested pool (`1` when the level
+/// is at least as wide as the pool — instruction-level parallelism already
+/// covers the cores).
+fn intra_op_budget(requested_threads: usize, level_width: usize) -> usize {
+    (requested_threads / level_width.max(1)).max(1)
 }
 
 /// Panics (on the calling thread, before any worker spawns) if an
@@ -374,27 +460,27 @@ fn run_instr(
                 Register::Cipher(out)
             }
             (Register::Cipher(x), Register::Plain(p)) => {
-                let plain = res.ctx.encode(p)?;
+                let plain = p.encoded(res.ctx)?;
                 let started = Instant::now();
                 let out = match op {
-                    BinOp::Add => evaluator.add_plain(x, &plain),
-                    BinOp::Sub => evaluator.sub_plain(x, &plain),
-                    BinOp::Mul => evaluator.multiply_plain(x, &plain),
+                    BinOp::Add => evaluator.add_plain(x, plain),
+                    BinOp::Sub => evaluator.sub_plain(x, plain),
+                    BinOp::Mul => evaluator.multiply_plain(x, plain),
                 };
                 calibration.record(ct_pt_kind(*op), started.elapsed());
                 Register::Cipher(out)
             }
             (Register::Plain(p), Register::Cipher(y)) => {
-                let plain = res.ctx.encode(p)?;
+                let plain = p.encoded(res.ctx)?;
                 let started = Instant::now();
                 let out = match op {
-                    BinOp::Add => evaluator.add_plain(y, &plain),
+                    BinOp::Add => evaluator.add_plain(y, plain),
                     BinOp::Sub => {
                         // p - y = -(y - p)
-                        let diff = evaluator.sub_plain(y, &plain);
+                        let diff = evaluator.sub_plain(y, plain);
                         evaluator.negate(&diff)
                     }
-                    BinOp::Mul => evaluator.multiply_plain(y, &plain),
+                    BinOp::Mul => evaluator.multiply_plain(y, plain),
                 };
                 calibration.record(ct_pt_kind(*op), started.elapsed());
                 Register::Cipher(out)
@@ -433,7 +519,7 @@ fn run_instr(
             for (slot, &elem) in elems.iter().enumerate() {
                 match reg(elem) {
                     Register::Plain(values) => {
-                        plain_slots[slot] = values.first().copied().unwrap_or(0);
+                        plain_slots[slot] = values.values().first().copied().unwrap_or(0);
                     }
                     Register::Cipher(ct) => {
                         let placed = if slot == 0 {

@@ -105,7 +105,8 @@ mod serving;
 pub use batch::BatchExecutor;
 pub use calibrate::{CalibratedCostModel, OpKind, OP_KINDS};
 pub use exec::{
-    ExecResources, LevelTiming, Register, TimingBreakdown, WavefrontExecutor, WavefrontOutcome,
+    ExecResources, LevelTiming, PlainValue, Register, TimingBreakdown, WavefrontExecutor,
+    WavefrontOutcome,
 };
 pub use schedule::{data_kinds, lower_with_default_costs, Instr, Schedule, ScheduledInstr, Slot};
 pub use serving::{

@@ -1,0 +1,275 @@
+//! Hot-path equivalence tests: the lazy NTT-domain evaluator must be
+//! functionally indistinguishable from the seed coefficient-domain engine,
+//! and it must actually be lazy.
+//!
+//! Three angles:
+//!
+//! 1. **Kernel equivalence** — every benchsuite kernel produces identical
+//!    outputs, operation counts and noise accounting whether payload
+//!    simulation (the part the hot-path rewrite changed) is on or off, so
+//!    the payload representation provably cannot leak into results.
+//! 2. **Randomized ring equivalence** — Eval-domain products and Galois
+//!    permutations agree with the coefficient-domain reference on random
+//!    polynomials (seeded loops, inputs printed on failure).
+//! 3. **Transform minimality** — a multiply→rotate→multiply chain performs
+//!    *zero* forward/inverse transforms (operands are born in NTT form, key
+//!    payloads are pre-transformed at keygen), and a ct-pt multiply
+//!    transforms its plaintext splat exactly once, counted via the
+//!    transform counters on the context's `NttTables`.
+
+use chehab::benchsuite::{self, Benchmark};
+use chehab::compiler::Compiler;
+use chehab::fhe::poly::{Domain, NttTables, Poly, MODULUS};
+use chehab::fhe::{BfvParameters, Decryptor, Encryptor, Evaluator, FheContext, KeyGenerator};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+fn inputs_of(benchmark: &Benchmark, seed: u64) -> HashMap<String, i64> {
+    let env = benchmark.input_env(seed);
+    benchmark
+        .program()
+        .variables()
+        .into_iter()
+        .map(|v| {
+            let value = env.get(v.as_str()).unwrap_or(0) as i64;
+            (v.to_string(), value)
+        })
+        .collect()
+}
+
+/// Test parameters with payload simulation enabled (small payload ring so
+/// all 46 kernels stay fast).
+fn simulated_params() -> BfvParameters {
+    BfvParameters {
+        payload_degree: 64,
+        simulate_compute: true,
+        ..BfvParameters::insecure_test()
+    }
+}
+
+/// The payload representation cannot leak into results: every kernel's
+/// outputs, noise accounting and operation counts are identical with
+/// payload simulation on (the lazy Eval-domain engine doing real ring
+/// arithmetic) and off (no payload work at all). Combined with the seed's
+/// own invariant that results never depended on payload values, this pins
+/// the Eval-domain engine to the seed coefficient-domain path bit for bit.
+#[test]
+fn every_kernel_is_bit_identical_with_and_without_payload_simulation() {
+    let plain = BfvParameters::insecure_test();
+    let simulated = simulated_params();
+    for benchmark in benchsuite::full_suite() {
+        let compiled = Compiler::without_optimizer().compile(benchmark.id(), benchmark.program());
+        let inputs = inputs_of(&benchmark, 53);
+        let reference = compiled
+            .execute(&inputs, &plain)
+            .unwrap_or_else(|e| panic!("{}: plain execution failed: {e}", benchmark.id()));
+        let lazy = compiled
+            .execute(&inputs, &simulated)
+            .unwrap_or_else(|e| panic!("{}: simulated execution failed: {e}", benchmark.id()));
+        assert_eq!(lazy.outputs, reference.outputs, "{}", benchmark.id());
+        assert_eq!(
+            lazy.operation_stats,
+            reference.operation_stats,
+            "{}",
+            benchmark.id()
+        );
+        assert_eq!(
+            lazy.noise_budget_consumed,
+            reference.noise_budget_consumed,
+            "{}",
+            benchmark.id()
+        );
+        assert_eq!(
+            lazy.decryption_ok,
+            reference.decryption_ok,
+            "{}",
+            benchmark.id()
+        );
+    }
+}
+
+/// Eval-domain pointwise products agree with the coefficient-domain NTT
+/// product (and the schoolbook reference) on random polynomials.
+#[test]
+fn eval_domain_products_match_coefficient_domain_on_random_polys() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x40EA7);
+    for degree in [16usize, 64, 256] {
+        let tables = NttTables::new(degree);
+        for case in 0..16 {
+            let a: Vec<u64> = (0..degree).map(|_| rng.gen::<u64>() % MODULUS).collect();
+            let b: Vec<u64> = (0..degree).map(|_| rng.gen::<u64>() % MODULUS).collect();
+            let pa = Poly::from_coeffs(a.clone());
+            let pb = Poly::from_coeffs(b.clone());
+            let reference = pa.mul_naive(&pb);
+            assert_eq!(
+                pa.mul_ntt(&pb, &tables),
+                reference,
+                "degree {degree} case {case}: a={a:?} b={b:?}"
+            );
+            let lazy = pa.to_eval(&tables).mul_eval(&pb.to_eval(&tables));
+            assert_eq!(lazy.domain(), Domain::Eval);
+            assert_eq!(
+                lazy.to_coeff(&tables),
+                reference,
+                "degree {degree} case {case}: a={a:?} b={b:?}"
+            );
+        }
+    }
+}
+
+/// The Eval-domain Galois permutation agrees with the coefficient-domain
+/// automorphism for every odd Galois element of a small ring.
+#[test]
+fn eval_domain_galois_matches_coefficient_domain_for_all_odd_elements() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xB0B5);
+    let degree = 32usize;
+    let tables = NttTables::new(degree);
+    let coeffs: Vec<u64> = (0..degree).map(|_| rng.gen::<u64>() % MODULUS).collect();
+    let p = Poly::from_coeffs(coeffs.clone());
+    let p_eval = p.to_eval(&tables);
+    for galois_elt in (1..2 * degree).step_by(2) {
+        let reference = p.apply_galois(galois_elt);
+        let lazy = p_eval.apply_galois_eval(galois_elt).to_coeff(&tables);
+        assert_eq!(lazy, reference, "galois element {galois_elt}: p={coeffs:?}");
+    }
+}
+
+/// A multiply→rotate→multiply chain performs **zero** transforms: fresh
+/// ciphertexts are born in NTT form, relinearization and Galois key
+/// payloads were pre-transformed at keygen, and nothing downstream of the
+/// chain observes coefficient form. A ct-pt multiply costs exactly one
+/// forward transform (its plaintext splat), amortized across both payload
+/// components and across repeated uses of the same plaintext.
+#[test]
+fn multiply_rotate_multiply_chain_is_transform_free() {
+    let ctx = FheContext::new(simulated_params()).unwrap();
+    let mut keygen = KeyGenerator::new(ctx.params(), 7);
+    let mut encryptor = Encryptor::new(&ctx, &keygen.public_key());
+    let decryptor = Decryptor::new(&ctx, &keygen.secret_key());
+    let relin = keygen.relin_keys();
+    let galois = keygen.galois_keys(&[1]);
+    let mut evaluator = Evaluator::new(&ctx);
+
+    let a = encryptor.encrypt_values(&[1, 2, 3, 4]).unwrap();
+    let b = encryptor.encrypt_values(&[5, 6, 7, 8]).unwrap();
+    // Everything above (context build, keygen, encryption) is session-setup
+    // work; the chain below is the steady-state request path.
+    ctx.reset_transform_counts();
+
+    let product = evaluator.multiply(&a, &b, &relin);
+    let rotated = evaluator.rotate(&product, 1, &galois).unwrap();
+    let chained = evaluator.multiply(&rotated, &b, &relin);
+    assert_eq!(
+        ctx.transform_counts(),
+        (0, 0),
+        "the multiply-rotate-multiply chain must not transform at all"
+    );
+
+    // Decryption stays transform-free too (slots only).
+    let pt = decryptor.decrypt(&chained).unwrap();
+    assert_eq!(ctx.transform_counts(), (0, 0));
+    // Functional sanity of the chain: ((a*b) << 1) * b =
+    // [12*5, 21*6, 32*7] on the live slots.
+    assert_eq!(ctx.decode(&pt, 3), vec![60, 126, 224]);
+
+    // One plaintext splat: exactly one forward transform on first use,
+    // zero on reuse (cached on the plaintext across both components).
+    let plain = ctx.encode(&[2, 2, 2, 2]).unwrap();
+    let _ = evaluator.multiply_plain(&chained, &plain);
+    assert_eq!(ctx.transform_counts(), (1, 0));
+    let _ = evaluator.multiply_plain(&chained, &plain);
+    assert_eq!(ctx.transform_counts(), (1, 0));
+}
+
+/// A plaintext first used under one context stays correct when reused
+/// under a context with a different payload degree: the Eval-splat cache
+/// must never serve a wrong-degree hit (it rebuilds an uncached splat at
+/// the operation's own degree instead).
+#[test]
+fn plaintext_splat_cache_survives_cross_context_reuse() {
+    let params_small = BfvParameters {
+        payload_degree: 16,
+        simulate_compute: true,
+        ..BfvParameters::insecure_test()
+    };
+    let params_large = BfvParameters {
+        payload_degree: 64,
+        simulate_compute: true,
+        ..BfvParameters::insecure_test()
+    };
+    let ctx_small = FheContext::new(params_small).unwrap();
+    let ctx_large = FheContext::new(params_large).unwrap();
+    let keygen_small = KeyGenerator::new(ctx_small.params(), 3);
+    let keygen_large = KeyGenerator::new(ctx_large.params(), 3);
+    let mut enc_small = Encryptor::new(&ctx_small, &keygen_small.public_key());
+    let mut enc_large = Encryptor::new(&ctx_large, &keygen_large.public_key());
+    let mut eval_small = Evaluator::new(&ctx_small);
+    let mut eval_large = Evaluator::new(&ctx_large);
+
+    let ct_small = enc_small.encrypt_values(&[1, 2]).unwrap();
+    let ct_large = enc_large.encrypt_values(&[1, 2]).unwrap();
+    // One shared plaintext, first multiplied under the small context (which
+    // fills its splat cache at degree 16), then under the large one.
+    let shared = ctx_small.encode(&[3, 3]).unwrap();
+    let small_product = eval_small.multiply_plain(&ct_small, &shared);
+    let crossed = eval_large.multiply_plain(&ct_large, &shared);
+    // The reference never saw the small context at all.
+    let fresh = ctx_large.encode(&[3, 3]).unwrap();
+    let reference = eval_large.multiply_plain(&ct_large, &fresh);
+    assert_eq!(crossed.payload_polys(), reference.payload_polys());
+    assert_eq!(small_product.payload_polys()[0].degree(), 16);
+    assert_eq!(crossed.payload_polys()[0].degree(), 64);
+}
+
+/// Intra-op chunking is a pure wall-clock knob: the payload polynomials,
+/// slots and noise of every operation are bit-identical at any worker
+/// budget, and the evaluator records how many operations actually split.
+#[test]
+fn intra_op_chunking_is_bit_identical_and_counted() {
+    let params = BfvParameters {
+        payload_degree: 4096,
+        simulate_compute: true,
+        ..BfvParameters::insecure_test()
+    };
+    let ctx = FheContext::new(params).unwrap();
+    let mut keygen = KeyGenerator::new(ctx.params(), 9);
+    let mut encryptor = Encryptor::new(&ctx, &keygen.public_key());
+    let relin = keygen.relin_keys();
+    let galois = keygen.galois_keys(&[1]);
+    let a = encryptor.encrypt_values(&[3, 1, 4]).unwrap();
+    let b = encryptor.encrypt_values(&[1, 5, 9]).unwrap();
+
+    let mut sequential = Evaluator::new(&ctx);
+    let seq_mul = sequential.multiply(&a, &b, &relin);
+    let seq_rot = sequential.rotate(&seq_mul, 1, &galois).unwrap();
+    assert_eq!(sequential.intra_op_splits(), 0);
+
+    for threads in [2, 4] {
+        let mut chunked = Evaluator::new(&ctx);
+        chunked.set_intra_op_threads(threads);
+        assert_eq!(chunked.intra_op_threads(), threads);
+        let par_mul = chunked.multiply(&a, &b, &relin);
+        let par_rot = chunked.rotate(&par_mul, 1, &galois).unwrap();
+        assert_eq!(
+            par_mul.payload_polys(),
+            seq_mul.payload_polys(),
+            "{threads} threads"
+        );
+        assert_eq!(
+            par_rot.payload_polys(),
+            seq_rot.payload_polys(),
+            "{threads} threads"
+        );
+        assert_eq!(
+            par_mul.noise_consumed_bits(),
+            seq_mul.noise_consumed_bits(),
+            "{threads} threads"
+        );
+        assert_eq!(
+            chunked.intra_op_splits(),
+            2,
+            "both heavy ops must report an intra-op split at {threads} threads"
+        );
+    }
+}
