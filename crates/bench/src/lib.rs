@@ -866,6 +866,305 @@ pub fn measure_hotpath(
     }
 }
 
+/// One dataflow-vs-leveled scheduling comparison of a kernel, against the
+/// sequential per-request latency recorded in `BENCH_hotpath.json` (the
+/// leveled-engine baseline).
+#[derive(Debug, Clone)]
+pub struct DataflowMeasurement {
+    /// Benchmark identifier.
+    pub benchmark: String,
+    /// Workers of the dataflow/leveled projections and the threaded runs.
+    pub threads: usize,
+    /// Median sequential (1-worker, leveled) per-request wall now, ms —
+    /// the same quantity `BENCH_hotpath.json` records.
+    pub sequential_request_ms: f64,
+    /// Median sequential server-side (scheduled-execution) time, ms.
+    pub sequential_server_ms: f64,
+    /// Median measured per-request wall of the dataflow executor at
+    /// `threads` workers *on this host* — bounded by the host's core count,
+    /// so on a 1-CPU builder it shows scheduling overhead, not speedup.
+    pub dataflow_wall_ms: f64,
+    /// Leveled (barrier-synchronized) makespan projection at `threads`
+    /// workers from the measured per-instruction latencies, ms.
+    pub leveled_projected_ms: f64,
+    /// Barrier-free dataflow makespan projection at `threads` workers from
+    /// the same measured latencies, ms.
+    pub dataflow_projected_ms: f64,
+    /// The true critical-path (infinite-worker) makespan, ms — the floor no
+    /// scheduler can beat.
+    pub critical_path_ms: f64,
+    /// Barrier slack the dataflow scheduler reclaims versus the leveled one:
+    /// `leveled_projected_ms - dataflow_projected_ms`.
+    pub reclaimed_slack_ms: f64,
+    /// Projected per-request wall at `threads` workers: the sequential
+    /// request wall with its server portion replaced by the dataflow
+    /// makespan projection (client-side binding and decryption are
+    /// per-request costs parallelism does not touch).
+    pub projected_request_ms: f64,
+    /// The baseline per-request wall from `BENCH_hotpath.json`, if present.
+    pub baseline_request_ms: Option<f64>,
+    /// `baseline_request_ms / projected_request_ms` (above 1.0 = the
+    /// dataflow engine serves a request faster than the leveled baseline).
+    pub improvement: Option<f64>,
+    /// Ready instructions stolen between workers, median per threaded run.
+    pub steals: u64,
+    /// Median per-instruction queue wait of the threaded runs, microseconds.
+    pub queue_wait_p50_us: f64,
+    /// Whether every output (sequential, threaded dataflow) matched the
+    /// plaintext reference bit-exactly.
+    pub correct: bool,
+}
+
+/// Measures one kernel under the dataflow scheduler: sequential and
+/// `threads`-worker runs through one warm session (medians over `runs`
+/// passes of `requests` requests), makespan projections from the measured
+/// per-instruction latencies, and bit-exactness against the plaintext
+/// reference and the sequential outputs.
+pub fn measure_dataflow(
+    benchmark: &Benchmark,
+    compiler: &CompilerUnderTest,
+    params: &BfvParameters,
+    runs: usize,
+    requests: usize,
+    threads: usize,
+    baseline_request_ms: Option<f64>,
+) -> DataflowMeasurement {
+    let compiled = compiler.compile(benchmark);
+    let requests = requests.max(1);
+    let input_sets: Vec<HashMap<String, i64>> = (0..requests)
+        .map(|seed| {
+            benchmark
+                .program()
+                .variables()
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| (v.to_string(), ((seed + i) as i64 % 11) + 1))
+                .collect()
+        })
+        .collect();
+    let expected: Vec<Vec<u64>> = input_sets
+        .iter()
+        .map(|inputs| {
+            let mut env = chehab_ir::Env::new();
+            for (k, v) in inputs {
+                env.bind(k.clone(), *v);
+            }
+            // A failed reference evaluation must abort the measurement, not
+            // silently vacuate the bit-exactness check.
+            let value = chehab_ir::evaluate(benchmark.program(), &env).unwrap_or_else(|e| {
+                panic!(
+                    "{}: plaintext reference evaluation failed: {e}",
+                    benchmark.id()
+                )
+            });
+            value
+                .slots()
+                .into_iter()
+                .take(benchmark.output_slots())
+                .collect()
+        })
+        .collect();
+
+    let session = compiled
+        .session(params)
+        .unwrap_or_else(|e| panic!("{}: session construction failed: {e}", benchmark.id()));
+    let schedule = session.schedule();
+    let dataflow_options = ExecOptions::sequential().with_threads_per_request(threads);
+    let median_d = |times: &mut Vec<Duration>| -> f64 {
+        times.sort_unstable();
+        ms(times[times.len() / 2])
+    };
+    let median_f = |values: &mut Vec<f64>| -> f64 {
+        values.sort_by(f64::total_cmp);
+        values[values.len() / 2]
+    };
+
+    let mut seq_requests = Vec::new();
+    let mut seq_servers = Vec::new();
+    let mut df_walls = Vec::new();
+    let mut leveled_proj = Vec::new();
+    let mut dataflow_proj = Vec::new();
+    let mut critical = Vec::new();
+    let mut steals = Vec::new();
+    let mut waits = Vec::new();
+    let mut correct = true;
+    for _ in 0..runs.max(1) {
+        for (inputs, expected) in input_sets.iter().zip(&expected) {
+            let started = Instant::now();
+            let seq = session
+                .run(inputs)
+                .unwrap_or_else(|e| panic!("{}: sequential run failed: {e}", benchmark.id()));
+            seq_requests.push(started.elapsed());
+            seq_servers.push(seq.server_time);
+
+            let started = Instant::now();
+            let par = session
+                .run_parallel(inputs, &dataflow_options)
+                .unwrap_or_else(|e| panic!("{}: dataflow run failed: {e}", benchmark.id()));
+            df_walls.push(started.elapsed());
+
+            let got: Vec<u64> = seq.outputs.iter().copied().take(expected.len()).collect();
+            correct &= seq.decryption_ok && &got == expected;
+            correct &= par.outputs == seq.outputs && par.decryption_ok == seq.decryption_ok;
+
+            // Projections from the *sequential* run's measured latencies
+            // (clean per-op times, no worker interference).
+            leveled_proj.push(ms(schedule.makespan(&seq.timing.instr_times, threads)));
+            dataflow_proj.push(ms(
+                schedule.dataflow_makespan(&seq.timing.instr_times, threads)
+            ));
+            critical.push(ms(schedule.critical_path_makespan(&seq.timing.instr_times)));
+            steals.push(par.timing.steals);
+            if let Some(p50) = par.timing.queue_wait_percentile(0.5) {
+                waits.push(p50.as_secs_f64() * 1e6);
+            }
+        }
+    }
+
+    let sequential_request_ms = median_d(&mut seq_requests);
+    let sequential_server_ms = median_d(&mut seq_servers);
+    let dataflow_wall_ms = median_d(&mut df_walls);
+    let leveled_projected_ms = median_f(&mut leveled_proj);
+    let dataflow_projected_ms = median_f(&mut dataflow_proj);
+    let critical_path_ms = median_f(&mut critical);
+    steals.sort_unstable();
+    let projected_request_ms =
+        (sequential_request_ms - sequential_server_ms).max(0.0) + dataflow_projected_ms;
+    DataflowMeasurement {
+        benchmark: benchmark.id(),
+        threads,
+        sequential_request_ms,
+        sequential_server_ms,
+        dataflow_wall_ms,
+        leveled_projected_ms,
+        dataflow_projected_ms,
+        critical_path_ms,
+        reclaimed_slack_ms: (leveled_projected_ms - dataflow_projected_ms).max(0.0),
+        projected_request_ms,
+        baseline_request_ms,
+        improvement: baseline_request_ms.map(|b| b / projected_request_ms.max(1e-9)),
+        steals: steals[steals.len() / 2],
+        queue_wait_p50_us: if waits.is_empty() {
+            0.0
+        } else {
+            median_f(&mut waits)
+        },
+        correct,
+    }
+}
+
+/// Writes dataflow measurements as JSON into `path` and returns it.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_dataflow_json(
+    path: impl AsRef<std::path::Path>,
+    requests: usize,
+    threads: usize,
+    measurements: &[DataflowMeasurement],
+) -> std::io::Result<std::path::PathBuf> {
+    use serde::Value;
+    let rows: Vec<Value> = measurements
+        .iter()
+        .map(|m| {
+            Value::Object(vec![
+                ("benchmark".into(), Value::Str(m.benchmark.clone())),
+                ("threads".into(), Value::Int(m.threads as i64)),
+                (
+                    "sequential_request_ms".into(),
+                    Value::Float(m.sequential_request_ms),
+                ),
+                (
+                    "sequential_server_ms".into(),
+                    Value::Float(m.sequential_server_ms),
+                ),
+                ("dataflow_wall_ms".into(), Value::Float(m.dataflow_wall_ms)),
+                (
+                    "leveled_projected_ms".into(),
+                    Value::Float(m.leveled_projected_ms),
+                ),
+                (
+                    "dataflow_projected_ms".into(),
+                    Value::Float(m.dataflow_projected_ms),
+                ),
+                ("critical_path_ms".into(), Value::Float(m.critical_path_ms)),
+                (
+                    "reclaimed_slack_ms".into(),
+                    Value::Float(m.reclaimed_slack_ms),
+                ),
+                (
+                    "projected_request_ms".into(),
+                    Value::Float(m.projected_request_ms),
+                ),
+                (
+                    "baseline_request_ms".into(),
+                    m.baseline_request_ms.map_or(Value::Null, Value::Float),
+                ),
+                (
+                    "improvement".into(),
+                    m.improvement.map_or(Value::Null, Value::Float),
+                ),
+                ("steals".into(), Value::Int(m.steals as i64)),
+                (
+                    "queue_wait_p50_us".into(),
+                    Value::Float(m.queue_wait_p50_us),
+                ),
+                ("correct".into(), Value::Bool(m.correct)),
+            ])
+        })
+        .collect();
+    let improvements: Vec<f64> = measurements.iter().filter_map(|m| m.improvement).collect();
+    let reclaimed: Vec<f64> = measurements.iter().map(|m| m.reclaimed_slack_ms).collect();
+    let ones = vec![1.0; improvements.len()];
+    let document = Value::Object(vec![
+        ("experiment".into(), Value::Str("dataflow".into())),
+        ("requests".into(), Value::Int(requests as i64)),
+        ("threads".into(), Value::Int(threads as i64)),
+        ("host_cpus".into(), Value::Int(available_cpus() as i64)),
+        (
+            "speedup_semantics".into(),
+            Value::Str(
+                "improvement = baseline request_ms (from BENCH_hotpath.json, the leveled \
+                 sequential engine) / projected_request_ms, where projected_request_ms replaces \
+                 the measured sequential server span with the barrier-free dataflow makespan at \
+                 `threads` workers projected from measured per-instruction latencies \
+                 (Schedule::dataflow_makespan, same timer-augmented convention as \
+                 BENCH_parallel_exec.json; wall speedups are unattainable on this host — see \
+                 host_cpus — so dataflow_wall_ms records the raw measured wall for honesty). \
+                 reclaimed_slack_ms = leveled_projected_ms - dataflow_projected_ms is the \
+                 barrier slack the dataflow scheduler reclaims at the same worker count; \
+                 critical_path_ms is the dependency-limited floor. correct asserts sequential \
+                 and dataflow outputs are bit-identical and match the plaintext reference"
+                    .into(),
+            ),
+        ),
+        (
+            "kernels_measured".into(),
+            Value::Int(measurements.len() as i64),
+        ),
+        (
+            "kernels_with_baseline".into(),
+            Value::Int(improvements.len() as i64),
+        ),
+        (
+            "geomean_improvement".into(),
+            Value::Float(geometric_mean_ratio(&improvements, &ones)),
+        ),
+        (
+            "total_reclaimed_slack_ms".into(),
+            Value::Float(reclaimed.iter().sum()),
+        ),
+        ("kernels".into(), Value::Array(rows)),
+    ]);
+    let path = path.as_ref().to_path_buf();
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&document).expect("stub serializer is infallible"),
+    )?;
+    Ok(path)
+}
+
 /// Loads `benchmark -> request_ms` from a previous `BENCH_serving.json`
 /// artifact, or `None` if the file is missing or unparseable.
 pub fn load_serving_request_baseline(

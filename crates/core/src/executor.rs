@@ -28,9 +28,9 @@ use chehab_fhe::{
 };
 use chehab_ir::{BinOp, CircuitDag, CircuitSummary, CostModel, DagNode, DataKind, Expr, Ty};
 use chehab_runtime::{
-    data_kinds, default_workers, BatchExecutor, CalibratedCostModel, ExecResources, Register,
-    Schedule, ServingConfig, ServingEngine, TimingBreakdown, WavefrontExecutor,
-    DEFAULT_QUEUE_CAPACITY,
+    data_kinds, default_workers, BatchExecutor, CalibratedCostModel, DataflowExecutor,
+    ExecResources, Register, Schedule, SchedulerKind, SchedulerMetrics, ServingConfig,
+    ServingEngine, TimingBreakdown, WavefrontExecutor, DEFAULT_QUEUE_CAPACITY,
 };
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -109,12 +109,21 @@ pub struct ExecOptions {
     /// [`FheSession::serve`]. Defaults to the host's
     /// [`std::thread::available_parallelism`], clamped to `[1, 8]`.
     pub request_threads: usize,
-    /// Worker threads inside each request's wavefront execution (1 = run
-    /// each request sequentially; more helps wide schedules only).
+    /// Worker threads inside each request's scheduled execution (1 = run
+    /// each request sequentially; more helps schedules with instruction-level
+    /// parallelism).
     pub threads_per_request: usize,
     /// Bound of the serving queue of [`FheSession::serve`]: `submit` blocks
     /// while this many requests are already queued.
     pub queue_capacity: usize,
+    /// The intra-request scheduling discipline: barrier-free
+    /// [`SchedulerKind::Dataflow`] (the default — instructions run the
+    /// instant their operands are written, ordered by calibrated
+    /// critical-path priority) or the level-synchronized
+    /// [`SchedulerKind::Leveled`] wavefront. Outputs are bit-identical
+    /// either way; only the wall-clock and the timing breakdown shape
+    /// differ.
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for ExecOptions {
@@ -123,6 +132,7 @@ impl Default for ExecOptions {
             request_threads: default_workers(),
             threads_per_request: 1,
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            scheduler: SchedulerKind::default(),
         }
     }
 }
@@ -133,13 +143,14 @@ impl ExecOptions {
         ExecOptions::default()
     }
 
-    /// Fully sequential execution: one request at a time, one wavefront
+    /// Fully sequential execution: one request at a time, one scheduled
     /// worker.
     pub fn sequential() -> Self {
         ExecOptions {
             request_threads: 1,
             threads_per_request: 1,
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            scheduler: SchedulerKind::default(),
         }
     }
 
@@ -160,6 +171,12 @@ impl ExecOptions {
         self.queue_capacity = capacity.max(1);
         self
     }
+
+    /// Selects the intra-request scheduling discipline.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
 }
 
 impl From<BatchOptions> for ExecOptions {
@@ -168,6 +185,7 @@ impl From<BatchOptions> for ExecOptions {
             request_threads: options.request_threads.max(1),
             threads_per_request: options.threads_per_request.max(1),
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            scheduler: SchedulerKind::default(),
         }
     }
 }
@@ -302,13 +320,13 @@ impl CompiledProgram {
         self.session(params)?.run(inputs)
     }
 
-    /// Executes the program with `threads` workers running each wavefront
-    /// level's independent operations concurrently.
+    /// Executes the program with `threads` workers running the schedule's
+    /// independent operations concurrently through the default (dataflow)
+    /// scheduler — an operation starts the instant its operands are written.
     ///
     /// The result is bit-identical to [`CompiledProgram::execute`]: every
     /// homomorphic operation is a pure function of its operands, so only the
-    /// wall-clock changes. Worker count is clamped to the widest schedule
-    /// level; `threads = 1` is exactly the sequential path.
+    /// wall-clock changes.
     ///
     /// Convenience shim over [`FheSession::run_parallel`] (one throwaway
     /// session per call).
@@ -556,19 +574,22 @@ impl FheSession {
     }
 
     /// Serves one request sequentially: client-side binding, the timed
-    /// wavefront execution, and decryption. Equivalent to
-    /// [`FheSession::run_parallel`] with one wavefront worker.
+    /// (leveled, single-worker) execution, and decryption. This is the
+    /// stable measurement baseline; [`FheSession::run_parallel`] is
+    /// bit-identical at every worker count and scheduler.
     ///
     /// # Errors
     ///
     /// Same contract as [`CompiledProgram::execute`].
     pub fn run(&self, inputs: &HashMap<String, i64>) -> Result<ExecutionReport, FheError> {
-        self.run_with_threads(inputs, 1)
+        self.run_with_options(inputs, 1, SchedulerKind::Leveled)
     }
 
-    /// Serves one request with `options.threads_per_request` wavefront
-    /// workers. Results are bit-identical to [`FheSession::run`] at every
-    /// worker count.
+    /// Serves one request with `options.threads_per_request` workers under
+    /// `options.scheduler` — by default the barrier-free dataflow executor
+    /// with critical-path priorities recomputed from the session's
+    /// accumulated calibration. Results are bit-identical to
+    /// [`FheSession::run`] at every worker count and scheduler.
     ///
     /// # Errors
     ///
@@ -578,7 +599,7 @@ impl FheSession {
         inputs: &HashMap<String, i64>,
         options: &ExecOptions,
     ) -> Result<ExecutionReport, FheError> {
-        self.run_with_threads(inputs, options.threads_per_request)
+        self.run_with_options(inputs, options.threads_per_request, options.scheduler)
     }
 
     /// Serves one closed batch of requests through this session:
@@ -599,7 +620,7 @@ impl FheSession {
     ) -> Result<Vec<ExecutionReport>, FheError> {
         let pool = BatchExecutor::new(options.request_threads);
         let reports = pool.run(input_sets.to_vec(), |_, inputs| {
-            self.run_with_threads(&inputs, options.threads_per_request)
+            self.run_with_options(&inputs, options.threads_per_request, options.scheduler)
         });
         reports.into_iter().collect()
     }
@@ -607,24 +628,40 @@ impl FheSession {
     /// Starts a persistent serving engine over this session: a bounded
     /// request queue (`options.queue_capacity`) drained by
     /// `options.request_threads` long-lived worker threads, each request
-    /// executing with `options.threads_per_request` wavefront workers.
+    /// executing with `options.threads_per_request` workers under
+    /// `options.scheduler`.
     ///
     /// `submit` returns a [`chehab_runtime::RequestHandle`] immediately;
     /// `wait`/`try_poll` retrieve that request's report, so callers observe
     /// submission order even when completions are out of order. `shutdown`
     /// drains in-flight work and reports queue/throughput stats; the
     /// cumulative per-op timing lives in [`FheSession::stats`] on the shared
-    /// session.
+    /// session. Each served request's scheduler counters (steals, queue
+    /// waits, reclaimed barrier slack) are recorded into the engine's
+    /// [`SchedulerMetrics`] sink and surface in
+    /// [`chehab_runtime::ServingStats::scheduler`].
     pub fn serve(self: &Arc<Self>, options: &ExecOptions) -> FheServingEngine {
         let session = Arc::clone(self);
         let threads_per_request = options.threads_per_request;
-        ServingEngine::new(
+        let scheduler = options.scheduler;
+        let metrics = Arc::new(SchedulerMetrics::default());
+        let sink = Arc::clone(&metrics);
+        ServingEngine::with_scheduler_metrics(
             ServingConfig {
                 workers: options.request_threads,
                 queue_capacity: options.queue_capacity,
             },
+            metrics,
             move |_, inputs: HashMap<String, i64>| {
-                session.run_with_threads(&inputs, threads_per_request)
+                let result = session.run_with_options(&inputs, threads_per_request, scheduler);
+                if let Ok(report) = &result {
+                    sink.record(
+                        report.timing.steals,
+                        report.timing.reclaimed_slack,
+                        &report.timing.queue_waits,
+                    );
+                }
+                result
             },
         )
     }
@@ -672,13 +709,15 @@ impl FheSession {
         self.calibration.lock().unwrap().to_cost_model(base)
     }
 
-    /// Runs one request: client-side binding, the timed wavefront execution,
-    /// and decryption, then folds the request's measurements into the
-    /// session's cumulative calibration.
-    fn run_with_threads(
+    /// Runs one request: client-side binding, the timed scheduled execution
+    /// (leveled wavefront or barrier-free dataflow), and decryption, then
+    /// folds the request's measurements into the session's cumulative
+    /// calibration.
+    fn run_with_options(
         &self,
         inputs: &HashMap<String, i64>,
         threads: usize,
+        scheduler: SchedulerKind,
     ) -> Result<ExecutionReport, FheError> {
         let program = &self.program;
         let registers = self.bind_registers(inputs)?;
@@ -691,8 +730,29 @@ impl FheSession {
 
         // --- server side: execute the scheduled operations (timed).
         let started = Instant::now();
-        let outcome =
-            WavefrontExecutor::new(threads).execute(&self.schedule, registers, &resources)?;
+        let outcome = match scheduler {
+            SchedulerKind::Leveled => {
+                WavefrontExecutor::new(threads).execute(&self.schedule, registers, &resources)?
+            }
+            SchedulerKind::Dataflow => {
+                // Critical-path priorities under the *calibrated* cost table:
+                // the ready queue ranks instructions by measured hardware
+                // cost, sharpening as the session accumulates samples (and
+                // falling back to the static estimates on a cold session).
+                let costs = self
+                    .calibration
+                    .lock()
+                    .unwrap()
+                    .to_op_costs(&CostModel::default().op_costs);
+                let priorities = self.schedule.critical_path_priorities(&costs);
+                DataflowExecutor::new(threads).execute_with_priorities(
+                    &self.schedule,
+                    registers,
+                    &resources,
+                    &priorities,
+                )?
+            }
+        };
         let server_time = started.elapsed();
 
         let t = self.ctx.plain_modulus() as i64;
@@ -754,9 +814,11 @@ pub struct ExecutionReport {
     pub galois_key_count: usize,
     /// `false` when the noise budget was exhausted and decryption failed.
     pub decryption_ok: bool,
-    /// Per-wavefront-level and per-operation-kind timing breakdown, including
-    /// the measured latencies a [`chehab_runtime::CalibratedCostModel`] feeds
-    /// back into the optimizer's cost model.
+    /// Per-operation-kind timing breakdown — per-level walls under the
+    /// leveled scheduler, per-instruction queue waits / steals / reclaimed
+    /// barrier slack under the dataflow scheduler — including the measured
+    /// latencies a [`chehab_runtime::CalibratedCostModel`] feeds back into
+    /// the optimizer's cost model.
     pub timing: TimingBreakdown,
 }
 
@@ -988,7 +1050,18 @@ mod tests {
                 parallel.noise_budget_consumed,
                 sequential.noise_budget_consumed
             );
-            assert_eq!(parallel.timing.levels.len(), sequential.timing.levels.len());
+            // The default parallel scheduler is dataflow: level-less timing,
+            // but one measured span and queue wait per instruction.
+            assert_eq!(parallel.timing.scheduler, SchedulerKind::Dataflow);
+            assert!(parallel.timing.levels.is_empty());
+            assert_eq!(
+                parallel.timing.instr_times.len(),
+                sequential.timing.instr_times.len()
+            );
+            assert_eq!(
+                parallel.timing.queue_waits.len(),
+                parallel.timing.instr_times.len()
+            );
         }
     }
 

@@ -47,3 +47,6 @@ pub use executor::{
     ExecOptions, ExecutionReport, FheServingEngine, FheSession, SessionStats,
 };
 pub use rotation_keys::{naf_decomposition, select_rotation_keys, RotationKeyPlan};
+// The scheduling knob of `ExecOptions`, re-exported so session users don't
+// need a direct `chehab_runtime` dependency to pick a discipline.
+pub use chehab_runtime::SchedulerKind;

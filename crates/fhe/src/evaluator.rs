@@ -159,6 +159,14 @@ pub struct Evaluator {
 }
 
 impl Evaluator {
+    /// Minimum payload degree at which intra-op chunking engages: payloads
+    /// below this stay sequential regardless of the configured budget (the
+    /// scoped-thread spawn would cost more than the loop it splits).
+    /// Schedulers that hand out *dynamic* per-op thread grants (the
+    /// runtime's dataflow executor) consult this to skip grant bookkeeping
+    /// entirely for sessions whose payloads can never split.
+    pub const INTRA_OP_MIN_DEGREE: usize = INTRA_OP_MIN;
+
     /// Creates an evaluator for a context.
     pub fn new(ctx: &FheContext) -> Self {
         Evaluator {

@@ -114,6 +114,20 @@ pub struct ExecResources<'a> {
     pub zero: Option<&'a Ciphertext>,
 }
 
+/// Which scheduling discipline produced an execution's timing breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Barrier-free dependency-counting dataflow execution
+    /// ([`crate::DataflowExecutor`]): an instruction becomes runnable the
+    /// instant its last operand is written. The default.
+    #[default]
+    Dataflow,
+    /// Level-synchronized wavefront execution ([`WavefrontExecutor`]): a
+    /// barrier separates topological levels, so every level waits for its
+    /// slowest instruction.
+    Leveled,
+}
+
 /// Wall-clock of one wavefront level.
 #[derive(Debug, Clone)]
 pub struct LevelTiming {
@@ -133,16 +147,37 @@ pub struct LevelTiming {
 /// Per-level and per-operation-kind breakdown of one execution.
 #[derive(Debug, Clone)]
 pub struct TimingBreakdown {
+    /// The scheduling discipline that produced this breakdown.
+    pub scheduler: SchedulerKind,
     /// Worker threads used.
     pub threads: usize,
-    /// Wall-clock per wavefront level, in level order.
+    /// Wall-clock per wavefront level, in level order. Empty for dataflow
+    /// executions — there are no levels to time; see
+    /// [`TimingBreakdown::wall`], [`TimingBreakdown::queue_waits`] and
+    /// [`TimingBreakdown::reclaimed_slack`] instead.
     pub levels: Vec<LevelTiming>,
+    /// Wall-clock of the whole scheduled execution (for leveled runs this
+    /// equals the sum of the level walls).
+    pub wall: Duration,
     /// Measured per-operation-kind latencies.
     pub per_op: CalibratedCostModel,
     /// Measured duration of every instruction, indexed like
     /// [`Schedule::instrs`] — the input of
     /// [`Schedule::makespan`](crate::Schedule::makespan) projections.
     pub instr_times: Vec<Duration>,
+    /// Dataflow only: per-instruction queue wait (from the instant the
+    /// instruction's last dependency was satisfied to the instant a worker
+    /// started running it), indexed like [`Schedule::instrs`]. Empty for
+    /// leveled runs.
+    pub queue_waits: Vec<Duration>,
+    /// Dataflow only: ready instructions taken from another worker's local
+    /// deque.
+    pub steals: u64,
+    /// Dataflow only: the barrier slack reclaimed versus leveled execution —
+    /// the leveled makespan projection minus the dataflow makespan
+    /// projection at the same worker count, both computed from this run's
+    /// measured [`TimingBreakdown::instr_times`]. Zero for leveled runs.
+    pub reclaimed_slack: Duration,
     /// Operations whose payload work actually split across more than one
     /// intra-op worker. The per-op latencies in
     /// [`TimingBreakdown::per_op`] are measured around the split, so the
@@ -152,21 +187,49 @@ pub struct TimingBreakdown {
 }
 
 impl TimingBreakdown {
-    /// A breakdown with no levels (plaintext-only programs).
+    /// A breakdown with no instructions (plaintext-only programs).
     pub fn empty(threads: usize) -> Self {
         TimingBreakdown {
+            scheduler: SchedulerKind::default(),
             threads,
             levels: Vec::new(),
+            wall: Duration::ZERO,
             per_op: CalibratedCostModel::new(),
             instr_times: Vec::new(),
+            queue_waits: Vec::new(),
+            steals: 0,
+            reclaimed_slack: Duration::ZERO,
             intra_op_splits: 0,
         }
     }
 
-    /// Total wall-clock across levels.
+    /// Total wall-clock of the scheduled execution: the sum of the level
+    /// walls for leveled runs, the measured execution span for (level-less)
+    /// dataflow runs.
     pub fn total_wall(&self) -> Duration {
-        self.levels.iter().map(|l| l.wall).sum()
+        if self.levels.is_empty() {
+            self.wall
+        } else {
+            self.levels.iter().map(|l| l.wall).sum()
+        }
     }
+
+    /// A queue-wait percentile (`0.0..=1.0`) across this run's instructions,
+    /// `None` for leveled runs (no queue waits are recorded).
+    pub fn queue_wait_percentile(&self, pct: f64) -> Option<Duration> {
+        percentile(&mut self.queue_waits.clone(), pct)
+    }
+}
+
+/// The `pct`-percentile (`0.0..=1.0`) of an unsorted sample set, `None`
+/// when empty. Sorts in place.
+pub(crate) fn percentile(samples: &mut [Duration], pct: f64) -> Option<Duration> {
+    if samples.is_empty() {
+        return None;
+    }
+    samples.sort_unstable();
+    let rank = ((samples.len() as f64 - 1.0) * pct.clamp(0.0, 1.0)).round() as usize;
+    Some(samples[rank.min(samples.len() - 1)])
 }
 
 /// The result of one wavefront execution.
@@ -287,10 +350,15 @@ impl WavefrontExecutor {
             });
         }
         let timing = TimingBreakdown {
+            scheduler: SchedulerKind::Leveled,
             threads: 1,
+            wall: levels.iter().map(|l| l.wall).sum(),
             levels,
             per_op: calibration,
             instr_times,
+            queue_waits: Vec::new(),
+            steals: 0,
+            reclaimed_slack: Duration::ZERO,
             intra_op_splits: evaluator.intra_op_splits(),
         };
         Ok((evaluator.stats(), timing))
@@ -387,10 +455,15 @@ impl WavefrontExecutor {
         Ok((
             stats,
             TimingBreakdown {
+                scheduler: SchedulerKind::Leveled,
                 threads: workers,
+                wall: levels.iter().map(|l| l.wall).sum(),
                 levels,
                 per_op: calibration,
                 instr_times,
+                queue_waits: Vec::new(),
+                steals: 0,
+                reclaimed_slack: Duration::ZERO,
                 intra_op_splits,
             },
         ))
@@ -408,18 +481,13 @@ fn intra_op_budget(requested_threads: usize, level_width: usize) -> usize {
 /// Panics (on the calling thread, before any worker spawns) if an
 /// instruction's operand is neither pre-bound nor the destination of an
 /// earlier-level instruction.
-fn validate_operands(schedule: &Schedule, regs: &[OnceLock<Register>]) {
+pub(crate) fn validate_operands(schedule: &Schedule, regs: &[OnceLock<Register>]) {
     let mut produced_level = vec![None; schedule.slot_count()];
     for si in schedule.instrs() {
         produced_level[si.dst] = Some(si.level);
     }
     for si in schedule.instrs() {
-        let operands: Vec<Slot> = match &si.instr {
-            Instr::Bin { a, b, .. } => vec![*a, *b],
-            Instr::Neg { a } | Instr::Rot { a, .. } => vec![*a],
-            Instr::Pack { elems } => elems.clone(),
-        };
-        for operand in operands {
+        for operand in si.instr.operands() {
             let available = match produced_level[operand] {
                 Some(level) => level < si.level,
                 None => regs[operand].get().is_some(),
@@ -434,8 +502,10 @@ fn validate_operands(schedule: &Schedule, regs: &[OnceLock<Register>]) {
     }
 }
 
-/// Executes one instruction against the register file.
-fn run_instr(
+/// Executes one instruction against the register file (shared by the
+/// wavefront and dataflow executors — both guarantee operands are written
+/// before an instruction runs).
+pub(crate) fn run_instr(
     si: &ScheduledInstr,
     regs: &[OnceLock<Register>],
     evaluator: &mut Evaluator,

@@ -12,13 +12,17 @@
 //!    Two-Level Parallelization for DSMC*): the coarse level runs many
 //!    independent encrypted requests against one compiled program
 //!    ([`BatchExecutor`]); the fine level runs the independent homomorphic
-//!    operations inside one request concurrently ([`WavefrontExecutor`] over
-//!    a leveled [`Schedule`]).
+//!    operations inside one request concurrently — barrier-free
+//!    dependency-counting work stealing by default ([`DataflowExecutor`]),
+//!    or the level-synchronized [`WavefrontExecutor`], both over the same
+//!    lowered [`Schedule`] and bit-identical to sequential execution.
 //! 2. **Timer-augmented costs** (after McDoniel & Bientinesi, *A
 //!    Timer-Augmented Cost Function for Load Balanced DSMC*): the static
 //!    per-operator cost table the optimizer ranks rewrites with is replaced
 //!    by measured per-operation latencies ([`CalibratedCostModel`]), recorded
-//!    for free while executing.
+//!    for free while executing — and fed straight back into the dataflow
+//!    executor's critical-path ready-queue priorities
+//!    ([`Schedule::critical_path_priorities`]).
 //! 3. **Persistent serving** (the persistent-worker scheme of the same
 //!    two-level literature): a [`ServingEngine`] keeps a bounded request
 //!    queue drained by long-lived worker threads, so expensive per-program
@@ -98,18 +102,22 @@
 
 mod batch;
 mod calibrate;
+mod dataflow;
 mod exec;
 mod schedule;
 mod serving;
 
 pub use batch::BatchExecutor;
 pub use calibrate::{CalibratedCostModel, OpKind, OP_KINDS};
+pub use dataflow::{dynamic_intra_op_grant, DataflowExecutor};
 pub use exec::{
-    ExecResources, LevelTiming, PlainValue, Register, TimingBreakdown, WavefrontExecutor,
-    WavefrontOutcome,
+    ExecResources, LevelTiming, PlainValue, Register, SchedulerKind, TimingBreakdown,
+    WavefrontExecutor, WavefrontOutcome,
 };
-pub use schedule::{data_kinds, lower_with_default_costs, Instr, Schedule, ScheduledInstr, Slot};
+pub use schedule::{
+    data_kinds, lower_with_default_costs, CostTerms, Instr, Schedule, ScheduledInstr, Slot,
+};
 pub use serving::{
-    default_workers, RequestHandle, ServingConfig, ServingEngine, ServingError, ServingStats,
-    DEFAULT_QUEUE_CAPACITY,
+    default_workers, RequestHandle, SchedulerMetrics, SchedulerStatsSnapshot, ServingConfig,
+    ServingEngine, ServingError, ServingStats, DEFAULT_QUEUE_CAPACITY,
 };

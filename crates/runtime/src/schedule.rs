@@ -12,9 +12,18 @@
 //! (longest-processing-time-first): combined with the runtime's shared work
 //! queue this is the classic greedy bound for balancing heterogeneous ops
 //! (a ct-ct multiplication costs ~100x an addition) across workers.
+//!
+//! Beyond the level grouping, lowering also emits the *dataflow* view the
+//! barrier-free [`DataflowExecutor`](crate::DataflowExecutor) consumes: the
+//! per-instruction remaining-dependency count ([`Schedule::dep_counts`]) and
+//! the transpose of the operand graph ([`Schedule::dependents`]), plus
+//! additive [`CostTerms`] per instruction so critical-path priorities can be
+//! recomputed under any (e.g. timer-calibrated) cost table without
+//! re-lowering.
 
 use chehab_ir::{BinOp, CircuitDag, CostModel, DagNode, DataKind, NodeId, OpCosts};
 use std::ops::Range;
+use std::time::Duration;
 
 /// A register slot: instruction destinations and operands use the circuit
 /// DAG's node ids directly, so the register file is indexed by [`NodeId`].
@@ -59,6 +68,46 @@ pub enum Instr {
     },
 }
 
+impl Instr {
+    /// The register slots this instruction reads, in operand order
+    /// (duplicates preserved — `a * a` lists its operand twice).
+    pub fn operands(&self) -> Vec<Slot> {
+        match self {
+            Instr::Bin { a, b, .. } => vec![*a, *b],
+            Instr::Neg { a } | Instr::Rot { a, .. } => vec![*a],
+            Instr::Pack { elems } => elems.clone(),
+        }
+    }
+}
+
+/// The additive cost composition of one instruction: how many of each
+/// primitive operation it performs. Its cost under *any* [`OpCosts`] table is
+/// the dot product [`CostTerms::cost`], which is what lets critical-path
+/// priorities be recomputed under a timer-calibrated table
+/// ([`crate::CalibratedCostModel::to_op_costs`]) without re-lowering the
+/// schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostTerms {
+    /// Vector additions / subtractions / negations.
+    pub adds: f64,
+    /// Realized rotation steps.
+    pub rotations: f64,
+    /// Ciphertext–ciphertext multiplications.
+    pub ct_ct_muls: f64,
+    /// Ciphertext–plaintext multiplications.
+    pub ct_pt_muls: f64,
+}
+
+impl CostTerms {
+    /// The instruction cost under a concrete per-operator cost table.
+    pub fn cost(&self, costs: &OpCosts) -> f64 {
+        self.adds * costs.vec_add
+            + self.rotations * costs.rotation
+            + self.ct_ct_muls * costs.vec_mul_ct_ct
+            + self.ct_pt_muls * costs.vec_mul_ct_pt
+    }
+}
+
 /// An instruction bound to its destination register and wavefront level.
 #[derive(Debug, Clone)]
 pub struct ScheduledInstr {
@@ -70,6 +119,8 @@ pub struct ScheduledInstr {
     pub level: usize,
     /// Estimated cost under the static cost model, used for load balancing.
     pub est_cost: f64,
+    /// Additive cost composition, for re-costing under calibrated tables.
+    pub terms: CostTerms,
 }
 
 /// A leveled instruction schedule for one compiled circuit.
@@ -79,6 +130,14 @@ pub struct Schedule {
     levels: Vec<Range<usize>>,
     slot_count: usize,
     output: Slot,
+    /// Per instruction index: number of *distinct* producer instructions
+    /// among its operands (pre-bound operands contribute nothing).
+    dep_counts: Vec<usize>,
+    /// Per instruction index: the instruction indices that consume its
+    /// destination slot — the transpose of the operand graph. Dependents
+    /// always sit at strictly higher levels, hence at strictly larger
+    /// indices (instructions are sorted by level).
+    dependents: Vec<Vec<usize>>,
 }
 
 impl Schedule {
@@ -135,12 +194,13 @@ impl Schedule {
                     elems: elems.clone(),
                 },
             };
-            let est_cost = estimate_cost(&instr, &kinds, costs);
+            let terms = cost_terms(&instr, &kinds);
             instrs.push(ScheduledInstr {
                 dst: id,
                 instr,
                 level,
-                est_cost,
+                est_cost: terms.cost(costs),
+                terms,
             });
         }
 
@@ -163,11 +223,39 @@ impl Schedule {
                 levels.last_mut().expect("levels are contiguous from 0").end = index + 1;
             }
         }
+        // The dataflow view: per-instruction dependency counts and the
+        // transpose of the operand graph, on the *sorted* instruction order.
+        let mut instr_of_slot: Vec<Option<usize>> = vec![None; dag.len()];
+        for (index, si) in instrs.iter().enumerate() {
+            instr_of_slot[si.dst] = Some(index);
+        }
+        let mut dep_counts = vec![0usize; instrs.len()];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); instrs.len()];
+        for (index, si) in instrs.iter().enumerate() {
+            let mut producers: Vec<usize> = si
+                .instr
+                .operands()
+                .into_iter()
+                .filter_map(|slot| instr_of_slot[slot])
+                .collect();
+            // A repeated operand (e.g. squaring) is still one dependency:
+            // the count must match the single completion event that
+            // satisfies it.
+            producers.sort_unstable();
+            producers.dedup();
+            dep_counts[index] = producers.len();
+            for producer in producers {
+                dependents[producer].push(index);
+            }
+        }
+
         Schedule {
             instrs,
             levels,
             slot_count: dag.len(),
             output: dag.output(),
+            dep_counts,
+            dependents,
         }
     }
 
@@ -253,8 +341,11 @@ impl Schedule {
         total
     }
 
-    /// The parallelism an infinitely wide machine could exploit: total
-    /// estimated cost divided by the critical-path (per-level maximum) cost.
+    /// The parallelism an infinitely wide machine could exploit **under
+    /// level barriers**: total estimated cost divided by the sum of per-level
+    /// maximum costs. This is the *level-limited* figure; the barrier-free
+    /// bound is [`Schedule::dependency_parallelism`], and the gap between
+    /// the two is exactly the parallelism level barriers forfeit.
     pub fn cost_parallelism(&self) -> f64 {
         let critical: f64 = self
             .levels
@@ -271,6 +362,184 @@ impl Schedule {
         } else {
             1.0
         }
+    }
+
+    /// The parallelism an infinitely wide **barrier-free** machine could
+    /// exploit: total estimated cost divided by the most expensive
+    /// dependency chain. Always at least [`Schedule::cost_parallelism`]
+    /// (every dependency chain crosses each of its levels' maxima at most
+    /// once); the ratio between the two quantifies how much of the
+    /// schedule's parallelism is *dependency-limited* rather than
+    /// *level-limited*.
+    pub fn dependency_parallelism(&self) -> f64 {
+        let costs: Vec<f64> = self.instrs.iter().map(|i| i.est_cost).collect();
+        let critical = self.chain_costs(&costs).into_iter().fold(0.0, f64::max);
+        if critical > 0.0 {
+            self.total_est_cost() / critical
+        } else {
+            1.0
+        }
+    }
+
+    /// Per-instruction remaining-dependency counts: the number of distinct
+    /// producer instructions among each instruction's operands. Instructions
+    /// with count zero are runnable as soon as the pre-bound registers are
+    /// filled.
+    pub fn dep_counts(&self) -> &[usize] {
+        &self.dep_counts
+    }
+
+    /// The transpose of the operand graph: `dependents()[i]` lists the
+    /// instruction indices that consume instruction `i`'s destination slot.
+    /// Every dependent index is strictly greater than `i`.
+    pub fn dependents(&self) -> &[Vec<usize>] {
+        &self.dependents
+    }
+
+    /// Per-instruction costs under an arbitrary cost table (e.g. a
+    /// timer-calibrated one), via the stored [`CostTerms`].
+    pub fn instr_costs(&self, costs: &OpCosts) -> Vec<f64> {
+        self.instrs.iter().map(|i| i.terms.cost(costs)).collect()
+    }
+
+    /// Critical-path priorities under a cost table: `priority[i]` is the
+    /// cost of the most expensive dependency chain *starting at* instruction
+    /// `i` (inclusive). The dataflow executor pops ready instructions in
+    /// descending priority order — the classic critical-path-first list
+    /// scheduling heuristic — and sessions recompute these from the
+    /// accumulated [`crate::CalibratedCostModel`] so priorities track
+    /// measured hardware costs as calibration accumulates.
+    pub fn critical_path_priorities(&self, costs: &OpCosts) -> Vec<f64> {
+        self.chain_costs(&self.instr_costs(costs))
+    }
+
+    /// Critical-path priorities under the static estimates the schedule was
+    /// lowered with.
+    pub fn default_priorities(&self) -> Vec<f64> {
+        let costs: Vec<f64> = self.instrs.iter().map(|i| i.est_cost).collect();
+        self.chain_costs(&costs)
+    }
+
+    /// `chain[i] = cost[i] + max(chain[d] for d in dependents(i))`, the
+    /// downstream critical-path cost of every instruction.
+    fn chain_costs(&self, costs: &[f64]) -> Vec<f64> {
+        let mut chain = costs.to_vec();
+        // Dependents have strictly larger indices, so one reverse pass
+        // settles every chain.
+        for i in (0..chain.len()).rev() {
+            let downstream = self.dependents[i]
+                .iter()
+                .map(|&d| chain[d])
+                .fold(0.0, f64::max);
+            chain[i] = costs[i] + downstream;
+        }
+        chain
+    }
+
+    /// The true critical-path (barrier-free, infinitely wide) makespan of
+    /// this schedule under measured per-instruction latencies: the length of
+    /// the most expensive dependency chain. No executor — leveled or
+    /// dataflow — can beat this; the gap between it and
+    /// [`Schedule::makespan`] is the slack level barriers leave on the
+    /// table plus any width limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instr_times` is shorter than the instruction list.
+    pub fn critical_path_makespan(&self, instr_times: &[Duration]) -> Duration {
+        assert!(
+            instr_times.len() >= self.instrs.len(),
+            "need one duration per instruction"
+        );
+        let mut finish = vec![Duration::ZERO; self.instrs.len()];
+        let mut ready = vec![Duration::ZERO; self.instrs.len()];
+        for i in 0..self.instrs.len() {
+            finish[i] = ready[i] + instr_times[i];
+            for &d in &self.dependents[i] {
+                ready[d] = ready[d].max(finish[i]);
+            }
+        }
+        finish.into_iter().max().unwrap_or(Duration::ZERO)
+    }
+
+    /// Projects the **barrier-free** makespan of this schedule on `workers`
+    /// workers from measured per-instruction latencies: an event-driven
+    /// simulation of the dataflow executor's policy (an instruction becomes
+    /// ready the instant its last dependency finishes; idle workers pick the
+    /// ready instruction with the longest remaining dependency chain).
+    ///
+    /// Compare against the leveled [`Schedule::makespan`] at the same
+    /// `workers` to obtain the *barrier slack reclaimed* by dataflow
+    /// execution, and against [`Schedule::critical_path_makespan`] to see
+    /// how far the worker count (rather than dependencies) still limits it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instr_times` is shorter than the instruction list.
+    pub fn dataflow_makespan(&self, instr_times: &[Duration], workers: usize) -> Duration {
+        assert!(
+            instr_times.len() >= self.instrs.len(),
+            "need one duration per instruction"
+        );
+        let n = self.instrs.len();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        let workers = workers.max(1);
+        let times: Vec<f64> = instr_times[..n].iter().map(Duration::as_secs_f64).collect();
+        let priority = self.chain_costs(&times);
+
+        // Event-driven simulation: time advances through completion events;
+        // at each instant every idle worker takes the highest-priority
+        // instruction that is ready *now* (never committing a worker to a
+        // lower-priority instruction while a higher-priority one is about to
+        // become ready, which is exactly what the live executor does too).
+        let mut pending = self.dep_counts.clone();
+        let mut ready: Vec<usize> = (0..n).filter(|&i| pending[i] == 0).collect();
+        let mut running: Vec<(f64, usize)> = Vec::new();
+        let mut free = vec![0.0f64; workers];
+        let mut now = 0.0f64;
+        let mut makespan = 0.0f64;
+        loop {
+            // Assign while an idle worker and a ready instruction coexist.
+            while !ready.is_empty() {
+                let Some(worker) = free.iter().position(|&f| f <= now) else {
+                    break;
+                };
+                // Highest priority first, lowest index as the deterministic
+                // tie-break — the live executor's pop order.
+                let pos = ready
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, &a), (_, &b)| priority[a].total_cmp(&priority[b]).then(b.cmp(&a)))
+                    .map(|(pos, _)| pos)
+                    .expect("ready is non-empty");
+                let pick = ready.swap_remove(pos);
+                let finish = now + times[pick];
+                free[worker] = finish;
+                running.push((finish, pick));
+                makespan = makespan.max(finish);
+            }
+            if running.is_empty() {
+                break;
+            }
+            // Advance to the next completion and release its dependents.
+            let earliest = running
+                .iter()
+                .enumerate()
+                .min_by(|(_, (a, ai)), (_, (b, bi))| a.total_cmp(b).then(ai.cmp(bi)))
+                .map(|(pos, _)| pos)
+                .expect("running is non-empty");
+            let (finish, done) = running.swap_remove(earliest);
+            now = now.max(finish);
+            for &d in &self.dependents[done] {
+                pending[d] -= 1;
+                if pending[d] == 0 {
+                    ready.push(d);
+                }
+            }
+        }
+        Duration::from_secs_f64(makespan)
     }
 }
 
@@ -301,19 +570,40 @@ pub fn data_kinds(dag: &CircuitDag) -> Vec<DataKind> {
     kinds
 }
 
-fn estimate_cost(instr: &Instr, kinds: &[DataKind], costs: &OpCosts) -> f64 {
+/// The additive cost composition of one instruction (how many primitives it
+/// performs); its estimated cost under any table is `terms.cost(costs)`.
+fn cost_terms(instr: &Instr, kinds: &[DataKind]) -> CostTerms {
     let is_ct = |slot: Slot| kinds[slot] == DataKind::Ciphertext;
     match instr {
         Instr::Bin { op, a, b } => match (op, is_ct(*a) && is_ct(*b)) {
-            (BinOp::Mul, true) => costs.vec_mul_ct_ct,
-            (BinOp::Mul, false) => costs.vec_mul_ct_pt,
-            (BinOp::Add | BinOp::Sub, _) => costs.vec_add,
+            (BinOp::Mul, true) => CostTerms {
+                ct_ct_muls: 1.0,
+                ..CostTerms::default()
+            },
+            (BinOp::Mul, false) => CostTerms {
+                ct_pt_muls: 1.0,
+                ..CostTerms::default()
+            },
+            (BinOp::Add | BinOp::Sub, _) => CostTerms {
+                adds: 1.0,
+                ..CostTerms::default()
+            },
         },
-        Instr::Neg { .. } => costs.vec_add,
-        Instr::Rot { parts, .. } => costs.rotation * parts.len().max(1) as f64,
+        Instr::Neg { .. } => CostTerms {
+            adds: 1.0,
+            ..CostTerms::default()
+        },
+        Instr::Rot { parts, .. } => CostTerms {
+            rotations: parts.len().max(1) as f64,
+            ..CostTerms::default()
+        },
         Instr::Pack { elems } => {
             let ciphers = elems.iter().filter(|&&e| is_ct(e)).count() as f64;
-            ciphers * (costs.rotation + costs.vec_add) + costs.vec_add
+            CostTerms {
+                rotations: ciphers,
+                adds: ciphers + 1.0,
+                ..CostTerms::default()
+            }
         }
     }
 }
@@ -467,6 +757,159 @@ mod tests {
                 parts: vec![4, -1]
             }
         );
+    }
+
+    #[test]
+    fn dependency_graph_transposes_the_operand_graph() {
+        let (_, schedule) = schedule_of(
+            "(VecAdd (VecAdd (VecMul (Vec a0 a1) (Vec b0 b1)) (<< (VecMul (Vec a0 a1) (Vec b0 b1)) 1)) (VecMul (Vec c0 c1) (Vec d0 d1)))",
+        );
+        let mut instr_of_slot = vec![None; schedule.slot_count()];
+        for (index, si) in schedule.instrs().iter().enumerate() {
+            instr_of_slot[si.dst] = Some(index);
+        }
+        for (index, si) in schedule.instrs().iter().enumerate() {
+            let mut producers: Vec<usize> = si
+                .instr
+                .operands()
+                .into_iter()
+                .filter_map(|slot| instr_of_slot[slot])
+                .collect();
+            producers.sort_unstable();
+            producers.dedup();
+            assert_eq!(schedule.dep_counts()[index], producers.len());
+            for p in producers {
+                assert!(p < index, "producers precede consumers");
+                assert!(
+                    schedule.dependents()[p].contains(&index),
+                    "transpose misses edge {p} -> {index}"
+                );
+            }
+        }
+        let edges: usize = schedule.dependents().iter().map(Vec::len).sum();
+        assert_eq!(edges, schedule.dep_counts().iter().sum::<usize>());
+    }
+
+    #[test]
+    fn repeated_operands_count_as_one_dependency() {
+        // Squaring consumes the multiplication result twice but must wait
+        // for exactly one completion event.
+        let (_, schedule) =
+            schedule_of("(VecMul (VecMul (Vec a b) (Vec c d)) (VecMul (Vec a b) (Vec c d)))");
+        let square = schedule
+            .instrs()
+            .iter()
+            .position(|si| si.level == 1)
+            .expect("squaring instruction at level 1");
+        assert_eq!(schedule.dep_counts()[square], 1);
+    }
+
+    #[test]
+    fn cost_terms_recost_under_any_table() {
+        let (_, schedule) = schedule_of(
+            "(VecAdd (VecMul (Vec a b) (Vec c d)) (<< (VecMul (Vec e f) (Vec g h)) 1))",
+        );
+        let base = OpCosts::default();
+        let est: Vec<f64> = schedule.instrs().iter().map(|i| i.est_cost).collect();
+        assert_eq!(schedule.instr_costs(&base), est);
+        let doubled = OpCosts {
+            vec_add: 2.0 * base.vec_add,
+            vec_mul_ct_ct: 2.0 * base.vec_mul_ct_ct,
+            vec_mul_ct_pt: 2.0 * base.vec_mul_ct_pt,
+            rotation: 2.0 * base.rotation,
+            ..base
+        };
+        for (a, b) in schedule.instr_costs(&doubled).iter().zip(&est) {
+            assert!((a - 2.0 * b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn critical_path_priorities_decrease_along_chains() {
+        let (_, schedule) = schedule_of(
+            "(VecAdd (VecAdd (VecMul (Vec a0 a1) (Vec b0 b1)) (<< (VecMul (Vec a0 a1) (Vec b0 b1)) 1)) (VecMul (Vec c0 c1) (Vec d0 d1)))",
+        );
+        let priorities = schedule.default_priorities();
+        for (index, deps) in schedule.dependents().iter().enumerate() {
+            for &d in deps {
+                assert!(
+                    priorities[index] > priorities[d],
+                    "priority must strictly decrease along dependency edges"
+                );
+            }
+        }
+        // Priorities equal cost + best downstream chain.
+        for (index, si) in schedule.instrs().iter().enumerate() {
+            let downstream = schedule.dependents()[index]
+                .iter()
+                .map(|&d| priorities[d])
+                .fold(0.0, f64::max);
+            assert!((priorities[index] - (si.est_cost + downstream)).abs() < 1e-9);
+        }
+    }
+
+    /// Two chains of uneven per-level costs: the leveled projection pays the
+    /// per-level maximum at every barrier, the dataflow projection lets the
+    /// cheap chain run ahead.
+    fn uneven_chains() -> (Schedule, Vec<Duration>) {
+        use std::time::Duration;
+        let (_, schedule) = schedule_of(
+            "(VecAdd (VecMul (VecMul (Vec a b) (Vec c d)) (Vec e f)) (VecAdd (VecAdd (Vec g h) (Vec i j)) (Vec k l)))",
+        );
+        let times: Vec<Duration> = schedule
+            .instrs()
+            .iter()
+            .map(|si| match (&si.instr, si.level) {
+                (Instr::Bin { op: BinOp::Mul, .. }, _) => Duration::from_millis(10),
+                (_, 0) => Duration::from_millis(1),
+                (_, 1) => Duration::from_millis(19),
+                _ => Duration::from_millis(1),
+            })
+            .collect();
+        (schedule, times)
+    }
+
+    #[test]
+    fn dataflow_makespan_reclaims_barrier_slack_on_uneven_levels() {
+        let (schedule, times) = uneven_chains();
+        assert_eq!(schedule.level_count(), 3);
+        // Leveled @2 workers: 10 (mul level) + 19 (uneven level) + 1 = 30ms.
+        let leveled = schedule.makespan(&times, 2);
+        assert_eq!(leveled, Duration::from_millis(30));
+        // Dataflow @2: the add chain (1 + 19) overlaps the mul chain
+        // (10 + 10); the final add starts at 20 -> 21ms.
+        let dataflow = schedule.dataflow_makespan(&times, 2);
+        assert_eq!(dataflow, Duration::from_millis(21));
+        // The true critical path matches: both chains cost 21ms end to end.
+        assert_eq!(
+            schedule.critical_path_makespan(&times),
+            Duration::from_millis(21)
+        );
+        // One worker serializes everything, barriers or not.
+        let total: Duration = times.iter().sum();
+        assert_eq!(schedule.dataflow_makespan(&times, 1), total);
+        assert_eq!(schedule.makespan(&times, 1), total);
+    }
+
+    #[test]
+    fn dataflow_makespan_never_beats_the_critical_path_or_loses_to_levels() {
+        let (schedule, times) = uneven_chains();
+        for workers in 1..=8 {
+            let dataflow = schedule.dataflow_makespan(&times, workers);
+            assert!(dataflow >= schedule.critical_path_makespan(&times));
+            assert!(dataflow <= schedule.makespan(&times, workers));
+        }
+    }
+
+    #[test]
+    fn dependency_parallelism_is_at_least_level_parallelism() {
+        for source in [
+            "(VecAdd (VecMul (Vec a b) (Vec c d)) (VecMul (Vec e f) (Vec g h)))",
+            "(VecAdd (VecMul (VecMul (Vec a b) (Vec c d)) (Vec e f)) (VecAdd (VecAdd (Vec g h) (Vec i j)) (Vec k l)))",
+        ] {
+            let (_, schedule) = schedule_of(source);
+            assert!(schedule.dependency_parallelism() >= schedule.cost_parallelism() - 1e-9);
+        }
     }
 
     fn rot_operand(schedule: &Schedule) -> Slot {

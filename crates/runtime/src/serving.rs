@@ -26,6 +26,7 @@
 //! about FHE), which keeps this crate's dependency surface unchanged —
 //! `chehab-core` layers the session-backed serving API on top.
 
+use crate::exec::percentile;
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -81,6 +82,94 @@ impl std::fmt::Display for ServingError {
 
 impl std::error::Error for ServingError {}
 
+/// Aggregated scheduler counters of the requests an engine has served: the
+/// first slice of the engine-level metrics export. Handlers that execute
+/// through the dataflow runtime record each request's scheduler figures into
+/// the engine's [`SchedulerMetrics`]; this snapshot summarizes them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerStatsSnapshot {
+    /// Requests whose scheduler figures were recorded.
+    pub requests: u64,
+    /// Ready instructions taken from another worker's local deque, summed
+    /// across requests.
+    pub steals: u64,
+    /// Barrier slack reclaimed versus leveled execution, summed across
+    /// requests (see `TimingBreakdown::reclaimed_slack` in this crate).
+    pub reclaimed_slack: Duration,
+    /// Median per-instruction queue wait across every recorded request.
+    pub queue_wait_p50: Option<Duration>,
+    /// 95th-percentile per-instruction queue wait.
+    pub queue_wait_p95: Option<Duration>,
+}
+
+impl SchedulerStatsSnapshot {
+    /// Mean reclaimed barrier slack per recorded request.
+    pub fn reclaimed_slack_per_request(&self) -> Option<Duration> {
+        (self.requests > 0).then(|| self.reclaimed_slack / self.requests as u32)
+    }
+}
+
+/// Bound on retained queue-wait samples: once full, the oldest samples are
+/// overwritten (a sliding window), so percentiles track steady-state
+/// traffic without growing an engine's footprint unboundedly.
+const MAX_QUEUE_WAIT_SAMPLES: usize = 65_536;
+
+/// Scheduler-counter sink shared between an engine and its request handler:
+/// the handler records per-request dataflow figures (steals, queue waits,
+/// reclaimed slack), [`ServingEngine::stats`] folds the aggregate into
+/// [`ServingStats::scheduler`]. Kept separate from the engine's own queue
+/// counters so the engine stays generic over request/response types.
+#[derive(Debug, Default)]
+pub struct SchedulerMetrics {
+    inner: Mutex<SchedulerAgg>,
+}
+
+#[derive(Debug, Default)]
+struct SchedulerAgg {
+    requests: u64,
+    steals: u64,
+    reclaimed_slack: Duration,
+    queue_waits: Vec<Duration>,
+    /// Next slot to overwrite once `queue_waits` is at capacity (ring
+    /// cursor), so retained samples follow the traffic instead of freezing
+    /// on the startup window.
+    next_wait_slot: usize,
+}
+
+impl SchedulerMetrics {
+    /// Records one request's scheduler figures. Queue-wait samples are kept
+    /// in a bounded sliding window (oldest overwritten first); the counters
+    /// always accumulate.
+    pub fn record(&self, steals: u64, reclaimed_slack: Duration, queue_waits: &[Duration]) {
+        let mut agg = self.inner.lock().unwrap();
+        agg.requests += 1;
+        agg.steals += steals;
+        agg.reclaimed_slack += reclaimed_slack;
+        for &wait in queue_waits {
+            if agg.queue_waits.len() < MAX_QUEUE_WAIT_SAMPLES {
+                agg.queue_waits.push(wait);
+            } else {
+                let slot = agg.next_wait_slot;
+                agg.queue_waits[slot] = wait;
+                agg.next_wait_slot = (slot + 1) % MAX_QUEUE_WAIT_SAMPLES;
+            }
+        }
+    }
+
+    /// A point-in-time summary of everything recorded so far.
+    pub fn snapshot(&self) -> SchedulerStatsSnapshot {
+        let agg = self.inner.lock().unwrap();
+        let mut waits = agg.queue_waits.clone();
+        SchedulerStatsSnapshot {
+            requests: agg.requests,
+            steals: agg.steals,
+            reclaimed_slack: agg.reclaimed_slack,
+            queue_wait_p50: percentile(&mut waits, 0.50),
+            queue_wait_p95: percentile(&mut waits, 0.95),
+        }
+    }
+}
+
 /// A point-in-time snapshot of one engine's serving counters.
 #[derive(Debug, Clone, Copy)]
 pub struct ServingStats {
@@ -100,6 +189,10 @@ pub struct ServingStats {
     pub busy: Duration,
     /// Wall-clock since the engine started.
     pub elapsed: Duration,
+    /// Aggregated per-request scheduler counters (steals, queue-wait
+    /// percentiles, reclaimed barrier slack) — populated when the handler
+    /// records into the engine's [`SchedulerMetrics`], all-zero otherwise.
+    pub scheduler: SchedulerStatsSnapshot,
 }
 
 impl ServingStats {
@@ -258,6 +351,8 @@ struct Shared<T, R> {
     /// Signals blocked submitters that the queue lost a job.
     not_full: Condvar,
     counters: Mutex<Counters>,
+    /// Scheduler-counter sink the request handler records into.
+    scheduler: Arc<SchedulerMetrics>,
     queue_capacity: usize,
     /// Configured worker count (stable across shutdown, unlike the join
     /// handle vector).
@@ -295,6 +390,23 @@ impl<T: Send + 'static, R: Send + 'static> ServingEngine<T, R> {
     where
         F: Fn(u64, T) -> R + Send + Sync + 'static,
     {
+        Self::with_scheduler_metrics(config, Arc::new(SchedulerMetrics::default()), handler)
+    }
+
+    /// Like [`ServingEngine::new`], with an externally created
+    /// [`SchedulerMetrics`] sink: the caller keeps a clone of the `Arc`
+    /// inside `handler` and records each request's scheduler figures, and
+    /// [`ServingEngine::stats`] folds the aggregate into
+    /// [`ServingStats::scheduler`]. (The handler is constructed before the
+    /// engine exists, so the sink cannot be handed out afterwards.)
+    pub fn with_scheduler_metrics<F>(
+        config: ServingConfig,
+        scheduler: Arc<SchedulerMetrics>,
+        handler: F,
+    ) -> Self
+    where
+        F: Fn(u64, T) -> R + Send + Sync + 'static,
+    {
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
@@ -308,6 +420,7 @@ impl<T: Send + 'static, R: Send + 'static> ServingEngine<T, R> {
                 completed: 0,
                 busy: Duration::ZERO,
             }),
+            scheduler,
             queue_capacity: config.queue_capacity.max(1),
             worker_count: config.workers.max(1),
             started: Instant::now(),
@@ -383,7 +496,15 @@ impl<T, R> ServingEngine<T, R> {
             workers: self.shared.worker_count,
             busy,
             elapsed: self.shared.started.elapsed(),
+            scheduler: self.shared.scheduler.snapshot(),
         }
+    }
+
+    /// The engine's scheduler-counter sink (the same one passed to
+    /// [`ServingEngine::with_scheduler_metrics`], or a private unused sink
+    /// for engines built with [`ServingEngine::new`]).
+    pub fn scheduler_metrics(&self) -> &Arc<SchedulerMetrics> {
+        &self.shared.scheduler
     }
 
     /// Stops intake, drains every already-queued request, joins the workers
@@ -630,6 +751,57 @@ mod tests {
         let stats = engine.shutdown();
         assert_eq!(stats.completed, 2);
         assert_eq!(stats.in_flight, 0);
+    }
+
+    #[test]
+    fn scheduler_metrics_aggregate_into_stats() {
+        let metrics = Arc::new(SchedulerMetrics::default());
+        let sink = Arc::clone(&metrics);
+        let engine: ServingEngine<u64, u64> = ServingEngine::with_scheduler_metrics(
+            ServingConfig {
+                workers: 2,
+                queue_capacity: 8,
+            },
+            Arc::clone(&metrics),
+            move |_, v| {
+                // A handler that executed through the dataflow runtime
+                // records its request's scheduler figures.
+                sink.record(
+                    v,
+                    Duration::from_millis(v),
+                    &[Duration::from_micros(10 * v), Duration::from_micros(30 * v)],
+                );
+                v
+            },
+        );
+        let handles: Vec<_> = (1..=4).map(|v| engine.submit(v).unwrap()).collect();
+        for (i, handle) in handles.into_iter().enumerate() {
+            assert_eq!(handle.wait(), i as u64 + 1);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.scheduler.requests, 4);
+        assert_eq!(stats.scheduler.steals, 1 + 2 + 3 + 4);
+        assert_eq!(stats.scheduler.reclaimed_slack, Duration::from_millis(10));
+        assert_eq!(
+            stats.scheduler.reclaimed_slack_per_request(),
+            Some(Duration::from_micros(2500))
+        );
+        // Samples: 10,20,30,40 and 30,60,90,120 micros; p50 of the sorted
+        // merge [10,20,30,30,40,60,90,120] sits at rank 4 (rounded midpoint).
+        let p50 = stats.scheduler.queue_wait_p50.unwrap();
+        assert!(p50 >= Duration::from_micros(30) && p50 <= Duration::from_micros(40));
+        assert_eq!(
+            stats.scheduler.queue_wait_p95,
+            Some(Duration::from_micros(120))
+        );
+        assert!(Arc::ptr_eq(engine.scheduler_metrics(), &metrics));
+        engine.shutdown();
+
+        // Engines built without an external sink report zeroed counters.
+        let plain: ServingEngine<u32, u32> = engine_with(1, 4, |_, v| v);
+        plain.submit(1).unwrap().wait();
+        assert_eq!(plain.stats().scheduler, SchedulerStatsSnapshot::default());
+        plain.shutdown();
     }
 
     #[test]

@@ -229,19 +229,48 @@ fn execute_shims_match_the_session_api() {
     }
 }
 
-/// The timing breakdown is populated and its level count matches the
-/// schedule; the session accumulates calibration across requests.
+/// The timing breakdown is populated and matches the schedule under both
+/// scheduler kinds; the session accumulates calibration across requests.
 #[test]
 fn timing_breakdown_reflects_the_schedule() {
+    use chehab::compiler::SchedulerKind;
     let benchmark = benchsuite::by_id("Linear Reg. 4").expect("known benchmark id");
     let session = session_of(&benchmark);
     let schedule = session.schedule();
-    let report = session
+
+    // Dataflow (the default): no levels, but per-instruction run spans and
+    // queue waits, and a reclaimed-slack figure versus the leveled makespan.
+    let dataflow = session
         .run_parallel(
             &inputs_of(&benchmark, 3),
             &ExecOptions::sequential().with_threads_per_request(4),
         )
         .unwrap();
+    assert_eq!(dataflow.timing.scheduler, SchedulerKind::Dataflow);
+    assert!(dataflow.timing.levels.is_empty());
+    assert_eq!(dataflow.timing.instr_times.len(), schedule.instrs().len());
+    assert_eq!(dataflow.timing.queue_waits.len(), schedule.instrs().len());
+    assert!(dataflow.timing.wall > std::time::Duration::ZERO);
+    assert!(dataflow.timing.total_wall() == dataflow.timing.wall);
+    assert!(dataflow.timing.queue_wait_percentile(0.5).is_some());
+    assert_eq!(
+        dataflow.timing.reclaimed_slack,
+        schedule
+            .makespan(&dataflow.timing.instr_times, dataflow.timing.threads)
+            .saturating_sub(
+                schedule.dataflow_makespan(&dataflow.timing.instr_times, dataflow.timing.threads)
+            )
+    );
+
+    let report = session
+        .run_parallel(
+            &inputs_of(&benchmark, 3),
+            &ExecOptions::sequential()
+                .with_threads_per_request(4)
+                .with_scheduler(SchedulerKind::Leveled),
+        )
+        .unwrap();
+    assert_eq!(report.timing.scheduler, SchedulerKind::Leveled);
     assert_eq!(report.timing.levels.len(), schedule.level_count());
     assert_eq!(
         report
@@ -252,6 +281,8 @@ fn timing_breakdown_reflects_the_schedule() {
             .sum::<usize>(),
         schedule.instrs().len()
     );
+    assert_eq!(report.timing.steals, 0);
+    assert!(report.timing.queue_waits.is_empty());
     // One sample per instruction, not per evaluator call: packs and
     // multi-part rotations bundle several calls.
     assert!(report.timing.per_op.sample_count() > 0);
@@ -263,11 +294,12 @@ fn timing_breakdown_reflects_the_schedule() {
         .to_cost_model(&chehab::ir::CostModel::default());
     assert!(model.op_costs.vec_mul_ct_ct > 0.0);
 
-    // The session-level calibration is cumulative: a second request doubles
-    // the sample count.
+    // The session-level calibration is cumulative: every request (dataflow
+    // and leveled alike) adds one sample set.
     let per_request = report.timing.per_op.sample_count();
+    assert_eq!(dataflow.timing.per_op.sample_count(), per_request);
     session.run(&inputs_of(&benchmark, 4)).unwrap();
     let stats = session.stats();
-    assert_eq!(stats.requests_served, 2);
-    assert_eq!(stats.calibration.sample_count(), 2 * per_request);
+    assert_eq!(stats.requests_served, 3);
+    assert_eq!(stats.calibration.sample_count(), 3 * per_request);
 }
