@@ -18,8 +18,11 @@
 //! traffic), kept here so the comparison survives the seed code's removal.
 
 use chehab_bench::micro::{print_micro, time_micro};
-use chehab_fhe::poly::{p_add, p_inv, p_pow, p_sub, NttTables, Poly, MODULUS};
-use chehab_fhe::{BfvParameters, Encryptor, Evaluator, FheContext, KeyGenerator, SecurityLevel};
+use chehab_fhe::poly::{p_add, p_inv, p_mul, p_pow, p_sub, Domain, NttTables, Poly, MODULUS};
+use chehab_fhe::{
+    BfvParameters, CtPayload, Encryptor, Evaluator, FheContext, KeyGenerator, PolyArena,
+    SecurityLevel,
+};
 use serde::Value;
 
 /// The seed's modular multiplication: 128-bit product reduced with `%`.
@@ -302,6 +305,55 @@ fn main() {
             before_ms: before.median_ms(),
             after_ms: after.median_ms(),
         });
+
+        // --- striped vs split pointwise product: the pre-stripe engine
+        // walked c0 and c1 as separate polys (two passes over the shared
+        // multiplier, two fresh output allocations); the striped engine
+        // updates both components in one pass over the `[c0 | c1]` stripe
+        // into an arena-recycled buffer.
+        let c1_vals = random_values(degree, 0xC1 ^ degree as u64);
+        let mult = random_values(degree, 0x717 ^ degree as u64);
+        // Faithful to the replaced evaluator: per component, a zero-filled
+        // fresh buffer then an indexed fill pass (the `vec![0; n]` +
+        // `par_chunks` shape of the split-layout engine).
+        let split_component = |src: &[u64]| -> Vec<u64> {
+            let mut out = vec![0u64; degree];
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = p_mul(src[i], mult[i]);
+            }
+            out
+        };
+        let before = time_micro(
+            format!("ct_pt_pointwise/{degree} (before: split)"),
+            1,
+            iters,
+            || {
+                let out0 = split_component(&a);
+                let out1 = split_component(&c1_vals);
+                sink = sink.wrapping_add(out0[0]).wrapping_add(out1[0]);
+            },
+        );
+        print_micro(&before);
+        let payload = CtPayload::from_components(&a, &c1_vals, Domain::Eval);
+        let mut arena = PolyArena::new();
+        let after = time_micro(
+            format!("ct_pt_pointwise/{degree} (after: striped)"),
+            1,
+            iters,
+            || {
+                let mut out = arena.take(2 * degree);
+                payload.mul_eval2(&mult, &mut out, 1);
+                sink = sink.wrapping_add(out[0]).wrapping_add(out[degree]);
+                arena.put(out);
+            },
+        );
+        print_micro(&after);
+        rows.push(Row {
+            op: "ct_pt_pointwise",
+            degree,
+            before_ms: before.median_ms(),
+            after_ms: after.median_ms(),
+        });
         if sink == u64::MAX {
             // Keeps the baseline results observable so the timed loops
             // cannot be optimized away.
@@ -371,7 +423,10 @@ fn main() {
                  clones; rotation = coefficient Galois + 2 ring products). after = hot-path \
                  engine (branch-light Goldilocks reduction; ciphertext payloads lazily kept in \
                  NTT form, so ct-ct multiply and key switching are fused pointwise loops with \
-                 zero transforms and zero temporaries). Medians over `iters` runs"
+                 zero transforms and zero temporaries). ct_pt_pointwise isolates the memory \
+                 layout: before = split components, two passes, two fresh output allocations; \
+                 after = one fused pass over the [c0|c1] stripe into an arena-recycled buffer. \
+                 Medians over `iters` runs"
                     .into(),
             ),
         ),

@@ -1170,6 +1170,17 @@ pub fn write_dataflow_json(
 pub fn load_serving_request_baseline(
     path: impl AsRef<std::path::Path>,
 ) -> Option<HashMap<String, f64>> {
+    load_kernel_field_baseline(path, "request_ms")
+}
+
+/// Loads `benchmark -> <field>` from any of the `BENCH_*.json` artifacts
+/// (every artifact stores a `kernels` array of per-benchmark objects), or
+/// `None` if the file is missing or unparseable. Kernels without the field
+/// are skipped.
+pub fn load_kernel_field_baseline(
+    path: impl AsRef<std::path::Path>,
+    field: &str,
+) -> Option<HashMap<String, f64>> {
     let text = std::fs::read_to_string(path).ok()?;
     let value: serde::Value = serde_json::from_str(&text).ok()?;
     let kernels = value.field("kernels").ok()?.as_array("kernels").ok()?;
@@ -1179,14 +1190,264 @@ pub fn load_serving_request_baseline(
             Ok(serde::Value::Str(s)) => s.clone(),
             _ => continue,
         };
-        let request_ms = match kernel.field("request_ms") {
+        let entry = match kernel.field(field) {
             Ok(serde::Value::Float(f)) => *f,
             Ok(serde::Value::Int(i)) => *i as f64,
             _ => continue,
         };
-        baseline.insert(name, request_ms);
+        baseline.insert(name, entry);
     }
     Some(baseline)
+}
+
+/// One memory-layout measurement of a kernel: warm per-request latency of
+/// the striped/arena-backed engine against the `BENCH_dataflow.json`
+/// sequential baseline, plus the allocation counters that prove the
+/// zero-allocation steady state.
+#[derive(Debug, Clone)]
+pub struct MemlayoutMeasurement {
+    /// Benchmark identifier.
+    pub benchmark: String,
+    /// Workers of the threaded bit-equivalence check.
+    pub threads: usize,
+    /// Median warm per-request wall under session reuse (sequential), ms.
+    pub request_ms: f64,
+    /// The same quantity recorded by the pre-stripe engine in
+    /// `BENCH_dataflow.json` (`sequential_request_ms`), if present.
+    pub baseline_request_ms: Option<f64>,
+    /// `baseline_request_ms / request_ms` (above 1.0 = the memory engine
+    /// made requests faster).
+    pub improvement: Option<f64>,
+    /// Fresh buffer allocations of the *first* (cold) request — the price
+    /// every request paid before the arena existed.
+    pub cold_allocs: u64,
+    /// Fresh buffer allocations per warm request (steady state; the
+    /// acceptance bar is ~0).
+    pub warm_allocs_per_request: f64,
+    /// Arena buffer reuses per warm request (how many allocations the pool
+    /// absorbs each request).
+    pub warm_reuses_per_request: f64,
+    /// Whether every output matched the plaintext reference, and the
+    /// threaded dataflow run matched the sequential run bit for bit.
+    pub correct: bool,
+}
+
+/// Measures one kernel under the zero-allocation memory engine: cold vs
+/// warm arena-miss counts (process-global `PolyArena` counters — run one
+/// kernel at a time), warm sequential per-request latency (medians over
+/// `runs` passes of `requests` requests), and bit-equivalence of a
+/// `threads`-worker dataflow pass against the sequential outputs and the
+/// plaintext reference.
+pub fn measure_memlayout(
+    benchmark: &Benchmark,
+    compiler: &CompilerUnderTest,
+    params: &BfvParameters,
+    runs: usize,
+    requests: usize,
+    threads: usize,
+    baseline_request_ms: Option<f64>,
+) -> MemlayoutMeasurement {
+    use chehab_fhe::PolyArena;
+    let compiled = compiler.compile(benchmark);
+    let requests = requests.max(1);
+    let input_sets: Vec<HashMap<String, i64>> = (0..requests)
+        .map(|seed| {
+            benchmark
+                .program()
+                .variables()
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| (v.to_string(), ((seed + i) as i64 % 11) + 1))
+                .collect()
+        })
+        .collect();
+    let expected: Vec<Vec<u64>> = input_sets
+        .iter()
+        .map(|inputs| {
+            let mut env = chehab_ir::Env::new();
+            for (k, v) in inputs {
+                env.bind(k.clone(), *v);
+            }
+            let value = chehab_ir::evaluate(benchmark.program(), &env).unwrap_or_else(|e| {
+                panic!(
+                    "{}: plaintext reference evaluation failed: {e}",
+                    benchmark.id()
+                )
+            });
+            value
+                .slots()
+                .into_iter()
+                .take(benchmark.output_slots())
+                .collect()
+        })
+        .collect();
+
+    let session = compiled
+        .session(params)
+        .unwrap_or_else(|e| panic!("{}: session construction failed: {e}", benchmark.id()));
+    let mut correct = true;
+
+    // Cold request: every buffer is a pool miss — the allocation bill every
+    // request footed before the arena existed.
+    PolyArena::reset_counters();
+    let cold = session
+        .run(&input_sets[0])
+        .unwrap_or_else(|e| panic!("{}: cold run failed: {e}", benchmark.id()));
+    let cold_allocs = PolyArena::fresh_allocations();
+    correct &= cold.decryption_ok
+        && cold
+            .outputs
+            .iter()
+            .take(expected[0].len())
+            .eq(expected[0].iter());
+
+    // Warm the pool across the whole request stream once.
+    for inputs in &input_sets {
+        let _ = session.run(inputs).unwrap();
+    }
+
+    // Measured warm passes: latency medians plus the steady-state counters.
+    PolyArena::reset_counters();
+    let mut request_times = Vec::with_capacity(runs.max(1) * requests);
+    for _ in 0..runs.max(1) {
+        for (inputs, expected) in input_sets.iter().zip(&expected) {
+            let started = Instant::now();
+            let report = session
+                .run(inputs)
+                .unwrap_or_else(|e| panic!("{}: warm run failed: {e}", benchmark.id()));
+            request_times.push(started.elapsed());
+            let got: Vec<u64> = report
+                .outputs
+                .iter()
+                .copied()
+                .take(expected.len())
+                .collect();
+            correct &= report.decryption_ok && &got == expected;
+        }
+    }
+    let measured_requests = request_times.len() as f64;
+    let warm_allocs_per_request = PolyArena::fresh_allocations() as f64 / measured_requests;
+    let warm_reuses_per_request = PolyArena::reuses() as f64 / measured_requests;
+    request_times.sort_unstable();
+    let request_ms = ms(request_times[request_times.len() / 2]);
+
+    // Threaded bit-equivalence: the recycling register file must not change
+    // a single output bit under concurrent execution.
+    let dataflow_options = ExecOptions::sequential().with_threads_per_request(threads);
+    for (inputs, expected) in input_sets.iter().zip(&expected) {
+        let seq = session.run(inputs).unwrap();
+        let par = session
+            .run_parallel(inputs, &dataflow_options)
+            .unwrap_or_else(|e| panic!("{}: threaded run failed: {e}", benchmark.id()));
+        correct &= par.outputs == seq.outputs && par.decryption_ok == seq.decryption_ok;
+        let got: Vec<u64> = seq.outputs.iter().copied().take(expected.len()).collect();
+        correct &= &got == expected;
+    }
+
+    MemlayoutMeasurement {
+        benchmark: benchmark.id(),
+        threads,
+        request_ms,
+        baseline_request_ms,
+        improvement: baseline_request_ms.map(|b| b / request_ms.max(1e-9)),
+        cold_allocs,
+        warm_allocs_per_request,
+        warm_reuses_per_request,
+        correct,
+    }
+}
+
+/// Writes memory-layout measurements as JSON into `path` and returns it.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_memlayout_json(
+    path: impl AsRef<std::path::Path>,
+    requests: usize,
+    threads: usize,
+    measurements: &[MemlayoutMeasurement],
+) -> std::io::Result<std::path::PathBuf> {
+    use serde::Value;
+    let rows: Vec<Value> = measurements
+        .iter()
+        .map(|m| {
+            Value::Object(vec![
+                ("benchmark".into(), Value::Str(m.benchmark.clone())),
+                ("threads".into(), Value::Int(m.threads as i64)),
+                ("request_ms".into(), Value::Float(m.request_ms)),
+                (
+                    "baseline_request_ms".into(),
+                    m.baseline_request_ms.map_or(Value::Null, Value::Float),
+                ),
+                (
+                    "improvement".into(),
+                    m.improvement.map_or(Value::Null, Value::Float),
+                ),
+                ("cold_allocs".into(), Value::Int(m.cold_allocs as i64)),
+                (
+                    "warm_allocs_per_request".into(),
+                    Value::Float(m.warm_allocs_per_request),
+                ),
+                (
+                    "warm_reuses_per_request".into(),
+                    Value::Float(m.warm_reuses_per_request),
+                ),
+                ("correct".into(), Value::Bool(m.correct)),
+            ])
+        })
+        .collect();
+    let improvements: Vec<f64> = measurements.iter().filter_map(|m| m.improvement).collect();
+    let ones = vec![1.0; improvements.len()];
+    let zero_alloc_kernels = measurements
+        .iter()
+        .filter(|m| m.warm_allocs_per_request == 0.0)
+        .count();
+    let document = Value::Object(vec![
+        ("experiment".into(), Value::Str("memlayout".into())),
+        ("requests".into(), Value::Int(requests as i64)),
+        ("threads".into(), Value::Int(threads as i64)),
+        ("host_cpus".into(), Value::Int(available_cpus() as i64)),
+        (
+            "speedup_semantics".into(),
+            Value::Str(
+                "improvement = baseline sequential_request_ms (from BENCH_dataflow.json, the \
+                 split-layout engine with per-op heap allocation) / request_ms re-measured under \
+                 the striped zero-allocation engine, per kernel on measured warm wall time. \
+                 cold_allocs counts fresh buffer allocations (slot vectors + payload stripes) of \
+                 the first request against an empty arena — the per-request allocation bill of \
+                 the old engine; warm_allocs_per_request is the same counter in steady state and \
+                 the acceptance bar is ~0 (warm_reuses_per_request shows how many allocations \
+                 the arena absorbs instead). Arc control blocks, per-request bookkeeping vectors \
+                 and plaintext encodes are not pooled and not counted. correct asserts plaintext \
+                 reference equality and sequential == threaded dataflow outputs bit for bit"
+                    .into(),
+            ),
+        ),
+        (
+            "kernels_measured".into(),
+            Value::Int(measurements.len() as i64),
+        ),
+        (
+            "kernels_with_baseline".into(),
+            Value::Int(improvements.len() as i64),
+        ),
+        (
+            "zero_alloc_kernels".into(),
+            Value::Int(zero_alloc_kernels as i64),
+        ),
+        (
+            "geomean_improvement".into(),
+            Value::Float(geometric_mean_ratio(&improvements, &ones)),
+        ),
+        ("kernels".into(), Value::Array(rows)),
+    ]);
+    let path = path.as_ref().to_path_buf();
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&document).expect("stub serializer is infallible"),
+    )?;
+    Ok(path)
 }
 
 /// Writes hot-path measurements as JSON into `path` and returns it.

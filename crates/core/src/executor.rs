@@ -23,8 +23,8 @@
 
 use crate::rotation_keys::RotationKeyPlan;
 use chehab_fhe::{
-    BfvParameters, Ciphertext, Decryptor, Encryptor, EvaluatorStats, FheContext, FheError,
-    GaloisKeys, KeyGenerator, RelinKeys,
+    ArenaPool, BfvParameters, Ciphertext, Decryptor, Encryptor, EvaluatorStats, FheContext,
+    FheError, GaloisKeys, KeyGenerator, RelinKeys,
 };
 use chehab_ir::{BinOp, CircuitDag, CircuitSummary, CostModel, DagNode, DataKind, Expr, Ty};
 use chehab_runtime::{
@@ -449,6 +449,11 @@ pub struct FheSession {
     /// Packing fallback for degenerate `Vec` nodes; encrypted once per
     /// session, and only when the schedule contains a `Pack` instruction.
     zero: Option<Ciphertext>,
+    /// Warm buffer arenas shared by every request served through this
+    /// session: encryption, evaluation and decryption draw slot vectors and
+    /// payload stripes from here and return them when their ciphertexts
+    /// die, so steady-state requests perform zero fresh buffer allocations.
+    arena_pool: ArenaPool,
     keygen_time: Duration,
     lowering_time: Duration,
     /// Measured per-op latencies accumulated across every request served.
@@ -523,6 +528,7 @@ impl FheSession {
             kinds,
             prebound,
             zero,
+            arena_pool: ArenaPool::new(),
             keygen_time,
             lowering_time,
             calibration: Mutex::new(CalibratedCostModel::new()),
@@ -531,28 +537,35 @@ impl FheSession {
     }
 
     /// Client-side phase: evaluates plaintext subcircuits and encrypts the
-    /// inputs, producing the initial register file (untimed).
+    /// inputs, producing the initial register file (untimed). The encryptor
+    /// borrows a warm arena from the session pool, so steady-state input
+    /// encryption allocates no fresh buffers.
     fn bind_registers(
         &self,
         inputs: &HashMap<String, i64>,
     ) -> Result<Vec<Option<Register>>, FheError> {
         let program = &self.program;
         let mut encryptor = Encryptor::new(&self.ctx, &self.public_key);
+        encryptor.set_arena(self.arena_pool.checkout());
         let t = self.ctx.plain_modulus() as i64;
         let lookup = |name: &str| -> i64 { inputs.get(name).copied().unwrap_or(0).rem_euclid(t) };
 
         let mut registers: Vec<Option<Register>> = vec![None; program.dag.len()];
+        let mut failure: Option<FheError> = None;
         for (id, node) in program.dag.nodes().iter().enumerate() {
             if !self.prebound[id] {
                 continue;
             }
             if self.kinds[id] == DataKind::Plaintext {
-                registers[id] = Some(Register::Plain(
-                    plain_eval(node, &registers, &lookup, t).into(),
-                ));
+                registers[id] = Some(Register::plain(plain_eval(node, &registers, &lookup, t)));
             } else if let DagNode::CtVar(name) = node {
-                let ct = encryptor.encrypt_values(&[lookup(name.as_str())])?;
-                registers[id] = Some(Register::Cipher(ct));
+                match encryptor.encrypt_values(&[lookup(name.as_str())]) {
+                    Ok(ct) => registers[id] = Some(Register::cipher(ct)),
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
             } else if let DagNode::Vec(elems) = node {
                 // Pack leaf-only vectors on the client before encryption.
                 let values: Vec<i64> = elems
@@ -564,13 +577,22 @@ impl FheSession {
                         _ => unreachable!("leaf-only vector"),
                     })
                     .collect();
-                let ct = encryptor.encrypt_values(&values)?;
-                registers[id] = Some(Register::Cipher(ct));
+                match encryptor.encrypt_values(&values) {
+                    Ok(ct) => registers[id] = Some(Register::cipher(ct)),
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
             } else {
                 unreachable!("pre-bound nodes are plaintext, inputs, or packed vectors")
             }
         }
-        Ok(registers)
+        self.arena_pool.restore(encryptor.take_arena());
+        match failure {
+            Some(error) => Err(error),
+            None => Ok(registers),
+        }
     }
 
     /// Serves one request sequentially: client-side binding, the timed
@@ -726,6 +748,7 @@ impl FheSession {
             relin_keys: &self.relin_keys,
             galois_keys: &self.galois_keys,
             zero: self.zero.as_ref(),
+            arenas: &self.arena_pool,
         };
 
         // --- server side: execute the scheduled operations (timed).
@@ -759,11 +782,22 @@ impl FheSession {
         let (outputs, noise_consumed, decryption_ok) = match outcome.output {
             Register::Cipher(ct) => {
                 let consumed = ct.noise_consumed_bits();
-                match self.decryptor.decrypt(&ct) {
-                    Ok(pt) => (self.ctx.decode(&pt, program.output_slots), consumed, true),
-                    Err(FheError::NoiseBudgetExhausted { .. }) => (Vec::new(), consumed, false),
-                    Err(other) => return Err(other),
+                // Lean decryption: read the live output slots straight off
+                // the ciphertext (no Plaintext allocation), then recycle the
+                // output's buffers into the session pool.
+                let decrypted = match self.decryptor.decrypt_slots(&ct) {
+                    Ok(slots) => Ok((
+                        slots.iter().copied().take(program.output_slots).collect(),
+                        consumed,
+                        true,
+                    )),
+                    Err(FheError::NoiseBudgetExhausted { .. }) => Ok((Vec::new(), consumed, false)),
+                    Err(other) => Err(other),
+                };
+                if let Ok(ciphertext) = Arc::try_unwrap(ct) {
+                    self.arena_pool.recycle(ciphertext);
                 }
+                decrypted?
             }
             Register::Plain(values) => (
                 values

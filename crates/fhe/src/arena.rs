@@ -1,0 +1,231 @@
+//! Buffer pooling for the zero-allocation hot path.
+//!
+//! Every per-operation buffer the execution engine touches is a `Vec<u64>`
+//! whose length is fixed by the session parameters: slot vectors are
+//! `slot_count` long, ciphertext payload stripes are `2 * payload_degree`
+//! long. A [`PolyArena`] keeps free lists of those buffers keyed by length,
+//! so a request stream running against one warm session performs **zero
+//! fresh buffer allocations** in steady state — every `take` is served from
+//! a buffer some earlier operation returned with `put`.
+//!
+//! Arenas are deliberately not thread-safe: each worker (and each
+//! [`Evaluator`](crate::Evaluator) / [`Encryptor`](crate::Encryptor)) owns
+//! one privately and pays no synchronization on the hot path. An
+//! [`ArenaPool`] is the shared, mutex-guarded parking lot a session keeps
+//! them in between requests: workers check an arena out at request start and
+//! restore it (with every recycled buffer) when they finish, so warm buffers
+//! survive across requests and across workers.
+//!
+//! Process-global counters ([`PolyArena::fresh_allocations`] /
+//! [`PolyArena::reuses`]) record every miss and hit for test
+//! instrumentation: the allocation-regression test warms a session, resets
+//! the counters, replays the request stream and asserts the miss count
+//! stays zero.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Process-global count of [`PolyArena::take`] calls that had to allocate a
+/// fresh buffer (pool miss).
+static ARENA_FRESH: AtomicU64 = AtomicU64::new(0);
+
+/// Process-global count of [`PolyArena::take`] calls served from the free
+/// list (pool hit).
+static ARENA_REUSED: AtomicU64 = AtomicU64::new(0);
+
+/// A length-keyed free-list allocator for the `u64` buffers of the hot path
+/// (slot vectors and ciphertext payload stripes).
+///
+/// [`PolyArena::take`] returns a buffer of exactly the requested length with
+/// **unspecified contents** — callers fully overwrite it. [`PolyArena::put`]
+/// returns a buffer to the free list of its length class. Buffers of
+/// different length classes (slots vs. payload stripes, or stripes of
+/// different payload degrees) never mix.
+#[derive(Debug, Default)]
+pub struct PolyArena {
+    pools: HashMap<usize, Vec<Vec<u64>>>,
+}
+
+impl PolyArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        PolyArena::default()
+    }
+
+    /// Takes a buffer of exactly `len` entries, reusing a pooled one when
+    /// available and allocating (and counting) a fresh one otherwise.
+    ///
+    /// The returned buffer's contents are unspecified; the caller must
+    /// overwrite every entry it reads back.
+    pub fn take(&mut self, len: usize) -> Vec<u64> {
+        if let Some(buf) = self.pools.get_mut(&len).and_then(Vec::pop) {
+            ARENA_REUSED.fetch_add(1, Ordering::Relaxed);
+            buf
+        } else {
+            ARENA_FRESH.fetch_add(1, Ordering::Relaxed);
+            vec![0u64; len]
+        }
+    }
+
+    /// Returns a buffer to the free list of its length class. Zero-length
+    /// buffers are dropped (there is nothing to reuse).
+    pub fn put(&mut self, buf: Vec<u64>) {
+        if !buf.is_empty() {
+            self.pools.entry(buf.len()).or_default().push(buf);
+        }
+    }
+
+    /// Number of buffers currently parked in the arena, across all length
+    /// classes.
+    pub fn retained(&self) -> usize {
+        self.pools.values().map(Vec::len).sum()
+    }
+
+    /// Drops every pooled buffer.
+    pub fn clear(&mut self) {
+        self.pools.clear();
+    }
+
+    /// Process-global count of [`PolyArena::take`] calls that allocated a
+    /// fresh buffer since process start (or the last
+    /// [`PolyArena::reset_counters`]). Shared by every arena of the process,
+    /// so assertions on it belong in single-test processes.
+    pub fn fresh_allocations() -> u64 {
+        ARENA_FRESH.load(Ordering::Relaxed)
+    }
+
+    /// Process-global count of [`PolyArena::take`] calls served from a free
+    /// list since process start (or the last counter reset).
+    pub fn reuses() -> u64 {
+        ARENA_REUSED.load(Ordering::Relaxed)
+    }
+
+    /// Resets both process-global counters to zero.
+    pub fn reset_counters() {
+        ARENA_FRESH.store(0, Ordering::Relaxed);
+        ARENA_REUSED.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A shared parking lot of [`PolyArena`]s: sessions own one pool, workers
+/// check arenas out for the duration of a request and restore them
+/// afterwards, so warm buffers survive across requests and migrate freely
+/// between workers.
+///
+/// The mutex is touched twice per (worker, request) — checkout and restore —
+/// never inside an operation.
+#[derive(Debug, Clone, Default)]
+pub struct ArenaPool {
+    inner: Arc<Mutex<Vec<PolyArena>>>,
+}
+
+impl ArenaPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        ArenaPool::default()
+    }
+
+    /// Checks an arena out of the pool (an empty one if the pool has none to
+    /// spare — e.g. on the first request, or when more workers run
+    /// concurrently than ever before).
+    pub fn checkout(&self) -> PolyArena {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns an arena (and every buffer it holds) to the pool.
+    pub fn restore(&self, arena: PolyArena) {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(arena);
+    }
+
+    /// Recycles one ciphertext's buffers straight into the pool (used for
+    /// the request's output ciphertext after decryption, when no worker
+    /// arena is checked out any more).
+    pub fn recycle(&self, ciphertext: crate::Ciphertext) {
+        let mut guard = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if guard.is_empty() {
+            guard.push(PolyArena::new());
+        }
+        let arena = guard.last_mut().expect("pool is non-empty");
+        ciphertext.recycle_into(arena);
+    }
+
+    /// Total buffers parked across every arena currently in the pool
+    /// (checked-out arenas are not visible).
+    pub fn retained(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .map(PolyArena::retained)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_reuses_put_buffers_of_the_same_length() {
+        let mut arena = PolyArena::new();
+        let mut a = arena.take(16);
+        assert_eq!(a.len(), 16);
+        a[0] = 7;
+        arena.put(a);
+        assert_eq!(arena.retained(), 1);
+        let b = arena.take(16);
+        assert_eq!(b.len(), 16, "reused buffer keeps its length");
+        assert_eq!(arena.retained(), 0);
+        // A different length class misses the pool.
+        let c = arena.take(32);
+        assert_eq!(c.len(), 32);
+    }
+
+    #[test]
+    fn length_classes_never_mix() {
+        let mut arena = PolyArena::new();
+        arena.put(vec![0; 8]);
+        arena.put(vec![0; 16]);
+        assert_eq!(arena.take(8).len(), 8);
+        assert_eq!(arena.take(16).len(), 16);
+        arena.put(vec![0; 8]);
+        arena.clear();
+        assert_eq!(arena.retained(), 0);
+    }
+
+    #[test]
+    fn empty_buffers_are_not_pooled() {
+        let mut arena = PolyArena::new();
+        arena.put(Vec::new());
+        assert_eq!(arena.retained(), 0);
+    }
+
+    #[test]
+    fn pool_round_trips_arenas() {
+        let pool = ArenaPool::new();
+        let mut arena = pool.checkout();
+        arena.put(vec![0; 4]);
+        pool.restore(arena);
+        assert_eq!(pool.retained(), 1);
+        let arena = pool.checkout();
+        assert_eq!(arena.retained(), 1);
+        pool.restore(arena);
+        // A second concurrent checkout gets a fresh arena.
+        let a = pool.checkout();
+        let b = pool.checkout();
+        assert_eq!(a.retained() + b.retained(), 1);
+        pool.restore(a);
+        pool.restore(b);
+    }
+}

@@ -13,15 +13,18 @@
 //!   ciphertext has consumed, and decryption fails once the budget is
 //!   exhausted, exactly like SEAL's `Decryptor`.
 
+use crate::arena::PolyArena;
 use crate::keys::{KeyGenerator, PublicKey, SecretKey};
 use crate::noise::NoiseModel;
 use crate::params::{BfvParameters, ParameterError};
-use crate::poly::{Domain, NttTables, Poly, MODULUS};
+use crate::payload::CtPayload;
+use crate::poly::{galois_eval_permutation, Domain, NttTables, Poly, MODULUS};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::borrow::Cow;
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Errors returned by the FHE backend.
 #[derive(Debug, Clone, PartialEq)]
@@ -97,6 +100,11 @@ struct ContextInner {
     /// build: scalar-splat multiplications scale this instead of
     /// transforming a fresh splat per operation.
     ones_eval: Option<Poly>,
+    /// Eval-domain Galois permutations by Galois element, computed once per
+    /// `(payload_degree, element)` for the context's lifetime and shared by
+    /// every evaluator (evaluators keep a lock-free local `Arc` cache on
+    /// top, so this mutex is touched once per element per evaluator).
+    galois_perms: Mutex<HashMap<usize, Arc<Vec<u32>>>>,
 }
 
 impl FheContext {
@@ -130,6 +138,7 @@ impl FheContext {
                 noise,
                 tables,
                 ones_eval,
+                galois_perms: Mutex::new(HashMap::new()),
             }),
         })
     }
@@ -150,6 +159,25 @@ impl FheContext {
 
     pub(crate) fn ones_eval(&self) -> Option<&Poly> {
         self.inner.ones_eval.as_ref()
+    }
+
+    /// The Eval-domain Galois permutation of `galois_elt` at the context's
+    /// payload degree, computed on first use and shared (via `Arc`) for the
+    /// context's lifetime — long-lived sessions allocate each rotation
+    /// step's table exactly once, no matter how many per-request evaluators
+    /// come and go.
+    pub(crate) fn galois_perm(&self, galois_elt: usize) -> Arc<Vec<u32>> {
+        let mut cache = self
+            .inner
+            .galois_perms
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        Arc::clone(cache.entry(galois_elt).or_insert_with(|| {
+            Arc::new(galois_eval_permutation(
+                self.inner.params.payload_degree,
+                galois_elt,
+            ))
+        }))
     }
 
     /// `(forward, inverse)` NTT transform counts performed through this
@@ -198,11 +226,8 @@ impl FheContext {
                 slots,
             });
         }
-        let t = self.plain_modulus() as i128;
         let mut data = vec![0u64; slots];
-        for (slot, &v) in data.iter_mut().zip(values) {
-            *slot = (((v as i128) % t + t) % t) as u64;
-        }
+        encode_into(&mut data, values, self.plain_modulus());
         Ok(Plaintext::new(data, values.len().max(1)))
     }
 
@@ -219,6 +244,17 @@ impl FheContext {
     /// Decodes the first `count` slots of a plaintext.
     pub fn decode(&self, plaintext: &Plaintext, count: usize) -> Vec<u64> {
         plaintext.slots.iter().copied().take(count).collect()
+    }
+}
+
+/// Zero-fills `slots` and writes `values` reduced into `[0, t)` — the one
+/// definition of slot encoding, shared by [`FheContext::encode`] and
+/// [`Encryptor::encrypt_values`] so the two can never desynchronize.
+fn encode_into(slots: &mut [u64], values: &[i64], t: u64) {
+    slots.fill(0);
+    let t = t as i128;
+    for (slot, &v) in slots.iter_mut().zip(values) {
+        *slot = (((v as i128) % t + t) % t) as u64;
     }
 }
 
@@ -324,10 +360,15 @@ impl Plaintext {
 }
 
 /// An encrypted, batched vector of values.
+///
+/// The payload lives in the striped `[c0 | c1]` layout ([`CtPayload`]) behind
+/// an `Arc`: operations that do not touch the payload (ct–pt addition and
+/// subtraction) share it instead of copying `2 * degree` values, and the
+/// arena recycler reclaims a stripe the moment its last referent dies.
 #[derive(Debug, Clone)]
 pub struct Ciphertext {
     pub(crate) slots: Vec<u64>,
-    pub(crate) payload: Vec<Poly>,
+    pub(crate) payload: Arc<CtPayload>,
     pub(crate) noise_consumed_bits: f64,
     pub(crate) key_id: u64,
     /// Number of ciphertext–ciphertext multiplications on the worst path that
@@ -347,37 +388,82 @@ impl Ciphertext {
         self.level
     }
 
-    /// Number of payload polynomials (2 for a freshly encrypted or
-    /// relinearized ciphertext).
+    /// Number of payload polynomial components (2 for every BFV ciphertext
+    /// this backend produces — the degree-2 tensor component is folded away
+    /// by fused relinearization).
     pub fn payload_size(&self) -> usize {
-        self.payload.len().max(2)
+        2
     }
 
-    /// The payload polynomials themselves (empty when compute simulation is
-    /// off). Exposed for instrumentation: equivalence tests compare payloads
-    /// bit for bit across execution strategies.
-    pub fn payload_polys(&self) -> &[Poly] {
+    /// The striped payload (empty when compute simulation is off). Exposed
+    /// for instrumentation: equivalence tests compare payloads bit for bit
+    /// across execution strategies.
+    pub fn payload(&self) -> &CtPayload {
         &self.payload
+    }
+
+    /// Returns this ciphertext's buffers to `arena` for reuse: the slot
+    /// vector always, the payload stripe when this was its last referent
+    /// (payloads shared with a still-live ciphertext are left alone).
+    pub fn recycle_into(self, arena: &mut PolyArena) {
+        arena.put(self.slots);
+        if let Ok(payload) = Arc::try_unwrap(self.payload) {
+            arena.put(payload.into_stripe());
+        }
     }
 }
 
 /// Encrypts plaintexts under a public key.
+///
+/// The encryptor owns a [`PolyArena`]: slot vectors and payload stripes of
+/// fresh ciphertexts come out of it, so a serving path that swaps the
+/// session's warm arena in ([`Encryptor::set_arena`]) encrypts a whole
+/// request stream without fresh buffer allocations.
 #[derive(Debug)]
 pub struct Encryptor {
     ctx: FheContext,
     key_id: u64,
     rng: ChaCha8Rng,
+    arena: PolyArena,
 }
 
 impl Encryptor {
-    /// Creates an encryptor bound to a context and public key.
+    /// Creates an encryptor bound to a context and public key (with an
+    /// empty, private buffer arena).
     pub fn new(ctx: &FheContext, public_key: &PublicKey) -> Self {
         let key_id = KeyGenerator::public_key_id(public_key);
         Encryptor {
             ctx: ctx.clone(),
             key_id,
             rng: ChaCha8Rng::seed_from_u64(key_id ^ 0x5eed),
+            arena: PolyArena::new(),
         }
+    }
+
+    /// Replaces the encryptor's buffer arena (typically with a warm one
+    /// checked out of a session's [`crate::ArenaPool`]).
+    pub fn set_arena(&mut self, arena: PolyArena) {
+        self.arena = arena;
+    }
+
+    /// Takes the encryptor's buffer arena (to restore it to a shared pool),
+    /// leaving an empty one behind.
+    pub fn take_arena(&mut self) -> PolyArena {
+        std::mem::take(&mut self.arena)
+    }
+
+    /// Samples one fresh Eval-form payload stripe from the arena (or an
+    /// empty payload when compute simulation is off).
+    fn sample_payload(&mut self) -> Arc<CtPayload> {
+        if !self.ctx.params().simulate_compute {
+            return CtPayload::shared_empty();
+        }
+        let degree = self.ctx.params().payload_degree;
+        let mut stripe = self.arena.take(2 * degree);
+        for slot in stripe.iter_mut() {
+            *slot = self.rng.gen::<u64>() % MODULUS;
+        }
+        Arc::new(CtPayload::from_stripe(stripe, Domain::Eval))
     }
 
     /// Encrypts a plaintext into a fresh ciphertext.
@@ -387,23 +473,11 @@ impl Encryptor {
     /// what lets whole chains of homomorphic operations run pointwise
     /// without a single transform.
     pub fn encrypt(&mut self, plaintext: &Plaintext) -> Ciphertext {
-        let degree = self.ctx.params().payload_degree;
-        let payload = if self.ctx.params().simulate_compute {
-            (0..2)
-                .map(|_| {
-                    Poly::from_reduced(
-                        (0..degree)
-                            .map(|_| self.rng.gen::<u64>() % MODULUS)
-                            .collect(),
-                        Domain::Eval,
-                    )
-                })
-                .collect()
-        } else {
-            Vec::new()
-        };
+        let payload = self.sample_payload();
+        let mut slots = self.arena.take(plaintext.slots.len());
+        slots.copy_from_slice(&plaintext.slots);
         Ciphertext {
-            slots: plaintext.slots.clone(),
+            slots,
             payload,
             noise_consumed_bits: self.ctx.noise_model().fresh_bits,
             key_id: self.key_id,
@@ -411,14 +485,31 @@ impl Encryptor {
         }
     }
 
-    /// Encodes and encrypts a vector of integers in one step.
+    /// Encodes and encrypts a vector of integers in one step, without
+    /// materializing an intermediate [`Plaintext`] (the slot buffer comes
+    /// straight from the arena).
     ///
     /// # Errors
     ///
     /// Returns [`FheError::TooManyValues`] if more values than slots are given.
     pub fn encrypt_values(&mut self, values: &[i64]) -> Result<Ciphertext, FheError> {
-        let pt = self.ctx.encode(values)?;
-        Ok(self.encrypt(&pt))
+        let slot_count = self.ctx.slot_count();
+        if values.len() > slot_count {
+            return Err(FheError::TooManyValues {
+                provided: values.len(),
+                slots: slot_count,
+            });
+        }
+        let payload = self.sample_payload();
+        let mut slots = self.arena.take(slot_count);
+        encode_into(&mut slots, values, self.ctx.plain_modulus());
+        Ok(Ciphertext {
+            slots,
+            payload,
+            noise_consumed_bits: self.ctx.noise_model().fresh_bits,
+            key_id: self.key_id,
+            level: 0,
+        })
     }
 }
 
@@ -452,6 +543,19 @@ impl Decryptor {
     /// a different key pair, or [`FheError::NoiseBudgetExhausted`] if the
     /// noise budget has run out (the result would be garbage).
     pub fn decrypt(&self, ct: &Ciphertext) -> Result<Plaintext, FheError> {
+        let slots = self.decrypt_slots(ct)?;
+        Ok(Plaintext::new(slots.to_vec(), slots.len()))
+    }
+
+    /// Borrowed variant of [`Decryptor::decrypt`]: performs the same key and
+    /// noise-budget checks but returns a view of the decrypted slot values
+    /// instead of allocating a [`Plaintext`] — the serving hot path reads
+    /// its few live output slots from this and recycles the ciphertext.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Decryptor::decrypt`].
+    pub fn decrypt_slots<'a>(&self, ct: &'a Ciphertext) -> Result<&'a [u64], FheError> {
         if ct.key_id != self.key_id {
             return Err(FheError::KeyMismatch);
         }
@@ -462,7 +566,7 @@ impl Decryptor {
                 available_bits: available,
             });
         }
-        Ok(Plaintext::new(ct.slots.clone(), ct.slots.len()))
+        Ok(&ct.slots)
     }
 }
 

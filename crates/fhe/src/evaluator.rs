@@ -9,91 +9,45 @@
 //!
 //! ## Representation invariants (the lazy-NTT hot path)
 //!
-//! Ciphertext payload polynomials are **always in NTT
-//! ([`Domain::Eval`](crate::poly::Domain)) form**: they are born there at
-//! encryption, key-switch key payloads are pre-transformed at key
+//! Ciphertext payloads are **always in NTT
+//! ([`Domain::Eval`](crate::poly::Domain)) form** and live in the striped
+//! `[c0 | c1]` layout ([`CtPayload`]): they are born there at encryption,
+//! key-switch key payloads are pre-transformed (and pre-striped) at key
 //! generation, and plaintext splats are transformed once per plaintext and
-//! cached. Every operation below is therefore pointwise (`O(n)`) with zero
-//! forward/inverse transforms and zero temporary polynomial allocations —
-//! the only per-op allocations are the output polynomials themselves.
-//! Nothing downstream observes payload coefficient form: decryption and
-//! noise estimation read slots and the analytic noise estimate only.
+//! cached. Every operation below is therefore a **single fused pass** over
+//! the stripe — both ciphertext components update together, `O(n)` work,
+//! zero forward/inverse transforms. Nothing downstream observes payload
+//! coefficient form: decryption and noise estimation read slots and the
+//! analytic noise estimate only.
+//!
+//! ## Zero-allocation steady state
+//!
+//! The evaluator owns a [`PolyArena`]: every output buffer (payload stripes
+//! *and* slot vectors) is taken from it, and dead ciphertexts are returned
+//! with [`Evaluator::recycle`] (or the in-place `*_into` / `*_assign`
+//! variants, which recycle their overwritten output for the caller). A
+//! request stream running against a warm arena performs **zero fresh buffer
+//! allocations**: the process-global [`PolyArena`] counters let tests and
+//! benches assert exactly that. Cheap ct–pt additions do not copy payloads
+//! at all — the payload rides behind an `Arc` and is shared.
 //!
 //! ## Intra-op parallelism
 //!
 //! [`Evaluator::set_intra_op_threads`] grants the evaluator a worker budget
-//! for splitting heavy payload loops (and any residual transforms) into
-//! coefficient chunks on scoped threads. The parallel runtime raises the
-//! budget when a schedule level is narrower than its worker pool, so
-//! otherwise-idle cores help inside single heavy operations. Results are
-//! bit-identical at every budget; [`Evaluator::intra_op_splits`] counts the
-//! operations that actually split.
+//! for splitting heavy stripe passes into chunks on scoped threads. The
+//! parallel runtime raises the budget when a schedule level is narrower
+//! than its worker pool, so otherwise-idle cores help inside single heavy
+//! operations. Results are bit-identical at every budget;
+//! [`Evaluator::intra_op_splits`] counts the operations that actually
+//! split.
 
+use crate::arena::PolyArena;
 use crate::crypto::{Ciphertext, FheContext, FheError, Plaintext};
 use crate::keys::{GaloisKeys, RelinKeys};
-use crate::poly::{galois_eval_permutation, p_mul, p_mul_add, Domain, Poly};
+use crate::payload::{CtPayload, INTRA_OP_MIN};
+use crate::poly::{Domain, Poly};
 use std::collections::HashMap;
-
-/// Payloads shorter than this never split across intra-op worker threads:
-/// below it, thread-spawn latency exceeds the chunk work a helper takes
-/// over.
-const INTRA_OP_MIN: usize = 2048;
-
-/// Runs `body(offset, chunk)` over disjoint chunks of `out`, using up to
-/// `threads` scoped worker threads (the calling thread takes the first
-/// chunk). Sequential when the budget is 1 or the slice is small.
-fn par_chunks(
-    out: &mut [u64],
-    threads: usize,
-    body: impl Fn(usize, &mut [u64]) + Send + Sync + Copy,
-) {
-    let n = out.len();
-    if threads <= 1 || n < INTRA_OP_MIN {
-        body(0, out);
-        return;
-    }
-    let chunk = n.div_ceil(threads);
-    std::thread::scope(|scope| {
-        let mut chunks = out.chunks_mut(chunk).enumerate();
-        let first = chunks.next();
-        for (i, c) in chunks {
-            scope.spawn(move || body(i * chunk, c));
-        }
-        if let Some((_, c)) = first {
-            body(0, c);
-        }
-    });
-}
-
-/// Two-output variant of [`par_chunks`]: both slices are chunked in
-/// lockstep, so `body` sees matching index ranges of each.
-fn par_chunks2(
-    out0: &mut [u64],
-    out1: &mut [u64],
-    threads: usize,
-    body: impl Fn(usize, &mut [u64], &mut [u64]) + Send + Sync + Copy,
-) {
-    let n = out0.len();
-    debug_assert_eq!(n, out1.len());
-    if threads <= 1 || n < INTRA_OP_MIN {
-        body(0, out0, out1);
-        return;
-    }
-    let chunk = n.div_ceil(threads);
-    std::thread::scope(|scope| {
-        let mut chunks = out0
-            .chunks_mut(chunk)
-            .zip(out1.chunks_mut(chunk))
-            .enumerate();
-        let first = chunks.next();
-        for (i, (c0, c1)) in chunks {
-            scope.spawn(move || body(i * chunk, c0, c1));
-        }
-        if let Some((_, (c0, c1))) = first {
-            body(0, c0, c1);
-        }
-    });
-}
+use std::sync::Arc;
 
 /// Element-wise slot operations on the plaintext ring.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,6 +55,20 @@ enum SlotOp {
     Add,
     Sub,
     Mul,
+}
+
+impl SlotOp {
+    /// Applies the operation to one slot pair modulo `t`.
+    #[inline]
+    fn apply(self, x: u64, y: u64, t: u128) -> u64 {
+        let (x, y) = (x as u128, y as u128);
+        let r = match self {
+            SlotOp::Add => (x + y) % t,
+            SlotOp::Sub => (x + t - (y % t)) % t,
+            SlotOp::Mul => (x * y) % t,
+        };
+        r as u64
+    }
 }
 
 /// Statistics of the homomorphic operations an [`Evaluator`] has executed.
@@ -151,11 +119,12 @@ pub struct Evaluator {
     intra_op_threads: usize,
     /// Operations that actually split across intra-op workers.
     intra_op_splits: u64,
-    /// Eval-domain Galois permutations by Galois element: the permutation
-    /// depends only on `(payload_degree, galois_elt)`, so a long-lived
-    /// evaluator computes each rotation step's table once and gathers ever
-    /// after.
-    galois_perms: HashMap<usize, Vec<u32>>,
+    /// Buffer pool every output slot vector and payload stripe is drawn
+    /// from (and dead ciphertexts recycled into).
+    arena: PolyArena,
+    /// Lock-free local view of the context's shared Eval-domain Galois
+    /// permutation cache, keyed by Galois element.
+    galois_perms: HashMap<usize, Arc<Vec<u32>>>,
 }
 
 impl Evaluator {
@@ -167,15 +136,45 @@ impl Evaluator {
     /// entirely for sessions whose payloads can never split.
     pub const INTRA_OP_MIN_DEGREE: usize = INTRA_OP_MIN;
 
-    /// Creates an evaluator for a context.
+    /// Creates an evaluator for a context, with an empty private buffer
+    /// arena. Long-lived callers that want a warm arena use
+    /// [`Evaluator::with_arena`].
     pub fn new(ctx: &FheContext) -> Self {
+        Self::with_arena(ctx, PolyArena::new())
+    }
+
+    /// Creates an evaluator that draws its buffers from `arena` (typically
+    /// one checked out of a session's [`crate::ArenaPool`], carrying the
+    /// warm buffers of earlier requests).
+    pub fn with_arena(ctx: &FheContext, arena: PolyArena) -> Self {
         Evaluator {
             ctx: ctx.clone(),
             stats: EvaluatorStats::default(),
             intra_op_threads: 1,
             intra_op_splits: 0,
+            arena,
             galois_perms: HashMap::new(),
         }
+    }
+
+    /// Takes the evaluator's buffer arena (to restore it to a shared pool),
+    /// leaving an empty one behind.
+    pub fn take_arena(&mut self) -> PolyArena {
+        std::mem::take(&mut self.arena)
+    }
+
+    /// Replaces the evaluator's buffer arena (typically with a warm one
+    /// checked out of a session's [`crate::ArenaPool`]).
+    pub fn set_arena(&mut self, arena: PolyArena) {
+        self.arena = arena;
+    }
+
+    /// Returns a dead ciphertext's buffers to the evaluator's arena: its
+    /// slot vector always, its payload stripe when this ciphertext was the
+    /// stripe's last referent. The next operation of matching size reuses
+    /// them instead of allocating.
+    pub fn recycle(&mut self, ciphertext: Ciphertext) {
+        ciphertext.recycle_into(&mut self.arena);
     }
 
     /// Counters of the operations executed so far.
@@ -188,9 +187,9 @@ impl Evaluator {
         self.stats = EvaluatorStats::default();
     }
 
-    /// Sets the intra-op worker budget: heavy payload loops split into
-    /// coefficient chunks across up to this many scoped threads (clamped to
-    /// at least 1). Results are bit-identical at every budget.
+    /// Sets the intra-op worker budget: heavy stripe passes split into
+    /// chunks across up to this many scoped threads (clamped to at least 1).
+    /// Results are bit-identical at every budget.
     pub fn set_intra_op_threads(&mut self, threads: usize) {
         self.intra_op_threads = threads.max(1);
     }
@@ -217,29 +216,45 @@ impl Evaluator {
         }
     }
 
-    fn slot_binary(&self, a: &[u64], b: &[u64], op: SlotOp) -> Vec<u64> {
+    /// Element-wise slot combination into an arena buffer.
+    fn slot_binary(&mut self, a: &[u64], b: &[u64], op: SlotOp) -> Vec<u64> {
         let t = self.ctx.plain_modulus() as u128;
-        a.iter()
-            .zip(b)
-            .map(|(&x, &y)| {
-                let (x, y) = (x as u128, y as u128);
-                let r = match op {
-                    SlotOp::Add => (x + y) % t,
-                    SlotOp::Sub => (x + t - (y % t)) % t,
-                    SlotOp::Mul => (x * y) % t,
-                };
-                r as u64
-            })
-            .collect()
+        let mut out = self.arena.take(a.len().min(b.len()));
+        for ((slot, &x), &y) in out.iter_mut().zip(a).zip(b) {
+            *slot = op.apply(x, y, t);
+        }
+        out
+    }
+
+    /// Element-wise slot combination in place (`a = a op b`).
+    fn slot_binary_assign(&self, a: &mut [u64], b: &[u64], op: SlotOp) {
+        let t = self.ctx.plain_modulus() as u128;
+        for (x, &y) in a.iter_mut().zip(b) {
+            *x = op.apply(*x, y, t);
+        }
+    }
+
+    /// An arena-backed copy of a ciphertext: the slot vector is copied into
+    /// a pooled buffer, the payload stripe is shared (`Arc`), so the copy
+    /// costs one slot-vector fill and no payload traffic.
+    pub fn clone_ciphertext(&mut self, a: &Ciphertext) -> Ciphertext {
+        let mut slots = self.arena.take(a.slots.len());
+        slots.copy_from_slice(&a.slots);
+        Ciphertext {
+            slots,
+            payload: Arc::clone(&a.payload),
+            noise_consumed_bits: a.noise_consumed_bits,
+            key_id: a.key_id,
+            level: a.level,
+        }
     }
 
     /// Ciphertext–ciphertext addition.
     pub fn add(&mut self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
         self.stats.additions += 1;
-        let payload = self.payload_pointwise(a, b, false);
         Ciphertext {
             slots: self.slot_binary(&a.slots, &b.slots, SlotOp::Add),
-            payload,
+            payload: self.payload_pointwise(a, b, false),
             noise_consumed_bits: self.ctx.noise_model().combine(
                 a.noise_consumed_bits,
                 b.noise_consumed_bits,
@@ -253,10 +268,9 @@ impl Evaluator {
     /// Ciphertext–ciphertext subtraction.
     pub fn sub(&mut self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
         self.stats.additions += 1;
-        let payload = self.payload_pointwise(a, b, false);
         Ciphertext {
             slots: self.slot_binary(&a.slots, &b.slots, SlotOp::Sub),
-            payload,
+            payload: self.payload_pointwise(a, b, true),
             noise_consumed_bits: self.ctx.noise_model().combine(
                 a.noise_consumed_bits,
                 b.noise_consumed_bits,
@@ -267,37 +281,102 @@ impl Evaluator {
         }
     }
 
+    /// In-place ciphertext–ciphertext addition (`a += b`): no slot buffer is
+    /// allocated, and the payload stripe is updated in place when `a` is its
+    /// only referent (a shared stripe is replaced by an arena copy — never
+    /// mutated under an aliasing ciphertext).
+    pub fn add_assign(&mut self, a: &mut Ciphertext, b: &Ciphertext) {
+        self.stats.additions += 1;
+        self.slot_binary_assign(&mut a.slots, &b.slots, SlotOp::Add);
+        a.noise_consumed_bits = self.ctx.noise_model().combine(
+            a.noise_consumed_bits,
+            b.noise_consumed_bits,
+            self.ctx.noise_model().add_bits,
+        );
+        a.level = a.level.max(b.level);
+        self.payload_pointwise_assign(a, b, false);
+    }
+
+    /// In-place ciphertext–ciphertext subtraction (`a -= b`); see
+    /// [`Evaluator::add_assign`] for the aliasing contract.
+    pub fn sub_assign(&mut self, a: &mut Ciphertext, b: &Ciphertext) {
+        self.stats.additions += 1;
+        self.slot_binary_assign(&mut a.slots, &b.slots, SlotOp::Sub);
+        a.noise_consumed_bits = self.ctx.noise_model().combine(
+            a.noise_consumed_bits,
+            b.noise_consumed_bits,
+            self.ctx.noise_model().add_bits,
+        );
+        a.level = a.level.max(b.level);
+        self.payload_pointwise_assign(a, b, true);
+    }
+
     /// Ciphertext negation.
     pub fn negate(&mut self, a: &Ciphertext) -> Ciphertext {
         self.stats.negations += 1;
         let t = self.ctx.plain_modulus();
+        let mut slots = self.arena.take(a.slots.len());
+        for (slot, &x) in slots.iter_mut().zip(&a.slots) {
+            *slot = (t - x % t) % t;
+        }
+        let payload = if a.payload.is_empty() {
+            Arc::clone(&a.payload)
+        } else {
+            let mut out = self.arena.take(a.payload.stripe().len());
+            a.payload.neg2(&mut out);
+            Arc::new(CtPayload::from_stripe(out, a.payload.domain()))
+        };
         Ciphertext {
-            slots: a.slots.iter().map(|&x| (t - x % t) % t).collect(),
-            payload: a.payload.iter().map(Poly::negate).collect(),
+            slots,
+            payload,
             noise_consumed_bits: a.noise_consumed_bits + self.ctx.noise_model().negate_bits,
             key_id: a.key_id,
             level: a.level,
         }
     }
 
+    /// In-place ciphertext negation (`a = -a`); see
+    /// [`Evaluator::add_assign`] for the aliasing contract.
+    pub fn neg_assign(&mut self, a: &mut Ciphertext) {
+        self.stats.negations += 1;
+        let t = self.ctx.plain_modulus();
+        for x in a.slots.iter_mut() {
+            *x = (t - *x % t) % t;
+        }
+        a.noise_consumed_bits += self.ctx.noise_model().negate_bits;
+        if !a.payload.is_empty() {
+            if let Some(p) = Arc::get_mut(&mut a.payload) {
+                p.neg_assign2();
+            } else {
+                let mut out = self.arena.take(a.payload.stripe().len());
+                a.payload.neg2(&mut out);
+                a.payload = Arc::new(CtPayload::from_stripe(out, a.payload.domain()));
+            }
+        }
+    }
+
     /// Ciphertext–plaintext addition.
+    ///
+    /// The payload is untouched by plain addition, so the output **shares**
+    /// the input's stripe (`Arc` clone) — no `2 * degree` copy.
     pub fn add_plain(&mut self, a: &Ciphertext, b: &Plaintext) -> Ciphertext {
         self.stats.additions += 1;
         Ciphertext {
             slots: self.slot_binary(&a.slots, &b.slots, SlotOp::Add),
-            payload: a.payload.clone(),
+            payload: Arc::clone(&a.payload),
             noise_consumed_bits: a.noise_consumed_bits + self.ctx.noise_model().add_bits,
             key_id: a.key_id,
             level: a.level,
         }
     }
 
-    /// Ciphertext–plaintext subtraction (`a - b`).
+    /// Ciphertext–plaintext subtraction (`a - b`); shares the payload like
+    /// [`Evaluator::add_plain`].
     pub fn sub_plain(&mut self, a: &Ciphertext, b: &Plaintext) -> Ciphertext {
         self.stats.additions += 1;
         Ciphertext {
             slots: self.slot_binary(&a.slots, &b.slots, SlotOp::Sub),
-            payload: a.payload.clone(),
+            payload: Arc::clone(&a.payload),
             noise_consumed_bits: a.noise_consumed_bits + self.ctx.noise_model().add_bits,
             key_id: a.key_id,
             level: a.level,
@@ -306,12 +385,13 @@ impl Evaluator {
 
     /// Ciphertext–ciphertext multiplication followed by relinearization.
     ///
-    /// The payload work mimics BFV: a tensor product of the two 2-polynomial
+    /// The payload work mimics BFV: a tensor product of the two 2-component
     /// ciphertexts (four ring multiplications) followed by a key-switching
-    /// step against the relinearization key's Eval-form payload pair (two
-    /// more ring multiplications), which is what makes this the dominant
-    /// cost. Every product is pointwise — operands, outputs and key material
-    /// all live in NTT form, so no transform runs here.
+    /// step against the relinearization key's Eval-form stripe (two more
+    /// ring multiplications). All six products run **fused in one pass over
+    /// the stripe** ([`CtPayload::mul_add_eval2`]): per coefficient the
+    /// degree-2 component `c2 = a1·b1` is a local scalar, so the operation
+    /// needs no temporary and touches each operand cache line exactly once.
     pub fn multiply(&mut self, a: &Ciphertext, b: &Ciphertext, relin: &RelinKeys) -> Ciphertext {
         self.stats.ct_ct_multiplications += 1;
         let payload = self.payload_tensor_product(a, b, relin);
@@ -328,6 +408,21 @@ impl Evaluator {
         }
     }
 
+    /// [`Evaluator::multiply`] that overwrites `out`, recycling `out`'s old
+    /// buffers into the arena — the steady-state form for accumulation
+    /// loops.
+    pub fn multiply_into(
+        &mut self,
+        a: &Ciphertext,
+        b: &Ciphertext,
+        relin: &RelinKeys,
+        out: &mut Ciphertext,
+    ) {
+        let fresh = self.multiply(a, b, relin);
+        let old = std::mem::replace(out, fresh);
+        self.recycle(old);
+    }
+
     /// Ciphertext squaring (a slightly cheaper ct-ct multiplication; no
     /// operand clone).
     pub fn square(&mut self, a: &Ciphertext, relin: &RelinKeys) -> Ciphertext {
@@ -338,34 +433,21 @@ impl Evaluator {
     ///
     /// The plaintext's payload splat is transformed into Eval form once per
     /// plaintext (cached on the [`Plaintext`]); both ciphertext components
-    /// then multiply it pointwise.
+    /// then multiply it in a single fused pass over the stripe
+    /// ([`CtPayload::mul_eval2`]).
     pub fn multiply_plain(&mut self, a: &Ciphertext, b: &Plaintext) -> Ciphertext {
         self.stats.ct_pt_multiplications += 1;
-        let degree = self.ctx.params().payload_degree;
-        let threads = if self.ctx.tables().is_some() {
-            self.intra_op_budget(degree)
-        } else {
-            1
-        };
-        let payload = if let Some(tables) = self.ctx.tables() {
-            let pt_poly = b.splat_eval(degree, tables, threads);
-            let pt = pt_poly.coeffs();
-            a.payload
-                .iter()
-                .map(|p| {
-                    let src = p.coeffs();
-                    let mut out = vec![0u64; src.len()];
-                    par_chunks(&mut out, threads, |offset, chunk| {
-                        for (k, slot) in chunk.iter_mut().enumerate() {
-                            let i = offset + k;
-                            *slot = p_mul(src[i], pt[i]);
-                        }
-                    });
-                    Poly::from_reduced(out, Domain::Eval)
-                })
-                .collect()
-        } else {
-            a.payload.clone()
+        let ctx = self.ctx.clone();
+        let payload = match ctx.tables() {
+            Some(tables) if !a.payload.is_empty() => {
+                let degree = ctx.params().payload_degree;
+                let threads = self.intra_op_budget(degree);
+                let pt_poly = b.splat_eval(degree, tables, threads);
+                let mut out = self.arena.take(a.payload.stripe().len());
+                a.payload.mul_eval2(pt_poly.coeffs(), &mut out, threads);
+                Arc::new(CtPayload::from_stripe(out, Domain::Eval))
+            }
+            _ => Arc::clone(&a.payload),
         };
         Ciphertext {
             slots: self.slot_binary(&a.slots, &b.slots, SlotOp::Mul),
@@ -390,7 +472,7 @@ impl Evaluator {
         galois_keys: &GaloisKeys,
     ) -> Result<Ciphertext, FheError> {
         if step == 0 {
-            return Ok(a.clone());
+            return Ok(self.clone_ciphertext(a));
         }
         if !galois_keys.supports_step(step) {
             return Err(FheError::MissingGaloisKey { step });
@@ -398,7 +480,7 @@ impl Evaluator {
         self.stats.rotations += 1;
         let n = a.slots.len();
         let shift = step.rem_euclid(n as i64) as usize;
-        let mut slots = vec![0u64; n];
+        let mut slots = self.arena.take(n);
         for (i, slot) in slots.iter_mut().enumerate() {
             *slot = a.slots[(i + shift) % n];
         }
@@ -407,42 +489,35 @@ impl Evaluator {
         // multiplication, matching the relative cost the paper assumes. In
         // Eval form the automorphism is a pure index permutation and the
         // key-switch product is pointwise against the Galois key's
-        // pre-transformed payload, so the whole rotation is transform-free.
+        // pre-transformed payload, so the whole rotation is one fused
+        // gather-and-multiply pass over the stripe
+        // ([`CtPayload::galois_eval2`]).
         let payload = if self.ctx.tables().is_some() && !a.payload.is_empty() {
             let degree = self.ctx.params().payload_degree;
             let threads = self.intra_op_budget(degree);
             // The slot rotation corresponds to the Galois automorphism
             // x -> x^(2*shift + 1) (always odd, as the ring requires). Its
-            // Eval-domain permutation depends only on the element, so it is
-            // computed once per step and reused for the evaluator's
-            // lifetime; each component is then a single fused
-            // gather-and-multiply pass.
+            // Eval-domain permutation depends only on the element, so the
+            // context computes each step's table once and every evaluator
+            // shares it.
             let galois_elt = (2 * (shift % degree) + 1) % (2 * degree);
-            let perm: &[u32] = self
-                .galois_perms
-                .entry(galois_elt)
-                .or_insert_with(|| galois_eval_permutation(degree, galois_elt));
+            let perm = match self.galois_perms.get(&galois_elt) {
+                Some(perm) => Arc::clone(perm),
+                None => {
+                    let perm = self.ctx.galois_perm(galois_elt);
+                    self.galois_perms.insert(galois_elt, Arc::clone(&perm));
+                    perm
+                }
+            };
             let key = galois_keys
                 .switch_poly(step)
-                .unwrap_or(&a.payload[0])
-                .coeffs();
-            a.payload
-                .iter()
-                .map(|p| {
-                    debug_assert_eq!(p.domain(), Domain::Eval);
-                    let src = p.coeffs();
-                    let mut out = vec![0u64; degree];
-                    par_chunks(&mut out, threads, |offset, chunk| {
-                        for (k, slot) in chunk.iter_mut().enumerate() {
-                            let i = offset + k;
-                            *slot = p_mul(src[perm[i] as usize], key[i]);
-                        }
-                    });
-                    Poly::from_reduced(out, Domain::Eval)
-                })
-                .collect()
+                .map(Poly::coeffs)
+                .unwrap_or_else(|| a.payload.c0());
+            let mut out = self.arena.take(a.payload.stripe().len());
+            a.payload.galois_eval2(&perm, key, &mut out, threads);
+            Arc::new(CtPayload::from_stripe(out, Domain::Eval))
         } else {
-            a.payload.clone()
+            Arc::clone(&a.payload)
         };
         Ok(Ciphertext {
             slots,
@@ -453,59 +528,100 @@ impl Evaluator {
         })
     }
 
-    /// Point-wise payload combination used by additions/subtractions.
-    fn payload_pointwise(&self, a: &Ciphertext, b: &Ciphertext, negate_b: bool) -> Vec<Poly> {
-        if self.ctx.tables().is_none() || a.payload.is_empty() || b.payload.is_empty() {
-            return a.payload.clone();
-        }
-        a.payload
-            .iter()
-            .zip(&b.payload)
-            .map(|(x, y)| if negate_b { x.sub(y) } else { x.add(y) })
-            .collect()
+    /// [`Evaluator::rotate`] that overwrites `out`, recycling `out`'s old
+    /// buffers into the arena — the steady-state form for multi-step
+    /// rotation chains.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Evaluator::rotate`]; on error `out` is untouched.
+    pub fn rotate_into(
+        &mut self,
+        a: &Ciphertext,
+        step: i64,
+        galois_keys: &GaloisKeys,
+        out: &mut Ciphertext,
+    ) -> Result<(), FheError> {
+        let fresh = self.rotate(a, step, galois_keys)?;
+        let old = std::mem::replace(out, fresh);
+        self.recycle(old);
+        Ok(())
     }
 
-    /// Tensor-product payload work used by ct-ct multiplication.
-    ///
-    /// All six ring multiplications of the BFV shape (four tensor products,
-    /// two key-switch products) run fused and pointwise over Eval-form
-    /// operands: per coefficient the degree-2 component `c2 = a1·b1` is a
-    /// local scalar, so the whole operation needs no temporary polynomial —
-    /// only the two output buffers are allocated.
+    /// Point-wise payload combination used by additions/subtractions: one
+    /// fused pass over both components' stripe.
+    fn payload_pointwise(
+        &mut self,
+        a: &Ciphertext,
+        b: &Ciphertext,
+        negate_b: bool,
+    ) -> Arc<CtPayload> {
+        if self.ctx.tables().is_none() || a.payload.is_empty() || b.payload.is_empty() {
+            return Arc::clone(&a.payload);
+        }
+        let mut out = self.arena.take(a.payload.stripe().len());
+        if negate_b {
+            a.payload.sub2(&b.payload, &mut out);
+        } else {
+            a.payload.add2(&b.payload, &mut out);
+        }
+        Arc::new(CtPayload::from_stripe(out, a.payload.domain()))
+    }
+
+    /// In-place variant of [`Evaluator::payload_pointwise`]: mutates `a`'s
+    /// stripe when uniquely owned, replaces it with an arena copy otherwise.
+    fn payload_pointwise_assign(&mut self, a: &mut Ciphertext, b: &Ciphertext, negate_b: bool) {
+        if self.ctx.tables().is_none() || a.payload.is_empty() || b.payload.is_empty() {
+            return;
+        }
+        if let Some(p) = Arc::get_mut(&mut a.payload) {
+            if negate_b {
+                p.sub_assign2(&b.payload);
+            } else {
+                p.add_assign2(&b.payload);
+            }
+        } else {
+            let mut out = self.arena.take(a.payload.stripe().len());
+            if negate_b {
+                a.payload.sub2(&b.payload, &mut out);
+            } else {
+                a.payload.add2(&b.payload, &mut out);
+            }
+            a.payload = Arc::new(CtPayload::from_stripe(out, a.payload.domain()));
+        }
+    }
+
+    /// Tensor-product payload work used by ct-ct multiplication (see
+    /// [`Evaluator::multiply`]).
     fn payload_tensor_product(
         &mut self,
         a: &Ciphertext,
         b: &Ciphertext,
         relin: &RelinKeys,
-    ) -> Vec<Poly> {
-        if self.ctx.tables().is_none() || a.payload.len() < 2 || b.payload.len() < 2 {
-            return a.payload.clone();
+    ) -> Arc<CtPayload> {
+        if self.ctx.tables().is_none() || a.payload.is_empty() || b.payload.is_empty() {
+            return Arc::clone(&a.payload);
         }
-        let n = a.payload[0].degree();
+        let n = a.payload.degree();
         let threads = self.intra_op_budget(n);
-        let (a0, a1) = (a.payload[0].coeffs(), a.payload[1].coeffs());
-        let (b0, b1) = (b.payload[0].coeffs(), b.payload[1].coeffs());
-        // Key-switch multipliers: the relin key's pre-transformed payload
-        // pair (fall back to operand components if key material was built
+        let mut out = self.arena.take(2 * n);
+        // Key-switch multipliers: the relin key's pre-transformed stripe
+        // (fall back to operand components if key material was built
         // without compute simulation).
-        let (s0, s1) = match relin.switch_polys() {
-            Some((s0, s1)) => (s0.coeffs(), s1.coeffs()),
-            None => (a0, b0),
-        };
-        let mut out0 = vec![0u64; n];
-        let mut out1 = vec![0u64; n];
-        par_chunks2(&mut out0, &mut out1, threads, |offset, c0, c1| {
-            for (k, (o0, o1)) in c0.iter_mut().zip(c1.iter_mut()).enumerate() {
-                let i = offset + k;
-                let c2 = p_mul(a1[i], b1[i]);
-                *o0 = p_mul_add(c2, s0[i], p_mul(a0[i], b0[i]));
-                *o1 = p_mul_add(c2, s1[i], p_mul_add(a1[i], b0[i], p_mul(a0[i], b1[i])));
+        match relin.switch_stripe() {
+            Some(switch) => {
+                a.payload
+                    .mul_add_eval2(&b.payload, switch.c0(), switch.c1(), &mut out, threads)
             }
-        });
-        vec![
-            Poly::from_reduced(out0, Domain::Eval),
-            Poly::from_reduced(out1, Domain::Eval),
-        ]
+            None => a.payload.mul_add_eval2(
+                &b.payload,
+                a.payload.c0(),
+                b.payload.c0(),
+                &mut out,
+                threads,
+            ),
+        }
+        Arc::new(CtPayload::from_stripe(out, Domain::Eval))
     }
 
     /// Multiplies a ciphertext by a scalar constant (implemented as a
@@ -513,44 +629,31 @@ impl Evaluator {
     ///
     /// The splat of a constant is the constant times the all-ones
     /// polynomial, whose NTT the context precomputes once at build — so the
-    /// payload work is two pointwise products with no transform and no
-    /// temporary.
+    /// payload work is one fused stripe pass
+    /// ([`CtPayload::mul_scalar_eval2`]) with no transform and no temporary.
     pub fn multiply_scalar(&mut self, a: &Ciphertext, scalar: i64) -> Ciphertext {
         let t = self.ctx.plain_modulus() as i128;
         let reduced = (((scalar as i128) % t + t) % t) as u64;
         self.stats.ct_pt_multiplications += 1;
-        let degree = self.ctx.params().payload_degree;
-        let threads = if self.ctx.ones_eval().is_some() {
-            self.intra_op_budget(degree)
-        } else {
-            1
+        let ctx = self.ctx.clone();
+        let payload = match ctx.ones_eval() {
+            Some(ones) if !a.payload.is_empty() => {
+                let degree = ctx.params().payload_degree;
+                let threads = self.intra_op_budget(degree);
+                let k = reduced.max(1);
+                let mut out = self.arena.take(a.payload.stripe().len());
+                a.payload
+                    .mul_scalar_eval2(ones.coeffs(), k, &mut out, threads);
+                Arc::new(CtPayload::from_stripe(out, Domain::Eval))
+            }
+            _ => Arc::clone(&a.payload),
         };
-        let payload = if let Some(ones) = self.ctx.ones_eval() {
-            let k = reduced.max(1);
-            let ones = ones.coeffs();
-            a.payload
-                .iter()
-                .map(|p| {
-                    let src = p.coeffs();
-                    let mut out = vec![0u64; src.len()];
-                    par_chunks(&mut out, threads, |offset, chunk| {
-                        for (j, slot) in chunk.iter_mut().enumerate() {
-                            let i = offset + j;
-                            *slot = p_mul(src[i], p_mul(ones[i], k));
-                        }
-                    });
-                    Poly::from_reduced(out, Domain::Eval)
-                })
-                .collect()
-        } else {
-            a.payload.clone()
-        };
+        let mut slots = self.arena.take(a.slots.len());
+        for (slot, &x) in slots.iter_mut().zip(&a.slots) {
+            *slot = p_mod_mul(x, reduced, t as u64);
+        }
         Ciphertext {
-            slots: a
-                .slots
-                .iter()
-                .map(|&x| p_mod_mul(x, reduced, t as u64))
-                .collect(),
+            slots,
             payload,
             noise_consumed_bits: a.noise_consumed_bits + self.ctx.noise_model().ct_pt_mul_bits,
             key_id: a.key_id,
@@ -566,6 +669,7 @@ fn p_mod_mul(a: u64, b: u64, t: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::crypto::Encryptor;
     use crate::keys::KeyGenerator;
     use crate::params::BfvParameters;
 
@@ -583,6 +687,29 @@ mod tests {
         let ctx = FheContext::new(params).unwrap();
         let mut keygen = KeyGenerator::new(ctx.params(), 11);
         let enc = crate::crypto::Encryptor::new(&ctx, &keygen.public_key());
+        let dec = crate::crypto::Decryptor::new(&ctx, &keygen.secret_key());
+        let eval = Evaluator::new(&ctx);
+        let relin = keygen.relin_keys();
+        let galois = keygen.default_galois_keys();
+        Fixture {
+            ctx,
+            enc,
+            dec,
+            eval,
+            relin,
+            galois,
+        }
+    }
+
+    fn simulated_fixture() -> Fixture {
+        let params = BfvParameters {
+            payload_degree: 64,
+            simulate_compute: true,
+            ..BfvParameters::insecure_test()
+        };
+        let ctx = FheContext::new(params).unwrap();
+        let mut keygen = KeyGenerator::new(ctx.params(), 11);
+        let enc = Encryptor::new(&ctx, &keygen.public_key());
         let dec = crate::crypto::Decryptor::new(&ctx, &keygen.secret_key());
         let eval = Evaluator::new(&ctx);
         let relin = keygen.relin_keys();
@@ -650,6 +777,87 @@ mod tests {
                 .decode(&f.dec.decrypt(&f.eval.sub_plain(&a, &p)).unwrap(), 2),
             vec![1, 2]
         );
+    }
+
+    #[test]
+    fn plain_addition_shares_the_payload_stripe() {
+        let mut f = simulated_fixture();
+        let a = f.enc.encrypt_values(&[4, 5]).unwrap();
+        let p = f.ctx.encode(&[3, 3]).unwrap();
+        let sum = f.eval.add_plain(&a, &p);
+        assert!(
+            std::sync::Arc::ptr_eq(&a.payload, &sum.payload),
+            "ct-pt addition must share the payload, not copy it"
+        );
+        // The shared stripe protects aliased ciphertexts from in-place ops.
+        let b = f.enc.encrypt_values(&[1, 1]).unwrap();
+        let before = a.payload().clone();
+        let mut sum = sum;
+        f.eval.add_assign(&mut sum, &b);
+        assert_eq!(
+            a.payload(),
+            &before,
+            "in-place update of a shared stripe must copy-on-write"
+        );
+        assert_ne!(sum.payload(), &before);
+    }
+
+    #[test]
+    fn in_place_ops_match_their_allocating_counterparts() {
+        let mut f = simulated_fixture();
+        let a = f.enc.encrypt_values(&[7, 8, 9]).unwrap();
+        let b = f.enc.encrypt_values(&[1, 2, 3]).unwrap();
+
+        let reference = f.eval.add(&a, &b);
+        let mut acc = f.eval.clone_ciphertext(&a);
+        f.eval.add_assign(&mut acc, &b);
+        assert_eq!(acc.slots, reference.slots);
+        assert_eq!(acc.payload(), reference.payload());
+        assert_eq!(acc.noise_consumed_bits(), reference.noise_consumed_bits());
+
+        let reference = f.eval.sub(&a, &b);
+        let mut acc = f.eval.clone_ciphertext(&a);
+        f.eval.sub_assign(&mut acc, &b);
+        assert_eq!(acc.slots, reference.slots);
+        assert_eq!(acc.payload(), reference.payload());
+
+        let reference = f.eval.negate(&a);
+        let mut acc = f.eval.clone_ciphertext(&a);
+        f.eval.neg_assign(&mut acc);
+        assert_eq!(acc.slots, reference.slots);
+        assert_eq!(acc.payload(), reference.payload());
+
+        let reference = f.eval.multiply(&a, &b, &f.relin);
+        let mut out = f.eval.clone_ciphertext(&b);
+        f.eval.multiply_into(&a, &b, &f.relin, &mut out);
+        assert_eq!(out.slots, reference.slots);
+        assert_eq!(out.payload(), reference.payload());
+
+        let reference = f.eval.rotate(&a, 1, &f.galois).unwrap();
+        let mut out = f.eval.clone_ciphertext(&b);
+        f.eval.rotate_into(&a, 1, &f.galois, &mut out).unwrap();
+        assert_eq!(out.slots, reference.slots);
+        assert_eq!(out.payload(), reference.payload());
+    }
+
+    #[test]
+    fn recycled_buffers_are_reused_by_later_operations() {
+        let mut f = simulated_fixture();
+        let a = f.enc.encrypt_values(&[2, 3]).unwrap();
+        let b = f.enc.encrypt_values(&[4, 5]).unwrap();
+        // Warm the arena with one multiply's buffers (slot vector + stripe)...
+        let first = f.eval.multiply(&a, &b, &f.relin);
+        let expected_slots = first.slots.clone();
+        f.eval.recycle(first);
+        let warm = f.eval.take_arena();
+        let retained = warm.retained();
+        assert_eq!(retained, 2, "recycle returns the slot vector and stripe");
+        f.eval.set_arena(warm);
+        // ...and the next multiply of identical shape is served entirely
+        // from the pool (both buffers leave the arena, none is allocated).
+        let second = f.eval.multiply(&a, &b, &f.relin);
+        assert_eq!(f.eval.take_arena().retained(), retained - 2);
+        assert_eq!(second.slots, expected_slots);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! against material that was transformed exactly once, at keygen.
 
 use crate::params::BfvParameters;
+use crate::payload::CtPayload;
 use crate::poly::{Domain, NttTables, Poly, MODULUS};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -46,14 +47,15 @@ pub struct PublicKey {
 ///
 /// Under compute simulation the keys carry a pair of key-switch payload
 /// polynomials kept permanently in NTT ([`Domain::Eval`]) form — generated
-/// (and transformed) exactly once at key generation, so every ct-ct
-/// multiplication's key-switching step is a pointwise product with no
-/// transforms.
+/// (and transformed) exactly once at key generation, and stored in the same
+/// striped `[s0 | s1]` layout ciphertext payloads use, so the fused ct-ct
+/// multiplication kernel reads key material with the access pattern it
+/// reads operands.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RelinKeys {
     id: u64,
     size_bytes: usize,
-    switch: Option<Box<(Poly, Poly)>>,
+    switch: Option<CtPayload>,
 }
 
 impl RelinKeys {
@@ -62,10 +64,10 @@ impl RelinKeys {
         self.size_bytes
     }
 
-    /// The Eval-form key-switch payload pair (present under compute
-    /// simulation).
-    pub(crate) fn switch_polys(&self) -> Option<(&Poly, &Poly)> {
-        self.switch.as_ref().map(|pair| (&pair.0, &pair.1))
+    /// The Eval-form key-switch payload pair as one `[s0 | s1]` stripe
+    /// (present under compute simulation).
+    pub(crate) fn switch_stripe(&self) -> Option<&CtPayload> {
+        self.switch.as_ref()
     }
 }
 
@@ -140,14 +142,17 @@ impl KeyGenerator {
         };
         // Secret-key sampling plus the public key's (a, b) pair: three
         // payload polynomials moved into the NTT domain, the construction
-        // cost real BFV pays before any key-switch key exists.
+        // cost real BFV pays before any key-switch key exists. One scratch
+        // buffer serves all three — the polynomials are discarded, only
+        // their arithmetic volume matters.
         if let Some(tables) = &keygen.tables {
             let degree = keygen.params.payload_degree;
+            let mut scratch = vec![0u64; degree];
             for _ in 0..3 {
-                let mut poly: Vec<u64> = (0..degree)
-                    .map(|_| keygen.rng.gen::<u64>() % MODULUS)
-                    .collect();
-                tables.forward(&mut poly);
+                for slot in scratch.iter_mut() {
+                    *slot = keygen.rng.gen::<u64>() % MODULUS;
+                }
+                tables.forward(&mut scratch);
             }
         }
         keygen
@@ -166,18 +171,32 @@ impl KeyGenerator {
         let digits = (self.params.coeff_modulus_bits as usize).div_ceil(60);
         let degree = self.params.payload_degree;
         let mut kept: Vec<Poly> = Vec::with_capacity(2);
+        // Discarded samples (everything past the first two) share one
+        // scratch buffer: only the kept pair needs owned storage.
+        let mut scratch = vec![0u64; degree];
         for _ in 0..(2 * digits).max(2) {
-            let mut poly: Vec<u64> = (0..degree)
-                .map(|_| self.rng.gen::<u64>() % MODULUS)
-                .collect();
-            tables.forward(&mut poly);
+            for slot in scratch.iter_mut() {
+                *slot = self.rng.gen::<u64>() % MODULUS;
+            }
+            tables.forward(&mut scratch);
             if kept.len() < 2 {
-                kept.push(Poly::from_reduced(poly, Domain::Eval));
+                kept.push(Poly::from_reduced(scratch.clone(), Domain::Eval));
             }
         }
         let second = kept.pop().expect("two polys kept");
         let first = kept.pop().expect("two polys kept");
         Some((first, second))
+    }
+
+    /// [`KeyGenerator::simulate_keyswitch_keygen`], packed into the striped
+    /// `[s0 | s1]` layout the fused multiplication kernel consumes.
+    fn simulate_keyswitch_keygen_striped(&mut self) -> Option<CtPayload> {
+        let (first, second) = self.simulate_keyswitch_keygen()?;
+        Some(CtPayload::from_components(
+            first.coeffs(),
+            second.coeffs(),
+            Domain::Eval,
+        ))
     }
 
     /// Process-global count of `KeyGenerator` constructions so far.
@@ -206,7 +225,7 @@ impl KeyGenerator {
     /// and NTT work under compute simulation).
     pub fn relin_keys(&mut self) -> RelinKeys {
         let _ = self.rng.gen::<u64>();
-        let switch = self.simulate_keyswitch_keygen().map(Box::new);
+        let switch = self.simulate_keyswitch_keygen_striped();
         RelinKeys {
             id: self.id,
             size_bytes: self.params.galois_key_size_bytes(),

@@ -46,15 +46,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod crypto;
 mod evaluator;
 mod keys;
 mod noise;
 mod params;
+pub mod payload;
 pub mod poly;
 
+pub use arena::{ArenaPool, PolyArena};
 pub use crypto::{Ciphertext, Decryptor, Encryptor, FheContext, FheError, Plaintext};
 pub use evaluator::{Evaluator, EvaluatorStats};
 pub use keys::{GaloisKeys, KeyGenerator, PublicKey, RelinKeys, SecretKey};
 pub use noise::NoiseModel;
 pub use params::{BfvParameters, ParameterError, SecurityLevel};
+pub use payload::CtPayload;

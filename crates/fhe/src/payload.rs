@@ -1,0 +1,584 @@
+//! The striped ciphertext payload layout and its fused dual-component
+//! kernels.
+//!
+//! A BFV ciphertext carries two payload polynomials `(c0, c1)`. Storing them
+//! as two separate heap vectors (the pre-stripe layout) makes every
+//! pointwise operation walk the same auxiliary data (plaintext splats,
+//! key-switch polynomials, Galois permutations) twice — once per component —
+//! and costs two output allocations per operation. A [`CtPayload`] instead
+//! stores both components in **one contiguous stripe** `[c0 | c1]` of
+//! `2 * degree` values, tagged with the [`Domain`] the values are in, and
+//! the fused kernels below update both components in a single pass:
+//!
+//! - [`CtPayload::mul_eval2`] — both components times one shared pointwise
+//!   multiplier (ciphertext–plaintext products),
+//! - [`CtPayload::mul_scalar_eval2`] — the scalar-splat variant,
+//! - [`CtPayload::mul_add_eval2`] — the full BFV ct-ct tensor product plus
+//!   relinearization (six ring products per coefficient, fused),
+//! - [`CtPayload::galois_eval2`] — Galois gather plus key-switch product,
+//! - [`CtPayload::add2`] / [`CtPayload::sub2`] / [`CtPayload::neg2`] and
+//!   their `_assign` variants — component-wise ring addition as one stripe
+//!   pass.
+//!
+//! All kernels write into caller-provided stripe buffers (typically from a
+//! [`PolyArena`](crate::PolyArena)) and walk the two component halves in
+//! lockstep, so the shared per-coefficient operands (multiplier, key,
+//! permutation entry, the `c2` tensor scalar) are loaded once instead of
+//! once per component. Every kernel is elementwise, so intra-op chunking is
+//! bit-identical at every thread count.
+
+use crate::poly::{p_add, p_mul, p_mul_add, p_neg, p_sub, Domain};
+
+/// Stripes shorter than this never split across intra-op worker threads:
+/// below it, thread-spawn latency exceeds the chunk work a helper would take
+/// over. (Shared with the evaluator's intra-op budget logic.)
+pub(crate) const INTRA_OP_MIN: usize = 2048;
+
+/// Runs `body(offset, chunk0, chunk1)` over disjoint lockstep chunks of the
+/// two output slices (the fused kernels pass the two component halves of a
+/// stripe), using up to `threads` scoped worker threads — the calling
+/// thread takes the first chunk. Sequential when the budget is 1 or the
+/// slices are small.
+pub(crate) fn par_chunks2(
+    out0: &mut [u64],
+    out1: &mut [u64],
+    threads: usize,
+    body: impl Fn(usize, &mut [u64], &mut [u64]) + Send + Sync + Copy,
+) {
+    let n = out0.len();
+    debug_assert_eq!(n, out1.len());
+    if threads <= 1 || n < INTRA_OP_MIN {
+        body(0, out0, out1);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut chunks = out0
+            .chunks_mut(chunk)
+            .zip(out1.chunks_mut(chunk))
+            .enumerate();
+        let first = chunks.next();
+        for (i, (c0, c1)) in chunks {
+            scope.spawn(move || body(i * chunk, c0, c1));
+        }
+        if let Some((_, (c0, c1))) = first {
+            body(0, c0, c1);
+        }
+    });
+}
+
+/// Both payload components of one ciphertext in a single contiguous stripe
+/// `[c0 | c1]`, tagged with the [`Domain`] the stored values are in.
+///
+/// The stripe is either empty (compute simulation off) or exactly
+/// `2 * degree` values long, `degree` a power of two. Construction from an
+/// arbitrary buffer goes through [`CtPayload::from_stripe`]; the fused
+/// kernels are documented on the type's methods.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CtPayload {
+    data: Vec<u64>,
+    domain: Domain,
+}
+
+impl CtPayload {
+    /// The empty payload (compute simulation off).
+    pub fn empty() -> Self {
+        CtPayload {
+            data: Vec::new(),
+            domain: Domain::Eval,
+        }
+    }
+
+    /// A process-shared empty payload, so ciphertexts built with compute
+    /// simulation off share one allocation instead of boxing a fresh empty
+    /// payload each.
+    pub fn shared_empty() -> std::sync::Arc<CtPayload> {
+        static EMPTY: std::sync::OnceLock<std::sync::Arc<CtPayload>> = std::sync::OnceLock::new();
+        std::sync::Arc::clone(EMPTY.get_or_init(|| std::sync::Arc::new(CtPayload::empty())))
+    }
+
+    /// Wraps a `[c0 | c1]` stripe buffer. `data.len()` must be `2 * degree`
+    /// for a power-of-two `degree` (or zero for the empty payload); the
+    /// values must already be canonical representatives modulo `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not zero or twice a power of two.
+    pub fn from_stripe(data: Vec<u64>, domain: Domain) -> Self {
+        assert!(
+            data.is_empty() || (data.len().is_multiple_of(2) && (data.len() / 2).is_power_of_two()),
+            "stripe length must be twice a power-of-two degree"
+        );
+        CtPayload { data, domain }
+    }
+
+    /// Builds a stripe from two equal-length component slices (convenience
+    /// for tests and for converting split-layout material).
+    pub fn from_components(c0: &[u64], c1: &[u64], domain: Domain) -> Self {
+        assert_eq!(c0.len(), c1.len(), "components must have equal degree");
+        let mut data = Vec::with_capacity(2 * c0.len());
+        data.extend_from_slice(c0);
+        data.extend_from_slice(c1);
+        CtPayload::from_stripe(data, domain)
+    }
+
+    /// `true` for the empty payload (compute simulation off).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The payload polynomial degree (`0` for the empty payload).
+    pub fn degree(&self) -> usize {
+        self.data.len() / 2
+    }
+
+    /// The domain the stored values are in.
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// The whole `[c0 | c1]` stripe.
+    pub fn stripe(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// The first payload component.
+    pub fn c0(&self) -> &[u64] {
+        &self.data[..self.degree()]
+    }
+
+    /// The second payload component.
+    pub fn c1(&self) -> &[u64] {
+        &self.data[self.degree()..]
+    }
+
+    /// Mutable views of both components (disjoint halves of the stripe).
+    pub fn split_mut(&mut self) -> (&mut [u64], &mut [u64]) {
+        let degree = self.degree();
+        self.data.split_at_mut(degree)
+    }
+
+    /// Unwraps the stripe buffer (for recycling into a
+    /// [`PolyArena`](crate::PolyArena)).
+    pub fn into_stripe(self) -> Vec<u64> {
+        self.data
+    }
+
+    /// Fused ciphertext–plaintext product: both components multiply the
+    /// shared `mult` vector in one lockstep pass (`out.c0[i] = c0[i] *
+    /// mult[i]`, `out.c1[i] = c1[i] * mult[i]`), so `mult` is read once per
+    /// coefficient instead of once per component. `out` must be a
+    /// `2 * degree` stripe buffer; `threads` bounds the intra-op chunking
+    /// (bit-identical at every value).
+    pub fn mul_eval2(&self, mult: &[u64], out: &mut [u64], threads: usize) {
+        let n = self.degree();
+        debug_assert!(mult.len() >= n);
+        debug_assert_eq!(out.len(), self.data.len());
+        let (a0, a1) = (self.c0(), self.c1());
+        let (out0, out1) = out.split_at_mut(n);
+        par_chunks2(out0, out1, threads, |offset, c0, c1| {
+            let len = c0.len();
+            let (x0, x1) = (&a0[offset..offset + len], &a1[offset..offset + len]);
+            let m = &mult[offset..offset + len];
+            for (((o0, o1), (&x0, &x1)), &m) in c0
+                .iter_mut()
+                .zip(c1.iter_mut())
+                .zip(x0.iter().zip(x1))
+                .zip(m)
+            {
+                *o0 = p_mul(x0, m);
+                *o1 = p_mul(x1, m);
+            }
+        });
+    }
+
+    /// Fused scalar-splat product: like [`CtPayload::mul_eval2`] with the
+    /// shared multiplier scaled by `k` on the fly (`mult[i] * k` computed
+    /// once per coefficient, shared by both components), so no scaled-splat
+    /// temporary is ever materialized.
+    pub fn mul_scalar_eval2(&self, mult: &[u64], k: u64, out: &mut [u64], threads: usize) {
+        let n = self.degree();
+        debug_assert!(mult.len() >= n);
+        debug_assert_eq!(out.len(), self.data.len());
+        let (a0, a1) = (self.c0(), self.c1());
+        let (out0, out1) = out.split_at_mut(n);
+        par_chunks2(out0, out1, threads, |offset, c0, c1| {
+            let len = c0.len();
+            let (x0, x1) = (&a0[offset..offset + len], &a1[offset..offset + len]);
+            let m = &mult[offset..offset + len];
+            for (((o0, o1), (&x0, &x1)), &m) in c0
+                .iter_mut()
+                .zip(c1.iter_mut())
+                .zip(x0.iter().zip(x1))
+                .zip(m)
+            {
+                let scaled = p_mul(m, k);
+                *o0 = p_mul(x0, scaled);
+                *o1 = p_mul(x1, scaled);
+            }
+        });
+    }
+
+    /// The fused BFV ct-ct multiplication payload: tensor product of `(a0,
+    /// a1)` and `(b0, b1)` plus key switching against the Eval-form pair
+    /// `(s0, s1)`, all six ring products per coefficient in one pass:
+    ///
+    /// ```text
+    /// c2      = a1·b1                      (per-coefficient scalar)
+    /// out.c0  = a0·b0 + c2·s0
+    /// out.c1  = a0·b1 + a1·b0 + c2·s1
+    /// ```
+    ///
+    /// Both output components are written in lockstep (the two halves of the
+    /// `out` stripe), so chunking across `threads` workers never reorders a
+    /// reduction.
+    pub fn mul_add_eval2(
+        &self,
+        other: &CtPayload,
+        s0: &[u64],
+        s1: &[u64],
+        out: &mut [u64],
+        threads: usize,
+    ) {
+        let n = self.degree();
+        debug_assert_eq!(other.degree(), n);
+        debug_assert_eq!(s0.len(), n);
+        debug_assert_eq!(s1.len(), n);
+        debug_assert_eq!(out.len(), 2 * n);
+        let (a0, a1) = (self.c0(), self.c1());
+        let (b0, b1) = (other.c0(), other.c1());
+        let (out0, out1) = out.split_at_mut(n);
+        par_chunks2(out0, out1, threads, |offset, c0, c1| {
+            let len = c0.len();
+            let range = offset..offset + len;
+            let (a0, a1) = (&a0[range.clone()], &a1[range.clone()]);
+            let (b0, b1) = (&b0[range.clone()], &b1[range.clone()]);
+            let (s0, s1) = (&s0[range.clone()], &s1[range]);
+            for (((o0, o1), ((&a0, &a1), (&b0, &b1))), (&s0, &s1)) in c0
+                .iter_mut()
+                .zip(c1.iter_mut())
+                .zip(a0.iter().zip(a1).zip(b0.iter().zip(b1)))
+                .zip(s0.iter().zip(s1))
+            {
+                let c2 = p_mul(a1, b1);
+                *o0 = p_mul_add(c2, s0, p_mul(a0, b0));
+                *o1 = p_mul_add(c2, s1, p_mul_add(a1, b0, p_mul(a0, b1)));
+            }
+        });
+    }
+
+    /// Fused rotation payload: Galois gather (`perm`, an Eval-domain index
+    /// permutation) and key-switch product (`key`) applied to both
+    /// components in one pass over the stripe: `out[base + i] =
+    /// self[base + perm[i]] * key[i]` where `base` selects the component.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic unless the payload is in [`Domain::Eval`] (the
+    /// permutation form of the automorphism only exists there).
+    pub fn galois_eval2(&self, perm: &[u32], key: &[u64], out: &mut [u64], threads: usize) {
+        debug_assert_eq!(self.domain, Domain::Eval, "galois_eval2 needs Eval form");
+        let n = self.degree();
+        debug_assert_eq!(perm.len(), n);
+        debug_assert_eq!(key.len(), n);
+        debug_assert_eq!(out.len(), self.data.len());
+        let (a0, a1) = (self.c0(), self.c1());
+        let (out0, out1) = out.split_at_mut(n);
+        par_chunks2(out0, out1, threads, |offset, c0, c1| {
+            let len = c0.len();
+            let p = &perm[offset..offset + len];
+            let k = &key[offset..offset + len];
+            for (((o0, o1), &src), &k) in c0.iter_mut().zip(c1.iter_mut()).zip(p).zip(k) {
+                let src = src as usize;
+                *o0 = p_mul(a0[src], k);
+                *o1 = p_mul(a1[src], k);
+            }
+        });
+    }
+
+    /// Component-wise payload addition as one stripe pass:
+    /// `out[j] = self[j] + other[j]`.
+    pub fn add2(&self, other: &CtPayload, out: &mut [u64]) {
+        debug_assert_eq!(self.data.len(), other.data.len());
+        debug_assert_eq!(self.domain, other.domain, "domain mismatch in add2");
+        debug_assert_eq!(out.len(), self.data.len());
+        for ((slot, &x), &y) in out.iter_mut().zip(&self.data).zip(&other.data) {
+            *slot = p_add(x, y);
+        }
+    }
+
+    /// Component-wise payload subtraction as one stripe pass:
+    /// `out[j] = self[j] - other[j]`.
+    pub fn sub2(&self, other: &CtPayload, out: &mut [u64]) {
+        debug_assert_eq!(self.data.len(), other.data.len());
+        debug_assert_eq!(self.domain, other.domain, "domain mismatch in sub2");
+        debug_assert_eq!(out.len(), self.data.len());
+        for ((slot, &x), &y) in out.iter_mut().zip(&self.data).zip(&other.data) {
+            *slot = p_sub(x, y);
+        }
+    }
+
+    /// Component-wise payload negation as one stripe pass:
+    /// `out[j] = -self[j]`.
+    pub fn neg2(&self, out: &mut [u64]) {
+        debug_assert_eq!(out.len(), self.data.len());
+        for (slot, &x) in out.iter_mut().zip(&self.data) {
+            *slot = p_neg(x);
+        }
+    }
+
+    /// In-place variant of [`CtPayload::add2`].
+    pub fn add_assign2(&mut self, other: &CtPayload) {
+        debug_assert_eq!(self.data.len(), other.data.len());
+        debug_assert_eq!(self.domain, other.domain, "domain mismatch in add_assign2");
+        for (x, &y) in self.data.iter_mut().zip(&other.data) {
+            *x = p_add(*x, y);
+        }
+    }
+
+    /// In-place variant of [`CtPayload::sub2`].
+    pub fn sub_assign2(&mut self, other: &CtPayload) {
+        debug_assert_eq!(self.data.len(), other.data.len());
+        debug_assert_eq!(self.domain, other.domain, "domain mismatch in sub_assign2");
+        for (x, &y) in self.data.iter_mut().zip(&other.data) {
+            *x = p_sub(*x, y);
+        }
+    }
+
+    /// In-place variant of [`CtPayload::neg2`].
+    pub fn neg_assign2(&mut self) {
+        for x in self.data.iter_mut() {
+            *x = p_neg(*x);
+        }
+    }
+}
+
+/// Serializes as `{"domain": "Coeff"|"Eval", "stripe": [...]}` (the flat
+/// `[c0 | c1]` buffer).
+impl serde::Serialize for CtPayload {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let domain = match self.domain {
+            Domain::Coeff => "Coeff",
+            Domain::Eval => "Eval",
+        };
+        serializer.serialize_value(serde::Value::Object(vec![
+            ("domain".to_string(), serde::Value::Str(domain.to_string())),
+            (
+                "stripe".to_string(),
+                serde::Value::Array(self.data.iter().map(|&c| serde::Value::UInt(c)).collect()),
+            ),
+        ]))
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for CtPayload {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.take_value()?;
+        let domain = match value.field("domain")? {
+            serde::Value::Str(s) if s == "Coeff" => Domain::Coeff,
+            serde::Value::Str(s) if s == "Eval" => Domain::Eval,
+            other => {
+                return Err(serde::Error::msg(format!("unknown CtPayload domain {other:?}")).into())
+            }
+        };
+        let data = value
+            .field("stripe")?
+            .as_array("CtPayload::stripe")?
+            .iter()
+            .map(|v| match v {
+                serde::Value::UInt(c) => Ok(*c),
+                serde::Value::Int(c) if *c >= 0 => Ok(*c as u64),
+                other => Err(serde::Error::msg(format!("bad CtPayload value {other:?}"))),
+            })
+            .collect::<Result<Vec<u64>, serde::Error>>()?;
+        Ok(CtPayload::from_stripe(data, domain))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poly::{Poly, MODULUS};
+
+    /// Deterministic pseudo-random canonical field elements.
+    fn random_values(n: usize, seed: u64) -> Vec<u64> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state.wrapping_mul(0x2545_F491_4F6C_DD1D) % MODULUS
+            })
+            .collect()
+    }
+
+    fn random_payload(n: usize, seed: u64, domain: Domain) -> CtPayload {
+        CtPayload::from_stripe(random_values(2 * n, seed), domain)
+    }
+
+    /// Split-layout reference of [`CtPayload::mul_eval2`]: one pass per
+    /// component, as the pre-stripe engine performed it.
+    fn split_mul_reference(payload: &CtPayload, mult: &[u64]) -> Vec<u64> {
+        let mut out = Vec::new();
+        for component in [payload.c0(), payload.c1()] {
+            out.extend(component.iter().zip(mult).map(|(&a, &m)| p_mul(a, m)));
+        }
+        out
+    }
+
+    #[test]
+    fn striped_shared_multiplier_matches_split_reference_in_both_domains() {
+        for domain in [Domain::Eval, Domain::Coeff] {
+            for (degree, seed) in [(16usize, 0xA), (64, 0xB), (256, 0xC)] {
+                let payload = random_payload(degree, seed, domain);
+                let mult = random_values(degree, seed ^ 0xFF);
+                let mut out = vec![0u64; 2 * degree];
+                for threads in [1usize, 2, 4] {
+                    payload.mul_eval2(&mult, &mut out, threads);
+                    assert_eq!(
+                        out,
+                        split_mul_reference(&payload, &mult),
+                        "degree {degree} domain {domain:?} threads {threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn striped_tensor_product_matches_per_component_reference() {
+        for (degree, seed) in [(16usize, 0x1), (64, 0x2)] {
+            let a = random_payload(degree, seed, Domain::Eval);
+            let b = random_payload(degree, seed ^ 0x77, Domain::Eval);
+            let s0 = random_values(degree, seed ^ 0x101);
+            let s1 = random_values(degree, seed ^ 0x202);
+            // Per-component reference with the same reduction order.
+            let mut expected = vec![0u64; 2 * degree];
+            for i in 0..degree {
+                let c2 = p_mul(a.c1()[i], b.c1()[i]);
+                expected[i] = p_mul_add(c2, s0[i], p_mul(a.c0()[i], b.c0()[i]));
+                expected[degree + i] = p_mul_add(
+                    c2,
+                    s1[i],
+                    p_mul_add(a.c1()[i], b.c0()[i], p_mul(a.c0()[i], b.c1()[i])),
+                );
+            }
+            for threads in [1usize, 3, 8] {
+                let mut out = vec![0u64; 2 * degree];
+                a.mul_add_eval2(&b, &s0, &s1, &mut out, threads);
+                assert_eq!(out, expected, "degree {degree} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn striped_galois_matches_per_component_poly_reference() {
+        use crate::poly::{galois_eval_permutation, NttTables};
+        let degree = 32usize;
+        let tables = NttTables::new(degree);
+        let c0 = Poly::from_coeffs(random_values(degree, 3)).to_eval(&tables);
+        let c1 = Poly::from_coeffs(random_values(degree, 5)).to_eval(&tables);
+        let payload = CtPayload::from_components(c0.coeffs(), c1.coeffs(), Domain::Eval);
+        let key = random_values(degree, 9);
+        for galois_elt in [3usize, 5, 9, 63] {
+            let perm = galois_eval_permutation(degree, galois_elt);
+            // Per-component reference: gather then key-switch multiply.
+            let reference = |p: &Poly| -> Vec<u64> {
+                p.apply_galois_eval(galois_elt)
+                    .coeffs()
+                    .iter()
+                    .zip(&key)
+                    .map(|(&g, &k)| p_mul(g, k))
+                    .collect()
+            };
+            let mut out = vec![0u64; 2 * degree];
+            payload.galois_eval2(&perm, &key, &mut out, 1);
+            assert_eq!(&out[..degree], reference(&c0), "element {galois_elt}");
+            assert_eq!(&out[degree..], reference(&c1), "element {galois_elt}");
+        }
+    }
+
+    #[test]
+    fn stripe_add_sub_neg_match_per_component_poly_ops_in_both_domains() {
+        for domain in [Domain::Eval, Domain::Coeff] {
+            let degree = 64usize;
+            let a = random_payload(degree, 0xAD ^ domain as u64, domain);
+            let b = random_payload(degree, 0xBE ^ domain as u64, domain);
+            let as_polys = |p: &CtPayload| {
+                (
+                    Poly::from_reduced(p.c0().to_vec(), domain),
+                    Poly::from_reduced(p.c1().to_vec(), domain),
+                )
+            };
+            let (a0, a1) = as_polys(&a);
+            let (b0, b1) = as_polys(&b);
+
+            let mut sum = vec![0u64; 2 * degree];
+            a.add2(&b, &mut sum);
+            assert_eq!(&sum[..degree], a0.add(&b0).coeffs());
+            assert_eq!(&sum[degree..], a1.add(&b1).coeffs());
+
+            let mut diff = vec![0u64; 2 * degree];
+            a.sub2(&b, &mut diff);
+            assert_eq!(&diff[..degree], a0.sub(&b0).coeffs());
+            assert_eq!(&diff[degree..], a1.sub(&b1).coeffs());
+
+            let mut neg = vec![0u64; 2 * degree];
+            a.neg2(&mut neg);
+            assert_eq!(&neg[..degree], a0.negate().coeffs());
+            assert_eq!(&neg[degree..], a1.negate().coeffs());
+
+            // The in-place variants agree with the out-of-place ones.
+            let mut acc = a.clone();
+            acc.add_assign2(&b);
+            assert_eq!(acc.stripe(), &sum[..]);
+            let mut acc = a.clone();
+            acc.sub_assign2(&b);
+            assert_eq!(acc.stripe(), &diff[..]);
+            let mut acc = a.clone();
+            acc.neg_assign2();
+            assert_eq!(acc.stripe(), &neg[..]);
+        }
+    }
+
+    #[test]
+    fn scalar_variant_scales_the_shared_multiplier() {
+        let degree = 16usize;
+        let payload = random_payload(degree, 0x5C, Domain::Eval);
+        let mult = random_values(degree, 0x5D);
+        let k = 12345u64;
+        let scaled: Vec<u64> = mult.iter().map(|&m| p_mul(m, k)).collect();
+        let mut expected = vec![0u64; 2 * degree];
+        payload.mul_eval2(&scaled, &mut expected, 1);
+        let mut out = vec![0u64; 2 * degree];
+        payload.mul_scalar_eval2(&mult, k, &mut out, 1);
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let payload = random_payload(8, 0x11, Domain::Eval);
+        let value = serde::to_value(&payload);
+        let back: CtPayload = serde::from_value(&value).unwrap();
+        assert_eq!(back, payload);
+    }
+
+    #[test]
+    #[should_panic(expected = "twice a power-of-two")]
+    fn odd_stripe_lengths_are_rejected() {
+        let _ = CtPayload::from_stripe(vec![0; 6], Domain::Eval);
+    }
+
+    #[test]
+    fn component_views_split_the_stripe() {
+        let payload = CtPayload::from_components(&[1, 2], &[3, 4], Domain::Eval);
+        assert_eq!(payload.degree(), 2);
+        assert_eq!(payload.c0(), &[1, 2]);
+        assert_eq!(payload.c1(), &[3, 4]);
+        assert_eq!(payload.stripe(), &[1, 2, 3, 4]);
+        assert!(!payload.is_empty());
+        assert!(CtPayload::empty().is_empty());
+        assert_eq!(payload.clone().into_stripe(), vec![1, 2, 3, 4]);
+    }
+}

@@ -527,6 +527,34 @@ impl Poly {
         }
     }
 
+    /// In-place variant of [`Poly::add`]: `self += other`, no allocation.
+    /// Both operands must be in the same domain, which is preserved.
+    pub fn add_assign(&mut self, other: &Poly) {
+        debug_assert_eq!(self.degree(), other.degree());
+        debug_assert_eq!(self.domain, other.domain, "domain mismatch in add_assign");
+        for (a, &b) in self.coeffs.iter_mut().zip(&other.coeffs) {
+            *a = p_add(*a, b);
+        }
+    }
+
+    /// In-place variant of [`Poly::sub`]: `self -= other`, no allocation.
+    /// Both operands must be in the same domain, which is preserved.
+    pub fn sub_assign(&mut self, other: &Poly) {
+        debug_assert_eq!(self.degree(), other.degree());
+        debug_assert_eq!(self.domain, other.domain, "domain mismatch in sub_assign");
+        for (a, &b) in self.coeffs.iter_mut().zip(&other.coeffs) {
+            *a = p_sub(*a, b);
+        }
+    }
+
+    /// In-place variant of [`Poly::negate`] (domain-preserving, no
+    /// allocation).
+    pub fn neg_assign(&mut self) {
+        for a in self.coeffs.iter_mut() {
+            *a = p_neg(*a);
+        }
+    }
+
     /// Multiplies every stored value by a scalar (domain-preserving: scaling
     /// commutes with the transform).
     pub fn scale(&self, k: u64) -> Poly {
@@ -957,6 +985,27 @@ mod tests {
         let sum = a.add(&a.negate());
         assert_eq!(sum, Poly::zero(4));
         assert_eq!(a.sub(&a), Poly::zero(4));
+    }
+
+    #[test]
+    fn in_place_ops_match_their_allocating_counterparts() {
+        let a = Poly::from_coeffs(random_values(32, 21));
+        let b = Poly::from_coeffs(random_values(32, 22));
+        let mut acc = a.clone();
+        acc.add_assign(&b);
+        assert_eq!(acc, a.add(&b));
+        let mut acc = a.clone();
+        acc.sub_assign(&b);
+        assert_eq!(acc, a.sub(&b));
+        let mut acc = a.clone();
+        acc.neg_assign();
+        assert_eq!(acc, a.negate());
+        // Domain is preserved by the in-place forms too.
+        let tables = NttTables::new(32);
+        let mut eval = a.to_eval(&tables);
+        eval.add_assign(&b.to_eval(&tables));
+        assert_eq!(eval.domain(), Domain::Eval);
+        assert_eq!(eval, a.to_eval(&tables).add(&b.to_eval(&tables)));
     }
 
     #[test]

@@ -41,13 +41,13 @@
 
 use crate::calibrate::CalibratedCostModel;
 use crate::exec::{
-    run_instr, validate_operands, ExecResources, Register, SchedulerKind, TimingBreakdown,
-    WavefrontOutcome,
+    publish_and_reap, run_instr, validate_operands, ExecResources, Register, RegisterFile,
+    SchedulerKind, TimingBreakdown, WavefrontOutcome,
 };
 use crate::schedule::Schedule;
 use chehab_fhe::{Evaluator, EvaluatorStats, FheError};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// The intra-op worker budget of one instruction popped from the ready
@@ -212,15 +212,8 @@ impl DataflowExecutor {
             priorities.len() >= schedule.instrs().len(),
             "need one priority per instruction"
         );
-        let mut regs: Vec<OnceLock<Register>> = Vec::with_capacity(initial.len());
-        for value in initial {
-            let cell = OnceLock::new();
-            if let Some(register) = value {
-                let _ = cell.set(register);
-            }
-            regs.push(cell);
-        }
-        validate_operands(schedule, &regs);
+        let mut rf = RegisterFile::new(initial, schedule);
+        validate_operands(schedule, &rf);
 
         let n = schedule.instrs().len();
         // Unlike the leveled executor, the ready set can span levels, so the
@@ -234,14 +227,14 @@ impl DataflowExecutor {
         let (stats, mut timing) = if n == 0 {
             (EvaluatorStats::default(), TimingBreakdown::empty(workers))
         } else if workers == 1 {
-            self.execute_single(schedule, &regs, res, priorities, splittable)?
+            self.execute_single(schedule, &rf, res, priorities, splittable)?
         } else {
             // Grants draw on the full *requested* pool, not the clamped
             // worker count: a 3-instruction schedule under 8 threads still
             // has 8 threads' worth of cores to chunk payloads across.
             execute_parallel(
                 schedule,
-                &regs,
+                &rf,
                 res,
                 priorities,
                 workers,
@@ -256,10 +249,14 @@ impl DataflowExecutor {
                 .saturating_sub(schedule.dataflow_makespan(&timing.instr_times, workers));
         }
 
-        let output = regs
-            .swap_remove(schedule.output())
-            .into_inner()
+        let output = rf
+            .take_output()
             .expect("output register is pre-bound or produced by the schedule");
+        // Pre-bound registers the circuit never consumed go back to the
+        // pool so the next request can reuse their buffers.
+        let mut arena = res.arenas.checkout();
+        rf.recycle_remaining(&mut arena);
+        res.arenas.restore(arena);
         Ok(WavefrontOutcome {
             output,
             stats,
@@ -274,13 +271,13 @@ impl DataflowExecutor {
     fn execute_single(
         &self,
         schedule: &Schedule,
-        regs: &[OnceLock<Register>],
+        rf: &RegisterFile,
         res: &ExecResources<'_>,
         priorities: &[f64],
         splittable: bool,
     ) -> Result<(EvaluatorStats, TimingBreakdown), FheError> {
         let n = schedule.instrs().len();
-        let mut evaluator = Evaluator::new(res.ctx);
+        let mut evaluator = Evaluator::with_arena(res.ctx, res.arenas.checkout());
         if splittable {
             evaluator.set_intra_op_threads(self.threads);
         }
@@ -297,14 +294,22 @@ impl DataflowExecutor {
             })
             .collect();
         let mut completed = 0usize;
+        let mut failure: Option<FheError> = None;
         while let Some(pos) = best_ready(&ready) {
             let item = ready.swap_remove(pos);
             let si = &schedule.instrs()[item.index];
             queue_waits[item.index] = item.since.elapsed();
             let instr_started = Instant::now();
-            let register = run_instr(si, regs, &mut evaluator, res, &mut calibration)?;
-            instr_times[item.index] = instr_started.elapsed();
-            let _ = regs[si.dst].set(register);
+            match run_instr(si, rf, &mut evaluator, res, &mut calibration) {
+                Ok(register) => {
+                    instr_times[item.index] = instr_started.elapsed();
+                    publish_and_reap(rf, si, register, &mut evaluator);
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
             completed += 1;
             for &d in &schedule.dependents()[item.index] {
                 pending[d] -= 1;
@@ -316,6 +321,10 @@ impl DataflowExecutor {
                     });
                 }
             }
+        }
+        res.arenas.restore(evaluator.take_arena());
+        if let Some(error) = failure {
+            return Err(error);
         }
         assert_eq!(completed, n, "dataflow walk drained every instruction");
         let timing = TimingBreakdown {
@@ -350,7 +359,7 @@ fn best_ready(ready: &[Ready]) -> Option<usize> {
 
 fn execute_parallel(
     schedule: &Schedule,
-    regs: &[OnceLock<Register>],
+    rf: &RegisterFile,
     res: &ExecResources<'_>,
     priorities: &[f64],
     workers: usize,
@@ -398,7 +407,7 @@ fn execute_parallel(
             let work_available = &work_available;
             let merged = &merged;
             scope.spawn(move || {
-                let mut evaluator = Evaluator::new(res.ctx);
+                let mut evaluator = Evaluator::with_arena(res.ctx, res.arenas.checkout());
                 let mut calibration = CalibratedCostModel::new();
                 // (index, queue wait, run span) of every instruction this
                 // worker executed.
@@ -429,12 +438,12 @@ fn execute_parallel(
                     let wait = item.since.elapsed();
                     evaluator.set_intra_op_threads(grant);
                     let instr_started = Instant::now();
-                    let result = run_instr(si, regs, &mut evaluator, res, &mut calibration);
+                    let result = run_instr(si, rf, &mut evaluator, res, &mut calibration);
                     let span = instr_started.elapsed();
 
                     match result {
                         Ok(register) => {
-                            let _ = regs[si.dst].set(register);
+                            publish_and_reap(rf, si, register, &mut evaluator);
                             timed.push((item.index, wait, span));
                             let mut st = state.lock().unwrap();
                             st.granted -= grant;
@@ -470,6 +479,7 @@ fn execute_parallel(
                         }
                     }
                 }
+                res.arenas.restore(evaluator.take_arena());
                 let mut m = merged.lock().unwrap();
                 m.0 .0.merge(&evaluator.stats());
                 m.0 .1.merge(&calibration);

@@ -13,11 +13,24 @@
 //! immutable) and a private [`CalibratedCostModel`]; both are merged when the
 //! wavefront completes, so the report carries exact operation counts and
 //! measured per-op-kind latencies with no synchronization on the hot path.
+//!
+//! ## Arena-backed registers and last-use recycling
+//!
+//! Registers live in a [`RegisterFile`]: values are published once and read
+//! as cheap `Arc` clones ([`Register`] wraps its payload in `Arc`, so a read
+//! copies a pointer, not a ciphertext). The schedule's last-use analysis
+//! ([`Schedule::consumer_counts`]) seeds a per-slot countdown; the worker
+//! that completes a slot's final consumer takes the dead register out of the
+//! file and recycles its buffers into its evaluator's [`PolyArena`]. Worker
+//! arenas are checked out of the shared [`ExecResources::arenas`] pool at
+//! request start and restored at the end, so a warm session executes whole
+//! request streams with zero fresh buffer allocations.
 
 use crate::calibrate::{CalibratedCostModel, OpKind};
 use crate::schedule::{Instr, Schedule, ScheduledInstr, Slot};
 use chehab_fhe::{
-    Ciphertext, Evaluator, EvaluatorStats, FheContext, FheError, GaloisKeys, Plaintext, RelinKeys,
+    ArenaPool, Ciphertext, Evaluator, EvaluatorStats, FheContext, FheError, GaloisKeys, Plaintext,
+    PolyArena, RelinKeys,
 };
 use chehab_ir::BinOp;
 
@@ -37,7 +50,7 @@ fn ct_pt_kind(op: BinOp) -> OpKind {
     }
 }
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Barrier, Mutex, OnceLock};
+use std::sync::{Arc, Barrier, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// A clear (client-side) value bound into the register file, with a
@@ -90,12 +103,166 @@ impl From<Vec<i64>> for PlainValue {
 /// A register of the flat execution machine: either a ciphertext computed on
 /// the server or a clear value the client evaluated (plaintext subcircuits
 /// never touch ciphertexts).
+///
+/// Both variants wrap their value in `Arc`, so cloning a register — which is
+/// how the [`RegisterFile`] hands operands to workers — copies a pointer,
+/// never a ciphertext or an encoded plaintext.
 #[derive(Debug, Clone)]
 pub enum Register {
     /// An encrypted value.
-    Cipher(Ciphertext),
+    Cipher(Arc<Ciphertext>),
     /// A clear (client-side) value, one entry per vector slot.
-    Plain(PlainValue),
+    Plain(Arc<PlainValue>),
+}
+
+impl Register {
+    /// Wraps a ciphertext.
+    pub fn cipher(ciphertext: Ciphertext) -> Register {
+        Register::Cipher(Arc::new(ciphertext))
+    }
+
+    /// Wraps a clear value.
+    pub fn plain(value: impl Into<PlainValue>) -> Register {
+        Register::Plain(Arc::new(value.into()))
+    }
+}
+
+/// The register file of one scheduled execution: write-once publish cells
+/// plus the per-slot consumer countdown driving last-use buffer recycling.
+///
+/// Reads clone the register's `Arc` (cheap); the worker that retires a
+/// slot's final consumer gets the dead register back for recycling. The
+/// per-cell mutexes are uncontended except when two consumers of one slot
+/// finish simultaneously, and each is held for a pointer copy — noise at
+/// FHE-op granularity.
+#[derive(Debug)]
+pub struct RegisterFile {
+    cells: Vec<Mutex<Option<Register>>>,
+    /// Consumer instructions not yet completed, per slot (seeded from
+    /// [`Schedule::consumer_counts`]).
+    remaining_uses: Vec<AtomicUsize>,
+    output: Slot,
+}
+
+impl RegisterFile {
+    /// Builds the register file for one run: `initial[slot] = Some(..)` for
+    /// every pre-bound (client-side) value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` does not cover the schedule's slot count.
+    pub fn new(initial: Vec<Option<Register>>, schedule: &Schedule) -> Self {
+        assert_eq!(
+            initial.len(),
+            schedule.slot_count(),
+            "register file size mismatch"
+        );
+        RegisterFile {
+            cells: initial.into_iter().map(Mutex::new).collect(),
+            remaining_uses: schedule
+                .consumer_counts()
+                .iter()
+                .map(|&count| AtomicUsize::new(count))
+                .collect(),
+            output: schedule.output(),
+        }
+    }
+
+    /// Reads a slot (a cheap `Arc` clone).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot has no value — the schedulers guarantee operands
+    /// are published before any consumer runs.
+    pub fn read(&self, slot: Slot) -> Register {
+        self.cells[slot]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+            .expect("operands are published before their consumers run")
+    }
+
+    /// Whether the slot currently holds a value (used by up-front operand
+    /// validation).
+    pub(crate) fn is_bound(&self, slot: Slot) -> bool {
+        self.cells[slot]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .is_some()
+    }
+
+    /// Publishes an instruction's result into its destination slot.
+    pub(crate) fn publish(&self, slot: Slot, register: Register) {
+        *self.cells[slot]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(register);
+    }
+
+    /// Notes that one consumer of `slot` completed. The call that retires
+    /// the final consumer gets the dead register back for buffer recycling
+    /// (never for the output slot, which outlives the run).
+    pub(crate) fn consume(&self, slot: Slot) -> Option<Register> {
+        if self.remaining_uses[slot].fetch_sub(1, Ordering::AcqRel) == 1 && slot != self.output {
+            self.cells[slot]
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .take()
+        } else {
+            None
+        }
+    }
+
+    /// Takes the output register after the run completed.
+    pub(crate) fn take_output(&mut self) -> Option<Register> {
+        self.cells[self.output]
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+    }
+
+    /// Recycles every register still in the file into `arena` (pre-bound
+    /// inputs the circuit never consumed, or everything left behind by an
+    /// aborted run). Call after [`RegisterFile::take_output`].
+    pub(crate) fn recycle_remaining(&mut self, arena: &mut PolyArena) {
+        for cell in &mut self.cells {
+            let register = cell
+                .get_mut()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .take();
+            if let Some(Register::Cipher(cipher)) = register {
+                if let Ok(ciphertext) = Arc::try_unwrap(cipher) {
+                    ciphertext.recycle_into(arena);
+                }
+            }
+        }
+    }
+}
+
+/// Publishes an instruction's result, then retires its operands: the worker
+/// that completes a slot's final consumer recycles the dead register's
+/// buffers into its own evaluator's arena (shared by both executors).
+pub(crate) fn publish_and_reap(
+    rf: &RegisterFile,
+    si: &ScheduledInstr,
+    register: Register,
+    evaluator: &mut Evaluator,
+) {
+    rf.publish(si.dst, register);
+    let mut operands = si.instr.operands();
+    operands.sort_unstable();
+    operands.dedup();
+    for slot in operands {
+        if let Some(Register::Cipher(cipher)) = rf.consume(slot) {
+            // The register file's reference was the last one (this
+            // instruction's own read clone died when `run_instr` returned),
+            // unless a still-live ciphertext shares the value (e.g. an
+            // `add_plain` output sharing its operand's payload) — then the
+            // unwrap fails and the buffers stay alive with their referent.
+            if let Ok(ciphertext) = Arc::try_unwrap(cipher) {
+                evaluator.recycle(ciphertext);
+            }
+        }
+    }
 }
 
 /// Shared immutable resources a wavefront execution borrows.
@@ -112,6 +279,10 @@ pub struct ExecResources<'a> {
     /// worth paying an encryption for — when the schedule contains
     /// [`Instr::Pack`] instructions.
     pub zero: Option<&'a Ciphertext>,
+    /// The arena pool worker evaluators draw their buffers from: checked
+    /// out per worker per run and restored afterwards, so warm buffers
+    /// survive across requests (the zero-allocation steady state).
+    pub arenas: &'a ArenaPool,
 }
 
 /// Which scheduling discipline produced an execution's timing breakdown.
@@ -284,33 +455,26 @@ impl WavefrontExecutor {
         initial: Vec<Option<Register>>,
         res: &ExecResources<'_>,
     ) -> Result<WavefrontOutcome, FheError> {
-        assert_eq!(
-            initial.len(),
-            schedule.slot_count(),
-            "register file size mismatch"
-        );
-        let mut regs: Vec<OnceLock<Register>> = Vec::with_capacity(initial.len());
-        for value in initial {
-            let cell = OnceLock::new();
-            if let Some(register) = value {
-                let _ = cell.set(register);
-            }
-            regs.push(cell);
-        }
-        validate_operands(schedule, &regs);
+        let mut rf = RegisterFile::new(initial, schedule);
+        validate_operands(schedule, &rf);
 
         // More workers than the widest level can never help.
         let workers = self.threads.min(schedule.max_width()).max(1);
-        let (stats, timing) = if workers == 1 {
-            self.execute_single(schedule, &regs, res)?
+        let result = if workers == 1 {
+            self.execute_single(schedule, &rf, res)
         } else {
-            self.execute_parallel(schedule, &regs, res, workers)?
+            self.execute_parallel(schedule, &rf, res, workers)
         };
+        let (stats, timing) = result?;
 
-        let output = regs
-            .swap_remove(schedule.output())
-            .into_inner()
+        let output = rf
+            .take_output()
             .expect("output register is pre-bound or produced by the schedule");
+        // Pre-bound registers the circuit never consumed go back to the
+        // pool so the next request can reuse their buffers.
+        let mut arena = res.arenas.checkout();
+        rf.recycle_remaining(&mut arena);
+        res.arenas.restore(arena);
         Ok(WavefrontOutcome {
             output,
             stats,
@@ -321,14 +485,15 @@ impl WavefrontExecutor {
     fn execute_single(
         &self,
         schedule: &Schedule,
-        regs: &[OnceLock<Register>],
+        rf: &RegisterFile,
         res: &ExecResources<'_>,
     ) -> Result<(EvaluatorStats, TimingBreakdown), FheError> {
-        let mut evaluator = Evaluator::new(res.ctx);
+        let mut evaluator = Evaluator::with_arena(res.ctx, res.arenas.checkout());
         let mut calibration = CalibratedCostModel::new();
         let mut instr_times = vec![Duration::ZERO; schedule.instrs().len()];
         let mut levels = Vec::with_capacity(schedule.level_count());
-        for (level, range) in schedule.levels().iter().enumerate() {
+        let mut failure: Option<FheError> = None;
+        'levels: for (level, range) in schedule.levels().iter().enumerate() {
             let width = range.end - range.start;
             // A single instruction stream still uses the full requested
             // thread budget *inside* heavy ops: narrow levels are exactly
@@ -338,9 +503,16 @@ impl WavefrontExecutor {
             let started = Instant::now();
             for (offset, si) in schedule.instrs()[range.clone()].iter().enumerate() {
                 let instr_started = Instant::now();
-                let register = run_instr(si, regs, &mut evaluator, res, &mut calibration)?;
-                instr_times[range.start + offset] = instr_started.elapsed();
-                let _ = regs[si.dst].set(register);
+                match run_instr(si, rf, &mut evaluator, res, &mut calibration) {
+                    Ok(register) => {
+                        instr_times[range.start + offset] = instr_started.elapsed();
+                        publish_and_reap(rf, si, register, &mut evaluator);
+                    }
+                    Err(e) => {
+                        failure = Some(e);
+                        break 'levels;
+                    }
+                }
             }
             levels.push(LevelTiming {
                 level,
@@ -348,6 +520,10 @@ impl WavefrontExecutor {
                 wall: started.elapsed(),
                 intra_op_threads,
             });
+        }
+        res.arenas.restore(evaluator.take_arena());
+        if let Some(error) = failure {
+            return Err(error);
         }
         let timing = TimingBreakdown {
             scheduler: SchedulerKind::Leveled,
@@ -367,7 +543,7 @@ impl WavefrontExecutor {
     fn execute_parallel(
         &self,
         schedule: &Schedule,
-        regs: &[OnceLock<Register>],
+        rf: &RegisterFile,
         res: &ExecResources<'_>,
         workers: usize,
     ) -> Result<(EvaluatorStats, TimingBreakdown), FheError> {
@@ -393,7 +569,7 @@ impl WavefrontExecutor {
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
-                    let mut evaluator = Evaluator::new(res.ctx);
+                    let mut evaluator = Evaluator::with_arena(res.ctx, res.arenas.checkout());
                     let mut calibration = CalibratedCostModel::new();
                     let mut timed: Vec<(usize, Duration)> = Vec::new();
                     for (level, range) in schedule.levels().iter().enumerate() {
@@ -409,10 +585,10 @@ impl WavefrontExecutor {
                             }
                             let si = &schedule.instrs()[range.start + index];
                             let instr_started = Instant::now();
-                            match run_instr(si, regs, &mut evaluator, res, &mut calibration) {
+                            match run_instr(si, rf, &mut evaluator, res, &mut calibration) {
                                 Ok(register) => {
                                     timed.push((range.start + index, instr_started.elapsed()));
-                                    let _ = regs[si.dst].set(register);
+                                    publish_and_reap(rf, si, register, &mut evaluator);
                                 }
                                 Err(e) => {
                                     let mut slot = failure.lock().unwrap();
@@ -423,6 +599,7 @@ impl WavefrontExecutor {
                         }
                         barrier.wait();
                     }
+                    res.arenas.restore(evaluator.take_arena());
                     let mut m = merged.lock().unwrap();
                     m.0.merge(&evaluator.stats());
                     m.1.merge(&calibration);
@@ -481,7 +658,7 @@ fn intra_op_budget(requested_threads: usize, level_width: usize) -> usize {
 /// Panics (on the calling thread, before any worker spawns) if an
 /// instruction's operand is neither pre-bound nor the destination of an
 /// earlier-level instruction.
-pub(crate) fn validate_operands(schedule: &Schedule, regs: &[OnceLock<Register>]) {
+pub(crate) fn validate_operands(schedule: &Schedule, rf: &RegisterFile) {
     let mut produced_level = vec![None; schedule.slot_count()];
     for si in schedule.instrs() {
         produced_level[si.dst] = Some(si.level);
@@ -490,7 +667,7 @@ pub(crate) fn validate_operands(schedule: &Schedule, regs: &[OnceLock<Register>]
         for operand in si.instr.operands() {
             let available = match produced_level[operand] {
                 Some(level) => level < si.level,
-                None => regs[operand].get().is_some(),
+                None => rf.is_bound(operand),
             };
             assert!(
                 available,
@@ -507,100 +684,111 @@ pub(crate) fn validate_operands(schedule: &Schedule, regs: &[OnceLock<Register>]
 /// before an instruction runs).
 pub(crate) fn run_instr(
     si: &ScheduledInstr,
-    regs: &[OnceLock<Register>],
+    rf: &RegisterFile,
     evaluator: &mut Evaluator,
     res: &ExecResources<'_>,
     calibration: &mut CalibratedCostModel,
 ) -> Result<Register, FheError> {
-    let reg = |slot: Slot| -> &Register {
-        regs[slot]
-            .get()
-            .expect("operands are produced in strictly earlier levels")
-    };
     let result = match &si.instr {
-        Instr::Bin { op, a, b } => match (reg(*a), reg(*b)) {
+        Instr::Bin { op, a, b } => match (rf.read(*a), rf.read(*b)) {
             (Register::Cipher(x), Register::Cipher(y)) => {
                 let started = Instant::now();
                 let out = match op {
-                    BinOp::Add => evaluator.add(x, y),
-                    BinOp::Sub => evaluator.sub(x, y),
-                    BinOp::Mul => evaluator.multiply(x, y, res.relin_keys),
+                    BinOp::Add => evaluator.add(&x, &y),
+                    BinOp::Sub => evaluator.sub(&x, &y),
+                    BinOp::Mul => evaluator.multiply(&x, &y, res.relin_keys),
                 };
                 calibration.record(ct_ct_kind(*op), started.elapsed());
-                Register::Cipher(out)
+                Register::cipher(out)
             }
             (Register::Cipher(x), Register::Plain(p)) => {
                 let plain = p.encoded(res.ctx)?;
                 let started = Instant::now();
                 let out = match op {
-                    BinOp::Add => evaluator.add_plain(x, plain),
-                    BinOp::Sub => evaluator.sub_plain(x, plain),
-                    BinOp::Mul => evaluator.multiply_plain(x, plain),
+                    BinOp::Add => evaluator.add_plain(&x, plain),
+                    BinOp::Sub => evaluator.sub_plain(&x, plain),
+                    BinOp::Mul => evaluator.multiply_plain(&x, plain),
                 };
                 calibration.record(ct_pt_kind(*op), started.elapsed());
-                Register::Cipher(out)
+                Register::cipher(out)
             }
             (Register::Plain(p), Register::Cipher(y)) => {
                 let plain = p.encoded(res.ctx)?;
                 let started = Instant::now();
                 let out = match op {
-                    BinOp::Add => evaluator.add_plain(y, plain),
+                    BinOp::Add => evaluator.add_plain(&y, plain),
                     BinOp::Sub => {
-                        // p - y = -(y - p)
-                        let diff = evaluator.sub_plain(y, plain);
-                        evaluator.negate(&diff)
+                        // p - y = -(y - p), negated in place.
+                        let mut diff = evaluator.sub_plain(&y, plain);
+                        evaluator.neg_assign(&mut diff);
+                        diff
                     }
-                    BinOp::Mul => evaluator.multiply_plain(y, plain),
+                    BinOp::Mul => evaluator.multiply_plain(&y, plain),
                 };
                 calibration.record(ct_pt_kind(*op), started.elapsed());
-                Register::Cipher(out)
+                Register::cipher(out)
             }
             (Register::Plain(_), Register::Plain(_)) => {
                 unreachable!("plaintext-only nodes are evaluated on the client")
             }
         },
-        Instr::Neg { a } => match reg(*a) {
+        Instr::Neg { a } => match rf.read(*a) {
             Register::Cipher(x) => {
                 let started = Instant::now();
-                let out = evaluator.negate(x);
+                let out = evaluator.negate(&x);
                 calibration.record(OpKind::Negation, started.elapsed());
-                Register::Cipher(out)
+                Register::cipher(out)
             }
             Register::Plain(_) => unreachable!("plaintext-only nodes are evaluated on the client"),
         },
-        Instr::Rot { a, parts } => match reg(*a) {
+        Instr::Rot { a, parts } => match rf.read(*a) {
             Register::Cipher(x) => {
-                let mut current = x.clone();
+                // Steady-state rotation chain: each step's output feeds the
+                // next and the superseded intermediate's buffers return to
+                // the arena immediately.
+                let mut current: Option<Ciphertext> = None;
                 for &part in parts {
+                    let source = current.as_ref().unwrap_or(&x);
                     let started = Instant::now();
-                    current = evaluator.rotate(&current, part, res.galois_keys)?;
+                    let next = evaluator.rotate(source, part, res.galois_keys)?;
                     calibration.record(OpKind::Rotation, started.elapsed());
+                    if let Some(old) = current.replace(next) {
+                        evaluator.recycle(old);
+                    }
                 }
-                Register::Cipher(current)
+                let out = match current {
+                    Some(rotated) => rotated,
+                    // An empty realization is the identity rotation.
+                    None => evaluator.clone_ciphertext(&x),
+                };
+                Register::cipher(out)
             }
             Register::Plain(_) => unreachable!("plaintext-only nodes are evaluated on the client"),
         },
         Instr::Pack { elems } => {
             let started = Instant::now();
             // Run-time packing: element i is moved to slot i with a
-            // right-rotation and accumulated with additions.
+            // right-rotation and accumulated with in-place additions.
             let mut acc: Option<Ciphertext> = None;
             let mut plain_slots = vec![0i64; elems.len()];
             for (slot, &elem) in elems.iter().enumerate() {
-                match reg(elem) {
+                match rf.read(elem) {
                     Register::Plain(values) => {
                         plain_slots[slot] = values.values().first().copied().unwrap_or(0);
                     }
                     Register::Cipher(ct) => {
                         let placed = if slot == 0 {
-                            ct.clone()
+                            evaluator.clone_ciphertext(&ct)
                         } else {
-                            evaluator.rotate(ct, -(slot as i64), res.galois_keys)?
+                            evaluator.rotate(&ct, -(slot as i64), res.galois_keys)?
                         };
-                        acc = Some(match acc {
-                            None => placed,
-                            Some(prev) => evaluator.add(&prev, &placed),
-                        });
+                        match &mut acc {
+                            None => acc = Some(placed),
+                            Some(prev) => {
+                                evaluator.add_assign(prev, &placed);
+                                evaluator.recycle(placed);
+                            }
+                        }
                     }
                 }
             }
@@ -615,10 +803,12 @@ pub(crate) fn run_instr(
             };
             if plain_slots.iter().any(|&v| v != 0) {
                 let plain = res.ctx.encode(&plain_slots)?;
-                packed = evaluator.add_plain(&packed, &plain);
+                let sum = evaluator.add_plain(&packed, &plain);
+                evaluator.recycle(packed);
+                packed = sum;
             }
             calibration.record(OpKind::Pack, started.elapsed());
-            Register::Cipher(packed)
+            Register::cipher(packed)
         }
     };
     Ok(result)

@@ -73,7 +73,7 @@
 //!                 _ => unreachable!(),
 //!             })
 //!             .collect();
-//!         registers[id] = Some(Register::Cipher(encryptor.encrypt_values(&packed)?));
+//!         registers[id] = Some(Register::cipher(encryptor.encrypt_values(&packed)?));
 //!         prebound[id] = true;
 //!     } else if node.is_leaf() {
 //!         prebound[id] = true; // packed into the vectors above
@@ -83,6 +83,7 @@
 //! let schedule = lower_with_default_costs(&dag, &prebound, |step| vec![step]);
 //! assert_eq!(schedule.level_count(), 2);
 //!
+//! let arenas = chehab_fhe::ArenaPool::new();
 //! let resources = ExecResources {
 //!     ctx: &ctx,
 //!     relin_keys: &relin_keys,
@@ -90,6 +91,7 @@
 //!     // No runtime `Pack` instructions in this schedule, so no zero
 //!     // ciphertext fallback is needed.
 //!     zero: None,
+//!     arenas: &arenas,
 //! };
 //! let outcome = WavefrontExecutor::new(2).execute(&schedule, registers, &resources)?;
 //! let Register::Cipher(output) = outcome.output else { panic!("ciphertext output") };
@@ -111,7 +113,7 @@ pub use batch::BatchExecutor;
 pub use calibrate::{CalibratedCostModel, OpKind, OP_KINDS};
 pub use dataflow::{dynamic_intra_op_grant, DataflowExecutor};
 pub use exec::{
-    ExecResources, LevelTiming, PlainValue, Register, SchedulerKind, TimingBreakdown,
+    ExecResources, LevelTiming, PlainValue, Register, RegisterFile, SchedulerKind, TimingBreakdown,
     WavefrontExecutor, WavefrontOutcome,
 };
 pub use schedule::{

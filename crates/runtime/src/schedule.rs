@@ -138,6 +138,11 @@ pub struct Schedule {
     /// always sit at strictly higher levels, hence at strictly larger
     /// indices (instructions are sorted by level).
     dependents: Vec<Vec<usize>>,
+    /// Per register slot: the number of *distinct instructions* that read
+    /// it — the last-use analysis backing arena-backed register files. A
+    /// slot whose count reaches zero at run time (each consumer decrements
+    /// once on completion) is dead: its buffers can return to the arena.
+    consumer_counts: Vec<usize>,
 }
 
 impl Schedule {
@@ -231,22 +236,23 @@ impl Schedule {
         }
         let mut dep_counts = vec![0usize; instrs.len()];
         let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); instrs.len()];
+        let mut consumer_counts = vec![0usize; dag.len()];
         for (index, si) in instrs.iter().enumerate() {
-            let mut producers: Vec<usize> = si
-                .instr
-                .operands()
-                .into_iter()
-                .filter_map(|slot| instr_of_slot[slot])
-                .collect();
-            // A repeated operand (e.g. squaring) is still one dependency:
-            // the count must match the single completion event that
-            // satisfies it.
-            producers.sort_unstable();
-            producers.dedup();
-            dep_counts[index] = producers.len();
-            for producer in producers {
-                dependents[producer].push(index);
+            let mut operands = si.instr.operands();
+            // A repeated operand (e.g. squaring) is still one dependency
+            // (and one consumption): the counts must match the single
+            // completion event that satisfies them.
+            operands.sort_unstable();
+            operands.dedup();
+            let mut producers = 0usize;
+            for slot in operands {
+                consumer_counts[slot] += 1;
+                if let Some(producer) = instr_of_slot[slot] {
+                    producers += 1;
+                    dependents[producer].push(index);
+                }
             }
+            dep_counts[index] = producers;
         }
 
         Schedule {
@@ -256,6 +262,7 @@ impl Schedule {
             output: dag.output(),
             dep_counts,
             dependents,
+            consumer_counts,
         }
     }
 
@@ -394,6 +401,17 @@ impl Schedule {
     /// Every dependent index is strictly greater than `i`.
     pub fn dependents(&self) -> &[Vec<usize>] {
         &self.dependents
+    }
+
+    /// Per register slot: the number of distinct instructions that read it —
+    /// the schedule's **last-use analysis**. Executors seed a per-slot
+    /// countdown from this and decrement it once per completed consumer; the
+    /// decrement that reaches zero marks the slot dead, and its buffers
+    /// return to the arena (the output slot is exempt — it outlives the
+    /// run). Slots nothing reads (count 0) are only the output and any
+    /// pre-bound value the dead-code-eliminated circuit never touches.
+    pub fn consumer_counts(&self) -> &[usize] {
+        &self.consumer_counts
     }
 
     /// Per-instruction costs under an arbitrary cost table (e.g. a
@@ -788,6 +806,52 @@ mod tests {
         }
         let edges: usize = schedule.dependents().iter().map(Vec::len).sum();
         assert_eq!(edges, schedule.dep_counts().iter().sum::<usize>());
+    }
+
+    #[test]
+    fn consumer_counts_cover_every_distinct_read() {
+        let (dag, schedule) = schedule_of(
+            "(VecAdd (VecAdd (VecMul (Vec a0 a1) (Vec b0 b1)) (<< (VecMul (Vec a0 a1) (Vec b0 b1)) 1)) (VecMul (Vec c0 c1) (Vec d0 d1)))",
+        );
+        let counts = schedule.consumer_counts();
+        assert_eq!(counts.len(), dag.len());
+        // Recompute from scratch: distinct consuming instructions per slot.
+        let mut expected = vec![0usize; dag.len()];
+        for si in schedule.instrs() {
+            let mut ops = si.instr.operands();
+            ops.sort_unstable();
+            ops.dedup();
+            for slot in ops {
+                expected[slot] += 1;
+            }
+        }
+        assert_eq!(counts, &expected[..]);
+        // The shared multiplication feeds both the rotation and the inner
+        // addition: two distinct consumers.
+        let shared_mul = schedule
+            .instrs()
+            .iter()
+            .find(|si| si.level == 0 && matches!(si.instr, Instr::Bin { op: BinOp::Mul, .. }))
+            .map(|si| si.dst)
+            .expect("level-0 multiplication");
+        assert_eq!(counts[shared_mul], 2);
+        // Nothing consumes the output.
+        assert_eq!(counts[schedule.output()], 0);
+    }
+
+    #[test]
+    fn squaring_consumes_its_operand_once() {
+        // The square reads the inner product twice but completes once: one
+        // consumption, so the countdown matches the single completion event.
+        let (_, schedule) =
+            schedule_of("(VecMul (VecMul (Vec a b) (Vec c d)) (VecMul (Vec a b) (Vec c d)))");
+        let inner = schedule
+            .instrs()
+            .iter()
+            .find(|si| si.level == 0)
+            .map(|si| si.dst)
+            .expect("inner multiplication");
+        assert_eq!(schedule.consumer_counts()[inner], 1);
     }
 
     #[test]

@@ -1,0 +1,73 @@
+//! Allocation-regression test for the zero-allocation memory engine.
+//!
+//! A warm `FheSession` must serve steady-state requests with **zero fresh
+//! buffer allocations**: every ciphertext slot vector and payload stripe is
+//! drawn from the session's `ArenaPool` and returned when its ciphertext
+//! dies (last-use analysis frees registers mid-run, the output is recycled
+//! after decryption). The process-global `PolyArena` counters record every
+//! pool miss, so replaying a request against a warm session and asserting
+//! the miss count stays zero pins the property across the whole benchsuite.
+//!
+//! This file deliberately holds a **single test**: the counters are shared
+//! by every thread of the process, so the assertion needs its own test
+//! process (Cargo gives each integration-test file one).
+
+use chehab::benchsuite;
+use chehab::compiler::Compiler;
+use chehab::fhe::{BfvParameters, PolyArena};
+use std::collections::HashMap;
+
+#[test]
+fn warm_kernel_sweep_performs_zero_fresh_buffer_allocations() {
+    // Payload simulation on, small ring: the allocation behavior is
+    // identical at every degree, only the buffer sizes change.
+    let params = BfvParameters {
+        payload_degree: 64,
+        simulate_compute: true,
+        ..BfvParameters::insecure_test()
+    };
+    for benchmark in benchsuite::full_suite() {
+        let compiled = Compiler::without_optimizer().compile(benchmark.id(), benchmark.program());
+        let session = compiled
+            .session(&params)
+            .unwrap_or_else(|e| panic!("{}: session construction failed: {e}", benchmark.id()));
+        let env = benchmark.input_env(29);
+        let inputs: HashMap<String, i64> = benchmark
+            .program()
+            .variables()
+            .into_iter()
+            .map(|v| (v.to_string(), env.get(v.as_str()).unwrap_or(0) as i64))
+            .collect();
+
+        // Two passes fill the pool: the first allocates every buffer the
+        // request shape needs, the second proves the pool round-trips.
+        let cold = session
+            .run(&inputs)
+            .unwrap_or_else(|e| panic!("{}: cold run failed: {e}", benchmark.id()));
+        let warm_up = session.run(&inputs).unwrap();
+        assert_eq!(warm_up.outputs, cold.outputs, "{}", benchmark.id());
+
+        PolyArena::reset_counters();
+        let warm = session.run(&inputs).unwrap();
+        let fresh = PolyArena::fresh_allocations();
+        let reuses = PolyArena::reuses();
+        assert_eq!(
+            fresh,
+            0,
+            "{}: a warm request must serve every slot vector and payload \
+             stripe from the arena ({reuses} reuses recorded)",
+            benchmark.id()
+        );
+        assert!(
+            reuses > 0,
+            "{}: a served request must actually draw buffers from the arena",
+            benchmark.id()
+        );
+        assert_eq!(
+            warm.outputs,
+            cold.outputs,
+            "{}: buffer reuse must not change results",
+            benchmark.id()
+        );
+    }
+}

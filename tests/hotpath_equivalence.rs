@@ -217,9 +217,9 @@ fn plaintext_splat_cache_survives_cross_context_reuse() {
     // The reference never saw the small context at all.
     let fresh = ctx_large.encode(&[3, 3]).unwrap();
     let reference = eval_large.multiply_plain(&ct_large, &fresh);
-    assert_eq!(crossed.payload_polys(), reference.payload_polys());
-    assert_eq!(small_product.payload_polys()[0].degree(), 16);
-    assert_eq!(crossed.payload_polys()[0].degree(), 64);
+    assert_eq!(crossed.payload(), reference.payload());
+    assert_eq!(small_product.payload().degree(), 16);
+    assert_eq!(crossed.payload().degree(), 64);
 }
 
 /// Intra-op chunking is a pure wall-clock knob: the payload polynomials,
@@ -251,16 +251,8 @@ fn intra_op_chunking_is_bit_identical_and_counted() {
         assert_eq!(chunked.intra_op_threads(), threads);
         let par_mul = chunked.multiply(&a, &b, &relin);
         let par_rot = chunked.rotate(&par_mul, 1, &galois).unwrap();
-        assert_eq!(
-            par_mul.payload_polys(),
-            seq_mul.payload_polys(),
-            "{threads} threads"
-        );
-        assert_eq!(
-            par_rot.payload_polys(),
-            seq_rot.payload_polys(),
-            "{threads} threads"
-        );
+        assert_eq!(par_mul.payload(), seq_mul.payload(), "{threads} threads");
+        assert_eq!(par_rot.payload(), seq_rot.payload(), "{threads} threads");
         assert_eq!(
             par_mul.noise_consumed_bits(),
             seq_mul.noise_consumed_bits(),
