@@ -1450,6 +1450,170 @@ pub fn write_memlayout_json(
     Ok(path)
 }
 
+/// One traced request of a kernel: summary figures of a full structured
+/// span capture (session phases + per-worker instruction spans) exported as
+/// Chrome-trace JSON, with bit-identity asserted against an untraced run.
+#[derive(Debug, Clone)]
+pub struct TraceMeasurement {
+    /// Benchmark identifier.
+    pub benchmark: String,
+    /// Workers of the traced dataflow run.
+    pub threads: usize,
+    /// Wall time of the traced request, ms.
+    pub request_ms: f64,
+    /// Recorded spans (session phases + instructions).
+    pub span_count: usize,
+    /// Trace tracks (one session track + one per executor worker).
+    pub track_count: usize,
+    /// Instruction spans recorded with steal provenance.
+    pub stolen_spans: usize,
+    /// Whether the traced outputs matched both the untraced run (bit for
+    /// bit) and the plaintext reference.
+    pub correct: bool,
+    /// The Chrome/Perfetto `traceEvents` JSON of the capture.
+    pub chrome_json: String,
+}
+
+/// Serves one request of a kernel with tracing on (dataflow scheduler,
+/// `threads` workers) and one with tracing off, asserts the outputs are
+/// bit-identical and match the plaintext reference, and exports the capture
+/// as Chrome-trace JSON.
+pub fn measure_trace(
+    benchmark: &Benchmark,
+    compiler: &CompilerUnderTest,
+    params: &BfvParameters,
+    threads: usize,
+) -> TraceMeasurement {
+    let compiled = compiler.compile(benchmark);
+    let inputs: HashMap<String, i64> = benchmark
+        .program()
+        .variables()
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v.to_string(), (i as i64 % 7) + 1))
+        .collect();
+    let expected = {
+        let mut env = chehab_ir::Env::new();
+        for (k, v) in &inputs {
+            env.bind(k.clone(), *v);
+        }
+        chehab_ir::evaluate(benchmark.program(), &env)
+            .map(|v| {
+                v.slots()
+                    .into_iter()
+                    .take(benchmark.output_slots())
+                    .collect::<Vec<_>>()
+            })
+            .unwrap_or_default()
+    };
+
+    let session = compiled
+        .session(params)
+        .unwrap_or_else(|e| panic!("{}: session construction failed: {e}", benchmark.id()));
+    let options = ExecOptions::sequential().with_threads_per_request(threads);
+    let untraced = session
+        .run_parallel(&inputs, &options)
+        .unwrap_or_else(|e| panic!("{}: untraced run failed: {e}", benchmark.id()));
+    let started = Instant::now();
+    let (traced, trace) = session
+        .trace_request(&inputs, &options)
+        .unwrap_or_else(|e| panic!("{}: traced run failed: {e}", benchmark.id()));
+    let request_ms = ms(started.elapsed());
+
+    let got: Vec<u64> = traced
+        .outputs
+        .iter()
+        .copied()
+        .take(expected.len())
+        .collect();
+    let correct = traced.outputs == untraced.outputs
+        && traced.decryption_ok == untraced.decryption_ok
+        && traced.decryption_ok
+        && got == expected;
+
+    TraceMeasurement {
+        benchmark: benchmark.id(),
+        threads,
+        request_ms,
+        span_count: trace.events().len(),
+        track_count: trace.track_labels().len(),
+        stolen_spans: trace
+            .events()
+            .iter()
+            .filter(|e| e.stolen_from.is_some())
+            .count(),
+        correct,
+        chrome_json: trace.to_chrome_json(),
+    }
+}
+
+/// Writes trace-capture summaries as JSON into `path` and returns it. The
+/// full Chrome-trace JSON of each capture is *not* embedded — callers write
+/// the sample capture they want to keep as its own artifact (loadable
+/// directly in `chrome://tracing`).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_trace_json(
+    path: impl AsRef<std::path::Path>,
+    threads: usize,
+    measurements: &[TraceMeasurement],
+) -> std::io::Result<std::path::PathBuf> {
+    use serde::Value;
+    let rows: Vec<Value> = measurements
+        .iter()
+        .map(|m| {
+            Value::Object(vec![
+                ("benchmark".into(), Value::Str(m.benchmark.clone())),
+                ("threads".into(), Value::Int(m.threads as i64)),
+                ("request_ms".into(), Value::Float(m.request_ms)),
+                ("span_count".into(), Value::Int(m.span_count as i64)),
+                ("track_count".into(), Value::Int(m.track_count as i64)),
+                ("stolen_spans".into(), Value::Int(m.stolen_spans as i64)),
+                ("correct".into(), Value::Bool(m.correct)),
+            ])
+        })
+        .collect();
+    let document = Value::Object(vec![
+        ("experiment".into(), Value::Str("trace".into())),
+        ("threads".into(), Value::Int(threads as i64)),
+        ("host_cpus".into(), Value::Int(available_cpus() as i64)),
+        (
+            "semantics".into(),
+            Value::Str(
+                "One traced request per kernel under the dataflow scheduler at `threads` \
+                 workers: span_count counts recorded spans (session bind/execute/decrypt \
+                 phases plus one span per executed instruction), track_count the trace tracks \
+                 (one session track + one per executor worker), stolen_spans the instruction \
+                 spans carrying steal provenance. correct asserts the traced outputs are \
+                 bit-identical to an untraced run and match the plaintext reference — tracing \
+                 observes, never perturbs"
+                    .into(),
+            ),
+        ),
+        (
+            "kernels_measured".into(),
+            Value::Int(measurements.len() as i64),
+        ),
+        (
+            "all_correct".into(),
+            Value::Bool(measurements.iter().all(|m| m.correct)),
+        ),
+        (
+            "total_spans".into(),
+            Value::Int(measurements.iter().map(|m| m.span_count as i64).sum()),
+        ),
+        ("kernels".into(), Value::Array(rows)),
+    ]);
+    let path = path.as_ref().to_path_buf();
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&document).expect("stub serializer is infallible"),
+    )?;
+    Ok(path)
+}
+
 /// Writes hot-path measurements as JSON into `path` and returns it.
 ///
 /// # Errors

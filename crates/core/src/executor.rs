@@ -28,9 +28,10 @@ use chehab_fhe::{
 };
 use chehab_ir::{BinOp, CircuitDag, CircuitSummary, CostModel, DagNode, DataKind, Expr, Ty};
 use chehab_runtime::{
-    data_kinds, default_workers, BatchExecutor, CalibratedCostModel, DataflowExecutor,
-    ExecResources, Register, Schedule, SchedulerKind, SchedulerMetrics, ServingConfig,
-    ServingEngine, TimingBreakdown, WavefrontExecutor, DEFAULT_QUEUE_CAPACITY,
+    data_kinds, default_workers, BatchExecutor, CalibratedCostModel, Counter, DataflowExecutor,
+    ExecResources, Gauge, MetricsRegistry, Register, Schedule, SchedulerKind, SchedulerMetrics,
+    ServingConfig, ServingEngine, SpanEvent, TimingBreakdown, Trace, TraceSink, WavefrontExecutor,
+    DEFAULT_QUEUE_CAPACITY,
 };
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -401,6 +402,90 @@ pub struct SessionStats {
     pub calibration: CalibratedCostModel,
 }
 
+/// The session's named metric handles, registered once at session build on
+/// the session-owned [`MetricsRegistry`]. Two update disciplines coexist:
+/// *live* handles (`requests`, `steals`) are bumped on the request path,
+/// while *mirrored* handles are synced from their external source of truth
+/// (arena pool counters, NTT transform counters, key-generator census) each
+/// time the registry is read.
+#[derive(Debug)]
+struct SessionMetrics {
+    registry: MetricsRegistry,
+    requests: Counter,
+    steals: Counter,
+    arena_fresh: Counter,
+    arena_reused: Counter,
+    arena_retained: Gauge,
+    ntt_forward: Counter,
+    ntt_inverse: Counter,
+    keygen_instances: Counter,
+    galois_keys: Gauge,
+}
+
+impl SessionMetrics {
+    fn new() -> Self {
+        let registry = MetricsRegistry::new();
+        SessionMetrics {
+            requests: registry.counter(
+                "chehab_requests_served_total",
+                "Requests served through this session",
+            ),
+            steals: registry.counter(
+                "chehab_dataflow_steals_total",
+                "Work-stealing pops across every dataflow-scheduled request",
+            ),
+            arena_fresh: registry.counter(
+                "chehab_arena_fresh_allocations_total",
+                "Buffer-pool misses of the session arena pool",
+            ),
+            arena_reused: registry.counter(
+                "chehab_arena_reuses_total",
+                "Buffer-pool hits of the session arena pool",
+            ),
+            arena_retained: registry.gauge(
+                "chehab_arena_retained_buffers",
+                "Warm buffers currently parked in the session arena pool",
+            ),
+            ntt_forward: registry.counter(
+                "chehab_ntt_forward_transforms_total",
+                "Forward NTT transforms executed by the session context",
+            ),
+            ntt_inverse: registry.counter(
+                "chehab_ntt_inverse_transforms_total",
+                "Inverse NTT transforms executed by the session context",
+            ),
+            keygen_instances: registry.counter(
+                "chehab_keygen_instances_total",
+                "KeyGenerator instances created process-wide",
+            ),
+            galois_keys: registry.gauge("chehab_galois_keys", "Galois keys held by the session"),
+            registry,
+        }
+    }
+}
+
+/// Appends one session-phase span (`bind` / `execute` / `decrypt`) to a
+/// request's trace.
+fn session_span(
+    sink: &TraceSink,
+    track: usize,
+    name: &'static str,
+    started: Instant,
+    dur: Duration,
+) {
+    sink.push(SpanEvent {
+        name,
+        cat: "session",
+        track,
+        start_ns: sink.offset_ns(started),
+        dur_ns: u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX),
+        instr: None,
+        queue_wait_ns: None,
+        grant: None,
+        stolen_from: None,
+    });
+}
+
 /// Everything one compiled program shares across executions under fixed
 /// parameters: FHE context, key material, the leveled schedule, and a
 /// cumulative timing calibration.
@@ -459,6 +544,9 @@ pub struct FheSession {
     /// Measured per-op latencies accumulated across every request served.
     calibration: Mutex<CalibratedCostModel>,
     requests_served: AtomicU64,
+    /// The session-owned metrics registry and its named handles (see
+    /// [`FheSession::metrics`]).
+    metrics: SessionMetrics,
 }
 
 impl FheSession {
@@ -533,6 +621,7 @@ impl FheSession {
             lowering_time,
             calibration: Mutex::new(CalibratedCostModel::new()),
             requests_served: AtomicU64::new(0),
+            metrics: SessionMetrics::new(),
         })
     }
 
@@ -604,7 +693,7 @@ impl FheSession {
     ///
     /// Same contract as [`CompiledProgram::execute`].
     pub fn run(&self, inputs: &HashMap<String, i64>) -> Result<ExecutionReport, FheError> {
-        self.run_with_options(inputs, 1, SchedulerKind::Leveled)
+        self.run_with_options(inputs, 1, SchedulerKind::Leveled, None)
     }
 
     /// Serves one request with `options.threads_per_request` workers under
@@ -621,7 +710,37 @@ impl FheSession {
         inputs: &HashMap<String, i64>,
         options: &ExecOptions,
     ) -> Result<ExecutionReport, FheError> {
-        self.run_with_options(inputs, options.threads_per_request, options.scheduler)
+        self.run_with_options(inputs, options.threads_per_request, options.scheduler, None)
+    }
+
+    /// Serves one request exactly like [`FheSession::run_parallel`] while
+    /// capturing a full structured trace of it: one session track carrying
+    /// the `bind` / `execute` / `decrypt` phase spans plus one track per
+    /// executor worker carrying instruction-level spans (operation label,
+    /// instruction index, queue wait, intra-op thread grant, steal
+    /// provenance).
+    ///
+    /// Tracing only *observes* timings: the report — outputs, operation
+    /// stats, noise figures — is bit-identical to an untraced run. Export
+    /// the returned [`Trace`] with [`Trace::to_chrome_json`] and load it in
+    /// `chrome://tracing` or <https://ui.perfetto.dev>.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CompiledProgram::execute`].
+    pub fn trace_request(
+        &self,
+        inputs: &HashMap<String, i64>,
+        options: &ExecOptions,
+    ) -> Result<(ExecutionReport, Trace), FheError> {
+        let sink = TraceSink::new();
+        let report = self.run_with_options(
+            inputs,
+            options.threads_per_request,
+            options.scheduler,
+            Some(&sink),
+        )?;
+        Ok((report, sink.into_trace()))
     }
 
     /// Serves one closed batch of requests through this session:
@@ -642,7 +761,12 @@ impl FheSession {
     ) -> Result<Vec<ExecutionReport>, FheError> {
         let pool = BatchExecutor::new(options.request_threads);
         let reports = pool.run(input_sets.to_vec(), |_, inputs| {
-            self.run_with_options(&inputs, options.threads_per_request, options.scheduler)
+            self.run_with_options(
+                &inputs,
+                options.threads_per_request,
+                options.scheduler,
+                None,
+            )
         });
         reports.into_iter().collect()
     }
@@ -659,28 +783,63 @@ impl FheSession {
     /// drains in-flight work and reports queue/throughput stats; the
     /// cumulative per-op timing lives in [`FheSession::stats`] on the shared
     /// session. Each served request's scheduler counters (steals, queue
-    /// waits, reclaimed barrier slack) are recorded into the engine's
-    /// [`SchedulerMetrics`] sink and surface in
-    /// [`chehab_runtime::ServingStats::scheduler`].
+    /// waits, reclaimed barrier slack) and measured per-operation-kind
+    /// latencies are recorded into the engine's [`SchedulerMetrics`] sink
+    /// and surface in [`chehab_runtime::ServingStats::scheduler`] and
+    /// [`chehab_runtime::ServingStats::latency`].
     pub fn serve(self: &Arc<Self>, options: &ExecOptions) -> FheServingEngine {
+        self.serve_traced(options, None)
+    }
+
+    /// Like [`FheSession::serve`], with an optional shared [`TraceSink`]:
+    /// when set, every serving worker records one request-level span per
+    /// served job (with its queue wait attached) on its own trace track, so
+    /// a whole serving run exports as a request timeline. Instruction-level
+    /// spans are deliberately *not* recorded here — each executor run would
+    /// allocate fresh worker tracks, unbounded over an open request stream;
+    /// use [`FheSession::trace_request`] for a per-request deep dive.
+    ///
+    /// The caller keeps a clone of the `Arc` and turns it into a
+    /// [`Trace`] (via [`TraceSink::into_trace`], after `shutdown` and
+    /// unwrapping the `Arc`) once the engine is done.
+    pub fn serve_traced(
+        self: &Arc<Self>,
+        options: &ExecOptions,
+        trace: Option<Arc<TraceSink>>,
+    ) -> FheServingEngine {
         let session = Arc::clone(self);
         let threads_per_request = options.threads_per_request;
         let scheduler = options.scheduler;
         let metrics = Arc::new(SchedulerMetrics::default());
         let sink = Arc::clone(&metrics);
-        ServingEngine::with_scheduler_metrics(
+        ServingEngine::with_telemetry(
             ServingConfig {
                 workers: options.request_threads,
                 queue_capacity: options.queue_capacity,
             },
             metrics,
+            trace,
             move |_, inputs: HashMap<String, i64>| {
-                let result = session.run_with_options(&inputs, threads_per_request, scheduler);
+                let result =
+                    session.run_with_options(&inputs, threads_per_request, scheduler, None);
                 if let Ok(report) = &result {
                     sink.record(
                         report.timing.steals,
                         report.timing.reclaimed_slack,
                         &report.timing.queue_waits,
+                    );
+                    // Per-op-kind latency histograms: label every measured
+                    // instruction span with its schedule operation. (The
+                    // leveled scheduler reports no per-instruction spans, so
+                    // the zip is empty there and only the dataflow path
+                    // populates the histograms.)
+                    sink.record_op_samples(
+                        session
+                            .schedule
+                            .instrs()
+                            .iter()
+                            .zip(report.timing.instr_times.iter().copied())
+                            .map(|(si, time)| (si.instr.label(), time)),
                     );
                 }
                 result
@@ -731,24 +890,70 @@ impl FheSession {
         self.calibration.lock().unwrap().to_cost_model(base)
     }
 
+    /// Syncs the mirrored metric handles from their sources of truth: the
+    /// session arena pool's allocation counters, the context's NTT transform
+    /// counters, and the process-wide key-generator census. Live handles
+    /// (requests served, dataflow steals) are bumped on the request path and
+    /// need no sync.
+    fn refresh_metrics(&self) {
+        let m = &self.metrics;
+        let arena = self.arena_pool.alloc_stats();
+        m.arena_fresh.store(arena.fresh_allocations);
+        m.arena_reused.store(arena.reuses);
+        m.arena_retained.set(self.arena_pool.retained() as f64);
+        let transforms = self.ctx.transform_stats();
+        m.ntt_forward.store(transforms.forward);
+        m.ntt_inverse.store(transforms.inverse);
+        m.keygen_instances.store(KeyGenerator::instances_created());
+        m.galois_keys.set(self.galois_keys.key_count() as f64);
+    }
+
+    /// The session's unified metrics registry, freshly synced: request and
+    /// dataflow-steal counters recorded live on the request path, arena
+    /// fresh/reuse/retained figures from the session pool, NTT transform
+    /// counts from the context, the process-wide key-generator census, and
+    /// the Galois-key gauge. Render it with
+    /// [`MetricsRegistry::render_text`] (or use the
+    /// [`FheSession::render_metrics`] shorthand).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        self.refresh_metrics();
+        &self.metrics.registry
+    }
+
+    /// The session's metrics in the Prometheus text exposition format
+    /// (synced first, like [`FheSession::metrics`]).
+    pub fn render_metrics(&self) -> String {
+        self.metrics().render_text()
+    }
+
     /// Runs one request: client-side binding, the timed scheduled execution
     /// (leveled wavefront or barrier-free dataflow), and decryption, then
     /// folds the request's measurements into the session's cumulative
-    /// calibration.
+    /// calibration. With a [`TraceSink`] installed, the phases are recorded
+    /// as `session`-category spans and the executors record
+    /// instruction-level spans on per-worker tracks.
     fn run_with_options(
         &self,
         inputs: &HashMap<String, i64>,
         threads: usize,
         scheduler: SchedulerKind,
+        trace: Option<&TraceSink>,
     ) -> Result<ExecutionReport, FheError> {
         let program = &self.program;
+        let session_track = trace.map(|sink| sink.allocate_track("session"));
+
+        let bind_started = Instant::now();
         let registers = self.bind_registers(inputs)?;
+        if let (Some(sink), Some(track)) = (trace, session_track) {
+            session_span(sink, track, "bind", bind_started, bind_started.elapsed());
+        }
         let resources = ExecResources {
             ctx: &self.ctx,
             relin_keys: &self.relin_keys,
             galois_keys: &self.galois_keys,
             zero: self.zero.as_ref(),
             arenas: &self.arena_pool,
+            trace,
         };
 
         // --- server side: execute the scheduled operations (timed).
@@ -777,7 +982,11 @@ impl FheSession {
             }
         };
         let server_time = started.elapsed();
+        if let (Some(sink), Some(track)) = (trace, session_track) {
+            session_span(sink, track, "execute", started, server_time);
+        }
 
+        let decrypt_started = Instant::now();
         let t = self.ctx.plain_modulus() as i64;
         let (outputs, noise_consumed, decryption_ok) = match outcome.output {
             Register::Cipher(ct) => {
@@ -811,11 +1020,23 @@ impl FheSession {
             ),
         };
 
+        if let (Some(sink), Some(track)) = (trace, session_track) {
+            session_span(
+                sink,
+                track,
+                "decrypt",
+                decrypt_started,
+                decrypt_started.elapsed(),
+            );
+        }
+
         self.calibration
             .lock()
             .unwrap()
             .merge(&outcome.timing.per_op);
         self.requests_served.fetch_add(1, Ordering::Relaxed);
+        self.metrics.requests.inc();
+        self.metrics.steals.add(outcome.timing.steals);
 
         Ok(ExecutionReport {
             outputs,

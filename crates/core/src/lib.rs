@@ -50,3 +50,7 @@ pub use rotation_keys::{naf_decomposition, select_rotation_keys, RotationKeyPlan
 // The scheduling knob of `ExecOptions`, re-exported so session users don't
 // need a direct `chehab_runtime` dependency to pick a discipline.
 pub use chehab_runtime::SchedulerKind;
+// The telemetry surface of the session API ([`FheSession::trace_request`],
+// [`FheSession::serve_traced`], [`FheSession::metrics`]), re-exported for
+// the same reason.
+pub use chehab_runtime::{Histogram, MetricsRegistry, Trace, TraceSink};

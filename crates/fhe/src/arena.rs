@@ -16,11 +16,13 @@
 //! restore it (with every recycled buffer) when they finish, so warm buffers
 //! survive across requests and across workers.
 //!
-//! Process-global counters ([`PolyArena::fresh_allocations`] /
-//! [`PolyArena::reuses`]) record every miss and hit for test
-//! instrumentation: the allocation-regression test warms a session, resets
-//! the counters, replays the request stream and asserts the miss count
-//! stays zero.
+//! Counters record every miss and hit at two scopes. The process-global
+//! statics ([`PolyArena::fresh_allocations`] / [`PolyArena::reuses`]) back
+//! the allocation-regression test, which warms a session, resets the
+//! counters, replays the request stream and asserts the miss count stays
+//! zero. The per-pool counters ([`ArenaPool::alloc_stats`]) feed the
+//! session's telemetry registry: they are scoped to one pool, so concurrent
+//! sessions never alias each other's allocation stats.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -34,6 +36,27 @@ static ARENA_FRESH: AtomicU64 = AtomicU64::new(0);
 /// list (pool hit).
 static ARENA_REUSED: AtomicU64 = AtomicU64::new(0);
 
+/// Per-[`ArenaPool`] hit/miss counters, shared by every arena checked out of
+/// one pool (an `Arc` clone travels with the arena). They exist alongside
+/// the process-global statics so concurrent sessions can read their own
+/// allocation behavior without aliasing each other's.
+#[derive(Debug, Default)]
+struct PoolCounters {
+    fresh: AtomicU64,
+    reused: AtomicU64,
+}
+
+/// A session-scoped snapshot of one [`ArenaPool`]'s allocation counters
+/// ([`ArenaPool::alloc_stats`]): pool misses and hits across every arena
+/// that was ever checked out of the pool, since the pool was created.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ArenaPoolStats {
+    /// `take` calls that had to allocate a fresh buffer (pool miss).
+    pub fresh_allocations: u64,
+    /// `take` calls served from a free list (pool hit).
+    pub reuses: u64,
+}
+
 /// A length-keyed free-list allocator for the `u64` buffers of the hot path
 /// (slot vectors and ciphertext payload stripes).
 ///
@@ -45,6 +68,9 @@ static ARENA_REUSED: AtomicU64 = AtomicU64::new(0);
 #[derive(Debug, Default)]
 pub struct PolyArena {
     pools: HashMap<usize, Vec<Vec<u64>>>,
+    /// Counters of the [`ArenaPool`] this arena was checked out of, if any:
+    /// standalone arenas count only into the process-global statics.
+    counters: Option<Arc<PoolCounters>>,
 }
 
 impl PolyArena {
@@ -61,9 +87,15 @@ impl PolyArena {
     pub fn take(&mut self, len: usize) -> Vec<u64> {
         if let Some(buf) = self.pools.get_mut(&len).and_then(Vec::pop) {
             ARENA_REUSED.fetch_add(1, Ordering::Relaxed);
+            if let Some(counters) = &self.counters {
+                counters.reused.fetch_add(1, Ordering::Relaxed);
+            }
             buf
         } else {
             ARENA_FRESH.fetch_add(1, Ordering::Relaxed);
+            if let Some(counters) = &self.counters {
+                counters.fresh.fetch_add(1, Ordering::Relaxed);
+            }
             vec![0u64; len]
         }
     }
@@ -118,6 +150,10 @@ impl PolyArena {
 #[derive(Debug, Clone, Default)]
 pub struct ArenaPool {
     inner: Arc<Mutex<Vec<PolyArena>>>,
+    /// Hit/miss counters shared by every arena checked out of this pool
+    /// (clones of the pool share them too, consistent with the shared
+    /// `inner`), snapshotted by [`ArenaPool::alloc_stats`].
+    counters: Arc<PoolCounters>,
 }
 
 impl ArenaPool {
@@ -130,11 +166,16 @@ impl ArenaPool {
     /// spare — e.g. on the first request, or when more workers run
     /// concurrently than ever before).
     pub fn checkout(&self) -> PolyArena {
-        self.inner
+        let mut arena = self
+            .inner
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .pop()
-            .unwrap_or_default()
+            .unwrap_or_default();
+        // Attach (or refresh) this pool's counters so the arena's hits and
+        // misses are attributed to the session that checked it out.
+        arena.counters = Some(Arc::clone(&self.counters));
+        arena
     }
 
     /// Returns an arena (and every buffer it holds) to the pool.
@@ -158,6 +199,18 @@ impl ArenaPool {
         }
         let arena = guard.last_mut().expect("pool is non-empty");
         ciphertext.recycle_into(arena);
+    }
+
+    /// A snapshot of this pool's allocation counters: pool misses and hits
+    /// of every arena ever checked out of it. Unlike the process-global
+    /// [`PolyArena::fresh_allocations`] / [`PolyArena::reuses`], the figures
+    /// are scoped to this pool (and its clones), so concurrent sessions can
+    /// each read their own allocation behavior.
+    pub fn alloc_stats(&self) -> ArenaPoolStats {
+        ArenaPoolStats {
+            fresh_allocations: self.counters.fresh.load(Ordering::Relaxed),
+            reuses: self.counters.reused.load(Ordering::Relaxed),
+        }
     }
 
     /// Total buffers parked across every arena currently in the pool
@@ -209,6 +262,28 @@ mod tests {
         let mut arena = PolyArena::new();
         arena.put(Vec::new());
         assert_eq!(arena.retained(), 0);
+    }
+
+    #[test]
+    fn pool_scoped_counters_do_not_alias_across_pools() {
+        let a = ArenaPool::new();
+        let b = ArenaPool::new();
+        let mut arena = a.checkout();
+        let buf = arena.take(8); // miss
+        arena.put(buf);
+        let _hit = arena.take(8); // hit
+        a.restore(arena);
+        assert_eq!(
+            a.alloc_stats(),
+            ArenaPoolStats {
+                fresh_allocations: 1,
+                reuses: 1
+            }
+        );
+        // The sibling pool saw none of that traffic...
+        assert_eq!(b.alloc_stats(), ArenaPoolStats::default());
+        // ...while a clone of the first pool shares its counters.
+        assert_eq!(a.clone().alloc_stats(), a.alloc_stats());
     }
 
     #[test]

@@ -183,15 +183,25 @@ impl FheContext {
     /// `(forward, inverse)` NTT transform counts performed through this
     /// context's tables since construction (or the last
     /// [`FheContext::reset_transform_counts`]); `(0, 0)` when compute
-    /// simulation is off. Test instrumentation: the lazy NTT-domain
-    /// representation promises that chains of homomorphic operations
-    /// transform each operand at most once, and these counters are how
-    /// tests hold it to that.
+    /// simulation is off. Positional shorthand for
+    /// [`FheContext::transform_stats`].
     pub fn transform_counts(&self) -> (u64, u64) {
+        let stats = self.transform_stats();
+        (stats.forward, stats.inverse)
+    }
+
+    /// Cumulative NTT transform counts performed through this context's
+    /// tables since construction (or the last
+    /// [`FheContext::reset_transform_counts`]); all-zero when compute
+    /// simulation is off. Telemetry for the NTT hot path — sessions expose
+    /// it through their metrics registry — and the handle tests use to hold
+    /// the lazy NTT-domain representation to its promise that chains of
+    /// homomorphic operations transform each operand at most once.
+    pub fn transform_stats(&self) -> crate::poly::TransformStats {
         self.inner
             .tables
             .as_ref()
-            .map_or((0, 0), NttTables::transform_counts)
+            .map_or_else(Default::default, NttTables::transform_stats)
     }
 
     /// Resets the context's transform counters to zero.

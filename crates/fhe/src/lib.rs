@@ -55,10 +55,11 @@ mod params;
 pub mod payload;
 pub mod poly;
 
-pub use arena::{ArenaPool, PolyArena};
+pub use arena::{ArenaPool, ArenaPoolStats, PolyArena};
 pub use crypto::{Ciphertext, Decryptor, Encryptor, FheContext, FheError, Plaintext};
 pub use evaluator::{Evaluator, EvaluatorStats};
 pub use keys::{GaloisKeys, KeyGenerator, PublicKey, RelinKeys, SecretKey};
 pub use noise::NoiseModel;
 pub use params::{BfvParameters, ParameterError, SecurityLevel};
 pub use payload::CtPayload;
+pub use poly::TransformStats;

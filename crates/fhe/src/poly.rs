@@ -165,6 +165,18 @@ struct TransformCounters {
     inverse: AtomicU64,
 }
 
+/// A snapshot of one [`NttTables`] instance's cumulative transform counts
+/// ([`NttTables::transform_stats`]): telemetry for the NTT hot path,
+/// exposed through the session metrics registry and usable in tests to
+/// assert representation laziness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransformStats {
+    /// Forward (coefficient → evaluation) transforms performed.
+    pub forward: u64,
+    /// Inverse (evaluation → coefficient) transforms performed.
+    pub inverse: u64,
+}
+
 /// Precomputed twiddle factors for negacyclic NTTs of a fixed degree.
 #[derive(Debug, Clone)]
 pub struct NttTables {
@@ -232,13 +244,23 @@ impl NttTables {
     }
 
     /// `(forward, inverse)` transform counts since construction (or the last
-    /// [`NttTables::reset_transform_counts`]), shared across clones. Test
-    /// instrumentation for representation-laziness assertions.
+    /// [`NttTables::reset_transform_counts`]), shared across clones.
+    /// Positional shorthand for [`NttTables::transform_stats`].
     pub fn transform_counts(&self) -> (u64, u64) {
-        (
-            self.counters.forward.load(Ordering::Relaxed),
-            self.counters.inverse.load(Ordering::Relaxed),
-        )
+        let stats = self.transform_stats();
+        (stats.forward, stats.inverse)
+    }
+
+    /// Cumulative transform counts since construction (or the last
+    /// [`NttTables::reset_transform_counts`]), shared across clones: the
+    /// telemetry view of the NTT hot path, fed into the session metrics
+    /// registry and usable for representation-laziness assertions (one
+    /// relaxed atomic load per field, negligible next to a transform).
+    pub fn transform_stats(&self) -> TransformStats {
+        TransformStats {
+            forward: self.counters.forward.load(Ordering::Relaxed),
+            inverse: self.counters.inverse.load(Ordering::Relaxed),
+        }
     }
 
     /// Resets the transform counters to zero (affects all clones).

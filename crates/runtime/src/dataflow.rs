@@ -45,6 +45,7 @@ use crate::exec::{
     SchedulerKind, TimingBreakdown, WavefrontOutcome,
 };
 use crate::schedule::Schedule;
+use crate::telemetry::TraceBuffer;
 use chehab_fhe::{Evaluator, EvaluatorStats, FheError};
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
@@ -103,14 +104,16 @@ struct SchedState {
 impl SchedState {
     /// Pops the next instruction for `worker`: own deque front, then the
     /// injector (highest priority), then a steal from the back of the
-    /// richest victim's deque.
-    fn pop(&mut self, worker: usize) -> Option<Ready> {
+    /// richest victim's deque. The second element is the steal provenance:
+    /// `Some(victim)` when the instruction was taken from another worker's
+    /// deque, `None` for own/injector pops — recorded on trace spans.
+    fn pop(&mut self, worker: usize) -> Option<(Ready, Option<usize>)> {
         if let Some(ready) = self.locals[worker].pop_front() {
-            return Some(ready);
+            return Some((ready, None));
         }
         if !self.injector.is_empty() {
             // The injector is kept sorted ascending; the best is at the end.
-            return self.injector.pop();
+            return self.injector.pop().map(|ready| (ready, None));
         }
         let victim = self
             .locals
@@ -120,7 +123,9 @@ impl SchedState {
             .max_by(|(a_idx, a), (b_idx, b)| a.len().cmp(&b.len()).then(b_idx.cmp(a_idx)))
             .map(|(v, _)| v)?;
         self.steals += 1;
-        self.locals[victim].pop_back()
+        self.locals[victim]
+            .pop_back()
+            .map(|ready| (ready, Some(victim)))
     }
 
     /// Inserts a newly-ready instruction into `worker`'s deque, keeping it
@@ -278,9 +283,13 @@ impl DataflowExecutor {
     ) -> Result<(EvaluatorStats, TimingBreakdown), FheError> {
         let n = schedule.instrs().len();
         let mut evaluator = Evaluator::with_arena(res.ctx, res.arenas.checkout());
+        let grant = if splittable { self.threads } else { 1 };
         if splittable {
             evaluator.set_intra_op_threads(self.threads);
         }
+        let mut tracer = res
+            .trace
+            .map(|sink| TraceBuffer::new(sink, "dataflow worker 0"));
         let mut calibration = CalibratedCostModel::new();
         let mut instr_times = vec![Duration::ZERO; n];
         let mut queue_waits = vec![Duration::ZERO; n];
@@ -298,11 +307,25 @@ impl DataflowExecutor {
         while let Some(pos) = best_ready(&ready) {
             let item = ready.swap_remove(pos);
             let si = &schedule.instrs()[item.index];
-            queue_waits[item.index] = item.since.elapsed();
+            let wait = item.since.elapsed();
+            queue_waits[item.index] = wait;
             let instr_started = Instant::now();
             match run_instr(si, rf, &mut evaluator, res, &mut calibration) {
                 Ok(register) => {
-                    instr_times[item.index] = instr_started.elapsed();
+                    let elapsed = instr_started.elapsed();
+                    instr_times[item.index] = elapsed;
+                    if let Some(tracer) = tracer.as_mut() {
+                        tracer.record(
+                            si.instr.label(),
+                            "instr",
+                            instr_started,
+                            elapsed,
+                            Some(item.index),
+                            Some(wait),
+                            Some(grant),
+                            None,
+                        );
+                    }
                     publish_and_reap(rf, si, register, &mut evaluator);
                 }
                 Err(e) => {
@@ -409,6 +432,9 @@ fn execute_parallel(
             scope.spawn(move || {
                 let mut evaluator = Evaluator::with_arena(res.ctx, res.arenas.checkout());
                 let mut calibration = CalibratedCostModel::new();
+                let mut tracer = res
+                    .trace
+                    .map(|sink| TraceBuffer::new(sink, format!("dataflow worker {worker}")));
                 // (index, queue wait, run span) of every instruction this
                 // worker executed.
                 let mut timed: Vec<(usize, Duration, Duration)> = Vec::new();
@@ -419,7 +445,7 @@ fn execute_parallel(
                             if st.abort || st.remaining == 0 {
                                 break None;
                             }
-                            if let Some(item) = st.pop(worker) {
+                            if let Some((item, stolen_from)) = st.pop(worker) {
                                 st.ready_count -= 1;
                                 let grant = if splittable {
                                     dynamic_intra_op_grant(pool, st.granted, st.ready_count)
@@ -427,12 +453,14 @@ fn execute_parallel(
                                     1
                                 };
                                 st.granted += grant;
-                                break Some((item, grant));
+                                break Some((item, grant, stolen_from));
                             }
                             st = work_available.wait(st).unwrap();
                         }
                     };
-                    let Some((item, grant)) = popped else { break };
+                    let Some((item, grant, stolen_from)) = popped else {
+                        break;
+                    };
 
                     let si = &schedule.instrs()[item.index];
                     let wait = item.since.elapsed();
@@ -443,6 +471,18 @@ fn execute_parallel(
 
                     match result {
                         Ok(register) => {
+                            if let Some(tracer) = tracer.as_mut() {
+                                tracer.record(
+                                    si.instr.label(),
+                                    "instr",
+                                    instr_started,
+                                    span,
+                                    Some(item.index),
+                                    Some(wait),
+                                    Some(grant),
+                                    stolen_from,
+                                );
+                            }
                             publish_and_reap(rf, si, register, &mut evaluator);
                             timed.push((item.index, wait, span));
                             let mut st = state.lock().unwrap();
@@ -580,13 +620,17 @@ mod tests {
                 },
             );
         }
-        // Owner pops the highest priority...
-        assert_eq!(st.pop(0).unwrap().index, 1);
-        // ...a thief steals the lowest-priority entry from the back.
-        assert_eq!(st.pop(1).unwrap().index, 0);
+        // Owner pops the highest priority (no steal provenance)...
+        let (item, stolen_from) = st.pop(0).unwrap();
+        assert_eq!((item.index, stolen_from), (1, None));
+        // ...a thief steals the lowest-priority entry from the back, and the
+        // pop reports which victim it came from.
+        let (item, stolen_from) = st.pop(1).unwrap();
+        assert_eq!((item.index, stolen_from), (0, Some(0)));
         assert_eq!(st.steals, 1);
         // The owner keeps the middle entry.
-        assert_eq!(st.pop(0).unwrap().index, 2);
+        let (item, stolen_from) = st.pop(0).unwrap();
+        assert_eq!((item.index, stolen_from), (2, None));
         assert_eq!(st.steals, 1);
         assert!(st.pop(0).is_none());
     }

@@ -28,6 +28,7 @@
 
 use crate::calibrate::{CalibratedCostModel, OpKind};
 use crate::schedule::{Instr, Schedule, ScheduledInstr, Slot};
+use crate::telemetry::{TraceBuffer, TraceSink};
 use chehab_fhe::{
     ArenaPool, Ciphertext, Evaluator, EvaluatorStats, FheContext, FheError, GaloisKeys, Plaintext,
     PolyArena, RelinKeys,
@@ -283,6 +284,13 @@ pub struct ExecResources<'a> {
     /// out per worker per run and restored afterwards, so warm buffers
     /// survive across requests (the zero-allocation steady state).
     pub arenas: &'a ArenaPool,
+    /// Optional span sink: when set, every worker records instruction-level
+    /// spans (operation label, instruction index, queue wait, intra-op
+    /// grant, steal provenance) into per-worker [`TraceBuffer`]s that flush
+    /// here. `None` (the default) disables tracing at the cost of one null
+    /// check per instruction — capture never perturbs results, only
+    /// observes timings.
+    pub trace: Option<&'a TraceSink>,
 }
 
 /// Which scheduling discipline produced an execution's timing breakdown.
@@ -490,6 +498,9 @@ impl WavefrontExecutor {
     ) -> Result<(EvaluatorStats, TimingBreakdown), FheError> {
         let mut evaluator = Evaluator::with_arena(res.ctx, res.arenas.checkout());
         let mut calibration = CalibratedCostModel::new();
+        let mut tracer = res
+            .trace
+            .map(|sink| TraceBuffer::new(sink, "wavefront worker 0"));
         let mut instr_times = vec![Duration::ZERO; schedule.instrs().len()];
         let mut levels = Vec::with_capacity(schedule.level_count());
         let mut failure: Option<FheError> = None;
@@ -505,7 +516,20 @@ impl WavefrontExecutor {
                 let instr_started = Instant::now();
                 match run_instr(si, rf, &mut evaluator, res, &mut calibration) {
                     Ok(register) => {
-                        instr_times[range.start + offset] = instr_started.elapsed();
+                        let elapsed = instr_started.elapsed();
+                        instr_times[range.start + offset] = elapsed;
+                        if let Some(tracer) = tracer.as_mut() {
+                            tracer.record(
+                                si.instr.label(),
+                                "instr",
+                                instr_started,
+                                elapsed,
+                                Some(range.start + offset),
+                                None,
+                                Some(intra_op_threads),
+                                None,
+                            );
+                        }
                         publish_and_reap(rf, si, register, &mut evaluator);
                     }
                     Err(e) => {
@@ -567,17 +591,26 @@ impl WavefrontExecutor {
 
         let mut levels = Vec::with_capacity(schedule.level_count());
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
+            for worker in 0..workers {
+                let cursors = &cursors;
+                let abort = &abort;
+                let failure = &failure;
+                let barrier = &barrier;
+                let merged = &merged;
+                scope.spawn(move || {
                     let mut evaluator = Evaluator::with_arena(res.ctx, res.arenas.checkout());
                     let mut calibration = CalibratedCostModel::new();
+                    let mut tracer = res
+                        .trace
+                        .map(|sink| TraceBuffer::new(sink, format!("wavefront worker {worker}")));
                     let mut timed: Vec<(usize, Duration)> = Vec::new();
                     for (level, range) in schedule.levels().iter().enumerate() {
                         let len = range.end - range.start;
                         // Levels narrower than the pool leave workers idle at
                         // the barrier; the busy workers spend the spare
                         // budget chunking inside their heavy ops instead.
-                        evaluator.set_intra_op_threads(intra_op_budget(requested_threads, len));
+                        let grant = intra_op_budget(requested_threads, len);
+                        evaluator.set_intra_op_threads(grant);
                         while !abort.load(Ordering::Relaxed) {
                             let index = cursors[level].fetch_add(1, Ordering::Relaxed);
                             if index >= len {
@@ -587,7 +620,20 @@ impl WavefrontExecutor {
                             let instr_started = Instant::now();
                             match run_instr(si, rf, &mut evaluator, res, &mut calibration) {
                                 Ok(register) => {
-                                    timed.push((range.start + index, instr_started.elapsed()));
+                                    let elapsed = instr_started.elapsed();
+                                    timed.push((range.start + index, elapsed));
+                                    if let Some(tracer) = tracer.as_mut() {
+                                        tracer.record(
+                                            si.instr.label(),
+                                            "instr",
+                                            instr_started,
+                                            elapsed,
+                                            Some(range.start + index),
+                                            None,
+                                            Some(grant),
+                                            None,
+                                        );
+                                    }
                                     publish_and_reap(rf, si, register, &mut evaluator);
                                 }
                                 Err(e) => {

@@ -92,6 +92,8 @@
 //!     // ciphertext fallback is needed.
 //!     zero: None,
 //!     arenas: &arenas,
+//!     // Tracing off: the executor records no spans.
+//!     trace: None,
 //! };
 //! let outcome = WavefrontExecutor::new(2).execute(&schedule, registers, &resources)?;
 //! let Register::Cipher(output) = outcome.output else { panic!("ciphertext output") };
@@ -108,6 +110,7 @@ mod dataflow;
 mod exec;
 mod schedule;
 mod serving;
+pub mod telemetry;
 
 pub use batch::BatchExecutor;
 pub use calibrate::{CalibratedCostModel, OpKind, OP_KINDS};
@@ -120,6 +123,9 @@ pub use schedule::{
     data_kinds, lower_with_default_costs, CostTerms, Instr, Schedule, ScheduledInstr, Slot,
 };
 pub use serving::{
-    default_workers, RequestHandle, SchedulerMetrics, SchedulerStatsSnapshot, ServingConfig,
-    ServingEngine, ServingError, ServingStats, DEFAULT_QUEUE_CAPACITY,
+    default_workers, LatencySnapshot, RequestHandle, SchedulerMetrics, SchedulerStatsSnapshot,
+    ServingConfig, ServingEngine, ServingError, ServingStats, DEFAULT_QUEUE_CAPACITY,
+};
+pub use telemetry::{
+    Counter, Gauge, Histogram, MetricsRegistry, SpanEvent, Trace, TraceBuffer, TraceSink,
 };

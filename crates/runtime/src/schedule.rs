@@ -78,6 +78,20 @@ impl Instr {
             Instr::Pack { elems } => elems.clone(),
         }
     }
+
+    /// A short static label of the instruction's operator, used as the span
+    /// name in telemetry traces (`"add"`, `"sub"`, `"mul"`, `"neg"`,
+    /// `"rot"`, `"pack"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Instr::Bin { op: BinOp::Add, .. } => "add",
+            Instr::Bin { op: BinOp::Sub, .. } => "sub",
+            Instr::Bin { op: BinOp::Mul, .. } => "mul",
+            Instr::Neg { .. } => "neg",
+            Instr::Rot { .. } => "rot",
+            Instr::Pack { .. } => "pack",
+        }
+    }
 }
 
 /// The additive cost composition of one instruction: how many of each

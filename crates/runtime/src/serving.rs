@@ -27,6 +27,7 @@
 //! `chehab-core` layers the session-backed serving API on top.
 
 use crate::exec::percentile;
+use crate::telemetry::{Histogram, SpanEvent, TraceSink};
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -134,6 +135,10 @@ struct SchedulerAgg {
     /// cursor), so retained samples follow the traffic instead of freezing
     /// on the startup window.
     next_wait_slot: usize,
+    /// Per-operation-kind latency histograms, keyed by the op-kind label
+    /// the handler records with (fixed-footprint, so they never grow with
+    /// traffic the way a sample vector would).
+    per_op: Vec<(&'static str, Histogram)>,
 }
 
 impl SchedulerMetrics {
@@ -156,6 +161,37 @@ impl SchedulerMetrics {
         }
     }
 
+    /// Records per-operation latency samples (one lock for the whole
+    /// batch): the handler feeds each executed instruction's measured span,
+    /// labelled by operation kind, and [`ServingStats::latency`] reports
+    /// the per-kind histograms.
+    pub fn record_op_samples(&self, samples: impl IntoIterator<Item = (&'static str, Duration)>) {
+        let mut agg = self.inner.lock().unwrap();
+        for (label, sample) in samples {
+            match agg.per_op.iter_mut().find(|(l, _)| *l == label) {
+                Some((_, histogram)) => histogram.record(sample),
+                None => {
+                    let mut histogram = Histogram::new();
+                    histogram.record(sample);
+                    agg.per_op.push((label, histogram));
+                }
+            }
+        }
+    }
+
+    /// The per-operation-kind latency histograms recorded so far, sorted by
+    /// label for deterministic output.
+    pub fn per_op_histograms(&self) -> Vec<(String, Histogram)> {
+        let agg = self.inner.lock().unwrap();
+        let mut out: Vec<(String, Histogram)> = agg
+            .per_op
+            .iter()
+            .map(|(label, histogram)| (label.to_string(), histogram.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     /// A point-in-time summary of everything recorded so far.
     pub fn snapshot(&self) -> SchedulerStatsSnapshot {
         let agg = self.inner.lock().unwrap();
@@ -170,8 +206,22 @@ impl SchedulerMetrics {
     }
 }
 
+/// Latency histograms of one engine's served traffic, snapshotted into
+/// [`ServingStats::latency`]: per-request wall latency, per-request queue
+/// wait, and (when the handler records them through
+/// [`SchedulerMetrics::record_op_samples`]) per-operation-kind latencies.
+#[derive(Debug, Clone, Default)]
+pub struct LatencySnapshot {
+    /// Handler wall latency of each completed request.
+    pub request_wall: Histogram,
+    /// Time each request spent queued (submit to handler start).
+    pub queue_wait: Histogram,
+    /// Per-operation-kind latency histograms, sorted by label.
+    pub per_op: Vec<(String, Histogram)>,
+}
+
 /// A point-in-time snapshot of one engine's serving counters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServingStats {
     /// Requests accepted by [`ServingEngine::submit`] so far.
     pub submitted: u64,
@@ -193,12 +243,22 @@ pub struct ServingStats {
     /// percentiles, reclaimed barrier slack) — populated when the handler
     /// records into the engine's [`SchedulerMetrics`], all-zero otherwise.
     pub scheduler: SchedulerStatsSnapshot,
+    /// Latency histograms of the served traffic: per-request wall latency
+    /// and queue wait (always recorded by the engine), plus per-op-kind
+    /// latencies when the handler records them.
+    pub latency: LatencySnapshot,
 }
 
 impl ServingStats {
     /// Completed requests per wall-clock second since the engine started.
+    /// Returns exactly `0.0` (never `NaN` or infinity) when nothing has
+    /// completed or no time has elapsed.
     pub fn throughput_rps(&self) -> f64 {
-        self.completed as f64 / self.elapsed.as_secs_f64().max(1e-9)
+        let secs = self.elapsed.as_secs_f64();
+        if self.completed == 0 || secs <= 0.0 {
+            return 0.0;
+        }
+        self.completed as f64 / secs
     }
 
     /// Mean handler latency of the completed requests, if any completed.
@@ -330,6 +390,9 @@ struct Job<T, R> {
     id: u64,
     request: T,
     handle: Arc<HandleShared<R>>,
+    /// When the job entered the queue — measured against the dequeue time,
+    /// it is the request's queue wait.
+    enqueued: Instant,
 }
 
 struct QueueState<T, R> {
@@ -344,6 +407,14 @@ struct Counters {
     busy: Duration,
 }
 
+/// Engine-recorded latency histograms (wall + queue wait); fixed footprint,
+/// so a long-lived engine never grows them with traffic.
+#[derive(Default)]
+struct LatencyAgg {
+    request_wall: Histogram,
+    queue_wait: Histogram,
+}
+
 struct Shared<T, R> {
     state: Mutex<QueueState<T, R>>,
     /// Signals workers that the queue gained a job (or shutdown started).
@@ -353,6 +424,12 @@ struct Shared<T, R> {
     counters: Mutex<Counters>,
     /// Scheduler-counter sink the request handler records into.
     scheduler: Arc<SchedulerMetrics>,
+    /// Per-request latency histograms (wall + queue wait), recorded by the
+    /// workers themselves.
+    latency: Mutex<LatencyAgg>,
+    /// Optional span sink: when set, each worker records a request-level
+    /// span per served job on its own track.
+    trace: Option<Arc<TraceSink>>,
     queue_capacity: usize,
     /// Configured worker count (stable across shutdown, unlike the join
     /// handle vector).
@@ -407,6 +484,24 @@ impl<T: Send + 'static, R: Send + 'static> ServingEngine<T, R> {
     where
         F: Fn(u64, T) -> R + Send + Sync + 'static,
     {
+        Self::with_telemetry(config, scheduler, None, handler)
+    }
+
+    /// The full-telemetry constructor: like
+    /// [`ServingEngine::with_scheduler_metrics`], plus an optional
+    /// [`TraceSink`] — when set, every worker records a request-level span
+    /// per served job (on its own trace track, with the request's queue
+    /// wait attached), and the handler typically threads the same sink into
+    /// the executors for instruction-level spans.
+    pub fn with_telemetry<F>(
+        config: ServingConfig,
+        scheduler: Arc<SchedulerMetrics>,
+        trace: Option<Arc<TraceSink>>,
+        handler: F,
+    ) -> Self
+    where
+        F: Fn(u64, T) -> R + Send + Sync + 'static,
+    {
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
@@ -421,16 +516,18 @@ impl<T: Send + 'static, R: Send + 'static> ServingEngine<T, R> {
                 busy: Duration::ZERO,
             }),
             scheduler,
+            latency: Mutex::new(LatencyAgg::default()),
+            trace,
             queue_capacity: config.queue_capacity.max(1),
             worker_count: config.workers.max(1),
             started: Instant::now(),
         });
         let handler = Arc::new(handler);
         let workers = (0..config.workers.max(1))
-            .map(|_| {
+            .map(|worker| {
                 let shared = Arc::clone(&shared);
                 let handler = Arc::clone(&handler);
-                std::thread::spawn(move || worker_loop(&shared, &*handler))
+                std::thread::spawn(move || worker_loop(&shared, worker, &*handler))
             })
             .collect();
         ServingEngine { shared, workers }
@@ -473,6 +570,7 @@ impl<T, R> ServingEngine<T, R> {
             id,
             request,
             handle: Arc::clone(&handle),
+            enqueued: Instant::now(),
         });
         drop(state);
         self.shared.not_empty.notify_one();
@@ -487,6 +585,14 @@ impl<T, R> ServingEngine<T, R> {
         let counters = self.shared.counters.lock().unwrap();
         let (completed, busy) = (counters.completed, counters.busy);
         drop(counters);
+        let latency = {
+            let agg = self.shared.latency.lock().unwrap();
+            LatencySnapshot {
+                request_wall: agg.request_wall.clone(),
+                queue_wait: agg.queue_wait.clone(),
+                per_op: self.shared.scheduler.per_op_histograms(),
+            }
+        };
         let state = self.shared.state.lock().unwrap();
         ServingStats {
             submitted: state.submitted,
@@ -497,6 +603,7 @@ impl<T, R> ServingEngine<T, R> {
             busy,
             elapsed: self.shared.started.elapsed(),
             scheduler: self.shared.scheduler.snapshot(),
+            latency,
         }
     }
 
@@ -534,7 +641,14 @@ impl<T, R> Drop for ServingEngine<T, R> {
 }
 
 /// One worker: pop-execute-publish until shutdown *and* an empty queue.
-fn worker_loop<T, R>(shared: &Shared<T, R>, handler: &(dyn Fn(u64, T) -> R + Send + Sync)) {
+fn worker_loop<T, R>(
+    shared: &Shared<T, R>,
+    worker: usize,
+    handler: &(dyn Fn(u64, T) -> R + Send + Sync),
+) {
+    // Trace track of this serving worker, allocated on its first served job
+    // so idle workers leave no empty tracks in the export.
+    let mut track: Option<usize> = None;
     loop {
         let job = {
             let mut state = shared.state.lock().unwrap();
@@ -555,7 +669,9 @@ fn worker_loop<T, R>(shared: &Shared<T, R>, handler: &(dyn Fn(u64, T) -> R + Sen
             id,
             request,
             handle,
+            enqueued,
         } = job;
+        let queue_wait = enqueued.elapsed();
         let started = Instant::now();
         // A panicking handler must not kill the worker (the queue behind it
         // would never drain) nor leave its waiter blocked forever: catch the
@@ -572,6 +688,26 @@ fn worker_loop<T, R>(shared: &Shared<T, R>, handler: &(dyn Fn(u64, T) -> R + Sen
             let mut counters = shared.counters.lock().unwrap();
             counters.completed += 1;
             counters.busy += elapsed;
+        }
+        {
+            let mut latency = shared.latency.lock().unwrap();
+            latency.request_wall.record(elapsed);
+            latency.queue_wait.record(queue_wait);
+        }
+        if let Some(sink) = shared.trace.as_deref() {
+            let track = *track
+                .get_or_insert_with(|| sink.allocate_track(format!("serving worker {worker}")));
+            sink.push(SpanEvent {
+                name: "request",
+                cat: "request",
+                track,
+                start_ns: sink.offset_ns(started),
+                dur_ns: u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+                instr: None,
+                queue_wait_ns: Some(u64::try_from(queue_wait.as_nanos()).unwrap_or(u64::MAX)),
+                grant: None,
+                stolen_from: None,
+            });
         }
 
         {

@@ -14,13 +14,16 @@
 //! 3. **Transform minimality** — a multiply→rotate→multiply chain performs
 //!    *zero* forward/inverse transforms (operands are born in NTT form, key
 //!    payloads are pre-transformed at keygen), and a ct-pt multiply
-//!    transforms its plaintext splat exactly once, counted via the
-//!    transform counters on the context's `NttTables`.
+//!    transforms its plaintext splat exactly once, read through the
+//!    telemetry-facing [`chehab::fhe::TransformStats`] snapshot of the
+//!    context's `NttTables`.
 
 use chehab::benchsuite::{self, Benchmark};
 use chehab::compiler::Compiler;
 use chehab::fhe::poly::{Domain, NttTables, Poly, MODULUS};
-use chehab::fhe::{BfvParameters, Decryptor, Encryptor, Evaluator, FheContext, KeyGenerator};
+use chehab::fhe::{
+    BfvParameters, Decryptor, Encryptor, Evaluator, FheContext, KeyGenerator, TransformStats,
+};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
@@ -161,25 +164,29 @@ fn multiply_rotate_multiply_chain_is_transform_free() {
     let rotated = evaluator.rotate(&product, 1, &galois).unwrap();
     let chained = evaluator.multiply(&rotated, &b, &relin);
     assert_eq!(
-        ctx.transform_counts(),
-        (0, 0),
+        ctx.transform_stats(),
+        TransformStats::default(),
         "the multiply-rotate-multiply chain must not transform at all"
     );
 
     // Decryption stays transform-free too (slots only).
     let pt = decryptor.decrypt(&chained).unwrap();
-    assert_eq!(ctx.transform_counts(), (0, 0));
+    assert_eq!(ctx.transform_stats(), TransformStats::default());
     // Functional sanity of the chain: ((a*b) << 1) * b =
     // [12*5, 21*6, 32*7] on the live slots.
     assert_eq!(ctx.decode(&pt, 3), vec![60, 126, 224]);
 
     // One plaintext splat: exactly one forward transform on first use,
     // zero on reuse (cached on the plaintext across both components).
+    let one_splat = TransformStats {
+        forward: 1,
+        inverse: 0,
+    };
     let plain = ctx.encode(&[2, 2, 2, 2]).unwrap();
     let _ = evaluator.multiply_plain(&chained, &plain);
-    assert_eq!(ctx.transform_counts(), (1, 0));
+    assert_eq!(ctx.transform_stats(), one_splat);
     let _ = evaluator.multiply_plain(&chained, &plain);
-    assert_eq!(ctx.transform_counts(), (1, 0));
+    assert_eq!(ctx.transform_stats(), one_splat);
 }
 
 /// A plaintext first used under one context stays correct when reused

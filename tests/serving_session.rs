@@ -151,6 +151,68 @@ fn engine_shutdown_drains_in_flight_requests() {
     assert_eq!(session.stats().requests_served, 6);
 }
 
+/// Under the (default) dataflow scheduler, a served request stream
+/// populates the engine's latency histograms: per-request wall and queue
+/// wait with guarded, ordered percentiles, and per-op-kind histograms whose
+/// sample counts match the schedule's instruction mix times the request
+/// count. Rate math stays finite even for an engine that served nothing.
+#[test]
+fn serving_stats_populate_latency_histograms_under_dataflow() {
+    let params = BfvParameters::insecure_test();
+    let benchmark = benchsuite::by_id("Dot Product 8").expect("known benchmark id");
+    let compiled = Compiler::greedy().compile(benchmark.id(), benchmark.program());
+    let session = Arc::new(compiled.session(&params).unwrap());
+    let instr_count = session.schedule().instrs().len();
+    assert!(instr_count > 0, "kernel lowers to a non-empty schedule");
+
+    let requests = 8usize;
+    let engine = session.serve(&ExecOptions::new().with_request_threads(2));
+    let handles: Vec<_> = (0..requests)
+        .map(|seed| {
+            engine
+                .submit(inputs_of(&benchmark, 500 + seed as u64))
+                .expect("engine accepts while live")
+        })
+        .collect();
+    for handle in handles {
+        handle.wait().expect("served request succeeds");
+    }
+    let stats = engine.shutdown();
+
+    let wall = &stats.latency.request_wall;
+    assert_eq!(wall.count(), requests as u64);
+    let (p50, p95, p99) = (
+        wall.p50().expect("non-empty histogram has a median"),
+        wall.p95().unwrap(),
+        wall.p99().unwrap(),
+    );
+    assert!(p50 <= p95 && p95 <= p99, "percentiles are ordered");
+    assert!(p99 <= wall.max().unwrap());
+    assert!(wall.max().unwrap() > std::time::Duration::ZERO);
+    assert_eq!(stats.latency.queue_wait.count(), requests as u64);
+
+    // Every instruction of every request landed one per-op sample, keyed by
+    // the schedule's own operation labels.
+    let per_op_samples: u64 = stats.latency.per_op.iter().map(|(_, h)| h.count()).sum();
+    assert_eq!(per_op_samples, (instr_count * requests) as u64);
+    for (label, histogram) in &stats.latency.per_op {
+        assert!(!histogram.is_empty(), "op {label} histogram has samples");
+        assert!(
+            ["add", "sub", "mul", "neg", "rot", "pack"].contains(&label.as_str()),
+            "unexpected op label {label}"
+        );
+    }
+
+    // The throughput guard: an engine that served nothing reports 0.0, not
+    // NaN or infinity.
+    let idle = session.serve(&ExecOptions::sequential());
+    let idle_stats = idle.shutdown();
+    assert_eq!(idle_stats.completed, 0);
+    assert!(idle_stats.throughput_rps() == 0.0);
+    assert!(idle_stats.latency.request_wall.is_empty());
+    assert_eq!(idle_stats.latency.request_wall.p50(), None);
+}
+
 /// Session stats expose the one-time setup costs and the schedule shape.
 #[test]
 fn session_stats_expose_setup_costs_and_schedule_shape() {

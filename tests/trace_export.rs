@@ -1,0 +1,202 @@
+//! Trace-export tests: a traced request must observe without perturbing —
+//! outputs bit-identical to an untraced run on every benchsuite kernel —
+//! and the exported Chrome-trace JSON must be well-formed: a `traceEvents`
+//! array whose `ph:"X"` duration events carry the required fields and whose
+//! per-track spans never overlap (each track is recorded sequentially by a
+//! single thread).
+
+use chehab::benchsuite::{self, Benchmark};
+use chehab::compiler::{Compiler, ExecOptions, TraceSink};
+use chehab::fhe::BfvParameters;
+use serde::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn inputs_of(benchmark: &Benchmark, seed: u64) -> HashMap<String, i64> {
+    let env = benchmark.input_env(seed);
+    benchmark
+        .program()
+        .variables()
+        .into_iter()
+        .map(|v| {
+            let value = env.get(v.as_str()).unwrap_or(0) as i64;
+            (v.to_string(), value)
+        })
+        .collect()
+}
+
+/// Asserts one exported Chrome-trace document is schema-conformant:
+/// top-level `traceEvents` array, every event an object with `name`, `ph`,
+/// `pid` and `tid`, metadata events (`ph:"M"`) naming their thread, and
+/// duration events (`ph:"X"`) carrying numeric `ts`/`dur` microsecond
+/// stamps. Returns the number of duration events.
+fn assert_wellformed_chrome_trace(json: &str, context: &str) -> usize {
+    let document: Value =
+        serde_json::from_str(json).unwrap_or_else(|e| panic!("{context}: export is not JSON: {e}"));
+    let events = document
+        .field("traceEvents")
+        .unwrap_or_else(|e| panic!("{context}: missing traceEvents: {e}"))
+        .as_array("traceEvents")
+        .unwrap_or_else(|e| panic!("{context}: traceEvents is not an array: {e}"));
+    let mut duration_events = 0;
+    for event in events {
+        let field = |name: &str| {
+            event
+                .field(name)
+                .unwrap_or_else(|e| panic!("{context}: event missing {name}: {e}"))
+        };
+        assert!(
+            matches!(field("name"), Value::Str(_)),
+            "{context}: event name is a string"
+        );
+        assert!(
+            matches!(field("pid"), Value::UInt(_) | Value::Int(_)),
+            "{context}: pid is numeric"
+        );
+        assert!(
+            matches!(field("tid"), Value::UInt(_) | Value::Int(_)),
+            "{context}: tid is numeric"
+        );
+        let Value::Str(ph) = field("ph") else {
+            panic!("{context}: ph is a string")
+        };
+        match ph.as_str() {
+            "M" => {
+                // Metadata events name their track.
+                let args = field("args");
+                assert!(
+                    matches!(args.field("name"), Ok(Value::Str(_))),
+                    "{context}: thread_name metadata carries a name"
+                );
+            }
+            "X" => {
+                duration_events += 1;
+                for stamp in ["ts", "dur"] {
+                    match field(stamp) {
+                        Value::Float(v) => assert!(
+                            v.is_finite() && *v >= 0.0,
+                            "{context}: {stamp} is a finite non-negative number"
+                        ),
+                        Value::UInt(_) | Value::Int(_) => {}
+                        other => panic!("{context}: {stamp} is not numeric: {other:?}"),
+                    }
+                }
+            }
+            other => panic!("{context}: unexpected event phase {other:?}"),
+        }
+    }
+    duration_events
+}
+
+/// Every benchsuite kernel: a traced request is bit-identical to an
+/// untraced one, the capture holds exactly three session-phase spans plus
+/// one span per scheduled instruction, the Chrome-trace export is
+/// well-formed, and the spans of each track are strictly non-overlapping.
+#[test]
+fn traced_requests_are_bit_identical_and_export_wellformed_chrome_json() {
+    let params = BfvParameters::insecure_test();
+    let options = ExecOptions::sequential().with_threads_per_request(2);
+    for benchmark in benchsuite::full_suite() {
+        let compiled = Compiler::greedy().compile(benchmark.id(), benchmark.program());
+        let session = compiled
+            .session(&params)
+            .unwrap_or_else(|e| panic!("{}: session construction failed: {e}", benchmark.id()));
+        let inputs = inputs_of(&benchmark, 97);
+
+        let untraced = session
+            .run_parallel(&inputs, &options)
+            .unwrap_or_else(|e| panic!("{}: untraced run failed: {e}", benchmark.id()));
+        let (traced, trace) = session
+            .trace_request(&inputs, &options)
+            .unwrap_or_else(|e| panic!("{}: traced run failed: {e}", benchmark.id()));
+
+        // Tracing observes, never perturbs.
+        assert_eq!(
+            traced.outputs,
+            untraced.outputs,
+            "{}: tracing changed the outputs",
+            benchmark.id()
+        );
+        assert_eq!(traced.operation_stats, untraced.operation_stats);
+        assert_eq!(traced.noise_budget_consumed, untraced.noise_budget_consumed);
+
+        // Span census: three session phases plus one span per instruction.
+        let session_spans = trace.events().iter().filter(|e| e.cat == "session").count();
+        let instr_spans = trace.events().iter().filter(|e| e.cat == "instr").count();
+        assert_eq!(session_spans, 3, "{}: bind/execute/decrypt", benchmark.id());
+        assert_eq!(
+            instr_spans,
+            session.schedule().instrs().len(),
+            "{}: one span per scheduled instruction",
+            benchmark.id()
+        );
+
+        // Spans on one track are recorded sequentially by a single thread,
+        // so they must never overlap.
+        for track in 0..trace.track_labels().len() {
+            let mut previous_end = 0u64;
+            for event in trace.events().iter().filter(|e| e.track == track) {
+                assert!(
+                    event.start_ns >= previous_end,
+                    "{}: overlapping spans on track {track}",
+                    benchmark.id()
+                );
+                previous_end = event.start_ns + event.dur_ns;
+            }
+        }
+
+        let json = trace.to_chrome_json();
+        let duration_events = assert_wellformed_chrome_trace(&json, &benchmark.id());
+        assert_eq!(
+            duration_events,
+            trace.events().len(),
+            "{}: every span exports as one ph:X event",
+            benchmark.id()
+        );
+    }
+}
+
+/// The traced serving engine records one request-level span per served job,
+/// with the queue wait attached, and the capture exports as well-formed
+/// Chrome-trace JSON.
+#[test]
+fn traced_serving_records_one_request_span_per_job() {
+    let params = BfvParameters::insecure_test();
+    let benchmark = benchsuite::by_id("Dot Product 8").expect("known benchmark id");
+    let compiled = Compiler::greedy().compile(benchmark.id(), benchmark.program());
+    let session = Arc::new(compiled.session(&params).unwrap());
+
+    let requests = 9usize;
+    let sink = Arc::new(TraceSink::new());
+    let engine = session.serve_traced(
+        &ExecOptions::new().with_request_threads(2),
+        Some(Arc::clone(&sink)),
+    );
+    let handles: Vec<_> = (0..requests)
+        .map(|seed| {
+            engine
+                .submit(inputs_of(&benchmark, 800 + seed as u64))
+                .expect("engine accepts while live")
+        })
+        .collect();
+    for handle in handles {
+        handle.wait().expect("served request succeeds");
+    }
+    engine.shutdown();
+
+    let trace = Arc::try_unwrap(sink)
+        .expect("engine dropped its sink clone at shutdown")
+        .into_trace();
+    assert_eq!(trace.events().len(), requests);
+    for event in trace.events() {
+        assert_eq!(event.cat, "request");
+        assert!(event.queue_wait_ns.is_some(), "queue wait is attached");
+    }
+    // Lazily allocated tracks: between 1 and `workers` of them, all named.
+    let tracks = trace.track_labels();
+    assert!((1..=2).contains(&tracks.len()), "tracks: {tracks:?}");
+    assert!(tracks
+        .iter()
+        .all(|label| label.starts_with("serving worker")));
+    assert_wellformed_chrome_trace(&trace.to_chrome_json(), "serving trace");
+}
