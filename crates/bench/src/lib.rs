@@ -15,8 +15,8 @@ pub mod micro;
 
 use chehab_benchsuite::Benchmark;
 use chehab_core::{
-    external_compile_stats, output_slots_of, select_rotation_keys, CompiledProgram, Compiler,
-    ExecOptions, ExecutionReport,
+    external_compile_stats, output_slots_of, select_rotation_keys, BatchPolicy, CompiledProgram,
+    Compiler, ExecOptions, ExecutionReport,
 };
 use chehab_fhe::BfvParameters;
 use chehab_ir::{circuit_depth, multiplicative_depth, rotation_steps};
@@ -1671,6 +1671,245 @@ pub fn write_hotpath_json(
         (
             "geomean_improvement".into(),
             Value::Float(geometric_mean_ratio(&improvements, &ones)),
+        ),
+        ("kernels".into(), Value::Array(rows)),
+    ]);
+    let path = path.as_ref().to_path_buf();
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&document).expect("stub serializer is infallible"),
+    )?;
+    Ok(path)
+}
+
+/// One (batch size, latency) point of a cross-request batching sweep.
+#[derive(Debug, Clone)]
+pub struct BatchingPoint {
+    /// Users packed into the shared ciphertexts of one execution.
+    pub batch: usize,
+    /// Median wall time of serving the whole batch through
+    /// [`chehab_core::FheSession::run_batched`], ms.
+    pub wall_ms: f64,
+    /// `wall_ms / batch`: amortized per-request latency at this batch size.
+    pub amortized_ms: f64,
+}
+
+/// One cross-request SIMD batching sweep of a kernel: amortized per-request
+/// latency at batch sizes 1, 2, 4, ... up to the program's lane capacity,
+/// against the unbatched serving latency recorded in `BENCH_serving.json`.
+#[derive(Debug, Clone)]
+pub struct BatchingMeasurement {
+    /// Benchmark identifier.
+    pub benchmark: String,
+    /// Slot distance between consecutive users' lane windows (the
+    /// rotation-envelope span of one user's data).
+    pub lane_stride: usize,
+    /// Users one ciphertext can carry under that stride.
+    pub batch_capacity: usize,
+    /// The sweep, ascending in batch size (first point is always batch 1).
+    pub points: Vec<BatchingPoint>,
+    /// Unbatched per-request latency from `BENCH_serving.json`, if present.
+    pub baseline_request_ms: Option<f64>,
+    /// Smallest amortized per-request latency across the sweep, ms.
+    pub best_amortized_ms: f64,
+    /// `points[0].amortized_ms / best_amortized_ms`: how much batching
+    /// shrinks the per-request latency versus running the same engine at
+    /// batch 1 (above 1.0 = batching pays for itself).
+    pub batching_speedup: f64,
+    /// `baseline_request_ms / best_amortized_ms`, if a baseline exists.
+    pub improvement: Option<f64>,
+    /// Whether batch 1 was bit-identical to the unbatched session path and
+    /// every verified user of the largest batch read exactly its own solo
+    /// outputs.
+    pub correct: bool,
+}
+
+/// Batch sizes a sweep visits, capped at the kernel's effective capacity.
+const BATCH_SWEEP: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// Sweeps one kernel's amortized per-request latency across batch sizes
+/// (medians over `runs` passes per size), verifying per-user bit-exactness:
+/// batch 1 against the unbatched path, and the first users of the largest
+/// batch (up to 8, to bound verification cost) against their solo runs.
+pub fn measure_batching(
+    benchmark: &Benchmark,
+    compiler: &CompilerUnderTest,
+    params: &BfvParameters,
+    runs: usize,
+    baseline_request_ms: Option<f64>,
+) -> BatchingMeasurement {
+    let compiled = compiler.compile(benchmark);
+    let session = compiled
+        .session(params)
+        .unwrap_or_else(|e| panic!("{}: session construction failed: {e}", benchmark.id()));
+    let capacity = session.batch_capacity().min(*BATCH_SWEEP.last().unwrap());
+    let sizes: Vec<usize> = BATCH_SWEEP
+        .iter()
+        .copied()
+        .filter(|&b| b <= capacity)
+        .collect();
+    let largest = *sizes.last().unwrap();
+
+    let input_sets: Vec<HashMap<String, i64>> = (0..largest)
+        .map(|seed| {
+            benchmark
+                .program()
+                .variables()
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| (v.to_string(), ((seed + i) as i64 % 11) + 1))
+                .collect()
+        })
+        .collect();
+
+    // Solo references for the verified prefix (the batch must scatter these
+    // exact outputs back to their lanes).
+    let verified = largest.min(8);
+    let solo: Vec<ExecutionReport> = input_sets[..verified]
+        .iter()
+        .map(|inputs| {
+            session
+                .run(inputs)
+                .unwrap_or_else(|e| panic!("{}: solo run failed: {e}", benchmark.id()))
+        })
+        .collect();
+
+    let mut correct = true;
+    let mut points = Vec::with_capacity(sizes.len());
+    for &batch in &sizes {
+        let options =
+            ExecOptions::sequential().with_batching(BatchPolicy::default().with_max_batch(batch));
+        let mut walls = Vec::with_capacity(runs.max(1));
+        for run in 0..runs.max(1) {
+            let started = Instant::now();
+            let reports = session
+                .run_batched(&input_sets[..batch], &options)
+                .unwrap_or_else(|e| panic!("{}: batched run failed: {e}", benchmark.id()));
+            walls.push(started.elapsed());
+            if run == 0 {
+                for (lane, report) in reports.iter().take(verified).enumerate() {
+                    correct &= report.outputs == solo[lane].outputs;
+                }
+                if batch == 1 {
+                    // Batch 1 must be *bit-identical*, not merely correct.
+                    correct &= reports[0].operation_stats == solo[0].operation_stats
+                        && reports[0].noise_budget_consumed == solo[0].noise_budget_consumed;
+                }
+            }
+        }
+        walls.sort_unstable();
+        let wall_ms = ms(walls[walls.len() / 2]);
+        points.push(BatchingPoint {
+            batch,
+            wall_ms,
+            amortized_ms: wall_ms / batch as f64,
+        });
+    }
+
+    let best_amortized_ms = points
+        .iter()
+        .map(|p| p.amortized_ms)
+        .fold(f64::INFINITY, f64::min);
+    BatchingMeasurement {
+        benchmark: benchmark.id(),
+        lane_stride: session.lane_stride(),
+        batch_capacity: session.batch_capacity(),
+        baseline_request_ms,
+        batching_speedup: points[0].amortized_ms / best_amortized_ms.max(1e-9),
+        improvement: baseline_request_ms.map(|b| b / best_amortized_ms.max(1e-9)),
+        best_amortized_ms,
+        points,
+        correct,
+    }
+}
+
+/// Writes batching sweeps as JSON into `path` (same artifact family as
+/// [`write_serving_json`]) and returns it.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_batching_json(
+    path: impl AsRef<std::path::Path>,
+    runs: usize,
+    measurements: &[BatchingMeasurement],
+) -> std::io::Result<std::path::PathBuf> {
+    use serde::Value;
+    let rows: Vec<Value> = measurements
+        .iter()
+        .map(|m| {
+            let sweep: Vec<Value> = m
+                .points
+                .iter()
+                .map(|p| {
+                    Value::Object(vec![
+                        ("batch".into(), Value::Int(p.batch as i64)),
+                        ("wall_ms".into(), Value::Float(p.wall_ms)),
+                        ("amortized_ms".into(), Value::Float(p.amortized_ms)),
+                    ])
+                })
+                .collect();
+            Value::Object(vec![
+                ("benchmark".into(), Value::Str(m.benchmark.clone())),
+                ("lane_stride".into(), Value::Int(m.lane_stride as i64)),
+                ("batch_capacity".into(), Value::Int(m.batch_capacity as i64)),
+                ("points".into(), Value::Array(sweep)),
+                (
+                    "baseline_request_ms".into(),
+                    m.baseline_request_ms.map_or(Value::Null, Value::Float),
+                ),
+                (
+                    "best_amortized_ms".into(),
+                    Value::Float(m.best_amortized_ms),
+                ),
+                ("batching_speedup".into(), Value::Float(m.batching_speedup)),
+                (
+                    "improvement".into(),
+                    m.improvement.map_or(Value::Null, Value::Float),
+                ),
+                ("correct".into(), Value::Bool(m.correct)),
+            ])
+        })
+        .collect();
+    let speedups: Vec<f64> = measurements.iter().map(|m| m.batching_speedup).collect();
+    let improvements: Vec<f64> = measurements.iter().filter_map(|m| m.improvement).collect();
+    let batching_wins = measurements
+        .iter()
+        .filter(|m| m.batching_speedup > 1.0)
+        .count();
+    let document = Value::Object(vec![
+        ("experiment".into(), Value::Str("batching".into())),
+        ("runs".into(), Value::Int(runs as i64)),
+        ("host_cpus".into(), Value::Int(available_cpus() as i64)),
+        (
+            "speedup_semantics".into(),
+            Value::Str(
+                "each kernel sweeps batch sizes 1,2,4,... up to its lane capacity through \
+                 FheSession::run_batched (many users packed into the slot lanes of shared \
+                 ciphertexts, one homomorphic execution per batch); amortized_ms = median batch \
+                 wall / batch. batching_speedup = amortized_ms at batch 1 / best amortized_ms \
+                 across the sweep (above 1.0 = batching shrank per-request latency); \
+                 improvement = the unbatched request_ms from BENCH_serving.json / best \
+                 amortized_ms. correct asserts batch 1 is bit-identical to the unbatched path \
+                 and verified users of the largest batch read exactly their solo outputs"
+                    .into(),
+            ),
+        ),
+        (
+            "kernels_measured".into(),
+            Value::Int(measurements.len() as i64),
+        ),
+        ("batching_wins".into(), Value::Int(batching_wins as i64)),
+        (
+            "geomean_batching_speedup".into(),
+            Value::Float(geometric_mean_ratio(&speedups, &vec![1.0; speedups.len()])),
+        ),
+        (
+            "geomean_improvement".into(),
+            Value::Float(geometric_mean_ratio(
+                &improvements,
+                &vec![1.0; improvements.len()],
+            )),
         ),
         ("kernels".into(), Value::Array(rows)),
     ]);

@@ -28,11 +28,13 @@ use chehab_fhe::{
 };
 use chehab_ir::{BinOp, CircuitDag, CircuitSummary, CostModel, DagNode, DataKind, Expr, Ty};
 use chehab_runtime::{
-    data_kinds, default_workers, BatchExecutor, CalibratedCostModel, Counter, DataflowExecutor,
-    ExecResources, Gauge, MetricsRegistry, Register, Schedule, SchedulerKind, SchedulerMetrics,
+    data_kinds, default_workers, lane_geometry, BatchExecutor, BatchPolicy, CalibratedCostModel,
+    CoalescerConfig, Counter, DataflowExecutor, ExecResources, Gauge, LaneGeometry,
+    MetricsRegistry, Register, RequestCoalescer, Schedule, SchedulerKind, SchedulerMetrics,
     ServingConfig, ServingEngine, SpanEvent, TimingBreakdown, Trace, TraceSink, WavefrontExecutor,
-    DEFAULT_QUEUE_CAPACITY,
+    WavefrontOutcome, DEFAULT_QUEUE_CAPACITY,
 };
+use coyote_baseline::LaneAssignment;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -125,6 +127,12 @@ pub struct ExecOptions {
     /// either way; only the wall-clock and the timing breakdown shape
     /// differ.
     pub scheduler: SchedulerKind,
+    /// Cross-request SIMD batching policy of [`FheSession::run_batched`] and
+    /// [`FheSession::serve_batched`]: when set, compatible requests are
+    /// coalesced into the slot lanes of shared ciphertexts and the program
+    /// executes once per batch. `None` (the default) keeps every request in
+    /// its own ciphertext.
+    pub batching: Option<BatchPolicy>,
 }
 
 impl Default for ExecOptions {
@@ -134,6 +142,7 @@ impl Default for ExecOptions {
             threads_per_request: 1,
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
             scheduler: SchedulerKind::default(),
+            batching: None,
         }
     }
 }
@@ -152,6 +161,7 @@ impl ExecOptions {
             threads_per_request: 1,
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
             scheduler: SchedulerKind::default(),
+            batching: None,
         }
     }
 
@@ -178,6 +188,13 @@ impl ExecOptions {
         self.scheduler = scheduler;
         self
     }
+
+    /// Enables cross-request SIMD batching under `policy` (see
+    /// [`FheSession::run_batched`] / [`FheSession::serve_batched`]).
+    pub fn with_batching(mut self, policy: BatchPolicy) -> Self {
+        self.batching = Some(policy);
+        self
+    }
 }
 
 impl From<BatchOptions> for ExecOptions {
@@ -187,6 +204,7 @@ impl From<BatchOptions> for ExecOptions {
             threads_per_request: options.threads_per_request.max(1),
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
             scheduler: SchedulerKind::default(),
+            batching: None,
         }
     }
 }
@@ -412,6 +430,8 @@ pub struct SessionStats {
 struct SessionMetrics {
     registry: MetricsRegistry,
     requests: Counter,
+    batches: Counter,
+    lane_occupancy: Gauge,
     steals: Counter,
     arena_fresh: Counter,
     arena_reused: Counter,
@@ -429,6 +449,14 @@ impl SessionMetrics {
             requests: registry.counter(
                 "chehab_requests_served_total",
                 "Requests served through this session",
+            ),
+            batches: registry.counter(
+                "chehab_batches_formed_total",
+                "Cross-request SIMD batches executed through this session",
+            ),
+            lane_occupancy: registry.gauge(
+                "chehab_batch_lane_occupancy",
+                "Lane occupancy of the most recent SIMD batch, percent of capacity",
             ),
             steals: registry.counter(
                 "chehab_dataflow_steals_total",
@@ -531,6 +559,11 @@ pub struct FheSession {
     schedule: Schedule,
     kinds: Vec<DataKind>,
     prebound: Vec<bool>,
+    /// Capacity lane geometry of this program on this context: `stride` is
+    /// the rotation-envelope span of one user's data, `lanes` how many users
+    /// one ciphertext can carry ([`FheSession::batch_capacity`]). Computed
+    /// once at session build by [`chehab_runtime::lane_geometry`].
+    lanes: LaneGeometry,
     /// Packing fallback for degenerate `Vec` nodes; encrypted once per
     /// session, and only when the schedule contains a `Pack` instruction.
     zero: Option<Ciphertext>,
@@ -590,6 +623,25 @@ impl FheSession {
         let schedule = chehab_runtime::lower_with_default_costs(&program.dag, &prebound, |step| {
             program.rotation_plan.realize(step)
         });
+        // Lane geometry for cross-request SIMD batching: bound every
+        // register's slot excursion and size the stride so one user's
+        // intermediates never leave its lane window.
+        let mut widths = vec![0usize; program.dag.len()];
+        let prebound_widths: Vec<usize> = (0..program.dag.len())
+            .map(|id| {
+                if prebound[id] {
+                    structural_width(&program.dag, id, &mut widths)
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let lanes = lane_geometry(
+            &schedule,
+            &prebound_widths,
+            program.output_slots,
+            ctx.slot_count(),
+        );
         let lowering_time = lowering_started.elapsed();
 
         // The packing-fallback encryption is one-time session setup too.
@@ -615,6 +667,7 @@ impl FheSession {
             schedule,
             kinds,
             prebound,
+            lanes,
             zero,
             arena_pool: ArenaPool::new(),
             keygen_time,
@@ -947,40 +1000,9 @@ impl FheSession {
         if let (Some(sink), Some(track)) = (trace, session_track) {
             session_span(sink, track, "bind", bind_started, bind_started.elapsed());
         }
-        let resources = ExecResources {
-            ctx: &self.ctx,
-            relin_keys: &self.relin_keys,
-            galois_keys: &self.galois_keys,
-            zero: self.zero.as_ref(),
-            arenas: &self.arena_pool,
-            trace,
-        };
-
         // --- server side: execute the scheduled operations (timed).
         let started = Instant::now();
-        let outcome = match scheduler {
-            SchedulerKind::Leveled => {
-                WavefrontExecutor::new(threads).execute(&self.schedule, registers, &resources)?
-            }
-            SchedulerKind::Dataflow => {
-                // Critical-path priorities under the *calibrated* cost table:
-                // the ready queue ranks instructions by measured hardware
-                // cost, sharpening as the session accumulates samples (and
-                // falling back to the static estimates on a cold session).
-                let costs = self
-                    .calibration
-                    .lock()
-                    .unwrap()
-                    .to_op_costs(&CostModel::default().op_costs);
-                let priorities = self.schedule.critical_path_priorities(&costs);
-                DataflowExecutor::new(threads).execute_with_priorities(
-                    &self.schedule,
-                    registers,
-                    &resources,
-                    &priorities,
-                )?
-            }
-        };
+        let outcome = self.execute_schedule(registers, threads, scheduler, trace, None)?;
         let server_time = started.elapsed();
         if let (Some(sink), Some(track)) = (trace, session_track) {
             session_span(sink, track, "execute", started, server_time);
@@ -1050,6 +1072,339 @@ impl FheSession {
             timing: outcome.timing,
         })
     }
+
+    /// Runs the session schedule over an already-bound register file:
+    /// executor dispatch (leveled wavefront or dataflow with calibrated
+    /// critical-path priorities) shared by the unbatched and batched paths.
+    fn execute_schedule(
+        &self,
+        registers: Vec<Option<Register>>,
+        threads: usize,
+        scheduler: SchedulerKind,
+        trace: Option<&TraceSink>,
+        lanes: Option<LaneGeometry>,
+    ) -> Result<WavefrontOutcome, FheError> {
+        let resources = ExecResources {
+            ctx: &self.ctx,
+            relin_keys: &self.relin_keys,
+            galois_keys: &self.galois_keys,
+            zero: self.zero.as_ref(),
+            arenas: &self.arena_pool,
+            trace,
+            lanes,
+        };
+        match scheduler {
+            SchedulerKind::Leveled => {
+                WavefrontExecutor::new(threads).execute(&self.schedule, registers, &resources)
+            }
+            SchedulerKind::Dataflow => {
+                // Critical-path priorities under the *calibrated* cost table:
+                // the ready queue ranks instructions by measured hardware
+                // cost, sharpening as the session accumulates samples (and
+                // falling back to the static estimates on a cold session).
+                let costs = self
+                    .calibration
+                    .lock()
+                    .unwrap()
+                    .to_op_costs(&CostModel::default().op_costs);
+                let priorities = self.schedule.critical_path_priorities(&costs);
+                DataflowExecutor::new(threads).execute_with_priorities(
+                    &self.schedule,
+                    registers,
+                    &resources,
+                    &priorities,
+                )
+            }
+        }
+    }
+
+    /// The lane stride of this program on this context: the slot distance
+    /// between consecutive users' windows in a batched execution (the
+    /// rotation-envelope span of one user's data).
+    pub fn lane_stride(&self) -> usize {
+        self.lanes.stride
+    }
+
+    /// How many users one ciphertext can carry under this program's lane
+    /// stride (`slot_count / stride`, at least 1). The effective batch bound
+    /// of [`FheSession::run_batched`] is the minimum of this and the
+    /// policy's `max_batch`.
+    pub fn batch_capacity(&self) -> usize {
+        self.lanes.lanes
+    }
+
+    /// Client-side phase of a batched execution: binds `input_sets.len()`
+    /// users into **shared** registers, user `k` based at slot `k * stride`.
+    ///
+    /// Plaintext subcircuits are evaluated per user on per-user scratch
+    /// (plaintext semantics — `Vec` reads first slots, rotations
+    /// zero-fill — are not translation-equivariant across a flattened
+    /// array), then the per-user results are flattened at the lane stride.
+    /// Ciphertext inputs encrypt **once** per register with all users'
+    /// values placed at their lane bases, which is where the batched
+    /// amortization comes from. With one input set this degenerates to
+    /// exactly the [`FheSession::bind_registers`] layout: same values, same
+    /// encryption call order, hence bit-identical ciphertexts.
+    fn bind_batched(
+        &self,
+        input_sets: &[&HashMap<String, i64>],
+    ) -> Result<Vec<Option<Register>>, FheError> {
+        let program = &self.program;
+        let stride = self.lanes.stride;
+        let users = input_sets.len();
+        debug_assert!(users >= 1 && users <= self.lanes.lanes);
+        let mut encryptor = Encryptor::new(&self.ctx, &self.public_key);
+        encryptor.set_arena(self.arena_pool.checkout());
+        let t = self.ctx.plain_modulus() as i64;
+        let lookup = |inputs: &HashMap<String, i64>, name: &str| -> i64 {
+            inputs.get(name).copied().unwrap_or(0).rem_euclid(t)
+        };
+
+        // Per-user scratch register files carry the unflattened plaintext
+        // intermediates `plain_eval` recurses through.
+        let mut scratch: Vec<Vec<Option<Register>>> = vec![vec![None; program.dag.len()]; users];
+        let mut registers: Vec<Option<Register>> = vec![None; program.dag.len()];
+        let mut failure: Option<FheError> = None;
+        for (id, node) in program.dag.nodes().iter().enumerate() {
+            if !self.prebound[id] {
+                continue;
+            }
+            if self.kinds[id] == DataKind::Plaintext {
+                // Evaluate per user, then flatten at the lane stride. The
+                // result width is structure-determined, so every user's
+                // vector has the same length.
+                let mut flat: Vec<i64> = Vec::new();
+                for (lane, inputs) in input_sets.iter().enumerate() {
+                    let values = plain_eval(node, &scratch[lane], &|n| lookup(inputs, n), t);
+                    flat.resize(lane * stride + values.len(), 0);
+                    flat[lane * stride..].copy_from_slice(&values);
+                    scratch[lane][id] = Some(Register::plain(values));
+                }
+                registers[id] = Some(Register::plain(flat));
+            } else if let DagNode::CtVar(name) = node {
+                let mut flat = vec![0i64; (users - 1) * stride + 1];
+                for (lane, inputs) in input_sets.iter().enumerate() {
+                    flat[lane * stride] = lookup(inputs, name.as_str());
+                }
+                match encryptor.encrypt_values(&flat) {
+                    Ok(ct) => registers[id] = Some(Register::cipher(ct)),
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            } else if let DagNode::Vec(elems) = node {
+                // Leaf-only vectors: every user's elements at its lane base.
+                let mut flat = vec![0i64; (users - 1) * stride + elems.len().max(1)];
+                for (lane, inputs) in input_sets.iter().enumerate() {
+                    for (i, &e) in elems.iter().enumerate() {
+                        flat[lane * stride + i] = match &program.dag.nodes()[e] {
+                            DagNode::CtVar(name) => lookup(inputs, name.as_str()),
+                            DagNode::PtVar(name) => lookup(inputs, name.as_str()),
+                            DagNode::Const(v) => *v,
+                            _ => unreachable!("leaf-only vector"),
+                        };
+                    }
+                }
+                match encryptor.encrypt_values(&flat) {
+                    Ok(ct) => registers[id] = Some(Register::cipher(ct)),
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            } else {
+                unreachable!("pre-bound nodes are plaintext, inputs, or packed vectors")
+            }
+        }
+        self.arena_pool.restore(encryptor.take_arena());
+        match failure {
+            Some(error) => Err(error),
+            None => Ok(registers),
+        }
+    }
+
+    /// Serves a closed set of requests through **cross-request SIMD
+    /// batching**: up to `min(batch_capacity, policy.max_batch)` users are
+    /// packed into the slot lanes of shared ciphertexts and the program
+    /// executes *once* per chunk, amortizing every homomorphic operation
+    /// across the whole chunk. Per-user results are scattered back at
+    /// decrypt from each user's lane window, in input order.
+    ///
+    /// The policy comes from `options.batching` (defaulting to
+    /// [`BatchPolicy::default`] when unset). Outputs are bit-identical per
+    /// user to [`FheSession::run`]; each user's report carries the chunk's
+    /// shared server time and operation stats (the whole point: one
+    /// execution, many users).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CompiledProgram::execute`]; an error fails the
+    /// entire call.
+    pub fn run_batched(
+        &self,
+        input_sets: &[HashMap<String, i64>],
+        options: &ExecOptions,
+    ) -> Result<Vec<ExecutionReport>, FheError> {
+        let policy = options.batching.unwrap_or_default();
+        // The Coyote lane-assignment machinery validates the geometry and
+        // owns the base/chunk math; the stride always fits by construction.
+        let assignment =
+            LaneAssignment::new(self.ctx.slot_count(), self.lanes.stride, self.lanes.stride)
+                .expect("session lane geometry is valid by construction");
+        let capacity = assignment.lane_count().min(policy.max_batch).max(1);
+        let t = self.ctx.plain_modulus() as i64;
+        let output_slots = self.program.output_slots;
+
+        let mut reports: Vec<ExecutionReport> = Vec::with_capacity(input_sets.len());
+        for chunk in input_sets.chunks(capacity) {
+            let users: Vec<&HashMap<String, i64>> = chunk.iter().collect();
+            let registers = self.bind_batched(&users)?;
+            let started = Instant::now();
+            let outcome = self.execute_schedule(
+                registers,
+                options.threads_per_request,
+                options.scheduler,
+                None,
+                Some(LaneGeometry {
+                    stride: self.lanes.stride,
+                    lanes: users.len(),
+                }),
+            )?;
+            let server_time = started.elapsed();
+
+            // Scatter: each user reads its own lane window of the shared
+            // output.
+            let per_user: Vec<(Vec<u64>, f64, bool)> = match outcome.output {
+                Register::Cipher(ct) => {
+                    let consumed = ct.noise_consumed_bits();
+                    let mut scattered = Vec::with_capacity(users.len());
+                    let mut decrypt_error = None;
+                    for lane in 0..users.len() {
+                        let base = assignment.base(lane);
+                        let end = (base + output_slots).min(self.ctx.slot_count());
+                        match self.decryptor.decrypt_slots_in(&ct, base..end) {
+                            Ok(window) => scattered.push((window.to_vec(), consumed, true)),
+                            Err(FheError::NoiseBudgetExhausted { .. }) => {
+                                scattered.push((Vec::new(), consumed, false));
+                            }
+                            Err(other) => {
+                                decrypt_error = Some(other);
+                                break;
+                            }
+                        }
+                    }
+                    if let Ok(ciphertext) = Arc::try_unwrap(ct) {
+                        self.arena_pool.recycle(ciphertext);
+                    }
+                    if let Some(error) = decrypt_error {
+                        return Err(error);
+                    }
+                    scattered
+                }
+                Register::Plain(values) => (0..users.len())
+                    .map(|lane| {
+                        let base = assignment.base(lane);
+                        let window: Vec<u64> = values
+                            .values()
+                            .iter()
+                            .skip(base)
+                            .take(output_slots)
+                            .map(|&v| v.rem_euclid(t) as u64)
+                            .collect();
+                        (window, 0.0, true)
+                    })
+                    .collect(),
+            };
+
+            self.calibration
+                .lock()
+                .unwrap()
+                .merge(&outcome.timing.per_op);
+            self.requests_served
+                .fetch_add(users.len() as u64, Ordering::Relaxed);
+            self.metrics.requests.add(users.len() as u64);
+            self.metrics.batches.inc();
+            self.metrics
+                .lane_occupancy
+                .set(100.0 * users.len() as f64 / capacity as f64);
+
+            for (outputs, noise_consumed, decryption_ok) in per_user {
+                reports.push(ExecutionReport {
+                    outputs,
+                    server_time,
+                    noise_budget_consumed: noise_consumed,
+                    noise_budget_remaining: (self.ctx.params().fresh_noise_budget_bits()
+                        - noise_consumed)
+                        .max(0.0),
+                    operation_stats: outcome.stats,
+                    galois_key_count: self.galois_keys.key_count(),
+                    decryption_ok,
+                    timing: outcome.timing.clone(),
+                });
+            }
+        }
+        Ok(reports)
+    }
+
+    /// Starts a [`RequestCoalescer`] over this session: submitted requests
+    /// gather under `options.batching` (defaulting to
+    /// [`BatchPolicy::default`]) — flushing on a full batch, the linger
+    /// bound, or a member's deadline — then execute **once** per batch
+    /// through [`FheSession::run_batched`] and scatter per-user reports to
+    /// their [`chehab_runtime::RequestHandle`]s.
+    ///
+    /// The coalescer's lane capacity is clamped to
+    /// [`FheSession::batch_capacity`]; a batch-level [`FheError`] is
+    /// replicated to every member's handle.
+    pub fn serve_batched(
+        self: &Arc<Self>,
+        options: &ExecOptions,
+    ) -> RequestCoalescer<HashMap<String, i64>, Result<ExecutionReport, FheError>> {
+        let policy = options.batching.unwrap_or_default();
+        let capacity = self.batch_capacity().min(policy.max_batch).max(1);
+        let session = Arc::clone(self);
+        let exec = *options;
+        RequestCoalescer::new(
+            CoalescerConfig {
+                policy,
+                // One gather worker keeps batches maximal; intra-batch
+                // parallelism comes from `threads_per_request`.
+                workers: 1,
+                queue_capacity: options.queue_capacity,
+                lane_capacity: capacity,
+            },
+            move |batch: Vec<(u64, HashMap<String, i64>)>| {
+                let inputs: Vec<HashMap<String, i64>> =
+                    batch.into_iter().map(|(_, inputs)| inputs).collect();
+                match session.run_batched(&inputs, &exec) {
+                    Ok(reports) => reports.into_iter().map(Ok).collect(),
+                    Err(error) => inputs.iter().map(|_| Err(error.clone())).collect(),
+                }
+            },
+        )
+    }
+}
+
+/// Conservative per-register slot width of a pre-bound DAG node: scalars
+/// occupy one slot, packed vectors their element count, everything else the
+/// maximum of its operands. Feeds [`chehab_runtime::lane_geometry`].
+fn structural_width(dag: &CircuitDag, id: usize, widths: &mut Vec<usize>) -> usize {
+    if widths[id] != 0 {
+        return widths[id];
+    }
+    let w = match &dag.nodes()[id] {
+        DagNode::CtVar(_) | DagNode::PtVar(_) | DagNode::Const(_) => 1,
+        DagNode::Vec(elems) => elems.len().max(1),
+        node => node
+            .operands()
+            .into_iter()
+            .map(|op| structural_width(dag, op, widths))
+            .max()
+            .unwrap_or(1),
+    };
+    widths[id] = w;
+    w
 }
 
 /// The result of executing a compiled program.

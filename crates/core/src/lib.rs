@@ -50,6 +50,10 @@ pub use rotation_keys::{naf_decomposition, select_rotation_keys, RotationKeyPlan
 // The scheduling knob of `ExecOptions`, re-exported so session users don't
 // need a direct `chehab_runtime` dependency to pick a discipline.
 pub use chehab_runtime::SchedulerKind;
+// The cross-request SIMD batching surface of the session API
+// ([`FheSession::run_batched`], [`FheSession::serve_batched`]), re-exported
+// for the same reason.
+pub use chehab_runtime::{BatchPolicy, CoalescerStats, LaneGeometry, RequestCoalescer};
 // The telemetry surface of the session API ([`FheSession::trace_request`],
 // [`FheSession::serve_traced`], [`FheSession::metrics`]), re-exported for
 // the same reason.

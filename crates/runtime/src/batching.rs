@@ -1,0 +1,823 @@
+//! Cross-request SIMD batching: a request coalescer that packs many users
+//! into one ciphertext.
+//!
+//! The serving engine spends one ciphertext per scalar request lane while
+//! most BFV slots sit idle: a kernel touching a handful of slots wastes the
+//! other ~16k of a `degree`-slot vector. This module adds the second level
+//! of the two-level parallelization scheme (Bogdanov et al.): the dataflow
+//! scheduler parallelizes *within* a request, and the [`RequestCoalescer`]
+//! amortizes *across* requests by gathering compatible same-program
+//! requests, packing their scalar inputs into disjoint slot **lanes** of
+//! shared ciphertexts, executing the program once per batch, and scattering
+//! per-user results back to each caller's own
+//! [`RequestHandle`](crate::RequestHandle).
+//!
+//! # Why lane batching is exact
+//!
+//! Rotation in this runtime is **cyclic** (`slots[i] = a.slots[(i + step) %
+//! n]`), so every scheduled instruction — slot-wise add/sub/neg/mul and
+//! cyclic rotation — commutes with translating a user's data by a fixed
+//! base offset, as long as no two users' *supports* ever overlap. The
+//! [`lane_geometry`] analysis bounds, per register, the interval of slots a
+//! user's data can occupy relative to its lane base (rotations shift the
+//! interval, packs spread it, binary ops union it) and sizes the lane
+//! stride to the global envelope: with stride `G` covering every
+//! intermediate's excursion and `B <= n / G` lanes, the per-user windows
+//! tile the slot vector without wrapping into each other, and batched
+//! execution is **bit-identical per user** to running each request alone.
+//!
+//! # Batch formation
+//!
+//! [`BatchPolicy`] governs admission: a batch flushes when it reaches
+//! `max_batch` requests, when the oldest member has lingered `max_linger`,
+//! or — with a per-request `deadline` — early enough that no member misses
+//! its deadline waiting for stragglers. Batch-size, linger-time and
+//! lane-occupancy histograms are recorded into [`CoalescerStats`].
+
+use crate::schedule::{Instr, Schedule};
+use crate::serving::DEFAULT_QUEUE_CAPACITY;
+use crate::serving::{HandleShared, RequestHandle, ServingError, TrySubmitError};
+use crate::telemetry::Histogram;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Admission policy of a [`RequestCoalescer`]: when a gathering batch stops
+/// waiting for more requests and flushes to the executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Flush as soon as this many requests have gathered (clamped to at
+    /// least 1).
+    pub max_batch: usize,
+    /// Flush once the *first* request of the batch has waited this long —
+    /// the latency each request is willing to trade for amortization.
+    pub max_linger: Duration,
+    /// Optional per-request deadline (measured from submission): the batch
+    /// flushes early enough that no gathered member exceeds it waiting.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: 16,
+            max_linger: Duration::from_millis(2),
+            deadline: None,
+        }
+    }
+}
+
+impl BatchPolicy {
+    /// Replaces the batch-size bound.
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Replaces the linger bound.
+    pub fn with_max_linger(mut self, max_linger: Duration) -> Self {
+        self.max_linger = max_linger;
+        self
+    }
+
+    /// Sets a per-request deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// The slot-lane layout one batched execution runs under: consecutive users
+/// are placed `stride` slots apart, and `lanes` users share the ciphertext.
+///
+/// Executors receive this through `ExecResources::lanes` so the one
+/// lane-sensitive instruction — run-time packing of *plaintext* elements —
+/// can replicate each plaintext value into every live lane (every other
+/// instruction is slot-wise or cyclic and needs no lane awareness at all).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneGeometry {
+    /// Slots between consecutive lane bases (user `k` owns base `k *
+    /// stride`).
+    pub stride: usize,
+    /// Live lanes in this execution: the actual batch size, not the
+    /// capacity.
+    pub lanes: usize,
+}
+
+impl LaneGeometry {
+    /// The lane base of user `lane`.
+    pub fn base(&self, lane: usize) -> usize {
+        lane * self.stride
+    }
+}
+
+/// Sizes the lane stride of a compiled schedule by bounding, per register,
+/// the slot interval a user's data can occupy relative to its lane base.
+///
+/// `prebound_widths[slot]` is the structural width of each pre-bound
+/// register (0 for slots instructions produce); `output_slots` is how many
+/// slots of the output register the per-user scatter reads; `vector_slots`
+/// is the ciphertext slot count `n`. The returned geometry's `lanes` field
+/// is the **capacity** `max(1, n / stride)`.
+///
+/// The analysis walks the schedule in order, tracking per register a
+/// conservative `[lo, hi]` support interval (relative to the lane base):
+///
+/// - pre-bound registers of width `w` occupy `[0, w-1]`;
+/// - binary ops union their operands' intervals, negation copies;
+/// - a rotation by cumulative step `s` shifts the interval by `-s`
+///   (`rotate` moves the value at slot `j` to slot `j - s`), and every
+///   realized interim step is folded into the envelope too;
+/// - run-time packing places element `i` at displacement `+i`.
+///
+/// The global envelope is the union over all registers (plus `[0,
+/// output_slots-1]` for the scatter); a stride of its span keeps every
+/// user's every intermediate inside its own window, which is what makes
+/// batched execution exact (see the module docs).
+pub fn lane_geometry(
+    schedule: &Schedule,
+    prebound_widths: &[usize],
+    output_slots: usize,
+    vector_slots: usize,
+) -> LaneGeometry {
+    assert_eq!(
+        prebound_widths.len(),
+        schedule.slot_count(),
+        "one width per register slot"
+    );
+    let mut intervals: Vec<(i64, i64)> = prebound_widths
+        .iter()
+        .map(|&w| (0, w.max(1) as i64 - 1))
+        .collect();
+    // The envelope starts at the scatter window plus every pre-bound
+    // register actually bound (width >= 1).
+    let mut env = (0i64, output_slots.max(1) as i64 - 1);
+    let fold = |env: &mut (i64, i64), interval: (i64, i64)| {
+        env.0 = env.0.min(interval.0);
+        env.1 = env.1.max(interval.1);
+    };
+    for &w in prebound_widths.iter().filter(|&&w| w >= 1) {
+        fold(&mut env, (0, w as i64 - 1));
+    }
+    for si in schedule.instrs() {
+        let interval = match &si.instr {
+            Instr::Bin { a, b, .. } => {
+                let (alo, ahi) = intervals[*a];
+                let (blo, bhi) = intervals[*b];
+                (alo.min(blo), ahi.max(bhi))
+            }
+            Instr::Neg { a } => intervals[*a],
+            Instr::Rot { a, parts } => {
+                let (lo, hi) = intervals[*a];
+                let mut cumulative = 0i64;
+                let mut interim = (lo, hi);
+                for part in parts {
+                    cumulative += part;
+                    interim = (lo - cumulative, hi - cumulative);
+                    // Interim rotation results are materialized registers
+                    // too: their excursions must stay inside the window.
+                    fold(&mut env, interim);
+                }
+                interim
+            }
+            Instr::Pack { elems } => {
+                let mut packed = (i64::MAX, i64::MIN);
+                for (i, &elem) in elems.iter().enumerate() {
+                    let (lo, hi) = intervals[elem];
+                    packed.0 = packed.0.min(lo + i as i64);
+                    packed.1 = packed.1.max(hi + i as i64);
+                }
+                if elems.is_empty() {
+                    packed = (0, 0);
+                }
+                packed
+            }
+        };
+        intervals[si.dst] = interval;
+        fold(&mut env, interval);
+    }
+    let span = (env.1 - env.0 + 1).max(1) as usize;
+    if span >= vector_slots {
+        // Degenerate: one user needs (almost) the whole vector — no SIMD
+        // sharing, but batched execution still works one lane at a time.
+        return LaneGeometry {
+            stride: vector_slots.max(1),
+            lanes: 1,
+        };
+    }
+    LaneGeometry {
+        stride: span,
+        lanes: (vector_slots / span).max(1),
+    }
+}
+
+/// Sizing knobs of a [`RequestCoalescer`].
+#[derive(Debug, Clone, Copy)]
+pub struct CoalescerConfig {
+    /// When a gathering batch flushes.
+    pub policy: BatchPolicy,
+    /// Gather workers forming and executing batches concurrently (clamped
+    /// to at least 1). One worker keeps batches maximal; more trade
+    /// occupancy for pipeline overlap.
+    pub workers: usize,
+    /// Maximum queued (submitted but not yet gathered) requests before
+    /// [`RequestCoalescer::submit`] blocks.
+    pub queue_capacity: usize,
+    /// Lane capacity of the executor (users one ciphertext can carry),
+    /// denominating the lane-occupancy histogram.
+    pub lane_capacity: usize,
+}
+
+impl Default for CoalescerConfig {
+    fn default() -> Self {
+        let policy = BatchPolicy::default();
+        CoalescerConfig {
+            policy,
+            workers: 1,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            lane_capacity: policy.max_batch,
+        }
+    }
+}
+
+/// A point-in-time snapshot of one coalescer's batching counters.
+#[derive(Debug, Clone)]
+pub struct CoalescerStats {
+    /// Requests accepted so far.
+    pub submitted: u64,
+    /// Requests whose batch has executed and scattered.
+    pub completed: u64,
+    /// Batches flushed to the executor.
+    pub batches_formed: u64,
+    /// Batch-size distribution (recorded as raw counts, not durations).
+    pub batch_size: Histogram,
+    /// How long each flushed batch's first request lingered gathering.
+    pub linger: Histogram,
+    /// Lane occupancy per batch, in percent of
+    /// [`CoalescerConfig::lane_capacity`] (recorded as raw percentages).
+    pub lane_occupancy: Histogram,
+    /// Wall-clock since the coalescer started.
+    pub elapsed: Duration,
+}
+
+impl CoalescerStats {
+    /// Mean batch size across flushed batches, if any flushed.
+    pub fn mean_batch_size(&self) -> Option<f64> {
+        self.batch_size.mean().map(|m| m.as_nanos() as f64)
+    }
+}
+
+/// Accumulating side of [`CoalescerStats`], updated by the gather workers.
+#[derive(Default)]
+struct StatsAgg {
+    completed: u64,
+    batches_formed: u64,
+    batch_size: Histogram,
+    linger: Histogram,
+    lane_occupancy: Histogram,
+}
+
+/// One queued request: id, payload, result cell, and submission time (for
+/// deadline-aware flushing).
+struct BatchJob<T, R> {
+    id: u64,
+    request: T,
+    handle: Arc<HandleShared<R>>,
+    enqueued: Instant,
+}
+
+struct BatchQueue<T, R> {
+    queue: VecDeque<BatchJob<T, R>>,
+    shutting_down: bool,
+    submitted: u64,
+}
+
+struct CoalescerShared<T, R> {
+    state: Mutex<BatchQueue<T, R>>,
+    /// Signals gather workers that the queue gained a job (or shutdown).
+    not_empty: Condvar,
+    /// Signals blocked submitters that the queue lost jobs.
+    not_full: Condvar,
+    stats: Mutex<StatsAgg>,
+    policy: BatchPolicy,
+    queue_capacity: usize,
+    lane_capacity: usize,
+    started: Instant,
+}
+
+/// The request coalescer: gathers compatible requests under a
+/// [`BatchPolicy`], hands each flushed batch to one shared batch handler
+/// (for FHE serving, a closure over `FheSession::run_batched` — see
+/// `chehab_core::FheSession::serve_batched`), and scatters the per-user
+/// results to each caller's own [`RequestHandle`].
+///
+/// The handler receives the whole batch as `(request id, request)` pairs
+/// and must return exactly one result per request, in order; a panicking
+/// handler poisons every handle of its batch (retrievers re-raise, the
+/// worker survives). Dropping a coalescer shuts it down gracefully
+/// (drains queued work, joins workers); call
+/// [`RequestCoalescer::shutdown`] to also retrieve the final stats.
+pub struct RequestCoalescer<T, R> {
+    shared: Arc<CoalescerShared<T, R>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<T, R> std::fmt::Debug for RequestCoalescer<T, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RequestCoalescer")
+            .field("workers", &self.workers.len())
+            .field("policy", &self.shared.policy)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: Send + 'static, R: Send + 'static> RequestCoalescer<T, R> {
+    /// Starts a coalescer: spawns `config.workers` gather threads that form
+    /// batches under `config.policy` and execute them through `handler`.
+    pub fn new<F>(config: CoalescerConfig, handler: F) -> Self
+    where
+        F: Fn(Vec<(u64, T)>) -> Vec<R> + Send + Sync + 'static,
+    {
+        let shared = Arc::new(CoalescerShared {
+            state: Mutex::new(BatchQueue {
+                queue: VecDeque::new(),
+                shutting_down: false,
+                submitted: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            stats: Mutex::new(StatsAgg::default()),
+            policy: BatchPolicy {
+                max_batch: config.policy.max_batch.max(1),
+                ..config.policy
+            },
+            queue_capacity: config.queue_capacity.max(1),
+            lane_capacity: config.lane_capacity.max(1),
+            started: Instant::now(),
+        });
+        let handler = Arc::new(handler);
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let handler = Arc::clone(&handler);
+                std::thread::spawn(move || gather_loop(&shared, &*handler))
+            })
+            .collect();
+        RequestCoalescer { shared, workers }
+    }
+}
+
+impl<T, R> RequestCoalescer<T, R> {
+    /// Enqueues one request and returns its handle. Blocks while the queue
+    /// is at capacity (back-pressure on producers).
+    ///
+    /// # Errors
+    ///
+    /// [`ServingError::ShutDown`] once shutdown has started.
+    pub fn submit(&self, request: T) -> Result<RequestHandle<R>, ServingError> {
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            if state.shutting_down {
+                return Err(ServingError::ShutDown);
+            }
+            if state.queue.len() < self.shared.queue_capacity {
+                break;
+            }
+            state = self.shared.not_full.wait(state).unwrap();
+        }
+        Ok(self.enqueue(state, request))
+    }
+
+    /// Non-blocking submission: hands the request back instead of waiting
+    /// on a full queue, so overload policy stays with the caller.
+    ///
+    /// # Errors
+    ///
+    /// [`TrySubmitError::ShutDown`] once shutdown has started,
+    /// [`TrySubmitError::QueueFull`] while the queue is at capacity; both
+    /// carry the request back.
+    pub fn try_submit(&self, request: T) -> Result<RequestHandle<R>, TrySubmitError<T>> {
+        let state = self.shared.state.lock().unwrap();
+        if state.shutting_down {
+            return Err(TrySubmitError::ShutDown(request));
+        }
+        if state.queue.len() >= self.shared.queue_capacity {
+            return Err(TrySubmitError::QueueFull(request));
+        }
+        Ok(self.enqueue(state, request))
+    }
+
+    fn enqueue(
+        &self,
+        mut state: std::sync::MutexGuard<'_, BatchQueue<T, R>>,
+        request: T,
+    ) -> RequestHandle<R> {
+        let id = state.submitted;
+        state.submitted += 1;
+        let handle = HandleShared::new();
+        state.queue.push_back(BatchJob {
+            id,
+            request,
+            handle: Arc::clone(&handle),
+            enqueued: Instant::now(),
+        });
+        drop(state);
+        self.shared.not_empty.notify_one();
+        RequestHandle::from_shared(id, handle)
+    }
+
+    /// A point-in-time snapshot of the coalescer's batching counters.
+    pub fn stats(&self) -> CoalescerStats {
+        let submitted = self.shared.state.lock().unwrap().submitted;
+        let agg = self.shared.stats.lock().unwrap();
+        CoalescerStats {
+            submitted,
+            completed: agg.completed,
+            batches_formed: agg.batches_formed,
+            batch_size: agg.batch_size.clone(),
+            linger: agg.linger.clone(),
+            lane_occupancy: agg.lane_occupancy.clone(),
+            elapsed: self.shared.started.elapsed(),
+        }
+    }
+
+    /// Stops intake, flushes and executes everything already queued, joins
+    /// the gather workers, and returns the final stats. Concurrent
+    /// submitters receive [`ServingError::ShutDown`].
+    pub fn shutdown(mut self) -> CoalescerStats {
+        self.halt();
+        self.stats()
+    }
+
+    /// Idempotent part of shutdown: flips the flag, wakes everyone, joins.
+    fn halt(&mut self) {
+        self.shared.state.lock().unwrap().shutting_down = true;
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl<T, R> Drop for RequestCoalescer<T, R> {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+/// One gather worker: wait for a first request, linger for companions under
+/// the policy, execute the flushed batch, scatter, repeat. Shutdown flushes
+/// the gathering batch immediately and drains the queue before exiting.
+fn gather_loop<T, R>(
+    shared: &CoalescerShared<T, R>,
+    handler: &(dyn Fn(Vec<(u64, T)>) -> Vec<R> + Send + Sync),
+) {
+    let policy = shared.policy;
+    loop {
+        let mut state = shared.state.lock().unwrap();
+        // Wait for the batch's first request (or for shutdown + drained).
+        let first = loop {
+            if let Some(job) = state.queue.pop_front() {
+                break job;
+            }
+            if state.shutting_down {
+                return;
+            }
+            state = shared.not_empty.wait(state).unwrap();
+        };
+        let gather_start = Instant::now();
+        // The batch must flush early enough that no member overshoots its
+        // deadline waiting; the linger clock runs from the first member.
+        let mut flush_by = gather_start + policy.max_linger;
+        let deadline_of = |job: &BatchJob<T, R>| policy.deadline.map(|d| job.enqueued + d);
+        if let Some(deadline) = deadline_of(&first) {
+            flush_by = flush_by.min(deadline);
+        }
+        let mut batch = vec![first];
+        while batch.len() < policy.max_batch {
+            while batch.len() < policy.max_batch {
+                let Some(job) = state.queue.pop_front() else {
+                    break;
+                };
+                if let Some(deadline) = deadline_of(&job) {
+                    flush_by = flush_by.min(deadline);
+                }
+                batch.push(job);
+            }
+            if batch.len() >= policy.max_batch || state.shutting_down {
+                break;
+            }
+            let now = Instant::now();
+            if now >= flush_by {
+                break;
+            }
+            let (next, timeout) = shared
+                .not_empty
+                .wait_timeout(state, flush_by - now)
+                .unwrap();
+            state = next;
+            if timeout.timed_out() && state.queue.is_empty() {
+                break;
+            }
+        }
+        drop(state);
+        shared.not_full.notify_all();
+
+        let linger = gather_start.elapsed();
+        let size = batch.len();
+        {
+            let mut agg = shared.stats.lock().unwrap();
+            agg.batches_formed += 1;
+            agg.batch_size.record_nanos(size as u64);
+            agg.linger.record(linger);
+            agg.lane_occupancy
+                .record_nanos((100 * size.min(shared.lane_capacity) / shared.lane_capacity) as u64);
+        }
+
+        let mut handles = Vec::with_capacity(size);
+        let mut requests = Vec::with_capacity(size);
+        for job in batch {
+            handles.push(job.handle);
+            requests.push((job.id, job.request));
+        }
+        // A panicking (or miscounting) handler must poison the whole batch:
+        // every member's inputs shared the ciphertext, so no member has a
+        // trustworthy result, and waiters must re-raise instead of hanging.
+        let results = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler(requests)))
+            .ok()
+            .filter(|results| results.len() == handles.len());
+        match results {
+            Some(results) => {
+                for (handle, result) in handles.iter().zip(results) {
+                    handle.fulfill(Some(result));
+                }
+            }
+            None => {
+                for handle in &handles {
+                    handle.fulfill(None);
+                }
+            }
+        }
+        shared.stats.lock().unwrap().completed += size as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{data_kinds, lower_with_default_costs};
+    use chehab_ir::{parse, CircuitDag, DagNode, DataKind};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn doubling_coalescer(policy: BatchPolicy, capacity: usize) -> RequestCoalescer<u64, u64> {
+        RequestCoalescer::new(
+            CoalescerConfig {
+                policy,
+                workers: 1,
+                queue_capacity: capacity,
+                lane_capacity: policy.max_batch,
+            },
+            |requests| requests.into_iter().map(|(_, v)| v * 2).collect(),
+        )
+    }
+
+    #[test]
+    fn scatters_each_users_own_result() {
+        let coalescer = doubling_coalescer(BatchPolicy::default().with_max_batch(4), 64);
+        let handles: Vec<_> = (0..10).map(|v| coalescer.submit(v).unwrap()).collect();
+        for (v, handle) in handles.into_iter().enumerate() {
+            assert_eq!(handle.id(), v as u64);
+            assert_eq!(handle.wait(), v as u64 * 2);
+        }
+        let stats = coalescer.shutdown();
+        assert_eq!(stats.submitted, 10);
+        assert_eq!(stats.completed, 10);
+        assert!(stats.batches_formed >= 3, "max_batch 4 forces >= 3 batches");
+        assert_eq!(stats.batch_size.count(), stats.batches_formed);
+        assert!(stats.batch_size.max().unwrap() <= Duration::from_nanos(4));
+        assert_eq!(stats.lane_occupancy.count(), stats.batches_formed);
+    }
+
+    #[test]
+    fn full_batches_flush_without_waiting_out_the_linger() {
+        // A generous linger must not delay a batch that is already full.
+        let coalescer = doubling_coalescer(
+            BatchPolicy::default()
+                .with_max_batch(2)
+                .with_max_linger(Duration::from_secs(60)),
+            64,
+        );
+        let a = coalescer.submit(3).unwrap();
+        let b = coalescer.submit(4).unwrap();
+        assert_eq!(a.wait(), 6);
+        assert_eq!(b.wait(), 8);
+        let stats = coalescer.shutdown();
+        assert!(stats.linger.max().unwrap() < Duration::from_secs(10));
+    }
+
+    #[test]
+    fn linger_flushes_a_partial_batch() {
+        let coalescer = doubling_coalescer(
+            BatchPolicy::default()
+                .with_max_batch(64)
+                .with_max_linger(Duration::from_millis(5)),
+            64,
+        );
+        let handle = coalescer.submit(21).unwrap();
+        // No companions ever arrive: the linger timer alone must flush.
+        assert_eq!(handle.wait(), 42);
+        let stats = coalescer.shutdown();
+        assert_eq!(stats.batches_formed, 1);
+        assert_eq!(stats.batch_size.max(), Some(Duration::from_nanos(1)));
+    }
+
+    #[test]
+    fn deadline_beats_a_longer_linger() {
+        let coalescer = doubling_coalescer(
+            BatchPolicy::default()
+                .with_max_batch(64)
+                .with_max_linger(Duration::from_secs(60))
+                .with_deadline(Duration::from_millis(5)),
+            64,
+        );
+        let started = Instant::now();
+        let handle = coalescer.submit(5).unwrap();
+        assert_eq!(handle.wait(), 10);
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "deadline must flush long before the linger"
+        );
+        coalescer.shutdown();
+    }
+
+    #[test]
+    fn try_submit_sheds_load_on_a_full_queue() {
+        // Gate the single gather worker so the queue backs up.
+        let gate = Arc::new(Mutex::new(()));
+        let guard = gate.lock().unwrap();
+        let handler_gate = Arc::clone(&gate);
+        let coalescer: RequestCoalescer<u32, u32> = RequestCoalescer::new(
+            CoalescerConfig {
+                policy: BatchPolicy::default().with_max_batch(1),
+                workers: 1,
+                queue_capacity: 1,
+                lane_capacity: 1,
+            },
+            move |requests| {
+                drop(handler_gate.lock().unwrap());
+                requests.into_iter().map(|(_, v)| v + 1).collect()
+            },
+        );
+        let first = coalescer.submit(1).unwrap();
+        // Wait until the gather worker owns the first job, then fill the
+        // queue back up to capacity.
+        while !coalescer.shared.state.lock().unwrap().queue.is_empty() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let second = coalescer.try_submit(2).expect("queue has room");
+        let rejected = coalescer.try_submit(3).expect_err("queue is at capacity");
+        assert_eq!(rejected, TrySubmitError::QueueFull(3));
+        assert_eq!(rejected.into_request(), 3);
+        drop(guard);
+        assert_eq!(first.wait(), 2);
+        assert_eq!(second.wait(), 3);
+        let mut coalescer = coalescer;
+        coalescer.halt();
+        assert_eq!(
+            coalescer.try_submit(9).unwrap_err(),
+            TrySubmitError::ShutDown(9)
+        );
+    }
+
+    #[test]
+    fn panicking_handler_poisons_the_whole_batch() {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&calls);
+        let coalescer: RequestCoalescer<u32, u32> = RequestCoalescer::new(
+            CoalescerConfig {
+                policy: BatchPolicy::default()
+                    .with_max_batch(2)
+                    .with_max_linger(Duration::from_millis(1)),
+                workers: 1,
+                queue_capacity: 8,
+                lane_capacity: 2,
+            },
+            move |requests| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                assert!(!requests.iter().any(|&(_, v)| v == 13), "unlucky batch");
+                requests.into_iter().map(|(_, v)| v).collect()
+            },
+        );
+        let bad = coalescer.submit(13).unwrap();
+        let also_bad = coalescer.submit(7).unwrap();
+        // Both members of the poisoned batch re-raise; the worker survives
+        // and serves the next batch.
+        for handle in [bad, also_bad] {
+            let reraised = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle.wait()));
+            assert!(reraised.is_err(), "poisoned batch member re-raises");
+        }
+        let good = coalescer.submit(4).unwrap();
+        assert_eq!(good.wait(), 4);
+        assert!(calls.load(Ordering::Relaxed) >= 2);
+        let stats = coalescer.shutdown();
+        assert_eq!(stats.completed, 3);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_requests() {
+        let coalescer = doubling_coalescer(
+            BatchPolicy::default()
+                .with_max_batch(4)
+                .with_max_linger(Duration::from_secs(60)),
+            64,
+        );
+        // Fewer than max_batch queued, linger effectively infinite: only
+        // the shutdown flush can complete these.
+        let handles: Vec<_> = (0..3).map(|v| coalescer.submit(v).unwrap()).collect();
+        let stats = coalescer.shutdown();
+        assert_eq!(stats.completed, 3);
+        for (v, handle) in handles.into_iter().enumerate() {
+            assert_eq!(handle.try_poll(), Some(v as u64 * 2));
+        }
+    }
+
+    /// Mirrors the compiler's default client-side layout (as in the
+    /// schedule tests): leaves, plaintext subcircuits, and leaf-only
+    /// vectors are pre-bound.
+    fn client_prebound(dag: &CircuitDag) -> Vec<bool> {
+        let kinds = data_kinds(dag);
+        dag.nodes()
+            .iter()
+            .enumerate()
+            .map(|(id, n)| {
+                n.is_leaf()
+                    || kinds[id] == DataKind::Plaintext
+                    || matches!(n, DagNode::Vec(elems)
+                        if elems.iter().all(|&e| dag.nodes()[e].is_leaf()))
+            })
+            .collect()
+    }
+
+    fn structural_width(dag: &CircuitDag, id: usize, widths: &mut Vec<usize>) -> usize {
+        if widths[id] != 0 {
+            return widths[id];
+        }
+        let w = match &dag.nodes()[id] {
+            DagNode::CtVar(_) | DagNode::PtVar(_) | DagNode::Const(_) => 1,
+            DagNode::Vec(elems) => elems.len().max(1),
+            node => node
+                .operands()
+                .into_iter()
+                .map(|op| structural_width(dag, op, widths))
+                .max()
+                .unwrap_or(1),
+        };
+        widths[id] = w;
+        w
+    }
+
+    fn geometry_of(source: &str, output_slots: usize, vector_slots: usize) -> LaneGeometry {
+        let expr = parse(source).unwrap();
+        let dag = CircuitDag::from_expr(&expr).eliminate_dead_code();
+        let prebound = client_prebound(&dag);
+        let schedule = lower_with_default_costs(&dag, &prebound, |step| vec![step]);
+        let mut widths = vec![0usize; dag.len()];
+        let prebound_widths: Vec<usize> = (0..dag.len())
+            .map(|id| {
+                if prebound[id] {
+                    structural_width(&dag, id, &mut widths)
+                } else {
+                    0
+                }
+            })
+            .collect();
+        lane_geometry(&schedule, &prebound_widths, output_slots, vector_slots)
+    }
+
+    #[test]
+    fn rotation_free_kernels_get_width_sized_lanes() {
+        // Width-2 vectors, no rotations: the envelope is [0, 1], so the
+        // stride is 2 and half the slots' worth of users fit.
+        let geometry = geometry_of("(VecAdd (Vec a b) (Vec c d))", 2, 1024);
+        assert_eq!(geometry.stride, 2);
+        assert_eq!(geometry.lanes, 512);
+    }
+
+    #[test]
+    fn rotations_widen_the_stride_by_their_excursion() {
+        // rotate(x, 3) moves slot j to j - 3: the envelope grows to
+        // [-3, 3] and the stride to 7.
+        let geometry = geometry_of("(<< (VecMul (Vec a b c d) (Vec e f g h)) 3)", 4, 1024);
+        assert_eq!(geometry.stride, 7);
+        assert_eq!(geometry.lanes, 1024 / 7);
+    }
+
+    #[test]
+    fn degenerate_envelopes_fall_back_to_one_lane() {
+        let geometry = geometry_of("(<< (VecMul (Vec a b c d) (Vec e f g h)) 3)", 4, 4);
+        assert_eq!(geometry.lanes, 1);
+        assert_eq!(geometry.stride, 4);
+    }
+}

@@ -291,6 +291,14 @@ pub struct ExecResources<'a> {
     /// check per instruction — capture never perturbs results, only
     /// observes timings.
     pub trace: Option<&'a TraceSink>,
+    /// Slot-lane layout of a cross-request batched execution (see
+    /// [`crate::RequestCoalescer`]): `Some` when several users' inputs
+    /// share the ciphertexts at the given stride. Only [`Instr::Pack`]'s
+    /// plaintext-element path consults it (plaintext values must be
+    /// replicated into every live lane); every other instruction is
+    /// slot-wise or cyclic and lane-oblivious. `None` (the default) is the
+    /// unbatched single-user layout.
+    pub lanes: Option<crate::LaneGeometry>,
 }
 
 /// Which scheduling discipline produced an execution's timing breakdown.
@@ -816,12 +824,30 @@ pub(crate) fn run_instr(
             // Run-time packing: element i is moved to slot i with a
             // right-rotation and accumulated with in-place additions.
             let mut acc: Option<Ciphertext> = None;
-            let mut plain_slots = vec![0i64; elems.len()];
+            // Under a batched lane layout the plaintext accumulator spans
+            // every live lane: each user's plaintext element is read at its
+            // lane base and placed at its lane's copy of the slot.
+            // (Ciphertext elements need no such care — the rotation below
+            // shifts every lane's value uniformly.)
+            let plain_width = match res.lanes {
+                None => elems.len(),
+                Some(geometry) => geometry.base(geometry.lanes.saturating_sub(1)) + elems.len(),
+            };
+            let mut plain_slots = vec![0i64; plain_width];
             for (slot, &elem) in elems.iter().enumerate() {
                 match rf.read(elem) {
-                    Register::Plain(values) => {
-                        plain_slots[slot] = values.values().first().copied().unwrap_or(0);
-                    }
+                    Register::Plain(values) => match res.lanes {
+                        None => {
+                            plain_slots[slot] = values.values().first().copied().unwrap_or(0);
+                        }
+                        Some(geometry) => {
+                            for lane in 0..geometry.lanes {
+                                let base = geometry.base(lane);
+                                plain_slots[base + slot] =
+                                    values.values().get(base).copied().unwrap_or(0);
+                            }
+                        }
+                    },
                     Register::Cipher(ct) => {
                         let placed = if slot == 0 {
                             evaluator.clone_ciphertext(&ct)

@@ -29,6 +29,12 @@
 //!    state lives across requests instead of being rebuilt per call;
 //!    [`RequestHandle`]s give submit/wait/try_poll semantics and
 //!    [`ServingStats`] track queue depth and throughput.
+//! 4. **Cross-request SIMD batching**: a [`RequestCoalescer`] gathers
+//!    compatible requests under a [`BatchPolicy`] and packs many users into
+//!    the slot lanes of shared ciphertexts (see the [`batching`
+//!    module](crate::RequestCoalescer) docs for why lane batching is
+//!    bit-exact per user), amortizing every homomorphic operation across
+//!    the whole batch.
 //!
 //! The crate deliberately depends only on `chehab-ir` (for the circuit DAG
 //! and cost tables) and `chehab-fhe` (for the evaluator): `chehab-core`
@@ -94,6 +100,8 @@
 //!     arenas: &arenas,
 //!     // Tracing off: the executor records no spans.
 //!     trace: None,
+//!     // Single-user layout: no cross-request lane batching.
+//!     lanes: None,
 //! };
 //! let outcome = WavefrontExecutor::new(2).execute(&schedule, registers, &resources)?;
 //! let Register::Cipher(output) = outcome.output else { panic!("ciphertext output") };
@@ -105,6 +113,7 @@
 #![warn(missing_docs)]
 
 mod batch;
+mod batching;
 mod calibrate;
 mod dataflow;
 mod exec;
@@ -113,6 +122,9 @@ mod serving;
 pub mod telemetry;
 
 pub use batch::BatchExecutor;
+pub use batching::{
+    lane_geometry, BatchPolicy, CoalescerConfig, CoalescerStats, LaneGeometry, RequestCoalescer,
+};
 pub use calibrate::{CalibratedCostModel, OpKind, OP_KINDS};
 pub use dataflow::{dynamic_intra_op_grant, DataflowExecutor};
 pub use exec::{
@@ -124,7 +136,8 @@ pub use schedule::{
 };
 pub use serving::{
     default_workers, LatencySnapshot, RequestHandle, SchedulerMetrics, SchedulerStatsSnapshot,
-    ServingConfig, ServingEngine, ServingError, ServingStats, DEFAULT_QUEUE_CAPACITY,
+    ServingConfig, ServingEngine, ServingError, ServingStats, TrySubmitError,
+    DEFAULT_QUEUE_CAPACITY,
 };
 pub use telemetry::{
     Counter, Gauge, Histogram, MetricsRegistry, SpanEvent, Trace, TraceBuffer, TraceSink,

@@ -11,7 +11,8 @@
 //!
 //! - [`ServingEngine::submit`] enqueues a request into a **bounded** queue
 //!   (back-pressure: it blocks while the queue is at capacity) and returns a
-//!   [`RequestHandle`];
+//!   [`RequestHandle`]; [`ServingEngine::try_submit`] is the non-blocking
+//!   variant that hands the request back on a full queue instead;
 //! - persistent workers drain the queue through one shared handler — for FHE
 //!   serving, a closure over one long-lived `FheSession` (see
 //!   `chehab_core::FheSession::serve`);
@@ -82,6 +83,45 @@ impl std::fmt::Display for ServingError {
 }
 
 impl std::error::Error for ServingError {}
+
+/// Why a non-blocking submission was rejected. Both variants hand the
+/// request back to the caller, so an overloaded producer can retry, shed
+/// load, or route the request elsewhere without having cloned it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySubmitError<T> {
+    /// The engine is shutting down (or already shut down); no new requests
+    /// are accepted. Carries the rejected request.
+    ShutDown(T),
+    /// The queue is at capacity right now. Carries the rejected request;
+    /// the blocking [`ServingEngine::submit`] would have waited instead.
+    QueueFull(T),
+}
+
+impl<T> TrySubmitError<T> {
+    /// Recovers the rejected request.
+    pub fn into_request(self) -> T {
+        match self {
+            TrySubmitError::ShutDown(request) | TrySubmitError::QueueFull(request) => request,
+        }
+    }
+
+    /// `true` for the transient [`TrySubmitError::QueueFull`] rejection
+    /// (worth retrying), `false` for the terminal shutdown rejection.
+    pub fn is_queue_full(&self) -> bool {
+        matches!(self, TrySubmitError::QueueFull(_))
+    }
+}
+
+impl<T> std::fmt::Display for TrySubmitError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrySubmitError::ShutDown(_) => write!(f, "serving engine is shut down"),
+            TrySubmitError::QueueFull(_) => write!(f, "serving queue is at capacity"),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for TrySubmitError<T> {}
 
 /// Aggregated scheduler counters of the requests an engine has served: the
 /// first slice of the engine-level metrics export. Handlers that execute
@@ -281,9 +321,42 @@ struct ResultSlot<R> {
     poisoned: bool,
 }
 
-struct HandleShared<R> {
+pub(crate) struct HandleShared<R> {
     slot: Mutex<ResultSlot<R>>,
     done: Condvar,
+}
+
+impl<R> HandleShared<R> {
+    /// A fresh, unfinished result cell.
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(HandleShared {
+            slot: Mutex::new(ResultSlot {
+                value: None,
+                taken: false,
+                finished: false,
+                poisoned: false,
+            }),
+            done: Condvar::new(),
+        })
+    }
+
+    /// Worker side of completion: publishes the value (or, with `None`,
+    /// poisons the cell so retrievers re-raise instead of blocking forever),
+    /// marks the cell finished, and wakes every waiter.
+    pub(crate) fn fulfill(&self, value: Option<R>) {
+        {
+            let mut slot = self
+                .slot
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            match value {
+                Some(value) => slot.value = Some(value),
+                None => slot.poisoned = true,
+            }
+            slot.finished = true;
+        }
+        self.done.notify_all();
+    }
 }
 
 /// The caller's side of one submitted request.
@@ -306,6 +379,12 @@ impl<R> std::fmt::Debug for RequestHandle<R> {
 }
 
 impl<R> RequestHandle<R> {
+    /// Pairs a handle with an existing result cell — how the serving engine
+    /// and the request coalescer mint the caller's side of a submission.
+    pub(crate) fn from_shared(id: u64, shared: Arc<HandleShared<R>>) -> Self {
+        RequestHandle { id, shared }
+    }
+
     /// The engine-assigned request id, in submission order starting at 0.
     pub fn id(&self) -> u64 {
         self.id
@@ -555,17 +634,41 @@ impl<T, R> ServingEngine<T, R> {
             }
             state = self.shared.not_full.wait(state).unwrap();
         }
+        Ok(self.enqueue(state, request))
+    }
+
+    /// Enqueues one request without ever blocking: where
+    /// [`ServingEngine::submit`] would wait on a full queue, this hands the
+    /// request straight back as [`TrySubmitError::QueueFull`], so overload
+    /// policy (retry, shed, divert) stays with the caller.
+    ///
+    /// # Errors
+    ///
+    /// [`TrySubmitError::ShutDown`] once shutdown has started,
+    /// [`TrySubmitError::QueueFull`] while the queue is at capacity; both
+    /// return the request to the caller.
+    pub fn try_submit(&self, request: T) -> Result<RequestHandle<R>, TrySubmitError<T>> {
+        let state = self.shared.state.lock().unwrap();
+        if state.shutting_down {
+            return Err(TrySubmitError::ShutDown(request));
+        }
+        if state.queue.len() >= self.shared.queue_capacity {
+            return Err(TrySubmitError::QueueFull(request));
+        }
+        Ok(self.enqueue(state, request))
+    }
+
+    /// The shared tail of both submission paths: assigns the id, mints the
+    /// handle pair, enqueues the job, and wakes one worker. The caller has
+    /// already established that the queue has room and intake is open.
+    fn enqueue(
+        &self,
+        mut state: std::sync::MutexGuard<'_, QueueState<T, R>>,
+        request: T,
+    ) -> RequestHandle<R> {
         let id = state.submitted;
         state.submitted += 1;
-        let handle = Arc::new(HandleShared {
-            slot: Mutex::new(ResultSlot {
-                value: None,
-                taken: false,
-                finished: false,
-                poisoned: false,
-            }),
-            done: Condvar::new(),
-        });
+        let handle = HandleShared::new();
         state.queue.push_back(Job {
             id,
             request,
@@ -574,7 +677,7 @@ impl<T, R> ServingEngine<T, R> {
         });
         drop(state);
         self.shared.not_empty.notify_one();
-        Ok(RequestHandle { id, shared: handle })
+        RequestHandle::from_shared(id, handle)
     }
 
     /// A point-in-time snapshot of the engine's serving counters.
@@ -710,18 +813,7 @@ fn worker_loop<T, R>(
             });
         }
 
-        {
-            let mut slot = handle
-                .slot
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            match result {
-                Ok(value) => slot.value = Some(value),
-                Err(_) => slot.poisoned = true,
-            }
-            slot.finished = true;
-        }
-        handle.done.notify_all();
+        handle.fulfill(result.ok());
     }
 }
 
@@ -856,6 +948,40 @@ mod tests {
         drop(guard);
         let stats = engine.shutdown();
         assert_eq!(stats.completed, 3);
+    }
+
+    #[test]
+    fn try_submit_returns_the_request_instead_of_blocking() {
+        let gate = Arc::new(Mutex::new(()));
+        let guard = gate.lock().unwrap();
+        let handler_gate = Arc::clone(&gate);
+        let engine = engine_with(1, 1, move |_, v: u32| {
+            drop(handler_gate.lock().unwrap());
+            v * 10
+        });
+        // The worker picks up the first job and blocks on the gate; the
+        // second fills the queue to its capacity of one.
+        let first = engine.submit(1).unwrap();
+        // The worker may not have dequeued the first job yet, so make room
+        // deterministically: spin until the queue has drained to the worker.
+        while engine.stats().queue_depth > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let second = engine.try_submit(2).expect("queue has room");
+        // Queue full now: the rejection carries the request back unchanged.
+        let rejected = engine.try_submit(3).expect_err("queue is at capacity");
+        assert!(rejected.is_queue_full());
+        assert_eq!(rejected, TrySubmitError::QueueFull(3));
+        assert_eq!(rejected.into_request(), 3);
+        drop(guard);
+        assert_eq!(first.wait(), 10);
+        assert_eq!(second.wait(), 20);
+        let mut engine = engine;
+        engine.halt();
+        assert_eq!(
+            engine.try_submit(4).unwrap_err(),
+            TrySubmitError::ShutDown(4)
+        );
     }
 
     #[test]

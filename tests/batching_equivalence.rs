@@ -1,0 +1,144 @@
+//! Cross-request SIMD batching equivalence: packing many users into the
+//! slot lanes of shared ciphertexts must change *throughput only*. A
+//! one-user batch takes the same encryption layout and call order as the
+//! unbatched path (hence bit-identical ciphertexts and reports), and every
+//! user of a multi-user batch must read exactly the outputs it would have
+//! gotten from its own solo request — on every benchsuite kernel.
+
+use chehab::benchsuite::{self, Benchmark};
+use chehab::compiler::{BatchPolicy, Compiler, ExecOptions};
+use chehab::fhe::BfvParameters;
+use std::collections::HashMap;
+
+fn inputs_of(benchmark: &Benchmark, seed: u64) -> HashMap<String, i64> {
+    let env = benchmark.input_env(seed);
+    benchmark
+        .program()
+        .variables()
+        .into_iter()
+        .map(|v| {
+            let value = env.get(v.as_str()).unwrap_or(0) as i64;
+            (v.to_string(), value)
+        })
+        .collect()
+}
+
+/// Batch size 1 is the degenerate case the whole design pivots on: the
+/// flattened lane layout collapses to the unbatched layout, so outputs,
+/// operation stats, noise consumption and decryption status must all be
+/// bit-identical to [`FheSession::run`] on all 46 kernels.
+#[test]
+fn a_one_user_batch_is_bit_identical_to_the_unbatched_path() {
+    let params = BfvParameters::insecure_test();
+    let options = ExecOptions::sequential().with_batching(BatchPolicy::default());
+    for benchmark in benchsuite::full_suite() {
+        let compiled = Compiler::greedy().compile(benchmark.id(), benchmark.program());
+        let session = compiled
+            .session(&params)
+            .unwrap_or_else(|e| panic!("{}: session construction failed: {e}", benchmark.id()));
+        let inputs = inputs_of(&benchmark, 41);
+
+        let unbatched = session
+            .run(&inputs)
+            .unwrap_or_else(|e| panic!("{}: unbatched run failed: {e}", benchmark.id()));
+        let batched = session
+            .run_batched(std::slice::from_ref(&inputs), &options)
+            .unwrap_or_else(|e| panic!("{}: batched run failed: {e}", benchmark.id()));
+
+        assert_eq!(batched.len(), 1, "{}: one user, one report", benchmark.id());
+        let report = &batched[0];
+        assert_eq!(
+            report.outputs,
+            unbatched.outputs,
+            "{}: batch-1 outputs diverged",
+            benchmark.id()
+        );
+        assert_eq!(
+            report.operation_stats,
+            unbatched.operation_stats,
+            "{}: batch-1 executed different operations",
+            benchmark.id()
+        );
+        assert_eq!(
+            report.noise_budget_consumed,
+            unbatched.noise_budget_consumed,
+            "{}: batch-1 noise diverged",
+            benchmark.id()
+        );
+        assert_eq!(report.decryption_ok, unbatched.decryption_ok);
+    }
+}
+
+/// Multi-user batches: each user's lane window must scatter back exactly
+/// the outputs that user's solo request produces, even though the whole
+/// batch shared one homomorphic execution.
+#[test]
+fn every_user_of_a_batch_reads_its_own_solo_result() {
+    let params = BfvParameters::insecure_test();
+    let options = ExecOptions::sequential().with_batching(BatchPolicy::default());
+    for benchmark in benchsuite::full_suite() {
+        let compiled = Compiler::greedy().compile(benchmark.id(), benchmark.program());
+        let session = compiled
+            .session(&params)
+            .unwrap_or_else(|e| panic!("{}: session construction failed: {e}", benchmark.id()));
+        assert!(session.lane_stride() >= 1);
+        assert!(session.batch_capacity() >= 1);
+
+        let users = session.batch_capacity().min(3);
+        let input_sets: Vec<HashMap<String, i64>> = (0..users as u64)
+            .map(|k| inputs_of(&benchmark, 120 + 7 * k))
+            .collect();
+        let batched = session
+            .run_batched(&input_sets, &options)
+            .unwrap_or_else(|e| panic!("{}: batched run failed: {e}", benchmark.id()));
+        assert_eq!(
+            batched.len(),
+            users,
+            "{}: one report per user",
+            benchmark.id()
+        );
+
+        for (lane, inputs) in input_sets.iter().enumerate() {
+            let solo = session
+                .run(inputs)
+                .unwrap_or_else(|e| panic!("{}: solo run failed: {e}", benchmark.id()));
+            assert_eq!(
+                batched[lane].outputs,
+                solo.outputs,
+                "{}: user {lane} of {users} read someone else's lane",
+                benchmark.id()
+            );
+            assert_eq!(batched[lane].decryption_ok, solo.decryption_ok);
+        }
+    }
+}
+
+/// A batch larger than the effective lane capacity splits into full chunks
+/// plus a ragged tail, each executing as its own shared ciphertext — and
+/// still scatters per-user-correct results in input order.
+#[test]
+fn ragged_chunking_preserves_per_user_results_and_input_order() {
+    let params = BfvParameters::insecure_test();
+    let benchmark = benchsuite::by_id("Dot Product 8").expect("known benchmark id");
+    let compiled = Compiler::greedy().compile(benchmark.id(), benchmark.program());
+    let session = compiled.session(&params).unwrap();
+
+    // Cap batches at 2 lanes: 5 users chunk as [2, 2, 1].
+    let options = ExecOptions::sequential().with_batching(BatchPolicy::default().with_max_batch(2));
+    let input_sets: Vec<HashMap<String, i64>> =
+        (0..5u64).map(|k| inputs_of(&benchmark, 300 + k)).collect();
+    let batched = session.run_batched(&input_sets, &options).unwrap();
+    assert_eq!(batched.len(), 5);
+
+    for (k, inputs) in input_sets.iter().enumerate() {
+        let solo = session.run(inputs).unwrap();
+        assert_eq!(batched[k].outputs, solo.outputs, "user {k} out of order");
+    }
+
+    // Three chunks formed, 5 requests served through them.
+    let text = session.render_metrics();
+    assert!(
+        text.contains("chehab_batches_formed_total 3"),
+        "batch counter missing or wrong:\n{text}"
+    );
+}

@@ -6,7 +6,7 @@
 //! single thread).
 
 use chehab::benchsuite::{self, Benchmark};
-use chehab::compiler::{Compiler, ExecOptions, TraceSink};
+use chehab::compiler::{BatchPolicy, Compiler, ExecOptions, TraceSink};
 use chehab::fhe::BfvParameters;
 use serde::Value;
 use std::collections::HashMap;
@@ -199,4 +199,37 @@ fn traced_serving_records_one_request_span_per_job() {
         .iter()
         .all(|label| label.starts_with("serving worker")));
     assert_wellformed_chrome_trace(&trace.to_chrome_json(), "serving trace");
+}
+
+/// The session's Prometheus text exposition carries the cross-request
+/// batching series — the batch counter (non-zero once a batch executed) and
+/// the lane-occupancy gauge — alongside the request counter.
+#[test]
+fn batching_metrics_surface_in_the_prometheus_exposition() {
+    let params = BfvParameters::insecure_test();
+    let benchmark = benchsuite::by_id("Dot Product 8").expect("known benchmark id");
+    let compiled = Compiler::greedy().compile(benchmark.id(), benchmark.program());
+    let session = compiled.session(&params).unwrap();
+
+    // Before any batch: both series exist, the counter reads zero.
+    let text = session.render_metrics();
+    for series in ["chehab_batches_formed_total", "chehab_batch_lane_occupancy"] {
+        assert!(text.contains(series), "missing {series}:\n{text}");
+    }
+    assert!(text.contains("chehab_batches_formed_total 0"));
+
+    let options = ExecOptions::sequential().with_batching(BatchPolicy::default());
+    let input_sets: Vec<HashMap<String, i64>> =
+        (0..3u64).map(|k| inputs_of(&benchmark, 60 + k)).collect();
+    session.run_batched(&input_sets, &options).unwrap();
+
+    let text = session.render_metrics();
+    assert!(
+        text.contains("chehab_batches_formed_total 1"),
+        "one chunk, one batch:\n{text}"
+    );
+    assert!(
+        text.contains("chehab_requests_served_total 3"),
+        "all three users counted as served requests:\n{text}"
+    );
 }
