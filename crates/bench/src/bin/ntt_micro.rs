@@ -6,12 +6,27 @@
 //! branch-light Goldilocks reduction, lazy NTT-domain ciphertexts, fused
 //! pointwise key switching).
 //!
+//! On top of the seed comparison, three sections characterize the lazy/SIMD
+//! arithmetic engine:
+//!
+//! * **engine rows** decompose the hot path per transform/kernel into
+//!   eager-scalar (the replaced engine, mirrored in-binary), lazy-scalar and
+//!   lazy-SIMD variants, asserting bit-identical outputs across all three;
+//! * **reduction counts** walk the stage structure and report per-element
+//!   multiply/add/canonicalization counts for the eager and lazy paths,
+//!   asserting the lazy path's reduction count strictly drops (the CI
+//!   smoke);
+//! * **calibration** re-snapshots the timer-augmented per-op cost model
+//!   (`CalibratedCostModel`) under the scalar and SIMD policies and records
+//!   old-vs-new per-op ratios plus the projected `OpCosts` tables.
+//!
 //! Usage: `cargo run --release -p chehab-bench --bin ntt_micro --
 //! [--quick] [--iters N]`
 //!
-//! Writes `BENCH_ntt_micro.json` with one row per (operation, degree) and a
-//! `ct_ct_mul_speedup_at_4096` headline figure (the acceptance bar for this
-//! optimization is >= 2x there).
+//! Writes `BENCH_ntt_micro.json` with one row per (operation, degree), a
+//! `ct_ct_mul_speedup_at_4096` headline figure (the acceptance bar for the
+//! seed comparison is >= 2x there) and `engine_*_speedup_at_4096` headlines
+//! for the lazy/SIMD engine (acceptance bar >= 1.2x over eager-scalar).
 //!
 //! The "before" columns are a faithful in-binary reimplementation of the
 //! seed algorithms (bit-identical outputs, same operation count and memory
@@ -21,9 +36,12 @@ use chehab_bench::micro::{print_micro, time_micro};
 use chehab_fhe::poly::{p_add, p_inv, p_mul, p_pow, p_sub, Domain, NttTables, Poly, MODULUS};
 use chehab_fhe::{
     BfvParameters, CtPayload, Encryptor, Evaluator, FheContext, KeyGenerator, PolyArena,
-    SecurityLevel,
+    SecurityLevel, SimdPolicy,
 };
+use chehab_ir::OpCosts;
+use chehab_runtime::{CalibratedCostModel, OpKind, OP_KINDS};
 use serde::Value;
+use std::time::Instant;
 
 /// The seed's modular multiplication: 128-bit product reduced with `%`.
 #[inline]
@@ -153,6 +171,88 @@ impl BaselineNtt {
     }
 }
 
+/// The eager-scalar hot-path engine this PR replaced: branch-light
+/// Goldilocks reduction (`p_mul`/`p_add`/`p_sub`) with a canonicalizing
+/// compare after every butterfly operation. Mirrored in-binary so the
+/// lazy-vs-eager comparison survives the eager butterflies' removal from
+/// the library.
+struct EagerNtt {
+    degree: usize,
+    psi_rev: Vec<u64>,
+    inv_psi_rev: Vec<u64>,
+    inv_degree: u64,
+}
+
+impl EagerNtt {
+    fn new(degree: usize) -> Self {
+        let log2_2n = (2 * degree).trailing_zeros();
+        let psi = p_pow(7, (MODULUS - 1) >> log2_2n);
+        let inv_psi = p_inv(psi);
+        let log_n = degree.trailing_zeros();
+        let mut psi_rev = vec![0u64; degree];
+        let mut inv_psi_rev = vec![0u64; degree];
+        let (mut power, mut inv_power) = (1u64, 1u64);
+        for i in 0..degree {
+            let rev = ((i as u32).reverse_bits() >> (32 - log_n)) as usize;
+            psi_rev[rev] = power;
+            inv_psi_rev[rev] = inv_power;
+            power = p_mul(power, psi);
+            inv_power = p_mul(inv_power, inv_psi);
+        }
+        EagerNtt {
+            degree,
+            psi_rev,
+            inv_psi_rev,
+            inv_degree: p_inv(degree as u64),
+        }
+    }
+
+    fn forward(&self, a: &mut [u64]) {
+        let n = self.degree;
+        let mut t = n;
+        let mut m = 1usize;
+        while m < n {
+            t /= 2;
+            for i in 0..m {
+                let j1 = 2 * i * t;
+                let s = self.psi_rev[m + i];
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = p_mul(a[j + t], s);
+                    a[j] = p_add(u, v);
+                    a[j + t] = p_sub(u, v);
+                }
+            }
+            m *= 2;
+        }
+    }
+
+    fn inverse(&self, a: &mut [u64]) {
+        let n = self.degree;
+        let mut t = 1usize;
+        let mut m = n;
+        while m > 1 {
+            let h = m / 2;
+            let mut j1 = 0usize;
+            for i in 0..h {
+                let s = self.inv_psi_rev[h + i];
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = a[j + t];
+                    a[j] = p_add(u, v);
+                    a[j + t] = p_mul(p_sub(u, v), s);
+                }
+                j1 += 2 * t;
+            }
+            t *= 2;
+            m = h;
+        }
+        for x in a.iter_mut() {
+            *x = p_mul(*x, self.inv_degree);
+        }
+    }
+}
+
 /// Deterministic pseudo-random canonical field elements.
 fn random_values(n: usize, seed: u64) -> Vec<u64> {
     let mut state = seed | 1;
@@ -166,6 +266,74 @@ fn random_values(n: usize, seed: u64) -> Vec<u64> {
         .collect()
 }
 
+/// Per-operation arithmetic totals for one transform or kernel invocation.
+///
+/// `reductions` counts *canonicalizing compare-and-correct* steps only —
+/// the conditional subtract that maps a residue into `[0, p)`. The ε-folds
+/// both engines perform inside every 128-bit product are excluded because
+/// they are identical on the eager and lazy paths; the canonical compare is
+/// exactly what lazy reduction defers.
+#[derive(Clone, Copy)]
+struct Counts {
+    muls: u64,
+    adds: u64,
+    reductions: u64,
+}
+
+/// Walks the radix-2 stage structure of a degree-`n` negacyclic NTT and
+/// totals the butterfly arithmetic, mirroring the loops in `poly.rs` (lazy)
+/// and [`EagerNtt`] (eager) rather than using a closed formula.
+fn ntt_counts(n: usize, lazy: bool, inverse: bool) -> Counts {
+    let mut c = Counts {
+        muls: 0,
+        adds: 0,
+        reductions: 0,
+    };
+    let mut m = 1usize;
+    while m < n {
+        // Every stage performs n/2 butterflies: one twiddle multiply and an
+        // add/sub pair each. Eager butterflies canonicalize all three
+        // results; lazy butterflies canonicalize none.
+        let butterflies = (n / 2) as u64;
+        c.muls += butterflies;
+        c.adds += 2 * butterflies;
+        if !lazy {
+            c.reductions += 3 * butterflies;
+        }
+        m *= 2;
+    }
+    if inverse {
+        // Both engines end with the n^{-1} scaling pass; the lazy engine
+        // folds its single canonicalization pass into it
+        // (`scale_canonical`), the eager engine's `p_mul` canonicalizes
+        // anyway.
+        c.muls += n as u64;
+        c.reductions += n as u64;
+    } else if lazy {
+        // Forward: the fused final butterfly stage canonicalizes each of
+        // the n outputs once; the eager path already counted its last
+        // stage like every other.
+        c.reductions += n as u64;
+    }
+    c
+}
+
+/// Per-invocation arithmetic of the fused ct-ct tensor+key-switch kernel
+/// (`mul_add_eval2`) over a degree-`n` stripe: per stripe index,
+/// `c2 = a1·b1`, `out0 = a0·b0 + c2·s0`, `out1 = a0·b1 + a1·b0 + c2·s1`.
+fn ct_ct_fused_counts(n: usize, lazy: bool) -> Counts {
+    let n = n as u64;
+    Counts {
+        muls: 6 * n,
+        adds: 3 * n,
+        // Eager: all six products canonicalize (the adds ride the fused
+        // 128-bit accumulators). Lazy SIMD: intermediates stay unreduced in
+        // [0, 2^64) — a valid lazy residue since 2^64 < 2p — and only the
+        // two stripe outputs canonicalize.
+        reductions: if lazy { 2 * n } else { 6 * n },
+    }
+}
+
 struct Row {
     op: &'static str,
     degree: usize,
@@ -177,6 +345,110 @@ impl Row {
     fn speedup(&self) -> f64 {
         self.before_ms / self.after_ms.max(1e-9)
     }
+}
+
+/// One (operation, degree, engine-variant) wall-time sample of the
+/// engine-decomposition section.
+struct EngineRow {
+    op: &'static str,
+    degree: usize,
+    engine: &'static str,
+    ms: f64,
+}
+
+/// One lazy-vs-eager reduction-count comparison.
+struct CountRow {
+    op: &'static str,
+    degree: usize,
+    eager: Counts,
+    lazy: Counts,
+}
+
+/// Builds a full evaluator stack at `degree` and times one sample of every
+/// [`OpKind`] per iteration under `policy`, returning the accumulated
+/// calibration. This is the re-snapshot feeding `CalibratedCostModel`-driven
+/// dataflow priorities after the kernel rewrite.
+fn calibrate_policy(degree: usize, policy: SimdPolicy, iters: usize) -> CalibratedCostModel {
+    let params = BfvParameters {
+        poly_modulus_degree: 8,
+        plain_modulus: 786_433,
+        coeff_modulus_bits: 389,
+        security_level: SecurityLevel::Tc128,
+        payload_degree: degree,
+        simulate_compute: true,
+    };
+    let ctx = FheContext::new(params).expect("valid parameters");
+    let mut keygen = KeyGenerator::new(ctx.params(), 0xCA11B);
+    let mut encryptor = Encryptor::new(&ctx, &keygen.public_key());
+    let relin = keygen.relin_keys();
+    let galois = keygen.galois_keys(&[1]);
+    let mut evaluator = Evaluator::new(&ctx);
+    evaluator.set_simd_policy(policy);
+    let ct_a = encryptor.encrypt_values(&[1, 2, 3]).expect("encrypt");
+    let ct_b = encryptor.encrypt_values(&[4, 5, 6]).expect("encrypt");
+    let pt = ctx.encode(&[7, 8, 9]).expect("encode");
+
+    let mut model = CalibratedCostModel::new();
+    // One untimed warm-up of each op primes twiddle tables and the arena.
+    std::hint::black_box(evaluator.add(&ct_a, &ct_b));
+    std::hint::black_box(evaluator.multiply(&ct_a, &ct_b, &relin));
+    for _ in 0..iters {
+        let t = Instant::now();
+        std::hint::black_box(evaluator.add(&ct_a, &ct_b));
+        model.record(OpKind::Addition, t.elapsed());
+
+        let t = Instant::now();
+        std::hint::black_box(evaluator.negate(&ct_a));
+        model.record(OpKind::Negation, t.elapsed());
+
+        let t = Instant::now();
+        std::hint::black_box(evaluator.multiply(&ct_a, &ct_b, &relin));
+        model.record(OpKind::MulCtCt, t.elapsed());
+
+        let t = Instant::now();
+        std::hint::black_box(evaluator.multiply_plain(&ct_a, &pt));
+        model.record(OpKind::MulCtPt, t.elapsed());
+
+        let t = Instant::now();
+        let rotated = evaluator.rotate(&ct_a, 1, &galois).expect("keyed step");
+        model.record(OpKind::Rotation, t.elapsed());
+
+        // A pack step is one realized rotation plus an accumulate.
+        let t = Instant::now();
+        let mut acc = evaluator.rotate(&ct_b, 1, &galois).expect("keyed step");
+        evaluator.add_assign(&mut acc, &rotated);
+        model.record(OpKind::Pack, t.elapsed());
+        std::hint::black_box(&acc);
+    }
+    model
+}
+
+/// Mean latency of a kind in milliseconds (0.0 when unsampled).
+fn mean_ms(model: &CalibratedCostModel, kind: OpKind) -> f64 {
+    model.mean(kind).map_or(0.0, |d| d.as_secs_f64() * 1e3)
+}
+
+fn op_costs_json(costs: &OpCosts) -> Value {
+    Value::Object(vec![
+        ("vec_add".into(), Value::Float(costs.vec_add)),
+        ("vec_mul_ct_ct".into(), Value::Float(costs.vec_mul_ct_ct)),
+        ("vec_mul_ct_pt".into(), Value::Float(costs.vec_mul_ct_pt)),
+        ("rotation".into(), Value::Float(costs.rotation)),
+        ("scalar_op".into(), Value::Float(costs.scalar_op)),
+        ("plaintext_op".into(), Value::Float(costs.plaintext_op)),
+    ])
+}
+
+fn counts_json(c: &Counts, n: usize) -> Value {
+    Value::Object(vec![
+        ("muls".into(), Value::Int(c.muls as i64)),
+        ("adds".into(), Value::Int(c.adds as i64)),
+        ("reductions".into(), Value::Int(c.reductions as i64)),
+        (
+            "reductions_per_element".into(),
+            Value::Float(c.reductions as f64 / n as f64),
+        ),
+    ])
 }
 
 fn main() {
@@ -193,12 +465,24 @@ fn main() {
     } else {
         &[1024, 2048, 4096, 8192, 16384]
     };
+    // Engine rows compare explicit policies, independent of `CHEHAB_SIMD`;
+    // the headline before/after rows use the library default (`global`),
+    // which does honour the override.
+    let detected = SimdPolicy::detected();
+    let global = SimdPolicy::global();
 
     println!(
         "== ntt_micro: seed engine (128-bit % reduction, coefficient-domain) vs hot-path engine \
          (Goldilocks reduction, lazy NTT domain); {iters} iters/row, medians"
     );
+    println!(
+        "== simd policy: global={} detected={}",
+        global.name(),
+        detected.name()
+    );
     let mut rows: Vec<Row> = Vec::new();
+    let mut engine_rows: Vec<EngineRow> = Vec::new();
+    let mut count_rows: Vec<CountRow> = Vec::new();
 
     for &degree in degrees {
         let baseline = BaselineNtt::new(degree);
@@ -342,7 +626,7 @@ fn main() {
             iters,
             || {
                 let mut out = arena.take(2 * degree);
-                payload.mul_eval2(&mult, &mut out, 1);
+                payload.mul_eval2(&mult, &mut out, 1, global);
                 sink = sink.wrapping_add(out[0]).wrapping_add(out[degree]);
                 arena.put(out);
             },
@@ -354,6 +638,166 @@ fn main() {
             before_ms: before.median_ms(),
             after_ms: after.median_ms(),
         });
+
+        // --- engine decomposition: the replaced eager-scalar engine vs the
+        // lazy engine under scalar and SIMD policies, on identical inputs.
+        // Outputs must be bit-identical across all three variants — the
+        // lazy intermediates are exact residue-class members and the final
+        // canonicalization maps each class to its unique representative.
+        let eager = EagerNtt::new(degree);
+        let lazy_scalar = NttTables::with_policy(degree, SimdPolicy::Scalar);
+        let lazy_simd = NttTables::with_policy(degree, detected);
+
+        let mut want_fwd = a.clone();
+        eager.forward(&mut want_fwd);
+        let mut want_inv = a.clone();
+        eager.inverse(&mut want_inv);
+        for (name, t) in [("lazy_scalar", &lazy_scalar), ("lazy_simd", &lazy_simd)] {
+            let mut got = a.clone();
+            t.forward(&mut got);
+            assert_eq!(got, want_fwd, "{name} forward must match the eager engine");
+            let mut got = a.clone();
+            t.inverse(&mut got);
+            assert_eq!(got, want_inv, "{name} inverse must match the eager engine");
+        }
+
+        for (engine, fwd, inv) in [
+            (
+                "eager_scalar",
+                &(|x: &mut [u64]| eager.forward(x)) as &dyn Fn(&mut [u64]),
+                &(|x: &mut [u64]| eager.inverse(x)) as &dyn Fn(&mut [u64]),
+            ),
+            (
+                "lazy_scalar",
+                &(|x: &mut [u64]| lazy_scalar.forward(x)) as &dyn Fn(&mut [u64]),
+                &(|x: &mut [u64]| lazy_scalar.inverse(x)) as &dyn Fn(&mut [u64]),
+            ),
+            (
+                "lazy_simd",
+                &(|x: &mut [u64]| lazy_simd.forward(x)) as &dyn Fn(&mut [u64]),
+                &(|x: &mut [u64]| lazy_simd.inverse(x)) as &dyn Fn(&mut [u64]),
+            ),
+        ] {
+            let m = time_micro(
+                format!("engine forward_ntt/{degree} ({engine})"),
+                1,
+                iters,
+                || {
+                    scratch.copy_from_slice(&a);
+                    fwd(&mut scratch);
+                },
+            );
+            print_micro(&m);
+            engine_rows.push(EngineRow {
+                op: "forward_ntt",
+                degree,
+                engine,
+                ms: m.median_ms(),
+            });
+            let m = time_micro(
+                format!("engine inverse_ntt/{degree} ({engine})"),
+                1,
+                iters,
+                || {
+                    scratch.copy_from_slice(&a);
+                    inv(&mut scratch);
+                },
+            );
+            print_micro(&m);
+            engine_rows.push(EngineRow {
+                op: "inverse_ntt",
+                degree,
+                engine,
+                ms: m.median_ms(),
+            });
+        }
+
+        // --- fused stripe kernels under forced policies. `mul_add_eval2`
+        // is the whole ct-ct multiply (tensor + key switch in one pass);
+        // `mul_eval2` is the ct-pt pointwise product.
+        let pa = CtPayload::from_components(&a, &a1, Domain::Eval);
+        let pb = CtPayload::from_components(&b, &b1, Domain::Eval);
+        let s0 = random_values(degree, 0x50 ^ degree as u64);
+        let s1 = random_values(degree, 0x51 ^ degree as u64);
+        let mut out_scalar = vec![0u64; 2 * degree];
+        let mut out_simd = vec![0u64; 2 * degree];
+        pa.mul_add_eval2(&pb, &s0, &s1, &mut out_scalar, 1, SimdPolicy::Scalar);
+        pa.mul_add_eval2(&pb, &s0, &s1, &mut out_simd, 1, detected);
+        assert_eq!(
+            out_scalar, out_simd,
+            "SIMD fused tensor kernel must be bit-identical to scalar"
+        );
+        let mut out = vec![0u64; 2 * degree];
+        for (engine, pol) in [("scalar", SimdPolicy::Scalar), ("simd", detected)] {
+            let m = time_micro(
+                format!("engine ct_ct_fused/{degree} ({engine})"),
+                1,
+                iters,
+                || {
+                    pa.mul_add_eval2(&pb, &s0, &s1, &mut out, 1, pol);
+                    sink = sink.wrapping_add(out[0]);
+                },
+            );
+            print_micro(&m);
+            engine_rows.push(EngineRow {
+                op: "ct_ct_fused",
+                degree,
+                engine,
+                ms: m.median_ms(),
+            });
+            let m = time_micro(
+                format!("engine ct_pt_fused/{degree} ({engine})"),
+                1,
+                iters,
+                || {
+                    pa.mul_eval2(&mult, &mut out, 1, pol);
+                    sink = sink.wrapping_add(out[0]);
+                },
+            );
+            print_micro(&m);
+            engine_rows.push(EngineRow {
+                op: "ct_pt_fused",
+                degree,
+                engine,
+                ms: m.median_ms(),
+            });
+        }
+
+        // --- reduction-count accounting, and the CI smoke: the lazy
+        // path's canonicalization count must strictly drop.
+        for (op, eager_c, lazy_c) in [
+            (
+                "forward_ntt",
+                ntt_counts(degree, false, false),
+                ntt_counts(degree, true, false),
+            ),
+            (
+                "inverse_ntt",
+                ntt_counts(degree, false, true),
+                ntt_counts(degree, true, true),
+            ),
+            (
+                "ct_ct_fused",
+                ct_ct_fused_counts(degree, false),
+                ct_ct_fused_counts(degree, true),
+            ),
+        ] {
+            assert_eq!(eager_c.muls, lazy_c.muls, "{op}: muls must not change");
+            assert_eq!(eager_c.adds, lazy_c.adds, "{op}: adds must not change");
+            assert!(
+                lazy_c.reductions < eager_c.reductions,
+                "{op}/{degree}: lazy reduction count ({}) must strictly drop below eager ({})",
+                lazy_c.reductions,
+                eager_c.reductions
+            );
+            count_rows.push(CountRow {
+                op,
+                degree,
+                eager: eager_c,
+                lazy: lazy_c,
+            });
+        }
+
         if sink == u64::MAX {
             // Keeps the baseline results observable so the timed loops
             // cannot be optimized away.
@@ -376,6 +820,52 @@ fn main() {
         );
     }
 
+    println!(
+        "\n{:<14} {:>7} {:>13} {:>11}",
+        "engine op", "degree", "engine", "ms"
+    );
+    for row in &engine_rows {
+        println!(
+            "{:<14} {:>7} {:>13} {:>11.4}",
+            row.op, row.degree, row.engine, row.ms
+        );
+    }
+
+    println!(
+        "\n{:<14} {:>7} {:>11} {:>11} {:>13} {:>13}",
+        "counted op", "degree", "eager red.", "lazy red.", "eager red/el", "lazy red/el"
+    );
+    for row in &count_rows {
+        println!(
+            "{:<14} {:>7} {:>11} {:>11} {:>13.2} {:>13.2}",
+            row.op,
+            row.degree,
+            row.eager.reductions,
+            row.lazy.reductions,
+            row.eager.reductions as f64 / row.degree as f64,
+            row.lazy.reductions as f64 / row.degree as f64,
+        );
+    }
+
+    // Engine headlines: the lazy/SIMD engine against the replaced
+    // eager-scalar engine at degree >= 4096 (acceptance bar: 1.2x on the
+    // forward NTT and the fused ct-ct kernel).
+    let engine_speedup = |op: &str, fast: &str, slow: &str| -> f64 {
+        engine_rows
+            .iter()
+            .filter(|r| r.op == op && r.degree >= 4096 && r.engine == fast)
+            .map(|r| {
+                let base = engine_rows
+                    .iter()
+                    .find(|s| s.op == op && s.degree == r.degree && s.engine == slow)
+                    .expect("matching baseline row");
+                base.ms / r.ms.max(1e-9)
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let fwd_engine_speedup = engine_speedup("forward_ntt", "lazy_simd", "eager_scalar");
+    let ct_engine_speedup = engine_speedup("ct_ct_fused", "simd", "scalar");
+
     let speedups: Vec<f64> = rows.iter().map(Row::speedup).collect();
     let ones = vec![1.0; speedups.len()];
     let geomean = chehab_bench::geometric_mean_ratio(&speedups, &ones);
@@ -394,6 +884,53 @@ fn main() {
              (acceptance bar: 2x)"
         );
     }
+    if fwd_engine_speedup.is_finite() {
+        println!(
+            "forward NTT lazy-SIMD vs eager-scalar at degree >= 4096 (worst row): \
+             {fwd_engine_speedup:.2}x (acceptance bar: 1.2x)"
+        );
+    }
+    if ct_engine_speedup.is_finite() {
+        println!(
+            "fused ct-ct kernel SIMD vs scalar at degree >= 4096 (worst row): \
+             {ct_engine_speedup:.2}x (acceptance bar: 1.2x)"
+        );
+    }
+
+    // --- calibration re-snapshot at degree 4096 (present in both the
+    // quick and full degree lists): the per-op latencies the dataflow
+    // scheduler's critical-path priorities are derived from, under the
+    // old (scalar) and new (SIMD) arithmetic.
+    let calib_degree = 4096;
+    println!("\n== calibration re-snapshot at degree {calib_degree} ({iters} samples/op)");
+    let old_model = calibrate_policy(calib_degree, SimdPolicy::Scalar, iters);
+    let new_model = calibrate_policy(calib_degree, detected, iters);
+    let fallback = OpCosts::default();
+    let old_costs = old_model.to_op_costs(&fallback);
+    let new_costs = new_model.to_op_costs(&fallback);
+    println!(
+        "{:<22} {:>12} {:>12} {:>8}",
+        "op kind", "scalar(ms)", "simd(ms)", "ratio"
+    );
+    let mut calib_kinds: Vec<Value> = Vec::new();
+    for kind in OP_KINDS {
+        let old_ms = mean_ms(&old_model, kind);
+        let new_ms = mean_ms(&new_model, kind);
+        let ratio = old_ms / new_ms.max(1e-9);
+        println!(
+            "{:<22} {:>12.4} {:>12.4} {:>7.2}x",
+            kind.label(),
+            old_ms,
+            new_ms,
+            ratio
+        );
+        calib_kinds.push(Value::Object(vec![
+            ("op".into(), Value::Str(kind.label().into())),
+            ("old_ms".into(), Value::Float(old_ms)),
+            ("new_ms".into(), Value::Float(new_ms)),
+            ("ratio".into(), Value::Float(ratio)),
+        ]));
+    }
 
     let json_rows: Vec<Value> = rows
         .iter()
@@ -407,6 +944,32 @@ fn main() {
             ])
         })
         .collect();
+    let json_engine_rows: Vec<Value> = engine_rows
+        .iter()
+        .map(|r| {
+            Value::Object(vec![
+                ("op".into(), Value::Str(r.op.to_string())),
+                ("degree".into(), Value::Int(r.degree as i64)),
+                ("engine".into(), Value::Str(r.engine.to_string())),
+                ("ms".into(), Value::Float(r.ms)),
+            ])
+        })
+        .collect();
+    let json_count_rows: Vec<Value> = count_rows
+        .iter()
+        .map(|r| {
+            Value::Object(vec![
+                ("op".into(), Value::Str(r.op.to_string())),
+                ("degree".into(), Value::Int(r.degree as i64)),
+                ("eager".into(), counts_json(&r.eager, r.degree)),
+                ("lazy".into(), counts_json(&r.lazy, r.degree)),
+                (
+                    "reduction_delta".into(),
+                    Value::Int((r.eager.reductions - r.lazy.reductions) as i64),
+                ),
+            ])
+        })
+        .collect();
     let document = Value::Object(vec![
         ("experiment".into(), Value::Str("ntt_micro".into())),
         ("quick".into(), Value::Bool(quick)),
@@ -414,6 +977,13 @@ fn main() {
         (
             "host_cpus".into(),
             Value::Int(chehab_bench::available_cpus() as i64),
+        ),
+        (
+            "simd_policy".into(),
+            Value::Object(vec![
+                ("global".into(), Value::Str(global.name().into())),
+                ("detected".into(), Value::Str(detected.name().into())),
+            ]),
         ),
         (
             "semantics".into(),
@@ -426,7 +996,15 @@ fn main() {
                  zero transforms and zero temporaries). ct_pt_pointwise isolates the memory \
                  layout: before = split components, two passes, two fresh output allocations; \
                  after = one fused pass over the [c0|c1] stripe into an arena-recycled buffer. \
-                 Medians over `iters` runs"
+                 engine_rows decompose the hot path itself: eager_scalar = the replaced \
+                 engine (canonicalizing compare after every butterfly op), lazy_scalar / \
+                 lazy_simd (and scalar / simd for the fused stripe kernels) = the deferred- \
+                 canonicalization engine under forced SimdPolicy, all bit-identical. \
+                 reduction_counts walk the stage structure; 'reductions' counts canonicalizing \
+                 compare-and-correct steps only (the epsilon-folds inside every 128-bit product \
+                 are shared by both engines and excluded). calibration re-snapshots mean per-op \
+                 latencies under the scalar (old) and SIMD (new) policies and projects them \
+                 into OpCosts tables (vec_add = 1.0 convention). Medians over `iters` runs"
                     .into(),
             ),
         ),
@@ -439,7 +1017,35 @@ fn main() {
                 Value::Null
             },
         ),
+        (
+            "engine_forward_ntt_speedup_at_4096".into(),
+            if fwd_engine_speedup.is_finite() {
+                Value::Float(fwd_engine_speedup)
+            } else {
+                Value::Null
+            },
+        ),
+        (
+            "engine_ct_ct_fused_speedup_at_4096".into(),
+            if ct_engine_speedup.is_finite() {
+                Value::Float(ct_engine_speedup)
+            } else {
+                Value::Null
+            },
+        ),
         ("rows".into(), Value::Array(json_rows)),
+        ("engine_rows".into(), Value::Array(json_engine_rows)),
+        ("reduction_counts".into(), Value::Array(json_count_rows)),
+        (
+            "calibration".into(),
+            Value::Object(vec![
+                ("degree".into(), Value::Int(calib_degree as i64)),
+                ("samples_per_op".into(), Value::Int(iters as i64)),
+                ("kinds".into(), Value::Array(calib_kinds)),
+                ("op_costs_old".into(), op_costs_json(&old_costs)),
+                ("op_costs_new".into(), op_costs_json(&new_costs)),
+            ]),
+        ),
     ]);
     match std::fs::write(
         "BENCH_ntt_micro.json",

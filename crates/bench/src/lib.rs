@@ -18,7 +18,7 @@ use chehab_core::{
     external_compile_stats, output_slots_of, select_rotation_keys, BatchPolicy, CompiledProgram,
     Compiler, ExecOptions, ExecutionReport,
 };
-use chehab_fhe::BfvParameters;
+use chehab_fhe::{BfvParameters, SimdPolicy};
 use chehab_ir::{circuit_depth, multiplicative_depth, rotation_steps};
 use chehab_rl::Agent;
 use coyote_baseline::{CoyoteCompiler, CoyoteConfig};
@@ -482,6 +482,10 @@ pub fn write_parallel_json(
         ("threads".into(), Value::Int(threads as i64)),
         ("host_cpus".into(), Value::Int(available_cpus() as i64)),
         (
+            "simd_policy".into(),
+            Value::Str(SimdPolicy::global().name().into()),
+        ),
+        (
             "speedup_semantics".into(),
             Value::Str(
                 "speedup = compute_ms / projected_parallel_ms: the N-worker makespan of the \
@@ -738,6 +742,10 @@ pub fn write_serving_json(
         ("experiment".into(), Value::Str("serving".into())),
         ("requests".into(), Value::Int(requests as i64)),
         ("host_cpus".into(), Value::Int(available_cpus() as i64)),
+        (
+            "simd_policy".into(),
+            Value::Str(SimdPolicy::global().name().into()),
+        ),
         (
             "speedup_semantics".into(),
             Value::Str(
@@ -1123,6 +1131,10 @@ pub fn write_dataflow_json(
         ("threads".into(), Value::Int(threads as i64)),
         ("host_cpus".into(), Value::Int(available_cpus() as i64)),
         (
+            "simd_policy".into(),
+            Value::Str(SimdPolicy::global().name().into()),
+        ),
+        (
             "speedup_semantics".into(),
             Value::Str(
                 "improvement = baseline request_ms (from BENCH_hotpath.json, the leveled \
@@ -1409,6 +1421,10 @@ pub fn write_memlayout_json(
         ("threads".into(), Value::Int(threads as i64)),
         ("host_cpus".into(), Value::Int(available_cpus() as i64)),
         (
+            "simd_policy".into(),
+            Value::Str(SimdPolicy::global().name().into()),
+        ),
+        (
             "speedup_semantics".into(),
             Value::Str(
                 "improvement = baseline sequential_request_ms (from BENCH_dataflow.json, the \
@@ -1580,6 +1596,10 @@ pub fn write_trace_json(
         ("threads".into(), Value::Int(threads as i64)),
         ("host_cpus".into(), Value::Int(available_cpus() as i64)),
         (
+            "simd_policy".into(),
+            Value::Str(SimdPolicy::global().name().into()),
+        ),
+        (
             "semantics".into(),
             Value::Str(
                 "One traced request per kernel under the dataflow scheduler at `threads` \
@@ -1649,6 +1669,10 @@ pub fn write_hotpath_json(
         ("experiment".into(), Value::Str("hotpath".into())),
         ("requests".into(), Value::Int(requests as i64)),
         ("host_cpus".into(), Value::Int(available_cpus() as i64)),
+        (
+            "simd_policy".into(),
+            Value::Str(SimdPolicy::global().name().into()),
+        ),
         (
             "speedup_semantics".into(),
             Value::Str(
@@ -1881,6 +1905,10 @@ pub fn write_batching_json(
         ("experiment".into(), Value::Str("batching".into())),
         ("runs".into(), Value::Int(runs as i64)),
         ("host_cpus".into(), Value::Int(available_cpus() as i64)),
+        (
+            "simd_policy".into(),
+            Value::Str(SimdPolicy::global().name().into()),
+        ),
         (
             "speedup_semantics".into(),
             Value::Str(

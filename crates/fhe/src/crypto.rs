@@ -241,6 +241,29 @@ impl FheContext {
         Ok(Plaintext::new(data, values.len().max(1)))
     }
 
+    /// [`FheContext::encode`] with the slot vector drawn from `arena`
+    /// instead of the allocator.
+    ///
+    /// Serving paths pair this with [`Plaintext::recycle_into`] so a warm
+    /// request stream encodes without fresh allocations — the same
+    /// round-trip discipline ciphertext buffers already follow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FheError::TooManyValues`] if more values than slots are given.
+    pub fn encode_in(&self, values: &[i64], arena: &mut PolyArena) -> Result<Plaintext, FheError> {
+        let slots = self.slot_count();
+        if values.len() > slots {
+            return Err(FheError::TooManyValues {
+                provided: values.len(),
+                slots,
+            });
+        }
+        let mut data = arena.take(slots);
+        encode_into(&mut data, values, self.plain_modulus());
+        Ok(Plaintext::new(data, values.len().max(1)))
+    }
+
     /// Encodes a single scalar into slot 0.
     ///
     /// # Errors
@@ -314,14 +337,15 @@ impl Plaintext {
         degree: usize,
         tables: &NttTables,
         threads: usize,
+        arena: &mut PolyArena,
     ) -> Cow<'_, Poly> {
         if let Some(splat) = self.splat.get() {
             if splat.degree() == degree {
                 return Cow::Borrowed(splat);
             }
-            return Cow::Owned(self.build_splat(degree, tables, threads));
+            return Cow::Owned(self.build_splat(degree, tables, threads, arena));
         }
-        let built = self.build_splat(degree, tables, threads);
+        let built = self.build_splat(degree, tables, threads, arena);
         match self.splat.set(built) {
             Ok(()) => Cow::Borrowed(self.splat.get().expect("just set")),
             // A concurrent first use won the race; its value is identical
@@ -337,21 +361,37 @@ impl Plaintext {
         }
     }
 
-    /// Builds the Eval-form payload splat of this plaintext at `degree`.
-    fn build_splat(&self, degree: usize, tables: &NttTables, threads: usize) -> Poly {
-        let mut values: Vec<u64> = self
-            .slots
-            .iter()
-            .cycle()
-            .take(degree)
-            .map(|&s| s.wrapping_mul(0x9E37_79B9) % MODULUS)
-            .collect();
+    /// Builds the Eval-form payload splat of this plaintext at `degree`,
+    /// with the coefficient buffer drawn from `arena`.
+    fn build_splat(
+        &self,
+        degree: usize,
+        tables: &NttTables,
+        threads: usize,
+        arena: &mut PolyArena,
+    ) -> Poly {
+        let mut values = arena.take(degree);
+        for (out, &s) in values.iter_mut().zip(self.slots.iter().cycle()) {
+            *out = s.wrapping_mul(0x9E37_79B9) % MODULUS;
+        }
         if threads > 1 {
             tables.forward_threaded(&mut values, threads);
         } else {
             tables.forward(&mut values);
         }
         Poly::from_reduced(values, Domain::Eval)
+    }
+
+    /// Returns a dead plaintext's buffers to `arena`: its slot vector and,
+    /// when the first ct–pt multiplication filled it, the cached payload
+    /// splat polynomial. The pair of [`FheContext::encode_in`] — together
+    /// they let a warm request stream encode, multiply, and retire
+    /// plaintexts without touching the allocator.
+    pub fn recycle_into(self, arena: &mut PolyArena) {
+        arena.put(self.slots);
+        if let Some(splat) = self.splat.into_inner() {
+            arena.put(splat.into_coeffs());
+        }
     }
     /// All slot values.
     pub fn slots(&self) -> &[u64] {

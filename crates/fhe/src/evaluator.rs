@@ -46,6 +46,7 @@ use crate::crypto::{Ciphertext, FheContext, FheError, Plaintext};
 use crate::keys::{GaloisKeys, RelinKeys};
 use crate::payload::{CtPayload, INTRA_OP_MIN};
 use crate::poly::{Domain, Poly};
+use crate::simd::SimdPolicy;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -125,6 +126,12 @@ pub struct Evaluator {
     /// Lock-free local view of the context's shared Eval-domain Galois
     /// permutation cache, keyed by Galois element.
     galois_perms: HashMap<usize, Arc<Vec<u32>>>,
+    /// The SIMD back end every fused stripe kernel runs on, snapshotted
+    /// from [`SimdPolicy::global`] at construction (overridable with
+    /// [`Evaluator::set_simd_policy`]). Composes with intra-op chunking:
+    /// each chunk runs the vector kernel with a scalar tail, and outputs
+    /// are bit-identical under every (policy, threads) combination.
+    simd: SimdPolicy,
 }
 
 impl Evaluator {
@@ -154,7 +161,19 @@ impl Evaluator {
             intra_op_splits: 0,
             arena,
             galois_perms: HashMap::new(),
+            simd: SimdPolicy::global(),
         }
+    }
+
+    /// The SIMD back end this evaluator's kernels run on.
+    pub fn simd_policy(&self) -> SimdPolicy {
+        self.simd
+    }
+
+    /// Overrides the SIMD back end (tests and benches use this to compare
+    /// both paths in one process; outputs are bit-identical either way).
+    pub fn set_simd_policy(&mut self, policy: SimdPolicy) {
+        self.simd = policy;
     }
 
     /// Takes the evaluator's buffer arena (to restore it to a shared pool),
@@ -175,6 +194,20 @@ impl Evaluator {
     /// them instead of allocating.
     pub fn recycle(&mut self, ciphertext: Ciphertext) {
         ciphertext.recycle_into(&mut self.arena);
+    }
+
+    /// Returns a dead plaintext's buffers (slot vector plus any cached
+    /// payload splat) to the evaluator's arena — the plaintext counterpart
+    /// of [`Evaluator::recycle`], pairing with [`FheContext::encode_in`].
+    pub fn recycle_plain(&mut self, plaintext: Plaintext) {
+        plaintext.recycle_into(&mut self.arena);
+    }
+
+    /// Mutable access to the evaluator's buffer arena, so callers can draw
+    /// sibling allocations (e.g. [`FheContext::encode_in`] slot vectors)
+    /// from the same pool the evaluator recycles into.
+    pub fn arena_mut(&mut self) -> &mut PolyArena {
+        &mut self.arena
     }
 
     /// Counters of the operations executed so far.
@@ -323,7 +356,7 @@ impl Evaluator {
             Arc::clone(&a.payload)
         } else {
             let mut out = self.arena.take(a.payload.stripe().len());
-            a.payload.neg2(&mut out);
+            a.payload.neg2(&mut out, self.simd);
             Arc::new(CtPayload::from_stripe(out, a.payload.domain()))
         };
         Ciphertext {
@@ -346,10 +379,10 @@ impl Evaluator {
         a.noise_consumed_bits += self.ctx.noise_model().negate_bits;
         if !a.payload.is_empty() {
             if let Some(p) = Arc::get_mut(&mut a.payload) {
-                p.neg_assign2();
+                p.neg_assign2(self.simd);
             } else {
                 let mut out = self.arena.take(a.payload.stripe().len());
-                a.payload.neg2(&mut out);
+                a.payload.neg2(&mut out, self.simd);
                 a.payload = Arc::new(CtPayload::from_stripe(out, a.payload.domain()));
             }
         }
@@ -442,9 +475,10 @@ impl Evaluator {
             Some(tables) if !a.payload.is_empty() => {
                 let degree = ctx.params().payload_degree;
                 let threads = self.intra_op_budget(degree);
-                let pt_poly = b.splat_eval(degree, tables, threads);
+                let pt_poly = b.splat_eval(degree, tables, threads, &mut self.arena);
                 let mut out = self.arena.take(a.payload.stripe().len());
-                a.payload.mul_eval2(pt_poly.coeffs(), &mut out, threads);
+                a.payload
+                    .mul_eval2(pt_poly.coeffs(), &mut out, threads, self.simd);
                 Arc::new(CtPayload::from_stripe(out, Domain::Eval))
             }
             _ => Arc::clone(&a.payload),
@@ -514,7 +548,8 @@ impl Evaluator {
                 .map(Poly::coeffs)
                 .unwrap_or_else(|| a.payload.c0());
             let mut out = self.arena.take(a.payload.stripe().len());
-            a.payload.galois_eval2(&perm, key, &mut out, threads);
+            a.payload
+                .galois_eval2(&perm, key, &mut out, threads, self.simd);
             Arc::new(CtPayload::from_stripe(out, Domain::Eval))
         } else {
             Arc::clone(&a.payload)
@@ -561,9 +596,9 @@ impl Evaluator {
         }
         let mut out = self.arena.take(a.payload.stripe().len());
         if negate_b {
-            a.payload.sub2(&b.payload, &mut out);
+            a.payload.sub2(&b.payload, &mut out, self.simd);
         } else {
-            a.payload.add2(&b.payload, &mut out);
+            a.payload.add2(&b.payload, &mut out, self.simd);
         }
         Arc::new(CtPayload::from_stripe(out, a.payload.domain()))
     }
@@ -576,16 +611,16 @@ impl Evaluator {
         }
         if let Some(p) = Arc::get_mut(&mut a.payload) {
             if negate_b {
-                p.sub_assign2(&b.payload);
+                p.sub_assign2(&b.payload, self.simd);
             } else {
-                p.add_assign2(&b.payload);
+                p.add_assign2(&b.payload, self.simd);
             }
         } else {
             let mut out = self.arena.take(a.payload.stripe().len());
             if negate_b {
-                a.payload.sub2(&b.payload, &mut out);
+                a.payload.sub2(&b.payload, &mut out, self.simd);
             } else {
-                a.payload.add2(&b.payload, &mut out);
+                a.payload.add2(&b.payload, &mut out, self.simd);
             }
             a.payload = Arc::new(CtPayload::from_stripe(out, a.payload.domain()));
         }
@@ -609,16 +644,21 @@ impl Evaluator {
         // (fall back to operand components if key material was built
         // without compute simulation).
         match relin.switch_stripe() {
-            Some(switch) => {
-                a.payload
-                    .mul_add_eval2(&b.payload, switch.c0(), switch.c1(), &mut out, threads)
-            }
+            Some(switch) => a.payload.mul_add_eval2(
+                &b.payload,
+                switch.c0(),
+                switch.c1(),
+                &mut out,
+                threads,
+                self.simd,
+            ),
             None => a.payload.mul_add_eval2(
                 &b.payload,
                 a.payload.c0(),
                 b.payload.c0(),
                 &mut out,
                 threads,
+                self.simd,
             ),
         }
         Arc::new(CtPayload::from_stripe(out, Domain::Eval))
@@ -643,7 +683,7 @@ impl Evaluator {
                 let k = reduced.max(1);
                 let mut out = self.arena.take(a.payload.stripe().len());
                 a.payload
-                    .mul_scalar_eval2(ones.coeffs(), k, &mut out, threads);
+                    .mul_scalar_eval2(ones.coeffs(), k, &mut out, threads, self.simd);
                 Arc::new(CtPayload::from_stripe(out, Domain::Eval))
             }
             _ => Arc::clone(&a.payload),

@@ -18,6 +18,7 @@
 //! the key objects, so evaluation-time key switching is a pointwise product
 //! against material that was transformed exactly once, at keygen.
 
+use crate::arena::PolyArena;
 use crate::params::BfvParameters;
 use crate::payload::CtPayload;
 use crate::poly::{Domain, NttTables, Poly, MODULUS};
@@ -122,6 +123,11 @@ pub struct KeyGenerator {
     /// NTT tables for the cost-faithful key-switch-key sampling; present
     /// only when the parameters simulate compute.
     tables: Option<NttTables>,
+    /// Pool for the sampling scratch buffers: one key generator issues many
+    /// key-switch keys (relinearization plus one Galois key per rotation
+    /// step), and every one of them draws its scratch and kept-payload
+    /// buffers from here instead of the allocator.
+    arena: PolyArena,
 }
 
 impl KeyGenerator {
@@ -139,6 +145,7 @@ impl KeyGenerator {
             rng,
             id,
             tables,
+            arena: PolyArena::new(),
         };
         // Secret-key sampling plus the public key's (a, b) pair: three
         // payload polynomials moved into the NTT domain, the construction
@@ -147,13 +154,14 @@ impl KeyGenerator {
         // their arithmetic volume matters.
         if let Some(tables) = &keygen.tables {
             let degree = keygen.params.payload_degree;
-            let mut scratch = vec![0u64; degree];
+            let mut scratch = keygen.arena.take(degree);
             for _ in 0..3 {
                 for slot in scratch.iter_mut() {
                     *slot = keygen.rng.gen::<u64>() % MODULUS;
                 }
                 tables.forward(&mut scratch);
             }
+            keygen.arena.put(scratch);
         }
         keygen
     }
@@ -172,17 +180,23 @@ impl KeyGenerator {
         let degree = self.params.payload_degree;
         let mut kept: Vec<Poly> = Vec::with_capacity(2);
         // Discarded samples (everything past the first two) share one
-        // scratch buffer: only the kept pair needs owned storage.
-        let mut scratch = vec![0u64; degree];
+        // scratch buffer: only the kept pair needs owned storage, and both
+        // the scratch and the kept copies come from the generator's arena —
+        // a session generating dozens of Galois keys round-trips the same
+        // few buffers throughout.
+        let mut scratch = self.arena.take(degree);
         for _ in 0..(2 * digits).max(2) {
             for slot in scratch.iter_mut() {
                 *slot = self.rng.gen::<u64>() % MODULUS;
             }
             tables.forward(&mut scratch);
             if kept.len() < 2 {
-                kept.push(Poly::from_reduced(scratch.clone(), Domain::Eval));
+                let mut owned = self.arena.take(degree);
+                owned.copy_from_slice(&scratch);
+                kept.push(Poly::from_reduced(owned, Domain::Eval));
             }
         }
+        self.arena.put(scratch);
         let second = kept.pop().expect("two polys kept");
         let first = kept.pop().expect("two polys kept");
         Some((first, second))
@@ -192,11 +206,12 @@ impl KeyGenerator {
     /// `[s0 | s1]` layout the fused multiplication kernel consumes.
     fn simulate_keyswitch_keygen_striped(&mut self) -> Option<CtPayload> {
         let (first, second) = self.simulate_keyswitch_keygen()?;
-        Some(CtPayload::from_components(
-            first.coeffs(),
-            second.coeffs(),
-            Domain::Eval,
-        ))
+        let payload = CtPayload::from_components(first.coeffs(), second.coeffs(), Domain::Eval);
+        // The component polys were copied into the stripe; their buffers go
+        // back to the pool for the next key's sampling pass.
+        self.arena.put(first.into_coeffs());
+        self.arena.put(second.into_coeffs());
+        Some(payload)
     }
 
     /// Process-global count of `KeyGenerator` constructions so far.

@@ -43,7 +43,10 @@
 //! # Ok::<(), chehab_fhe::FheError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `simd` module alone opts back in for the
+// stable `std::arch` intrinsics behind runtime feature detection; everything
+// else in the crate stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod arena;
@@ -54,6 +57,7 @@ mod noise;
 mod params;
 pub mod payload;
 pub mod poly;
+pub mod simd;
 
 pub use arena::{ArenaPool, ArenaPoolStats, PolyArena};
 pub use crypto::{Ciphertext, Decryptor, Encryptor, FheContext, FheError, Plaintext};
@@ -63,3 +67,4 @@ pub use noise::NoiseModel;
 pub use params::{BfvParameters, ParameterError, SecurityLevel};
 pub use payload::CtPayload;
 pub use poly::TransformStats;
+pub use simd::SimdPolicy;

@@ -27,7 +27,8 @@
 //! once per component. Every kernel is elementwise, so intra-op chunking is
 //! bit-identical at every thread count.
 
-use crate::poly::{p_add, p_mul, p_mul_add, p_neg, p_sub, Domain};
+use crate::poly::Domain;
+use crate::simd::{self, SimdPolicy};
 
 /// Stripes shorter than this never split across intra-op worker threads:
 /// below it, thread-spawn latency exceeds the chunk work a helper would take
@@ -170,7 +171,7 @@ impl CtPayload {
     /// coefficient instead of once per component. `out` must be a
     /// `2 * degree` stripe buffer; `threads` bounds the intra-op chunking
     /// (bit-identical at every value).
-    pub fn mul_eval2(&self, mult: &[u64], out: &mut [u64], threads: usize) {
+    pub fn mul_eval2(&self, mult: &[u64], out: &mut [u64], threads: usize, policy: SimdPolicy) {
         let n = self.degree();
         debug_assert!(mult.len() >= n);
         debug_assert_eq!(out.len(), self.data.len());
@@ -180,15 +181,7 @@ impl CtPayload {
             let len = c0.len();
             let (x0, x1) = (&a0[offset..offset + len], &a1[offset..offset + len]);
             let m = &mult[offset..offset + len];
-            for (((o0, o1), (&x0, &x1)), &m) in c0
-                .iter_mut()
-                .zip(c1.iter_mut())
-                .zip(x0.iter().zip(x1))
-                .zip(m)
-            {
-                *o0 = p_mul(x0, m);
-                *o1 = p_mul(x1, m);
-            }
+            simd::mul2_chunk(x0, x1, m, c0, c1, policy);
         });
     }
 
@@ -196,7 +189,14 @@ impl CtPayload {
     /// shared multiplier scaled by `k` on the fly (`mult[i] * k` computed
     /// once per coefficient, shared by both components), so no scaled-splat
     /// temporary is ever materialized.
-    pub fn mul_scalar_eval2(&self, mult: &[u64], k: u64, out: &mut [u64], threads: usize) {
+    pub fn mul_scalar_eval2(
+        &self,
+        mult: &[u64],
+        k: u64,
+        out: &mut [u64],
+        threads: usize,
+        policy: SimdPolicy,
+    ) {
         let n = self.degree();
         debug_assert!(mult.len() >= n);
         debug_assert_eq!(out.len(), self.data.len());
@@ -206,16 +206,7 @@ impl CtPayload {
             let len = c0.len();
             let (x0, x1) = (&a0[offset..offset + len], &a1[offset..offset + len]);
             let m = &mult[offset..offset + len];
-            for (((o0, o1), (&x0, &x1)), &m) in c0
-                .iter_mut()
-                .zip(c1.iter_mut())
-                .zip(x0.iter().zip(x1))
-                .zip(m)
-            {
-                let scaled = p_mul(m, k);
-                *o0 = p_mul(x0, scaled);
-                *o1 = p_mul(x1, scaled);
-            }
+            simd::mul_scalar2_chunk(x0, x1, m, k, c0, c1, policy);
         });
     }
 
@@ -239,6 +230,7 @@ impl CtPayload {
         s1: &[u64],
         out: &mut [u64],
         threads: usize,
+        policy: SimdPolicy,
     ) {
         let n = self.degree();
         debug_assert_eq!(other.degree(), n);
@@ -254,16 +246,7 @@ impl CtPayload {
             let (a0, a1) = (&a0[range.clone()], &a1[range.clone()]);
             let (b0, b1) = (&b0[range.clone()], &b1[range.clone()]);
             let (s0, s1) = (&s0[range.clone()], &s1[range]);
-            for (((o0, o1), ((&a0, &a1), (&b0, &b1))), (&s0, &s1)) in c0
-                .iter_mut()
-                .zip(c1.iter_mut())
-                .zip(a0.iter().zip(a1).zip(b0.iter().zip(b1)))
-                .zip(s0.iter().zip(s1))
-            {
-                let c2 = p_mul(a1, b1);
-                *o0 = p_mul_add(c2, s0, p_mul(a0, b0));
-                *o1 = p_mul_add(c2, s1, p_mul_add(a1, b0, p_mul(a0, b1)));
-            }
+            simd::mul_add2_chunk(a0, a1, b0, b1, s0, s1, c0, c1, policy);
         });
     }
 
@@ -276,7 +259,14 @@ impl CtPayload {
     ///
     /// Debug builds panic unless the payload is in [`Domain::Eval`] (the
     /// permutation form of the automorphism only exists there).
-    pub fn galois_eval2(&self, perm: &[u32], key: &[u64], out: &mut [u64], threads: usize) {
+    pub fn galois_eval2(
+        &self,
+        perm: &[u32],
+        key: &[u64],
+        out: &mut [u64],
+        threads: usize,
+        policy: SimdPolicy,
+    ) {
         debug_assert_eq!(self.domain, Domain::Eval, "galois_eval2 needs Eval form");
         let n = self.degree();
         debug_assert_eq!(perm.len(), n);
@@ -288,68 +278,52 @@ impl CtPayload {
             let len = c0.len();
             let p = &perm[offset..offset + len];
             let k = &key[offset..offset + len];
-            for (((o0, o1), &src), &k) in c0.iter_mut().zip(c1.iter_mut()).zip(p).zip(k) {
-                let src = src as usize;
-                *o0 = p_mul(a0[src], k);
-                *o1 = p_mul(a1[src], k);
-            }
+            simd::galois2_chunk(a0, a1, p, k, c0, c1, policy);
         });
     }
 
     /// Component-wise payload addition as one stripe pass:
     /// `out[j] = self[j] + other[j]`.
-    pub fn add2(&self, other: &CtPayload, out: &mut [u64]) {
+    pub fn add2(&self, other: &CtPayload, out: &mut [u64], policy: SimdPolicy) {
         debug_assert_eq!(self.data.len(), other.data.len());
         debug_assert_eq!(self.domain, other.domain, "domain mismatch in add2");
         debug_assert_eq!(out.len(), self.data.len());
-        for ((slot, &x), &y) in out.iter_mut().zip(&self.data).zip(&other.data) {
-            *slot = p_add(x, y);
-        }
+        simd::add_stripe(&self.data, &other.data, out, policy);
     }
 
     /// Component-wise payload subtraction as one stripe pass:
     /// `out[j] = self[j] - other[j]`.
-    pub fn sub2(&self, other: &CtPayload, out: &mut [u64]) {
+    pub fn sub2(&self, other: &CtPayload, out: &mut [u64], policy: SimdPolicy) {
         debug_assert_eq!(self.data.len(), other.data.len());
         debug_assert_eq!(self.domain, other.domain, "domain mismatch in sub2");
         debug_assert_eq!(out.len(), self.data.len());
-        for ((slot, &x), &y) in out.iter_mut().zip(&self.data).zip(&other.data) {
-            *slot = p_sub(x, y);
-        }
+        simd::sub_stripe(&self.data, &other.data, out, policy);
     }
 
     /// Component-wise payload negation as one stripe pass:
     /// `out[j] = -self[j]`.
-    pub fn neg2(&self, out: &mut [u64]) {
+    pub fn neg2(&self, out: &mut [u64], policy: SimdPolicy) {
         debug_assert_eq!(out.len(), self.data.len());
-        for (slot, &x) in out.iter_mut().zip(&self.data) {
-            *slot = p_neg(x);
-        }
+        simd::neg_stripe(&self.data, out, policy);
     }
 
     /// In-place variant of [`CtPayload::add2`].
-    pub fn add_assign2(&mut self, other: &CtPayload) {
+    pub fn add_assign2(&mut self, other: &CtPayload, policy: SimdPolicy) {
         debug_assert_eq!(self.data.len(), other.data.len());
         debug_assert_eq!(self.domain, other.domain, "domain mismatch in add_assign2");
-        for (x, &y) in self.data.iter_mut().zip(&other.data) {
-            *x = p_add(*x, y);
-        }
+        simd::add_stripe_assign(&mut self.data, &other.data, policy);
     }
 
     /// In-place variant of [`CtPayload::sub2`].
-    pub fn sub_assign2(&mut self, other: &CtPayload) {
+    pub fn sub_assign2(&mut self, other: &CtPayload, policy: SimdPolicy) {
         debug_assert_eq!(self.data.len(), other.data.len());
         debug_assert_eq!(self.domain, other.domain, "domain mismatch in sub_assign2");
-        for (x, &y) in self.data.iter_mut().zip(&other.data) {
-            *x = p_sub(*x, y);
-        }
+        simd::sub_stripe_assign(&mut self.data, &other.data, policy);
     }
 
     /// In-place variant of [`CtPayload::neg2`].
-    pub fn neg_assign2(&mut self) {
-        for x in self.data.iter_mut() {
-            *x = p_neg(*x);
-        }
+    pub fn neg_assign2(&mut self, policy: SimdPolicy) {
+        simd::neg_stripe_assign(&mut self.data, policy);
     }
 }
 
@@ -398,7 +372,11 @@ impl<'de> serde::Deserialize<'de> for CtPayload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::poly::{Poly, MODULUS};
+    use crate::poly::{p_mul, p_mul_add, Poly, MODULUS};
+
+    fn policies() -> Vec<SimdPolicy> {
+        vec![SimdPolicy::Scalar, SimdPolicy::detected()]
+    }
 
     /// Deterministic pseudo-random canonical field elements.
     fn random_values(n: usize, seed: u64) -> Vec<u64> {
@@ -435,12 +413,14 @@ mod tests {
                 let mult = random_values(degree, seed ^ 0xFF);
                 let mut out = vec![0u64; 2 * degree];
                 for threads in [1usize, 2, 4] {
-                    payload.mul_eval2(&mult, &mut out, threads);
-                    assert_eq!(
-                        out,
-                        split_mul_reference(&payload, &mult),
-                        "degree {degree} domain {domain:?} threads {threads}"
-                    );
+                    for policy in policies() {
+                        payload.mul_eval2(&mult, &mut out, threads, policy);
+                        assert_eq!(
+                            out,
+                            split_mul_reference(&payload, &mult),
+                            "degree {degree} domain {domain:?} threads {threads} {policy:?}"
+                        );
+                    }
                 }
             }
         }
@@ -465,9 +445,14 @@ mod tests {
                 );
             }
             for threads in [1usize, 3, 8] {
-                let mut out = vec![0u64; 2 * degree];
-                a.mul_add_eval2(&b, &s0, &s1, &mut out, threads);
-                assert_eq!(out, expected, "degree {degree} threads {threads}");
+                for policy in policies() {
+                    let mut out = vec![0u64; 2 * degree];
+                    a.mul_add_eval2(&b, &s0, &s1, &mut out, threads, policy);
+                    assert_eq!(
+                        out, expected,
+                        "degree {degree} threads {threads} {policy:?}"
+                    );
+                }
             }
         }
     }
@@ -492,10 +477,20 @@ mod tests {
                     .map(|(&g, &k)| p_mul(g, k))
                     .collect()
             };
-            let mut out = vec![0u64; 2 * degree];
-            payload.galois_eval2(&perm, &key, &mut out, 1);
-            assert_eq!(&out[..degree], reference(&c0), "element {galois_elt}");
-            assert_eq!(&out[degree..], reference(&c1), "element {galois_elt}");
+            for policy in policies() {
+                let mut out = vec![0u64; 2 * degree];
+                payload.galois_eval2(&perm, &key, &mut out, 1, policy);
+                assert_eq!(
+                    &out[..degree],
+                    reference(&c0),
+                    "element {galois_elt} {policy:?}"
+                );
+                assert_eq!(
+                    &out[degree..],
+                    reference(&c1),
+                    "element {galois_elt} {policy:?}"
+                );
+            }
         }
     }
 
@@ -514,31 +509,33 @@ mod tests {
             let (a0, a1) = as_polys(&a);
             let (b0, b1) = as_polys(&b);
 
-            let mut sum = vec![0u64; 2 * degree];
-            a.add2(&b, &mut sum);
-            assert_eq!(&sum[..degree], a0.add(&b0).coeffs());
-            assert_eq!(&sum[degree..], a1.add(&b1).coeffs());
+            for policy in policies() {
+                let mut sum = vec![0u64; 2 * degree];
+                a.add2(&b, &mut sum, policy);
+                assert_eq!(&sum[..degree], a0.add(&b0).coeffs());
+                assert_eq!(&sum[degree..], a1.add(&b1).coeffs());
 
-            let mut diff = vec![0u64; 2 * degree];
-            a.sub2(&b, &mut diff);
-            assert_eq!(&diff[..degree], a0.sub(&b0).coeffs());
-            assert_eq!(&diff[degree..], a1.sub(&b1).coeffs());
+                let mut diff = vec![0u64; 2 * degree];
+                a.sub2(&b, &mut diff, policy);
+                assert_eq!(&diff[..degree], a0.sub(&b0).coeffs());
+                assert_eq!(&diff[degree..], a1.sub(&b1).coeffs());
 
-            let mut neg = vec![0u64; 2 * degree];
-            a.neg2(&mut neg);
-            assert_eq!(&neg[..degree], a0.negate().coeffs());
-            assert_eq!(&neg[degree..], a1.negate().coeffs());
+                let mut neg = vec![0u64; 2 * degree];
+                a.neg2(&mut neg, policy);
+                assert_eq!(&neg[..degree], a0.negate().coeffs());
+                assert_eq!(&neg[degree..], a1.negate().coeffs());
 
-            // The in-place variants agree with the out-of-place ones.
-            let mut acc = a.clone();
-            acc.add_assign2(&b);
-            assert_eq!(acc.stripe(), &sum[..]);
-            let mut acc = a.clone();
-            acc.sub_assign2(&b);
-            assert_eq!(acc.stripe(), &diff[..]);
-            let mut acc = a.clone();
-            acc.neg_assign2();
-            assert_eq!(acc.stripe(), &neg[..]);
+                // The in-place variants agree with the out-of-place ones.
+                let mut acc = a.clone();
+                acc.add_assign2(&b, policy);
+                assert_eq!(acc.stripe(), &sum[..]);
+                let mut acc = a.clone();
+                acc.sub_assign2(&b, policy);
+                assert_eq!(acc.stripe(), &diff[..]);
+                let mut acc = a.clone();
+                acc.neg_assign2(policy);
+                assert_eq!(acc.stripe(), &neg[..]);
+            }
         }
     }
 
@@ -549,11 +546,13 @@ mod tests {
         let mult = random_values(degree, 0x5D);
         let k = 12345u64;
         let scaled: Vec<u64> = mult.iter().map(|&m| p_mul(m, k)).collect();
-        let mut expected = vec![0u64; 2 * degree];
-        payload.mul_eval2(&scaled, &mut expected, 1);
-        let mut out = vec![0u64; 2 * degree];
-        payload.mul_scalar_eval2(&mult, k, &mut out, 1);
-        assert_eq!(out, expected);
+        for policy in policies() {
+            let mut expected = vec![0u64; 2 * degree];
+            payload.mul_eval2(&scaled, &mut expected, 1, policy);
+            let mut out = vec![0u64; 2 * degree];
+            payload.mul_scalar_eval2(&mult, k, &mut out, 1, policy);
+            assert_eq!(out, expected, "{policy:?}");
+        }
     }
 
     #[test]

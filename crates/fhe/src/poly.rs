@@ -18,6 +18,7 @@
 //! (`O(n)`) and forward/inverse transforms only happen at representation
 //! boundaries.
 
+use crate::simd::{self, SimdPolicy};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -190,6 +191,9 @@ pub struct NttTables {
     inv_degree: u64,
     /// Transform counters, shared by clones of the same table set.
     counters: Arc<TransformCounters>,
+    /// The SIMD back end the butterfly stages run on, snapshotted at
+    /// construction (see [`SimdPolicy::global`]).
+    policy: SimdPolicy,
 }
 
 impl NttTables {
@@ -200,6 +204,17 @@ impl NttTables {
     /// Panics if `n` is not a power of two, is smaller than 2 or exceeds the
     /// 2-adicity of the field (`2^31`).
     pub fn new(degree: usize) -> Self {
+        Self::with_policy(degree, SimdPolicy::global())
+    }
+
+    /// [`NttTables::new`] with an explicit SIMD policy instead of the
+    /// process-wide one (tests and benches use this to run both back ends in
+    /// one process).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`NttTables::new`].
+    pub fn with_policy(degree: usize, policy: SimdPolicy) -> Self {
         assert!(
             degree.is_power_of_two() && degree >= 2,
             "degree must be a power of two >= 2"
@@ -235,12 +250,18 @@ impl NttTables {
             inv_psi_rev,
             inv_degree: p_inv(degree as u64),
             counters: Arc::new(TransformCounters::default()),
+            policy,
         }
     }
 
     /// The polynomial degree these tables serve.
     pub fn degree(&self) -> usize {
         self.degree
+    }
+
+    /// The SIMD back end this table set's transforms run on.
+    pub fn policy(&self) -> SimdPolicy {
+        self.policy
     }
 
     /// `(forward, inverse)` transform counts since construction (or the last
@@ -271,10 +292,20 @@ impl NttTables {
 
     /// In-place forward negacyclic NTT (Cooley–Tukey, decimation in time,
     /// producing bit-reversed output that the inverse transform consumes).
+    ///
+    /// Butterflies use lazy (deferred) reduction: intermediate values roam
+    /// the full `[0, 2^64) ⊂ [0, 2p)` lazy-residue range across stages, and
+    /// the canonicalizing reduction is fused into the last butterfly stage —
+    /// see the [`crate::simd`] module docs for the invariant. Output is
+    /// always canonical.
     pub fn forward(&self, a: &mut [u64]) {
         debug_assert_eq!(a.len(), self.degree);
         self.counters.forward.fetch_add(1, Ordering::Relaxed);
         self.forward_subtree(a, 1);
+        debug_assert!(
+            a.iter().all(|&x| x < MODULUS),
+            "forward NTT output must be canonical after the fused normalization"
+        );
     }
 
     /// Forward NTT with up to `threads` worker threads cooperating on
@@ -286,16 +317,25 @@ impl NttTables {
         debug_assert_eq!(a.len(), self.degree);
         self.counters.forward.fetch_add(1, Ordering::Relaxed);
         self.forward_node(a, 1, threads);
+        debug_assert!(
+            a.iter().all(|&x| x < MODULUS),
+            "forward NTT output must be canonical after the fused normalization"
+        );
     }
 
     /// In-place inverse negacyclic NTT (Gentleman–Sande).
+    ///
+    /// Butterfly stages run lazy; the final `n^{-1}` scaling performs the
+    /// single canonicalizing reduction pass, so the output is canonical.
     pub fn inverse(&self, a: &mut [u64]) {
         debug_assert_eq!(a.len(), self.degree);
         self.counters.inverse.fetch_add(1, Ordering::Relaxed);
         self.inverse_subtree(a, 1);
-        for x in a.iter_mut() {
-            *x = p_mul(*x, self.inv_degree);
-        }
+        simd::scale_canonical(a, self.inv_degree, self.policy);
+        debug_assert!(
+            a.iter().all(|&x| x < MODULUS),
+            "inverse NTT output must be canonical after the scaling pass"
+        );
     }
 
     /// Inverse NTT with up to `threads` cooperating worker threads
@@ -305,9 +345,11 @@ impl NttTables {
         debug_assert_eq!(a.len(), self.degree);
         self.counters.inverse.fetch_add(1, Ordering::Relaxed);
         self.inverse_node(a, 1, threads);
-        for x in a.iter_mut() {
-            *x = p_mul(*x, self.inv_degree);
-        }
+        simd::scale_canonical(a, self.inv_degree, self.policy);
+        debug_assert!(
+            a.iter().all(|&x| x < MODULUS),
+            "inverse NTT output must be canonical after the scaling pass"
+        );
     }
 
     /// Iterative Cooley–Tukey over the subtree rooted at twiddle-heap node
@@ -315,30 +357,29 @@ impl NttTables {
     /// stage the halves are independent subtrees with heap children
     /// `2*root` and `2*root + 1`, which is what makes the threaded split
     /// safe and exact.
+    /// Every butterfly runs lazy ([`simd::forward_stage`]); the subtree's
+    /// finest stage (`t == 1`) is always the whole transform's last stage
+    /// for these indices, so that stage canonicalizes as it goes — the
+    /// "single normalization pass" is free. Each stage's twiddles occupy
+    /// the contiguous heap range `psi_rev[root·m..(root + 1)·m]`, so the
+    /// whole stage dispatches as one call.
     fn forward_subtree(&self, a: &mut [u64], root: usize) {
         let n = a.len();
         let mut t = n;
         let mut m = 1usize;
         while m < n {
             t /= 2;
-            for i in 0..m {
-                let j1 = 2 * i * t;
-                let j2 = j1 + t;
-                let s = self.psi_rev[root * m + i];
-                for j in j1..j2 {
-                    let u = a[j];
-                    let v = p_mul(a[j + t], s);
-                    a[j] = p_add(u, v);
-                    a[j + t] = p_sub(u, v);
-                }
-            }
+            let canonical = 2 * m == n;
+            let twiddles = &self.psi_rev[root * m..root * m + m];
+            simd::forward_stage(a, twiddles, t, canonical, self.policy);
             m *= 2;
         }
     }
 
     /// Recursive splitter of the forward transform: performs the root
-    /// butterfly stage, then hands the two independent halves to scoped
-    /// worker threads while the budget and slice length allow.
+    /// butterfly stage (lazy — only leaf subtrees reach the final,
+    /// canonicalizing stage), then hands the two independent halves to
+    /// scoped worker threads while the budget and slice length allow.
     fn forward_node(&self, a: &mut [u64], root: usize, threads: usize) {
         let n = a.len();
         if threads <= 1 || n < MIN_SPLIT {
@@ -348,12 +389,7 @@ impl NttTables {
         let half = n / 2;
         let s = self.psi_rev[root];
         let (lo, hi) = a.split_at_mut(half);
-        for (u, v) in lo.iter_mut().zip(hi.iter_mut()) {
-            let x = *u;
-            let y = p_mul(*v, s);
-            *u = p_add(x, y);
-            *v = p_sub(x, y);
-        }
+        simd::forward_butterfly_block(lo, hi, s, false, self.policy);
         let (t_lo, t_hi) = (threads - threads / 2, threads / 2);
         std::thread::scope(|scope| {
             scope.spawn(|| self.forward_node(hi, 2 * root + 1, t_hi.max(1)));
@@ -363,24 +399,15 @@ impl NttTables {
 
     /// Iterative Gentleman–Sande over the subtree rooted at `root`
     /// (mirror of [`NttTables::forward_subtree`]; no final `1/n` scaling).
+    /// All stages lazy — the caller's scaling pass canonicalizes.
     fn inverse_subtree(&self, a: &mut [u64], root: usize) {
         let n = a.len();
         let mut t = 1usize;
         let mut m = n;
         while m > 1 {
             let h = m / 2;
-            let mut j1 = 0usize;
-            for i in 0..h {
-                let j2 = j1 + t;
-                let s = self.inv_psi_rev[root * h + i];
-                for j in j1..j2 {
-                    let u = a[j];
-                    let v = a[j + t];
-                    a[j] = p_add(u, v);
-                    a[j + t] = p_mul(p_sub(u, v), s);
-                }
-                j1 += 2 * t;
-            }
+            let twiddles = &self.inv_psi_rev[root * h..root * h + h];
+            simd::inverse_stage(a, twiddles, t, self.policy);
             t *= 2;
             m = h;
         }
@@ -388,7 +415,7 @@ impl NttTables {
 
     /// Recursive splitter of the inverse transform: transforms the two
     /// independent halves (on scoped worker threads while the budget
-    /// allows), then performs the root combining stage.
+    /// allows), then performs the root combining stage (lazy).
     fn inverse_node(&self, a: &mut [u64], root: usize, threads: usize) {
         let n = a.len();
         if threads <= 1 || n < MIN_SPLIT {
@@ -403,12 +430,7 @@ impl NttTables {
             self.inverse_node(lo, 2 * root, t_lo);
         });
         let s = self.inv_psi_rev[root];
-        for (u, v) in lo.iter_mut().zip(hi.iter_mut()) {
-            let x = *u;
-            let y = *v;
-            *u = p_add(x, y);
-            *v = p_mul(p_sub(x, y), s);
-        }
+        simd::inverse_butterfly_block(lo, hi, s, self.policy);
     }
 }
 
@@ -472,6 +494,13 @@ impl Poly {
     /// The domain the stored values are in.
     pub fn domain(&self) -> Domain {
         self.domain
+    }
+
+    /// Consumes the polynomial and returns its owned backing buffer, so a
+    /// dead polynomial's storage can go back to a [`crate::PolyArena`]
+    /// instead of the allocator.
+    pub(crate) fn into_coeffs(self) -> Vec<u64> {
+        self.coeffs
     }
 
     /// The polynomial's degree bound (`n`).

@@ -93,6 +93,39 @@ impl PlainValue {
         let plain = ctx.encode(&self.values)?;
         Ok(self.encoded.get_or_init(|| plain))
     }
+
+    /// [`PlainValue::encoded`] with the slot vector drawn from `arena` — the
+    /// form the executors use so a warm request's plaintext encodes are
+    /// served by the pool and recycled when the register dies.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FheError`] from encoding (more values than slots).
+    pub fn encoded_in(
+        &self,
+        ctx: &FheContext,
+        arena: &mut PolyArena,
+    ) -> Result<&Plaintext, FheError> {
+        if let Some(plain) = self.encoded.get() {
+            return Ok(plain);
+        }
+        let plain = ctx.encode_in(&self.values, arena)?;
+        // A concurrent worker may have encoded first; the loser's buffers
+        // go straight back to the pool instead of the allocator.
+        if let Err(lost) = self.encoded.set(plain) {
+            lost.recycle_into(arena);
+        }
+        Ok(self.encoded.get().expect("cache was just filled"))
+    }
+
+    /// Returns the cached encoding's buffers to `arena`, if the value was
+    /// ever encoded. Called when the register file retires a dead plaintext
+    /// register.
+    pub(crate) fn recycle_into(self, arena: &mut PolyArena) {
+        if let Some(plain) = self.encoded.into_inner() {
+            plain.recycle_into(arena);
+        }
+    }
 }
 
 impl From<Vec<i64>> for PlainValue {
@@ -230,10 +263,18 @@ impl RegisterFile {
                 .get_mut()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .take();
-            if let Some(Register::Cipher(cipher)) = register {
-                if let Ok(ciphertext) = Arc::try_unwrap(cipher) {
-                    ciphertext.recycle_into(arena);
+            match register {
+                Some(Register::Cipher(cipher)) => {
+                    if let Ok(ciphertext) = Arc::try_unwrap(cipher) {
+                        ciphertext.recycle_into(arena);
+                    }
                 }
+                Some(Register::Plain(plain)) => {
+                    if let Ok(value) = Arc::try_unwrap(plain) {
+                        value.recycle_into(arena);
+                    }
+                }
+                None => {}
             }
         }
     }
@@ -253,15 +294,25 @@ pub(crate) fn publish_and_reap(
     operands.sort_unstable();
     operands.dedup();
     for slot in operands {
-        if let Some(Register::Cipher(cipher)) = rf.consume(slot) {
+        match rf.consume(slot) {
             // The register file's reference was the last one (this
             // instruction's own read clone died when `run_instr` returned),
             // unless a still-live ciphertext shares the value (e.g. an
             // `add_plain` output sharing its operand's payload) — then the
             // unwrap fails and the buffers stay alive with their referent.
-            if let Ok(ciphertext) = Arc::try_unwrap(cipher) {
-                evaluator.recycle(ciphertext);
+            Some(Register::Cipher(cipher)) => {
+                if let Ok(ciphertext) = Arc::try_unwrap(cipher) {
+                    evaluator.recycle(ciphertext);
+                }
             }
+            // Dead plaintext registers return their encoded slot vector
+            // (and cached payload splat) the same way.
+            Some(Register::Plain(plain)) => {
+                if let Ok(value) = Arc::try_unwrap(plain) {
+                    value.recycle_into(evaluator.arena_mut());
+                }
+            }
+            None => {}
         }
     }
 }
@@ -756,7 +807,7 @@ pub(crate) fn run_instr(
                 Register::cipher(out)
             }
             (Register::Cipher(x), Register::Plain(p)) => {
-                let plain = p.encoded(res.ctx)?;
+                let plain = p.encoded_in(res.ctx, evaluator.arena_mut())?;
                 let started = Instant::now();
                 let out = match op {
                     BinOp::Add => evaluator.add_plain(&x, plain),
@@ -767,7 +818,7 @@ pub(crate) fn run_instr(
                 Register::cipher(out)
             }
             (Register::Plain(p), Register::Cipher(y)) => {
-                let plain = p.encoded(res.ctx)?;
+                let plain = p.encoded_in(res.ctx, evaluator.arena_mut())?;
                 let started = Instant::now();
                 let out = match op {
                     BinOp::Add => evaluator.add_plain(&y, plain),
@@ -874,9 +925,12 @@ pub(crate) fn run_instr(
                     .clone(),
             };
             if plain_slots.iter().any(|&v| v != 0) {
-                let plain = res.ctx.encode(&plain_slots)?;
+                // The packing plaintext is transient — encoded from the
+                // arena, added, and recycled within this one instruction.
+                let plain = res.ctx.encode_in(&plain_slots, evaluator.arena_mut())?;
                 let sum = evaluator.add_plain(&packed, &plain);
                 evaluator.recycle(packed);
+                evaluator.recycle_plain(plain);
                 packed = sum;
             }
             calibration.record(OpKind::Pack, started.elapsed());

@@ -1,12 +1,16 @@
 //! Allocation-regression test for the zero-allocation memory engine.
 //!
 //! A warm `FheSession` must serve steady-state requests with **zero fresh
-//! buffer allocations**: every ciphertext slot vector and payload stripe is
-//! drawn from the session's `ArenaPool` and returned when its ciphertext
-//! dies (last-use analysis frees registers mid-run, the output is recycled
-//! after decryption). The process-global `PolyArena` counters record every
-//! pool miss, so replaying a request against a warm session and asserting
-//! the miss count stays zero pins the property across the whole benchsuite.
+//! buffer allocations**: every ciphertext slot vector, payload stripe,
+//! *plaintext-encode slot vector*, and *plaintext payload splat* is drawn
+//! from the session's `ArenaPool` and returned when its value dies
+//! (last-use analysis frees registers mid-run — plaintext registers
+//! included — and the output is recycled after decryption). Key-generation
+//! scratch buffers round-trip through the `KeyGenerator`'s own pool, so a
+//! session issuing dozens of Galois keys samples them all from a handful
+//! of buffers. The process-global `PolyArena` counters record every pool
+//! miss, so replaying a request against a warm session and asserting the
+//! miss count stays zero pins the property across the whole benchsuite.
 //!
 //! This file deliberately holds a **single test**: the counters are shared
 //! by every thread of the process, so the assertion needs its own test
@@ -70,4 +74,21 @@ fn warm_kernel_sweep_performs_zero_fresh_buffer_allocations() {
             benchmark.id()
         );
     }
+
+    // Direct round-trip pin for the plaintext-encode path: an encode drawn
+    // from a warm arena must be a pool hit, and recycling must return the
+    // slot vector so the next encode of the same width hits again.
+    let ctx = chehab::fhe::FheContext::new(params).expect("context");
+    let mut arena = PolyArena::new();
+    let first = ctx.encode_in(&[1, 2, 3], &mut arena).expect("encode");
+    first.recycle_into(&mut arena);
+    PolyArena::reset_counters();
+    let second = ctx.encode_in(&[4, 5, 6], &mut arena).expect("encode");
+    assert_eq!(
+        PolyArena::fresh_allocations(),
+        0,
+        "a recycled plaintext's slot vector must serve the next encode"
+    );
+    assert_eq!(PolyArena::reuses(), 1);
+    assert_eq!(ctx.decode(&second, 3), vec![4, 5, 6]);
 }

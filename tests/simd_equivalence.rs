@@ -1,0 +1,332 @@
+//! SIMD-vs-scalar equivalence tests for the hardware-floor arithmetic
+//! engine: the AVX2 stripe kernels and the lazy-reduction NTT must be
+//! **bit-identical** to the portable scalar/eager oracles, at every thread
+//! count, under both schedulers.
+//!
+//! Four angles:
+//!
+//! 1. **Fused-kernel equivalence** — every `CtPayload` kernel (the fused
+//!    dual-component multiply/add/sub/neg family plus the Galois gather)
+//!    produces identical stripes under `SimdPolicy::Scalar` and the detected
+//!    vector policy, on random inputs, in both domains, at tail-exercising
+//!    lengths, across intra-op thread counts.
+//! 2. **Transform equivalence** — forward and inverse NTTs (plain and
+//!    `_threaded`) agree between policies on random polynomials at several
+//!    degrees.
+//! 3. **Lazy-reduction invariant** — the lazy engine keeps values unreduced
+//!    across butterfly layers, so the observable contract is that the single
+//!    end normalization yields fully canonical outputs that match a
+//!    from-first-principles schoolbook negacyclic reference exactly.
+//! 4. **End-to-end sweep** — all 46 benchsuite kernels produce identical
+//!    outputs, operation counts and noise accounting with the process-wide
+//!    policy forced to scalar and to the vector back end
+//!    ([`SimdPolicy::set_global`], the test-side spelling of `CHEHAB_SIMD`),
+//!    at 1 and 4 threads under both schedulers. Only this test touches the
+//!    global policy; the others pass policies explicitly.
+//!
+//! On hardware without AVX2 the detected policy degrades to scalar and the
+//! comparisons hold trivially — the sweep still exercises the dispatch
+//! plumbing.
+
+use chehab::benchsuite::{self, Benchmark};
+use chehab::compiler::{Compiler, ExecOptions, SchedulerKind};
+use chehab::fhe::poly::{Domain, NttTables, Poly, MODULUS};
+use chehab::fhe::{BfvParameters, CtPayload, SimdPolicy};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+fn random_residues(rng: &mut ChaCha8Rng, n: usize) -> Vec<u64> {
+    (0..n).map(|_| rng.gen::<u64>() % MODULUS).collect()
+}
+
+/// Runs one payload kernel under both policies and asserts bit-identity.
+fn assert_kernel_identical(
+    label: &str,
+    n: usize,
+    domain: Domain,
+    threads: usize,
+    detected: SimdPolicy,
+    kernel: impl Fn(SimdPolicy) -> Vec<u64>,
+) {
+    let scalar = kernel(SimdPolicy::Scalar);
+    let vector = kernel(detected);
+    assert_eq!(
+        scalar,
+        vector,
+        "{label}: scalar and {} stripes diverged (n={n}, domain={domain:?}, threads={threads})",
+        detected.name()
+    );
+}
+
+/// Every fused dual-component kernel is bit-identical between the scalar
+/// oracle and the detected vector policy — random inputs, both domains,
+/// lengths chosen to exercise full vectors, scalar tails, and sub-vector
+/// slices, at 1 and 4 intra-op threads.
+#[test]
+fn fused_payload_kernels_are_bit_identical_under_every_policy() {
+    let detected = SimdPolicy::detected();
+    let mut rng = ChaCha8Rng::seed_from_u64(0x51DE0);
+    // Degrees must be powers of two (stripe invariant); sub-vector slices
+    // and scalar tails are exercised through the thread counts below — a
+    // 3-way chunking of these lengths lands mid-vector.
+    for n in [4usize, 8, 64, 1024] {
+        for domain in [Domain::Coeff, Domain::Eval] {
+            let a = CtPayload::from_stripe(random_residues(&mut rng, 2 * n), domain);
+            let b = CtPayload::from_stripe(random_residues(&mut rng, 2 * n), domain);
+            let mult = random_residues(&mut rng, n);
+            let s0 = random_residues(&mut rng, n);
+            let s1 = random_residues(&mut rng, n);
+            let k = rng.gen::<u64>() % MODULUS;
+            // An arbitrary index permutation is enough for gather
+            // equivalence (the real Galois permutations are a subset).
+            let perm: Vec<u32> = (0..n).map(|i| ((i * 7 + 3) % n) as u32).collect();
+            let key = random_residues(&mut rng, n);
+
+            for threads in [1usize, 3, 4] {
+                assert_kernel_identical("mul_eval2", n, domain, threads, detected, |policy| {
+                    let mut out = vec![0u64; 2 * n];
+                    a.mul_eval2(&mult, &mut out, threads, policy);
+                    out
+                });
+                assert_kernel_identical(
+                    "mul_scalar_eval2",
+                    n,
+                    domain,
+                    threads,
+                    detected,
+                    |policy| {
+                        let mut out = vec![0u64; 2 * n];
+                        a.mul_scalar_eval2(&mult, k, &mut out, threads, policy);
+                        out
+                    },
+                );
+                assert_kernel_identical("mul_add_eval2", n, domain, threads, detected, |policy| {
+                    let mut out = vec![0u64; 2 * n];
+                    a.mul_add_eval2(&b, &s0, &s1, &mut out, threads, policy);
+                    out
+                });
+                if domain == Domain::Eval {
+                    assert_kernel_identical(
+                        "galois_eval2",
+                        n,
+                        domain,
+                        threads,
+                        detected,
+                        |policy| {
+                            let mut out = vec![0u64; 2 * n];
+                            a.galois_eval2(&perm, &key, &mut out, threads, policy);
+                            out
+                        },
+                    );
+                }
+            }
+
+            // Whole-stripe kernels take no thread count.
+            assert_kernel_identical("add2", n, domain, 1, detected, |policy| {
+                let mut out = vec![0u64; 2 * n];
+                a.add2(&b, &mut out, policy);
+                out
+            });
+            assert_kernel_identical("sub2", n, domain, 1, detected, |policy| {
+                let mut out = vec![0u64; 2 * n];
+                a.sub2(&b, &mut out, policy);
+                out
+            });
+            assert_kernel_identical("neg2", n, domain, 1, detected, |policy| {
+                let mut out = vec![0u64; 2 * n];
+                a.neg2(&mut out, policy);
+                out
+            });
+            assert_kernel_identical("add_assign2", n, domain, 1, detected, |policy| {
+                let mut acc = a.clone();
+                acc.add_assign2(&b, policy);
+                acc.into_stripe()
+            });
+            assert_kernel_identical("sub_assign2", n, domain, 1, detected, |policy| {
+                let mut acc = a.clone();
+                acc.sub_assign2(&b, policy);
+                acc.into_stripe()
+            });
+            assert_kernel_identical("neg_assign2", n, domain, 1, detected, |policy| {
+                let mut acc = a.clone();
+                acc.neg_assign2(policy);
+                acc.into_stripe()
+            });
+        }
+    }
+}
+
+/// Forward and inverse transforms (plain and threaded) are bit-identical
+/// between a scalar-policy and a detected-policy table set.
+#[test]
+fn ntt_transforms_are_bit_identical_under_every_policy() {
+    let detected = SimdPolicy::detected();
+    let mut rng = ChaCha8Rng::seed_from_u64(0x77A_B1E);
+    for degree in [16usize, 64, 512, 2048] {
+        let scalar = NttTables::with_policy(degree, SimdPolicy::Scalar);
+        let vector = NttTables::with_policy(degree, detected);
+        for round in 0..4 {
+            let input = random_residues(&mut rng, degree);
+
+            let mut a = input.clone();
+            let mut b = input.clone();
+            scalar.forward(&mut a);
+            vector.forward(&mut b);
+            assert_eq!(a, b, "forward diverged (degree={degree}, round={round})");
+
+            let mut at = input.clone();
+            let mut bt = input.clone();
+            scalar.forward_threaded(&mut at, 4);
+            vector.forward_threaded(&mut bt, 4);
+            assert_eq!(at, a, "forward_threaded diverged from forward (scalar)");
+            assert_eq!(bt, a, "forward_threaded diverged from forward (vector)");
+
+            scalar.inverse(&mut a);
+            vector.inverse(&mut b);
+            assert_eq!(a, b, "inverse diverged (degree={degree}, round={round})");
+            assert_eq!(a, input, "round-trip is not the identity");
+
+            scalar.inverse_threaded(&mut at, 4);
+            vector.inverse_threaded(&mut bt, 4);
+            assert_eq!(at, input, "inverse_threaded round-trip (scalar)");
+            assert_eq!(bt, input, "inverse_threaded round-trip (vector)");
+        }
+    }
+}
+
+/// The lazy-reduction invariant: butterflies keep values unreduced across
+/// layers, and the single normalization at the end makes every output
+/// canonical (`< p`) and *exactly* equal to the eager reference — here the
+/// from-first-principles schoolbook negacyclic product, computed without any
+/// NTT at all.
+#[test]
+fn lazy_ntt_normalization_matches_schoolbook_reference_exactly() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x1A27);
+    for degree in [16usize, 64, 128] {
+        for policy in [SimdPolicy::Scalar, SimdPolicy::detected()] {
+            let tables = NttTables::with_policy(degree, policy);
+            let a = Poly::from_reduced(random_residues(&mut rng, degree), Domain::Coeff);
+            let b = Poly::from_reduced(random_residues(&mut rng, degree), Domain::Coeff);
+
+            // Forward outputs are fully canonical: the lazy residues never
+            // escape the transform.
+            let mut fa = a.coeffs().to_vec();
+            tables.forward(&mut fa);
+            assert!(
+                fa.iter().all(|&c| c < MODULUS),
+                "lazy forward NTT leaked a non-canonical value ({policy:?}, degree={degree})"
+            );
+
+            // The full pipeline (forward, pointwise, inverse — all lazy
+            // inside) agrees with the O(n^2) schoolbook product exactly.
+            let via_ntt = a.mul_ntt(&b, &tables);
+            let reference = a.mul_naive(&b);
+            assert_eq!(
+                via_ntt.coeffs(),
+                reference.coeffs(),
+                "lazy NTT product diverged from schoolbook ({policy:?}, degree={degree})"
+            );
+            assert!(via_ntt.coeffs().iter().all(|&c| c < MODULUS));
+        }
+    }
+}
+
+fn inputs_of(benchmark: &Benchmark, seed: u64) -> HashMap<String, i64> {
+    let env = benchmark.input_env(seed);
+    benchmark
+        .program()
+        .variables()
+        .into_iter()
+        .map(|v| {
+            let value = env.get(v.as_str()).unwrap_or(0) as i64;
+            (v.to_string(), value)
+        })
+        .collect()
+}
+
+/// All 46 benchsuite kernels, end to end, with the process-wide policy
+/// forced to scalar and then to the vector back end: outputs, operation
+/// counts, noise accounting and decryption outcomes are identical, per
+/// policy across 1/4 threads and both schedulers, and across the two
+/// policies.
+#[test]
+fn every_kernel_is_bit_identical_under_forced_scalar_and_vectorized_policies() {
+    let params = BfvParameters {
+        payload_degree: 64,
+        simulate_compute: true,
+        ..BfvParameters::insecure_test()
+    };
+    for benchmark in benchsuite::full_suite() {
+        let compiled = Compiler::without_optimizer().compile(benchmark.id(), benchmark.program());
+        let inputs = inputs_of(&benchmark, 29);
+        let mut reference = None;
+        for policy in [SimdPolicy::Scalar, SimdPolicy::Avx2] {
+            SimdPolicy::set_global(policy);
+            let session = compiled
+                .session(&params)
+                .unwrap_or_else(|e| panic!("{}: session construction failed: {e}", benchmark.id()));
+            let solo = session
+                .run(&inputs)
+                .unwrap_or_else(|e| panic!("{}: run failed under {policy:?}: {e}", benchmark.id()));
+            for (threads, scheduler) in [
+                (1usize, SchedulerKind::Dataflow),
+                (4, SchedulerKind::Dataflow),
+                (4, SchedulerKind::Leveled),
+            ] {
+                let options = ExecOptions::sequential()
+                    .with_threads_per_request(threads)
+                    .with_scheduler(scheduler);
+                let parallel = session.run_parallel(&inputs, &options).unwrap_or_else(|e| {
+                    panic!(
+                        "{}: {threads}-thread {scheduler:?} run failed under {policy:?}: {e}",
+                        benchmark.id()
+                    )
+                });
+                assert_eq!(
+                    parallel.outputs,
+                    solo.outputs,
+                    "{}: outputs diverged at {threads} threads under {scheduler:?}/{policy:?}",
+                    benchmark.id()
+                );
+                assert_eq!(
+                    parallel.operation_stats,
+                    solo.operation_stats,
+                    "{}: operation counts diverged at {threads} threads under {scheduler:?}/{policy:?}",
+                    benchmark.id()
+                );
+            }
+            match &reference {
+                None => reference = Some(solo),
+                Some(oracle) => {
+                    assert_eq!(
+                        solo.outputs,
+                        oracle.outputs,
+                        "{}: outputs depend on the SIMD policy",
+                        benchmark.id()
+                    );
+                    assert_eq!(
+                        solo.operation_stats,
+                        oracle.operation_stats,
+                        "{}: operation counts depend on the SIMD policy",
+                        benchmark.id()
+                    );
+                    assert_eq!(
+                        solo.noise_budget_consumed,
+                        oracle.noise_budget_consumed,
+                        "{}: noise accounting depends on the SIMD policy",
+                        benchmark.id()
+                    );
+                    assert_eq!(
+                        solo.decryption_ok,
+                        oracle.decryption_ok,
+                        "{}: decryption outcome depends on the SIMD policy",
+                        benchmark.id()
+                    );
+                }
+            }
+        }
+        // Leave the process-wide policy as detection would have set it.
+        SimdPolicy::set_global(SimdPolicy::detected());
+    }
+}
