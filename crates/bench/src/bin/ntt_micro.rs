@@ -35,8 +35,8 @@
 use chehab_bench::micro::{print_micro, time_micro};
 use chehab_fhe::poly::{p_add, p_inv, p_mul, p_pow, p_sub, Domain, NttTables, Poly, MODULUS};
 use chehab_fhe::{
-    BfvParameters, CtPayload, Encryptor, Evaluator, FheContext, KeyGenerator, PolyArena,
-    SecurityLevel, SimdPolicy,
+    BfvParameters, CtPayload, Encryptor, Evaluator, FheContext, KeyGenerator, ModulusChain,
+    PolyArena, SecurityLevel, SimdPolicy,
 };
 use chehab_ir::OpCosts;
 use chehab_runtime::{CalibratedCostModel, OpKind, OP_KINDS};
@@ -376,6 +376,7 @@ fn calibrate_policy(degree: usize, policy: SimdPolicy, iters: usize) -> Calibrat
         security_level: SecurityLevel::Tc128,
         payload_degree: degree,
         simulate_compute: true,
+        limb_count: 1,
     };
     let ctx = FheContext::new(params).expect("valid parameters");
     let mut keygen = KeyGenerator::new(ctx.params(), 0xCA11B);
@@ -487,6 +488,7 @@ fn main() {
     for &degree in degrees {
         let baseline = BaselineNtt::new(degree);
         let tables = NttTables::new(degree);
+        let chain1 = ModulusChain::new(1, degree, false);
         let a = random_values(degree, 0xA11CE ^ degree as u64);
         let b = random_values(degree, 0xB0B ^ degree as u64);
 
@@ -500,6 +502,7 @@ fn main() {
             security_level: SecurityLevel::Tc128,
             payload_degree: degree,
             simulate_compute: true,
+            limb_count: 1,
         };
         let ctx = FheContext::new(params).expect("valid parameters");
         let mut keygen = KeyGenerator::new(ctx.params(), 0xC4E4AB);
@@ -626,7 +629,7 @@ fn main() {
             iters,
             || {
                 let mut out = arena.take(2 * degree);
-                payload.mul_eval2(&mult, &mut out, 1, global);
+                payload.mul_eval2(&mult, &mut out, 1, global, &chain1);
                 sink = sink.wrapping_add(out[0]).wrapping_add(out[degree]);
                 arena.put(out);
             },
@@ -721,8 +724,16 @@ fn main() {
         let s1 = random_values(degree, 0x51 ^ degree as u64);
         let mut out_scalar = vec![0u64; 2 * degree];
         let mut out_simd = vec![0u64; 2 * degree];
-        pa.mul_add_eval2(&pb, &s0, &s1, &mut out_scalar, 1, SimdPolicy::Scalar);
-        pa.mul_add_eval2(&pb, &s0, &s1, &mut out_simd, 1, detected);
+        pa.mul_add_eval2(
+            &pb,
+            &s0,
+            &s1,
+            &mut out_scalar,
+            1,
+            SimdPolicy::Scalar,
+            &chain1,
+        );
+        pa.mul_add_eval2(&pb, &s0, &s1, &mut out_simd, 1, detected, &chain1);
         assert_eq!(
             out_scalar, out_simd,
             "SIMD fused tensor kernel must be bit-identical to scalar"
@@ -734,7 +745,7 @@ fn main() {
                 1,
                 iters,
                 || {
-                    pa.mul_add_eval2(&pb, &s0, &s1, &mut out, 1, pol);
+                    pa.mul_add_eval2(&pb, &s0, &s1, &mut out, 1, pol, &chain1);
                     sink = sink.wrapping_add(out[0]);
                 },
             );
@@ -750,7 +761,7 @@ fn main() {
                 1,
                 iters,
                 || {
-                    pa.mul_eval2(&mult, &mut out, 1, pol);
+                    pa.mul_eval2(&mult, &mut out, 1, pol, &chain1);
                     sink = sink.wrapping_add(out[0]);
                 },
             );
@@ -932,6 +943,100 @@ fn main() {
         ]));
     }
 
+    // --- RNS multi-limb ct-pt fused kernel (PR 9). PR 8 measured the k=1
+    // kernel memory-bound: one Goldilocks epsilon-fold per streamed product
+    // leaves the AVX2 path at ~1.0x. The fused layout fixes the traffic at
+    // 20 bytes per modular multiply (3 input + 2 output words per coefficient
+    // pair) independent of the limb count, but generic limbs replace the
+    // epsilon-fold with a Barrett reduction (3 widening multiplies + 2
+    // conditional subtracts per product), so each streamed byte carries
+    // roughly twice the arithmetic and the SIMD path has headroom again.
+    let rns_degree = 4096usize;
+    let mut sink2 = 0u64;
+    println!("\n== RNS ct-pt fused kernel at degree {rns_degree} ({iters} samples/op)");
+    println!(
+        "{:<6} {:>12} {:>10} {:>12} {:>12} {:>9}",
+        "limbs", "bytes/call", "bytes/op", "scalar(ms)", "simd(ms)", "speedup"
+    );
+    let mut rns_rows: Vec<Value> = Vec::new();
+    let mut rns_speedup_k1 = f64::NAN;
+    let mut rns_speedup_k2plus = f64::INFINITY;
+    for k in 1..=3usize {
+        let chain = ModulusChain::new(k, rns_degree, false);
+        let half = k * rns_degree;
+        let mut stripe = vec![0u64; 2 * half];
+        let mut mult = vec![0u64; half];
+        for li in 0..k {
+            let q = chain.limb(li).modulus();
+            let seed = (k * 16 + li) as u64;
+            let c0_vals = random_values(rns_degree, 0xA0 ^ seed);
+            let c1_vals = random_values(rns_degree, 0xA1 ^ seed);
+            let m_vals = random_values(rns_degree, 0xA2 ^ seed);
+            for j in 0..rns_degree {
+                stripe[li * rns_degree + j] = c0_vals[j] % q;
+                stripe[half + li * rns_degree + j] = c1_vals[j] % q;
+                mult[li * rns_degree + j] = m_vals[j] % q;
+            }
+        }
+        let payload = CtPayload::from_limb_stripe(stripe, k, Domain::Eval);
+        let mut out_scalar = vec![0u64; 2 * half];
+        let mut out_simd = vec![0u64; 2 * half];
+        payload.mul_eval2(&mult, &mut out_scalar, 1, SimdPolicy::Scalar, &chain);
+        payload.mul_eval2(&mult, &mut out_simd, 1, detected, &chain);
+        assert_eq!(
+            out_scalar, out_simd,
+            "k={k}: SIMD fused ct-pt kernel must be bit-identical to scalar"
+        );
+        let mut ms_by_policy = [0.0f64; 2];
+        let mut out = vec![0u64; 2 * half];
+        for (slot, pol) in [(0usize, SimdPolicy::Scalar), (1usize, detected)] {
+            let m = time_micro(
+                format!(
+                    "rns ct_pt_fused/{rns_degree} k={k} ({})",
+                    if slot == 0 { "scalar" } else { "simd" }
+                ),
+                1,
+                iters,
+                || {
+                    payload.mul_eval2(&mult, &mut out, 1, pol, &chain);
+                    sink2 = sink2.wrapping_add(out[0]).wrapping_add(out[half]);
+                },
+            );
+            ms_by_policy[slot] = m.median_ms();
+        }
+        // Traffic per call: 3 input words read + 2 output words written per
+        // coefficient pair, across both components and all limbs.
+        let bytes_per_call = (5 * 2 * half * 8 / 2) as f64;
+        let muls_per_call = (2 * half) as f64;
+        let bytes_per_op = bytes_per_call / muls_per_call;
+        let speedup = ms_by_policy[0] / ms_by_policy[1].max(1e-9);
+        if k == 1 {
+            rns_speedup_k1 = speedup;
+        } else {
+            rns_speedup_k2plus = rns_speedup_k2plus.min(speedup);
+        }
+        println!(
+            "{:<6} {:>12} {:>10.1} {:>12.4} {:>12.4} {:>8.2}x",
+            k, bytes_per_call as u64, bytes_per_op, ms_by_policy[0], ms_by_policy[1], speedup
+        );
+        rns_rows.push(Value::Object(vec![
+            ("limbs".into(), Value::Int(k as i64)),
+            ("degree".into(), Value::Int(rns_degree as i64)),
+            ("bytes_per_call".into(), Value::Float(bytes_per_call)),
+            ("bytes_per_op".into(), Value::Float(bytes_per_op)),
+            ("scalar_ms".into(), Value::Float(ms_by_policy[0])),
+            ("simd_ms".into(), Value::Float(ms_by_policy[1])),
+            ("speedup".into(), Value::Float(speedup)),
+        ]));
+    }
+    if sink2 == u64::MAX {
+        println!("(sink {sink2})");
+    }
+    println!(
+        "RNS ct-pt fused SIMD-vs-scalar: {rns_speedup_k1:.2}x at k=1 (memory-bound), \
+         {rns_speedup_k2plus:.2}x worst case at k>=2 (acceptance bar: >1.0x)"
+    );
+
     let json_rows: Vec<Value> = rows
         .iter()
         .map(|r| {
@@ -1032,6 +1137,29 @@ fn main() {
             } else {
                 Value::Null
             },
+        ),
+        (
+            "ct_pt_rns".into(),
+            Value::Object(vec![
+                ("degree".into(), Value::Int(rns_degree as i64)),
+                (
+                    "speedup_k1".into(),
+                    if rns_speedup_k1.is_finite() {
+                        Value::Float(rns_speedup_k1)
+                    } else {
+                        Value::Null
+                    },
+                ),
+                (
+                    "min_speedup_k2plus".into(),
+                    if rns_speedup_k2plus.is_finite() {
+                        Value::Float(rns_speedup_k2plus)
+                    } else {
+                        Value::Null
+                    },
+                ),
+                ("rows".into(), Value::Array(rns_rows)),
+            ]),
         ),
         ("rows".into(), Value::Array(json_rows)),
         ("engine_rows".into(), Value::Array(json_engine_rows)),

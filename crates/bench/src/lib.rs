@@ -1706,6 +1706,294 @@ pub fn write_hotpath_json(
     Ok(path)
 }
 
+/// One per-limb-count timing point of the RNS modulus-chain sweep.
+#[derive(Debug, Clone)]
+pub struct RnsPoint {
+    /// RNS limbs carried by every ciphertext payload at this point.
+    pub limbs: usize,
+    /// Median per-request wall time at this limb count, ms.
+    pub request_ms: f64,
+    /// `request_ms / request_ms(k = 1)`: the measured per-limb cost scaling
+    /// (the arithmetic grows linearly in `k`; everything per-request that is
+    /// not payload arithmetic does not).
+    pub scaling_vs_k1: f64,
+}
+
+/// One kernel measured end to end across RNS limb counts: the decrypted
+/// outputs must be identical at every `k` (the slot pipeline is exact and
+/// limb count only widens the cost-model payload), so the sweep is both a
+/// correctness check and a per-limb scaling record.
+#[derive(Debug, Clone)]
+pub struct RnsMeasurement {
+    /// Benchmark identifier.
+    pub benchmark: String,
+    /// One timing point per requested limb count, in the order given.
+    pub points: Vec<RnsPoint>,
+    /// Whether the decrypted outputs were bit-identical across every limb
+    /// count.
+    pub identical_across_limbs: bool,
+    /// Whether every run decrypted correctly against the plaintext
+    /// reference.
+    pub correct: bool,
+}
+
+/// Measures one kernel's warm per-request latency at each limb count in
+/// `limb_counts` (one warm-up pass, then `runs` timed requests per count,
+/// median reported), asserting outputs against the plaintext reference and
+/// against each other across limb counts.
+pub fn measure_rns(
+    benchmark: &Benchmark,
+    compiler: &CompilerUnderTest,
+    params: &BfvParameters,
+    runs: usize,
+    limb_counts: &[usize],
+) -> RnsMeasurement {
+    let compiled = compiler.compile(benchmark);
+    let inputs: HashMap<String, i64> = benchmark
+        .program()
+        .variables()
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v.to_string(), (i as i64 % 11) + 1))
+        .collect();
+    let expected: Vec<u64> = {
+        let mut env = chehab_ir::Env::new();
+        for (k, v) in &inputs {
+            env.bind(k.clone(), *v);
+        }
+        chehab_ir::evaluate(benchmark.program(), &env)
+            .map(|v| {
+                v.slots()
+                    .into_iter()
+                    .take(benchmark.output_slots())
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let mut points = Vec::with_capacity(limb_counts.len());
+    let mut correct = true;
+    let mut identical = true;
+    let mut reference: Option<Vec<u64>> = None;
+    let mut base_ms: Option<f64> = None;
+    for &k in limb_counts {
+        let session = compiled
+            .session(&params.clone().with_limb_count(k))
+            .unwrap_or_else(|e| {
+                panic!(
+                    "{}: session construction failed at k={k}: {e}",
+                    benchmark.id()
+                )
+            });
+        let warm = session
+            .run(&inputs)
+            .unwrap_or_else(|e| panic!("{}: warm-up run failed at k={k}: {e}", benchmark.id()));
+        match &reference {
+            None => reference = Some(warm.outputs.clone()),
+            Some(r) => identical &= &warm.outputs == r,
+        }
+        let mut times = Vec::with_capacity(runs.max(1));
+        for _ in 0..runs.max(1) {
+            let started = Instant::now();
+            let report = session
+                .run(&inputs)
+                .unwrap_or_else(|e| panic!("{}: run failed at k={k}: {e}", benchmark.id()));
+            times.push(started.elapsed());
+            let got: Vec<u64> = report
+                .outputs
+                .iter()
+                .copied()
+                .take(expected.len())
+                .collect();
+            correct &= report.decryption_ok && got == expected;
+        }
+        times.sort_unstable();
+        let request_ms = ms(times[times.len() / 2]);
+        let base = *base_ms.get_or_insert(request_ms);
+        points.push(RnsPoint {
+            limbs: k,
+            request_ms,
+            scaling_vs_k1: request_ms / base.max(1e-9),
+        });
+    }
+    RnsMeasurement {
+        benchmark: benchmark.id(),
+        points,
+        identical_across_limbs: identical,
+        correct,
+    }
+}
+
+/// Re-snapshots the timer-augmented per-op cost model
+/// ([`chehab_runtime::CalibratedCostModel`]) with every ciphertext carrying
+/// `limbs` RNS stripes, projecting the measured per-limb op latencies into
+/// an [`chehab_ir::OpCosts`] table (vec_add = 1.0 convention) for the
+/// dataflow scheduler's critical-path priorities.
+pub fn calibrate_rns_costs(
+    params: &BfvParameters,
+    limbs: usize,
+    iters: usize,
+) -> chehab_ir::OpCosts {
+    use chehab_fhe::{Encryptor, Evaluator, FheContext, KeyGenerator};
+    use chehab_runtime::{CalibratedCostModel, OpKind};
+    let ctx = FheContext::new(params.clone().with_limb_count(limbs)).expect("valid parameters");
+    let mut keygen = KeyGenerator::new(ctx.params(), 0xCA11B);
+    let mut encryptor = Encryptor::new(&ctx, &keygen.public_key());
+    let relin = keygen.relin_keys();
+    let galois = keygen.galois_keys(&[1]);
+    let mut evaluator = Evaluator::new(&ctx);
+    let ct_a = encryptor.encrypt_values(&[1, 2, 3]).expect("encrypt");
+    let ct_b = encryptor.encrypt_values(&[4, 5, 6]).expect("encrypt");
+    let pt = ctx.encode(&[7, 8, 9]).expect("encode");
+    let mut model = CalibratedCostModel::new();
+    // One untimed warm-up of each op primes twiddle tables and the arena.
+    std::hint::black_box(evaluator.add(&ct_a, &ct_b));
+    std::hint::black_box(evaluator.multiply(&ct_a, &ct_b, &relin));
+    for _ in 0..iters.max(1) {
+        let t = Instant::now();
+        std::hint::black_box(evaluator.add(&ct_a, &ct_b));
+        model.record(OpKind::Addition, t.elapsed());
+
+        let t = Instant::now();
+        std::hint::black_box(evaluator.negate(&ct_a));
+        model.record(OpKind::Negation, t.elapsed());
+
+        let t = Instant::now();
+        std::hint::black_box(evaluator.multiply(&ct_a, &ct_b, &relin));
+        model.record(OpKind::MulCtCt, t.elapsed());
+
+        let t = Instant::now();
+        std::hint::black_box(evaluator.multiply_plain(&ct_a, &pt));
+        model.record(OpKind::MulCtPt, t.elapsed());
+
+        let t = Instant::now();
+        let rotated = evaluator.rotate(&ct_a, 1, &galois).expect("keyed step");
+        model.record(OpKind::Rotation, t.elapsed());
+
+        let t = Instant::now();
+        let mut acc = evaluator.rotate(&ct_b, 1, &galois).expect("keyed step");
+        evaluator.add_assign(&mut acc, &rotated);
+        model.record(OpKind::Pack, t.elapsed());
+        std::hint::black_box(&acc);
+    }
+    model.to_op_costs(&chehab_ir::OpCosts::default())
+}
+
+/// Writes the RNS limb-count sweep (`measure_rns` rows plus the per-`k`
+/// calibrated [`chehab_ir::OpCosts`] tables) as `BENCH_rns.json`.
+pub fn write_rns_json(
+    path: impl AsRef<std::path::Path>,
+    runs: usize,
+    measurements: &[RnsMeasurement],
+    calibrations: &[(usize, chehab_ir::OpCosts)],
+) -> std::io::Result<std::path::PathBuf> {
+    use serde::Value;
+    let op_costs_json = |c: &chehab_ir::OpCosts| {
+        Value::Object(vec![
+            ("vec_add".into(), Value::Float(c.vec_add)),
+            ("vec_mul_ct_ct".into(), Value::Float(c.vec_mul_ct_ct)),
+            ("vec_mul_ct_pt".into(), Value::Float(c.vec_mul_ct_pt)),
+            ("rotation".into(), Value::Float(c.rotation)),
+            ("scalar_op".into(), Value::Float(c.scalar_op)),
+            ("plaintext_op".into(), Value::Float(c.plaintext_op)),
+        ])
+    };
+    let rows: Vec<Value> = measurements
+        .iter()
+        .map(|m| {
+            let points: Vec<Value> = m
+                .points
+                .iter()
+                .map(|p| {
+                    Value::Object(vec![
+                        ("limbs".into(), Value::Int(p.limbs as i64)),
+                        ("request_ms".into(), Value::Float(p.request_ms)),
+                        ("scaling_vs_k1".into(), Value::Float(p.scaling_vs_k1)),
+                    ])
+                })
+                .collect();
+            Value::Object(vec![
+                ("benchmark".into(), Value::Str(m.benchmark.clone())),
+                ("points".into(), Value::Array(points)),
+                (
+                    "identical_across_limbs".into(),
+                    Value::Bool(m.identical_across_limbs),
+                ),
+                ("correct".into(), Value::Bool(m.correct)),
+            ])
+        })
+        .collect();
+    // Geomean scaling per limb count beyond the first, across kernels.
+    let limb_counts: Vec<usize> = measurements
+        .first()
+        .map(|m| m.points.iter().map(|p| p.limbs).collect())
+        .unwrap_or_default();
+    let scaling_summary: Vec<Value> = limb_counts
+        .iter()
+        .enumerate()
+        .skip(1)
+        .map(|(i, &k)| {
+            let scalings: Vec<f64> = measurements
+                .iter()
+                .filter_map(|m| m.points.get(i).map(|p| p.scaling_vs_k1))
+                .collect();
+            let ones = vec![1.0; scalings.len()];
+            Value::Object(vec![
+                ("limbs".into(), Value::Int(k as i64)),
+                (
+                    "geomean_scaling_vs_k1".into(),
+                    Value::Float(geometric_mean_ratio(&scalings, &ones)),
+                ),
+            ])
+        })
+        .collect();
+    let calibration_rows: Vec<Value> = calibrations
+        .iter()
+        .map(|(k, costs)| {
+            Value::Object(vec![
+                ("limbs".into(), Value::Int(*k as i64)),
+                ("op_costs".into(), op_costs_json(costs)),
+            ])
+        })
+        .collect();
+    let document = Value::Object(vec![
+        ("experiment".into(), Value::Str("rns".into())),
+        ("runs".into(), Value::Int(runs as i64)),
+        ("host_cpus".into(), Value::Int(available_cpus() as i64)),
+        (
+            "simd_policy".into(),
+            Value::Str(SimdPolicy::global().name().into()),
+        ),
+        (
+            "semantics".into(),
+            Value::Str(
+                "Each kernel runs end to end at every limb count with a ModulusChain of \
+                 NTT-friendly primes (limb 0 = Goldilocks, generic limbs Barrett-reduced); \
+                 request_ms is the median warm per-request wall time, scaling_vs_k1 divides it \
+                 by the k=1 figure of the same kernel (payload arithmetic grows linearly in k; \
+                 slots, scheduling and noise accounting do not). identical_across_limbs asserts \
+                 the decrypted outputs are bit-identical at every k; correct asserts them \
+                 against the plaintext reference. calibration re-snapshots the per-op cost \
+                 model with k-limb ciphertexts and projects the measured latencies into \
+                 OpCosts tables (vec_add = 1.0 convention)"
+                    .into(),
+            ),
+        ),
+        (
+            "kernels_measured".into(),
+            Value::Int(measurements.len() as i64),
+        ),
+        ("scaling_summary".into(), Value::Array(scaling_summary)),
+        ("kernels".into(), Value::Array(rows)),
+        ("calibration".into(), Value::Array(calibration_rows)),
+    ]);
+    let path = path.as_ref().to_path_buf();
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&document).expect("stub serializer is infallible"),
+    )?;
+    Ok(path)
+}
+
 /// One (batch size, latency) point of a cross-request batching sweep.
 #[derive(Debug, Clone)]
 pub struct BatchingPoint {

@@ -910,6 +910,12 @@ impl FheSession {
         self.ctx.params()
     }
 
+    /// Number of RNS limbs every payload stripe in this session carries
+    /// (1 on the single-modulus Goldilocks path).
+    pub fn limb_count(&self) -> usize {
+        self.ctx.params().limb_count
+    }
+
     /// The session's leveled instruction schedule (lowered once at session
     /// construction).
     pub fn schedule(&self) -> &Schedule {

@@ -19,6 +19,7 @@ use crate::noise::NoiseModel;
 use crate::params::{BfvParameters, ParameterError};
 use crate::payload::CtPayload;
 use crate::poly::{galois_eval_permutation, Domain, NttTables, Poly, MODULUS};
+use crate::rns::ModulusChain;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::borrow::Cow;
@@ -96,6 +97,11 @@ struct ContextInner {
     params: BfvParameters,
     noise: NoiseModel,
     tables: Option<NttTables>,
+    /// The RNS modulus chain: limb 0 is the Goldilocks prime served by
+    /// `tables`, limbs `1..k` are generic NTT-friendly primes with their own
+    /// Barrett constants and (when compute simulation is on) Shoup NTT
+    /// tables. A bare one-limb marker when `limb_count == 1`.
+    chain: ModulusChain,
     /// NTT of the all-ones payload polynomial, precomputed once at context
     /// build: scalar-splat multiplications scale this instead of
     /// transforming a fresh splat per operation.
@@ -127,9 +133,25 @@ impl FheContext {
         let tables = params
             .simulate_compute
             .then(|| NttTables::new(params.payload_degree));
+        let chain = ModulusChain::new(
+            params.limb_count,
+            params.payload_degree,
+            params.simulate_compute,
+        );
         let ones_eval = tables.as_ref().map(|t| {
-            let mut ones = vec![1u64; params.payload_degree];
-            t.forward(&mut ones);
+            let degree = params.payload_degree;
+            let mut ones = vec![1u64; params.limb_count * degree];
+            // Limb 0 transforms under the shared Goldilocks tables (the
+            // k = 1 path verbatim); generic limbs under their own NTTs.
+            t.forward(&mut ones[..degree]);
+            for li in 1..params.limb_count {
+                let stripe = &mut ones[li * degree..(li + 1) * degree];
+                chain
+                    .limb(li)
+                    .ntt()
+                    .expect("generic limbs carry NTT tables under compute simulation")
+                    .forward(stripe);
+            }
             Poly::from_reduced(ones, Domain::Eval)
         });
         Ok(FheContext {
@@ -137,6 +159,7 @@ impl FheContext {
                 params,
                 noise,
                 tables,
+                chain,
                 ones_eval,
                 galois_perms: Mutex::new(HashMap::new()),
             }),
@@ -155,6 +178,12 @@ impl FheContext {
 
     pub(crate) fn tables(&self) -> Option<&NttTables> {
         self.inner.tables.as_ref()
+    }
+
+    /// The context's RNS modulus chain (a one-limb Goldilocks marker under
+    /// single-modulus parameters).
+    pub fn chain(&self) -> &ModulusChain {
+        &self.inner.chain
     }
 
     pub(crate) fn ones_eval(&self) -> Option<&Poly> {
@@ -324,35 +353,37 @@ impl Plaintext {
         }
     }
 
-    /// The payload splat polynomial of this plaintext in Eval form,
-    /// transformed on first use (`threads` bounds the intra-op NTT worker
-    /// count) and cached for every later use.
+    /// The payload splat polynomial of this plaintext in Eval form — all
+    /// `limb_count · degree` limb stripes — transformed on first use
+    /// (`threads` bounds the intra-op NTT worker count) and cached for
+    /// every later use.
     ///
     /// The cache is keyed to the first context the plaintext multiplies
     /// under; if the same plaintext is then used under a context with a
-    /// different payload degree, a fresh (owned, uncached) splat is built
-    /// at that degree instead — never a wrong-degree cache hit.
+    /// different payload shape, a fresh (owned, uncached) splat is built
+    /// at that shape instead — never a wrong-shape cache hit.
     pub(crate) fn splat_eval(
         &self,
-        degree: usize,
+        chain: &ModulusChain,
         tables: &NttTables,
         threads: usize,
         arena: &mut PolyArena,
     ) -> Cow<'_, Poly> {
+        let total = chain.limb_count() * chain.degree();
         if let Some(splat) = self.splat.get() {
-            if splat.degree() == degree {
+            if splat.degree() == total {
                 return Cow::Borrowed(splat);
             }
-            return Cow::Owned(self.build_splat(degree, tables, threads, arena));
+            return Cow::Owned(self.build_splat(chain, tables, threads, arena));
         }
-        let built = self.build_splat(degree, tables, threads, arena);
+        let built = self.build_splat(chain, tables, threads, arena);
         match self.splat.set(built) {
             Ok(()) => Cow::Borrowed(self.splat.get().expect("just set")),
             // A concurrent first use won the race; its value is identical
             // unless it ran under a different context, so re-check.
             Err(built) => {
                 let cached = self.splat.get().expect("set raced with an init");
-                if cached.degree() == degree {
+                if cached.degree() == total {
                     Cow::Borrowed(cached)
                 } else {
                     Cow::Owned(built)
@@ -361,23 +392,38 @@ impl Plaintext {
         }
     }
 
-    /// Builds the Eval-form payload splat of this plaintext at `degree`,
+    /// Builds the Eval-form payload splat of this plaintext across every
+    /// limb of `chain` (limb 0 under the shared Goldilocks `tables` — the
+    /// single-modulus path verbatim — generic limbs under their own NTTs),
     /// with the coefficient buffer drawn from `arena`.
     fn build_splat(
         &self,
-        degree: usize,
+        chain: &ModulusChain,
         tables: &NttTables,
         threads: usize,
         arena: &mut PolyArena,
     ) -> Poly {
-        let mut values = arena.take(degree);
-        for (out, &s) in values.iter_mut().zip(self.slots.iter().cycle()) {
+        let degree = chain.degree();
+        let mut values = arena.take(chain.limb_count() * degree);
+        for (out, &s) in values[..degree].iter_mut().zip(self.slots.iter().cycle()) {
             *out = s.wrapping_mul(0x9E37_79B9) % MODULUS;
         }
         if threads > 1 {
-            tables.forward_threaded(&mut values, threads);
+            tables.forward_threaded(&mut values[..degree], threads);
         } else {
-            tables.forward(&mut values);
+            tables.forward(&mut values[..degree]);
+        }
+        for li in 1..chain.limb_count() {
+            let q = chain.limb(li).modulus();
+            let stripe = &mut values[li * degree..(li + 1) * degree];
+            for (out, &s) in stripe.iter_mut().zip(self.slots.iter().cycle()) {
+                *out = s.wrapping_mul(0x9E37_79B9) % q;
+            }
+            chain
+                .limb(li)
+                .ntt()
+                .expect("generic limbs carry NTT tables under compute simulation")
+                .forward(stripe);
         }
         Poly::from_reduced(values, Domain::Eval)
     }
@@ -504,16 +550,33 @@ impl Encryptor {
 
     /// Samples one fresh Eval-form payload stripe from the arena (or an
     /// empty payload when compute simulation is off).
+    ///
+    /// Limb 0 of each component draws `degree` uniform Goldilocks values in
+    /// the exact order the single-modulus engine draws its stripe — which is
+    /// what keeps `k = 1` encryption bit-identical. Generic limbs are that
+    /// base sample lifted into their own residue fields (the CRT image of
+    /// one shared base polynomial), costing zero extra RNG draws.
     fn sample_payload(&mut self) -> Arc<CtPayload> {
         if !self.ctx.params().simulate_compute {
             return CtPayload::shared_empty();
         }
         let degree = self.ctx.params().payload_degree;
-        let mut stripe = self.arena.take(2 * degree);
-        for slot in stripe.iter_mut() {
-            *slot = self.rng.gen::<u64>() % MODULUS;
+        let k = self.ctx.params().limb_count;
+        let half = k * degree;
+        let mut stripe = self.arena.take(2 * half);
+        for component in 0..2 {
+            let base = component * half;
+            for j in 0..degree {
+                stripe[base + j] = self.rng.gen::<u64>() % MODULUS;
+            }
+            for li in 1..k {
+                let chain = self.ctx.chain();
+                for j in 0..degree {
+                    stripe[base + li * degree + j] = chain.lift_base(li, stripe[base + j]);
+                }
+            }
         }
-        Arc::new(CtPayload::from_stripe(stripe, Domain::Eval))
+        Arc::new(CtPayload::from_limb_stripe(stripe, k, Domain::Eval))
     }
 
     /// Encrypts a plaintext into a fresh ciphertext.
@@ -615,6 +678,12 @@ impl Decryptor {
                 consumed_bits: ct.noise_consumed_bits,
                 available_bits: available,
             });
+        }
+        // Multi-limb decryption pays the CRT reconstruction a production RNS
+        // engine performs: a Garner mixed-radix pass over every coefficient
+        // of the recovered component, kept live through the checksum.
+        if ct.payload.limbs() > 1 && !ct.payload.is_empty() {
+            std::hint::black_box(self.ctx.chain().crt_checksum(ct.payload.c0()));
         }
         Ok(&ct.slots)
     }

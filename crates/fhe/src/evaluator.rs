@@ -356,8 +356,12 @@ impl Evaluator {
             Arc::clone(&a.payload)
         } else {
             let mut out = self.arena.take(a.payload.stripe().len());
-            a.payload.neg2(&mut out, self.simd);
-            Arc::new(CtPayload::from_stripe(out, a.payload.domain()))
+            a.payload.neg2(&mut out, self.simd, self.ctx.chain());
+            Arc::new(CtPayload::from_limb_stripe(
+                out,
+                a.payload.limbs(),
+                a.payload.domain(),
+            ))
         };
         Ciphertext {
             slots,
@@ -379,11 +383,15 @@ impl Evaluator {
         a.noise_consumed_bits += self.ctx.noise_model().negate_bits;
         if !a.payload.is_empty() {
             if let Some(p) = Arc::get_mut(&mut a.payload) {
-                p.neg_assign2(self.simd);
+                p.neg_assign2(self.simd, self.ctx.chain());
             } else {
                 let mut out = self.arena.take(a.payload.stripe().len());
-                a.payload.neg2(&mut out, self.simd);
-                a.payload = Arc::new(CtPayload::from_stripe(out, a.payload.domain()));
+                a.payload.neg2(&mut out, self.simd, self.ctx.chain());
+                a.payload = Arc::new(CtPayload::from_limb_stripe(
+                    out,
+                    a.payload.limbs(),
+                    a.payload.domain(),
+                ));
             }
         }
     }
@@ -473,13 +481,16 @@ impl Evaluator {
         let ctx = self.ctx.clone();
         let payload = match ctx.tables() {
             Some(tables) if !a.payload.is_empty() => {
-                let degree = ctx.params().payload_degree;
-                let threads = self.intra_op_budget(degree);
-                let pt_poly = b.splat_eval(degree, tables, threads, &mut self.arena);
+                let threads = self.intra_op_budget(a.payload.stripe().len() / 2);
+                let pt_poly = b.splat_eval(ctx.chain(), tables, threads, &mut self.arena);
                 let mut out = self.arena.take(a.payload.stripe().len());
                 a.payload
-                    .mul_eval2(pt_poly.coeffs(), &mut out, threads, self.simd);
-                Arc::new(CtPayload::from_stripe(out, Domain::Eval))
+                    .mul_eval2(pt_poly.coeffs(), &mut out, threads, self.simd, ctx.chain());
+                Arc::new(CtPayload::from_limb_stripe(
+                    out,
+                    a.payload.limbs(),
+                    Domain::Eval,
+                ))
             }
             _ => Arc::clone(&a.payload),
         };
@@ -528,7 +539,7 @@ impl Evaluator {
         // ([`CtPayload::galois_eval2`]).
         let payload = if self.ctx.tables().is_some() && !a.payload.is_empty() {
             let degree = self.ctx.params().payload_degree;
-            let threads = self.intra_op_budget(degree);
+            let threads = self.intra_op_budget(a.payload.stripe().len() / 2);
             // The slot rotation corresponds to the Galois automorphism
             // x -> x^(2*shift + 1) (always odd, as the ring requires). Its
             // Eval-domain permutation depends only on the element, so the
@@ -549,8 +560,12 @@ impl Evaluator {
                 .unwrap_or_else(|| a.payload.c0());
             let mut out = self.arena.take(a.payload.stripe().len());
             a.payload
-                .galois_eval2(&perm, key, &mut out, threads, self.simd);
-            Arc::new(CtPayload::from_stripe(out, Domain::Eval))
+                .galois_eval2(&perm, key, &mut out, threads, self.simd, self.ctx.chain());
+            Arc::new(CtPayload::from_limb_stripe(
+                out,
+                a.payload.limbs(),
+                Domain::Eval,
+            ))
         } else {
             Arc::clone(&a.payload)
         };
@@ -596,11 +611,17 @@ impl Evaluator {
         }
         let mut out = self.arena.take(a.payload.stripe().len());
         if negate_b {
-            a.payload.sub2(&b.payload, &mut out, self.simd);
+            a.payload
+                .sub2(&b.payload, &mut out, self.simd, self.ctx.chain());
         } else {
-            a.payload.add2(&b.payload, &mut out, self.simd);
+            a.payload
+                .add2(&b.payload, &mut out, self.simd, self.ctx.chain());
         }
-        Arc::new(CtPayload::from_stripe(out, a.payload.domain()))
+        Arc::new(CtPayload::from_limb_stripe(
+            out,
+            a.payload.limbs(),
+            a.payload.domain(),
+        ))
     }
 
     /// In-place variant of [`Evaluator::payload_pointwise`]: mutates `a`'s
@@ -611,18 +632,24 @@ impl Evaluator {
         }
         if let Some(p) = Arc::get_mut(&mut a.payload) {
             if negate_b {
-                p.sub_assign2(&b.payload, self.simd);
+                p.sub_assign2(&b.payload, self.simd, self.ctx.chain());
             } else {
-                p.add_assign2(&b.payload, self.simd);
+                p.add_assign2(&b.payload, self.simd, self.ctx.chain());
             }
         } else {
             let mut out = self.arena.take(a.payload.stripe().len());
             if negate_b {
-                a.payload.sub2(&b.payload, &mut out, self.simd);
+                a.payload
+                    .sub2(&b.payload, &mut out, self.simd, self.ctx.chain());
             } else {
-                a.payload.add2(&b.payload, &mut out, self.simd);
+                a.payload
+                    .add2(&b.payload, &mut out, self.simd, self.ctx.chain());
             }
-            a.payload = Arc::new(CtPayload::from_stripe(out, a.payload.domain()));
+            a.payload = Arc::new(CtPayload::from_limb_stripe(
+                out,
+                a.payload.limbs(),
+                a.payload.domain(),
+            ));
         }
     }
 
@@ -637,9 +664,9 @@ impl Evaluator {
         if self.ctx.tables().is_none() || a.payload.is_empty() || b.payload.is_empty() {
             return Arc::clone(&a.payload);
         }
-        let n = a.payload.degree();
-        let threads = self.intra_op_budget(n);
-        let mut out = self.arena.take(2 * n);
+        let half = a.payload.stripe().len() / 2;
+        let threads = self.intra_op_budget(half);
+        let mut out = self.arena.take(2 * half);
         // Key-switch multipliers: the relin key's pre-transformed stripe
         // (fall back to operand components if key material was built
         // without compute simulation).
@@ -651,6 +678,7 @@ impl Evaluator {
                 &mut out,
                 threads,
                 self.simd,
+                self.ctx.chain(),
             ),
             None => a.payload.mul_add_eval2(
                 &b.payload,
@@ -659,9 +687,14 @@ impl Evaluator {
                 &mut out,
                 threads,
                 self.simd,
+                self.ctx.chain(),
             ),
         }
-        Arc::new(CtPayload::from_stripe(out, Domain::Eval))
+        Arc::new(CtPayload::from_limb_stripe(
+            out,
+            a.payload.limbs(),
+            Domain::Eval,
+        ))
     }
 
     /// Multiplies a ciphertext by a scalar constant (implemented as a
@@ -678,13 +711,22 @@ impl Evaluator {
         let ctx = self.ctx.clone();
         let payload = match ctx.ones_eval() {
             Some(ones) if !a.payload.is_empty() => {
-                let degree = ctx.params().payload_degree;
-                let threads = self.intra_op_budget(degree);
+                let threads = self.intra_op_budget(a.payload.stripe().len() / 2);
                 let k = reduced.max(1);
                 let mut out = self.arena.take(a.payload.stripe().len());
-                a.payload
-                    .mul_scalar_eval2(ones.coeffs(), k, &mut out, threads, self.simd);
-                Arc::new(CtPayload::from_stripe(out, Domain::Eval))
+                a.payload.mul_scalar_eval2(
+                    ones.coeffs(),
+                    k,
+                    &mut out,
+                    threads,
+                    self.simd,
+                    ctx.chain(),
+                );
+                Arc::new(CtPayload::from_limb_stripe(
+                    out,
+                    a.payload.limbs(),
+                    Domain::Eval,
+                ))
             }
             _ => Arc::clone(&a.payload),
         };

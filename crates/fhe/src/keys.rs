@@ -22,6 +22,7 @@ use crate::arena::PolyArena;
 use crate::params::BfvParameters;
 use crate::payload::CtPayload;
 use crate::poly::{Domain, NttTables, Poly, MODULUS};
+use crate::rns::ModulusChain;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -123,6 +124,11 @@ pub struct KeyGenerator {
     /// NTT tables for the cost-faithful key-switch-key sampling; present
     /// only when the parameters simulate compute.
     tables: Option<NttTables>,
+    /// The RNS modulus chain under multi-limb parameters: key material
+    /// carries one stripe per limb, sampled and transformed per limb the
+    /// same way ciphertext payloads are. Present only when the parameters
+    /// simulate compute.
+    chain: Option<ModulusChain>,
     /// Pool for the sampling scratch buffers: one key generator issues many
     /// key-switch keys (relinearization plus one Galois key per rotation
     /// step), and every one of them draws its scratch and kept-payload
@@ -140,11 +146,15 @@ impl KeyGenerator {
         let tables = params
             .simulate_compute
             .then(|| NttTables::new(params.payload_degree));
+        let chain = params
+            .simulate_compute
+            .then(|| ModulusChain::new(params.limb_count, params.payload_degree, true));
         let mut keygen = KeyGenerator {
             params: params.clone(),
             rng,
             id,
             tables,
+            chain,
             arena: PolyArena::new(),
         };
         // Secret-key sampling plus the public key's (a, b) pair: three
@@ -153,13 +163,10 @@ impl KeyGenerator {
         // buffer serves all three — the polynomials are discarded, only
         // their arithmetic volume matters.
         if let Some(tables) = &keygen.tables {
-            let degree = keygen.params.payload_degree;
-            let mut scratch = keygen.arena.take(degree);
+            let chain = keygen.chain.as_ref().expect("chain built with tables");
+            let mut scratch = keygen.arena.take(chain.limb_count() * chain.degree());
             for _ in 0..3 {
-                for slot in scratch.iter_mut() {
-                    *slot = keygen.rng.gen::<u64>() % MODULUS;
-                }
-                tables.forward(&mut scratch);
+                sample_limb_poly(&mut keygen.rng, tables, chain, &mut scratch);
             }
             keygen.arena.put(scratch);
         }
@@ -176,22 +183,20 @@ impl KeyGenerator {
     /// simulation is off.
     fn simulate_keyswitch_keygen(&mut self) -> Option<(Poly, Poly)> {
         let tables = self.tables.as_ref()?;
+        let chain = self.chain.as_ref().expect("chain built with tables");
         let digits = (self.params.coeff_modulus_bits as usize).div_ceil(60);
-        let degree = self.params.payload_degree;
+        let total = chain.limb_count() * chain.degree();
         let mut kept: Vec<Poly> = Vec::with_capacity(2);
         // Discarded samples (everything past the first two) share one
         // scratch buffer: only the kept pair needs owned storage, and both
         // the scratch and the kept copies come from the generator's arena —
         // a session generating dozens of Galois keys round-trips the same
         // few buffers throughout.
-        let mut scratch = self.arena.take(degree);
+        let mut scratch = self.arena.take(total);
         for _ in 0..(2 * digits).max(2) {
-            for slot in scratch.iter_mut() {
-                *slot = self.rng.gen::<u64>() % MODULUS;
-            }
-            tables.forward(&mut scratch);
+            sample_limb_poly(&mut self.rng, tables, chain, &mut scratch);
             if kept.len() < 2 {
-                let mut owned = self.arena.take(degree);
+                let mut owned = self.arena.take(total);
                 owned.copy_from_slice(&scratch);
                 kept.push(Poly::from_reduced(owned, Domain::Eval));
             }
@@ -205,8 +210,10 @@ impl KeyGenerator {
     /// [`KeyGenerator::simulate_keyswitch_keygen`], packed into the striped
     /// `[s0 | s1]` layout the fused multiplication kernel consumes.
     fn simulate_keyswitch_keygen_striped(&mut self) -> Option<CtPayload> {
+        let limbs = self.params.limb_count;
         let (first, second) = self.simulate_keyswitch_keygen()?;
-        let payload = CtPayload::from_components(first.coeffs(), second.coeffs(), Domain::Eval);
+        let payload =
+            CtPayload::from_limb_components(first.coeffs(), second.coeffs(), limbs, Domain::Eval);
         // The component polys were copied into the stripe; their buffers go
         // back to the pool for the next key's sampling pass.
         self.arena.put(first.into_coeffs());
@@ -292,6 +299,39 @@ impl KeyGenerator {
     /// Internal key-pair identity for public keys.
     pub(crate) fn public_key_id(key: &PublicKey) -> u64 {
         key.id
+    }
+}
+
+/// Samples one uniform payload polynomial across every limb of `chain` into
+/// `buf` (`limb_count · degree` values) and moves each limb stripe into the
+/// NTT domain. Limb 0 draws `degree` values from the RNG in the exact order
+/// the single-modulus engine draws them — `k = 1` keygen is bit-identical —
+/// and generic limbs are that base sample lifted into their own residue
+/// fields (no extra draws), each transformed under its own limb NTT.
+fn sample_limb_poly(
+    rng: &mut ChaCha8Rng,
+    tables: &NttTables,
+    chain: &ModulusChain,
+    buf: &mut [u64],
+) {
+    let degree = chain.degree();
+    debug_assert_eq!(buf.len(), chain.limb_count() * degree);
+    for slot in buf[..degree].iter_mut() {
+        *slot = rng.gen::<u64>() % MODULUS;
+    }
+    for li in 1..chain.limb_count() {
+        let (head, rest) = buf.split_at_mut(li * degree);
+        for (out, &b) in rest[..degree].iter_mut().zip(&head[..degree]) {
+            *out = chain.lift_base(li, b);
+        }
+    }
+    tables.forward(&mut buf[..degree]);
+    for li in 1..chain.limb_count() {
+        chain
+            .limb(li)
+            .ntt()
+            .expect("generic limbs carry NTT tables")
+            .forward(&mut buf[li * degree..(li + 1) * degree]);
     }
 }
 

@@ -57,6 +57,7 @@ mod noise;
 mod params;
 pub mod payload;
 pub mod poly;
+pub mod rns;
 pub mod simd;
 
 pub use arena::{ArenaPool, ArenaPoolStats, PolyArena};
@@ -67,4 +68,5 @@ pub use noise::NoiseModel;
 pub use params::{BfvParameters, ParameterError, SecurityLevel};
 pub use payload::CtPayload;
 pub use poly::TransformStats;
+pub use rns::ModulusChain;
 pub use simd::SimdPolicy;

@@ -26,6 +26,8 @@ pub enum ParameterError {
     CoeffModulusTooSmall,
     /// The payload degree used for cost simulation is not a power of two.
     InvalidPayloadDegree(usize),
+    /// The RNS limb count is outside the supported `1..=8` range.
+    InvalidLimbCount(usize),
 }
 
 impl fmt::Display for ParameterError {
@@ -43,6 +45,9 @@ impl fmt::Display for ParameterError {
             }
             ParameterError::InvalidPayloadDegree(n) => {
                 write!(f, "payload degree {n} must be a power of two of at least 8")
+            }
+            ParameterError::InvalidLimbCount(k) => {
+                write!(f, "RNS limb count {k} must be between 1 and 8")
             }
         }
     }
@@ -105,6 +110,12 @@ pub struct BfvParameters {
     /// Whether the execution engine performs the payload polynomial
     /// arithmetic at all (disable for pure functional tests).
     pub simulate_compute: bool,
+    /// Number of RNS limbs `k` the payload polynomials carry. Limb 0 is
+    /// always the Goldilocks prime (the exact, bit-identical single-modulus
+    /// engine); limbs `1..k` are NTT-friendly primes below `2^61` that
+    /// multiply the simulated coefficient precision — and the arithmetic
+    /// volume per operation — by `k`.
+    pub limb_count: usize,
 }
 
 impl BfvParameters {
@@ -120,6 +131,7 @@ impl BfvParameters {
             security_level: SecurityLevel::Tc128,
             payload_degree: 4096,
             simulate_compute: true,
+            limb_count: 1,
         }
     }
 
@@ -132,7 +144,14 @@ impl BfvParameters {
             security_level: SecurityLevel::Tc128,
             payload_degree: 64,
             simulate_compute: false,
+            limb_count: 1,
         }
+    }
+
+    /// Returns a copy of the parameters with the RNS limb count set to `k`.
+    pub fn with_limb_count(mut self, k: usize) -> Self {
+        self.limb_count = k;
+        self
     }
 
     /// Validates the parameter set.
@@ -157,6 +176,9 @@ impl BfvParameters {
         }
         if u64::from(self.coeff_modulus_bits) <= 64 - self.plain_modulus.leading_zeros() as u64 {
             return Err(ParameterError::CoeffModulusTooSmall);
+        }
+        if self.limb_count == 0 || self.limb_count > 8 {
+            return Err(ParameterError::InvalidLimbCount(self.limb_count));
         }
         Ok(())
     }
@@ -272,6 +294,20 @@ mod tests {
         let p = BfvParameters::default_128();
         assert!(p.ciphertext_size_bytes() > 1_000_000);
         assert!(p.galois_key_size_bytes() > p.ciphertext_size_bytes());
+    }
+
+    #[test]
+    fn limb_count_is_bounded() {
+        let p = BfvParameters::insecure_test().with_limb_count(0);
+        assert_eq!(p.validate(), Err(ParameterError::InvalidLimbCount(0)));
+        let p = BfvParameters::insecure_test().with_limb_count(9);
+        assert_eq!(p.validate(), Err(ParameterError::InvalidLimbCount(9)));
+        for k in 1..=8 {
+            BfvParameters::insecure_test()
+                .with_limb_count(k)
+                .validate()
+                .unwrap();
+        }
     }
 
     #[test]

@@ -6,9 +6,9 @@
 //! pointwise operation walk the same auxiliary data (plaintext splats,
 //! key-switch polynomials, Galois permutations) twice — once per component —
 //! and costs two output allocations per operation. A [`CtPayload`] instead
-//! stores both components in **one contiguous stripe** `[c0 | c1]` of
-//! `2 * degree` values, tagged with the [`Domain`] the values are in, and
-//! the fused kernels below update both components in a single pass:
+//! stores both components in **one contiguous stripe**, tagged with the
+//! [`Domain`] the values are in, and the fused kernels below update both
+//! components in a single pass:
 //!
 //! - [`CtPayload::mul_eval2`] — both components times one shared pointwise
 //!   multiplier (ciphertext–plaintext products),
@@ -20,6 +20,24 @@
 //!   their `_assign` variants — component-wise ring addition as one stripe
 //!   pass.
 //!
+//! # RNS limb stripes
+//!
+//! Under a `k`-limb [`ModulusChain`] the stripe
+//! generalizes to `[c0_q0 | c0_q1 | … | c0_q(k-1) | c1_q0 | … | c1_q(k-1)]`
+//! — each component half carries `k` consecutive *limb stripes* of `degree`
+//! values, one per chain prime, `2·k·degree` values in all. Every kernel
+//! walks the limbs in lockstep by splitting each intra-op chunk at limb
+//! boundaries: segments of limb 0 run the existing Goldilocks ε-identity
+//! SIMD kernels **verbatim** (which is what makes `k = 1` bit-identical to
+//! the single-modulus engine — the walk degenerates to exactly one segment
+//! per chunk), and segments of limbs `1..k` run the Barrett kernels of
+//! [`crate::rns`] under the same [`SimdPolicy`] dispatch.
+//!
+//! Because `par_chunks2` chunks the `k·degree` component halves, the
+//! intra-op split is limb-first by construction: with `k` limbs and up to
+//! `k` worker threads each chunk is one whole limb stripe, and only finer
+//! grants split within a limb's coefficient range.
+//!
 //! All kernels write into caller-provided stripe buffers (typically from a
 //! [`PolyArena`](crate::PolyArena)) and walk the two component halves in
 //! lockstep, so the shared per-coefficient operands (multiplier, key,
@@ -28,7 +46,9 @@
 //! bit-identical at every thread count.
 
 use crate::poly::Domain;
+use crate::rns::{self, ModulusChain};
 use crate::simd::{self, SimdPolicy};
+use std::ops::Range;
 
 /// Stripes shorter than this never split across intra-op worker threads:
 /// below it, thread-spawn latency exceeds the chunk work a helper would take
@@ -68,17 +88,39 @@ pub(crate) fn par_chunks2(
     });
 }
 
+/// Calls `f(limb_index, segment)` for every maximal sub-range of
+/// `start..end` (absolute positions within a `k·degree` component half)
+/// that stays inside one limb stripe of `degree` values. With one limb the
+/// walk degenerates to a single call covering the whole range.
+fn for_limb_segments(
+    start: usize,
+    end: usize,
+    degree: usize,
+    mut f: impl FnMut(usize, Range<usize>),
+) {
+    let mut pos = start;
+    while pos < end {
+        let limb = pos / degree;
+        let seg_end = end.min((limb + 1) * degree);
+        f(limb, pos..seg_end);
+        pos = seg_end;
+    }
+}
+
 /// Both payload components of one ciphertext in a single contiguous stripe
-/// `[c0 | c1]`, tagged with the [`Domain`] the stored values are in.
+/// `[c0 | c1]` — under `k` RNS limbs, `[c0_q0 | … | c0_q(k-1) | c1_q0 | …
+/// | c1_q(k-1)]` — tagged with the [`Domain`] the stored values are in.
 ///
 /// The stripe is either empty (compute simulation off) or exactly
-/// `2 * degree` values long, `degree` a power of two. Construction from an
-/// arbitrary buffer goes through [`CtPayload::from_stripe`]; the fused
-/// kernels are documented on the type's methods.
+/// `2 · limbs · degree` values long, `degree` a power of two. Construction
+/// from an arbitrary buffer goes through [`CtPayload::from_stripe`]
+/// (single-limb) or [`CtPayload::from_limb_stripe`]; the fused kernels are
+/// documented on the type's methods.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CtPayload {
     data: Vec<u64>,
     domain: Domain,
+    limbs: usize,
 }
 
 impl CtPayload {
@@ -87,6 +129,7 @@ impl CtPayload {
         CtPayload {
             data: Vec::new(),
             domain: Domain::Eval,
+            limbs: 1,
         }
     }
 
@@ -98,9 +141,10 @@ impl CtPayload {
         std::sync::Arc::clone(EMPTY.get_or_init(|| std::sync::Arc::new(CtPayload::empty())))
     }
 
-    /// Wraps a `[c0 | c1]` stripe buffer. `data.len()` must be `2 * degree`
-    /// for a power-of-two `degree` (or zero for the empty payload); the
-    /// values must already be canonical representatives modulo `p`.
+    /// Wraps a single-limb `[c0 | c1]` stripe buffer. `data.len()` must be
+    /// `2 * degree` for a power-of-two `degree` (or zero for the empty
+    /// payload); the values must already be canonical representatives
+    /// modulo `p`.
     ///
     /// # Panics
     ///
@@ -110,17 +154,50 @@ impl CtPayload {
             data.is_empty() || (data.len().is_multiple_of(2) && (data.len() / 2).is_power_of_two()),
             "stripe length must be twice a power-of-two degree"
         );
-        CtPayload { data, domain }
+        CtPayload {
+            data,
+            domain,
+            limbs: 1,
+        }
     }
 
-    /// Builds a stripe from two equal-length component slices (convenience
-    /// for tests and for converting split-layout material).
+    /// Wraps a `k`-limb stripe buffer of `2 · limbs · degree` values laid
+    /// out `[c0_q0 | … | c0_q(k-1) | c1_q0 | … | c1_q(k-1)]`. Each limb
+    /// stripe's values must be canonical residues of that limb's prime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limbs` is zero or the length is not zero or
+    /// `2 · limbs` times a power of two.
+    pub fn from_limb_stripe(data: Vec<u64>, limbs: usize, domain: Domain) -> Self {
+        assert!(limbs >= 1, "a payload carries at least one limb");
+        assert!(
+            data.is_empty()
+                || (data.len().is_multiple_of(2 * limbs)
+                    && (data.len() / (2 * limbs)).is_power_of_two()),
+            "stripe length must be 2*limbs times a power-of-two degree"
+        );
+        CtPayload {
+            data,
+            domain,
+            limbs,
+        }
+    }
+
+    /// Builds a single-limb stripe from two equal-length component slices
+    /// (convenience for tests and for converting split-layout material).
     pub fn from_components(c0: &[u64], c1: &[u64], domain: Domain) -> Self {
+        CtPayload::from_limb_components(c0, c1, 1, domain)
+    }
+
+    /// Builds a `k`-limb stripe from two equal-length component halves of
+    /// `limbs · degree` values each.
+    pub fn from_limb_components(c0: &[u64], c1: &[u64], limbs: usize, domain: Domain) -> Self {
         assert_eq!(c0.len(), c1.len(), "components must have equal degree");
         let mut data = Vec::with_capacity(2 * c0.len());
         data.extend_from_slice(c0);
         data.extend_from_slice(c1);
-        CtPayload::from_stripe(data, domain)
+        CtPayload::from_limb_stripe(data, limbs, domain)
     }
 
     /// `true` for the empty payload (compute simulation off).
@@ -128,9 +205,14 @@ impl CtPayload {
         self.data.is_empty()
     }
 
-    /// The payload polynomial degree (`0` for the empty payload).
+    /// The payload polynomial degree per limb (`0` for the empty payload).
     pub fn degree(&self) -> usize {
-        self.data.len() / 2
+        self.data.len() / (2 * self.limbs)
+    }
+
+    /// Number of RNS limb stripes each component carries.
+    pub fn limbs(&self) -> usize {
+        self.limbs
     }
 
     /// The domain the stored values are in.
@@ -138,25 +220,25 @@ impl CtPayload {
         self.domain
     }
 
-    /// The whole `[c0 | c1]` stripe.
+    /// The whole stripe (both components, all limbs).
     pub fn stripe(&self) -> &[u64] {
         &self.data
     }
 
-    /// The first payload component.
+    /// The first payload component (`limbs · degree` values).
     pub fn c0(&self) -> &[u64] {
-        &self.data[..self.degree()]
+        &self.data[..self.data.len() / 2]
     }
 
-    /// The second payload component.
+    /// The second payload component (`limbs · degree` values).
     pub fn c1(&self) -> &[u64] {
-        &self.data[self.degree()..]
+        &self.data[self.data.len() / 2..]
     }
 
     /// Mutable views of both components (disjoint halves of the stripe).
     pub fn split_mut(&mut self) -> (&mut [u64], &mut [u64]) {
-        let degree = self.degree();
-        self.data.split_at_mut(degree)
+        let half = self.data.len() / 2;
+        self.data.split_at_mut(half)
     }
 
     /// Unwraps the stripe buffer (for recycling into a
@@ -166,29 +248,60 @@ impl CtPayload {
     }
 
     /// Fused ciphertext–plaintext product: both components multiply the
-    /// shared `mult` vector in one lockstep pass (`out.c0[i] = c0[i] *
-    /// mult[i]`, `out.c1[i] = c1[i] * mult[i]`), so `mult` is read once per
-    /// coefficient instead of once per component. `out` must be a
-    /// `2 * degree` stripe buffer; `threads` bounds the intra-op chunking
-    /// (bit-identical at every value).
-    pub fn mul_eval2(&self, mult: &[u64], out: &mut [u64], threads: usize, policy: SimdPolicy) {
-        let n = self.degree();
-        debug_assert!(mult.len() >= n);
+    /// shared `mult` vector (a full `limbs · degree` multiplier) in one
+    /// lockstep pass (`out.c0[j] = c0[j] * mult[j]`, `out.c1[j] = c1[j] *
+    /// mult[j]`, each limb segment reduced by its own prime), so `mult` is
+    /// read once per coefficient instead of once per component. `out` must
+    /// be a stripe buffer of `self`'s length; `threads` bounds the intra-op
+    /// chunking (bit-identical at every value).
+    pub fn mul_eval2(
+        &self,
+        mult: &[u64],
+        out: &mut [u64],
+        threads: usize,
+        policy: SimdPolicy,
+        chain: &ModulusChain,
+    ) {
+        let half = self.data.len() / 2;
+        debug_assert!(mult.len() >= half);
         debug_assert_eq!(out.len(), self.data.len());
+        let degree = self.degree();
         let (a0, a1) = (self.c0(), self.c1());
-        let (out0, out1) = out.split_at_mut(n);
+        let (out0, out1) = out.split_at_mut(half);
         par_chunks2(out0, out1, threads, |offset, c0, c1| {
-            let len = c0.len();
-            let (x0, x1) = (&a0[offset..offset + len], &a1[offset..offset + len]);
-            let m = &mult[offset..offset + len];
-            simd::mul2_chunk(x0, x1, m, c0, c1, policy);
+            for_limb_segments(offset, offset + c0.len(), degree, |li, r| {
+                let w = (r.start - offset)..(r.end - offset);
+                let limb = chain.limb(li);
+                if limb.is_goldilocks() {
+                    simd::mul2_chunk(
+                        &a0[r.clone()],
+                        &a1[r.clone()],
+                        &mult[r],
+                        &mut c0[w.clone()],
+                        &mut c1[w],
+                        policy,
+                    );
+                } else {
+                    simd::mul2_chunk_q(
+                        &a0[r.clone()],
+                        &a1[r.clone()],
+                        &mult[r],
+                        &mut c0[w.clone()],
+                        &mut c1[w],
+                        limb.modulus(),
+                        limb.mu(),
+                        policy,
+                    );
+                }
+            });
         });
     }
 
     /// Fused scalar-splat product: like [`CtPayload::mul_eval2`] with the
-    /// shared multiplier scaled by `k` on the fly (`mult[i] * k` computed
+    /// shared multiplier scaled by `k` on the fly (`mult[j] * k` computed
     /// once per coefficient, shared by both components), so no scaled-splat
-    /// temporary is ever materialized.
+    /// temporary is ever materialized. On generic limbs `k` is first
+    /// reduced into the limb's residue field.
     pub fn mul_scalar_eval2(
         &self,
         mult: &[u64],
@@ -196,17 +309,41 @@ impl CtPayload {
         out: &mut [u64],
         threads: usize,
         policy: SimdPolicy,
+        chain: &ModulusChain,
     ) {
-        let n = self.degree();
-        debug_assert!(mult.len() >= n);
+        let half = self.data.len() / 2;
+        debug_assert!(mult.len() >= half);
         debug_assert_eq!(out.len(), self.data.len());
+        let degree = self.degree();
         let (a0, a1) = (self.c0(), self.c1());
-        let (out0, out1) = out.split_at_mut(n);
+        let (out0, out1) = out.split_at_mut(half);
         par_chunks2(out0, out1, threads, |offset, c0, c1| {
-            let len = c0.len();
-            let (x0, x1) = (&a0[offset..offset + len], &a1[offset..offset + len]);
-            let m = &mult[offset..offset + len];
-            simd::mul_scalar2_chunk(x0, x1, m, k, c0, c1, policy);
+            for_limb_segments(offset, offset + c0.len(), degree, |li, r| {
+                let w = (r.start - offset)..(r.end - offset);
+                let limb = chain.limb(li);
+                if limb.is_goldilocks() {
+                    simd::mul_scalar2_chunk(
+                        &a0[r.clone()],
+                        &a1[r.clone()],
+                        &mult[r],
+                        k,
+                        &mut c0[w.clone()],
+                        &mut c1[w],
+                        policy,
+                    );
+                } else {
+                    rns::mul_scalar2_chunk_q(
+                        &a0[r.clone()],
+                        &a1[r.clone()],
+                        &mult[r],
+                        k % limb.modulus(),
+                        &mut c0[w.clone()],
+                        &mut c1[w],
+                        limb.modulus(),
+                        limb.mu(),
+                    );
+                }
+            });
         });
     }
 
@@ -221,8 +358,9 @@ impl CtPayload {
     /// ```
     ///
     /// Both output components are written in lockstep (the two halves of the
-    /// `out` stripe), so chunking across `threads` workers never reorders a
-    /// reduction.
+    /// `out` stripe), each limb segment under its own prime, so chunking
+    /// across `threads` workers never reorders a reduction.
+    #[allow(clippy::too_many_arguments)]
     pub fn mul_add_eval2(
         &self,
         other: &CtPayload,
@@ -231,29 +369,55 @@ impl CtPayload {
         out: &mut [u64],
         threads: usize,
         policy: SimdPolicy,
+        chain: &ModulusChain,
     ) {
-        let n = self.degree();
-        debug_assert_eq!(other.degree(), n);
-        debug_assert_eq!(s0.len(), n);
-        debug_assert_eq!(s1.len(), n);
-        debug_assert_eq!(out.len(), 2 * n);
+        let half = self.data.len() / 2;
+        debug_assert_eq!(other.data.len(), self.data.len());
+        debug_assert_eq!(s0.len(), half);
+        debug_assert_eq!(s1.len(), half);
+        debug_assert_eq!(out.len(), self.data.len());
+        let degree = self.degree();
         let (a0, a1) = (self.c0(), self.c1());
         let (b0, b1) = (other.c0(), other.c1());
-        let (out0, out1) = out.split_at_mut(n);
+        let (out0, out1) = out.split_at_mut(half);
         par_chunks2(out0, out1, threads, |offset, c0, c1| {
-            let len = c0.len();
-            let range = offset..offset + len;
-            let (a0, a1) = (&a0[range.clone()], &a1[range.clone()]);
-            let (b0, b1) = (&b0[range.clone()], &b1[range.clone()]);
-            let (s0, s1) = (&s0[range.clone()], &s1[range]);
-            simd::mul_add2_chunk(a0, a1, b0, b1, s0, s1, c0, c1, policy);
+            for_limb_segments(offset, offset + c0.len(), degree, |li, r| {
+                let w = (r.start - offset)..(r.end - offset);
+                let limb = chain.limb(li);
+                if limb.is_goldilocks() {
+                    simd::mul_add2_chunk(
+                        &a0[r.clone()],
+                        &a1[r.clone()],
+                        &b0[r.clone()],
+                        &b1[r.clone()],
+                        &s0[r.clone()],
+                        &s1[r],
+                        &mut c0[w.clone()],
+                        &mut c1[w],
+                        policy,
+                    );
+                } else {
+                    rns::mul_add2_chunk_q(
+                        &a0[r.clone()],
+                        &a1[r.clone()],
+                        &b0[r.clone()],
+                        &b1[r.clone()],
+                        &s0[r.clone()],
+                        &s1[r],
+                        &mut c0[w.clone()],
+                        &mut c1[w],
+                        limb.modulus(),
+                        limb.mu(),
+                    );
+                }
+            });
         });
     }
 
     /// Fused rotation payload: Galois gather (`perm`, an Eval-domain index
-    /// permutation) and key-switch product (`key`) applied to both
-    /// components in one pass over the stripe: `out[base + i] =
-    /// self[base + perm[i]] * key[i]` where `base` selects the component.
+    /// permutation over one limb's `degree` positions, applied within each
+    /// limb stripe) and key-switch product (`key`, a full `limbs · degree`
+    /// multiplier) applied to both components in one pass.
     ///
     /// # Panics
     ///
@@ -266,69 +430,196 @@ impl CtPayload {
         out: &mut [u64],
         threads: usize,
         policy: SimdPolicy,
+        chain: &ModulusChain,
     ) {
         debug_assert_eq!(self.domain, Domain::Eval, "galois_eval2 needs Eval form");
-        let n = self.degree();
-        debug_assert_eq!(perm.len(), n);
-        debug_assert_eq!(key.len(), n);
+        let half = self.data.len() / 2;
+        let degree = self.degree();
+        debug_assert_eq!(perm.len(), degree);
+        debug_assert_eq!(key.len(), half);
         debug_assert_eq!(out.len(), self.data.len());
         let (a0, a1) = (self.c0(), self.c1());
-        let (out0, out1) = out.split_at_mut(n);
+        let (out0, out1) = out.split_at_mut(half);
         par_chunks2(out0, out1, threads, |offset, c0, c1| {
-            let len = c0.len();
-            let p = &perm[offset..offset + len];
-            let k = &key[offset..offset + len];
-            simd::galois2_chunk(a0, a1, p, k, c0, c1, policy);
+            for_limb_segments(offset, offset + c0.len(), degree, |li, r| {
+                let base = li * degree;
+                let w = (r.start - offset)..(r.end - offset);
+                let p = &perm[(r.start - base)..(r.end - base)];
+                let k = &key[r.clone()];
+                let (s0, s1) = (&a0[base..base + degree], &a1[base..base + degree]);
+                let limb = chain.limb(li);
+                if limb.is_goldilocks() {
+                    simd::galois2_chunk(s0, s1, p, k, &mut c0[w.clone()], &mut c1[w], policy);
+                } else {
+                    rns::galois2_chunk_q(
+                        s0,
+                        s1,
+                        p,
+                        k,
+                        &mut c0[w.clone()],
+                        &mut c1[w],
+                        limb.modulus(),
+                        limb.mu(),
+                    );
+                }
+            });
         });
     }
 
     /// Component-wise payload addition as one stripe pass:
-    /// `out[j] = self[j] + other[j]`.
-    pub fn add2(&self, other: &CtPayload, out: &mut [u64], policy: SimdPolicy) {
+    /// `out[j] = self[j] + other[j]`, each limb under its own prime.
+    pub fn add2(
+        &self,
+        other: &CtPayload,
+        out: &mut [u64],
+        policy: SimdPolicy,
+        chain: &ModulusChain,
+    ) {
         debug_assert_eq!(self.data.len(), other.data.len());
         debug_assert_eq!(self.domain, other.domain, "domain mismatch in add2");
         debug_assert_eq!(out.len(), self.data.len());
-        simd::add_stripe(&self.data, &other.data, out, policy);
+        if self.limbs == 1 {
+            simd::add_stripe(&self.data, &other.data, out, policy);
+            return;
+        }
+        let degree = self.degree();
+        for_limb_segments(0, self.data.len(), degree, |si, r| {
+            let limb = chain.limb(si % self.limbs);
+            if limb.is_goldilocks() {
+                simd::add_stripe(
+                    &self.data[r.clone()],
+                    &other.data[r.clone()],
+                    &mut out[r],
+                    policy,
+                );
+            } else {
+                rns::add_chunk_q(
+                    &self.data[r.clone()],
+                    &other.data[r.clone()],
+                    &mut out[r],
+                    limb.modulus(),
+                );
+            }
+        });
     }
 
     /// Component-wise payload subtraction as one stripe pass:
-    /// `out[j] = self[j] - other[j]`.
-    pub fn sub2(&self, other: &CtPayload, out: &mut [u64], policy: SimdPolicy) {
+    /// `out[j] = self[j] - other[j]`, each limb under its own prime.
+    pub fn sub2(
+        &self,
+        other: &CtPayload,
+        out: &mut [u64],
+        policy: SimdPolicy,
+        chain: &ModulusChain,
+    ) {
         debug_assert_eq!(self.data.len(), other.data.len());
         debug_assert_eq!(self.domain, other.domain, "domain mismatch in sub2");
         debug_assert_eq!(out.len(), self.data.len());
-        simd::sub_stripe(&self.data, &other.data, out, policy);
+        if self.limbs == 1 {
+            simd::sub_stripe(&self.data, &other.data, out, policy);
+            return;
+        }
+        let degree = self.degree();
+        for_limb_segments(0, self.data.len(), degree, |si, r| {
+            let limb = chain.limb(si % self.limbs);
+            if limb.is_goldilocks() {
+                simd::sub_stripe(
+                    &self.data[r.clone()],
+                    &other.data[r.clone()],
+                    &mut out[r],
+                    policy,
+                );
+            } else {
+                rns::sub_chunk_q(
+                    &self.data[r.clone()],
+                    &other.data[r.clone()],
+                    &mut out[r],
+                    limb.modulus(),
+                );
+            }
+        });
     }
 
     /// Component-wise payload negation as one stripe pass:
-    /// `out[j] = -self[j]`.
-    pub fn neg2(&self, out: &mut [u64], policy: SimdPolicy) {
+    /// `out[j] = -self[j]`, each limb under its own prime.
+    pub fn neg2(&self, out: &mut [u64], policy: SimdPolicy, chain: &ModulusChain) {
         debug_assert_eq!(out.len(), self.data.len());
-        simd::neg_stripe(&self.data, out, policy);
+        if self.limbs == 1 {
+            simd::neg_stripe(&self.data, out, policy);
+            return;
+        }
+        let degree = self.degree();
+        for_limb_segments(0, self.data.len(), degree, |si, r| {
+            let limb = chain.limb(si % self.limbs);
+            if limb.is_goldilocks() {
+                simd::neg_stripe(&self.data[r.clone()], &mut out[r], policy);
+            } else {
+                rns::neg_chunk_q(&self.data[r.clone()], &mut out[r], limb.modulus());
+            }
+        });
     }
 
     /// In-place variant of [`CtPayload::add2`].
-    pub fn add_assign2(&mut self, other: &CtPayload, policy: SimdPolicy) {
+    pub fn add_assign2(&mut self, other: &CtPayload, policy: SimdPolicy, chain: &ModulusChain) {
         debug_assert_eq!(self.data.len(), other.data.len());
         debug_assert_eq!(self.domain, other.domain, "domain mismatch in add_assign2");
-        simd::add_stripe_assign(&mut self.data, &other.data, policy);
+        if self.limbs == 1 {
+            simd::add_stripe_assign(&mut self.data, &other.data, policy);
+            return;
+        }
+        let degree = self.degree();
+        let limbs = self.limbs;
+        for_limb_segments(0, self.data.len(), degree, |si, r| {
+            let limb = chain.limb(si % limbs);
+            if limb.is_goldilocks() {
+                simd::add_stripe_assign(&mut self.data[r.clone()], &other.data[r], policy);
+            } else {
+                rns::add_chunk_q_assign(&mut self.data[r.clone()], &other.data[r], limb.modulus());
+            }
+        });
     }
 
     /// In-place variant of [`CtPayload::sub2`].
-    pub fn sub_assign2(&mut self, other: &CtPayload, policy: SimdPolicy) {
+    pub fn sub_assign2(&mut self, other: &CtPayload, policy: SimdPolicy, chain: &ModulusChain) {
         debug_assert_eq!(self.data.len(), other.data.len());
         debug_assert_eq!(self.domain, other.domain, "domain mismatch in sub_assign2");
-        simd::sub_stripe_assign(&mut self.data, &other.data, policy);
+        if self.limbs == 1 {
+            simd::sub_stripe_assign(&mut self.data, &other.data, policy);
+            return;
+        }
+        let degree = self.degree();
+        let limbs = self.limbs;
+        for_limb_segments(0, self.data.len(), degree, |si, r| {
+            let limb = chain.limb(si % limbs);
+            if limb.is_goldilocks() {
+                simd::sub_stripe_assign(&mut self.data[r.clone()], &other.data[r], policy);
+            } else {
+                rns::sub_chunk_q_assign(&mut self.data[r.clone()], &other.data[r], limb.modulus());
+            }
+        });
     }
 
     /// In-place variant of [`CtPayload::neg2`].
-    pub fn neg_assign2(&mut self, policy: SimdPolicy) {
-        simd::neg_stripe_assign(&mut self.data, policy);
+    pub fn neg_assign2(&mut self, policy: SimdPolicy, chain: &ModulusChain) {
+        if self.limbs == 1 {
+            simd::neg_stripe_assign(&mut self.data, policy);
+            return;
+        }
+        let degree = self.degree();
+        let limbs = self.limbs;
+        for_limb_segments(0, self.data.len(), degree, |si, r| {
+            let limb = chain.limb(si % limbs);
+            if limb.is_goldilocks() {
+                simd::neg_stripe_assign(&mut self.data[r], policy);
+            } else {
+                rns::neg_chunk_q_assign(&mut self.data[r], limb.modulus());
+            }
+        });
     }
 }
 
-/// Serializes as `{"domain": "Coeff"|"Eval", "stripe": [...]}` (the flat
-/// `[c0 | c1]` buffer).
+/// Serializes as `{"domain": "Coeff"|"Eval", "limbs": k, "stripe": [...]}`
+/// (the flat multi-limb buffer).
 impl serde::Serialize for CtPayload {
     fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         let domain = match self.domain {
@@ -337,6 +628,7 @@ impl serde::Serialize for CtPayload {
         };
         serializer.serialize_value(serde::Value::Object(vec![
             ("domain".to_string(), serde::Value::Str(domain.to_string())),
+            ("limbs".to_string(), serde::Value::UInt(self.limbs as u64)),
             (
                 "stripe".to_string(),
                 serde::Value::Array(self.data.iter().map(|&c| serde::Value::UInt(c)).collect()),
@@ -355,6 +647,15 @@ impl<'de> serde::Deserialize<'de> for CtPayload {
                 return Err(serde::Error::msg(format!("unknown CtPayload domain {other:?}")).into())
             }
         };
+        // Pre-RNS payloads carry no "limbs" field; default to one limb.
+        let limbs = match value.field("limbs") {
+            Ok(serde::Value::UInt(k)) => *k as usize,
+            Ok(serde::Value::Int(k)) if *k >= 1 => *k as usize,
+            Ok(other) => {
+                return Err(serde::Error::msg(format!("bad CtPayload limbs {other:?}")).into())
+            }
+            Err(_) => 1,
+        };
         let data = value
             .field("stripe")?
             .as_array("CtPayload::stripe")?
@@ -365,7 +666,7 @@ impl<'de> serde::Deserialize<'de> for CtPayload {
                 other => Err(serde::Error::msg(format!("bad CtPayload value {other:?}"))),
             })
             .collect::<Result<Vec<u64>, serde::Error>>()?;
-        Ok(CtPayload::from_stripe(data, domain))
+        Ok(CtPayload::from_limb_stripe(data, limbs, domain))
     }
 }
 
@@ -376,6 +677,10 @@ mod tests {
 
     fn policies() -> Vec<SimdPolicy> {
         vec![SimdPolicy::Scalar, SimdPolicy::detected()]
+    }
+
+    fn chain1(degree: usize) -> ModulusChain {
+        ModulusChain::new(1, degree, false)
     }
 
     /// Deterministic pseudo-random canonical field elements.
@@ -395,6 +700,28 @@ mod tests {
         CtPayload::from_stripe(random_values(2 * n, seed), domain)
     }
 
+    /// A k-limb payload whose limb stripes are canonical under their own
+    /// primes.
+    fn random_limb_payload(
+        chain: &ModulusChain,
+        degree: usize,
+        seed: u64,
+        domain: Domain,
+    ) -> CtPayload {
+        let k = chain.limb_count();
+        let mut data = Vec::with_capacity(2 * k * degree);
+        for component in 0..2u64 {
+            for (li, limb) in chain.limbs().iter().enumerate() {
+                data.extend(
+                    random_values(degree, seed ^ (component << 8) ^ li as u64)
+                        .iter()
+                        .map(|&v| v % limb.modulus()),
+                );
+            }
+        }
+        CtPayload::from_limb_stripe(data, k, domain)
+    }
+
     /// Split-layout reference of [`CtPayload::mul_eval2`]: one pass per
     /// component, as the pre-stripe engine performed it.
     fn split_mul_reference(payload: &CtPayload, mult: &[u64]) -> Vec<u64> {
@@ -409,12 +736,13 @@ mod tests {
     fn striped_shared_multiplier_matches_split_reference_in_both_domains() {
         for domain in [Domain::Eval, Domain::Coeff] {
             for (degree, seed) in [(16usize, 0xA), (64, 0xB), (256, 0xC)] {
+                let chain = chain1(degree);
                 let payload = random_payload(degree, seed, domain);
                 let mult = random_values(degree, seed ^ 0xFF);
                 let mut out = vec![0u64; 2 * degree];
                 for threads in [1usize, 2, 4] {
                     for policy in policies() {
-                        payload.mul_eval2(&mult, &mut out, threads, policy);
+                        payload.mul_eval2(&mult, &mut out, threads, policy, &chain);
                         assert_eq!(
                             out,
                             split_mul_reference(&payload, &mult),
@@ -429,6 +757,7 @@ mod tests {
     #[test]
     fn striped_tensor_product_matches_per_component_reference() {
         for (degree, seed) in [(16usize, 0x1), (64, 0x2)] {
+            let chain = chain1(degree);
             let a = random_payload(degree, seed, Domain::Eval);
             let b = random_payload(degree, seed ^ 0x77, Domain::Eval);
             let s0 = random_values(degree, seed ^ 0x101);
@@ -447,7 +776,7 @@ mod tests {
             for threads in [1usize, 3, 8] {
                 for policy in policies() {
                     let mut out = vec![0u64; 2 * degree];
-                    a.mul_add_eval2(&b, &s0, &s1, &mut out, threads, policy);
+                    a.mul_add_eval2(&b, &s0, &s1, &mut out, threads, policy, &chain);
                     assert_eq!(
                         out, expected,
                         "degree {degree} threads {threads} {policy:?}"
@@ -461,6 +790,7 @@ mod tests {
     fn striped_galois_matches_per_component_poly_reference() {
         use crate::poly::{galois_eval_permutation, NttTables};
         let degree = 32usize;
+        let chain = chain1(degree);
         let tables = NttTables::new(degree);
         let c0 = Poly::from_coeffs(random_values(degree, 3)).to_eval(&tables);
         let c1 = Poly::from_coeffs(random_values(degree, 5)).to_eval(&tables);
@@ -479,7 +809,7 @@ mod tests {
             };
             for policy in policies() {
                 let mut out = vec![0u64; 2 * degree];
-                payload.galois_eval2(&perm, &key, &mut out, 1, policy);
+                payload.galois_eval2(&perm, &key, &mut out, 1, policy, &chain);
                 assert_eq!(
                     &out[..degree],
                     reference(&c0),
@@ -498,6 +828,7 @@ mod tests {
     fn stripe_add_sub_neg_match_per_component_poly_ops_in_both_domains() {
         for domain in [Domain::Eval, Domain::Coeff] {
             let degree = 64usize;
+            let chain = chain1(degree);
             let a = random_payload(degree, 0xAD ^ domain as u64, domain);
             let b = random_payload(degree, 0xBE ^ domain as u64, domain);
             let as_polys = |p: &CtPayload| {
@@ -511,29 +842,29 @@ mod tests {
 
             for policy in policies() {
                 let mut sum = vec![0u64; 2 * degree];
-                a.add2(&b, &mut sum, policy);
+                a.add2(&b, &mut sum, policy, &chain);
                 assert_eq!(&sum[..degree], a0.add(&b0).coeffs());
                 assert_eq!(&sum[degree..], a1.add(&b1).coeffs());
 
                 let mut diff = vec![0u64; 2 * degree];
-                a.sub2(&b, &mut diff, policy);
+                a.sub2(&b, &mut diff, policy, &chain);
                 assert_eq!(&diff[..degree], a0.sub(&b0).coeffs());
                 assert_eq!(&diff[degree..], a1.sub(&b1).coeffs());
 
                 let mut neg = vec![0u64; 2 * degree];
-                a.neg2(&mut neg, policy);
+                a.neg2(&mut neg, policy, &chain);
                 assert_eq!(&neg[..degree], a0.negate().coeffs());
                 assert_eq!(&neg[degree..], a1.negate().coeffs());
 
                 // The in-place variants agree with the out-of-place ones.
                 let mut acc = a.clone();
-                acc.add_assign2(&b, policy);
+                acc.add_assign2(&b, policy, &chain);
                 assert_eq!(acc.stripe(), &sum[..]);
                 let mut acc = a.clone();
-                acc.sub_assign2(&b, policy);
+                acc.sub_assign2(&b, policy, &chain);
                 assert_eq!(acc.stripe(), &diff[..]);
                 let mut acc = a.clone();
-                acc.neg_assign2(policy);
+                acc.neg_assign2(policy, &chain);
                 assert_eq!(acc.stripe(), &neg[..]);
             }
         }
@@ -542,16 +873,96 @@ mod tests {
     #[test]
     fn scalar_variant_scales_the_shared_multiplier() {
         let degree = 16usize;
+        let chain = chain1(degree);
         let payload = random_payload(degree, 0x5C, Domain::Eval);
         let mult = random_values(degree, 0x5D);
         let k = 12345u64;
         let scaled: Vec<u64> = mult.iter().map(|&m| p_mul(m, k)).collect();
         for policy in policies() {
             let mut expected = vec![0u64; 2 * degree];
-            payload.mul_eval2(&scaled, &mut expected, 1, policy);
+            payload.mul_eval2(&scaled, &mut expected, 1, policy, &chain);
             let mut out = vec![0u64; 2 * degree];
-            payload.mul_scalar_eval2(&mult, k, &mut out, 1, policy);
+            payload.mul_scalar_eval2(&mult, k, &mut out, 1, policy, &chain);
             assert_eq!(out, expected, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn multi_limb_kernels_reduce_each_limb_by_its_own_prime() {
+        let degree = 32usize;
+        let chain = ModulusChain::new(3, degree, false);
+        let k = chain.limb_count();
+        let a = random_limb_payload(&chain, degree, 0x31, Domain::Eval);
+        let b = random_limb_payload(&chain, degree, 0x32, Domain::Eval);
+        let mult: Vec<u64> = b.c0().to_vec();
+        let naive_mul = |x: u64, y: u64, q: u64| -> u64 {
+            ((u128::from(x) * u128::from(y)) % u128::from(q)) as u64
+        };
+
+        for threads in [1usize, 3] {
+            for policy in policies() {
+                let mut out = vec![0u64; 2 * k * degree];
+                a.mul_eval2(&mult, &mut out, threads, policy, &chain);
+                for li in 0..k {
+                    let q = chain.limb(li).modulus();
+                    for j in 0..degree {
+                        let pos = li * degree + j;
+                        assert_eq!(
+                            out[pos],
+                            naive_mul(a.c0()[pos], mult[pos], q),
+                            "limb {li} c0 pos {j} threads {threads} {policy:?}"
+                        );
+                        assert_eq!(
+                            out[k * degree + pos],
+                            naive_mul(a.c1()[pos], mult[pos], q),
+                            "limb {li} c1 pos {j}"
+                        );
+                    }
+                }
+            }
+        }
+
+        // Add/sub/neg walk every limb segment under its own modulus.
+        for policy in policies() {
+            let mut sum = vec![0u64; 2 * k * degree];
+            a.add2(&b, &mut sum, policy, &chain);
+            for li in 0..k {
+                let q = chain.limb(li).modulus();
+                for j in 0..degree {
+                    let pos = li * degree + j;
+                    let expect = ((u128::from(a.c0()[pos]) + u128::from(b.c0()[pos]))
+                        % u128::from(q)) as u64;
+                    assert_eq!(sum[pos], expect, "limb {li}");
+                }
+            }
+            let mut acc = a.clone();
+            acc.add_assign2(&b, policy, &chain);
+            assert_eq!(acc.stripe(), &sum[..]);
+        }
+    }
+
+    #[test]
+    fn multi_limb_galois_permutes_within_each_limb_stripe() {
+        use crate::poly::galois_eval_permutation;
+        let degree = 16usize;
+        let chain = ModulusChain::new(2, degree, false);
+        let k = chain.limb_count();
+        let payload = random_limb_payload(&chain, degree, 0x41, Domain::Eval);
+        let key: Vec<u64> = payload.c1().to_vec();
+        let perm = galois_eval_permutation(degree, 3);
+        for policy in policies() {
+            let mut out = vec![0u64; 2 * k * degree];
+            payload.galois_eval2(&perm, &key, &mut out, 1, policy, &chain);
+            for li in 0..k {
+                let q = chain.limb(li).modulus();
+                for (j, &p) in perm.iter().enumerate() {
+                    let pos = li * degree + j;
+                    let src = li * degree + p as usize;
+                    let expect = ((u128::from(payload.c0()[src]) * u128::from(key[pos]))
+                        % u128::from(q)) as u64;
+                    assert_eq!(out[pos], expect, "limb {li} pos {j} {policy:?}");
+                }
+            }
         }
     }
 
@@ -561,6 +972,13 @@ mod tests {
         let value = serde::to_value(&payload);
         let back: CtPayload = serde::from_value(&value).unwrap();
         assert_eq!(back, payload);
+
+        let chain = ModulusChain::new(2, 8, false);
+        let multi = random_limb_payload(&chain, 8, 0x12, Domain::Eval);
+        let value = serde::to_value(&multi);
+        let back: CtPayload = serde::from_value(&value).unwrap();
+        assert_eq!(back, multi);
+        assert_eq!(back.limbs(), 2);
     }
 
     #[test]
@@ -570,14 +988,27 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "power-of-two degree")]
+    fn limb_stripe_lengths_must_split_into_limbs() {
+        let _ = CtPayload::from_limb_stripe(vec![0; 12], 2, Domain::Eval);
+    }
+
+    #[test]
     fn component_views_split_the_stripe() {
         let payload = CtPayload::from_components(&[1, 2], &[3, 4], Domain::Eval);
         assert_eq!(payload.degree(), 2);
+        assert_eq!(payload.limbs(), 1);
         assert_eq!(payload.c0(), &[1, 2]);
         assert_eq!(payload.c1(), &[3, 4]);
         assert_eq!(payload.stripe(), &[1, 2, 3, 4]);
         assert!(!payload.is_empty());
         assert!(CtPayload::empty().is_empty());
         assert_eq!(payload.clone().into_stripe(), vec![1, 2, 3, 4]);
+
+        let multi = CtPayload::from_limb_components(&[1, 2, 3, 4], &[5, 6, 7, 8], 2, Domain::Eval);
+        assert_eq!(multi.degree(), 2);
+        assert_eq!(multi.limbs(), 2);
+        assert_eq!(multi.c0(), &[1, 2, 3, 4]);
+        assert_eq!(multi.c1(), &[5, 6, 7, 8]);
     }
 }

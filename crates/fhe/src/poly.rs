@@ -748,8 +748,15 @@ impl Poly {
     pub fn apply_galois_eval(&self, galois_elt: usize) -> Poly {
         debug_assert_eq!(self.domain, Domain::Eval);
         let perm = galois_eval_permutation(self.degree(), galois_elt);
+        let mut out = vec![0u64; self.degree()];
+        crate::simd::gather_chunk(
+            &self.coeffs,
+            &perm,
+            &mut out,
+            crate::simd::SimdPolicy::global(),
+        );
         Poly {
-            coeffs: perm.iter().map(|&src| self.coeffs[src as usize]).collect(),
+            coeffs: out,
             domain: Domain::Eval,
         }
     }

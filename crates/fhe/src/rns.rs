@@ -1,0 +1,968 @@
+//! Residue-number-system (RNS) multi-limb coefficient arithmetic.
+//!
+//! The single Goldilocks modulus caps coefficient precision at 64 bits. An
+//! RNS representation over `k` word-sized primes `q_0 · q_1 ⋯ q_{k-1}`
+//! multiplies the representable coefficient range — and the arithmetic
+//! intensity per byte of payload moved — by `k`, at the price of carrying
+//! `k` *limb stripes* per ring element and running every pointwise kernel
+//! once per limb.
+//!
+//! # The chain
+//!
+//! [`ModulusChain`] pins **limb 0 to the Goldilocks prime** `p = 2^64 -
+//! 2^32 + 1`: that limb keeps running the existing ε-identity
+//! lazy-reduction kernels and AVX2 NTT verbatim, which is what makes the
+//! `k = 1` configuration *bit-identical* to the single-modulus engine (the
+//! limb walk degenerates to exactly the old code path). Limbs `1..k` use
+//! NTT-friendly primes `q ≡ 1 (mod 2n)` found by deterministic
+//! Miller–Rabin, descending from just below `2^61`; every generic prime
+//! satisfies `2^60 < q < 2^61`, the window in which both reduction
+//! strategies below are valid.
+//!
+//! # Per-prime reduction strategies
+//!
+//! Goldilocks sits above `2^63`, so the Shoup/Barrett tricks of classical
+//! RNS libraries do not apply to it — it gets the ε-identity arithmetic of
+//! [`crate::simd`]. The generic limbs get the classical pair:
+//!
+//! * **Barrett pointwise products** ([`barrett_mul`]): one precomputed
+//!   `mu = ⌊2^124 / q⌋` per limb turns every modular multiply into two
+//!   wide multiplies plus two conditional subtracts (estimate error is
+//!   provably `< 3q`). The AVX2 twin lives in [`crate::simd`].
+//! * **Shoup butterflies** ([`LimbNtt`]): negacyclic NTTs in the
+//!   Longa–Naehrig lazy style, twiddles stored with their Shoup
+//!   companions `w' = ⌊w·2^64 / q⌋`, operands riding in `[0, 4q)` forward
+//!   and `[0, 2q)` inverse, canonicalized once at the end.
+//!
+//! # CRT lift and reconstruction
+//!
+//! Encryption *lifts* a base coefficient `x` into the chain (`x mod q_i`
+//! per limb); decryption *reconstructs* the multiword integer with
+//! Garner's mixed-radix algorithm ([`ModulusChain::crt_reconstruct`]),
+//! using only per-limb precomputed inverses — no big-integer division.
+//! [`ModulusChain::crt_checksum`] folds a full reconstruction pass over a
+//! component's limbs into one word, which the decryptor feeds through
+//! `black_box` so the simulation pays the real CRT cost.
+
+use crate::poly::MODULUS;
+
+/// Number of bits below which the Barrett scheme of this module is
+/// invalid: generic limb primes must exceed `2^60` so that
+/// `mu = ⌊2^124 / q⌋` fits a word (and the error bound holds).
+const GENERIC_LIMB_MIN_BITS: u32 = 60;
+
+/// Upper bound (exclusive) for generic limb primes: staying below `2^61`
+/// keeps `4q < 2^63`, the headroom the lazy Shoup butterflies need.
+const GENERIC_LIMB_MAX: u64 = 1 << 61;
+
+// ---------------------------------------------------------------------------
+// Scalar modular arithmetic for generic (< 2^61) limb primes
+// ---------------------------------------------------------------------------
+
+/// `(a + b) mod q` for canonical `a, b < q < 2^63`.
+#[inline]
+pub fn add_mod(a: u64, b: u64, q: u64) -> u64 {
+    let s = a + b;
+    if s >= q {
+        s - q
+    } else {
+        s
+    }
+}
+
+/// `(a - b) mod q` for canonical `a, b < q`.
+#[inline]
+pub fn sub_mod(a: u64, b: u64, q: u64) -> u64 {
+    if a >= b {
+        a - b
+    } else {
+        a + q - b
+    }
+}
+
+/// `-a mod q` for canonical `a < q`.
+#[inline]
+pub fn neg_mod(a: u64, q: u64) -> u64 {
+    if a == 0 {
+        0
+    } else {
+        q - a
+    }
+}
+
+/// Barrett constant `mu = ⌊2^124 / q⌋` for a generic limb prime
+/// (`2^60 < q < 2^61`, which makes `mu` fit a word).
+#[inline]
+pub fn barrett_mu(q: u64) -> u64 {
+    debug_assert!(q.leading_zeros() < 64 - GENERIC_LIMB_MIN_BITS && q < GENERIC_LIMB_MAX);
+    ((1u128 << 124) / u128::from(q)) as u64
+}
+
+/// Canonical `a·b mod q` by Barrett reduction with the precomputed
+/// `mu = ⌊2^124 / q⌋` of [`barrett_mu`].
+///
+/// Valid for `2^60 < q < 2^61` and canonical inputs: the quotient
+/// estimate `⌊(⌊x/2^60⌋·mu)/2^64⌋` undershoots `⌊x/q⌋` by at most 2, so
+/// two conditional subtracts canonicalize. **Never valid for the
+/// Goldilocks limb** (`q > 2^63`); that limb uses the ε-identity kernels.
+#[inline]
+pub fn barrett_mul(a: u64, b: u64, q: u64, mu: u64) -> u64 {
+    let x = u128::from(a) * u128::from(b);
+    let shifted = (x >> 60) as u64;
+    let q_hat = ((u128::from(shifted) * u128::from(mu)) >> 64) as u64;
+    // True value of x - q_hat·q is in [0, 3q) ⊂ [0, 2^64), so the wrapped
+    // 64-bit computation is exact.
+    let mut r = (x as u64).wrapping_sub(q_hat.wrapping_mul(q));
+    if r >= q {
+        r -= q;
+    }
+    if r >= q {
+        r -= q;
+    }
+    r
+}
+
+/// `a·b mod q` by u128 widening division — the oracle [`barrett_mul`] is
+/// tested against, and the workhorse of table construction (off the hot
+/// path, so the division cost is irrelevant).
+#[inline]
+fn mul_mod_u128(a: u64, b: u64, q: u64) -> u64 {
+    ((u128::from(a) * u128::from(b)) % u128::from(q)) as u64
+}
+
+/// `base^exp mod q` by square-and-multiply (table construction only).
+fn pow_mod(base: u64, mut exp: u64, q: u64) -> u64 {
+    let mut acc = 1u64;
+    let mut base = base % q;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod_u128(acc, base, q);
+        }
+        base = mul_mod_u128(base, base, q);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// `a^{-1} mod q` for prime `q` (Fermat).
+fn inv_mod(a: u64, q: u64) -> u64 {
+    debug_assert!(!a.is_multiple_of(q), "zero has no inverse");
+    pow_mod(a, q - 2, q)
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic primality (Miller–Rabin) and prime search
+// ---------------------------------------------------------------------------
+
+/// Deterministic Miller–Rabin for `u64`: the first twelve prime bases are
+/// a proven witness set for every `n < 3.3·10^24`, which covers the whole
+/// `u64` range.
+fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    let s = (n - 1).trailing_zeros();
+    let d = (n - 1) >> s;
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 1..s {
+            x = mul_mod_u128(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Finds the `count` largest NTT-friendly primes `q ≡ 1 (mod 2n)` below
+/// `2^61` (descending, so the result is deterministic for a given
+/// `(count, degree)`), panicking if the search would leave the `(2^60,
+/// 2^61)` validity window — which cannot happen for any practical degree.
+fn find_generic_primes(count: usize, degree: usize) -> Vec<u64> {
+    let step = 2 * degree as u64;
+    let mut candidate = ((GENERIC_LIMB_MAX - 2) / step) * step + 1;
+    let mut primes = Vec::with_capacity(count);
+    while primes.len() < count {
+        assert!(
+            candidate > 1 << GENERIC_LIMB_MIN_BITS,
+            "prime search left the Barrett validity window"
+        );
+        if is_prime(candidate) {
+            primes.push(candidate);
+        }
+        candidate -= step;
+    }
+    primes
+}
+
+// ---------------------------------------------------------------------------
+// Shoup lazy NTT for generic limb primes
+// ---------------------------------------------------------------------------
+
+/// Shoup companion `⌊w·2^64 / q⌋` of a canonical twiddle `w < q`.
+#[inline]
+fn shoup(w: u64, q: u64) -> u64 {
+    ((u128::from(w) << 64) / u128::from(q)) as u64
+}
+
+/// Lazy Shoup product `y·w mod q` for `y < 4q`: returns a representative
+/// in `[0, 2q)`. `wp` is the Shoup companion of `w`.
+#[inline]
+fn mul_shoup(y: u64, w: u64, wp: u64, q: u64) -> u64 {
+    let q_hat = ((u128::from(y) * u128::from(wp)) >> 64) as u64;
+    y.wrapping_mul(w).wrapping_sub(q_hat.wrapping_mul(q))
+}
+
+/// Bit-reversal of the low `bits` bits of `i`.
+#[inline]
+fn bit_reverse(i: usize, bits: u32) -> usize {
+    if bits == 0 {
+        return 0;
+    }
+    i.reverse_bits() >> (usize::BITS - bits)
+}
+
+/// Negacyclic NTT tables for one generic limb prime, in the
+/// Longa–Naehrig lazy-butterfly style: the forward transform
+/// (Cooley–Tukey, natural order in, bit-reversed out) keeps operands in
+/// `[0, 4q)`; the inverse (Gentleman–Sande) keeps them in `[0, 2q)`; each
+/// canonicalizes once at the end. All twiddles carry precomputed Shoup
+/// companions so no butterfly ever divides.
+#[derive(Debug, Clone)]
+pub struct LimbNtt {
+    q: u64,
+    degree: usize,
+    /// `psi_rev[j] = ψ^{brv(j)}` with Shoup companions (ψ a primitive
+    /// 2n-th root of unity mod q), indexed `[m + i]` per stage.
+    psi_rev: Vec<(u64, u64)>,
+    /// Mirror table of powers of `ψ^{-1}`.
+    inv_psi_rev: Vec<(u64, u64)>,
+    /// `n^{-1} mod q` with its Shoup companion, for the inverse's final
+    /// scaling pass.
+    inv_degree: (u64, u64),
+}
+
+impl LimbNtt {
+    /// Builds the twiddle tables for `degree` (a power of two) over the
+    /// prime `q ≡ 1 (mod 2·degree)`.
+    fn new(q: u64, degree: usize) -> LimbNtt {
+        assert!(degree.is_power_of_two(), "degree must be a power of two");
+        assert_eq!(
+            (q - 1) % (2 * degree as u64),
+            0,
+            "q must be NTT-friendly for 2n"
+        );
+        let log_n = degree.trailing_zeros();
+        let psi = primitive_root_2n(q, degree);
+        let inv_psi = inv_mod(psi, q);
+        let scatter = |base: u64| -> Vec<(u64, u64)> {
+            let mut table = vec![(0u64, 0u64); degree];
+            let mut power = 1u64;
+            for i in 0..degree {
+                let rev = bit_reverse(i, log_n);
+                table[rev] = (power, shoup(power, q));
+                power = mul_mod_u128(power, base, q);
+            }
+            table
+        };
+        let inv_n = inv_mod(degree as u64, q);
+        LimbNtt {
+            q,
+            degree,
+            psi_rev: scatter(psi),
+            inv_psi_rev: scatter(inv_psi),
+            inv_degree: (inv_n, shoup(inv_n, q)),
+        }
+    }
+
+    /// The limb prime these tables serve.
+    pub fn modulus(&self) -> u64 {
+        self.q
+    }
+
+    /// Transform length.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// In-place forward negacyclic NTT of canonical values (canonical
+    /// output, bit-reversed order).
+    pub fn forward(&self, a: &mut [u64]) {
+        debug_assert_eq!(a.len(), self.degree);
+        let q = self.q;
+        let two_q = 2 * q;
+        let n = self.degree;
+        let mut t = n;
+        let mut m = 1;
+        while m < n {
+            t >>= 1;
+            for i in 0..m {
+                let (w, wp) = self.psi_rev[m + i];
+                let j1 = 2 * i * t;
+                for j in j1..j1 + t {
+                    // Lazy CT butterfly: x reduced to [0, 2q), partner via
+                    // Shoup product (< 2q), both outputs < 4q.
+                    let mut x = a[j];
+                    if x >= two_q {
+                        x -= two_q;
+                    }
+                    let y = mul_shoup(a[j + t], w, wp, q);
+                    a[j] = x + y;
+                    a[j + t] = x + two_q - y;
+                }
+            }
+            m <<= 1;
+        }
+        for v in a.iter_mut() {
+            // Canonicalize from [0, 4q).
+            if *v >= two_q {
+                *v -= two_q;
+            }
+            if *v >= q {
+                *v -= q;
+            }
+        }
+    }
+
+    /// In-place inverse negacyclic NTT (bit-reversed order in, canonical
+    /// natural-order output, `n^{-1}` scaling fused into the final pass).
+    pub fn inverse(&self, a: &mut [u64]) {
+        debug_assert_eq!(a.len(), self.degree);
+        let q = self.q;
+        let two_q = 2 * q;
+        let n = self.degree;
+        let mut t = 1;
+        let mut m = n;
+        while m > 1 {
+            let h = m >> 1;
+            let mut j1 = 0;
+            for i in 0..h {
+                let (w, wp) = self.inv_psi_rev[h + i];
+                for j in j1..j1 + t {
+                    // Lazy GS butterfly: operands < 2q in, < 2q out.
+                    let x = a[j];
+                    let y = a[j + t];
+                    let mut s = x + y;
+                    if s >= two_q {
+                        s -= two_q;
+                    }
+                    a[j] = s;
+                    a[j + t] = mul_shoup(x + two_q - y, w, wp, q);
+                }
+                j1 += 2 * t;
+            }
+            t <<= 1;
+            m = h;
+        }
+        let (inv_n, inv_n_shoup) = self.inv_degree;
+        for v in a.iter_mut() {
+            let scaled = mul_shoup(*v, inv_n, inv_n_shoup, q);
+            *v = if scaled >= q { scaled - q } else { scaled };
+        }
+    }
+}
+
+/// Finds a primitive 2n-th root of unity mod the prime `q` (requires
+/// `2n | q - 1`): raise successive small bases to the cofactor power and
+/// accept the first candidate whose n-th power is `-1`.
+fn primitive_root_2n(q: u64, degree: usize) -> u64 {
+    let order = 2 * degree as u64;
+    let cofactor = (q - 1) / order;
+    for base in 2u64.. {
+        let candidate = pow_mod(base, cofactor, q);
+        if pow_mod(candidate, degree as u64, q) == q - 1 {
+            return candidate;
+        }
+    }
+    unreachable!("a primitive root exists for every prime")
+}
+
+// ---------------------------------------------------------------------------
+// Limbs and the modulus chain
+// ---------------------------------------------------------------------------
+
+/// One residue channel of the chain: its prime, the Barrett constant (for
+/// generic primes), and — when compute simulation is on — its NTT tables.
+/// Limb 0 is always the Goldilocks prime and carries neither: it runs the
+/// ε-identity kernels and the shared [`crate::poly::NttTables`].
+#[derive(Debug, Clone)]
+pub struct Limb {
+    q: u64,
+    mu: u64,
+    ntt: Option<LimbNtt>,
+}
+
+impl Limb {
+    /// The limb's prime modulus.
+    pub fn modulus(&self) -> u64 {
+        self.q
+    }
+
+    /// Barrett constant `⌊2^124 / q⌋` (zero — and meaningless — for the
+    /// Goldilocks limb, which never takes the Barrett path).
+    pub fn mu(&self) -> u64 {
+        self.mu
+    }
+
+    /// `true` for limb 0, the Goldilocks limb served by the existing
+    /// ε-identity kernels.
+    pub fn is_goldilocks(&self) -> bool {
+        self.q == MODULUS
+    }
+
+    /// The limb's Shoup NTT tables (`None` for the Goldilocks limb, and
+    /// for every limb when compute simulation is off).
+    pub fn ntt(&self) -> Option<&LimbNtt> {
+        self.ntt.as_ref()
+    }
+}
+
+/// The RNS modulus chain: limb 0 is Goldilocks, limbs `1..k` are distinct
+/// NTT-friendly primes in `(2^60, 2^61)`, plus the Garner precomputation
+/// for CRT reconstruction across all `k` limbs.
+#[derive(Debug)]
+pub struct ModulusChain {
+    limbs: Vec<Limb>,
+    degree: usize,
+    /// `garner_inv[i][j] = (q_j mod q_i)^{-1} mod q_i` for `j < i`.
+    garner_inv: Vec<Vec<u64>>,
+}
+
+impl ModulusChain {
+    /// Builds a chain of `limb_count ≥ 1` limbs for ring degree `degree`
+    /// (a power of two). Generic-limb NTT tables are only constructed when
+    /// `build_ntt` is set (compute simulation on); the `k = 1` chain is a
+    /// table-free Goldilocks marker either way.
+    pub fn new(limb_count: usize, degree: usize, build_ntt: bool) -> ModulusChain {
+        assert!(limb_count >= 1, "a chain needs at least one limb");
+        assert!(degree.is_power_of_two(), "degree must be a power of two");
+        let mut limbs = Vec::with_capacity(limb_count);
+        limbs.push(Limb {
+            q: MODULUS,
+            mu: 0,
+            ntt: None,
+        });
+        for q in find_generic_primes(limb_count - 1, degree) {
+            limbs.push(Limb {
+                q,
+                mu: barrett_mu(q),
+                ntt: build_ntt.then(|| LimbNtt::new(q, degree)),
+            });
+        }
+        let garner_inv = (0..limb_count)
+            .map(|i| {
+                let qi = limbs[i].q;
+                (0..i).map(|j| inv_mod(limbs[j].q % qi, qi)).collect()
+            })
+            .collect();
+        ModulusChain {
+            limbs,
+            degree,
+            garner_inv,
+        }
+    }
+
+    /// Number of limbs `k`.
+    pub fn limb_count(&self) -> usize {
+        self.limbs.len()
+    }
+
+    /// Ring degree the chain was built for.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Limb `i` of the chain.
+    pub fn limb(&self, i: usize) -> &Limb {
+        &self.limbs[i]
+    }
+
+    /// All limbs, Goldilocks first.
+    pub fn limbs(&self) -> &[Limb] {
+        &self.limbs
+    }
+
+    /// The chain's moduli, Goldilocks first (bench/report labeling).
+    pub fn moduli(&self) -> Vec<u64> {
+        self.limbs.iter().map(|l| l.q).collect()
+    }
+
+    /// CRT-lifts a base value into limb `i`'s residue field: `x mod q_i`.
+    #[inline]
+    pub fn lift_base(&self, i: usize, x: u64) -> u64 {
+        x % self.limbs[i].q
+    }
+
+    /// Garner mixed-radix digits of the integer with the given per-limb
+    /// residues (`residues[i] = x mod q_i`), written into `digits`.
+    fn garner_digits(&self, residues: &[u64], digits: &mut [u64]) {
+        let k = self.limbs.len();
+        debug_assert_eq!(residues.len(), k);
+        debug_assert_eq!(digits.len(), k);
+        for i in 0..k {
+            let qi = self.limbs[i].q;
+            let mut t = residues[i] % qi;
+            for (&dj, &inv) in digits.iter().zip(&self.garner_inv[i]).take(i) {
+                t = mul_mod_u128(sub_mod(t, dj % qi, qi), inv, qi);
+            }
+            digits[i] = t;
+        }
+    }
+
+    /// Expands mixed-radix digits into the little-endian multiword integer
+    /// `x = Σ v_i · Π_{j<i} q_j`, written into `words` (`k` words always
+    /// suffice since every modulus fits one word).
+    fn digits_to_words(&self, digits: &[u64], words: &mut [u64]) {
+        let k = self.limbs.len();
+        debug_assert_eq!(words.len(), k);
+        words.fill(0);
+        words[0] = digits[k - 1];
+        for i in (0..k - 1).rev() {
+            let mut carry = u128::from(digits[i]);
+            for w in words.iter_mut() {
+                let t = u128::from(*w) * u128::from(self.limbs[i].q) + carry;
+                *w = t as u64;
+                carry = t >> 64;
+            }
+            debug_assert_eq!(carry, 0, "product of moduli fits k words");
+        }
+    }
+
+    /// Reconstructs the little-endian multiword integer `x < Π q_i` from
+    /// its per-limb residues (Garner: no big-integer division).
+    pub fn crt_reconstruct(&self, residues: &[u64]) -> Vec<u64> {
+        let k = self.limbs.len();
+        let mut digits = vec![0u64; k];
+        let mut words = vec![0u64; k];
+        self.garner_digits(residues, &mut digits);
+        self.digits_to_words(&digits, &mut words);
+        words
+    }
+
+    /// Lifts a little-endian multiword integer back to per-limb residues —
+    /// the inverse of [`ModulusChain::crt_reconstruct`].
+    pub fn crt_lift(&self, words: &[u64]) -> Vec<u64> {
+        self.limbs
+            .iter()
+            .map(|limb| {
+                let q = u128::from(limb.q);
+                let mut r = 0u128;
+                for &w in words.iter().rev() {
+                    r = ((r << 64) | u128::from(w)) % q;
+                }
+                r as u64
+            })
+            .collect()
+    }
+
+    /// Runs a full Garner reconstruction over one payload component laid
+    /// out as `k` consecutive limb stripes of `degree` values
+    /// (`data[i·degree + j] = coefficient j mod q_i`), folding every
+    /// reconstructed word into a checksum. The decryptor routes this
+    /// through `black_box` so the simulation pays the genuine per-
+    /// coefficient CRT cost without asserting anything about the noise-
+    /// free slots.
+    pub fn crt_checksum(&self, component: &[u64]) -> u64 {
+        let k = self.limbs.len();
+        let n = self.degree;
+        debug_assert_eq!(component.len(), k * n);
+        let mut residues = vec![0u64; k];
+        let mut digits = vec![0u64; k];
+        let mut words = vec![0u64; k];
+        let mut acc = 0u64;
+        for j in 0..n {
+            for (i, r) in residues.iter_mut().enumerate() {
+                *r = component[i * n + j];
+            }
+            self.garner_digits(&residues, &mut digits);
+            self.digits_to_words(&digits, &mut words);
+            for &w in words.iter() {
+                acc = acc.rotate_left(7) ^ w;
+            }
+        }
+        acc
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar generic-limb chunk kernels (Barrett pointwise, segment bodies)
+// ---------------------------------------------------------------------------
+//
+// These are the generic-prime twins of the Goldilocks chunk kernels in
+// `crate::simd`, called by the payload's limb walk on every limb past the
+// first. The fused ct-pt product (`mul2`) is hot enough to earn an AVX2
+// twin (`crate::simd::mul2_chunk_q`); the rest run scalar Barrett.
+
+/// Generic-limb twin of [`crate::simd::mul_scalar2_chunk`]: `scaled =
+/// m[i]·k` once per coefficient, both components multiply it (mod `q`).
+#[allow(clippy::too_many_arguments)]
+pub fn mul_scalar2_chunk_q(
+    x0: &[u64],
+    x1: &[u64],
+    m: &[u64],
+    k: u64,
+    o0: &mut [u64],
+    o1: &mut [u64],
+    q: u64,
+    mu: u64,
+) {
+    for i in 0..o0.len() {
+        let scaled = barrett_mul(m[i], k, q, mu);
+        o0[i] = barrett_mul(x0[i], scaled, q, mu);
+        o1[i] = barrett_mul(x1[i], scaled, q, mu);
+    }
+}
+
+/// Generic-limb twin of [`crate::simd::mul_add2_chunk`] (the fused BFV
+/// tensor product + relinearization, mod `q`).
+#[allow(clippy::too_many_arguments)]
+pub fn mul_add2_chunk_q(
+    a0: &[u64],
+    a1: &[u64],
+    b0: &[u64],
+    b1: &[u64],
+    s0: &[u64],
+    s1: &[u64],
+    o0: &mut [u64],
+    o1: &mut [u64],
+    q: u64,
+    mu: u64,
+) {
+    for i in 0..o0.len() {
+        let c2 = barrett_mul(a1[i], b1[i], q, mu);
+        o0[i] = add_mod(
+            barrett_mul(a0[i], b0[i], q, mu),
+            barrett_mul(c2, s0[i], q, mu),
+            q,
+        );
+        let cross = add_mod(
+            barrett_mul(a0[i], b1[i], q, mu),
+            barrett_mul(a1[i], b0[i], q, mu),
+            q,
+        );
+        o1[i] = add_mod(cross, barrett_mul(c2, s1[i], q, mu), q);
+    }
+}
+
+/// Generic-limb twin of [`crate::simd::galois2_chunk`]: gather by the
+/// permutation window, multiply by the key window (mod `q`). `src0`/`src1`
+/// are the limb's full component stripes.
+#[allow(clippy::too_many_arguments)]
+pub fn galois2_chunk_q(
+    src0: &[u64],
+    src1: &[u64],
+    perm: &[u32],
+    key: &[u64],
+    o0: &mut [u64],
+    o1: &mut [u64],
+    q: u64,
+    mu: u64,
+) {
+    for i in 0..o0.len() {
+        let src = perm[i] as usize;
+        o0[i] = barrett_mul(src0[src], key[i], q, mu);
+        o1[i] = barrett_mul(src1[src], key[i], q, mu);
+    }
+}
+
+/// Generic-limb segment addition: `out[i] = (x[i] + y[i]) mod q`.
+pub fn add_chunk_q(x: &[u64], y: &[u64], out: &mut [u64], q: u64) {
+    for i in 0..out.len() {
+        out[i] = add_mod(x[i], y[i], q);
+    }
+}
+
+/// Generic-limb segment subtraction: `out[i] = (x[i] - y[i]) mod q`.
+pub fn sub_chunk_q(x: &[u64], y: &[u64], out: &mut [u64], q: u64) {
+    for i in 0..out.len() {
+        out[i] = sub_mod(x[i], y[i], q);
+    }
+}
+
+/// Generic-limb segment negation: `out[i] = -x[i] mod q`.
+pub fn neg_chunk_q(x: &[u64], out: &mut [u64], q: u64) {
+    for i in 0..out.len() {
+        out[i] = neg_mod(x[i], q);
+    }
+}
+
+/// In-place [`add_chunk_q`].
+pub fn add_chunk_q_assign(x: &mut [u64], y: &[u64], q: u64) {
+    for i in 0..x.len() {
+        x[i] = add_mod(x[i], y[i], q);
+    }
+}
+
+/// In-place [`sub_chunk_q`].
+pub fn sub_chunk_q_assign(x: &mut [u64], y: &[u64], q: u64) {
+    for i in 0..x.len() {
+        x[i] = sub_mod(x[i], y[i], q);
+    }
+}
+
+/// In-place [`neg_chunk_q`].
+pub fn neg_chunk_q_assign(x: &mut [u64], q: u64) {
+    for v in x.iter_mut() {
+        *v = neg_mod(*v, q);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_values(n: usize, seed: u64) -> Vec<u64> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn miller_rabin_agrees_with_trial_division() {
+        let naive = |n: u64| {
+            if n < 2 {
+                return false;
+            }
+            let mut d = 2;
+            while d * d <= n {
+                if n.is_multiple_of(d) {
+                    return false;
+                }
+                d += 1;
+            }
+            true
+        };
+        for n in 0..2000u64 {
+            assert_eq!(is_prime(n), naive(n), "n={n}");
+        }
+        assert!(is_prime(MODULUS), "Goldilocks is prime");
+        assert!(!is_prime(u64::MAX));
+    }
+
+    #[test]
+    fn generic_prime_search_yields_distinct_ntt_friendly_primes() {
+        for degree in [64usize, 1024, 4096] {
+            let primes = find_generic_primes(3, degree);
+            assert_eq!(primes.len(), 3);
+            for window in primes.windows(2) {
+                assert!(window[0] > window[1], "descending and distinct");
+            }
+            for &q in &primes {
+                assert!(is_prime(q));
+                assert!(q > 1 << GENERIC_LIMB_MIN_BITS && q < GENERIC_LIMB_MAX);
+                assert_eq!((q - 1) % (2 * degree as u64), 0, "q ≡ 1 (mod 2n)");
+            }
+        }
+    }
+
+    #[test]
+    fn barrett_mul_matches_widening_division() {
+        let chain = ModulusChain::new(3, 64, false);
+        for limb in &chain.limbs()[1..] {
+            let (q, mu) = (limb.modulus(), limb.mu());
+            let values: Vec<u64> = random_values(64, q)
+                .into_iter()
+                .map(|v| v % q)
+                .chain([0, 1, 2, q - 2, q - 1])
+                .collect();
+            for &a in &values {
+                for &b in &values {
+                    assert_eq!(
+                        barrett_mul(a, b, q, mu),
+                        mul_mod_u128(a, b, q),
+                        "a={a} b={b} q={q}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn limb_ntt_round_trips() {
+        for degree in [8usize, 64, 256] {
+            let chain = ModulusChain::new(2, degree, true);
+            let ntt = chain.limb(1).ntt().expect("built with NTT tables");
+            let q = ntt.modulus();
+            let original: Vec<u64> = random_values(degree, 0xAB).iter().map(|v| v % q).collect();
+            let mut work = original.clone();
+            ntt.forward(&mut work);
+            assert!(work.iter().all(|&v| v < q), "forward output canonical");
+            ntt.inverse(&mut work);
+            assert_eq!(work, original, "degree={degree}");
+        }
+    }
+
+    #[test]
+    fn limb_ntt_pointwise_is_negacyclic_convolution() {
+        let degree = 16usize;
+        let chain = ModulusChain::new(2, degree, true);
+        let ntt = chain.limb(1).ntt().unwrap();
+        let (q, mu) = (chain.limb(1).modulus(), chain.limb(1).mu());
+        let a: Vec<u64> = random_values(degree, 3).iter().map(|v| v % q).collect();
+        let b: Vec<u64> = random_values(degree, 5).iter().map(|v| v % q).collect();
+
+        // Naive negacyclic product: x^n = -1.
+        let mut naive = vec![0u64; degree];
+        for (i, &ai) in a.iter().enumerate() {
+            for (j, &bj) in b.iter().enumerate() {
+                let prod = mul_mod_u128(ai, bj, q);
+                let idx = (i + j) % degree;
+                if i + j < degree {
+                    naive[idx] = add_mod(naive[idx], prod, q);
+                } else {
+                    naive[idx] = sub_mod(naive[idx], prod, q);
+                }
+            }
+        }
+
+        let (mut fa, mut fb) = (a.clone(), b.clone());
+        ntt.forward(&mut fa);
+        ntt.forward(&mut fb);
+        let mut fc: Vec<u64> = (0..degree)
+            .map(|i| barrett_mul(fa[i], fb[i], q, mu))
+            .collect();
+        ntt.inverse(&mut fc);
+        assert_eq!(fc, naive);
+    }
+
+    #[test]
+    fn garner_reconstruction_round_trips_residues() {
+        for k in [2usize, 3, 4] {
+            let chain = ModulusChain::new(k, 64, false);
+            for seed in 1..50u64 {
+                let residues: Vec<u64> = chain
+                    .limbs()
+                    .iter()
+                    .zip(random_values(k, seed))
+                    .map(|(limb, v)| v % limb.modulus())
+                    .collect();
+                let words = chain.crt_reconstruct(&residues);
+                assert_eq!(words.len(), k);
+                assert_eq!(chain.crt_lift(&words), residues, "k={k} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_word_values_reconstruct_to_themselves() {
+        let chain = ModulusChain::new(3, 64, false);
+        for &x in &[0u64, 1, 12345, MODULUS - 1, u64::MAX] {
+            let residues: Vec<u64> = (0..3).map(|i| chain.lift_base(i, x)).collect();
+            let words = chain.crt_reconstruct(&residues);
+            // x < q_0 < Π q_i, so the reconstruction is x itself... except
+            // x ≥ q_0 (e.g. u64::MAX): then the reconstruction is the
+            // unique value < Π q_i congruent to x mod each q_i, which for
+            // x < 2^64 with x ≥ q_0 need not equal x. Restrict the exact
+            // check to canonical base values.
+            if x < MODULUS {
+                assert_eq!(words[0], x);
+                assert!(words[1..].iter().all(|&w| w == 0));
+            }
+            assert_eq!(chain.crt_lift(&words), residues);
+        }
+    }
+
+    #[test]
+    fn k1_chain_is_a_bare_goldilocks_marker() {
+        let chain = ModulusChain::new(1, 4096, true);
+        assert_eq!(chain.limb_count(), 1);
+        assert!(chain.limb(0).is_goldilocks());
+        assert!(chain.limb(0).ntt().is_none());
+        assert_eq!(chain.moduli(), vec![MODULUS]);
+    }
+
+    #[test]
+    fn crt_checksum_is_deterministic_and_limb_sensitive() {
+        let degree = 32usize;
+        let chain = ModulusChain::new(2, degree, false);
+        let mut component: Vec<u64> = Vec::new();
+        for limb in chain.limbs() {
+            component.extend(
+                random_values(degree, limb.modulus())
+                    .iter()
+                    .map(|v| v % limb.modulus()),
+            );
+        }
+        let a = chain.crt_checksum(&component);
+        assert_eq!(a, chain.crt_checksum(&component), "deterministic");
+        let mut perturbed = component.clone();
+        perturbed[degree + 3] ^= 1;
+        assert_ne!(a, chain.crt_checksum(&perturbed), "sensitive to limb 1");
+    }
+
+    #[test]
+    fn generic_chunk_kernels_match_reference_arithmetic() {
+        let chain = ModulusChain::new(2, 64, false);
+        let (q, mu) = (chain.limb(1).modulus(), chain.limb(1).mu());
+        let n = 33;
+        let reduce = |v: Vec<u64>| -> Vec<u64> { v.into_iter().map(|x| x % q).collect() };
+        let a0 = reduce(random_values(n, 11));
+        let a1 = reduce(random_values(n, 12));
+        let b0 = reduce(random_values(n, 13));
+        let b1 = reduce(random_values(n, 14));
+        let s0 = reduce(random_values(n, 15));
+        let s1 = reduce(random_values(n, 16));
+
+        let (mut o0, mut o1) = (vec![0u64; n], vec![0u64; n]);
+        mul_add2_chunk_q(&a0, &a1, &b0, &b1, &s0, &s1, &mut o0, &mut o1, q, mu);
+        for i in 0..n {
+            let c2 = mul_mod_u128(a1[i], b1[i], q);
+            assert_eq!(
+                o0[i],
+                add_mod(mul_mod_u128(a0[i], b0[i], q), mul_mod_u128(c2, s0[i], q), q)
+            );
+        }
+
+        let k = 0xDEAD % q;
+        mul_scalar2_chunk_q(&a0, &a1, &b0, k, &mut o0, &mut o1, q, mu);
+        for i in 0..n {
+            let scaled = mul_mod_u128(b0[i], k, q);
+            assert_eq!(o0[i], mul_mod_u128(a0[i], scaled, q));
+            assert_eq!(o1[i], mul_mod_u128(a1[i], scaled, q));
+        }
+
+        let perm: Vec<u32> = (0..n as u32).map(|i| (i * 5 + 2) % n as u32).collect();
+        galois2_chunk_q(&a0, &a1, &perm, &b0, &mut o0, &mut o1, q, mu);
+        for i in 0..n {
+            assert_eq!(o0[i], mul_mod_u128(a0[perm[i] as usize], b0[i], q));
+        }
+
+        add_chunk_q(&a0, &a1, &mut o0, q);
+        sub_chunk_q(&a0, &a1, &mut o1, q);
+        let mut o2 = vec![0u64; n];
+        neg_chunk_q(&a0, &mut o2, q);
+        for i in 0..n {
+            assert_eq!(o0[i], (a0[i] + a1[i]) % q);
+            assert_eq!(o1[i], (a0[i] + q - a1[i]) % q);
+            assert_eq!(o2[i], (q - a0[i]) % q);
+        }
+        let mut x = a0.clone();
+        add_chunk_q_assign(&mut x, &a1, q);
+        assert_eq!(x, o0);
+        let mut x = a0.clone();
+        sub_chunk_q_assign(&mut x, &a1, q);
+        assert_eq!(x, o1);
+        let mut x = a0.clone();
+        neg_chunk_q_assign(&mut x, q);
+        assert_eq!(x, o2);
+    }
+}

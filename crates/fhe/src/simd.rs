@@ -347,6 +347,56 @@ pub fn galois2_chunk(
     }
 }
 
+/// Generic-limb twin of [`mul2_chunk`]: the fused dual-component
+/// pointwise product over an RNS limb prime `2^60 < q < 2^61`, reduced by
+/// Barrett with the precomputed `mu = ⌊2^124 / q⌋` (see
+/// [`crate::rns::barrett_mul`]). Unlike the memory-bound Goldilocks path,
+/// the Barrett product is compute-dense enough that the AVX2 back end
+/// shows a real arithmetic-intensity win — the effect the multi-limb
+/// ct-pt kernel is built to exploit.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn mul2_chunk_q(
+    x0: &[u64],
+    x1: &[u64],
+    m: &[u64],
+    o0: &mut [u64],
+    o1: &mut [u64],
+    q: u64,
+    mu: u64,
+    policy: SimdPolicy,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if policy.is_vectorized() && o0.len() >= LANES {
+        // SAFETY: `Avx2` is only ever granted when the CPU reports AVX2.
+        unsafe { avx2::mul2_q(x0, x1, m, o0, o1, q, mu) };
+        return;
+    }
+    let _ = policy;
+    for i in 0..o0.len() {
+        o0[i] = crate::rns::barrett_mul(x0[i], m[i], q, mu);
+        o1[i] = crate::rns::barrett_mul(x1[i], m[i], q, mu);
+    }
+}
+
+/// Pure permutation gather: `out[i] = src[perm[i]]` — the vectorized form
+/// of the Galois index permutation applied to a standalone polynomial
+/// (no key-switch product fused in). `src` is the full source slice; the
+/// permutation indexes all of it.
+#[inline]
+pub fn gather_chunk(src: &[u64], perm: &[u32], out: &mut [u64], policy: SimdPolicy) {
+    #[cfg(target_arch = "x86_64")]
+    if policy.is_vectorized() && out.len() >= LANES {
+        // SAFETY: `Avx2` is only ever granted when the CPU reports AVX2.
+        unsafe { avx2::gather(src, perm, out) };
+        return;
+    }
+    let _ = policy;
+    for i in 0..out.len() {
+        out[i] = src[perm[i] as usize];
+    }
+}
+
 /// Stripe-wide modular addition of canonical inputs (canonical output).
 #[inline]
 pub fn add_stripe(x: &[u64], y: &[u64], out: &mut [u64], policy: SimdPolicy) {
@@ -858,6 +908,78 @@ mod avx2 {
         }
     }
 
+    /// Four-lane Barrett product for a generic RNS limb prime
+    /// `2^60 < q < 2^61`: the exact integer algorithm of
+    /// [`crate::rns::barrett_mul`] (quotient estimate from
+    /// `⌊(⌊x/2^60⌋·mu)/2^64⌋`, remainder in `[0, 3q)`, two conditional
+    /// subtracts), so lanes are bit-identical to the scalar oracle.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn barrett_mul_v(a: __m256i, b: __m256i, qv: __m256i, muv: __m256i) -> __m256i {
+        let (hi, lo) = mul_64_64(a, b);
+        // x >> 60 = (hi << 4) | (lo >> 60); hi < 2^58 so no bits are lost.
+        let shifted = _mm256_or_si256(_mm256_slli_epi64(hi, 4), _mm256_srli_epi64(lo, 60));
+        let (q_hat, _) = mul_64_64(shifted, muv);
+        let (_, prod_lo) = mul_64_64(q_hat, qv);
+        // True value of x - q_hat·q is in [0, 3q) ⊂ [0, 2^64): the wrapped
+        // low-word subtraction is exact.
+        let mut r = _mm256_sub_epi64(lo, prod_lo);
+        r = _mm256_sub_epi64(r, _mm256_andnot_si256(lt_u64(r, qv), qv));
+        _mm256_sub_epi64(r, _mm256_andnot_si256(lt_u64(r, qv), qv))
+    }
+
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) unsafe fn mul2_q(
+        x0: &[u64],
+        x1: &[u64],
+        m: &[u64],
+        o0: &mut [u64],
+        o1: &mut [u64],
+        q: u64,
+        mu: u64,
+    ) {
+        let n = o0.len();
+        let qv = _mm256_set1_epi64x(q as i64);
+        let muv = _mm256_set1_epi64x(mu as i64);
+        let mut i = 0;
+        while i + 4 <= n {
+            // SAFETY: `i + 4 <= n` bounds every 4-lane access below.
+            unsafe {
+                let mv = load(m, i);
+                store(o0, i, barrett_mul_v(load(x0, i), mv, qv, muv));
+                store(o1, i, barrett_mul_v(load(x1, i), mv, qv, muv));
+            }
+            i += 4;
+        }
+        while i < n {
+            o0[i] = crate::rns::barrett_mul(x0[i], m[i], q, mu);
+            o1[i] = crate::rns::barrett_mul(x1[i], m[i], q, mu);
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn gather(src: &[u64], perm: &[u32], out: &mut [u64]) {
+        let n = out.len();
+        let mut i = 0;
+        while i + 4 <= n {
+            // SAFETY: `i + 4 <= n` bounds the window accesses; every
+            // permutation index is < src.len() by construction of
+            // `galois_eval_permutation`.
+            unsafe {
+                let idx = _mm_loadu_si128(perm.as_ptr().add(i) as *const __m128i);
+                let g = _mm256_i32gather_epi64::<8>(src.as_ptr() as *const i64, idx);
+                store(out, i, g);
+            }
+            i += 4;
+        }
+        while i < n {
+            out[i] = src[perm[i] as usize];
+            i += 1;
+        }
+    }
+
     /// Canonical add of canonical lanes: a 64-bit wrap means the true sum is
     /// in `[2^64, 2p)`, whose canonical form is `wrapped + ε`; otherwise one
     /// conditional subtract finishes.
@@ -1320,8 +1442,7 @@ mod tests {
                     class(((u128::from(a) + u128::from(b)) % u128::from(MODULUS)) as u64),
                     "add a={a:#x} b={b:#x}"
                 );
-                let expected_sub = (u128::from(a) + 2 * u128::from(MODULUS)
-                    - u128::from(class(b)))
+                let expected_sub = (u128::from(a) + 2 * u128::from(MODULUS) - u128::from(class(b)))
                     % u128::from(MODULUS);
                 assert_eq!(
                     u128::from(class(p_sub_lazy(a, b))),
@@ -1483,6 +1604,54 @@ mod tests {
                     o1[i],
                     p_mul_add(c2, s1[i], p_mul_add(a1[i], b0[i], p_mul(a0[i], b1[i])))
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn barrett_mul2_chunk_is_bit_identical_across_policies() {
+        let chain = crate::rns::ModulusChain::new(2, 64, false);
+        let (q, mu) = (chain.limb(1).modulus(), chain.limb(1).mu());
+        for &n in &[1usize, 3, 4, 5, 8, 31, 64, 257] {
+            let reduce = |v: Vec<u64>| -> Vec<u64> { v.into_iter().map(|x| x % q).collect() };
+            let mut x0 = reduce(random_raw(n, 0xC0));
+            let x1 = reduce(random_raw(n, 0xC1));
+            let m = reduce(random_raw(n, 0xC2));
+            for (slot, v) in x0.iter_mut().zip([0, q - 1, 1, q - 2]) {
+                *slot = v;
+            }
+            let run = |policy: SimdPolicy| {
+                let (mut o0, mut o1) = (vec![0u64; n], vec![0u64; n]);
+                mul2_chunk_q(&x0, &x1, &m, &mut o0, &mut o1, q, mu, policy);
+                (o0, o1)
+            };
+            let (s0, s1) = run(SimdPolicy::Scalar);
+            assert_eq!(
+                (s0.clone(), s1.clone()),
+                run(SimdPolicy::detected()),
+                "n={n}"
+            );
+            for i in 0..n {
+                let expect = ((u128::from(x0[i]) * u128::from(m[i])) % u128::from(q)) as u64;
+                assert_eq!(s0[i], expect, "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn gather_chunk_is_bit_identical_across_policies() {
+        for &n in &[1usize, 4, 7, 64, 255] {
+            let src = random_raw(n, 0xD0);
+            let perm: Vec<u32> = (0..n as u32).map(|i| (i * 11 + 5) % n as u32).collect();
+            let run = |policy: SimdPolicy| {
+                let mut out = vec![0u64; n];
+                gather_chunk(&src, &perm, &mut out, policy);
+                out
+            };
+            let scalar = run(SimdPolicy::Scalar);
+            assert_eq!(scalar, run(SimdPolicy::detected()), "n={n}");
+            for i in 0..n {
+                assert_eq!(scalar[i], src[perm[i] as usize]);
             }
         }
     }

@@ -225,9 +225,13 @@ impl DataflowExecutor {
         // useful worker bound is the instruction count, not the widest level.
         let workers = self.threads.min(n.max(1));
         // Dynamic intra-op grants only pay off when payloads are large
-        // enough for the evaluator to actually split them.
-        let splittable =
-            self.threads > 1 && res.ctx.params().payload_degree >= Evaluator::INTRA_OP_MIN_DEGREE;
+        // enough for the evaluator to actually split them. The split axis is
+        // the whole `limb_count · degree` component stripe: a multi-limb
+        // session splits limb-first (each chunk is one limb's coefficient
+        // range) even when a single limb would stay below the threshold.
+        let splittable = self.threads > 1
+            && res.ctx.params().payload_degree * res.ctx.params().limb_count
+                >= Evaluator::INTRA_OP_MIN_DEGREE;
         let started = Instant::now();
         let (stats, mut timing) = if n == 0 {
             (EvaluatorStats::default(), TimingBreakdown::empty(workers))

@@ -31,7 +31,7 @@
 use chehab::benchsuite::{self, Benchmark};
 use chehab::compiler::{Compiler, ExecOptions, SchedulerKind};
 use chehab::fhe::poly::{Domain, NttTables, Poly, MODULUS};
-use chehab::fhe::{BfvParameters, CtPayload, SimdPolicy};
+use chehab::fhe::{BfvParameters, CtPayload, ModulusChain, SimdPolicy};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
@@ -71,6 +71,7 @@ fn fused_payload_kernels_are_bit_identical_under_every_policy() {
     // and scalar tails are exercised through the thread counts below — a
     // 3-way chunking of these lengths lands mid-vector.
     for n in [4usize, 8, 64, 1024] {
+        let chain = ModulusChain::new(1, n, false);
         for domain in [Domain::Coeff, Domain::Eval] {
             let a = CtPayload::from_stripe(random_residues(&mut rng, 2 * n), domain);
             let b = CtPayload::from_stripe(random_residues(&mut rng, 2 * n), domain);
@@ -86,7 +87,7 @@ fn fused_payload_kernels_are_bit_identical_under_every_policy() {
             for threads in [1usize, 3, 4] {
                 assert_kernel_identical("mul_eval2", n, domain, threads, detected, |policy| {
                     let mut out = vec![0u64; 2 * n];
-                    a.mul_eval2(&mult, &mut out, threads, policy);
+                    a.mul_eval2(&mult, &mut out, threads, policy, &chain);
                     out
                 });
                 assert_kernel_identical(
@@ -97,13 +98,13 @@ fn fused_payload_kernels_are_bit_identical_under_every_policy() {
                     detected,
                     |policy| {
                         let mut out = vec![0u64; 2 * n];
-                        a.mul_scalar_eval2(&mult, k, &mut out, threads, policy);
+                        a.mul_scalar_eval2(&mult, k, &mut out, threads, policy, &chain);
                         out
                     },
                 );
                 assert_kernel_identical("mul_add_eval2", n, domain, threads, detected, |policy| {
                     let mut out = vec![0u64; 2 * n];
-                    a.mul_add_eval2(&b, &s0, &s1, &mut out, threads, policy);
+                    a.mul_add_eval2(&b, &s0, &s1, &mut out, threads, policy, &chain);
                     out
                 });
                 if domain == Domain::Eval {
@@ -115,7 +116,7 @@ fn fused_payload_kernels_are_bit_identical_under_every_policy() {
                         detected,
                         |policy| {
                             let mut out = vec![0u64; 2 * n];
-                            a.galois_eval2(&perm, &key, &mut out, threads, policy);
+                            a.galois_eval2(&perm, &key, &mut out, threads, policy, &chain);
                             out
                         },
                     );
@@ -125,32 +126,32 @@ fn fused_payload_kernels_are_bit_identical_under_every_policy() {
             // Whole-stripe kernels take no thread count.
             assert_kernel_identical("add2", n, domain, 1, detected, |policy| {
                 let mut out = vec![0u64; 2 * n];
-                a.add2(&b, &mut out, policy);
+                a.add2(&b, &mut out, policy, &chain);
                 out
             });
             assert_kernel_identical("sub2", n, domain, 1, detected, |policy| {
                 let mut out = vec![0u64; 2 * n];
-                a.sub2(&b, &mut out, policy);
+                a.sub2(&b, &mut out, policy, &chain);
                 out
             });
             assert_kernel_identical("neg2", n, domain, 1, detected, |policy| {
                 let mut out = vec![0u64; 2 * n];
-                a.neg2(&mut out, policy);
+                a.neg2(&mut out, policy, &chain);
                 out
             });
             assert_kernel_identical("add_assign2", n, domain, 1, detected, |policy| {
                 let mut acc = a.clone();
-                acc.add_assign2(&b, policy);
+                acc.add_assign2(&b, policy, &chain);
                 acc.into_stripe()
             });
             assert_kernel_identical("sub_assign2", n, domain, 1, detected, |policy| {
                 let mut acc = a.clone();
-                acc.sub_assign2(&b, policy);
+                acc.sub_assign2(&b, policy, &chain);
                 acc.into_stripe()
             });
             assert_kernel_identical("neg_assign2", n, domain, 1, detected, |policy| {
                 let mut acc = a.clone();
-                acc.neg_assign2(policy);
+                acc.neg_assign2(policy, &chain);
                 acc.into_stripe()
             });
         }
