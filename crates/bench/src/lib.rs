@@ -16,9 +16,9 @@ pub mod micro;
 use chehab_benchsuite::Benchmark;
 use chehab_core::{
     external_compile_stats, output_slots_of, select_rotation_keys, BatchPolicy, CompiledProgram,
-    Compiler, ExecOptions, ExecutionReport,
+    Compiler, ExecOptions, ExecutionReport, FaultPlan,
 };
-use chehab_fhe::{BfvParameters, SimdPolicy};
+use chehab_fhe::{BfvParameters, FheError, SimdPolicy};
 use chehab_ir::{circuit_depth, multiplicative_depth, rotation_steps};
 use chehab_rl::Agent;
 use coyote_baseline::{CoyoteCompiler, CoyoteConfig};
@@ -769,6 +769,225 @@ pub fn write_serving_json(
         (
             "geomean_wall_amortized_speedup".into(),
             Value::Float(geometric_mean_ratio(&wall, &ones)),
+        ),
+        ("kernels".into(), Value::Array(rows)),
+    ]);
+    let path = path.as_ref().to_path_buf();
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&document).expect("stub serializer is infallible"),
+    )?;
+    Ok(path)
+}
+
+/// Resilience figures of one kernel: a clean serving pass versus the same
+/// request stream under a seeded fault storm (planned worker panics, latency
+/// spikes, forced queue-full rejections, one explicit cancellation).
+#[derive(Debug, Clone)]
+pub struct ChaosMeasurement {
+    /// Benchmark identifier.
+    pub benchmark: String,
+    /// Compiler label.
+    pub compiler: String,
+    /// Requests per pass.
+    pub requests: usize,
+    /// p95 request wall latency of the fault-free pass, ms.
+    pub clean_p95_ms: f64,
+    /// p95 request wall latency under the fault storm, ms.
+    pub chaos_p95_ms: f64,
+    /// Storm requests that completed with a report.
+    pub ok: usize,
+    /// Storm requests that failed with an isolated worker panic.
+    pub panicked: usize,
+    /// Storm requests resolved as cancelled (one is cancelled on purpose).
+    pub cancelled: usize,
+    /// Worker panics recorded by the storm session's resilience counters.
+    pub worker_panics: u64,
+    /// Whether every non-faulted storm request's outputs were bit-identical
+    /// to a clean solo run of the same inputs.
+    pub non_faulted_exact: bool,
+}
+
+impl ChaosMeasurement {
+    /// Every storm request resolved — the zero-hang criterion (a hang would
+    /// strand the harness on `wait` instead of producing a measurement).
+    pub fn completed_all(&self) -> bool {
+        self.ok + self.panicked + self.cancelled == self.requests
+    }
+}
+
+/// Serves one kernel's request stream twice — once clean, once under a
+/// seeded [`FaultPlan`] storm plus two forced queue-full rejections and one
+/// explicit mid-flight cancellation — and reports error counts, resilience
+/// counters and the p95 latency of both passes. The same `seed` always
+/// yields the same fault points.
+pub fn measure_chaos(
+    benchmark: &Benchmark,
+    compiler: &CompilerUnderTest,
+    params: &BfvParameters,
+    requests: usize,
+    seed: u64,
+) -> ChaosMeasurement {
+    let compiled = compiler.compile(benchmark);
+    let requests = requests.max(2);
+    let input_sets: Vec<HashMap<String, i64>> = (0..requests)
+        .map(|seed| {
+            benchmark
+                .program()
+                .variables()
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| (v.to_string(), ((seed + i) as i64 % 11) + 1))
+                .collect()
+        })
+        .collect();
+    let serve_options = ExecOptions::new().with_request_threads(2);
+
+    // Clean pass: the expected outputs and the fault-free latency profile.
+    let session = Arc::new(
+        compiled
+            .session(params)
+            .unwrap_or_else(|e| panic!("{}: session construction failed: {e}", benchmark.id())),
+    );
+    let expected: Vec<Vec<u64>> = input_sets
+        .iter()
+        .map(|inputs| {
+            session
+                .run(inputs)
+                .unwrap_or_else(|e| panic!("{}: clean run failed: {e}", benchmark.id()))
+                .outputs
+        })
+        .collect();
+    let engine = session.serve_resilient(&serve_options, None, None);
+    let handles: Vec<_> = input_sets
+        .iter()
+        .map(|inputs| {
+            engine
+                .submit(inputs.clone())
+                .expect("engine accepts while live")
+        })
+        .collect();
+    for handle in handles {
+        handle
+            .wait()
+            .unwrap_or_else(|e| panic!("{}: clean served request failed: {e}", benchmark.id()));
+    }
+    let clean = engine.shutdown();
+
+    // Storm pass on a fresh session so the resilience counters start at
+    // zero. Fault points are derived from `seed` over the stream's total
+    // dispatch range; submission retries ride out the forced rejections.
+    let session = Arc::new(
+        compiled
+            .session(params)
+            .unwrap_or_else(|e| panic!("{}: session construction failed: {e}", benchmark.id())),
+    );
+    let span = (session.schedule().instrs().len() * requests) as u64;
+    let plan = FaultPlan::storm(seed, span.max(1), 2);
+    plan.force_queue_full(2);
+    let engine = session.serve_resilient(&serve_options, None, Some(plan));
+    let handles: Vec<_> = input_sets
+        .iter()
+        .map(|inputs| {
+            engine
+                .submit_with_retry(inputs.clone(), 8, Duration::from_millis(1))
+                .expect("retries outlast the forced queue-full budget")
+        })
+        .collect();
+    if let Some(victim) = handles.last() {
+        victim.cancel();
+    }
+    let (mut ok, mut panicked, mut cancelled) = (0usize, 0usize, 0usize);
+    let mut non_faulted_exact = true;
+    for (i, handle) in handles.into_iter().enumerate() {
+        match handle.wait() {
+            Ok(report) => {
+                ok += 1;
+                non_faulted_exact &= report.outputs == expected[i];
+            }
+            Err(FheError::WorkerPanic { .. }) => panicked += 1,
+            Err(FheError::Cancelled) => cancelled += 1,
+            Err(e) => panic!("{}: unexpected storm error: {e}", benchmark.id()),
+        }
+    }
+    let chaos = engine.shutdown();
+    let p95 =
+        |stats: &chehab_runtime::ServingStats| stats.latency.request_wall.p95().map_or(0.0, ms);
+    ChaosMeasurement {
+        benchmark: benchmark.id(),
+        compiler: compiler.label().to_string(),
+        requests,
+        clean_p95_ms: p95(&clean),
+        chaos_p95_ms: p95(&chaos),
+        ok,
+        panicked,
+        cancelled,
+        worker_panics: chaos.resilience.worker_panics,
+        non_faulted_exact,
+    }
+}
+
+/// Writes chaos measurements as JSON into `path` (same artifact family as
+/// [`write_serving_json`]) and returns it.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_chaos_json(
+    path: impl AsRef<std::path::Path>,
+    requests: usize,
+    seed: u64,
+    measurements: &[ChaosMeasurement],
+) -> std::io::Result<std::path::PathBuf> {
+    use serde::Value;
+    let rows: Vec<Value> = measurements
+        .iter()
+        .map(|m| {
+            Value::Object(vec![
+                ("benchmark".into(), Value::Str(m.benchmark.clone())),
+                ("requests".into(), Value::Int(m.requests as i64)),
+                ("clean_p95_ms".into(), Value::Float(m.clean_p95_ms)),
+                ("chaos_p95_ms".into(), Value::Float(m.chaos_p95_ms)),
+                ("ok".into(), Value::Int(m.ok as i64)),
+                ("panicked".into(), Value::Int(m.panicked as i64)),
+                ("cancelled".into(), Value::Int(m.cancelled as i64)),
+                ("worker_panics".into(), Value::Int(m.worker_panics as i64)),
+                ("non_faulted_exact".into(), Value::Bool(m.non_faulted_exact)),
+                ("completed_all".into(), Value::Bool(m.completed_all())),
+            ])
+        })
+        .collect();
+    let total = |f: fn(&ChaosMeasurement) -> usize| -> i64 {
+        measurements.iter().map(f).sum::<usize>() as i64
+    };
+    let document = Value::Object(vec![
+        ("experiment".into(), Value::Str("chaos".into())),
+        ("requests".into(), Value::Int(requests as i64)),
+        ("seed".into(), Value::UInt(seed)),
+        ("host_cpus".into(), Value::Int(available_cpus() as i64)),
+        (
+            "semantics".into(),
+            Value::Str(
+                "Each kernel's request stream is served twice: clean, then under a seeded \
+                 FaultPlan storm (2 planned worker panics, latency spikes, 2 forced queue-full \
+                 rejections ridden out by submission retries, 1 explicit cancellation). \
+                 completed_all = every storm request resolved (zero hangs); non_faulted_exact = \
+                 every storm request that completed produced outputs bit-identical to a clean \
+                 solo run; panicked is bounded by the planned panic points"
+                    .into(),
+            ),
+        ),
+        ("kernel_count".into(), Value::Int(measurements.len() as i64)),
+        ("total_ok".into(), Value::Int(total(|m| m.ok))),
+        ("total_panicked".into(), Value::Int(total(|m| m.panicked))),
+        ("total_cancelled".into(), Value::Int(total(|m| m.cancelled))),
+        (
+            "all_exact".into(),
+            Value::Bool(measurements.iter().all(|m| m.non_faulted_exact)),
+        ),
+        (
+            "zero_hangs".into(),
+            Value::Bool(measurements.iter().all(ChaosMeasurement::completed_all)),
         ),
         ("kernels".into(), Value::Array(rows)),
     ]);

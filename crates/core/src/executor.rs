@@ -29,10 +29,10 @@ use chehab_fhe::{
 use chehab_ir::{BinOp, CircuitDag, CircuitSummary, CostModel, DagNode, DataKind, Expr, Ty};
 use chehab_runtime::{
     data_kinds, default_workers, lane_geometry, BatchExecutor, BatchPolicy, CalibratedCostModel,
-    CoalescerConfig, Counter, DataflowExecutor, ExecResources, Gauge, LaneGeometry,
-    MetricsRegistry, Register, RequestCoalescer, Schedule, SchedulerKind, SchedulerMetrics,
-    ServingConfig, ServingEngine, SpanEvent, TimingBreakdown, Trace, TraceSink, WavefrontExecutor,
-    WavefrontOutcome, DEFAULT_QUEUE_CAPACITY,
+    CancellationToken, CoalescerConfig, Counter, DataflowExecutor, ExecResources, FaultPlan, Gauge,
+    LaneGeometry, MetricsRegistry, Register, RequestCoalescer, ResilienceSnapshot, ResilienceStats,
+    Schedule, SchedulerKind, SchedulerMetrics, ServingConfig, ServingEngine, SpanEvent,
+    TimingBreakdown, Trace, TraceSink, WavefrontExecutor, WavefrontOutcome, DEFAULT_QUEUE_CAPACITY,
 };
 use coyote_baseline::LaneAssignment;
 use std::collections::HashMap;
@@ -133,6 +133,18 @@ pub struct ExecOptions {
     /// executes once per batch. `None` (the default) keeps every request in
     /// its own ciphertext.
     pub batching: Option<BatchPolicy>,
+    /// Per-request deadline of [`FheSession::serve`]: each submitted request
+    /// gets a [`CancellationToken`] armed with this budget, checked at every
+    /// instruction dispatch, so an expired request stops scheduling work
+    /// mid-flight and resolves with
+    /// [`FheError::DeadlineExceeded`](chehab_fhe::FheError::DeadlineExceeded).
+    /// `None` (the default) lets every request run to completion.
+    pub deadline: Option<Duration>,
+    /// Admission control of [`FheSession::serve`]: when `true` (and a
+    /// `deadline` is set), submissions whose deadline is provably infeasible
+    /// given the queue depth and the calibrated per-request cost are shed at
+    /// the door instead of wasting ciphertext work on a guaranteed miss.
+    pub shed_infeasible: bool,
 }
 
 impl Default for ExecOptions {
@@ -143,6 +155,8 @@ impl Default for ExecOptions {
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
             scheduler: SchedulerKind::default(),
             batching: None,
+            deadline: None,
+            shed_infeasible: false,
         }
     }
 }
@@ -159,9 +173,7 @@ impl ExecOptions {
         ExecOptions {
             request_threads: 1,
             threads_per_request: 1,
-            queue_capacity: DEFAULT_QUEUE_CAPACITY,
-            scheduler: SchedulerKind::default(),
-            batching: None,
+            ..ExecOptions::default()
         }
     }
 
@@ -195,6 +207,20 @@ impl ExecOptions {
         self.batching = Some(policy);
         self
     }
+
+    /// Arms a per-request deadline on the serving path (see
+    /// [`ExecOptions::deadline`]).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Enables deadline-infeasibility shedding on the serving path (see
+    /// [`ExecOptions::shed_infeasible`]).
+    pub fn with_shed_infeasible(mut self, shed: bool) -> Self {
+        self.shed_infeasible = shed;
+        self
+    }
 }
 
 impl From<BatchOptions> for ExecOptions {
@@ -202,9 +228,7 @@ impl From<BatchOptions> for ExecOptions {
         ExecOptions {
             request_threads: options.request_threads.max(1),
             threads_per_request: options.threads_per_request.max(1),
-            queue_capacity: DEFAULT_QUEUE_CAPACITY,
-            scheduler: SchedulerKind::default(),
-            batching: None,
+            ..ExecOptions::default()
         }
     }
 }
@@ -440,6 +464,10 @@ struct SessionMetrics {
     ntt_inverse: Counter,
     keygen_instances: Counter,
     galois_keys: Gauge,
+    requests_cancelled: Counter,
+    deadline_missed: Counter,
+    requests_shed: Counter,
+    worker_panics: Counter,
 }
 
 impl SessionMetrics {
@@ -487,6 +515,22 @@ impl SessionMetrics {
                 "KeyGenerator instances created process-wide",
             ),
             galois_keys: registry.gauge("chehab_galois_keys", "Galois keys held by the session"),
+            requests_cancelled: registry.counter(
+                "chehab_requests_cancelled_total",
+                "Requests cancelled before or during execution across this session's engines",
+            ),
+            deadline_missed: registry.counter(
+                "chehab_deadline_missed_total",
+                "Requests whose deadline expired across this session's engines",
+            ),
+            requests_shed: registry.counter(
+                "chehab_requests_shed_total",
+                "Requests shed by admission control as deadline-infeasible",
+            ),
+            worker_panics: registry.counter(
+                "chehab_worker_panics_total",
+                "Serving-worker panics isolated across this session's engines",
+            ),
             registry,
         }
     }
@@ -577,6 +621,10 @@ pub struct FheSession {
     /// Measured per-op latencies accumulated across every request served.
     calibration: Mutex<CalibratedCostModel>,
     requests_served: AtomicU64,
+    /// Resilience counters (cancelled / deadline-missed / shed / worker
+    /// panics) shared with every serving engine this session starts, so the
+    /// session's Prometheus registry aggregates across engines.
+    resilience: Arc<ResilienceStats>,
     /// The session-owned metrics registry and its named handles (see
     /// [`FheSession::metrics`]).
     metrics: SessionMetrics,
@@ -674,6 +722,7 @@ impl FheSession {
             lowering_time,
             calibration: Mutex::new(CalibratedCostModel::new()),
             requests_served: AtomicU64::new(0),
+            resilience: Arc::new(ResilienceStats::default()),
             metrics: SessionMetrics::new(),
         })
     }
@@ -746,7 +795,7 @@ impl FheSession {
     ///
     /// Same contract as [`CompiledProgram::execute`].
     pub fn run(&self, inputs: &HashMap<String, i64>) -> Result<ExecutionReport, FheError> {
-        self.run_with_options(inputs, 1, SchedulerKind::Leveled, None)
+        self.run_with_options(inputs, 1, SchedulerKind::Leveled, None, None, None)
     }
 
     /// Serves one request with `options.threads_per_request` workers under
@@ -763,7 +812,49 @@ impl FheSession {
         inputs: &HashMap<String, i64>,
         options: &ExecOptions,
     ) -> Result<ExecutionReport, FheError> {
-        self.run_with_options(inputs, options.threads_per_request, options.scheduler, None)
+        self.run_with_options(
+            inputs,
+            options.threads_per_request,
+            options.scheduler,
+            None,
+            None,
+            None,
+        )
+    }
+
+    /// Serves one request like [`FheSession::run_parallel`] under an
+    /// external [`CancellationToken`] and an optional deterministic
+    /// [`FaultPlan`]: the token (and the plan's own faults) are checked at
+    /// **every instruction dispatch**, so cancelling the token — or its
+    /// deadline expiring — stops the executors from scheduling any further
+    /// instruction, releases the request's registers and arena buffers back
+    /// to the session pool, and returns
+    /// [`FheError::Cancelled`](chehab_fhe::FheError::Cancelled) /
+    /// [`FheError::DeadlineExceeded`](chehab_fhe::FheError::DeadlineExceeded).
+    ///
+    /// A cancelled or faulted request contributes **nothing** to the
+    /// session's cumulative calibration (partial timings would skew the
+    /// cost feedback loop).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CompiledProgram::execute`], plus the
+    /// cancellation/deadline/panic variants above.
+    pub fn run_resilient(
+        &self,
+        inputs: &HashMap<String, i64>,
+        options: &ExecOptions,
+        cancel: Option<&CancellationToken>,
+        faults: Option<&FaultPlan>,
+    ) -> Result<ExecutionReport, FheError> {
+        self.run_with_options(
+            inputs,
+            options.threads_per_request,
+            options.scheduler,
+            None,
+            cancel,
+            faults,
+        )
     }
 
     /// Serves one request exactly like [`FheSession::run_parallel`] while
@@ -792,6 +883,8 @@ impl FheSession {
             options.threads_per_request,
             options.scheduler,
             Some(&sink),
+            None,
+            None,
         )?;
         Ok((report, sink.into_trace()))
     }
@@ -818,6 +911,8 @@ impl FheSession {
                 &inputs,
                 options.threads_per_request,
                 options.scheduler,
+                None,
+                None,
                 None,
             )
         });
@@ -860,21 +955,62 @@ impl FheSession {
         options: &ExecOptions,
         trace: Option<Arc<TraceSink>>,
     ) -> FheServingEngine {
+        self.serve_resilient(options, trace, None)
+    }
+
+    /// Like [`FheSession::serve_traced`], with an optional deterministic
+    /// [`FaultPlan`]: submission-side faults (forced queue-full rejections,
+    /// worker kills) are drawn by the engine, and the same plan is threaded
+    /// into every request's executor run so instruction-level faults
+    /// (planned panics, latency spikes, mid-flight cancellations) fire
+    /// hermetically. Every request's [`CancellationToken`] — stamped with
+    /// `options.deadline` at enqueue — is checked at instruction dispatch,
+    /// so cancelled or expired requests stop scheduling work mid-flight and
+    /// resolve with
+    /// [`FheError::Cancelled`](chehab_fhe::FheError::Cancelled) /
+    /// [`FheError::DeadlineExceeded`](chehab_fhe::FheError::DeadlineExceeded).
+    ///
+    /// Requests that fail for any reason (cancel, deadline, injected or
+    /// organic panic) never feed the session's cumulative calibration.
+    pub fn serve_resilient(
+        self: &Arc<Self>,
+        options: &ExecOptions,
+        trace: Option<Arc<TraceSink>>,
+        faults: Option<FaultPlan>,
+    ) -> FheServingEngine {
         let session = Arc::clone(self);
         let threads_per_request = options.threads_per_request;
         let scheduler = options.scheduler;
         let metrics = Arc::new(SchedulerMetrics::default());
         let sink = Arc::clone(&metrics);
-        ServingEngine::with_telemetry(
+        let exec_faults = faults.clone();
+        let panic_stats = Arc::clone(&self.resilience);
+        ServingEngine::with_resilience(
             ServingConfig {
                 workers: options.request_threads,
                 queue_capacity: options.queue_capacity,
+                deadline: options.deadline,
+                shed_infeasible: options.shed_infeasible,
+                faults,
             },
             metrics,
             trace,
-            move |_, inputs: HashMap<String, i64>| {
-                let result =
-                    session.run_with_options(&inputs, threads_per_request, scheduler, None);
+            Arc::clone(&self.resilience),
+            move |_, inputs: HashMap<String, i64>, token: &CancellationToken| {
+                let result = session.run_with_options(
+                    &inputs,
+                    threads_per_request,
+                    scheduler,
+                    None,
+                    Some(token),
+                    exec_faults.as_ref(),
+                );
+                // Instruction-level panics are isolated inside the executors
+                // and surface as a clean `Err` return, invisible to the
+                // engine's own handler-panic accounting — count them here.
+                if let Err(FheError::WorkerPanic { .. }) = &result {
+                    panic_stats.note_worker_panic();
+                }
                 if let Ok(report) = &result {
                     sink.record(
                         report.timing.steals,
@@ -965,6 +1101,21 @@ impl FheSession {
         m.ntt_inverse.store(transforms.inverse);
         m.keygen_instances.store(KeyGenerator::instances_created());
         m.galois_keys.set(self.galois_keys.key_count() as f64);
+        let resilience = self.resilience.snapshot();
+        m.requests_cancelled.store(resilience.cancelled);
+        m.deadline_missed.store(resilience.deadline_missed);
+        m.requests_shed.store(resilience.shed);
+        m.worker_panics.store(resilience.worker_panics);
+    }
+
+    /// Cumulative resilience counters (cancelled / deadline-missed / shed /
+    /// worker panics) aggregated across every serving engine this session
+    /// has started. The same figures surface as
+    /// `chehab_requests_cancelled_total`, `chehab_deadline_missed_total`,
+    /// `chehab_requests_shed_total` and `chehab_worker_panics_total` in
+    /// [`FheSession::metrics`].
+    pub fn resilience(&self) -> ResilienceSnapshot {
+        self.resilience.snapshot()
     }
 
     /// The session's unified metrics registry, freshly synced: request and
@@ -997,10 +1148,17 @@ impl FheSession {
         threads: usize,
         scheduler: SchedulerKind,
         trace: Option<&TraceSink>,
+        cancel: Option<&CancellationToken>,
+        faults: Option<&FaultPlan>,
     ) -> Result<ExecutionReport, FheError> {
         let program = &self.program;
         let session_track = trace.map(|sink| sink.allocate_track("session"));
 
+        // Fail fast on a token that is already dead — before paying for
+        // input encryption.
+        if let Some(token) = cancel {
+            token.check()?;
+        }
         let bind_started = Instant::now();
         let registers = self.bind_registers(inputs)?;
         if let (Some(sink), Some(track)) = (trace, session_track) {
@@ -1008,7 +1166,8 @@ impl FheSession {
         }
         // --- server side: execute the scheduled operations (timed).
         let started = Instant::now();
-        let outcome = self.execute_schedule(registers, threads, scheduler, trace, None)?;
+        let outcome =
+            self.execute_schedule(registers, threads, scheduler, trace, None, cancel, faults)?;
         let server_time = started.elapsed();
         if let (Some(sink), Some(track)) = (trace, session_track) {
             session_span(sink, track, "execute", started, server_time);
@@ -1082,6 +1241,7 @@ impl FheSession {
     /// Runs the session schedule over an already-bound register file:
     /// executor dispatch (leveled wavefront or dataflow with calibrated
     /// critical-path priorities) shared by the unbatched and batched paths.
+    #[allow(clippy::too_many_arguments)]
     fn execute_schedule(
         &self,
         registers: Vec<Option<Register>>,
@@ -1089,6 +1249,8 @@ impl FheSession {
         scheduler: SchedulerKind,
         trace: Option<&TraceSink>,
         lanes: Option<LaneGeometry>,
+        cancel: Option<&CancellationToken>,
+        faults: Option<&FaultPlan>,
     ) -> Result<WavefrontOutcome, FheError> {
         let resources = ExecResources {
             ctx: &self.ctx,
@@ -1098,6 +1260,8 @@ impl FheSession {
             arenas: &self.arena_pool,
             trace,
             lanes,
+            cancel,
+            faults,
         };
         match scheduler {
             SchedulerKind::Leveled => {
@@ -1276,6 +1440,8 @@ impl FheSession {
                     stride: self.lanes.stride,
                     lanes: users.len(),
                 }),
+                None,
+                None,
             )?;
             let server_time = started.elapsed();
 

@@ -58,3 +58,11 @@ pub use chehab_runtime::{BatchPolicy, CoalescerStats, LaneGeometry, RequestCoale
 // [`FheSession::serve_traced`], [`FheSession::metrics`]), re-exported for
 // the same reason.
 pub use chehab_runtime::{Histogram, MetricsRegistry, Trace, TraceSink};
+// The resilience surface of the session API ([`FheSession::serve_resilient`],
+// [`FheSession::run_resilient`], [`ExecOptions::with_deadline`]),
+// re-exported for the same reason: deadline/cancellation tokens,
+// deterministic fault plans, per-engine resilience counters, and the
+// handle-side error type for abandoned or panicked requests.
+pub use chehab_runtime::{
+    CancellationToken, FaultPlan, RequestError, ResilienceSnapshot, ServingError, TrySubmitError,
+};

@@ -54,6 +54,16 @@ pub enum FheError {
     },
     /// Ciphertext was produced under a different key pair than the decryptor's.
     KeyMismatch,
+    /// The request was cancelled before it finished executing.
+    Cancelled,
+    /// The request's deadline expired before it finished executing.
+    DeadlineExceeded,
+    /// A worker panicked while executing the request; the panic was isolated
+    /// via `catch_unwind` and converted into this error.
+    WorkerPanic {
+        /// The panic payload rendered as text (best effort).
+        message: String,
+    },
 }
 
 impl fmt::Display for FheError {
@@ -74,6 +84,11 @@ impl fmt::Display for FheError {
                 "noise budget exhausted: consumed {consumed_bits:.1} of {available_bits:.1} bits"
             ),
             FheError::KeyMismatch => write!(f, "ciphertext key does not match the decryptor's key"),
+            FheError::Cancelled => write!(f, "request was cancelled"),
+            FheError::DeadlineExceeded => write!(f, "request deadline exceeded"),
+            FheError::WorkerPanic { message } => {
+                write!(f, "worker panicked while executing the request: {message}")
+            }
         }
     }
 }

@@ -34,6 +34,7 @@
 //! its deadline waiting for stragglers. Batch-size, linger-time and
 //! lane-occupancy histograms are recorded into [`CoalescerStats`].
 
+use crate::faults::CancellationToken;
 use crate::schedule::{Instr, Schedule};
 use crate::serving::DEFAULT_QUEUE_CAPACITY;
 use crate::serving::{HandleShared, RequestHandle, ServingError, TrySubmitError};
@@ -257,6 +258,11 @@ pub struct CoalescerStats {
     /// Lane occupancy per batch, in percent of
     /// [`CoalescerConfig::lane_capacity`] (recorded as raw percentages).
     pub lane_occupancy: Histogram,
+    /// Batches whose handler panicked (or miscounted results) and were
+    /// re-tried member by member.
+    pub batch_panics: u64,
+    /// Solo re-executions run while isolating a poisoned batch's offender.
+    pub solo_retries: u64,
     /// Wall-clock since the coalescer started.
     pub elapsed: Duration,
 }
@@ -276,6 +282,8 @@ struct StatsAgg {
     batch_size: Histogram,
     linger: Histogram,
     lane_occupancy: Histogram,
+    batch_panics: u64,
+    solo_retries: u64,
 }
 
 /// One queued request: id, payload, result cell, and submission time (for
@@ -313,11 +321,14 @@ struct CoalescerShared<T, R> {
 /// results to each caller's own [`RequestHandle`].
 ///
 /// The handler receives the whole batch as `(request id, request)` pairs
-/// and must return exactly one result per request, in order; a panicking
-/// handler poisons every handle of its batch (retrievers re-raise, the
-/// worker survives). Dropping a coalescer shuts it down gracefully
-/// (drains queued work, joins workers); call
-/// [`RequestCoalescer::shutdown`] to also retrieve the final stats.
+/// and must return exactly one result per request, in order. A panicking
+/// (or miscounting) handler poisons the batch, but the members are not
+/// abandoned wholesale: each one is retried **solo** exactly once, so only
+/// the offending request's waiters re-raise while innocent batch-mates
+/// still get their results (the gather worker survives either way).
+/// Dropping a coalescer shuts it down gracefully (drains queued work,
+/// joins workers); call [`RequestCoalescer::shutdown`] to also retrieve
+/// the final stats.
 pub struct RequestCoalescer<T, R> {
     shared: Arc<CoalescerShared<T, R>>,
     workers: Vec<JoinHandle<()>>,
@@ -332,9 +343,12 @@ impl<T, R> std::fmt::Debug for RequestCoalescer<T, R> {
     }
 }
 
-impl<T: Send + 'static, R: Send + 'static> RequestCoalescer<T, R> {
+impl<T: Clone + Send + 'static, R: Send + 'static> RequestCoalescer<T, R> {
     /// Starts a coalescer: spawns `config.workers` gather threads that form
     /// batches under `config.policy` and execute them through `handler`.
+    ///
+    /// Requests must be `Clone` so that a poisoned batch can be re-tried
+    /// member by member (see the type-level docs on panic isolation).
     pub fn new<F>(config: CoalescerConfig, handler: F) -> Self
     where
         F: Fn(Vec<(u64, T)>) -> Vec<R> + Send + Sync + 'static,
@@ -424,7 +438,14 @@ impl<T, R> RequestCoalescer<T, R> {
         });
         drop(state);
         self.shared.not_empty.notify_one();
-        RequestHandle::from_shared(id, handle)
+        // Lane-batched execution cannot cancel one member mid-flight (its
+        // slots are packed into the shared ciphertext), so the token only
+        // carries the policy deadline for observability.
+        let token = match self.shared.policy.deadline {
+            Some(deadline) => CancellationToken::deadline_in(deadline),
+            None => CancellationToken::new(),
+        };
+        RequestHandle::from_shared(id, handle, token)
     }
 
     /// A point-in-time snapshot of the coalescer's batching counters.
@@ -438,6 +459,8 @@ impl<T, R> RequestCoalescer<T, R> {
             batch_size: agg.batch_size.clone(),
             linger: agg.linger.clone(),
             lane_occupancy: agg.lane_occupancy.clone(),
+            batch_panics: agg.batch_panics,
+            solo_retries: agg.solo_retries,
             elapsed: self.shared.started.elapsed(),
         }
     }
@@ -470,7 +493,7 @@ impl<T, R> Drop for RequestCoalescer<T, R> {
 /// One gather worker: wait for a first request, linger for companions under
 /// the policy, execute the flushed batch, scatter, repeat. Shutdown flushes
 /// the gathering batch immediately and drains the queue before exiting.
-fn gather_loop<T, R>(
+fn gather_loop<T: Clone, R>(
     shared: &CoalescerShared<T, R>,
     handler: &(dyn Fn(Vec<(u64, T)>) -> Vec<R> + Send + Sync),
 ) {
@@ -542,9 +565,12 @@ fn gather_loop<T, R>(
             handles.push(job.handle);
             requests.push((job.id, job.request));
         }
-        // A panicking (or miscounting) handler must poison the whole batch:
+        // A panicking (or miscounting) handler poisons the whole batch:
         // every member's inputs shared the ciphertext, so no member has a
-        // trustworthy result, and waiters must re-raise instead of hanging.
+        // trustworthy result. Keep a clone around (only when a retry is
+        // meaningful, i.e. the batch has companions) so survivors can be
+        // re-run solo and only the offender's waiters re-raise.
+        let retry_pool: Option<Vec<(u64, T)>> = (size > 1).then(|| requests.clone());
         let results = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler(requests)))
             .ok()
             .filter(|results| results.len() == handles.len());
@@ -555,8 +581,26 @@ fn gather_loop<T, R>(
                 }
             }
             None => {
-                for handle in &handles {
-                    handle.fulfill(None);
+                shared.stats.lock().unwrap().batch_panics += 1;
+                match retry_pool {
+                    Some(solo_requests) => {
+                        // Isolate the offender: each member runs alone,
+                        // exactly once, under its own unwind guard.
+                        for (handle, (id, request)) in handles.iter().zip(solo_requests) {
+                            shared.stats.lock().unwrap().solo_retries += 1;
+                            let solo =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    handler(vec![(id, request)])
+                                }))
+                                .ok()
+                                .filter(|results| results.len() == 1);
+                            handle.fulfill(solo.map(|mut results| {
+                                results.pop().expect("filtered to exactly one result")
+                            }));
+                        }
+                    }
+                    // A solo batch already isolates its offender: poison it.
+                    None => handles[0].fulfill(None),
                 }
             }
         }
@@ -692,7 +736,7 @@ mod tests {
     }
 
     #[test]
-    fn panicking_handler_poisons_the_whole_batch() {
+    fn batch_poison_retries_survivors_solo_and_fails_only_the_offender() {
         let calls = Arc::new(AtomicUsize::new(0));
         let counter = Arc::clone(&calls);
         let coalescer: RequestCoalescer<u32, u32> = RequestCoalescer::new(
@@ -711,18 +755,150 @@ mod tests {
             },
         );
         let bad = coalescer.submit(13).unwrap();
-        let also_bad = coalescer.submit(7).unwrap();
-        // Both members of the poisoned batch re-raise; the worker survives
-        // and serves the next batch.
-        for handle in [bad, also_bad] {
-            let reraised = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle.wait()));
-            assert!(reraised.is_err(), "poisoned batch member re-raises");
-        }
+        let survivor = coalescer.submit(7).unwrap();
+        // The batched run panics; each member is retried solo. Only the
+        // offender's waiter re-raises — the innocent batch-mate still gets
+        // its result, and the gather worker survives.
+        let reraised = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| bad.wait()));
+        assert!(reraised.is_err(), "the offending request re-raises");
+        assert_eq!(survivor.wait(), 7);
         let good = coalescer.submit(4).unwrap();
         assert_eq!(good.wait(), 4);
-        assert!(calls.load(Ordering::Relaxed) >= 2);
+        // One poisoned batch run + two solo retries + the follow-up batch.
+        assert!(calls.load(Ordering::Relaxed) >= 4);
         let stats = coalescer.shutdown();
         assert_eq!(stats.completed, 3);
+        assert_eq!(stats.batch_panics, 1);
+        assert_eq!(stats.solo_retries, 2);
+    }
+
+    #[test]
+    fn solo_batches_fail_fast_without_a_pointless_retry() {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&calls);
+        let coalescer: RequestCoalescer<u32, u32> = RequestCoalescer::new(
+            CoalescerConfig {
+                policy: BatchPolicy::default()
+                    .with_max_batch(1)
+                    .with_max_linger(Duration::from_millis(1)),
+                workers: 1,
+                queue_capacity: 8,
+                lane_capacity: 1,
+            },
+            move |_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                panic!("always poisoned")
+            },
+        );
+        let doomed = coalescer.submit(1).unwrap();
+        let reraised = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| doomed.wait()));
+        assert!(reraised.is_err());
+        // Wait until the worker has recorded the poisoned batch before
+        // asserting on the counters.
+        while coalescer.stats().batch_panics < 1 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            1,
+            "no solo retry of a solo batch"
+        );
+        let stats = coalescer.shutdown();
+        assert_eq!(stats.solo_retries, 0);
+    }
+
+    #[test]
+    fn adversarial_bursts_fill_batches_while_all_results_stay_exact() {
+        // Open-loop bursts: 4 bursts of 8 arrive faster than the worker can
+        // drain, separated by pauses longer than the linger. Every request
+        // must still get its own doubled value.
+        let coalescer = doubling_coalescer(
+            BatchPolicy::default()
+                .with_max_batch(8)
+                .with_max_linger(Duration::from_millis(2)),
+            256,
+        );
+        let mut handles = Vec::new();
+        for burst in 0..4u64 {
+            for i in 0..8u64 {
+                handles.push((burst * 8 + i, coalescer.submit(burst * 8 + i).unwrap()));
+            }
+            std::thread::sleep(Duration::from_millis(6));
+        }
+        for (v, handle) in handles {
+            assert_eq!(handle.wait(), v * 2);
+        }
+        let stats = coalescer.shutdown();
+        assert_eq!(stats.completed, 32);
+        assert!(
+            stats.batches_formed >= 4,
+            "bursts separated by > linger cannot share one batch"
+        );
+        assert_eq!(stats.batch_size.count(), stats.batches_formed);
+    }
+
+    #[test]
+    fn adversarial_slow_trickle_pays_at_most_the_linger_per_request() {
+        // A trickle slower than the linger: every batch flushes solo after
+        // its full linger, and no request waits on a companion that never
+        // comes.
+        let linger = Duration::from_millis(3);
+        let coalescer = doubling_coalescer(
+            BatchPolicy::default()
+                .with_max_batch(16)
+                .with_max_linger(linger),
+            64,
+        );
+        for v in 0..5u64 {
+            let submitted = Instant::now();
+            let handle = coalescer.submit(v).unwrap();
+            assert_eq!(handle.wait(), v * 2);
+            assert!(
+                submitted.elapsed() < linger + Duration::from_secs(2),
+                "a trickle request must not wait unboundedly for companions"
+            );
+            std::thread::sleep(linger * 2);
+        }
+        let stats = coalescer.shutdown();
+        assert_eq!(
+            stats.batches_formed, 5,
+            "each trickle request flushes alone"
+        );
+        assert_eq!(stats.batch_size.max(), Some(Duration::from_nanos(1)));
+    }
+
+    #[test]
+    fn adversarial_deadline_skew_flushes_by_the_tightest_member() {
+        // The first member has burned most of its deadline budget before a
+        // late companion arrives; the batch must flush by the *earliest*
+        // absolute deadline, not restart the clock per member.
+        let coalescer = doubling_coalescer(
+            BatchPolicy::default()
+                .with_max_batch(64)
+                .with_max_linger(Duration::from_secs(60))
+                .with_deadline(Duration::from_millis(40)),
+            64,
+        );
+        let started = Instant::now();
+        let old = coalescer.submit(1).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        let young = coalescer.submit(2).unwrap();
+        assert_eq!(old.wait(), 2);
+        assert_eq!(young.wait(), 4);
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "the old member's deadline must flush the batch long before the linger"
+        );
+        let stats = coalescer.shutdown();
+        assert_eq!(stats.batches_formed, 1, "the young member rides along");
+        coalescer_deadline_sanity(&stats);
+    }
+
+    /// Shared sanity assertions for deadline-policy tests.
+    fn coalescer_deadline_sanity(stats: &CoalescerStats) {
+        assert_eq!(stats.batch_panics, 0);
+        assert_eq!(stats.solo_retries, 0);
+        assert_eq!(stats.submitted, stats.completed);
     }
 
     #[test]

@@ -41,7 +41,7 @@
 
 use crate::calibrate::CalibratedCostModel;
 use crate::exec::{
-    publish_and_reap, run_instr, validate_operands, ExecResources, Register, RegisterFile,
+    dispatch_instr, publish_and_reap, validate_operands, ExecResources, Register, RegisterFile,
     SchedulerKind, TimingBreakdown, WavefrontOutcome,
 };
 use crate::schedule::Schedule;
@@ -233,10 +233,10 @@ impl DataflowExecutor {
             && res.ctx.params().payload_degree * res.ctx.params().limb_count
                 >= Evaluator::INTRA_OP_MIN_DEGREE;
         let started = Instant::now();
-        let (stats, mut timing) = if n == 0 {
-            (EvaluatorStats::default(), TimingBreakdown::empty(workers))
+        let result = if n == 0 {
+            Ok((EvaluatorStats::default(), TimingBreakdown::empty(workers)))
         } else if workers == 1 {
-            self.execute_single(schedule, &rf, res, priorities, splittable)?
+            self.execute_single(schedule, &rf, res, priorities, splittable)
         } else {
             // Grants draw on the full *requested* pool, not the clamped
             // worker count: a 3-instruction schedule under 8 threads still
@@ -249,25 +249,30 @@ impl DataflowExecutor {
                 workers,
                 self.threads,
                 splittable,
-            )?
+            )
         };
+
+        // On success, take the output before sweeping the file; on failure
+        // (error, cancellation, injected fault) leave it in place so the
+        // sweep reclaims it too. Either way every register still held by the
+        // file goes back to the pool — an aborted request must not leak its
+        // buffers.
+        let output = result.as_ref().ok().map(|_| {
+            rf.take_output()
+                .expect("output register is pre-bound or produced by the schedule")
+        });
+        let mut arena = res.arenas.checkout();
+        rf.recycle_remaining(&mut arena);
+        res.arenas.restore(arena);
+        let (stats, mut timing) = result?;
         timing.wall = started.elapsed();
         if n > 0 {
             timing.reclaimed_slack = schedule
                 .makespan(&timing.instr_times, workers)
                 .saturating_sub(schedule.dataflow_makespan(&timing.instr_times, workers));
         }
-
-        let output = rf
-            .take_output()
-            .expect("output register is pre-bound or produced by the schedule");
-        // Pre-bound registers the circuit never consumed go back to the
-        // pool so the next request can reuse their buffers.
-        let mut arena = res.arenas.checkout();
-        rf.recycle_remaining(&mut arena);
-        res.arenas.restore(arena);
         Ok(WavefrontOutcome {
-            output,
+            output: output.expect("output taken on the success path"),
             stats,
             timing,
         })
@@ -314,7 +319,7 @@ impl DataflowExecutor {
             let wait = item.since.elapsed();
             queue_waits[item.index] = wait;
             let instr_started = Instant::now();
-            match run_instr(si, rf, &mut evaluator, res, &mut calibration) {
+            match dispatch_instr(si, rf, &mut evaluator, res, &mut calibration) {
                 Ok(register) => {
                     let elapsed = instr_started.elapsed();
                     instr_times[item.index] = elapsed;
@@ -470,7 +475,7 @@ fn execute_parallel(
                     let wait = item.since.elapsed();
                     evaluator.set_intra_op_threads(grant);
                     let instr_started = Instant::now();
-                    let result = run_instr(si, rf, &mut evaluator, res, &mut calibration);
+                    let result = dispatch_instr(si, rf, &mut evaluator, res, &mut calibration);
                     let span = instr_started.elapsed();
 
                     match result {

@@ -350,6 +350,21 @@ pub struct ExecResources<'a> {
     /// slot-wise or cyclic and lane-oblivious. `None` (the default) is the
     /// unbatched single-user layout.
     pub lanes: Option<crate::LaneGeometry>,
+    /// Optional cancellation token checked at every instruction dispatch by
+    /// both executors: once the token is cancelled (or its deadline passes)
+    /// the request stops scheduling its remaining instructions mid-flight,
+    /// recycles whatever registers it still holds, and returns
+    /// [`FheError::Cancelled`] / [`FheError::DeadlineExceeded`]. `None` (the
+    /// default) runs to completion.
+    pub cancel: Option<&'a crate::CancellationToken>,
+    /// Optional deterministic fault-injection plan (see
+    /// [`FaultPlan`](crate::FaultPlan)): its dispatch hook runs before every
+    /// instruction, counting dispatches and injecting planned panics,
+    /// latency spikes and token cancellations. Injected (and genuine)
+    /// instruction-level panics are isolated with `catch_unwind` and
+    /// surface as [`FheError::WorkerPanic`]. `None` (the default) disables
+    /// injection and the counter.
+    pub faults: Option<&'a crate::FaultPlan>,
 }
 
 /// Which scheduling discipline produced an execution's timing breakdown.
@@ -532,18 +547,21 @@ impl WavefrontExecutor {
         } else {
             self.execute_parallel(schedule, &rf, res, workers)
         };
-        let (stats, timing) = result?;
-
-        let output = rf
-            .take_output()
-            .expect("output register is pre-bound or produced by the schedule");
-        // Pre-bound registers the circuit never consumed go back to the
-        // pool so the next request can reuse their buffers.
+        // On success, take the output before sweeping the file; on failure
+        // (error, cancellation, injected fault) leave it in place so the
+        // sweep reclaims it too. Either way every register still held by the
+        // file goes back to the pool — an aborted request must not leak its
+        // buffers.
+        let output = result.as_ref().ok().map(|_| {
+            rf.take_output()
+                .expect("output register is pre-bound or produced by the schedule")
+        });
         let mut arena = res.arenas.checkout();
         rf.recycle_remaining(&mut arena);
         res.arenas.restore(arena);
+        let (stats, timing) = result?;
         Ok(WavefrontOutcome {
-            output,
+            output: output.expect("output taken on the success path"),
             stats,
             timing,
         })
@@ -573,7 +591,7 @@ impl WavefrontExecutor {
             let started = Instant::now();
             for (offset, si) in schedule.instrs()[range.clone()].iter().enumerate() {
                 let instr_started = Instant::now();
-                match run_instr(si, rf, &mut evaluator, res, &mut calibration) {
+                match dispatch_instr(si, rf, &mut evaluator, res, &mut calibration) {
                     Ok(register) => {
                         let elapsed = instr_started.elapsed();
                         instr_times[range.start + offset] = elapsed;
@@ -677,7 +695,7 @@ impl WavefrontExecutor {
                             }
                             let si = &schedule.instrs()[range.start + index];
                             let instr_started = Instant::now();
-                            match run_instr(si, rf, &mut evaluator, res, &mut calibration) {
+                            match dispatch_instr(si, rf, &mut evaluator, res, &mut calibration) {
                                 Ok(register) => {
                                     let elapsed = instr_started.elapsed();
                                     timed.push((range.start + index, elapsed));
@@ -781,6 +799,48 @@ pub(crate) fn validate_operands(schedule: &Schedule, rf: &RegisterFile) {
                 si.level, si.dst
             );
         }
+    }
+}
+
+/// Renders a panic payload as text, best effort.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The instruction-dispatch wrapper both executors call instead of
+/// [`run_instr`] directly: checks the cancellation token (so a cancelled or
+/// deadline-expired request stops scheduling mid-flight), runs the fault
+/// plan's dispatch hook, and isolates panics — injected or genuine — behind
+/// `catch_unwind`, converting them into [`FheError::WorkerPanic`] so they
+/// flow through the executors' ordinary error/abort machinery (which wakes
+/// peer workers and restores arenas) instead of stranding scoped threads.
+pub(crate) fn dispatch_instr(
+    si: &ScheduledInstr,
+    rf: &RegisterFile,
+    evaluator: &mut Evaluator,
+    res: &ExecResources<'_>,
+    calibration: &mut CalibratedCostModel,
+) -> Result<Register, FheError> {
+    if let Some(token) = res.cancel {
+        token.check()?;
+    }
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if let Some(plan) = res.faults {
+            plan.before_instr();
+        }
+        run_instr(si, rf, evaluator, res, calibration)
+    }));
+    match outcome {
+        Ok(result) => result,
+        Err(payload) => Err(FheError::WorkerPanic {
+            message: panic_message(payload),
+        }),
     }
 }
 

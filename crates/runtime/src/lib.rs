@@ -102,6 +102,10 @@
 //!     trace: None,
 //!     // Single-user layout: no cross-request lane batching.
 //!     lanes: None,
+//!     // No cancellation token or deadline: the request runs to completion.
+//!     cancel: None,
+//!     // No fault injection.
+//!     faults: None,
 //! };
 //! let outcome = WavefrontExecutor::new(2).execute(&schedule, registers, &resources)?;
 //! let Register::Cipher(output) = outcome.output else { panic!("ciphertext output") };
@@ -117,6 +121,7 @@ mod batching;
 mod calibrate;
 mod dataflow;
 mod exec;
+mod faults;
 mod schedule;
 mod serving;
 pub mod telemetry;
@@ -131,13 +136,14 @@ pub use exec::{
     ExecResources, LevelTiming, PlainValue, Register, RegisterFile, SchedulerKind, TimingBreakdown,
     WavefrontExecutor, WavefrontOutcome,
 };
+pub use faults::{CancellationToken, FaultPlan};
 pub use schedule::{
     data_kinds, lower_with_default_costs, CostTerms, Instr, Schedule, ScheduledInstr, Slot,
 };
 pub use serving::{
-    default_workers, LatencySnapshot, RequestHandle, SchedulerMetrics, SchedulerStatsSnapshot,
-    ServingConfig, ServingEngine, ServingError, ServingStats, TrySubmitError,
-    DEFAULT_QUEUE_CAPACITY,
+    default_workers, LatencySnapshot, RequestError, RequestHandle, ResilienceSnapshot,
+    ResilienceStats, SchedulerMetrics, SchedulerStatsSnapshot, ServingConfig, ServingEngine,
+    ServingError, ServingStats, TrySubmitError, DEFAULT_QUEUE_CAPACITY,
 };
 pub use telemetry::{
     Counter, Gauge, Histogram, MetricsRegistry, SpanEvent, Trace, TraceBuffer, TraceSink,

@@ -28,20 +28,43 @@
 //! `chehab-core` layers the session-backed serving API on top.
 
 use crate::exec::percentile;
+use crate::faults::{CancellationToken, FaultPlan};
 use crate::telemetry::{Histogram, SpanEvent, TraceSink};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Sizing knobs of a [`ServingEngine`].
-#[derive(Debug, Clone, Copy)]
+/// Sizing and resilience knobs of a [`ServingEngine`].
+#[derive(Debug, Clone)]
 pub struct ServingConfig {
     /// Persistent worker threads draining the queue (clamped to at least 1).
     pub workers: usize,
     /// Maximum *queued* (submitted but not yet started) requests before
     /// [`ServingEngine::submit`] blocks (clamped to at least 1).
     pub queue_capacity: usize,
+    /// Per-request deadline: each submission's [`CancellationToken`] is
+    /// stamped `now + deadline` at enqueue, so a request that outlives it
+    /// stops executing mid-flight (when the handler threads the token into
+    /// the executors) and is counted in
+    /// [`ResilienceSnapshot::deadline_missed`]. `None` (the default) runs
+    /// every request to completion.
+    pub deadline: Option<Duration>,
+    /// Admission control: when `true` and a deadline is configured,
+    /// submissions whose deadline is provably infeasible — projected
+    /// completion time from the measured mean request wall times the queue
+    /// backlog exceeds the deadline — are shed at the door
+    /// ([`ServingError::Shed`] / [`TrySubmitError::Shed`]) instead of
+    /// queued to fail late. Takes effect once at least one request has
+    /// completed (no calibration, no shedding).
+    pub shed_infeasible: bool,
+    /// Optional deterministic fault-injection plan: submission-side faults
+    /// (forced queue-full rejections, worker kills) draw from it. Executor
+    /// faults are wired separately through
+    /// [`ExecResources::faults`](crate::ExecResources). `None` (the
+    /// default) injects nothing.
+    pub faults: Option<FaultPlan>,
 }
 
 /// Default bound of the request queue.
@@ -49,9 +72,30 @@ pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
 
 impl Default for ServingConfig {
     fn default() -> Self {
+        ServingConfig::standard()
+    }
+}
+
+impl ServingConfig {
+    /// The sizing-only constructor most callers want: `workers` threads, a
+    /// `queue_capacity`-bounded queue, no deadline, no shedding, no faults.
+    pub fn sized(workers: usize, queue_capacity: usize) -> Self {
+        ServingConfig {
+            workers,
+            queue_capacity,
+            ..ServingConfig::standard()
+        }
+    }
+
+    /// The standard configuration: host-derived worker count, the default
+    /// queue bound, and no resilience knobs engaged.
+    pub fn standard() -> Self {
         ServingConfig {
             workers: default_workers(),
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            deadline: None,
+            shed_infeasible: false,
+            faults: None,
         }
     }
 }
@@ -72,12 +116,22 @@ pub enum ServingError {
     /// The engine is shutting down (or already shut down); no new requests
     /// are accepted.
     ShutDown,
+    /// Admission control shed the request: its deadline is provably
+    /// infeasible given the current queue backlog and the measured mean
+    /// request cost (see [`ServingConfig::shed_infeasible`]).
+    Shed,
 }
 
 impl std::fmt::Display for ServingError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServingError::ShutDown => write!(f, "serving engine is shut down"),
+            ServingError::Shed => {
+                write!(
+                    f,
+                    "request shed: deadline infeasible at the current backlog"
+                )
+            }
         }
     }
 }
@@ -95,20 +149,34 @@ pub enum TrySubmitError<T> {
     /// The queue is at capacity right now. Carries the rejected request;
     /// the blocking [`ServingEngine::submit`] would have waited instead.
     QueueFull(T),
+    /// Admission control shed the request: its deadline is provably
+    /// infeasible given the current queue backlog and the measured mean
+    /// request cost (see [`ServingConfig::shed_infeasible`]). Retrying
+    /// immediately is pointless; carrying the request back lets the caller
+    /// divert or drop it.
+    Shed(T),
 }
 
 impl<T> TrySubmitError<T> {
     /// Recovers the rejected request.
     pub fn into_request(self) -> T {
         match self {
-            TrySubmitError::ShutDown(request) | TrySubmitError::QueueFull(request) => request,
+            TrySubmitError::ShutDown(request)
+            | TrySubmitError::QueueFull(request)
+            | TrySubmitError::Shed(request) => request,
         }
     }
 
     /// `true` for the transient [`TrySubmitError::QueueFull`] rejection
-    /// (worth retrying), `false` for the terminal shutdown rejection.
+    /// (worth retrying), `false` for the terminal shutdown and shed
+    /// rejections.
     pub fn is_queue_full(&self) -> bool {
         matches!(self, TrySubmitError::QueueFull(_))
+    }
+
+    /// `true` for the [`TrySubmitError::Shed`] admission-control rejection.
+    pub fn is_shed(&self) -> bool {
+        matches!(self, TrySubmitError::Shed(_))
     }
 }
 
@@ -117,6 +185,12 @@ impl<T> std::fmt::Display for TrySubmitError<T> {
         match self {
             TrySubmitError::ShutDown(_) => write!(f, "serving engine is shut down"),
             TrySubmitError::QueueFull(_) => write!(f, "serving queue is at capacity"),
+            TrySubmitError::Shed(_) => {
+                write!(
+                    f,
+                    "request shed: deadline infeasible at the current backlog"
+                )
+            }
         }
     }
 }
@@ -246,6 +320,72 @@ impl SchedulerMetrics {
     }
 }
 
+/// Cumulative resilience counters of a serving engine (or a whole session's
+/// engines — `chehab-core` shares one sink across every engine a session
+/// spawns and mirrors it into the Prometheus registry). All methods are
+/// lock-free atomic bumps, safe to call from any worker.
+#[derive(Debug, Default)]
+pub struct ResilienceStats {
+    cancelled: AtomicU64,
+    deadline_missed: AtomicU64,
+    shed: AtomicU64,
+    worker_panics: AtomicU64,
+}
+
+impl ResilienceStats {
+    /// A fresh all-zero sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one explicitly cancelled request.
+    pub fn note_cancelled(&self) {
+        self.cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request whose deadline expired before completion.
+    pub fn note_deadline_missed(&self) {
+        self.deadline_missed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request shed by admission control.
+    pub fn note_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one isolated worker panic (a panicking handler or a planned
+    /// worker kill).
+    pub fn note_worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> ResilienceSnapshot {
+        ResilienceSnapshot {
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            deadline_missed: self.deadline_missed.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`ResilienceStats`], carried in
+/// [`ServingStats::resilience`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceSnapshot {
+    /// Requests cancelled (explicitly, via [`RequestHandle::cancel`] or a
+    /// fault plan) before completing.
+    pub cancelled: u64,
+    /// Requests whose deadline expired before they completed.
+    pub deadline_missed: u64,
+    /// Requests shed at submission by admission control.
+    pub shed: u64,
+    /// Worker panics isolated by the engine (panicking handlers and planned
+    /// worker kills).
+    pub worker_panics: u64,
+}
+
 /// Latency histograms of one engine's served traffic, snapshotted into
 /// [`ServingStats::latency`]: per-request wall latency, per-request queue
 /// wait, and (when the handler records them through
@@ -258,6 +398,11 @@ pub struct LatencySnapshot {
     pub queue_wait: Histogram,
     /// Per-operation-kind latency histograms, sorted by label.
     pub per_op: Vec<(String, Histogram)>,
+    /// Handler wall latency split by outcome, labelled `"ok"`,
+    /// `"cancelled"`, `"deadline_missed"` and `"panicked"` (always all four,
+    /// some possibly empty), completing the per-outcome slice of the
+    /// `ServingStats` export.
+    pub per_outcome: Vec<(String, Histogram)>,
 }
 
 /// A point-in-time snapshot of one engine's serving counters.
@@ -287,6 +432,9 @@ pub struct ServingStats {
     /// and queue wait (always recorded by the engine), plus per-op-kind
     /// latencies when the handler records them.
     pub latency: LatencySnapshot,
+    /// Cumulative resilience counters: cancellations, missed deadlines,
+    /// shed submissions, isolated worker panics.
+    pub resilience: ResilienceSnapshot,
 }
 
 impl ServingStats {
@@ -319,6 +467,11 @@ struct ResultSlot<R> {
     /// Set when the handler panicked instead of returning: there is no
     /// value, and retrievers re-raise the panic instead of blocking forever.
     poisoned: bool,
+    /// Set when the engine side disconnected before producing a value (a
+    /// worker died with the job in flight, or the engine halted with the
+    /// job still queued): there will never be a value, and retrievers get
+    /// [`RequestError::Abandoned`] instead of blocking forever.
+    abandoned: bool,
 }
 
 pub(crate) struct HandleShared<R> {
@@ -335,6 +488,7 @@ impl<R> HandleShared<R> {
                 taken: false,
                 finished: false,
                 poisoned: false,
+                abandoned: false,
             }),
             done: Condvar::new(),
         })
@@ -357,7 +511,50 @@ impl<R> HandleShared<R> {
         }
         self.done.notify_all();
     }
+
+    /// Engine side of abandonment: marks the cell as never-completing (a
+    /// no-op if the handler already fulfilled it) and wakes every waiter, so
+    /// a dying worker or a halting engine resolves outstanding handles with
+    /// an error instead of leaving waiters blocked.
+    pub(crate) fn disconnect(&self) {
+        {
+            let mut slot = self
+                .slot
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if slot.finished {
+                return;
+            }
+            slot.abandoned = true;
+        }
+        self.done.notify_all();
+    }
 }
+
+/// Why a request's result will never arrive, from
+/// [`RequestHandle::try_wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestError {
+    /// The request's handler panicked; the panic was isolated by the worker.
+    Panicked,
+    /// The engine side disconnected before producing a result: the worker
+    /// serving the request died, or the engine was halted/dropped with the
+    /// request still queued behind dead workers.
+    Abandoned,
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::Panicked => write!(f, "request panicked in its handler"),
+            RequestError::Abandoned => {
+                write!(f, "request was abandoned by the serving engine")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
 
 /// The caller's side of one submitted request.
 ///
@@ -368,6 +565,7 @@ impl<R> HandleShared<R> {
 pub struct RequestHandle<R> {
     id: u64,
     shared: Arc<HandleShared<R>>,
+    token: CancellationToken,
 }
 
 impl<R> std::fmt::Debug for RequestHandle<R> {
@@ -379,15 +577,36 @@ impl<R> std::fmt::Debug for RequestHandle<R> {
 }
 
 impl<R> RequestHandle<R> {
-    /// Pairs a handle with an existing result cell — how the serving engine
-    /// and the request coalescer mint the caller's side of a submission.
-    pub(crate) fn from_shared(id: u64, shared: Arc<HandleShared<R>>) -> Self {
-        RequestHandle { id, shared }
+    /// Pairs a handle with an existing result cell and cancellation token —
+    /// how the serving engine and the request coalescer mint the caller's
+    /// side of a submission.
+    pub(crate) fn from_shared(
+        id: u64,
+        shared: Arc<HandleShared<R>>,
+        token: CancellationToken,
+    ) -> Self {
+        RequestHandle { id, shared, token }
     }
 
     /// The engine-assigned request id, in submission order starting at 0.
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// Requests cancellation: flags the request's [`CancellationToken`], so
+    /// a handler that threads it into the executors stops scheduling the
+    /// request's remaining instructions mid-flight. Cancellation is
+    /// cooperative and asynchronous — the handle still completes (typically
+    /// with `FheError::Cancelled` on the FHE serving path), so callers
+    /// retrieve the result as usual.
+    pub fn cancel(&self) {
+        self.token.cancel();
+    }
+
+    /// The request's cancellation token (shared with the engine worker that
+    /// serves it).
+    pub fn cancellation_token(&self) -> &CancellationToken {
+        &self.token
     }
 
     /// Locks the result slot, recovering from std mutex poisoning: the
@@ -408,10 +627,11 @@ impl<R> RequestHandle<R> {
         panic!("serving request {} panicked in its handler", self.id);
     }
 
-    /// `true` once the request's handler has finished (whether or not the
-    /// result has been retrieved yet, and also for handlers that panicked).
+    /// `true` once the request will never produce more: its handler finished
+    /// (including by panicking), or the engine side abandoned it.
     pub fn is_finished(&self) -> bool {
-        self.lock_slot().finished
+        let slot = self.lock_slot();
+        slot.finished || slot.abandoned
     }
 
     /// Returns the result if the request already completed, without
@@ -421,11 +641,18 @@ impl<R> RequestHandle<R> {
     /// # Panics
     ///
     /// Panics if the request's handler panicked (the panic is propagated to
-    /// the retriever, like `JoinHandle::join`).
+    /// the retriever, like `JoinHandle::join`), or if the engine side
+    /// abandoned the request. Use [`RequestHandle::try_wait`] for a
+    /// non-panicking retrieval.
     pub fn try_poll(&self) -> Option<R> {
         let mut slot = self.lock_slot();
         if slot.poisoned {
             self.raise_poisoned(slot);
+        }
+        if slot.abandoned {
+            let id = self.id;
+            drop(slot);
+            panic!("serving request {id} was abandoned by the engine");
         }
         let value = slot.value.take();
         if value.is_some() {
@@ -434,22 +661,28 @@ impl<R> RequestHandle<R> {
         value
     }
 
-    /// Blocks until the request completes and returns its result.
+    /// Blocks until the request completes and returns its result, or an
+    /// error when it never will: [`RequestError::Panicked`] if the handler
+    /// panicked, [`RequestError::Abandoned`] if the engine side disconnected
+    /// (worker death, or a halt with the request still queued behind dead
+    /// workers). Never blocks forever on a dead engine.
     ///
     /// # Panics
     ///
-    /// Panics if the result was already taken by [`RequestHandle::try_poll`]
-    /// (the handle is single-shot), or if the request's handler panicked
-    /// (the panic is propagated to the retriever, like `JoinHandle::join`).
-    pub fn wait(self) -> R {
+    /// Panics only on misuse: the result was already taken by
+    /// [`RequestHandle::try_poll`] (the handle is single-shot).
+    pub fn try_wait(self) -> Result<R, RequestError> {
         let mut slot = self.lock_slot();
         loop {
             if slot.poisoned {
-                self.raise_poisoned(slot);
+                return Err(RequestError::Panicked);
+            }
+            if slot.abandoned {
+                return Err(RequestError::Abandoned);
             }
             if let Some(value) = slot.value.take() {
                 slot.taken = true;
-                return value;
+                return Ok(value);
             }
             if slot.taken {
                 drop(slot);
@@ -462,13 +695,38 @@ impl<R> RequestHandle<R> {
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
+
+    /// Blocks until the request completes and returns its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result was already taken by [`RequestHandle::try_poll`]
+    /// (the handle is single-shot), if the request's handler panicked (the
+    /// panic is propagated to the retriever, like `JoinHandle::join`), or if
+    /// the engine side abandoned the request (worker death / halt) — never
+    /// blocks forever on a dead engine. Use [`RequestHandle::try_wait`] to
+    /// receive those terminal states as errors instead.
+    pub fn wait(self) -> R {
+        let id = self.id;
+        match self.try_wait() {
+            Ok(value) => value,
+            Err(RequestError::Panicked) => {
+                panic!("serving request {id} panicked in its handler")
+            }
+            Err(RequestError::Abandoned) => {
+                panic!("serving request {id} was abandoned by the engine")
+            }
+        }
+    }
 }
 
-/// One queued request: id, payload, and the cell its result lands in.
+/// One queued request: id, payload, the cell its result lands in, and the
+/// cancellation token shared with the caller's handle.
 struct Job<T, R> {
     id: u64,
     request: T,
     handle: Arc<HandleShared<R>>,
+    token: CancellationToken,
     /// When the job entered the queue — measured against the dequeue time,
     /// it is the request's queue wait.
     enqueued: Instant,
@@ -486,12 +744,29 @@ struct Counters {
     busy: Duration,
 }
 
-/// Engine-recorded latency histograms (wall + queue wait); fixed footprint,
-/// so a long-lived engine never grows them with traffic.
+/// Engine-recorded latency histograms (wall + queue wait + per-outcome
+/// wall); fixed footprint, so a long-lived engine never grows them with
+/// traffic.
 #[derive(Default)]
 struct LatencyAgg {
     request_wall: Histogram,
     queue_wait: Histogram,
+    ok: Histogram,
+    cancelled: Histogram,
+    deadline_missed: Histogram,
+    panicked: Histogram,
+}
+
+impl LatencyAgg {
+    /// The per-outcome histograms with their stable labels.
+    fn per_outcome(&self) -> Vec<(String, Histogram)> {
+        vec![
+            ("ok".to_string(), self.ok.clone()),
+            ("cancelled".to_string(), self.cancelled.clone()),
+            ("deadline_missed".to_string(), self.deadline_missed.clone()),
+            ("panicked".to_string(), self.panicked.clone()),
+        ]
+    }
 }
 
 struct Shared<T, R> {
@@ -514,6 +789,14 @@ struct Shared<T, R> {
     /// handle vector).
     worker_count: usize,
     started: Instant,
+    /// Per-request deadline stamped into each submission's token at enqueue.
+    deadline: Option<Duration>,
+    /// Whether admission control sheds provably-infeasible submissions.
+    shed_infeasible: bool,
+    /// Optional fault plan submission paths and workers consult.
+    faults: Option<FaultPlan>,
+    /// Resilience counter sink, shared with the caller when injected.
+    resilience: Arc<ResilienceStats>,
 }
 
 /// A persistent request-serving engine: a bounded queue plus a pool of
@@ -581,6 +864,31 @@ impl<T: Send + 'static, R: Send + 'static> ServingEngine<T, R> {
     where
         F: Fn(u64, T) -> R + Send + Sync + 'static,
     {
+        Self::with_resilience(
+            config,
+            scheduler,
+            trace,
+            Arc::new(ResilienceStats::default()),
+            move |id, request, _token| handler(id, request),
+        )
+    }
+
+    /// The resilience-aware constructor the FHE serving path uses: the
+    /// handler additionally receives the request's [`CancellationToken`]
+    /// (stamped with the configured deadline at enqueue), so it can thread
+    /// the token into the executors and stop a cancelled or expired request
+    /// mid-flight; `resilience` is an externally shared counter sink (one
+    /// per session, mirrored into Prometheus counters by the caller).
+    pub fn with_resilience<F>(
+        config: ServingConfig,
+        scheduler: Arc<SchedulerMetrics>,
+        trace: Option<Arc<TraceSink>>,
+        resilience: Arc<ResilienceStats>,
+        handler: F,
+    ) -> Self
+    where
+        F: Fn(u64, T, &CancellationToken) -> R + Send + Sync + 'static,
+    {
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
@@ -600,9 +908,13 @@ impl<T: Send + 'static, R: Send + 'static> ServingEngine<T, R> {
             queue_capacity: config.queue_capacity.max(1),
             worker_count: config.workers.max(1),
             started: Instant::now(),
+            deadline: config.deadline,
+            shed_infeasible: config.shed_infeasible,
+            faults: config.faults,
+            resilience,
         });
         let handler = Arc::new(handler);
-        let workers = (0..config.workers.max(1))
+        let workers = (0..shared.worker_count)
             .map(|worker| {
                 let shared = Arc::clone(&shared);
                 let handler = Arc::clone(&handler);
@@ -614,6 +926,32 @@ impl<T: Send + 'static, R: Send + 'static> ServingEngine<T, R> {
 }
 
 impl<T, R> ServingEngine<T, R> {
+    /// Admission-control check: `true` when the configured deadline is
+    /// provably infeasible at the given queue depth — the projected
+    /// completion time (the measured mean request wall times the queue
+    /// slots ahead of this request per worker) already exceeds the
+    /// deadline. Conservative by construction: with no completed request
+    /// yet there is no calibration, and nothing is shed.
+    fn infeasible(&self, queue_depth: usize) -> bool {
+        if !self.shared.shed_infeasible {
+            return false;
+        }
+        let Some(deadline) = self.shared.deadline else {
+            return false;
+        };
+        let mean = {
+            let latency = self.shared.latency.lock().unwrap();
+            latency.request_wall.mean()
+        };
+        let Some(mean) = mean else {
+            return false;
+        };
+        let workers = self.shared.worker_count.max(1) as f64;
+        let slots_ahead = (queue_depth + 1) as f64;
+        let projected = mean.mul_f64((slots_ahead / workers).ceil().max(1.0));
+        projected > deadline
+    }
+
     /// Enqueues one request and returns its handle.
     ///
     /// Blocks while the queue is at capacity (back-pressure on producers).
@@ -622,7 +960,10 @@ impl<T, R> ServingEngine<T, R> {
     ///
     /// Returns [`ServingError::ShutDown`] once [`ServingEngine::shutdown`]
     /// has started — including for submitters that were blocked on a full
-    /// queue when shutdown began.
+    /// queue when shutdown began. Returns [`ServingError::Shed`] (and bumps
+    /// the shed counter) when admission control proves the configured
+    /// deadline infeasible at the current backlog (see
+    /// [`ServingConfig::shed_infeasible`]).
     pub fn submit(&self, request: T) -> Result<RequestHandle<R>, ServingError> {
         let mut state = self.shared.state.lock().unwrap();
         loop {
@@ -633,6 +974,10 @@ impl<T, R> ServingEngine<T, R> {
                 break;
             }
             state = self.shared.not_full.wait(state).unwrap();
+        }
+        if self.infeasible(state.queue.len()) {
+            self.shared.resilience.note_shed();
+            return Err(ServingError::Shed);
         }
         Ok(self.enqueue(state, request))
     }
@@ -645,9 +990,16 @@ impl<T, R> ServingEngine<T, R> {
     /// # Errors
     ///
     /// [`TrySubmitError::ShutDown`] once shutdown has started,
-    /// [`TrySubmitError::QueueFull`] while the queue is at capacity; both
-    /// return the request to the caller.
+    /// [`TrySubmitError::QueueFull`] while the queue is at capacity (or a
+    /// fault plan forces the rejection), [`TrySubmitError::Shed`] when
+    /// admission control proves the deadline infeasible; all three return
+    /// the request to the caller.
     pub fn try_submit(&self, request: T) -> Result<RequestHandle<R>, TrySubmitError<T>> {
+        if let Some(plan) = &self.shared.faults {
+            if plan.take_forced_queue_full() {
+                return Err(TrySubmitError::QueueFull(request));
+            }
+        }
         let state = self.shared.state.lock().unwrap();
         if state.shutting_down {
             return Err(TrySubmitError::ShutDown(request));
@@ -655,12 +1007,45 @@ impl<T, R> ServingEngine<T, R> {
         if state.queue.len() >= self.shared.queue_capacity {
             return Err(TrySubmitError::QueueFull(request));
         }
+        if self.infeasible(state.queue.len()) {
+            self.shared.resilience.note_shed();
+            return Err(TrySubmitError::Shed(request));
+        }
         Ok(self.enqueue(state, request))
     }
 
+    /// [`ServingEngine::try_submit`] with bounded retry-with-backoff on the
+    /// transient [`TrySubmitError::QueueFull`] rejection: sleeps `backoff`,
+    /// doubling per attempt, for up to `attempts` total submissions.
+    /// Terminal rejections (shutdown, shed) and the final queue-full are
+    /// returned immediately — only transient overload is retried.
+    pub fn submit_with_retry(
+        &self,
+        request: T,
+        attempts: usize,
+        backoff: Duration,
+    ) -> Result<RequestHandle<R>, TrySubmitError<T>> {
+        let mut request = request;
+        let mut delay = backoff;
+        let attempts = attempts.max(1);
+        for attempt in 1..=attempts {
+            match self.try_submit(request) {
+                Ok(handle) => return Ok(handle),
+                Err(TrySubmitError::QueueFull(returned)) if attempt < attempts => {
+                    request = returned;
+                    std::thread::sleep(delay);
+                    delay = delay.saturating_mul(2);
+                }
+                Err(error) => return Err(error),
+            }
+        }
+        unreachable!("the final attempt either returned a handle or an error")
+    }
+
     /// The shared tail of both submission paths: assigns the id, mints the
-    /// handle pair, enqueues the job, and wakes one worker. The caller has
-    /// already established that the queue has room and intake is open.
+    /// handle pair and its deadline-stamped cancellation token, enqueues
+    /// the job, and wakes one worker. The caller has already established
+    /// that the queue has room and intake is open.
     fn enqueue(
         &self,
         mut state: std::sync::MutexGuard<'_, QueueState<T, R>>,
@@ -669,15 +1054,20 @@ impl<T, R> ServingEngine<T, R> {
         let id = state.submitted;
         state.submitted += 1;
         let handle = HandleShared::new();
+        let token = match self.shared.deadline {
+            Some(deadline) => CancellationToken::deadline_in(deadline),
+            None => CancellationToken::new(),
+        };
         state.queue.push_back(Job {
             id,
             request,
             handle: Arc::clone(&handle),
+            token: token.clone(),
             enqueued: Instant::now(),
         });
         drop(state);
         self.shared.not_empty.notify_one();
-        RequestHandle::from_shared(id, handle)
+        RequestHandle::from_shared(id, handle, token)
     }
 
     /// A point-in-time snapshot of the engine's serving counters.
@@ -694,6 +1084,7 @@ impl<T, R> ServingEngine<T, R> {
                 request_wall: agg.request_wall.clone(),
                 queue_wait: agg.queue_wait.clone(),
                 per_op: self.shared.scheduler.per_op_histograms(),
+                per_outcome: agg.per_outcome(),
             }
         };
         let state = self.shared.state.lock().unwrap();
@@ -707,7 +1098,15 @@ impl<T, R> ServingEngine<T, R> {
             elapsed: self.shared.started.elapsed(),
             scheduler: self.shared.scheduler.snapshot(),
             latency,
+            resilience: self.shared.resilience.snapshot(),
         }
+    }
+
+    /// The engine's resilience counter sink (the same one passed to
+    /// [`ServingEngine::with_resilience`], or a private sink for engines
+    /// built with the other constructors).
+    pub fn resilience_stats(&self) -> &Arc<ResilienceStats> {
+        &self.shared.resilience
     }
 
     /// The engine's scheduler-counter sink (the same one passed to
@@ -726,13 +1125,25 @@ impl<T, R> ServingEngine<T, R> {
         self.stats()
     }
 
-    /// Idempotent part of shutdown: flips the flag, wakes everyone, joins.
+    /// Idempotent part of shutdown: flips the flag, wakes everyone, joins,
+    /// then resolves any handle that can no longer complete. A job still
+    /// queued after every worker has exited (possible only when workers
+    /// died) would leave its waiter blocked forever — disconnect it so
+    /// retrieval reports [`RequestError::Abandoned`] instead.
     fn halt(&mut self) {
         self.shared.state.lock().unwrap().shutting_down = true;
         self.shared.not_empty.notify_all();
         self.shared.not_full.notify_all();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        let mut state = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while let Some(job) = state.queue.pop_front() {
+            job.handle.disconnect();
         }
     }
 }
@@ -743,11 +1154,46 @@ impl<T, R> Drop for ServingEngine<T, R> {
     }
 }
 
+/// RAII companion of one in-flight job: if the worker thread dies between
+/// popping the job and fulfilling its handle (a planned worker kill, or a
+/// genuine panic in the engine's own bookkeeping), the guard's drop runs
+/// during the unwind and disconnects the handle — the waiter gets
+/// [`RequestError::Abandoned`] instead of blocking forever — and repairs the
+/// in-flight count so stats stay truthful.
+struct FulfillGuard<'a, T, R> {
+    shared: &'a Shared<T, R>,
+    handle: Arc<HandleShared<R>>,
+    armed: bool,
+}
+
+impl<T, R> FulfillGuard<'_, T, R> {
+    fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl<T, R> Drop for FulfillGuard<'_, T, R> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        self.handle.disconnect();
+        let mut state = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        state.in_flight = state.in_flight.saturating_sub(1);
+        drop(state);
+        self.shared.resilience.note_worker_panic();
+    }
+}
+
 /// One worker: pop-execute-publish until shutdown *and* an empty queue.
 fn worker_loop<T, R>(
     shared: &Shared<T, R>,
     worker: usize,
-    handler: &(dyn Fn(u64, T) -> R + Send + Sync),
+    handler: &(dyn Fn(u64, T, &CancellationToken) -> R + Send + Sync),
 ) {
     // Trace track of this serving worker, allocated on its first served job
     // so idle workers leave no empty tracks in the export.
@@ -772,16 +1218,36 @@ fn worker_loop<T, R>(
             id,
             request,
             handle,
+            token,
             enqueued,
         } = job;
+        // From here to `disarm` the job is this worker's responsibility: if
+        // the thread dies, the guard resolves the handle as abandoned.
+        let guard = FulfillGuard {
+            shared,
+            handle: Arc::clone(&handle),
+            armed: true,
+        };
+        if let Some(plan) = &shared.faults {
+            if plan.take_worker_kill() {
+                panic!("injected fault: serving worker {worker} killed");
+            }
+        }
         let queue_wait = enqueued.elapsed();
         let started = Instant::now();
         // A panicking handler must not kill the worker (the queue behind it
         // would never drain) nor leave its waiter blocked forever: catch the
         // unwind, poison the result slot, and let retrievers re-raise it.
-        let result =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler(id, request)));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handler(id, request, &token)
+        }));
         let elapsed = started.elapsed();
+        // Classify the outcome while it is fresh: the token states are read
+        // immediately after the handler returns, so a deadline that expires
+        // later (while the result sits unretrieved) is not miscounted.
+        let panicked = result.is_err();
+        let was_cancelled = token.is_cancelled();
+        let deadline_expired = token.deadline_expired();
 
         // Book-keeping first: a waiter woken by the notify below must
         // already observe this request in the counters when it calls
@@ -796,6 +1262,23 @@ fn worker_loop<T, R>(
             let mut latency = shared.latency.lock().unwrap();
             latency.request_wall.record(elapsed);
             latency.queue_wait.record(queue_wait);
+            let outcome = if panicked {
+                &mut latency.panicked
+            } else if was_cancelled {
+                &mut latency.cancelled
+            } else if deadline_expired {
+                &mut latency.deadline_missed
+            } else {
+                &mut latency.ok
+            };
+            outcome.record(elapsed);
+        }
+        if panicked {
+            shared.resilience.note_worker_panic();
+        } else if was_cancelled {
+            shared.resilience.note_cancelled();
+        } else if deadline_expired {
+            shared.resilience.note_deadline_missed();
         }
         if let Some(sink) = shared.trace.as_deref() {
             let track = *track
@@ -814,6 +1297,7 @@ fn worker_loop<T, R>(
         }
 
         handle.fulfill(result.ok());
+        guard.disarm();
     }
 }
 
@@ -828,13 +1312,7 @@ mod tests {
         T: Send + 'static,
         R: Send + 'static,
     {
-        ServingEngine::new(
-            ServingConfig {
-                workers,
-                queue_capacity: capacity,
-            },
-            handler,
-        )
+        ServingEngine::new(ServingConfig::sized(workers, capacity), handler)
     }
 
     #[test]
@@ -1020,10 +1498,7 @@ mod tests {
         let metrics = Arc::new(SchedulerMetrics::default());
         let sink = Arc::clone(&metrics);
         let engine: ServingEngine<u64, u64> = ServingEngine::with_scheduler_metrics(
-            ServingConfig {
-                workers: 2,
-                queue_capacity: 8,
-            },
+            ServingConfig::sized(2, 8),
             Arc::clone(&metrics),
             move |_, v| {
                 // A handler that executed through the dataflow runtime
@@ -1076,6 +1551,154 @@ mod tests {
         assert_eq!(stats.submitted, 10);
         assert_eq!(stats.completed, 10);
         assert_eq!(stats.workers, 2);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn cancelled_and_expired_requests_are_classified_per_outcome() {
+        use crate::faults::CancellationToken;
+        let config = ServingConfig {
+            deadline: Some(Duration::from_millis(5)),
+            ..ServingConfig::sized(1, 8)
+        };
+        // A token-aware handler: reports how the token looked when it ran.
+        let engine: ServingEngine<u64, &'static str> = ServingEngine::with_resilience(
+            config,
+            Arc::new(SchedulerMetrics::default()),
+            None,
+            Arc::new(ResilienceStats::default()),
+            |_, sleep_ms, token: &CancellationToken| {
+                std::thread::sleep(Duration::from_millis(sleep_ms));
+                if token.is_cancelled() {
+                    "cancelled"
+                } else if token.deadline_expired() {
+                    "expired"
+                } else {
+                    "ok"
+                }
+            },
+        );
+        let fast = engine.submit(0).unwrap();
+        assert_eq!(fast.wait(), "ok");
+        let slow = engine.submit(20).unwrap();
+        assert_eq!(slow.wait(), "expired");
+        let doomed = engine.submit(1).unwrap();
+        doomed.cancel();
+        assert!(doomed.cancellation_token().is_cancelled());
+        assert_eq!(doomed.wait(), "cancelled");
+        let stats = engine.shutdown();
+        assert_eq!(stats.resilience.cancelled, 1);
+        assert_eq!(stats.resilience.deadline_missed, 1);
+        assert_eq!(stats.resilience.worker_panics, 0);
+        let outcome = |label: &str| {
+            stats
+                .latency
+                .per_outcome
+                .iter()
+                .find(|(l, _)| l == label)
+                .map(|(_, h)| h.count())
+                .unwrap()
+        };
+        assert_eq!(outcome("ok"), 1);
+        assert_eq!(outcome("cancelled"), 1);
+        assert_eq!(outcome("deadline_missed"), 1);
+        assert_eq!(outcome("panicked"), 0);
+    }
+
+    #[test]
+    fn infeasible_deadlines_are_shed_once_calibrated() {
+        let config = ServingConfig {
+            deadline: Some(Duration::from_millis(1)),
+            shed_infeasible: true,
+            ..ServingConfig::sized(1, 16)
+        };
+        let engine = ServingEngine::new(config, |_, slow: bool| {
+            if slow {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        });
+        // No calibration yet: the first (slow) request is admitted even
+        // though it is doomed to miss its 1ms deadline.
+        let calibrating = engine.submit(true).unwrap();
+        calibrating.wait();
+        // One ~50ms sample against a 1ms deadline: every further
+        // submission is provably infeasible, even at queue depth zero.
+        assert_eq!(engine.submit(false).unwrap_err(), ServingError::Shed);
+        let rejected = engine.try_submit(false).unwrap_err();
+        assert!(rejected.is_shed());
+        assert!(!rejected.is_queue_full());
+        assert!(!rejected.into_request());
+        let stats = engine.shutdown();
+        assert_eq!(stats.resilience.shed, 2);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn submit_with_retry_rides_out_transient_queue_full() {
+        let plan = FaultPlan::new();
+        plan.force_queue_full(2);
+        let config = ServingConfig {
+            faults: Some(plan.clone()),
+            ..ServingConfig::sized(1, 4)
+        };
+        let engine = ServingEngine::new(config, |_, v: u32| v * 2);
+        // Two forced rejections, then the real (empty) queue admits it.
+        let handle = engine
+            .submit_with_retry(21, 5, Duration::from_millis(1))
+            .expect("retries outlast the forced rejections");
+        assert_eq!(handle.wait(), 42);
+        // With a budget longer than the attempts, the last rejection is
+        // returned to the caller.
+        plan.force_queue_full(10);
+        let rejected = engine
+            .submit_with_retry(1, 2, Duration::from_millis(1))
+            .unwrap_err();
+        assert!(rejected.is_queue_full());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn dead_workers_abandon_their_jobs_instead_of_hanging_waiters() {
+        let plan = FaultPlan::new();
+        plan.kill_workers(1);
+        let config = ServingConfig {
+            faults: Some(plan.clone()),
+            ..ServingConfig::sized(1, 8)
+        };
+        let engine = ServingEngine::new(config, |_, v: u32| v + 1);
+        // The lone worker draws the kill on the first job: its waiter must
+        // resolve as abandoned, not block forever.
+        let doomed = engine.submit(1).unwrap();
+        assert_eq!(doomed.try_wait(), Err(RequestError::Abandoned));
+        // A second job sits queued behind a dead pool; halt() disconnects
+        // it so its waiter resolves too.
+        let stranded = engine.submit(2).unwrap();
+        assert!(!stranded.is_finished() || stranded.is_finished()); // queued or already swept
+        let stats = engine.shutdown();
+        assert!(stats.resilience.worker_panics >= 1);
+        assert_eq!(stranded.try_wait(), Err(RequestError::Abandoned));
+    }
+
+    #[test]
+    fn waiting_on_an_abandoned_request_panics_with_the_abandoned_message() {
+        let plan = FaultPlan::new();
+        plan.kill_workers(1);
+        let config = ServingConfig {
+            faults: Some(plan),
+            ..ServingConfig::sized(1, 8)
+        };
+        let engine = ServingEngine::new(config, |_, v: u32| v);
+        let doomed = engine.submit(7).unwrap();
+        // Spin until the worker has died with the job.
+        while !doomed.is_finished() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let raised = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| doomed.wait()));
+        let message = *raised
+            .expect_err("waiting on an abandoned request panics")
+            .downcast::<String>()
+            .expect("panic message is a string");
+        assert!(message.contains("abandoned"), "{message}");
         engine.shutdown();
     }
 }

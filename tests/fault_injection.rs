@@ -1,0 +1,295 @@
+//! Fault-injection and resilience tests: cancellation must stop a request
+//! mid-flight (not just at dequeue), cancelled requests must not leak arena
+//! buffers, a seeded fault storm must never hang or kill the engine, and
+//! every non-faulted request must stay bit-identical to a clean run.
+
+use chehab::compiler::{
+    CancellationToken, Compiler, ExecOptions, FaultPlan, FheSession, RequestError,
+};
+use chehab::fhe::{BfvParameters, FheError};
+use chehab::{benchsuite, benchsuite::Benchmark};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn inputs_of(benchmark: &Benchmark, seed: u64) -> HashMap<String, i64> {
+    let env = benchmark.input_env(seed);
+    benchmark
+        .program()
+        .variables()
+        .into_iter()
+        .map(|v| {
+            let value = env.get(v.as_str()).unwrap_or(0) as i64;
+            (v.to_string(), value)
+        })
+        .collect()
+}
+
+fn session_for(id: &str) -> (Arc<FheSession>, Benchmark) {
+    let benchmark = benchsuite::by_id(id).expect("known benchmark id");
+    let compiled = Compiler::greedy().compile(benchmark.id(), benchmark.program());
+    let session = Arc::new(compiled.session(&BfvParameters::insecure_test()).unwrap());
+    (session, benchmark)
+}
+
+/// Reads one counter value out of the session's Prometheus text export.
+fn metric(session: &FheSession, name: &str) -> u64 {
+    session
+        .render_metrics()
+        .lines()
+        .find(|line| !line.starts_with('#') && line.starts_with(name))
+        .and_then(|line| line.split_whitespace().last())
+        .and_then(|value| value.parse().ok())
+        .unwrap_or_else(|| panic!("metric {name} missing from the export"))
+}
+
+/// The tentpole acceptance check: a request cancelled at dispatch index 8
+/// while 8 dataflow workers are chewing on it stops scheduling the
+/// remaining instructions — the plan's dispatch counter (the telemetry both
+/// executors feed) stays strictly below the schedule length — and the
+/// request resolves with `FheError::Cancelled`.
+#[test]
+fn cancellation_stops_a_dataflow_request_mid_flight() {
+    let (session, benchmark) = session_for("Hamm. Dist. 32");
+    let total = session.schedule().instrs().len() as u64;
+    assert!(
+        total > 24,
+        "kernel must be large enough that a mid-flight stop is observable"
+    );
+
+    let token = CancellationToken::new();
+    let plan = FaultPlan::new();
+    plan.cancel_token_at(8, &token);
+    let options = ExecOptions::new().with_threads_per_request(8);
+    let error = session
+        .run_resilient(
+            &inputs_of(&benchmark, 7),
+            &options,
+            Some(&token),
+            Some(&plan),
+        )
+        .expect_err("the cancelled request must not produce a report");
+    assert_eq!(error, FheError::Cancelled);
+
+    // At most the 8 in-flight dispatches that raced the cancellation ran
+    // past the trigger; the bulk of the schedule never dispatched.
+    let dispatched = plan.instructions_dispatched();
+    assert!(
+        dispatched < total,
+        "cancelled request dispatched all {total} instructions"
+    );
+    // A cancelled request leaves no trace in the cumulative calibration.
+    assert_eq!(session.stats().calibration.sample_count(), 0);
+    assert_eq!(session.stats().requests_served, 0);
+
+    // The session remains fully serviceable afterwards.
+    let report = session.run(&inputs_of(&benchmark, 7)).unwrap();
+    assert!(report.decryption_ok);
+}
+
+/// An already-dead token fails before any ciphertext work: zero dispatches.
+#[test]
+fn a_pre_cancelled_token_fails_before_binding() {
+    let (session, benchmark) = session_for("Dot Product 8");
+    let token = CancellationToken::new();
+    token.cancel();
+    let plan = FaultPlan::new();
+    let error = session
+        .run_resilient(
+            &inputs_of(&benchmark, 1),
+            &ExecOptions::sequential(),
+            Some(&token),
+            Some(&plan),
+        )
+        .unwrap_err();
+    assert_eq!(error, FheError::Cancelled);
+    assert_eq!(plan.instructions_dispatched(), 0);
+
+    let expired = CancellationToken::deadline_in(Duration::ZERO);
+    std::thread::sleep(Duration::from_millis(1));
+    let error = session
+        .run_resilient(
+            &inputs_of(&benchmark, 1),
+            &ExecOptions::sequential(),
+            Some(&expired),
+            None,
+        )
+        .unwrap_err();
+    assert_eq!(error, FheError::DeadlineExceeded);
+}
+
+/// 100 cancel cycles leak nothing: after warm-up, cancelled requests return
+/// every arena buffer to the session pool, so the pool's fresh-allocation
+/// counter stays flat across the whole run.
+#[test]
+fn one_hundred_cancel_cycles_leak_no_arena_buffers() {
+    let (session, benchmark) = session_for("Dot Product 8");
+    let inputs = inputs_of(&benchmark, 9);
+    let options = ExecOptions::new().with_threads_per_request(4);
+
+    // Warm-up: complete runs and one cancelled run at each trigger point we
+    // will use, so every buffer length class is pooled.
+    session.run_parallel(&inputs, &options).unwrap();
+    session.run_parallel(&inputs, &options).unwrap();
+    for trigger in [1, 2, 3, 4] {
+        let token = CancellationToken::new();
+        let plan = FaultPlan::new();
+        plan.cancel_token_at(trigger, &token);
+        let _ = session.run_resilient(&inputs, &options, Some(&token), Some(&plan));
+    }
+
+    let fresh_before = metric(&session, "chehab_arena_fresh_allocations_total");
+    for cycle in 0..100u64 {
+        let token = CancellationToken::new();
+        let plan = FaultPlan::new();
+        // Triggers stay well inside the 7-instruction schedule so at least
+        // one dispatch after the trigger observes the cancelled token.
+        plan.cancel_token_at(1 + (cycle % 4), &token);
+        let error = session
+            .run_resilient(&inputs, &options, Some(&token), Some(&plan))
+            .expect_err("every cycle cancels");
+        assert_eq!(error, FheError::Cancelled, "cycle {cycle}");
+    }
+    // A real leak grows linearly — ~100 fresh allocations here. The pool's
+    // high-water mark may still creep up a couple of times when a scheduling
+    // race briefly needs one more concurrent buffer than any warm-up run
+    // did, so allow a small constant while still catching per-cycle leaks.
+    let fresh_after = metric(&session, "chehab_arena_fresh_allocations_total");
+    let grown = fresh_after - fresh_before;
+    assert!(
+        grown < 10,
+        "cancelled requests leaked arena buffers ({grown} fresh allocations across 100 cycles)"
+    );
+
+    // And the session still serves clean requests bit-identically.
+    let clean = session.run_parallel(&inputs, &options).unwrap();
+    assert!(clean.decryption_ok);
+}
+
+/// A seeded fault storm — planned worker panics, latency spikes, forced
+/// queue-full rejections — over a serving engine completes with zero hangs
+/// and zero engine deaths, errors stay bounded by the plan, and every
+/// non-faulted request's outputs are bit-identical to a clean solo run.
+#[test]
+fn a_seeded_fault_storm_never_hangs_and_non_faulted_outputs_are_exact() {
+    for id in ["Dot Product 8", "Linear Reg. 4", "L2 Distance 8"] {
+        let (session, benchmark) = session_for(id);
+        let requests = 10usize;
+        let input_sets: Vec<HashMap<String, i64>> = (0..requests)
+            .map(|seed| inputs_of(&benchmark, 900 + seed as u64))
+            .collect();
+        let clean: Vec<Vec<u64>> = input_sets
+            .iter()
+            .map(|inputs| session.run(inputs).unwrap().outputs)
+            .collect();
+
+        // One panic point somewhere in the first requests' dispatch range,
+        // plus latency spikes and two forced queue-full rejections.
+        let span = (session.schedule().instrs().len() * requests) as u64;
+        let plan = FaultPlan::storm(0xC4A05, span.max(1), 2);
+        plan.force_queue_full(2);
+        let engine = session.serve_resilient(
+            &ExecOptions::new().with_request_threads(3),
+            None,
+            Some(plan.clone()),
+        );
+
+        let mut handles = Vec::new();
+        for inputs in &input_sets {
+            // Retry-with-backoff rides out the forced queue-full faults.
+            let handle = engine
+                .submit_with_retry(inputs.clone(), 8, Duration::from_millis(1))
+                .expect("retries outlast the forced queue-full budget");
+            handles.push(handle);
+        }
+
+        let mut failed = 0usize;
+        for (i, handle) in handles.into_iter().enumerate() {
+            match handle.wait() {
+                Ok(report) => assert_eq!(
+                    report.outputs, clean[i],
+                    "{id}: non-faulted request {i} diverged from the clean run"
+                ),
+                Err(FheError::WorkerPanic { .. }) => failed += 1,
+                Err(other) => panic!("{id}: unexpected storm error: {other}"),
+            }
+        }
+        // Bounded error count: at most one failure per planned panic point.
+        assert!(failed <= 2, "{id}: {failed} failures from 2 panic points");
+        let stats = engine.shutdown();
+        assert_eq!(stats.completed, requests as u64, "{id}: zero hangs");
+        assert_eq!(stats.resilience.worker_panics as usize, failed);
+
+        // The storm's panics were isolated: the engine survived, and the
+        // session still serves clean requests afterwards.
+        let after = session.run(&input_sets[0]).unwrap();
+        assert_eq!(after.outputs, clean[0]);
+    }
+}
+
+/// A worker killed *outside* the handler (the hard-failure mode) abandons
+/// exactly its in-flight request instead of hanging the waiter, and the
+/// remaining workers keep serving.
+#[test]
+fn a_killed_worker_abandons_its_request_without_hanging_waiters() {
+    let (session, benchmark) = session_for("Dot Product 8");
+    let plan = FaultPlan::new();
+    plan.kill_workers(1);
+    let engine = session.serve_resilient(
+        &ExecOptions::new().with_request_threads(2),
+        None,
+        Some(plan),
+    );
+    let handles: Vec<_> = (0..6)
+        .map(|seed| engine.submit(inputs_of(&benchmark, 40 + seed)).unwrap())
+        .collect();
+    let mut abandoned = 0usize;
+    let mut served = 0usize;
+    for handle in handles {
+        match handle.try_wait() {
+            Ok(result) => {
+                served += 1;
+                assert!(result.expect("served request succeeds").decryption_ok);
+            }
+            Err(RequestError::Abandoned) => abandoned += 1,
+            Err(RequestError::Panicked) => panic!("handler panics are caught, not re-raised here"),
+        }
+    }
+    assert_eq!(abandoned, 1, "exactly the killed worker's request is lost");
+    assert_eq!(served, 5, "the surviving worker drains the rest");
+    let stats = engine.shutdown();
+    assert!(stats.resilience.worker_panics >= 1);
+    assert_eq!(
+        session.resilience().worker_panics,
+        stats.resilience.worker_panics
+    );
+}
+
+/// Deadlines flow end to end: a serving engine with an aggressive deadline
+/// resolves late requests with `FheError::DeadlineExceeded`, counts them in
+/// the resilience stats, and mirrors the count into the session's
+/// Prometheus export.
+#[test]
+fn deadlines_resolve_requests_with_deadline_exceeded_and_are_counted() {
+    let (session, benchmark) = session_for("Linear Reg. 4");
+    // Warm the session so one clean baseline exists.
+    let clean = session.run(&inputs_of(&benchmark, 3)).unwrap();
+    assert!(clean.decryption_ok);
+
+    let engine = session.serve_resilient(
+        &ExecOptions::new()
+            .with_request_threads(1)
+            .with_deadline(Duration::from_nanos(1)),
+        None,
+        None,
+    );
+    let handle = engine.submit(inputs_of(&benchmark, 3)).unwrap();
+    let error = handle.wait().expect_err("a 1ns deadline always expires");
+    assert_eq!(error, FheError::DeadlineExceeded);
+    let stats = engine.shutdown();
+    assert_eq!(stats.resilience.deadline_missed, 1);
+    assert_eq!(metric(&session, "chehab_deadline_missed_total"), 1);
+    // The failed request fed neither the request counter nor the
+    // calibration beyond the clean baseline.
+    assert_eq!(session.stats().requests_served, 1);
+}
